@@ -1,0 +1,146 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "compress/decompress.h"
+#include "compress/well_formed.h"
+#include "eval/size_accounting.h"
+#include "sim/simulator.h"
+#include "smurf/smurf_pipeline.h"
+
+namespace spire::bench {
+
+namespace {
+
+/// Shared scoring of an output stream against a finished simulator.
+void ScoreOutput(const EventStream& output, bool decompress,
+                 const WarehouseSimulator& sim, RunMetrics* metrics) {
+  metrics->raw_readings = sim.total_readings();
+  metrics->output_events = output.size();
+  metrics->location_messages = CountLocationMessages(output);
+  metrics->containment_messages = CountContainmentMessages(output);
+  metrics->ratio = CompressionRatio(output, sim.total_readings());
+  metrics->location_ratio =
+      CompressionRatio(metrics->location_messages, sim.total_readings());
+
+  EventStream comparable = decompress
+                               ? Decompressor::DecompressAll(output)
+                               : output;
+  comparable = StripLocationEvents(comparable, sim.layout().entry_door);
+  EventStream truth =
+      StripLocationEvents(sim.truth_events(), sim.layout().entry_door);
+  metrics->f_all = CompareEventStreams(comparable, truth, EventClass::kAll);
+  metrics->f_location =
+      CompareEventStreams(comparable, truth, EventClass::kLocationOnly);
+  metrics->delay = EvaluateDetectionDelay(sim.thefts(), output);
+}
+
+}  // namespace
+
+RunMetrics RunSpireTrace(const RunOptions& options) {
+  auto sim = WarehouseSimulator::Create(options.sim);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "simulator: %s\n", sim.status().ToString().c_str());
+    std::exit(1);
+  }
+  WarehouseSimulator& s = *sim.value();
+  SpirePipeline pipeline(&s.registry(), options.pipeline);
+
+  RunMetrics metrics;
+  EventStream output;
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &output);
+    if (pipeline.last_epoch_complete() &&
+        s.current_epoch() >= options.eval_start) {
+      metrics.accuracy += EvaluateEstimates(
+          pipeline.last_result(), s.world(), s.layout().entry_door);
+    }
+    metrics.peak_nodes =
+        std::max(metrics.peak_nodes, pipeline.graph().NumNodes());
+    metrics.peak_memory_bytes =
+        std::max(metrics.peak_memory_bytes, pipeline.graph().MemoryUsage());
+  }
+  pipeline.Finish(s.current_epoch() + 1, &output);
+  s.FinishTruth();
+
+  metrics.update_seconds = pipeline.total_costs().update_seconds;
+  metrics.inference_seconds = pipeline.total_costs().inference_seconds;
+  metrics.epochs = pipeline.epochs_processed();
+  metrics.final_edges = pipeline.graph().NumEdges();
+  ScoreOutput(output,
+              options.pipeline.level == CompressionLevel::kLevel2, s,
+              &metrics);
+  return metrics;
+}
+
+RunMetrics RunSmurfTrace(const SimConfig& sim_config, SmurfOptions smurf) {
+  auto sim = WarehouseSimulator::Create(sim_config);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "simulator: %s\n", sim.status().ToString().c_str());
+    std::exit(1);
+  }
+  WarehouseSimulator& s = *sim.value();
+  SmurfPipeline pipeline(&s.registry(), smurf);
+
+  RunMetrics metrics;
+  EventStream output;
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &output);
+  }
+  pipeline.Finish(s.current_epoch() + 1, &output);
+  s.FinishTruth();
+  metrics.epochs = static_cast<std::size_t>(s.current_epoch() + 1);
+  ScoreOutput(output, /*decompress=*/false, s, &metrics);
+  return metrics;
+}
+
+SimConfig PaperAccuracyConfig() {
+  SimConfig config;
+  config.duration_epochs = 3 * 3600;
+  config.pallet_interval = 600;  // 6 pallets per hour.
+  config.min_cases_per_pallet = 5;
+  config.max_cases_per_pallet = 5;
+  config.items_per_case = 20;
+  config.read_rate = 0.85;
+  config.shelf_period = 60;
+  config.mean_shelf_stay = 3600;
+  return config;
+}
+
+SimConfig PaperOutputConfig(bool full) {
+  SimConfig config = PaperAccuracyConfig();
+  config.duration_epochs = (full ? 16 : 6) * 3600;
+  config.pallet_interval = 300;
+  config.mean_shelf_stay = 3600;
+  return config;
+}
+
+SimConfig SweepConfig(bool full) {
+  if (full) return PaperAccuracyConfig();
+  SimConfig config = PaperAccuracyConfig();
+  config.duration_epochs = 2700;
+  config.pallet_interval = 300;
+  config.items_per_case = 10;
+  config.mean_shelf_stay = 900;
+  return config;
+}
+
+Config ParseArgs(int argc, char** argv) {
+  auto config = Config::FromArgs(argc, argv);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s [key=value ...]\n",
+                 config.status().ToString().c_str(), argv[0]);
+    std::exit(1);
+  }
+  return std::move(config).value();
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+}  // namespace spire::bench

@@ -1,0 +1,82 @@
+// Shared trace-runner for the experiment-reproduction benches.
+//
+// Each bench binary sweeps parameters, calls RunSpireTrace / RunSmurfTrace,
+// and prints the same rows/series the paper's table or figure reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/config.h"
+#include "eval/accuracy.h"
+#include "eval/delay.h"
+#include "eval/event_accuracy.h"
+#include "sim/sim_config.h"
+#include "smurf/smurf.h"
+#include "spire/pipeline.h"
+
+namespace spire::bench {
+
+/// What to run and how to score it.
+struct RunOptions {
+  SimConfig sim;
+  PipelineOptions pipeline;
+  /// Accuracy is sampled at complete-inference epochs >= this epoch
+  /// (excludes the cold-start window).
+  Epoch eval_start = 0;
+};
+
+/// Everything the experiment reports might need from one trace.
+struct RunMetrics {
+  AccuracyStats accuracy;
+  std::size_t raw_readings = 0;
+  std::size_t output_events = 0;
+  std::size_t location_messages = 0;
+  std::size_t containment_messages = 0;
+  /// Output bytes / raw bytes, full stream and location-only restriction.
+  double ratio = 0.0;
+  double location_ratio = 0.0;
+  /// Event accuracy of the (decompressed, entry-stripped) stream.
+  EventAccuracy f_all;
+  EventAccuracy f_location;
+  /// Anomaly detection.
+  DelayStats delay;
+  /// Costs.
+  double update_seconds = 0.0;
+  double inference_seconds = 0.0;
+  std::size_t epochs = 0;
+  /// Graph footprint.
+  std::size_t peak_nodes = 0;
+  std::size_t peak_memory_bytes = 0;
+  std::size_t final_edges = 0;
+};
+
+/// Runs the full SPIRE pipeline over a simulated trace.
+RunMetrics RunSpireTrace(const RunOptions& options);
+
+/// Runs the SMURF baseline (location events only, level-1 compression).
+RunMetrics RunSmurfTrace(const SimConfig& sim, SmurfOptions smurf = {});
+
+/// The paper's default accuracy-experiment workload (Section VI-B): 6
+/// pallets/hour, 5 cases each, 20 items per case, 1-hour shelving, 3-hour
+/// trace, read rate 0.85, shelf readers once per minute.
+SimConfig PaperAccuracyConfig();
+
+/// The paper's output-experiment workload (Section VI-D): 16-hour trace
+/// with a steady-state object population. `full` uses the full 16 hours;
+/// otherwise a 6-hour version runs by default.
+SimConfig PaperOutputConfig(bool full);
+
+/// Parameter-sweep workload: `full` is the paper scale
+/// (PaperAccuracyConfig); the default is a 45-minute miniature that keeps
+/// the same structure so whole sweeps finish in seconds.
+SimConfig SweepConfig(bool full);
+
+/// Parses trailing `key=value` args; exits with a message on bad input.
+/// Recognizes `full=true` for paper-scale runs.
+Config ParseArgs(int argc, char** argv);
+
+/// Standard bench banner.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace spire::bench

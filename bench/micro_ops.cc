@@ -1,0 +1,198 @@
+// Google-benchmark micro-benchmarks for the hot operations: deduplication,
+// graph update, iterative inference (complete and partial), compression,
+// and decompression.
+#include <benchmark/benchmark.h>
+
+#include "compress/compressor.h"
+#include "compress/decompress.h"
+#include "graph/update.h"
+#include "inference/iterative.h"
+#include "sim/simulator.h"
+#include "smurf/smurf.h"
+#include "spire/pipeline.h"
+#include "stream/dedup.h"
+#include "stream/epoch_stream.h"
+
+namespace spire {
+namespace {
+
+SimConfig BenchSimConfig(int scale) {
+  SimConfig config;
+  config.duration_epochs = 1000000;
+  config.pallet_interval = 20;
+  config.belt_dwell = 1;
+  config.transit_time = 1;
+  config.min_cases_per_pallet = 5;
+  config.max_cases_per_pallet = 5;
+  config.items_per_case = 20;
+  config.num_shelves = 16;
+  config.shelf_period = 60;
+  config.mean_shelf_stay = 1000000;
+  config.duration_epochs = 1000000;
+  config.seed = 7;
+  (void)scale;
+  return config;
+}
+
+/// A simulator grown to ~`nodes` alive objects with its pipeline attached.
+struct GrownPipeline {
+  std::unique_ptr<WarehouseSimulator> sim;
+  std::unique_ptr<SpirePipeline> pipeline;
+
+  explicit GrownPipeline(std::size_t nodes) {
+    sim = std::move(WarehouseSimulator::Create(BenchSimConfig(1))).value();
+    pipeline = std::make_unique<SpirePipeline>(&sim->registry(),
+                                               PipelineOptions{});
+    EventStream sink;
+    while (sim->objects_alive() < nodes && !sim->Done()) {
+      EpochReadings readings = sim->Step();
+      pipeline->ProcessEpoch(sim->current_epoch(), std::move(readings), &sink);
+      sink.clear();
+    }
+  }
+};
+
+void BM_Deduplicate(benchmark::State& state) {
+  // Readings with ~2x duplication across readers.
+  EpochReadings base;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EpcFields fields;
+    fields.serial = i % 500;
+    RfidReading r;
+    r.tag = EncodeEpcUnchecked(fields);
+    r.reader = static_cast<ReaderId>(i % 4);
+    r.epoch = 1;
+    r.tick = static_cast<std::uint16_t>(i % 3);
+    base.push_back(r);
+  }
+  for (auto _ : state) {
+    EpochReadings copy = base;
+    DedupStats stats = Deduplicate(&copy);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_Deduplicate);
+
+void BM_PipelineEpoch(benchmark::State& state) {
+  GrownPipeline grown(static_cast<std::size_t>(state.range(0)));
+  EventStream sink;
+  for (auto _ : state) {
+    EpochReadings readings = grown.sim->Step();
+    grown.pipeline->ProcessEpoch(grown.sim->current_epoch(),
+                                 std::move(readings), &sink);
+    sink.clear();
+  }
+  state.counters["nodes"] =
+      static_cast<double>(grown.pipeline->graph().NumNodes());
+}
+BENCHMARK(BM_PipelineEpoch)->Arg(5000)->Arg(20000)->Unit(benchmark::kMicrosecond);
+
+void BM_CompleteInference(benchmark::State& state) {
+  GrownPipeline grown(static_cast<std::size_t>(state.range(0)));
+  Graph& graph = grown.pipeline->mutable_graph();
+  InferenceParams params;
+  params.prune_threshold = 0.0;  // Keep the graph stable across iterations.
+  IterativeInference inference(&graph, params);
+  Epoch epoch = grown.sim->current_epoch();
+  for (auto _ : state) {
+    InferenceResult result = inference.RunComplete(++epoch);
+    benchmark::DoNotOptimize(result);
+    graph.BeginEpoch(++epoch);
+  }
+  state.counters["nodes"] = static_cast<double>(graph.NumNodes());
+}
+BENCHMARK(BM_CompleteInference)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RangeCompression(benchmark::State& state) {
+  // Alternating stays: worst-ish case for the change detector.
+  std::vector<ObjectStateEstimate> estimates;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EpcFields fields;
+    fields.serial = i;
+    ObjectStateEstimate estimate;
+    estimate.object = EncodeEpcUnchecked(fields);
+    estimate.location = static_cast<LocationId>(i % 4);
+    estimates.push_back(estimate);
+  }
+  RangeCompressor compressor;
+  EventStream out;
+  Epoch epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    for (auto& estimate : estimates) {
+      if (epoch % 10 == 0) {
+        estimate.location = static_cast<LocationId>((estimate.location + 1) % 4);
+      }
+      compressor.Report(estimate, epoch, &out);
+    }
+    out.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RangeCompression);
+
+void BM_Decompress(benchmark::State& state) {
+  // A level-2 stream from a real trace.
+  SimConfig config;
+  config.duration_epochs = 1800;
+  config.pallet_interval = 300;
+  config.mean_shelf_stay = 600;
+  config.shelf_period = 30;
+  auto sim = std::move(WarehouseSimulator::Create(config)).value();
+  PipelineOptions options;
+  options.level = CompressionLevel::kLevel2;
+  SpirePipeline pipeline(&sim->registry(), options);
+  EventStream level2;
+  while (!sim->Done()) {
+    EpochReadings readings = sim->Step();
+    pipeline.ProcessEpoch(sim->current_epoch(), std::move(readings), &level2);
+  }
+  pipeline.Finish(sim->current_epoch() + 1, &level2);
+  for (auto _ : state) {
+    EventStream out = Decompressor::DecompressAll(level2);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(level2.size()));
+}
+BENCHMARK(BM_Decompress);
+
+void BM_SmurfEpoch(benchmark::State& state) {
+  ReaderRegistry registry;
+  LocationId loc = registry.AddLocation("a");
+  ReaderInfo info;
+  info.id = 0;
+  info.location = loc;
+  (void)registry.AddReader(info);
+  SmurfCleaner cleaner(&registry);
+  Pcg32 rng(3);
+  Epoch epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    EpochReadings readings;
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+      if (!rng.NextBool(0.85)) continue;
+      EpcFields fields;
+      fields.serial = i;
+      RfidReading r;
+      r.tag = EncodeEpcUnchecked(fields);
+      r.reader = 0;
+      r.epoch = epoch;
+      readings.push_back(r);
+    }
+    auto estimates = cleaner.ProcessEpoch(epoch, readings);
+    benchmark::DoNotOptimize(estimates);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SmurfEpoch);
+
+}  // namespace
+}  // namespace spire
+
+BENCHMARK_MAIN();

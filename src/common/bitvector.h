@@ -1,0 +1,81 @@
+// A fixed-capacity shift-register bit vector.
+//
+// Each graph edge keeps a `recent_co-locations` history (Section III-A):
+// every time the edge's statistics are updated, the history is right-shifted
+// and the newest observation is recorded at index 0. Index i therefore holds
+// the i-th most recent observation. The register also tracks how many
+// observations have been pushed so far so that weight normalization
+// (inference Eq. 1) can be restricted to bits that actually carry history.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace spire {
+
+/// Shift-register of up to 64 boolean observations, newest at index 0.
+class ShiftRegister {
+ public:
+  static constexpr int kMaxCapacity = 64;
+
+  /// Creates a register holding `capacity` most-recent observations.
+  explicit ShiftRegister(int capacity = 32) : capacity_(capacity) {
+    assert(capacity >= 1 && capacity <= kMaxCapacity);
+  }
+
+  /// Pushes the newest observation; the oldest one falls off the end.
+  void Push(bool value) {
+    bits_ <<= 1;
+    bits_ |= value ? 1u : 0u;
+    if (count_ < capacity_) ++count_;
+  }
+
+  /// Overwrites the newest observation (index 0) without shifting. Used when
+  /// several readers contribute evidence for the same edge within one epoch:
+  /// the slot for the current epoch was already pushed and is amended.
+  void SetNewest(bool value) {
+    assert(count_ > 0);
+    if (value) {
+      bits_ |= 1u;
+    } else {
+      bits_ &= ~std::uint64_t{1};
+    }
+  }
+
+  /// The i-th most recent observation; i must be < size().
+  bool Get(int i) const {
+    assert(i >= 0 && i < count_);
+    return (bits_ >> i) & 1u;
+  }
+
+  /// Number of observations currently held (<= capacity).
+  int size() const { return count_; }
+
+  /// Maximum number of observations held.
+  int capacity() const { return capacity_; }
+
+  bool empty() const { return count_ == 0; }
+
+  /// Number of `true` observations currently held.
+  int PopCount() const {
+    std::uint64_t mask =
+        count_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count_) - 1);
+    return __builtin_popcountll(bits_ & mask);
+  }
+
+  /// Drops all history.
+  void Clear() {
+    bits_ = 0;
+    count_ = 0;
+  }
+
+  /// Raw bits, newest in the least-significant position (testing hook).
+  std::uint64_t raw() const { return bits_; }
+
+ private:
+  std::uint64_t bits_ = 0;
+  int count_ = 0;
+  int capacity_;
+};
+
+}  // namespace spire

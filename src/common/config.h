@@ -1,0 +1,52 @@
+// Tiny key=value configuration store.
+//
+// Bench binaries and examples accept `key=value` command-line overrides and
+// optional config files with one `key = value` pair per line ('#' comments).
+// This mirrors the paper's "system configuration file" from which reader
+// frequencies are obtained for the partial/complete inference schedule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spire {
+
+/// An ordered string-to-string map with typed accessors.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key = value` lines. Blank lines and lines starting with '#'
+  /// are skipped. Later keys override earlier ones.
+  static Result<Config> FromLines(const std::vector<std::string>& lines);
+
+  /// Parses command-line style `key=value` tokens (argv[1..argc)). Tokens
+  /// without '=' are rejected.
+  static Result<Config> FromArgs(int argc, const char* const* argv);
+
+  /// Sets or overwrites a key.
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed lookups returning `fallback` when the key is absent. Malformed
+  /// values produce an error.
+  Result<std::string> GetString(const std::string& key,
+                                const std::string& fallback) const;
+  Result<std::int64_t> GetInt(const std::string& key,
+                              std::int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+
+  /// All keys in insertion-independent (sorted) order.
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace spire

@@ -1,0 +1,65 @@
+#include "common/epc.h"
+
+#include <sstream>
+
+namespace spire {
+
+namespace {
+constexpr int kLevelShift = 61;
+constexpr int kCompanyShift = 41;
+constexpr int kItemRefShift = 21;
+constexpr std::uint64_t kLevelMask = 0x3;
+constexpr std::uint64_t kCompanyMask = (std::uint64_t{1} << 20) - 1;
+constexpr std::uint64_t kItemRefMask = (std::uint64_t{1} << 20) - 1;
+constexpr std::uint64_t kSerialMask = (std::uint64_t{1} << 21) - 1;
+}  // namespace
+
+Result<ObjectId> EncodeEpc(const EpcFields& fields) {
+  if (static_cast<int>(fields.level) >= kNumPackagingLevels) {
+    return Status::InvalidArgument("packaging level out of range");
+  }
+  if (fields.company_prefix > kCompanyMask) {
+    return Status::InvalidArgument("company prefix exceeds 20 bits");
+  }
+  if (fields.item_reference > kItemRefMask) {
+    return Status::InvalidArgument("item reference exceeds 20 bits");
+  }
+  if (fields.serial > kSerialMask) {
+    return Status::InvalidArgument("serial exceeds 21 bits");
+  }
+  return EncodeEpcUnchecked(fields);
+}
+
+ObjectId EncodeEpcUnchecked(const EpcFields& fields) {
+  return (static_cast<std::uint64_t>(fields.level) & kLevelMask) << kLevelShift |
+         (static_cast<std::uint64_t>(fields.company_prefix) & kCompanyMask)
+             << kCompanyShift |
+         (static_cast<std::uint64_t>(fields.item_reference) & kItemRefMask)
+             << kItemRefShift |
+         (static_cast<std::uint64_t>(fields.serial) & kSerialMask);
+}
+
+EpcFields DecodeEpc(ObjectId id) {
+  EpcFields fields;
+  fields.level = static_cast<PackagingLevel>((id >> kLevelShift) & kLevelMask);
+  fields.company_prefix =
+      static_cast<std::uint32_t>((id >> kCompanyShift) & kCompanyMask);
+  fields.item_reference =
+      static_cast<std::uint32_t>((id >> kItemRefShift) & kItemRefMask);
+  fields.serial = static_cast<std::uint32_t>(id & kSerialMask);
+  return fields;
+}
+
+PackagingLevel EpcLevel(ObjectId id) {
+  return static_cast<PackagingLevel>((id >> kLevelShift) & kLevelMask);
+}
+
+std::string EpcToString(ObjectId id) {
+  EpcFields f = DecodeEpc(id);
+  std::ostringstream out;
+  out << ToString(f.level) << ":" << f.company_prefix << "." << f.item_reference
+      << "." << f.serial;
+  return out.str();
+}
+
+}  // namespace spire

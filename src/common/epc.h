@@ -1,0 +1,57 @@
+// SGTIN-96-style EPC tag codec.
+//
+// The EPCglobal tag data standard requires every supply-chain object to carry
+// a packaging level (item / case / pallet) encoded in its tag id; SPIRE's
+// graph model reads the level straight from the id to place the node in the
+// right layer (Section III-A). We encode a compact SGTIN-96-like layout into
+// a 64-bit ObjectId:
+//
+//   bits 62..61  packaging level (the SGTIN "filter value")
+//   bits 60..41  company prefix  (20 bits)
+//   bits 40..21  item reference  (20 bits)
+//   bits 20..0   serial number   (21 bits)
+//
+// The wire representation of a full EPC tag is 96 bits (12 bytes); the size
+// constant lives in common/wire.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace spire {
+
+/// Decomposed fields of an EPC tag id.
+struct EpcFields {
+  PackagingLevel level = PackagingLevel::kItem;
+  std::uint32_t company_prefix = 0;  ///< 20 bits.
+  std::uint32_t item_reference = 0;  ///< 20 bits.
+  std::uint32_t serial = 0;          ///< 21 bits.
+
+  bool operator==(const EpcFields&) const = default;
+};
+
+/// Encodes EPC fields into a compact ObjectId. Fields wider than their slot
+/// are rejected.
+Result<ObjectId> EncodeEpc(const EpcFields& fields);
+
+/// Encodes without validation; out-of-range fields are masked. Intended for
+/// generators that already guarantee ranges.
+ObjectId EncodeEpcUnchecked(const EpcFields& fields);
+
+/// Decodes an ObjectId back into its EPC fields.
+EpcFields DecodeEpc(ObjectId id);
+
+/// The packaging level encoded in the id (cheap; no full decode).
+PackagingLevel EpcLevel(ObjectId id);
+
+/// Layer index used by the graph: item=0, case=1, pallet=2.
+inline int EpcLayer(ObjectId id) { return static_cast<int>(EpcLevel(id)); }
+
+/// "urn:epc:sgtin:<company>.<itemref>.<serial>" style display form with the
+/// packaging level spelled out, e.g. "case:42.7.12345".
+std::string EpcToString(ObjectId id);
+
+}  // namespace spire

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random utilities for the simulator and tests.
+//
+// We use a PCG32 generator: small state, excellent statistical quality, and
+// fully reproducible across platforms (unlike std::default_random_engine,
+// whose distributions are implementation-defined). All distribution helpers
+// here are hand-rolled so a seed produces the identical trace everywhere.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace spire {
+
+/// PCG32 (O'Neill 2014), the XSH-RR variant.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t Next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint32_t NextBounded(std::uint32_t bound) {
+    assert(bound > 0);
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint32_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return Next() * (1.0 / 4294967296.0); }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace spire

@@ -1,0 +1,138 @@
+// Minimal Status / Result error-handling vocabulary (RocksDB/Arrow idiom).
+// SPIRE's public APIs do not throw; fallible operations return Status or
+// Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace spire {
+
+/// Error category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kCorruption = 5,
+  kNotSupported = 6,
+  kInternal = 7,
+};
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kAlreadyExists:
+        return "AlreadyExists";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kCorruption:
+        return "Corruption";
+      case StatusCode::kNotSupported:
+        return "NotSupported";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value or an error. Like arrow::Result: access value() only after
+/// checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from a non-OK status (failure). Asserts the status is not OK.
+  Result(Status status) : status_(std::move(status)) { assert(!status_.ok()); }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; valid only when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The contained value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SPIRE_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::spire::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace spire

@@ -1,0 +1,22 @@
+// Wire-format size accounting for compression ratios.
+//
+// The paper reports compression ratio = (bytes of the compressed event
+// stream) / (bytes of the raw RFID reading stream). We fix a concrete byte
+// layout for both streams so the ratio is well-defined and reproducible.
+#pragma once
+
+#include <cstddef>
+
+namespace spire {
+
+/// A raw RFID reading on the wire: 12-byte EPC (96-bit tag), 2-byte reader
+/// id, 2-byte epoch-relative timestamp.
+inline constexpr std::size_t kReadingWireBytes = 16;
+
+/// An output event message on the wire, packed:
+/// type(1) + object EPC(12) + target(8: container EPC prefix or padded
+/// location id) + timestamp(4) + flags(1) = 26 bytes. Every message
+/// (Start*/End*/Missing) is charged one full record.
+inline constexpr std::size_t kEventWireBytes = 26;
+
+}  // namespace spire

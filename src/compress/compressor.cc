@@ -1,0 +1,117 @@
+#include "compress/compressor.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace spire {
+
+Compressor::Compressor(CompressorOptions options) : options_(options) {}
+
+void Compressor::Report(const ObjectStateEstimate& state, Epoch epoch,
+                        EventStream* out) {
+  Tracked& tracked = tracked_[state.object];
+  EmitContainmentChange(tracked, state, epoch, out);
+  EmitLocationChange(tracked, state, epoch, out);
+}
+
+void Compressor::EmitContainmentChange(Tracked& tracked,
+                                       const ObjectStateEstimate& state,
+                                       Epoch epoch, EventStream* out) {
+  if (state.container == tracked.open_container) return;
+  CloseContainment(state.object, tracked, epoch, out);
+  if (state.container != kNoObject) {
+    if (options_.emit_containment) {
+      out->push_back(Event::StartContainment(state.object, state.container,
+                                             epoch));
+    }
+    tracked.open_container = state.container;
+    tracked.containment_start = epoch;
+  }
+}
+
+void Compressor::EmitLocationChange(Tracked& tracked,
+                                    const ObjectStateEstimate& state,
+                                    Epoch epoch, EventStream* out) {
+  if (SuppressContainedLocation(tracked)) {
+    // Level 2: the open location event (if any) is closed when containment
+    // begins; afterwards the container's events imply this object's location.
+    CloseLocation(state.object, tracked, epoch, out);
+    if (state.location != kUnknownLocation) {
+      tracked.last_known_location = state.location;
+      tracked.missing_reported = false;
+    } else if (state.missing && !tracked.missing_reported) {
+      // A contained object can still be reported missing; the containment
+      // pair encloses the Missing singleton (Section V-A).
+      if (options_.emit_location) {
+        out->push_back(Event::Missing(state.object,
+                                      tracked.last_known_location, epoch));
+      }
+      tracked.missing_reported = true;
+    }
+    return;
+  }
+
+  if (state.location != kUnknownLocation) {
+    tracked.missing_reported = false;
+    if (state.location == tracked.open_location) return;
+    CloseLocation(state.object, tracked, epoch, out);
+    if (options_.emit_location) {
+      out->push_back(Event::StartLocation(state.object, state.location, epoch));
+    }
+    tracked.open_location = state.location;
+    tracked.location_start = epoch;
+    tracked.last_known_location = state.location;
+    return;
+  }
+
+  // The object is away from every known location: close the open stay and,
+  // for an anomaly, flag it with a Missing singleton.
+  CloseLocation(state.object, tracked, epoch, out);
+  if (state.missing && !tracked.missing_reported) {
+    if (options_.emit_location) {
+      out->push_back(Event::Missing(state.object, tracked.last_known_location,
+                                    epoch));
+    }
+    tracked.missing_reported = true;
+  }
+}
+
+void Compressor::CloseLocation(ObjectId object, Tracked& tracked, Epoch epoch,
+                               EventStream* out) {
+  if (tracked.open_location == kUnknownLocation) return;
+  if (options_.emit_location) {
+    out->push_back(Event::EndLocation(object, tracked.open_location,
+                                      tracked.location_start, epoch));
+  }
+  tracked.open_location = kUnknownLocation;
+  tracked.location_start = kNeverEpoch;
+}
+
+void Compressor::CloseContainment(ObjectId object, Tracked& tracked,
+                                  Epoch epoch, EventStream* out) {
+  if (tracked.open_container == kNoObject) return;
+  if (options_.emit_containment) {
+    out->push_back(Event::EndContainment(object, tracked.open_container,
+                                         tracked.containment_start, epoch));
+  }
+  tracked.open_container = kNoObject;
+  tracked.containment_start = kNeverEpoch;
+}
+
+void Compressor::Retire(ObjectId object, Epoch epoch, EventStream* out) {
+  auto it = tracked_.find(object);
+  if (it == tracked_.end()) return;
+  CloseContainment(object, it->second, epoch, out);
+  CloseLocation(object, it->second, epoch, out);
+  tracked_.erase(it);
+}
+
+void Compressor::Finish(Epoch epoch, EventStream* out) {
+  std::vector<ObjectId> objects;
+  objects.reserve(tracked_.size());
+  for (const auto& [id, tracked] : tracked_) objects.push_back(id);
+  std::sort(objects.begin(), objects.end());
+  for (ObjectId id : objects) Retire(id, epoch, out);
+}
+
+}  // namespace spire

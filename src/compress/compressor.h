@@ -1,0 +1,134 @@
+// Online stream compression (Section V).
+//
+// A compressor consumes one interpreted per-object state per epoch and emits
+// only the events that signal a *state change*; readings that merely confirm
+// the current state are redundant and dropped. Two levels exist:
+//
+//  * Level 1 (range compression): an object's stay at one location, or one
+//    containment relationship, is collapsed into a single ranged event.
+//  * Level 2 (location compression using containment): additionally, while
+//    an object's containment is stable, its location updates are suppressed
+//    entirely — the location is recoverable from the container's updates
+//    (see compress/decompress.h). This minimizes location output to
+//    top-level containers only.
+//
+// Both levels are lossless with respect to the interpreted state stream.
+#pragma once
+
+#include <unordered_map>
+
+#include "compress/event.h"
+#include "common/types.h"
+
+namespace spire {
+
+/// The interpreted state of one object at one epoch, as produced by the
+/// interpretation module after conflict resolution.
+struct ObjectStateEstimate {
+  ObjectId object = kNoObject;
+  /// Most likely location; kUnknownLocation means the object is away from
+  /// every known location (missing / in transit).
+  LocationId location = kUnknownLocation;
+  /// Most likely direct container; kNoObject when uncontained.
+  ObjectId container = kNoObject;
+  /// When the location is unknown: emit a Missing singleton (true, the
+  /// interpretation semantics — inference cannot tell transit from theft)
+  /// or only close the open location event (false, used by the ground-truth
+  /// recorder for ordinary transits between locations).
+  bool missing = true;
+};
+
+/// Options shared by both compression levels.
+struct CompressorOptions {
+  /// When false, Start/EndContainment messages are suppressed from output
+  /// (Expt 8 measures "location events only" streams this way). Containment
+  /// is still *tracked* for level-2 suppression decisions.
+  bool emit_containment = true;
+  /// When false, location messages are suppressed (containment-only stream).
+  bool emit_location = true;
+};
+
+/// Base class implementing the shared change-detection state machine.
+/// Subclasses decide whether a contained object's location updates are
+/// emitted (level 1) or suppressed (level 2).
+class Compressor {
+ public:
+  explicit Compressor(CompressorOptions options = {});
+  virtual ~Compressor() = default;
+
+  /// Reports the newly interpreted state of an object at `epoch`, appending
+  /// any resulting events to `out`. Reporting the unchanged state is a
+  /// no-op (that is the compression). Objects may be reported at any epoch
+  /// cadence; unreported objects simply keep their last state.
+  void Report(const ObjectStateEstimate& state, Epoch epoch, EventStream* out);
+
+  /// The object left the physical world through a proper channel: closes
+  /// its open location and containment events and forgets it.
+  void Retire(ObjectId object, Epoch epoch, EventStream* out);
+
+  /// Closes every open event (end of trace) so the stream is well-formed.
+  void Finish(Epoch epoch, EventStream* out);
+
+  /// Number of objects currently tracked.
+  std::size_t tracked_objects() const { return tracked_.size(); }
+
+ protected:
+  /// Per-object bookkeeping.
+  struct Tracked {
+    /// Open location event (kUnknownLocation = none open).
+    LocationId open_location = kUnknownLocation;
+    Epoch location_start = kNeverEpoch;
+    /// Open containment event (kNoObject = none open).
+    ObjectId open_container = kNoObject;
+    Epoch containment_start = kNeverEpoch;
+    /// Last known (reported) location; used as Missing's locationMissingFrom.
+    LocationId last_known_location = kUnknownLocation;
+    /// True after a Missing message until the object is seen again.
+    bool missing_reported = false;
+  };
+
+  /// Level hook: true when location updates of this (contained) object must
+  /// be suppressed.
+  virtual bool SuppressContainedLocation(const Tracked& tracked) const = 0;
+
+  void EmitLocationChange(Tracked& tracked, const ObjectStateEstimate& state,
+                          Epoch epoch, EventStream* out);
+  void EmitContainmentChange(Tracked& tracked, const ObjectStateEstimate& state,
+                             Epoch epoch, EventStream* out);
+  void CloseLocation(ObjectId object, Tracked& tracked, Epoch epoch,
+                     EventStream* out);
+  void CloseContainment(ObjectId object, Tracked& tracked, Epoch epoch,
+                        EventStream* out);
+
+  CompressorOptions options_;
+  std::unordered_map<ObjectId, Tracked> tracked_;
+};
+
+/// Level-1 range compression (Section V-B): every state change is emitted;
+/// stays are collapsed into ranged events. Location and containment streams
+/// are independent and individually queriable.
+class RangeCompressor final : public Compressor {
+ public:
+  using Compressor::Compressor;
+
+ protected:
+  bool SuppressContainedLocation(const Tracked&) const override {
+    return false;
+  }
+};
+
+/// Level-2 compression (Section V-C): while an object's containment is
+/// stable its location updates are omitted; only top-level containers carry
+/// location events. When containment ends, location updates for the object
+/// resume immediately.
+class ContainmentCompressor final : public Compressor {
+ public:
+  using Compressor::Compressor;
+
+ protected:
+  bool SuppressContainedLocation(const Tracked& tracked) const override {
+    return tracked.open_container != kNoObject;
+  }
+};
+
+}  // namespace spire

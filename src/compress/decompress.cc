@@ -1,0 +1,201 @@
+#include "compress/decompress.h"
+
+namespace spire {
+
+Epoch Decompressor::EventEpoch(const Event& event) {
+  switch (event.type) {
+    case EventType::kEndLocation:
+    case EventType::kEndContainment:
+      return event.end;
+    default:
+      return event.start;
+  }
+}
+
+void Decompressor::Push(const Event& event, EventStream* out) {
+  Epoch epoch = EventEpoch(event);
+  if (buffered_epoch_ != kNeverEpoch && epoch != buffered_epoch_) {
+    FlushEpoch(out);
+  }
+  buffered_epoch_ = epoch;
+  buffered_.push_back(event);
+}
+
+void Decompressor::Finish(EventStream* out) {
+  if (!buffered_.empty()) FlushEpoch(out);
+  buffered_epoch_ = kNeverEpoch;
+}
+
+EventStream Decompressor::DecompressAll(const EventStream& level2) {
+  Decompressor decompressor;
+  EventStream out;
+  for (const Event& event : level2) decompressor.Push(event, &out);
+  decompressor.Finish(&out);
+  return out;
+}
+
+void Decompressor::FlushEpoch(EventStream* out) {
+  dirty_.clear();
+  EventStream staged;
+  // Phase 1: containment updates rebuild the hierarchy (Section V-C: "it
+  // first processes all containment updates").
+  for (const Event& event : buffered_) {
+    if (IsContainmentEvent(event.type)) ApplyContainment(event, &staged);
+  }
+  // Phase 2: location updates, copied down to transitive contents.
+  for (const Event& event : buffered_) {
+    if (!IsContainmentEvent(event.type)) ApplyLocation(event, &staged);
+  }
+  // Phase 3: objects whose containment changed inherit their top-level
+  // container's current location.
+  Reconcile(buffered_epoch_, &staged);
+  // Duplicate suppression (Section V-C): containment restructuring can close
+  // an object's stay and reopen it at the same location within one epoch;
+  // such End/Start pairs carry no information and are cancelled, splicing
+  // the original interval back together.
+  CancelChurn(&staged);
+  out->insert(out->end(), staged.begin(), staged.end());
+  buffered_.clear();
+}
+
+void Decompressor::CancelChurn(EventStream* staged) {
+  std::vector<bool> removed(staged->size(), false);
+  for (std::size_t i = 0; i < staged->size(); ++i) {
+    const Event& end_event = (*staged)[i];
+    if (removed[i] || end_event.type != EventType::kEndLocation) continue;
+    for (std::size_t j = i + 1; j < staged->size(); ++j) {
+      const Event& later = (*staged)[j];
+      if (removed[j] || later.object != end_event.object) continue;
+      if (later.type == EventType::kMissing) break;  // Keep a real departure.
+      if (later.type == EventType::kStartLocation) {
+        if (later.location == end_event.location &&
+            later.start == end_event.end) {
+          removed[i] = true;
+          removed[j] = true;
+          // Splice: the stay never ended; restore its original start.
+          open_[end_event.object] =
+              OpenLocation{end_event.location, end_event.start};
+        }
+        break;  // Only the immediately following stay can cancel the end.
+      }
+      if (later.type == EventType::kEndLocation) break;
+    }
+  }
+  EventStream kept;
+  kept.reserve(staged->size());
+  for (std::size_t i = 0; i < staged->size(); ++i) {
+    if (!removed[i]) kept.push_back((*staged)[i]);
+  }
+  *staged = std::move(kept);
+}
+
+void Decompressor::ApplyContainment(const Event& event, EventStream* out) {
+  out->push_back(event);
+  if (event.type == EventType::kStartContainment) {
+    parent_[event.object] = event.container;
+    children_[event.container].insert(event.object);
+  } else {
+    parent_.erase(event.object);
+    auto it = children_.find(event.container);
+    if (it != children_.end()) it->second.erase(event.object);
+  }
+  dirty_.push_back(event.object);
+}
+
+void Decompressor::ApplyLocation(const Event& event, EventStream* out) {
+  switch (event.type) {
+    case EventType::kStartLocation: {
+      auto it = open_.find(event.object);
+      if (it != open_.end() && it->second.location == event.location) {
+        return;  // Duplicate: already known to be at this location.
+      }
+      EmitEndIfOpen(event.object, event.start, out);
+      EmitStart(event.object, event.location, event.start, out);
+      PropagateStart(event.object, event.location, event.start, out);
+      return;
+    }
+    case EventType::kEndLocation: {
+      auto it = open_.find(event.object);
+      if (it == open_.end() || it->second.location != event.location) {
+        return;  // Duplicate close.
+      }
+      EmitEndIfOpen(event.object, event.end, out);
+      PropagateEnd(event.object, event.location, event.end, out);
+      return;
+    }
+    case EventType::kMissing:
+      // Keep the output well-formed: a reconstructed open location event
+      // (propagated from a container) must not enclose a Missing singleton.
+      EmitEndIfOpen(event.object, event.start, out);
+      out->push_back(event);
+      return;
+    default:
+      return;
+  }
+}
+
+void Decompressor::EmitStart(ObjectId object, LocationId location, Epoch epoch,
+                             EventStream* out) {
+  open_[object] = OpenLocation{location, epoch};
+  out->push_back(Event::StartLocation(object, location, epoch));
+}
+
+void Decompressor::EmitEndIfOpen(ObjectId object, Epoch epoch,
+                                 EventStream* out) {
+  auto it = open_.find(object);
+  if (it == open_.end()) return;
+  out->push_back(Event::EndLocation(object, it->second.location,
+                                    it->second.start, epoch));
+  open_.erase(it);
+}
+
+void Decompressor::PropagateStart(ObjectId parent, LocationId location,
+                                  Epoch epoch, EventStream* out) {
+  auto it = children_.find(parent);
+  if (it == children_.end()) return;
+  for (ObjectId child : it->second) {
+    auto open_it = open_.find(child);
+    if (open_it == open_.end() || open_it->second.location != location) {
+      EmitEndIfOpen(child, epoch, out);
+      EmitStart(child, location, epoch, out);
+    }
+    PropagateStart(child, location, epoch, out);
+  }
+}
+
+void Decompressor::PropagateEnd(ObjectId parent, LocationId location,
+                                Epoch epoch, EventStream* out) {
+  auto it = children_.find(parent);
+  if (it == children_.end()) return;
+  for (ObjectId child : it->second) {
+    auto open_it = open_.find(child);
+    if (open_it != open_.end() && open_it->second.location == location) {
+      EmitEndIfOpen(child, epoch, out);
+    }
+    PropagateEnd(child, location, epoch, out);
+  }
+}
+
+void Decompressor::Reconcile(Epoch epoch, EventStream* out) {
+  for (ObjectId object : dirty_) {
+    auto parent_it = parent_.find(object);
+    if (parent_it == parent_.end()) continue;
+    // Walk to the top-level container.
+    ObjectId root = parent_it->second;
+    for (auto it = parent_.find(root); it != parent_.end();
+         it = parent_.find(root)) {
+      root = it->second;
+    }
+    auto root_open = open_.find(root);
+    if (root_open == open_.end()) continue;  // Container location unknown.
+    LocationId location = root_open->second.location;
+    auto open_it = open_.find(object);
+    if (open_it == open_.end() || open_it->second.location != location) {
+      EmitEndIfOpen(object, epoch, out);
+      EmitStart(object, location, epoch, out);
+      PropagateStart(object, location, epoch, out);
+    }
+  }
+}
+
+}  // namespace spire

@@ -1,0 +1,72 @@
+// On-demand decompression of a level-2 stream into a level-1 stream
+// (Section V-C).
+//
+// A level-2 stream suppresses location updates of contained objects; this
+// routine reconstructs them so the result is directly queriable by event
+// processors. Per time step it (1) applies all containment updates to its
+// containment hierarchy, (2) replays location updates, copying each
+// container's update to its transitive contents, and (3) reconciles any
+// contained object whose reconstructed location drifted from its top-level
+// container. Duplicate events — an update reporting an object at a location
+// it is already known to occupy — are removed, exactly as the paper's
+// routine prescribes.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/event.h"
+
+namespace spire {
+
+/// Streaming level-2 -> level-1 decompressor. Feed events in emission order;
+/// events are buffered per epoch and flushed when a later epoch arrives (or
+/// on Finish).
+class Decompressor {
+ public:
+  Decompressor() = default;
+
+  /// Consumes one level-2 event; appends reconstructed level-1 events for
+  /// any *earlier* epochs that are now complete.
+  void Push(const Event& event, EventStream* out);
+
+  /// Flushes the last buffered epoch.
+  void Finish(EventStream* out);
+
+  /// Convenience: decompresses a whole stream at once.
+  static EventStream DecompressAll(const EventStream& level2);
+
+ private:
+  /// The epoch an event belongs to: V_e for End* messages, V_s otherwise.
+  static Epoch EventEpoch(const Event& event);
+
+  void FlushEpoch(EventStream* out);
+  void CancelChurn(EventStream* staged);
+  void ApplyContainment(const Event& event, EventStream* out);
+  void ApplyLocation(const Event& event, EventStream* out);
+  void EmitStart(ObjectId object, LocationId location, Epoch epoch,
+                 EventStream* out);
+  void EmitEndIfOpen(ObjectId object, Epoch epoch, EventStream* out);
+  void PropagateStart(ObjectId parent, LocationId location, Epoch epoch,
+                      EventStream* out);
+  void PropagateEnd(ObjectId parent, LocationId location, Epoch epoch,
+                    EventStream* out);
+  void Reconcile(Epoch epoch, EventStream* out);
+
+  struct OpenLocation {
+    LocationId location = kUnknownLocation;
+    Epoch start = kNeverEpoch;
+  };
+
+  std::vector<Event> buffered_;
+  Epoch buffered_epoch_ = kNeverEpoch;
+  std::unordered_map<ObjectId, ObjectId> parent_;
+  std::unordered_map<ObjectId, std::set<ObjectId>> children_;
+  std::unordered_map<ObjectId, OpenLocation> open_;
+  /// Objects whose containment changed in the epoch being flushed; only
+  /// these need reconciliation.
+  std::vector<ObjectId> dirty_;
+};
+
+}  // namespace spire

@@ -1,0 +1,96 @@
+#include "compress/event.h"
+
+#include <sstream>
+
+#include "common/epc.h"
+
+namespace spire {
+
+const char* ToString(EventType type) {
+  switch (type) {
+    case EventType::kStartLocation:
+      return "StartLocation";
+    case EventType::kEndLocation:
+      return "EndLocation";
+    case EventType::kStartContainment:
+      return "StartContainment";
+    case EventType::kEndContainment:
+      return "EndContainment";
+    case EventType::kMissing:
+      return "Missing";
+  }
+  return "invalid";
+}
+
+Event Event::StartLocation(ObjectId object, LocationId location, Epoch start) {
+  Event e;
+  e.type = EventType::kStartLocation;
+  e.object = object;
+  e.location = location;
+  e.start = start;
+  e.end = kInfiniteEpoch;
+  return e;
+}
+
+Event Event::EndLocation(ObjectId object, LocationId location, Epoch start,
+                         Epoch end) {
+  Event e;
+  e.type = EventType::kEndLocation;
+  e.object = object;
+  e.location = location;
+  e.start = start;
+  e.end = end;
+  return e;
+}
+
+Event Event::StartContainment(ObjectId object, ObjectId container,
+                              Epoch start) {
+  Event e;
+  e.type = EventType::kStartContainment;
+  e.object = object;
+  e.container = container;
+  e.start = start;
+  e.end = kInfiniteEpoch;
+  return e;
+}
+
+Event Event::EndContainment(ObjectId object, ObjectId container, Epoch start,
+                            Epoch end) {
+  Event e;
+  e.type = EventType::kEndContainment;
+  e.object = object;
+  e.container = container;
+  e.start = start;
+  e.end = end;
+  return e;
+}
+
+Event Event::Missing(ObjectId object, LocationId missing_from, Epoch at) {
+  Event e;
+  e.type = EventType::kMissing;
+  e.object = object;
+  e.location = missing_from;
+  e.start = at;
+  e.end = at;
+  return e;
+}
+
+std::string Event::ToString() const {
+  std::ostringstream out;
+  out << spire::ToString(type) << "(" << EpcToString(object);
+  if (IsContainmentEvent(type)) {
+    out << ", in " << EpcToString(container);
+  } else {
+    out << ", loc " << location;
+  }
+  out << ", [" << start << ", ";
+  if (end == kInfiniteEpoch) {
+    out << "inf";
+  } else {
+    out << end;
+  }
+  out << "))";
+  return out.str();
+}
+
+}  // namespace spire

@@ -1,0 +1,58 @@
+#include "compress/fold.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace spire {
+
+std::vector<RangedEvent> FoldEvents(const EventStream& stream) {
+  // Track the open interval per (object, kind) and fold on End*.
+  std::map<std::pair<ObjectId, bool>, std::size_t> open;
+  std::vector<RangedEvent> folded;
+  for (const Event& event : stream) {
+    switch (event.type) {
+      case EventType::kStartLocation:
+      case EventType::kStartContainment: {
+        RangedEvent ranged;
+        ranged.type = event.type;
+        ranged.object = event.object;
+        ranged.location = event.location;
+        ranged.container = event.container;
+        ranged.start = event.start;
+        ranged.end = kInfiniteEpoch;
+        open[{event.object, IsContainmentEvent(event.type)}] = folded.size();
+        folded.push_back(ranged);
+        break;
+      }
+      case EventType::kEndLocation:
+      case EventType::kEndContainment: {
+        auto it = open.find({event.object, IsContainmentEvent(event.type)});
+        if (it != open.end()) {
+          folded[it->second].end = event.end;
+          open.erase(it);
+        }
+        break;
+      }
+      case EventType::kMissing: {
+        RangedEvent ranged;
+        ranged.type = EventType::kMissing;
+        ranged.object = event.object;
+        ranged.location = event.location;
+        ranged.start = event.start;
+        ranged.end = event.end;
+        folded.push_back(ranged);
+        break;
+      }
+    }
+  }
+  std::sort(folded.begin(), folded.end(),
+            [](const RangedEvent& a, const RangedEvent& b) {
+              if (a.object != b.object) return a.object < b.object;
+              if (a.start != b.start) return a.start < b.start;
+              return a.type < b.type;
+            });
+  return folded;
+}
+
+}  // namespace spire

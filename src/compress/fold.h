@@ -1,0 +1,27 @@
+// Folding a message stream into ranged events.
+#pragma once
+
+#include <vector>
+
+#include "compress/event.h"
+
+namespace spire {
+
+/// A Start/End pair folded into one interval (or a Missing point event).
+struct RangedEvent {
+  /// kStartLocation, kStartContainment, or kMissing.
+  EventType type = EventType::kStartLocation;
+  ObjectId object = kNoObject;
+  LocationId location = kUnknownLocation;
+  ObjectId container = kNoObject;
+  Epoch start = kNeverEpoch;
+  Epoch end = kInfiniteEpoch;
+
+  bool operator==(const RangedEvent&) const = default;
+};
+
+/// Folds a well-formed message stream into ranged events, ordered by
+/// (object, start). Unclosed trailing events keep end = infinity.
+std::vector<RangedEvent> FoldEvents(const EventStream& stream);
+
+}  // namespace spire

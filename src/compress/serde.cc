@@ -1,0 +1,197 @@
+#include "compress/serde.h"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/wire.h"
+
+namespace spire {
+
+namespace {
+
+constexpr std::uint8_t kContainerFlag = 0x01;
+
+void PutU64(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void PutU32(std::uint32_t value, std::vector<std::uint8_t>* out) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value = value << 8 | p[i];
+  return value;
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value = value << 8 | p[i];
+  return value;
+}
+
+bool FitsTimestamp(Epoch epoch) {
+  return epoch >= 0 && epoch <= std::numeric_limits<std::uint32_t>::max();
+}
+
+}  // namespace
+
+Status EventEncoder::Encode(const Event& event,
+                            std::vector<std::uint8_t>* out) {
+  const bool is_containment = IsContainmentEvent(event.type);
+  const Epoch timestamp = (event.type == EventType::kEndLocation ||
+                           event.type == EventType::kEndContainment)
+                              ? event.end
+                              : event.start;
+  if (!FitsTimestamp(timestamp)) {
+    return Status::InvalidArgument("event timestamp exceeds 32 bits: " +
+                                   event.ToString());
+  }
+  out->reserve(out->size() + kEventWireBytes);
+  out->push_back(static_cast<std::uint8_t>(event.type));
+  // 96-bit EPC: four leading zero bytes, then the compact 64-bit id.
+  PutU32(0, out);
+  PutU64(event.object, out);
+  if (is_containment) {
+    PutU64(event.container, out);
+  } else {
+    PutU64(static_cast<std::uint64_t>(event.location), out);
+  }
+  PutU32(static_cast<std::uint32_t>(timestamp), out);
+  out->push_back(is_containment ? kContainerFlag : 0);
+  return Status::OK();
+}
+
+Status EventEncoder::EncodeStream(const EventStream& stream,
+                                  std::vector<std::uint8_t>* out) {
+  out->reserve(out->size() + stream.size() * kEventWireBytes);
+  for (const Event& event : stream) {
+    SPIRE_RETURN_NOT_OK(Encode(event, out));
+  }
+  return Status::OK();
+}
+
+Result<Event> EventDecoder::DecodeOne(const std::vector<std::uint8_t>& bytes,
+                                      std::size_t offset) {
+  if (offset + kEventWireBytes > bytes.size()) {
+    return Status::Corruption("truncated event record");
+  }
+  const std::uint8_t* p = bytes.data() + offset;
+  if (p[0] > static_cast<std::uint8_t>(EventType::kMissing)) {
+    return Status::Corruption("unknown event type byte");
+  }
+  Event event;
+  event.type = static_cast<EventType>(p[0]);
+  if (GetU32(p + 1) != 0) {
+    return Status::Corruption("nonzero EPC header bytes");
+  }
+  event.object = GetU64(p + 5);
+  const std::uint64_t target = GetU64(p + 13);
+  const Epoch timestamp = static_cast<Epoch>(GetU32(p + 21));
+  const bool container_flag = (p[25] & kContainerFlag) != 0;
+  if (container_flag != IsContainmentEvent(event.type)) {
+    return Status::Corruption("container flag inconsistent with type");
+  }
+
+  const bool is_containment = IsContainmentEvent(event.type);
+  if (is_containment) {
+    event.container = target;
+  } else {
+    if (target > std::numeric_limits<LocationId>::max()) {
+      return Status::Corruption("location id out of range");
+    }
+    event.location = static_cast<LocationId>(target);
+  }
+
+  switch (event.type) {
+    case EventType::kStartLocation:
+    case EventType::kStartContainment: {
+      event.start = timestamp;
+      event.end = kInfiniteEpoch;
+      open_[{event.object, is_containment}] = timestamp;
+      break;
+    }
+    case EventType::kEndLocation:
+    case EventType::kEndContainment: {
+      auto it = open_.find({event.object, is_containment});
+      if (it == open_.end()) {
+        return Status::Corruption("End message without a matching open event");
+      }
+      event.start = it->second;
+      event.end = timestamp;
+      open_.erase(it);
+      break;
+    }
+    case EventType::kMissing:
+      event.start = timestamp;
+      event.end = timestamp;
+      break;
+  }
+  return event;
+}
+
+namespace {
+constexpr char kEventFileMagic[4] = {'S', 'P', 'E', 'V'};
+constexpr std::uint16_t kEventFileVersion = 1;
+}  // namespace
+
+Status WriteEventFile(const std::string& path, const EventStream& events) {
+  std::vector<std::uint8_t> bytes;
+  for (char c : kEventFileMagic) {
+    bytes.push_back(static_cast<std::uint8_t>(c));
+  }
+  bytes.push_back(static_cast<std::uint8_t>(kEventFileVersion >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(kEventFileVersion & 0xff));
+  SPIRE_RETURN_NOT_OK(EventEncoder::EncodeStream(events, &bytes));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EventStream> ReadEventFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  char header[6] = {};
+  in.read(header, sizeof(header));
+  if (!in.good() ||
+      std::memcmp(header, kEventFileMagic, sizeof(kEventFileMagic)) != 0) {
+    return Status::Corruption("not a SPIRE event file: " + path);
+  }
+  std::uint16_t version = static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(header[4]) << 8 |
+      static_cast<std::uint8_t>(header[5]));
+  if (version != kEventFileVersion) {
+    return Status::NotSupported("unsupported event-file version");
+  }
+  std::vector<std::uint8_t> records(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EventDecoder decoder;
+  return decoder.DecodeStream(records);
+}
+
+Result<EventStream> EventDecoder::DecodeStream(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() % kEventWireBytes != 0) {
+    return Status::Corruption("byte count is not a multiple of the record size");
+  }
+  EventStream stream;
+  stream.reserve(bytes.size() / kEventWireBytes);
+  for (std::size_t offset = 0; offset < bytes.size();
+       offset += kEventWireBytes) {
+    auto event = DecodeOne(bytes, offset);
+    if (!event.ok()) return event.status();
+    stream.push_back(event.value());
+  }
+  return stream;
+}
+
+}  // namespace spire

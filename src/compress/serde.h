@@ -1,0 +1,68 @@
+// Binary serialization of compressed event streams.
+//
+// The on-the-wire message layout (kEventWireBytes = 26 bytes, see
+// common/wire.h):
+//
+//   offset  size  field
+//   0       1     message type (EventType)
+//   1       12    object EPC (96-bit: 4 zero bytes + the 64-bit compact id)
+//   13      8     target: container EPC compact id, or location id zero-
+//                 padded, or the Missing message's locationMissingFrom
+//   21      4     timestamp: V_s for Start*/Missing, V_e for End*
+//   25      1     flags (bit 0: the target is a container)
+//
+// Exactly as in the paper's stream model, a Start* message carries only V_s
+// (V_e is implicitly infinity) and an End* message carries only V_e — the
+// decoder reconstructs the matching V_s by tracking open events, so decoding
+// is stateful and the stream must be well-formed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/event.h"
+
+namespace spire {
+
+/// Serializes events into a byte buffer. Stateless; append-only.
+class EventEncoder {
+ public:
+  /// Appends one message (kEventWireBytes bytes) to `out`. Fails on events
+  /// that cannot be represented (negative or > 32-bit timestamps).
+  static Status Encode(const Event& event, std::vector<std::uint8_t>* out);
+
+  /// Appends a whole stream.
+  static Status EncodeStream(const EventStream& stream,
+                             std::vector<std::uint8_t>* out);
+};
+
+/// Reconstructs events from bytes. Stateful: End* messages recover their
+/// V_s from the open event they close, so feed messages in stream order.
+class EventDecoder {
+ public:
+  /// Decodes exactly `bytes.size() / kEventWireBytes` messages; fails on a
+  /// partial record, an unknown message type, or an End* without a
+  /// matching open event.
+  Result<EventStream> DecodeStream(const std::vector<std::uint8_t>& bytes);
+
+  /// Decodes a single record starting at `offset`.
+  Result<Event> DecodeOne(const std::vector<std::uint8_t>& bytes,
+                          std::size_t offset);
+
+ private:
+  /// Open (object, is-containment) interval starts for V_s reconstruction.
+  std::map<std::pair<ObjectId, bool>, Epoch> open_;
+};
+
+/// Writes a stream as an event file: "SPEV" magic, u16 version, then the
+/// 26-byte records.
+Status WriteEventFile(const std::string& path, const EventStream& events);
+
+/// Reads an event file written by WriteEventFile.
+Result<EventStream> ReadEventFile(const std::string& path);
+
+}  // namespace spire

@@ -1,0 +1,116 @@
+#include "compress/well_formed.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/epc.h"
+
+namespace spire {
+
+namespace {
+
+struct OpenState {
+  bool location_open = false;
+  LocationId location = kUnknownLocation;
+  Epoch location_start = kNeverEpoch;
+  bool containment_open = false;
+  ObjectId container = kNoObject;
+  Epoch containment_start = kNeverEpoch;
+};
+
+Status Violation(const Event& event, const std::string& why) {
+  return Status::Corruption(why + ": " + event.ToString());
+}
+
+}  // namespace
+
+Status ValidateWellFormed(const EventStream& stream, bool allow_open_at_end) {
+  std::unordered_map<ObjectId, OpenState> open;
+  for (const Event& event : stream) {
+    OpenState& state = open[event.object];
+    switch (event.type) {
+      case EventType::kStartLocation:
+        if (state.location_open) {
+          return Violation(event, "nested StartLocation");
+        }
+        if (event.location == kUnknownLocation) {
+          return Violation(event, "StartLocation at the unknown location");
+        }
+        if (event.end != kInfiniteEpoch) {
+          return Violation(event, "StartLocation must leave V_e open");
+        }
+        state.location_open = true;
+        state.location = event.location;
+        state.location_start = event.start;
+        break;
+      case EventType::kEndLocation:
+        if (!state.location_open) {
+          return Violation(event, "EndLocation without matching start");
+        }
+        if (event.location != state.location) {
+          return Violation(event, "EndLocation location mismatch");
+        }
+        if (event.start != state.location_start) {
+          return Violation(event, "EndLocation V_s mismatch");
+        }
+        if (event.end < event.start) {
+          return Violation(event, "EndLocation with V_e < V_s");
+        }
+        state.location_open = false;
+        break;
+      case EventType::kStartContainment:
+        if (state.containment_open) {
+          return Violation(event, "nested StartContainment");
+        }
+        if (event.container == kNoObject) {
+          return Violation(event, "StartContainment without container");
+        }
+        if (event.end != kInfiniteEpoch) {
+          return Violation(event, "StartContainment must leave V_e open");
+        }
+        state.containment_open = true;
+        state.container = event.container;
+        state.containment_start = event.start;
+        break;
+      case EventType::kEndContainment:
+        if (!state.containment_open) {
+          return Violation(event, "EndContainment without matching start");
+        }
+        if (event.container != state.container) {
+          return Violation(event, "EndContainment container mismatch");
+        }
+        if (event.start != state.containment_start) {
+          return Violation(event, "EndContainment V_s mismatch");
+        }
+        if (event.end < event.start) {
+          return Violation(event, "EndContainment with V_e < V_s");
+        }
+        state.containment_open = false;
+        break;
+      case EventType::kMissing:
+        if (state.location_open) {
+          return Violation(event, "Missing inside a start-end location pair");
+        }
+        if (event.end != event.start) {
+          return Violation(event, "Missing must have V_e == V_s");
+        }
+        break;
+    }
+  }
+  if (!allow_open_at_end) {
+    for (const auto& [object, state] : open) {
+      if (state.location_open) {
+        return Status::Corruption("stream ends with open location event for " +
+                                  EpcToString(object));
+      }
+      if (state.containment_open) {
+        return Status::Corruption(
+            "stream ends with open containment event for " +
+            EpcToString(object));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spire

@@ -1,0 +1,22 @@
+// Well-formedness validation of compressed event streams (Section V-A).
+//
+// A stream is well-formed when, for every object, each start location
+// (containment) message has a matching end message, and a Missing message
+// appears outside any start-end location pair. Nesting is free-form:
+// a containment pair may span several location pairs (the pair moves
+// together through locations), may enclose Missing events, and a location
+// pair may cover several containment pairs (repacking in place).
+#pragma once
+
+#include "common/status.h"
+#include "compress/event.h"
+
+namespace spire {
+
+/// Checks the whole stream; the first violation is reported as a Corruption
+/// status naming the offending event. `allow_open_at_end` accepts streams
+/// whose trailing events are still open (a live stream observed mid-run).
+Status ValidateWellFormed(const EventStream& stream,
+                          bool allow_open_at_end = false);
+
+}  // namespace spire

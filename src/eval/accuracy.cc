@@ -1,0 +1,26 @@
+#include "eval/accuracy.h"
+
+namespace spire {
+
+AccuracyStats EvaluateEstimates(const InferenceResult& result,
+                                const PhysicalWorld& world,
+                                LocationId exclude_location) {
+  AccuracyStats stats;
+  for (const auto& [id, estimate] : result.estimates) {
+    const ObjectState* truth = world.Find(id);
+    if (truth == nullptr) continue;  // Already exited; nothing to score.
+    if (exclude_location != kUnknownLocation &&
+        truth->location == exclude_location) {
+      continue;
+    }
+    if (!estimate.withheld) {
+      ++stats.location_total;
+      if (estimate.location != truth->location) ++stats.location_errors;
+    }
+    ++stats.containment_total;
+    if (estimate.container != truth->parent) ++stats.containment_errors;
+  }
+  return stats;
+}
+
+}  // namespace spire

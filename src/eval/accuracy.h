@@ -1,0 +1,52 @@
+// Location and containment accuracy against the ground truth (Expts 1-4).
+//
+// An inference result is an error when it is inconsistent with the ground
+// truth: the estimated location differs from the object's true location, or
+// the estimated container differs from the true direct container. Objects
+// truly at the warm-up location (entry door, where no inference runs) are
+// excluded, as are withheld partial-inference results.
+#pragma once
+
+#include <cstddef>
+
+#include "inference/estimate.h"
+#include "sim/world.h"
+
+namespace spire {
+
+/// Accumulated error counts.
+struct AccuracyStats {
+  std::size_t location_total = 0;
+  std::size_t location_errors = 0;
+  std::size_t containment_total = 0;
+  std::size_t containment_errors = 0;
+
+  double LocationErrorRate() const {
+    return location_total == 0
+               ? 0.0
+               : static_cast<double>(location_errors) /
+                     static_cast<double>(location_total);
+  }
+  double ContainmentErrorRate() const {
+    return containment_total == 0
+               ? 0.0
+               : static_cast<double>(containment_errors) /
+                     static_cast<double>(containment_total);
+  }
+
+  AccuracyStats& operator+=(const AccuracyStats& other) {
+    location_total += other.location_total;
+    location_errors += other.location_errors;
+    containment_total += other.containment_total;
+    containment_errors += other.containment_errors;
+    return *this;
+  }
+};
+
+/// Scores one inference pass against the world. `exclude_location` removes
+/// the warm-up area from scoring (pass kUnknownLocation to score everything).
+AccuracyStats EvaluateEstimates(const InferenceResult& result,
+                                const PhysicalWorld& world,
+                                LocationId exclude_location);
+
+}  // namespace spire

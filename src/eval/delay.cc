@@ -1,0 +1,47 @@
+#include "eval/delay.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace spire {
+
+DelayStats EvaluateDetectionDelay(const std::vector<Theft>& thefts,
+                                  const EventStream& output, Epoch horizon) {
+  // Missing-event epochs per object, ascending.
+  std::unordered_map<ObjectId, std::vector<Epoch>> missing_at;
+  for (const Event& event : output) {
+    if (event.type == EventType::kMissing) {
+      missing_at[event.object].push_back(event.start);
+    }
+  }
+  for (auto& [id, epochs] : missing_at) {
+    std::sort(epochs.begin(), epochs.end());
+  }
+
+  DelayStats stats;
+  stats.thefts = thefts.size();
+  std::vector<Epoch> delays;
+  for (const Theft& theft : thefts) {
+    auto it = missing_at.find(theft.object);
+    if (it == missing_at.end()) continue;
+    auto first = std::lower_bound(it->second.begin(), it->second.end(),
+                                  theft.epoch);
+    if (first == it->second.end()) continue;
+    Epoch delay = *first - theft.epoch;
+    if (delay > horizon) continue;
+    delays.push_back(delay);
+  }
+  stats.detected = delays.size();
+  if (!delays.empty()) {
+    std::sort(delays.begin(), delays.end());
+    double sum = 0.0;
+    for (Epoch d : delays) sum += static_cast<double>(d);
+    stats.mean_delay = sum / static_cast<double>(delays.size());
+    stats.median_delay =
+        static_cast<double>(delays[delays.size() / 2]);
+    stats.max_delay = delays.back();
+  }
+  return stats;
+}
+
+}  // namespace spire

@@ -1,0 +1,35 @@
+// Anomaly-detection delay (Expt 4): how long after a theft the output
+// stream first reports the object missing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "compress/event.h"
+#include "sim/simulator.h"
+
+namespace spire {
+
+/// Aggregated detection-delay statistics over a trace's thefts.
+struct DelayStats {
+  std::size_t thefts = 0;
+  std::size_t detected = 0;
+  double mean_delay = 0.0;    ///< Mean epochs from theft to Missing event.
+  double median_delay = 0.0;
+  Epoch max_delay = 0;
+
+  double DetectionRate() const {
+    return thefts == 0 ? 0.0
+                       : static_cast<double>(detected) /
+                             static_cast<double>(thefts);
+  }
+};
+
+/// For each theft, finds the first Missing event for the stolen object at or
+/// after the theft epoch. `horizon` bounds the searched delay (a theft with
+/// no Missing event within the horizon counts as undetected).
+DelayStats EvaluateDetectionDelay(const std::vector<Theft>& thefts,
+                                  const EventStream& output,
+                                  Epoch horizon = 3600);
+
+}  // namespace spire

@@ -1,0 +1,175 @@
+#include "eval/event_accuracy.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+namespace spire {
+
+namespace {
+
+/// Key identifying "the same fact" in both streams: type + object + target.
+using FactKey = std::tuple<EventType, ObjectId, LocationId, ObjectId>;
+
+FactKey KeyOf(const RangedEvent& event) {
+  return {event.type, event.object, event.location, event.container};
+}
+
+bool InClass(const RangedEvent& event, EventClass event_class) {
+  switch (event_class) {
+    case EventClass::kAll:
+      return true;
+    case EventClass::kLocationOnly:
+      return event.type == EventType::kStartLocation ||
+             event.type == EventType::kMissing;
+    case EventClass::kContainmentOnly:
+      return event.type == EventType::kStartContainment;
+  }
+  return false;
+}
+
+/// A truth interval during which an object resides at no known location
+/// (between two stays, or after a theft).
+struct AbsenceInterval {
+  Epoch lo = kNeverEpoch;
+  Epoch hi = kInfiniteEpoch;
+  bool used = false;
+};
+
+}  // namespace
+
+EventStream StripLocationEvents(const EventStream& stream,
+                                LocationId location) {
+  EventStream kept;
+  kept.reserve(stream.size());
+  for (const Event& event : stream) {
+    const bool is_location_stay = event.type == EventType::kStartLocation ||
+                                  event.type == EventType::kEndLocation;
+    if (is_location_stay && event.location == location) continue;
+    kept.push_back(event);
+  }
+  return kept;
+}
+
+EventAccuracy CompareEventStreams(const EventStream& output,
+                                  const EventStream& truth,
+                                  EventClass event_class,
+                                  Epoch start_tolerance) {
+  std::vector<RangedEvent> folded_output = FoldEvents(output);
+  std::vector<RangedEvent> folded_truth = FoldEvents(truth);
+
+  // --- Index the truth ---------------------------------------------------
+  // Stays indexed by fact key, starts sorted per key.
+  struct Candidates {
+    std::vector<Epoch> starts;
+    std::vector<bool> used;
+  };
+  std::map<FactKey, Candidates> stay_index;
+  // Per-object location stays (to derive absence gaps) and Missing epochs.
+  std::map<ObjectId, std::vector<RangedEvent>> location_stays;
+  std::map<ObjectId, std::vector<Epoch>> truth_missing;
+  EventAccuracy accuracy;
+  for (const RangedEvent& event : folded_truth) {
+    if (event.type == EventType::kStartLocation) {
+      location_stays[event.object].push_back(event);
+    }
+    if (event.type == EventType::kMissing) {
+      truth_missing[event.object].push_back(event.start);
+    }
+    if (!InClass(event, event_class)) continue;
+    ++accuracy.truth_events;
+    if (event.type != EventType::kMissing) {
+      stay_index[KeyOf(event)].starts.push_back(event.start);
+    }
+  }
+  for (auto& [key, candidates] : stay_index) {
+    candidates.used.assign(candidates.starts.size(), false);
+  }
+
+  // An output Missing is correct when the object truly resided at no known
+  // location: between two stays, or forever after a theft. FoldEvents sorts
+  // per object by start, so gaps fall out of adjacent stays.
+  std::map<ObjectId, std::vector<AbsenceInterval>> absences;
+  for (auto& [object, stays] : location_stays) {
+    auto& gaps = absences[object];
+    for (std::size_t i = 0; i + 1 < stays.size(); ++i) {
+      if (stays[i].end != kInfiniteEpoch &&
+          stays[i + 1].start > stays[i].end) {
+        gaps.push_back({stays[i].end, stays[i + 1].start, false});
+      }
+    }
+    if (truth_missing.contains(object) && !stays.empty() &&
+        stays.back().end != kInfiniteEpoch) {
+      gaps.push_back({stays.back().end, kInfiniteEpoch, false});
+    }
+  }
+
+  // --- Match the output --------------------------------------------------
+  std::map<ObjectId, std::vector<Epoch>> output_missing;
+  for (const RangedEvent& event : folded_output) {
+    if (event.type == EventType::kMissing) {
+      output_missing[event.object].push_back(event.start);
+    }
+    if (!InClass(event, event_class)) continue;
+    ++accuracy.output_events;
+    if (event.type == EventType::kMissing) {
+      auto it = absences.find(event.object);
+      if (it == absences.end()) continue;
+      for (AbsenceInterval& gap : it->second) {
+        if (gap.used) continue;
+        if (event.start + start_tolerance >= gap.lo &&
+            (gap.hi == kInfiniteEpoch ||
+             event.start <= gap.hi + start_tolerance)) {
+          gap.used = true;
+          ++accuracy.matched_output;
+          break;
+        }
+      }
+      continue;
+    }
+    // Stays: claim the earliest unused truth stay of the same fact whose
+    // start is within the tolerance.
+    auto it = stay_index.find(KeyOf(event));
+    if (it == stay_index.end()) continue;
+    Candidates& candidates = it->second;
+    auto lo = std::lower_bound(candidates.starts.begin(),
+                               candidates.starts.end(),
+                               event.start - start_tolerance);
+    for (auto pos = lo; pos != candidates.starts.end() &&
+                        *pos <= event.start + start_tolerance;
+         ++pos) {
+      std::size_t index =
+          static_cast<std::size_t>(pos - candidates.starts.begin());
+      if (candidates.used[index]) continue;
+      candidates.used[index] = true;
+      ++accuracy.matched_output;
+      ++accuracy.matched_truth;
+      break;
+    }
+  }
+
+  // --- Recall side for truth Missing (thefts) ----------------------------
+  // A theft counts as recalled when the output ever reports the object
+  // missing at or after the theft; the matched count above only covered the
+  // output side, so add the truth-side hits here without double counting
+  // (Missing matched above consumed absence gaps, not truth Missing events).
+  if (event_class != EventClass::kContainmentOnly) {
+    for (const auto& [object, epochs] : truth_missing) {
+      auto it = output_missing.find(object);
+      if (it == output_missing.end()) continue;
+      for (Epoch theft : epochs) {
+        auto found = std::lower_bound(it->second.begin(), it->second.end(),
+                                      theft - start_tolerance);
+        if (found != it->second.end()) {
+          // The theft was detected: the truth Missing is recalled (the
+          // output side was already credited via the absence gap).
+          ++accuracy.matched_truth;
+        }
+      }
+    }
+  }
+  return accuracy;
+}
+
+}  // namespace spire

@@ -1,0 +1,66 @@
+// Event-stream accuracy: precision, recall and F-measure of an output event
+// stream against the compressed ground-truth stream (Expt 7).
+//
+// Streams are first folded into *ranged events* (a Start/End pair becomes a
+// single interval; Missing stays a point event). An output event matches a
+// ground-truth event when the type, object, and target (location or
+// container) agree and the start timestamps differ by at most a tolerance;
+// matching is greedy in start order and one-to-one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "compress/event.h"
+#include "compress/fold.h"
+
+namespace spire {
+
+/// What to score.
+enum class EventClass {
+  kAll,              ///< Location, containment, and missing events.
+  kLocationOnly,     ///< Location + missing (the SMURF-comparable subset).
+  kContainmentOnly,  ///< Containment events only.
+};
+
+/// Precision / recall / F-measure result. Stays are matched one-to-one and
+/// credit both sides; an output Missing credits precision when it falls in
+/// a truth absence gap, and a truth Missing (theft) credits recall when the
+/// output ever reports the object missing afterwards.
+struct EventAccuracy {
+  std::size_t output_events = 0;
+  std::size_t truth_events = 0;
+  std::size_t matched_output = 0;
+  std::size_t matched_truth = 0;
+
+  double Precision() const {
+    return output_events == 0 ? 0.0
+                              : static_cast<double>(matched_output) /
+                                    static_cast<double>(output_events);
+  }
+  double Recall() const {
+    return truth_events == 0 ? 0.0
+                             : static_cast<double>(matched_truth) /
+                                   static_cast<double>(truth_events);
+  }
+  double FMeasure() const {
+    double p = Precision(), r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Scores `output` against `truth`. `start_tolerance` bounds the allowed
+/// start-timestamp skew (inference reacts at reader cadence, so the default
+/// covers the slowest shelf period of the paper's setup).
+EventAccuracy CompareEventStreams(const EventStream& output,
+                                  const EventStream& truth,
+                                  EventClass event_class,
+                                  Epoch start_tolerance = 60);
+
+/// Removes Start/EndLocation events at `location`. SPIRE emits no output
+/// for the warm-up (entry door) area, so F-measure comparisons strip that
+/// location from every stream to compare like for like.
+EventStream StripLocationEvents(const EventStream& stream,
+                                LocationId location);
+
+}  // namespace spire

@@ -1,0 +1,21 @@
+#include "eval/size_accounting.h"
+
+namespace spire {
+
+std::size_t CountLocationMessages(const EventStream& stream) {
+  std::size_t n = 0;
+  for (const Event& event : stream) {
+    if (!IsContainmentEvent(event.type)) ++n;
+  }
+  return n;
+}
+
+std::size_t CountContainmentMessages(const EventStream& stream) {
+  std::size_t n = 0;
+  for (const Event& event : stream) {
+    if (IsContainmentEvent(event.type)) ++n;
+  }
+  return n;
+}
+
+}  // namespace spire

@@ -1,0 +1,30 @@
+// Compression-ratio accounting (Expt 8).
+#pragma once
+
+#include <cstddef>
+
+#include "common/wire.h"
+#include "compress/event.h"
+
+namespace spire {
+
+/// compression ratio = output event bytes / raw reading bytes.
+inline double CompressionRatio(std::size_t output_events,
+                               std::size_t raw_readings) {
+  if (raw_readings == 0) return 0.0;
+  return static_cast<double>(output_events * kEventWireBytes) /
+         static_cast<double>(raw_readings * kReadingWireBytes);
+}
+
+/// Ratio of a concrete stream against a raw reading count.
+inline double CompressionRatio(const EventStream& output,
+                               std::size_t raw_readings) {
+  return CompressionRatio(output.size(), raw_readings);
+}
+
+/// Events of a stream restricted to location messages (incl. Missing) or to
+/// containment messages — the paper reports both decompositions.
+std::size_t CountLocationMessages(const EventStream& stream);
+std::size_t CountContainmentMessages(const EventStream& stream);
+
+}  // namespace spire

@@ -1,0 +1,31 @@
+// Fixed-width text tables for the bench binaries' paper-style reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spire {
+
+/// Accumulates rows and renders an aligned, pipe-separated table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with fixed precision.
+  static std::string Num(double value, int precision = 4);
+
+  /// Renders header, separator, and rows.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spire

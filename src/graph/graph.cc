@@ -1,0 +1,155 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spire {
+
+Graph::Graph(int history_size) : history_size_(history_size) {
+  assert(history_size >= 1 && history_size <= ShiftRegister::kMaxCapacity);
+}
+
+void Graph::BeginEpoch(Epoch now) {
+  assert(now > now_);
+  now_ = now;
+  for (auto& layer_index : colored_index_) layer_index.clear();
+  colored_nodes_.clear();
+}
+
+Node& Graph::GetOrCreateNode(ObjectId id) {
+  auto [it, inserted] = nodes_.try_emplace(id);
+  if (inserted) {
+    Node& node = it->second;
+    node.id = id;
+    node.layer = EpcLayer(id);
+  }
+  return it->second;
+}
+
+void Graph::ColorNode(Node& node, LocationId color) {
+  if (IsColored(node) && node.recent_color == color) return;
+  node.recent_color = color;
+  node.seen_at = now_;
+  if (node.colored_epoch != now_) {
+    node.colored_epoch = now_;
+    colored_nodes_.push_back(node.id);
+  }
+  colored_index_[node.layer][color].push_back(node.id);
+}
+
+Node* Graph::FindNode(ObjectId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const Node* Graph::FindNode(ObjectId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+EdgeId Graph::AddEdge(ObjectId parent, ObjectId child) {
+  EdgeId existing = FindEdge(parent, child);
+  if (existing != kNoEdge) return existing;
+
+  EdgeId id;
+  if (!free_edges_.empty()) {
+    id = free_edges_.back();
+    free_edges_.pop_back();
+  } else {
+    id = static_cast<EdgeId>(edges_.size());
+    edges_.emplace_back();
+  }
+  Edge& e = edges_[id];
+  e = Edge{};
+  e.parent = parent;
+  e.child = child;
+  e.recent_colocations = ShiftRegister(history_size_);
+  e.created_at = now_;
+  e.alive = true;
+
+  GetOrCreateNode(parent).child_edges.push_back(id);
+  GetOrCreateNode(child).parent_edges.push_back(id);
+  ++num_alive_edges_;
+  return id;
+}
+
+EdgeId Graph::FindEdge(ObjectId parent, ObjectId child) const {
+  const Node* child_node = FindNode(child);
+  if (child_node == nullptr) return kNoEdge;
+  for (EdgeId id : child_node->parent_edges) {
+    if (edges_[id].parent == parent) return id;
+  }
+  return kNoEdge;
+}
+
+void Graph::RemoveEdge(EdgeId id) {
+  Edge& e = edges_[id];
+  assert(e.alive);
+  if (Node* parent = FindNode(e.parent)) {
+    DetachFromAdjacency(parent->child_edges, id);
+  }
+  if (Node* child = FindNode(e.child)) {
+    DetachFromAdjacency(child->parent_edges, id);
+  }
+  e.alive = false;
+  free_edges_.push_back(id);
+  --num_alive_edges_;
+}
+
+void Graph::RemoveNode(ObjectId id) {
+  Node* node = FindNode(id);
+  if (node == nullptr) return;
+  // Copy: RemoveEdge mutates the adjacency lists.
+  std::vector<EdgeId> incident = node->parent_edges;
+  incident.insert(incident.end(), node->child_edges.begin(),
+                  node->child_edges.end());
+  for (EdgeId e : incident) RemoveEdge(e);
+  // The per-epoch color index may still reference the node; uncolor lazily
+  // is not possible for removed ids, so purge it eagerly.
+  if (node->colored_epoch == now_) {
+    auto& by_color = colored_index_[node->layer];
+    auto it = by_color.find(node->recent_color);
+    if (it != by_color.end()) {
+      auto& vec = it->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+    }
+    colored_nodes_.erase(
+        std::remove(colored_nodes_.begin(), colored_nodes_.end(), id),
+        colored_nodes_.end());
+  }
+  nodes_.erase(id);
+}
+
+const std::vector<ObjectId>& Graph::ColoredAt(LocationId color,
+                                              int layer) const {
+  static const std::vector<ObjectId> kEmpty;
+  assert(layer >= 0 && layer < kNumPackagingLevels);
+  const auto& by_color = colored_index_[layer];
+  auto it = by_color.find(color);
+  return it == by_color.end() ? kEmpty : it->second;
+}
+
+std::size_t Graph::MemoryUsage() const {
+  std::size_t bytes = 0;
+  // Hash-map node storage: entry payload plus an assumed bucket/control
+  // overhead of two pointers per entry.
+  bytes += nodes_.size() * (sizeof(Node) + 2 * sizeof(void*));
+  for (const auto& [id, node] : nodes_) {
+    bytes += node.parent_edges.capacity() * sizeof(EdgeId);
+    bytes += node.child_edges.capacity() * sizeof(EdgeId);
+  }
+  bytes += edges_.capacity() * sizeof(Edge);
+  bytes += free_edges_.capacity() * sizeof(EdgeId);
+  bytes += colored_nodes_.capacity() * sizeof(ObjectId);
+  return bytes;
+}
+
+void Graph::DetachFromAdjacency(std::vector<EdgeId>& list, EdgeId id) {
+  auto it = std::find(list.begin(), list.end(), id);
+  if (it != list.end()) {
+    *it = list.back();
+    list.pop_back();
+  }
+}
+
+}  // namespace spire

@@ -1,0 +1,165 @@
+// The time-varying colored graph model (Section III-A).
+//
+// Nodes are RFID-tagged objects, arranged in layers by packaging level and
+// colored by the location where they were observed in the current epoch; an
+// unobserved node is uncolored but remembers its most recent color and
+// observation time. Directed edges parent -> child encode *possible*
+// containment; an edge never connects two nodes of different colors. Each
+// edge carries a shift-register of recent co-location evidence, and each
+// node remembers the last container confirmed by a special reader together
+// with a count of conflicting observations since that confirmation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/epc.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace spire {
+
+/// Index of an edge in the graph's edge arena.
+using EdgeId = std::uint32_t;
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// The last containment confirmation a node received from a special reader.
+struct ConfirmedParent {
+  ObjectId parent = kNoObject;
+  Epoch confirmed_at = kNeverEpoch;
+  /// Observations conflicting with the confirmation since it was made
+  /// (drives the adaptive-beta heuristic of Section VI, Expt 1).
+  int conflicts = 0;
+  /// Observations in which the confirmed edge was exercised (either
+  /// co-location or one-sided observation) since the confirmation.
+  int observations = 0;
+};
+
+/// A graph node: one RFID-tagged object.
+struct Node {
+  ObjectId id = kNoObject;
+  /// Layer = packaging level (item 0, case 1, pallet 2).
+  int layer = 0;
+  /// Most recent color and when it was observed ((recent color, seen at) of
+  /// Section III-A). The node is *colored* in the current epoch iff
+  /// colored_epoch equals the graph's current epoch.
+  LocationId recent_color = kUnknownLocation;
+  Epoch seen_at = kNeverEpoch;
+  Epoch colored_epoch = kNeverEpoch;
+  ConfirmedParent confirmed;
+  /// Incoming edges (possible containers) and outgoing edges (possible
+  /// contents).
+  std::vector<EdgeId> parent_edges;
+  std::vector<EdgeId> child_edges;
+};
+
+/// A directed containment-candidate edge parent -> child.
+struct Edge {
+  ObjectId parent = kNoObject;
+  ObjectId child = kNoObject;
+  /// recent_co-locations: positive/negative co-location evidence, newest
+  /// observation at index 0.
+  ShiftRegister recent_colocations{32};
+  Epoch update_time = kNeverEpoch;
+  Epoch created_at = kNeverEpoch;
+  bool alive = false;
+};
+
+/// The mutable graph. One instance lives for the whole stream; the data
+/// capture module updates it every epoch and the interpretation module reads
+/// (and prunes) it.
+class Graph {
+ public:
+  /// `history_size` is S, the capacity of every edge's co-location register.
+  explicit Graph(int history_size = 32);
+
+  /// Starts a new epoch: all nodes become uncolored (lazily, via the epoch
+  /// stamp) and the per-epoch color index is cleared. `now` must increase
+  /// strictly.
+  void BeginEpoch(Epoch now);
+
+  Epoch now() const { return now_; }
+
+  /// Finds or creates the node for an object; the layer is decoded from the
+  /// EPC id. Returns the node.
+  Node& GetOrCreateNode(ObjectId id);
+
+  /// Colors a node for the current epoch and updates (recent color, seen
+  /// at). Also registers the node in the per-epoch color index.
+  void ColorNode(Node& node, LocationId color);
+
+  /// True iff the node was observed in the current epoch.
+  bool IsColored(const Node& node) const { return node.colored_epoch == now_; }
+
+  /// The node's color this epoch, or kUnknownLocation when uncolored.
+  LocationId ColorOf(const Node& node) const {
+    return IsColored(node) ? node.recent_color : kUnknownLocation;
+  }
+
+  /// Node lookup; nullptr when the object has no node.
+  Node* FindNode(ObjectId id);
+  const Node* FindNode(ObjectId id) const;
+
+  /// Creates the edge parent -> child unless it already exists; returns its
+  /// id either way. The caller guarantees the color constraint.
+  EdgeId AddEdge(ObjectId parent, ObjectId child);
+
+  /// Looks up an existing edge parent -> child, or kNoEdge.
+  EdgeId FindEdge(ObjectId parent, ObjectId child) const;
+
+  /// Removes an edge from the arena and both adjacency lists.
+  void RemoveEdge(EdgeId id);
+
+  /// Removes a node and all its incident edges (used when an object exits
+  /// the physical world through a proper channel).
+  void RemoveNode(ObjectId id);
+
+  Edge& edge(EdgeId id) { return edges_[id]; }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// The node at the other end of an edge, as seen from `from`.
+  ObjectId OtherEnd(const Edge& e, ObjectId from) const {
+    return e.parent == from ? e.child : e.parent;
+  }
+
+  /// Nodes colored `color` in the current epoch at the given layer.
+  const std::vector<ObjectId>& ColoredAt(LocationId color, int layer) const;
+
+  /// All nodes colored in the current epoch (seed set for inference).
+  const std::vector<ObjectId>& ColoredNodes() const { return colored_nodes_; }
+
+  /// All nodes (stable reference map; iteration order unspecified).
+  const std::unordered_map<ObjectId, Node>& nodes() const { return nodes_; }
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t NumEdges() const { return num_alive_edges_; }
+
+  /// Upper bound on edge-arena slots (alive + free-listed); edge ids are
+  /// always < EdgeCapacity().
+  std::size_t EdgeCapacity() const { return edges_.size(); }
+
+  int history_size() const { return history_size_; }
+
+  /// Deterministic memory accounting in bytes: node, edge, adjacency and
+  /// index footprints. Used by the Expt-6 reproduction in place of JVM heap
+  /// measurements.
+  std::size_t MemoryUsage() const;
+
+ private:
+  void DetachFromAdjacency(std::vector<EdgeId>& list, EdgeId id);
+
+  int history_size_;
+  Epoch now_ = kNeverEpoch;
+  std::unordered_map<ObjectId, Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<EdgeId> free_edges_;
+  std::size_t num_alive_edges_ = 0;
+  /// Per-epoch index: color -> layer -> colored nodes.
+  std::map<LocationId, std::vector<ObjectId>> colored_index_[kNumPackagingLevels];
+  std::vector<ObjectId> colored_nodes_;
+};
+
+}  // namespace spire

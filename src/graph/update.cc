@@ -1,0 +1,220 @@
+#include "graph/update.h"
+
+#include <algorithm>
+#include <array>
+
+namespace spire {
+
+UpdateStats& UpdateStats::operator+=(const UpdateStats& other) {
+  readings += other.readings;
+  nodes_created += other.nodes_created;
+  edges_created += other.edges_created;
+  edges_removed += other.edges_removed;
+  colocations_recorded += other.colocations_recorded;
+  confirmations += other.confirmations;
+  conflicts_recorded += other.conflicts_recorded;
+  return *this;
+}
+
+void GraphUpdater::BeginEpoch(Epoch now) {
+  graph_->BeginEpoch(now);
+  exited_.clear();
+}
+
+UpdateStats GraphUpdater::ApplyEpoch(const EpochBatch& batch) {
+  BeginEpoch(batch.epoch);
+  UpdateStats stats;
+  for (const ReaderBatch& reader_batch : batch.per_reader) {
+    stats += ApplyReaderBatch(reader_batch);
+  }
+  return stats;
+}
+
+GraphUpdater::Confirmation GraphUpdater::ComputeConfirmation(
+    const ReaderBatch& batch) const {
+  Confirmation confirmation;
+  // Domain knowledge (Section III-B): a belt reader scans one top-level
+  // container at a time. When the batch contains exactly one object at its
+  // highest packaging level, that object is the confirmed top-level
+  // container and every adjacent-layer object in the batch is confirmed to
+  // be directly contained in it. (Objects two layers down — items under a
+  // scanned pallet — are not confirmed: their direct container is unknown.)
+  int top_layer = -1;
+  int top_count = 0;
+  for (ObjectId tag : batch.tags) {
+    int layer = EpcLayer(tag);
+    if (layer > top_layer) {
+      top_layer = layer;
+      top_count = 1;
+      confirmation.top = tag;
+    } else if (layer == top_layer) {
+      ++top_count;
+    }
+  }
+  if (top_count != 1 || top_layer <= 0) return confirmation;
+  confirmation.active = true;
+  for (ObjectId tag : batch.tags) {
+    if (EpcLayer(tag) == top_layer - 1) confirmation.children.insert(tag);
+  }
+  return confirmation;
+}
+
+UpdateStats GraphUpdater::ApplyReaderBatch(const ReaderBatch& batch) {
+  UpdateStats stats;
+  auto reader = registry_->GetReader(batch.reader);
+  if (!reader.ok() || batch.tags.empty()) return stats;
+  // Mobile readers resolve to their patrol stop for this epoch.
+  const LocationId color = registry_->LocationAt(batch.reader, graph_->now());
+  const bool special = IsSpecialReader(reader.value().type);
+  const bool exit = IsExitReader(reader.value().type);
+
+  // Step 1: create and color nodes; remember which gained a *new* color
+  // (just created, or observed at a different location than their most
+  // recent color) — only those spawn edges in step 2.
+  std::unordered_set<ObjectId> new_color;
+  std::array<std::vector<ObjectId>, kNumPackagingLevels> by_layer;
+  for (ObjectId tag : batch.tags) {
+    Node* existing = graph_->FindNode(tag);
+    if (existing == nullptr) {
+      ++stats.nodes_created;
+      new_color.insert(tag);
+    } else if (existing->recent_color != color) {
+      new_color.insert(tag);
+    }
+    Node& node = graph_->GetOrCreateNode(tag);
+    graph_->ColorNode(node, color);
+    by_layer[static_cast<std::size_t>(node.layer)].push_back(tag);
+    ++stats.readings;
+    if (exit) exited_.push_back(tag);
+  }
+
+  Confirmation confirmation =
+      special ? ComputeConfirmation(batch) : Confirmation{};
+
+  // Steps 2-4, packaging levels bottom-up (Fig. 4 line 7).
+  for (int layer = 0; layer < kNumPackagingLevels; ++layer) {
+    for (ObjectId tag : by_layer[static_cast<std::size_t>(layer)]) {
+      Node& v = *graph_->FindNode(tag);
+
+      // Step 2: connect a newly colored node to same-colored nodes in the
+      // closest layer above and below (edges may cross layers when the
+      // adjacent layer has no node of this color).
+      if (new_color.contains(tag)) {
+        for (int above = layer + 1; above < kNumPackagingLevels; ++above) {
+          const auto& candidates = graph_->ColoredAt(color, above);
+          if (candidates.empty()) continue;
+          for (ObjectId parent : candidates) {
+            if (graph_->FindEdge(parent, tag) == kNoEdge) {
+              graph_->AddEdge(parent, tag);
+              ++stats.edges_created;
+            }
+          }
+          break;
+        }
+        for (int below = layer - 1; below >= 0; --below) {
+          const auto& candidates = graph_->ColoredAt(color, below);
+          if (candidates.empty()) continue;
+          for (ObjectId child : candidates) {
+            if (graph_->FindEdge(tag, child) == kNoEdge) {
+              graph_->AddEdge(tag, child);
+              ++stats.edges_created;
+            }
+          }
+          break;
+        }
+      }
+
+      // Steps 3-4: examine every incident edge once per epoch.
+      ProcessIncidentEdges(v, color, confirmation, &stats);
+    }
+  }
+  return stats;
+}
+
+void GraphUpdater::ProcessIncidentEdges(Node& v, LocationId color,
+                                        const Confirmation& confirmation,
+                                        UpdateStats* stats) {
+  const Epoch now = graph_->now();
+  // Copy: edge removal mutates the adjacency lists.
+  std::vector<EdgeId> incident = v.parent_edges;
+  incident.insert(incident.end(), v.child_edges.begin(), v.child_edges.end());
+
+  for (EdgeId id : incident) {
+    Edge& e = graph_->edge(id);
+    if (!e.alive) continue;
+    ObjectId other_id = graph_->OtherEnd(e, v.id);
+    Node* other = graph_->FindNode(other_id);
+    if (other == nullptr) continue;
+
+    const bool other_colored = graph_->IsColored(*other);
+    const bool same_color = other_colored && other->recent_color == color;
+    // When both endpoints are colored alike this epoch, the edge is handled
+    // once, from the higher packaging level (cost analysis, Section III-B).
+    if (same_color && other->layer > v.layer) continue;
+
+    // Step 3: remove outdated edges.
+    bool drop = false;
+    if (e.created_at < now && other_colored && !same_color) {
+      // Two previously co-located objects now report different locations.
+      drop = true;
+    }
+    if (!drop && confirmation.active) {
+      if (e.child == confirmation.top) {
+        // The child is a confirmed top-level container: it has no parent.
+        drop = true;
+      } else if (confirmation.children.contains(e.child) &&
+                 e.parent != confirmation.top) {
+        // The child's container is confirmed to be `top`; competing parent
+        // edges are eliminated.
+        drop = true;
+      }
+    }
+    if (drop) {
+      graph_->RemoveEdge(id);
+      ++stats->edges_removed;
+      continue;
+    }
+
+    // Step 4: update edge statistics once per epoch.
+    if (e.update_time < now) {
+      UpdateEdgeStats(e, same_color, confirmation, stats);
+      e.update_time = now;
+    }
+  }
+}
+
+void GraphUpdater::UpdateEdgeStats(Edge& e, bool same_color,
+                                   const Confirmation& confirmation,
+                                   UpdateStats* stats) {
+  const Epoch now = graph_->now();
+  // Right-shift the history and record the newest observation.
+  e.recent_colocations.Push(same_color);
+  if (same_color) ++stats->colocations_recorded;
+
+  Node* child = graph_->FindNode(e.child);
+  if (child == nullptr) return;
+
+  if (same_color && confirmation.active && e.parent == confirmation.top &&
+      confirmation.children.contains(e.child)) {
+    // A special reader confirmed this containment.
+    child->confirmed.parent = e.parent;
+    child->confirmed.confirmed_at = now;
+    child->confirmed.conflicts = 0;
+    child->confirmed.observations = 0;
+    ++stats->confirmations;
+    return;
+  }
+
+  if (child->confirmed.parent == e.parent &&
+      child->confirmed.confirmed_at != kNeverEpoch) {
+    // The confirmed edge was exercised: track agreement/conflict for the
+    // adaptive-beta heuristic and the conflict count of Section III-A.
+    ++child->confirmed.observations;
+    if (!same_color) {
+      ++child->confirmed.conflicts;
+      ++stats->conflicts_recorded;
+    }
+  }
+}
+
+}  // namespace spire

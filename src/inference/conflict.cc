@@ -1,0 +1,108 @@
+#include "inference/conflict.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/epc.h"
+
+namespace spire {
+
+ConflictStats ResolveConflicts(InferenceResult* result) {
+  ConflictStats stats;
+
+  // Group children by their chosen container (only containers that have an
+  // estimate in this pass can be resolved against).
+  std::unordered_map<ObjectId, std::vector<ObjectId>> children_of;
+  for (const auto& [id, estimate] : result->estimates) {
+    if (estimate.container == kNoObject) continue;
+    if (!result->estimates.contains(estimate.container)) continue;
+    children_of[estimate.container].push_back(id);
+  }
+
+  // Parents before children: higher packaging layers first, ids for
+  // determinism. A case overridden by its pallet then resolves against its
+  // own items with the updated location.
+  std::vector<ObjectId> parents;
+  parents.reserve(children_of.size());
+  for (const auto& [parent, kids] : children_of) parents.push_back(parent);
+  std::sort(parents.begin(), parents.end(), [](ObjectId a, ObjectId b) {
+    int la = EpcLayer(a), lb = EpcLayer(b);
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+
+  // Locations fixed by containment priority in this pass: once a child is
+  // overridden (Rule I/III), its location is as trustworthy as an observed
+  // one when the child is later processed as a parent itself — otherwise a
+  // child poll could undo the override.
+  std::unordered_set<ObjectId> pinned;
+
+  for (ObjectId parent_id : parents) {
+    ObjectEstimate& parent = result->estimates.at(parent_id);
+    std::vector<ObjectId>& kids = children_of.at(parent_id);
+    std::sort(kids.begin(), kids.end());
+    const bool parent_known = parent.observed || pinned.contains(parent_id);
+
+    if (!parent_known && !parent.withheld) {
+      // Rules II/III preamble: poll the children for a majority location.
+      std::map<LocationId, int> votes;
+      for (ObjectId child_id : kids) {
+        const ObjectEstimate& child = result->estimates.at(child_id);
+        if (child.location != kUnknownLocation) ++votes[child.location];
+      }
+      LocationId best = kUnknownLocation;
+      int best_count = 0;
+      for (const auto& [location, count] : votes) {
+        if (count > best_count) {
+          best_count = count;
+          best = location;
+        }
+      }
+      if (best != kUnknownLocation &&
+          2 * best_count > static_cast<int>(kids.size()) &&
+          best != parent.location) {
+        parent.location = best;
+        parent.withheld = false;
+        ++stats.parents_repositioned;
+      }
+    }
+
+    if (parent.withheld) continue;  // No usable parent location this pass.
+    // A missing parent is not a color: an object may be reported missing
+    // while its containment stands (Section V-A), so there is no location
+    // conflict to resolve against it.
+    if (parent.location == kUnknownLocation) continue;
+
+    for (ObjectId child_id : kids) {
+      ObjectEstimate& child = result->estimates.at(child_id);
+      if (child.location == parent.location) continue;
+      // Likewise, a child inferred missing stays missing: Missing events
+      // nest inside containment pairs, and keeping the verdict is what
+      // detects objects that silently vanished from their containers.
+      if (child.location == kUnknownLocation && !child.observed) continue;
+      if (child.observed) {
+        if (parent.observed) continue;  // Cannot happen for a live edge.
+        // Rule II: an observed child that still disagrees ends the
+        // containment relationship.
+        child.container = kNoObject;
+        child.container_prob = 0.0;
+        ++stats.containments_ended;
+      } else {
+        // Rules I and III: containment overrides the inferred child.
+        child.location = parent.location;
+        child.location_prob = parent.location_prob;
+        child.withheld = parent.location == kUnknownLocation
+                             ? child.withheld
+                             : false;
+        pinned.insert(child_id);
+        ++stats.children_overridden;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace spire

@@ -1,0 +1,38 @@
+// Conflict resolution between location and containment inference
+// (Section IV-E, Table I).
+//
+// Iterative inference can leave the two endpoints of a chosen containment
+// edge with different locations (their colors were inferred in different
+// waves). Since a containment relationship — often confirmed by a special
+// reader — carries more reliable information than an inferred location, the
+// resolution gives priority to containment:
+//
+//   Rule I   parent observed, child inferred  -> override the child.
+//   Rule II  parent inferred, child observed  -> poll all children; adopt a
+//            majority location for the parent if one exists; then end the
+//            containment of still-conflicting observed children.
+//   Rule III parent inferred, child inferred  -> after the majority vote,
+//            override still-conflicting inferred children.
+//
+// Polling requires all children, so this runs as a post-processing step over
+// the full inference result (merged into the output path), parents before
+// children (higher packaging layers first).
+#pragma once
+
+#include <cstddef>
+
+#include "inference/estimate.h"
+
+namespace spire {
+
+/// Counters for observability and tests.
+struct ConflictStats {
+  std::size_t children_overridden = 0;   ///< Rule I and Rule III overrides.
+  std::size_t parents_repositioned = 0;  ///< Majority votes that moved a parent.
+  std::size_t containments_ended = 0;    ///< Rule II terminations.
+};
+
+/// Resolves all conflicts in `result` in place.
+ConflictStats ResolveConflicts(InferenceResult* result);
+
+}  // namespace spire

@@ -1,0 +1,84 @@
+#include "inference/edge_inference.h"
+
+#include <cmath>
+
+namespace spire {
+
+void EdgeInferencer::BeginPass() {
+  probabilities_.assign(graph_->EdgeCapacity(), 0.0);
+}
+
+double EdgeInferencer::Weight(const Edge& edge) const {
+  const ShiftRegister& bits = edge.recent_colocations;
+  const int n = bits.size();
+  if (n == 0) return 0.0;
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // The paper's Eq. 1 indexes 1/i^alpha from i = 0; we use (i+1)^alpha to
+    // keep the most recent term finite (see DESIGN.md).
+    double zipf = params_->alpha == 0.0
+                      ? 1.0
+                      : 1.0 / std::pow(static_cast<double>(i + 1),
+                                       params_->alpha);
+    if (bits.Get(i)) numerator += zipf;
+    denominator += zipf;
+  }
+  return numerator / denominator;
+}
+
+double EdgeInferencer::EffectiveBeta(const Node& child) const {
+  if (!params_->adaptive_beta) return params_->beta;
+  const ConfirmedParent& confirmed = child.confirmed;
+  if (confirmed.confirmed_at == kNeverEpoch) return params_->beta;
+  if (confirmed.observations == 0) return 0.0;
+  return static_cast<double>(confirmed.conflicts) /
+         static_cast<double>(confirmed.observations);
+}
+
+double EdgeInferencer::Confidence(const Edge& edge, const Node& child) const {
+  const double beta = EffectiveBeta(child);
+  const bool is_confirmed_edge =
+      child.confirmed.confirmed_at != kNeverEpoch &&
+      child.confirmed.parent == edge.parent;
+  const double memory = is_confirmed_edge ? 1.0 : 0.0;
+  return (1.0 - beta) * memory + beta * Weight(edge);
+}
+
+EdgeInferenceResult EdgeInferencer::InferAt(const Node& node,
+                                            std::vector<EdgeId>* prunable) {
+  EdgeInferenceResult result;
+  if (node.parent_edges.empty()) return result;
+
+  double total = 0.0;
+  double best_confidence = -1.0;
+  for (EdgeId id : node.parent_edges) {
+    const Edge& edge = graph_->edge(id);
+    const double confidence = Confidence(edge, node);
+    // Stash the unnormalized confidence; normalized below.
+    if (id >= probabilities_.size()) probabilities_.resize(id + 1, 0.0);
+    probabilities_[id] = confidence;
+    total += confidence;
+    if (confidence > best_confidence) {
+      best_confidence = confidence;
+      result.best_edge = id;
+      result.best_parent = edge.parent;
+    }
+    if (prunable != nullptr && params_->prune_threshold > 0.0 &&
+        confidence < params_->prune_threshold) {
+      prunable->push_back(id);
+    }
+  }
+  if (total > 0.0) {
+    for (EdgeId id : node.parent_edges) probabilities_[id] /= total;
+    result.best_prob = probabilities_[result.best_edge];
+  } else {
+    // No edge carries any evidence: fall back to a uniform distribution.
+    const double uniform = 1.0 / static_cast<double>(node.parent_edges.size());
+    for (EdgeId id : node.parent_edges) probabilities_[id] = uniform;
+    result.best_prob = uniform;
+  }
+  return result;
+}
+
+}  // namespace spire

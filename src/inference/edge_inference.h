@@ -1,0 +1,69 @@
+// Edge inference (Section IV-A): the most likely container of an object.
+//
+// For every incoming edge of a node, a weight is computed from the edge's
+// recent co-location history (Eq. 1), blended with the node's last
+// special-reader confirmation (Eq. 2), and normalized into a probability
+// distribution over the candidate containers. The unnormalized blend is the
+// edge's *confidence*, which also drives graph pruning (Expt 6).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "inference/params.h"
+
+namespace spire {
+
+/// The outcome of edge inference at one node.
+struct EdgeInferenceResult {
+  /// The argmax incoming edge, or kNoEdge when the node has no parents.
+  EdgeId best_edge = kNoEdge;
+  ObjectId best_parent = kNoObject;
+  double best_prob = 0.0;
+};
+
+/// Computes Eqs. 1-2 over a graph. The per-edge probabilities of the last
+/// call per node are stored in a dense arena (indexed by EdgeId) so that
+/// node inference can later read the propagation weight of any edge.
+class EdgeInferencer {
+ public:
+  EdgeInferencer(const Graph* graph, const InferenceParams* params)
+      : graph_(graph), params_(params) {}
+
+  /// Eq. 1: the normalized Zipf-weighted co-location weight of an edge.
+  /// History is normalized over the observations actually held (at most S),
+  /// so a fresh edge with one positive instance has weight 1.
+  double Weight(const Edge& edge) const;
+
+  /// Eq. 2 numerator: (1-beta) * m(e) + beta * w(e), before normalization.
+  /// `beta` is resolved per node when the adaptive heuristic is enabled.
+  double Confidence(const Edge& edge, const Node& child) const;
+
+  /// Runs edge inference over all incoming edges of `node`: fills the edge
+  /// probability arena and returns the most likely parent. Optionally
+  /// collects the ids of edges whose confidence fell below the pruning
+  /// threshold (the caller removes them; pruning never happens here so the
+  /// computation stays read-only).
+  EdgeInferenceResult InferAt(const Node& node,
+                              std::vector<EdgeId>* prunable = nullptr);
+
+  /// The probability assigned to an edge by the last InferAt() on its child
+  /// node; 0 for edges not yet visited this pass.
+  double ProbabilityOf(EdgeId edge) const {
+    return edge < probabilities_.size() ? probabilities_[edge] : 0.0;
+  }
+
+  /// Resets the probability arena for a new inference pass.
+  void BeginPass();
+
+  /// The effective beta for a node (adaptive heuristic of Expt 1: the
+  /// fraction of conflicting observations since the last confirmation).
+  double EffectiveBeta(const Node& child) const;
+
+ private:
+  const Graph* graph_;
+  const InferenceParams* params_;
+  std::vector<double> probabilities_;
+};
+
+}  // namespace spire

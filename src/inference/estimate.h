@@ -1,0 +1,40 @@
+// Per-object interpretation results.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace spire {
+
+/// The most-likely state of one object, as estimated by iterative inference
+/// (Section IV) and possibly amended by conflict resolution (Table I).
+struct ObjectEstimate {
+  ObjectId object = kNoObject;
+  /// argmax_k resides(o, l_k, now); kUnknownLocation when the object is most
+  /// likely absent from every known location.
+  LocationId location = kUnknownLocation;
+  /// Probability of the chosen location.
+  double location_prob = 0.0;
+  /// argmax_j contained(o, o_j, *, now); kNoObject when uncontained.
+  ObjectId container = kNoObject;
+  /// Probability of the chosen container edge.
+  double container_prob = 0.0;
+  /// True when the object was directly observed this epoch (d = 0).
+  bool observed = false;
+  /// True when the location result must be withheld from output: partial
+  /// inference produced "unknown" from an incomplete view (Section IV-D).
+  bool withheld = false;
+};
+
+/// Results of one inference pass, keyed by object.
+struct InferenceResult {
+  Epoch epoch = kNeverEpoch;
+  /// True for complete inference, false for partial.
+  bool complete = false;
+  std::unordered_map<ObjectId, ObjectEstimate> estimates;
+  /// Edges pruned during this pass.
+  std::size_t edges_pruned = 0;
+};
+
+}  // namespace spire

@@ -1,0 +1,151 @@
+#include "inference/iterative.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace spire {
+
+std::vector<Epoch> IterativeInference::LocationPeriods(
+    const ReaderRegistry* registry) {
+  if (registry == nullptr) return {};
+  return spire::LocationPeriods(*registry);
+}
+
+EdgeInferenceResult IterativeInference::InferEdgesAndPrune(
+    const Node& node, InferenceResult* result) {
+  std::vector<EdgeId> prunable;
+  EdgeInferenceResult inferred = edge_inferencer_.InferAt(node, &prunable);
+  for (EdgeId id : prunable) {
+    if (id == inferred.best_edge) {
+      // The chosen edge itself fell below the threshold: the containment
+      // evidence is too weak to keep.
+      inferred.best_edge = kNoEdge;
+      inferred.best_parent = kNoObject;
+      inferred.best_prob = 0.0;
+    }
+    graph_->RemoveEdge(id);
+    ++result->edges_pruned;
+  }
+  return inferred;
+}
+
+InferenceResult IterativeInference::Run(Epoch now, bool complete) {
+  InferenceResult result;
+  result.epoch = now;
+  result.complete = complete;
+  edge_inferencer_.BeginPass();
+
+  // Colors known so far in this pass (observed or committed estimates).
+  std::unordered_map<ObjectId, LocationId> known_color;
+  const auto color_of = [&](const Node& node) -> LocationId {
+    if (graph_->IsColored(node)) return node.recent_color;
+    auto it = known_color.find(node.id);
+    return it == known_color.end() ? kUnknownLocation : it->second;
+  };
+
+  std::unordered_set<ObjectId> visited;
+  std::vector<ObjectId> wave = graph_->ColoredNodes();
+  for (ObjectId id : wave) visited.insert(id);
+
+  // Wave d = 0: the observed nodes. Edge inference estimates their most
+  // likely containers; their location is the observed color.
+  for (ObjectId id : wave) {
+    Node* node = graph_->FindNode(id);
+    if (node == nullptr) continue;
+    EdgeInferenceResult edges = InferEdgesAndPrune(*node, &result);
+    ObjectEstimate estimate;
+    estimate.object = id;
+    estimate.location = node->recent_color;
+    estimate.location_prob = 1.0;
+    estimate.container = edges.best_parent;
+    estimate.container_prob = edges.best_prob;
+    estimate.observed = true;
+    result.estimates[id] = estimate;
+    known_color[id] = node->recent_color;
+  }
+
+  // Waves d = 1, 2, ...: uncolored nodes in increasing distance.
+  int distance = 0;
+  while (!wave.empty()) {
+    ++distance;
+    if (!complete && distance > params_.partial_hops) break;
+
+    // Collect the next wave from the (post-pruning) adjacency of this one.
+    std::vector<ObjectId> next;
+    for (ObjectId id : wave) {
+      const Node* node = graph_->FindNode(id);
+      if (node == nullptr) continue;
+      auto discover = [&](ObjectId neighbor) {
+        if (visited.insert(neighbor).second) next.push_back(neighbor);
+      };
+      for (EdgeId e : node->parent_edges) discover(graph_->edge(e).parent);
+      for (EdgeId e : node->child_edges) discover(graph_->edge(e).child);
+    }
+    if (next.empty()) break;
+
+    // Edge inference (with pruning) for the whole wave first...
+    std::unordered_map<ObjectId, EdgeInferenceResult> edge_results;
+    edge_results.reserve(next.size());
+    for (ObjectId id : next) {
+      Node* node = graph_->FindNode(id);
+      if (node == nullptr) continue;
+      edge_results[id] = InferEdgesAndPrune(*node, &result);
+    }
+    // ...then node inference, seeing only colors from earlier waves.
+    std::vector<ObjectEstimate> pending;
+    pending.reserve(next.size());
+    for (ObjectId id : next) {
+      Node* node = graph_->FindNode(id);
+      if (node == nullptr) continue;
+      NodeInferenceResult location =
+          node_inferencer_.InferAt(*node, now, color_of);
+      ObjectEstimate estimate;
+      estimate.object = id;
+      estimate.location = location.location;
+      estimate.location_prob = location.probability;
+      estimate.container = edge_results[id].best_parent;
+      estimate.container_prob = edge_results[id].best_prob;
+      estimate.observed = false;
+      estimate.withheld =
+          !complete && location.location == kUnknownLocation;
+      pending.push_back(estimate);
+    }
+    // Commit the wave: later waves may now use these colors.
+    for (const ObjectEstimate& estimate : pending) {
+      result.estimates[estimate.object] = estimate;
+      if (estimate.location != kUnknownLocation) {
+        known_color[estimate.object] = estimate.location;
+      }
+    }
+    wave = std::move(next);
+  }
+
+  if (complete) {
+    // Nodes unreachable from any colored node ("d = infinity"): no color can
+    // propagate to them; infer from their fading colors alone.
+    std::vector<ObjectId> rest;
+    for (const auto& [id, node] : graph_->nodes()) {
+      if (!visited.contains(id)) rest.push_back(id);
+    }
+    std::sort(rest.begin(), rest.end());
+    for (ObjectId id : rest) {
+      Node* node = graph_->FindNode(id);
+      if (node == nullptr) continue;
+      EdgeInferenceResult edges = InferEdgesAndPrune(*node, &result);
+      NodeInferenceResult location =
+          node_inferencer_.InferAt(*node, now, color_of);
+      ObjectEstimate estimate;
+      estimate.object = id;
+      estimate.location = location.location;
+      estimate.location_prob = location.probability;
+      estimate.container = edges.best_parent;
+      estimate.container_prob = edges.best_prob;
+      estimate.observed = false;
+      result.estimates[id] = estimate;
+    }
+  }
+  return result;
+}
+
+}  // namespace spire

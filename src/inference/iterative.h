@@ -1,0 +1,68 @@
+// Iterative inference (Section IV-C/D): sweeping edge and node inference
+// across the graph in increasing distance from the colored nodes.
+//
+// Inference starts at the observed (colored) nodes and proceeds in BFS
+// waves: nodes at distance d are processed only after every node at a
+// smaller distance, so colors and edge probabilities established closer to
+// the observations feed the inference further out. Within a wave, edge
+// inference runs first (also pruning low-confidence edges), then node
+// inference; wave results are committed together so same-wave nodes do not
+// see each other's fresh estimates.
+//
+// Complete inference covers the entire graph; partial inference (run in
+// epochs where some readers are silent) is restricted to nodes within
+// `partial_hops` of a colored node and withholds "unknown" verdicts, since
+// they may merely reflect a reader that was not scheduled to read.
+#pragma once
+
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "stream/reader.h"
+#include "inference/edge_inference.h"
+#include "inference/estimate.h"
+#include "inference/node_inference.h"
+#include "inference/params.h"
+
+namespace spire {
+
+/// Runs iterative inference passes over one graph.
+class IterativeInference {
+ public:
+  /// `registry` (optional) supplies reader periods for normalized fading
+  /// ages (InferenceParams::normalize_age_by_reader_period).
+  IterativeInference(Graph* graph, const InferenceParams& params,
+                     const ReaderRegistry* registry = nullptr)
+      : graph_(graph),
+        params_(params),
+        edge_inferencer_(graph, &params_),
+        node_inferencer_(graph, &params_, &edge_inferencer_,
+                         LocationPeriods(registry)) {}
+
+  /// Per-location reader periods from a registry (empty without one).
+  static std::vector<Epoch> LocationPeriods(const ReaderRegistry* registry);
+
+  /// Complete inference over the entire graph.
+  InferenceResult RunComplete(Epoch now) { return Run(now, true); }
+
+  /// Partial inference over the `partial_hops`-neighborhood of the colored
+  /// nodes.
+  InferenceResult RunPartial(Epoch now) { return Run(now, false); }
+
+  const InferenceParams& params() const { return params_; }
+  InferenceParams& mutable_params() { return params_; }
+
+ private:
+  InferenceResult Run(Epoch now, bool complete);
+
+  /// Edge inference + pruning at one node; returns the container choice.
+  EdgeInferenceResult InferEdgesAndPrune(const Node& node,
+                                         InferenceResult* result);
+
+  Graph* graph_;
+  InferenceParams params_;
+  EdgeInferencer edge_inferencer_;
+  NodeInferencer node_inferencer_;
+};
+
+}  // namespace spire

@@ -1,0 +1,83 @@
+#include "inference/node_inference.h"
+
+#include <cmath>
+#include <map>
+
+namespace spire {
+
+double NodeInferencer::FadingAge(const Node& node, Epoch now) const {
+  double age = static_cast<double>(now - node.seen_at);
+  if (params_->normalize_age_by_reader_period &&
+      node.recent_color < location_periods_.size()) {
+    // Measure absence in missed reading opportunities: a silent slow reader
+    // carries less evidence per epoch than a silent fast one.
+    Epoch period = location_periods_[node.recent_color];
+    if (period > 1) age /= static_cast<double>(period);
+  }
+  return age < 1.0 ? 1.0 : age;
+}
+
+NodeInferenceResult NodeInferencer::InferAt(const Node& node, Epoch now,
+                                            const ColorOracle& color_of) const {
+  const double gamma = params_->gamma;
+
+  // Fading belief in the most recent color: 1 / (now - seen_at)^theta.
+  // Nodes are created on first observation, so seen_at is always valid and
+  // (now - seen_at) >= 1 for an uncolored node.
+  double fade = 0.0;
+  if (node.seen_at != kNeverEpoch && node.recent_color != kUnknownLocation) {
+    fade = 1.0 / std::pow(FadingAge(node, now), params_->theta);
+  }
+
+  // Colors propagated through the edges: sum of edge probabilities per
+  // color, normalized by Z2 over all propagating edges (Eq. 3).
+  std::map<LocationId, double> propagated;
+  double z2 = 0.0;
+  auto consider = [&](EdgeId id, ObjectId neighbor_id) {
+    const Node* neighbor = graph_->FindNode(neighbor_id);
+    if (neighbor == nullptr) return;
+    LocationId color = color_of(*neighbor);
+    if (color == kUnknownLocation) return;
+    const double p = edges_->ProbabilityOf(id);
+    if (p <= 0.0) return;
+    propagated[color] += p;
+    z2 += p;
+  };
+  for (EdgeId id : node.parent_edges) {
+    consider(id, graph_->edge(id).parent);
+  }
+  for (EdgeId id : node.child_edges) {
+    consider(id, graph_->edge(id).child);
+  }
+
+  // Assemble the distribution. When no edge propagates a color, the gamma
+  // mass is unavailable and the remaining terms are compared directly
+  // (renormalization does not change the argmax).
+  std::map<LocationId, double> scores;
+  double total = 0.0;
+  if (node.recent_color != kUnknownLocation) {
+    scores[node.recent_color] += (1.0 - gamma) * fade;
+  }
+  double unknown_score = (1.0 - gamma) * (1.0 - fade);  // Eq. 4.
+  if (z2 > 0.0) {
+    for (const auto& [color, mass] : propagated) {
+      scores[color] += gamma * mass / z2;
+    }
+  }
+  for (const auto& [color, score] : scores) total += score;
+  total += unknown_score;
+
+  NodeInferenceResult result;
+  result.location = kUnknownLocation;
+  result.probability = unknown_score;
+  for (const auto& [color, score] : scores) {
+    if (score > result.probability) {
+      result.probability = score;
+      result.location = color;
+    }
+  }
+  if (total > 0.0) result.probability /= total;
+  return result;
+}
+
+}  // namespace spire

@@ -1,0 +1,63 @@
+// Node inference (Section IV-B): the most likely location of an unobserved
+// object, or its absence from every known location.
+//
+// A probability distribution is built over (1) the node's most recent color,
+// faded by (now - seen_at)^-theta, (2) colors propagated through incident
+// edges from neighbors whose color is known (observed, or inferred in an
+// earlier wave), weighted by the edges' inference probabilities, and (3) the
+// special color "unknown" (Eqs. 3-4).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "inference/edge_inference.h"
+#include "inference/params.h"
+
+namespace spire {
+
+/// The outcome of node inference at one node.
+struct NodeInferenceResult {
+  /// argmax color; kUnknownLocation when "unknown" wins.
+  LocationId location = kUnknownLocation;
+  double probability = 0.0;
+};
+
+/// Computes Eqs. 3-4. The caller supplies a color oracle mapping a neighbor
+/// to its currently known color (kUnknownLocation when the neighbor's color
+/// is not yet known in this pass).
+class NodeInferencer {
+ public:
+  /// `location_periods[l]` is the reading period of the reader at location
+  /// l, used to normalize the fading age into missed reading opportunities
+  /// (see InferenceParams::normalize_age_by_reader_period). An empty vector
+  /// means raw epoch ages.
+  NodeInferencer(const Graph* graph, const InferenceParams* params,
+                 const EdgeInferencer* edges,
+                 std::vector<Epoch> location_periods = {})
+      : graph_(graph),
+        params_(params),
+        edges_(edges),
+        location_periods_(std::move(location_periods)) {}
+
+  /// A function returning the known color of a node in the current pass.
+  using ColorOracle = std::function<LocationId(const Node&)>;
+
+  /// Runs node inference at an uncolored node.
+  NodeInferenceResult InferAt(const Node& node, Epoch now,
+                              const ColorOracle& color_of) const;
+
+  /// The fading age used for a node: epochs since last observation, divided
+  /// by the reading period of its last location when normalization is on.
+  double FadingAge(const Node& node, Epoch now) const;
+
+ private:
+  const Graph* graph_;
+  const InferenceParams* params_;
+  const EdgeInferencer* edges_;
+  std::vector<Epoch> location_periods_;
+};
+
+}  // namespace spire

@@ -1,0 +1,52 @@
+// Tunable parameters of the probabilistic inference (Section IV).
+#pragma once
+
+namespace spire {
+
+/// Knobs of edge and node inference. Defaults are the paper's recommended
+/// operating point (Section VI-B): S=32, alpha=0, beta=0.4, gamma=0.4,
+/// theta=1.25, prune threshold 0.25, partial-inference radius l=1.
+struct InferenceParams {
+  /// Zipf exponent weighting the co-location history (Eq. 1): 0 weighs all
+  /// recent instances equally; >0 favors the most recent ones.
+  double alpha = 0.0;
+
+  /// Partition of belief between recent co-location history (beta) and the
+  /// last special-reader confirmation (1 - beta) in Eq. 2.
+  double beta = 0.4;
+
+  /// When true, beta is set per node to the fraction of conflicting
+  /// observations since the last confirmation (the adaptive heuristic of
+  /// Expt 1); `beta` is ignored for nodes with a confirmation.
+  bool adaptive_beta = false;
+
+  /// Weight of colors propagated through containment edges against the
+  /// node's own fading color (Eq. 3). The paper favors 0.15-0.45 and
+  /// defaults to 0.4; our belt confirmations are more reliable than the
+  /// paper's testbed (several interrogations per belt pass), so our Expt-2
+  /// sweep puts the optimum at the top of that band.
+  double gamma = 0.45;
+
+  /// Fading exponent of the most recent color, (now - seen_at)^-theta
+  /// (Eqs. 3-4). Higher values decay belief in continued presence faster.
+  double theta = 1.25;
+
+  /// When true, the fading age (now - seen_at) is measured in *missed
+  /// reading opportunities* — epochs divided by the period of the reader at
+  /// the object's last location — instead of raw epochs. A slow shelf
+  /// reader then needs several silent periods before "unknown" wins, which
+  /// matches the paper's reported accuracy at moderate read rates and its
+  /// anomaly-detection delays across reader frequencies. Requires a reader
+  /// registry; falls back to raw epochs without one.
+  bool normalize_age_by_reader_period = true;
+
+  /// Edges whose unnormalized confidence (Eq. 2 numerator) falls below this
+  /// threshold are pruned after edge inference; <= 0 disables pruning.
+  double prune_threshold = 0.25;
+
+  /// Partial inference is restricted to nodes at most this many hops from a
+  /// colored node (Section IV-D).
+  int partial_hops = 1;
+};
+
+}  // namespace spire

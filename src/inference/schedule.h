@@ -1,0 +1,40 @@
+// Partial/complete inference scheduling (Section IV-D).
+//
+// Readers read at different frequencies; in epochs where a slow (shelf)
+// reader is silent the graph presents an incomplete view, so running
+// complete inference would waste work and emit misleading "unknown"
+// verdicts. The schedule computes M, the least common multiple of the
+// reader periods (from the deployment configuration), runs complete
+// inference in epochs that are a multiple of M, and partial inference
+// otherwise.
+#pragma once
+
+#include "common/types.h"
+#include "stream/reader.h"
+
+namespace spire {
+
+/// Decides the inference mode of each epoch.
+class InferenceSchedule {
+ public:
+  /// `period_lcm` is M, usually ReaderRegistry::PeriodLcm().
+  explicit InferenceSchedule(Epoch period_lcm)
+      : period_lcm_(period_lcm < 1 ? 1 : period_lcm) {}
+
+  /// Builds the schedule from the deployed readers.
+  static InferenceSchedule FromRegistry(const ReaderRegistry& registry) {
+    return InferenceSchedule(registry.PeriodLcm());
+  }
+
+  /// True when `epoch` warrants complete inference.
+  bool IsCompleteEpoch(Epoch epoch) const {
+    return period_lcm_ <= 1 || epoch % period_lcm_ == 0;
+  }
+
+  Epoch period_lcm() const { return period_lcm_; }
+
+ private:
+  Epoch period_lcm_;
+};
+
+}  // namespace spire

@@ -1,0 +1,179 @@
+#include "query/event_log.h"
+
+#include <algorithm>
+
+#include "compress/decompress.h"
+#include "compress/well_formed.h"
+#include "compress/fold.h"
+
+namespace spire {
+
+Result<EventLog> EventLog::Build(const EventStream& stream, bool decompress) {
+  SPIRE_RETURN_NOT_OK(ValidateWellFormed(stream, /*allow_open_at_end=*/true));
+  const EventStream& level1_view =
+      decompress ? Decompressor::DecompressAll(stream) : stream;
+
+  EventLog log;
+  for (const RangedEvent& event : FoldEvents(level1_view)) {
+    if (log.first_epoch_ == kNeverEpoch || event.start < log.first_epoch_) {
+      log.first_epoch_ = event.start;
+    }
+    Epoch reach = event.end == kInfiniteEpoch ? event.start : event.end;
+    if (log.last_epoch_ == kNeverEpoch || reach > log.last_epoch_) {
+      log.last_epoch_ = reach;
+    }
+    switch (event.type) {
+      case EventType::kStartLocation: {
+        Stay stay;
+        stay.start = event.start;
+        stay.end = event.end;
+        stay.location = event.location;
+        log.locations_[event.object].push_back(stay);
+        log.by_location_[event.location].push_back({stay, event.object});
+        break;
+      }
+      case EventType::kStartContainment: {
+        Stay stay;
+        stay.start = event.start;
+        stay.end = event.end;
+        stay.container = event.container;
+        log.containments_[event.object].push_back(stay);
+        log.by_container_[event.container].push_back({stay, event.object});
+        break;
+      }
+      case EventType::kMissing: {
+        MissingReport report;
+        report.object = event.object;
+        report.missing_from = event.location;
+        report.since = event.start;
+        log.missing_.push_back(report);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // FoldEvents orders per object by start; per-key vectors inherit that.
+  // Close each Missing report at the object's next sighting.
+  for (MissingReport& report : log.missing_) {
+    auto it = log.locations_.find(report.object);
+    if (it == log.locations_.end()) continue;
+    for (const Stay& stay : it->second) {
+      if (stay.start >= report.since) {
+        report.until = stay.start;
+        break;
+      }
+    }
+  }
+  std::sort(log.missing_.begin(), log.missing_.end(),
+            [](const MissingReport& a, const MissingReport& b) {
+              if (a.object != b.object) return a.object < b.object;
+              return a.since < b.since;
+            });
+  return log;
+}
+
+namespace {
+
+const std::vector<Stay>& EmptyStays() {
+  static const std::vector<Stay> kEmpty;
+  return kEmpty;
+}
+
+const Stay* CoveringStay(const std::vector<Stay>& stays, Epoch epoch) {
+  for (const Stay& stay : stays) {
+    if (stay.Covers(epoch)) return &stay;
+    if (stay.start > epoch) break;  // Sorted by start; no later stay covers.
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+LocationId EventLog::LocationAt(ObjectId object, Epoch epoch) const {
+  auto it = locations_.find(object);
+  if (it == locations_.end()) return kUnknownLocation;
+  const Stay* stay = CoveringStay(it->second, epoch);
+  return stay == nullptr ? kUnknownLocation : stay->location;
+}
+
+ObjectId EventLog::ContainerAt(ObjectId object, Epoch epoch) const {
+  auto it = containments_.find(object);
+  if (it == containments_.end()) return kNoObject;
+  const Stay* stay = CoveringStay(it->second, epoch);
+  return stay == nullptr ? kNoObject : stay->container;
+}
+
+ObjectId EventLog::TopLevelContainerAt(ObjectId object, Epoch epoch) const {
+  if (!locations_.contains(object) && !containments_.contains(object)) {
+    return kNoObject;
+  }
+  ObjectId current = object;
+  // The containment forest is acyclic by construction (containers live in
+  // higher packaging layers), but guard against malformed streams anyway.
+  for (int depth = 0; depth < kNumPackagingLevels + 1; ++depth) {
+    ObjectId parent = ContainerAt(current, epoch);
+    if (parent == kNoObject) return current;
+    current = parent;
+  }
+  return current;
+}
+
+bool EventLog::IsMissingAt(ObjectId object, Epoch epoch) const {
+  auto lo = std::lower_bound(
+      missing_.begin(), missing_.end(), object,
+      [](const MissingReport& report, ObjectId id) {
+        return report.object < id;
+      });
+  for (auto it = lo; it != missing_.end() && it->object == object; ++it) {
+    if (it->since <= epoch && epoch < it->until) return true;
+  }
+  return false;
+}
+
+std::vector<ObjectId> EventLog::ContentsAt(ObjectId container, Epoch epoch,
+                                           bool transitive) const {
+  std::vector<ObjectId> contents;
+  auto it = by_container_.find(container);
+  if (it != by_container_.end()) {
+    for (const auto& [stay, object] : it->second) {
+      if (stay.Covers(epoch)) contents.push_back(object);
+    }
+  }
+  if (transitive) {
+    std::vector<ObjectId> direct = contents;
+    for (ObjectId child : direct) {
+      std::vector<ObjectId> nested = ContentsAt(child, epoch, true);
+      contents.insert(contents.end(), nested.begin(), nested.end());
+    }
+  }
+  std::sort(contents.begin(), contents.end());
+  contents.erase(std::unique(contents.begin(), contents.end()),
+                 contents.end());
+  return contents;
+}
+
+std::vector<ObjectId> EventLog::ObjectsAt(LocationId location,
+                                          Epoch epoch) const {
+  std::vector<ObjectId> objects;
+  auto it = by_location_.find(location);
+  if (it != by_location_.end()) {
+    for (const auto& [stay, object] : it->second) {
+      if (stay.Covers(epoch)) objects.push_back(object);
+    }
+  }
+  std::sort(objects.begin(), objects.end());
+  return objects;
+}
+
+const std::vector<Stay>& EventLog::TrajectoryOf(ObjectId object) const {
+  auto it = locations_.find(object);
+  return it == locations_.end() ? EmptyStays() : it->second;
+}
+
+const std::vector<Stay>& EventLog::ContainmentsOf(ObjectId object) const {
+  auto it = containments_.find(object);
+  return it == containments_.end() ? EmptyStays() : it->second;
+}
+
+}  // namespace spire

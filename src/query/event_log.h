@@ -1,0 +1,109 @@
+// An indexed, queriable view over a SPIRE event stream.
+//
+// The paper positions the compressed output as "directly queriable using
+// recently developed event processors"; EventLog is that consumer: it folds
+// a well-formed level-1 stream (or decompresses a level-2 stream first)
+// into per-object location and containment timelines plus inverse indexes,
+// and answers the natural tracking queries — where was object X at time T,
+// what contained it, what did container Y hold, what resided at location L,
+// which objects were reported missing.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/event.h"
+
+namespace spire {
+
+/// One closed (or still-open) stay of an object at a location or inside a
+/// container. `end` is exclusive; kInfiniteEpoch while open.
+struct Stay {
+  Epoch start = kNeverEpoch;
+  Epoch end = kInfiniteEpoch;
+  LocationId location = kUnknownLocation;  ///< Location stays.
+  ObjectId container = kNoObject;          ///< Containment stays.
+
+  bool Covers(Epoch epoch) const { return start <= epoch && epoch < end; }
+  bool operator==(const Stay&) const = default;
+};
+
+/// A Missing report: the object was absent from every known location from
+/// `since` until `until` (the next sighting; kInfiniteEpoch if never).
+struct MissingReport {
+  ObjectId object = kNoObject;
+  LocationId missing_from = kUnknownLocation;
+  Epoch since = kNeverEpoch;
+  Epoch until = kInfiniteEpoch;
+
+  bool operator==(const MissingReport&) const = default;
+};
+
+/// Immutable query index over one event stream.
+class EventLog {
+ public:
+  /// Builds the index. The stream must be well-formed (open trailing events
+  /// are fine); pass `decompress` for a level-2 stream.
+  static Result<EventLog> Build(const EventStream& stream,
+                                bool decompress = false);
+
+  // --- Point queries ------------------------------------------------------
+
+  /// resides(object, ?, epoch): the reported location, or kUnknownLocation.
+  LocationId LocationAt(ObjectId object, Epoch epoch) const;
+
+  /// contained(object, ?, epoch): the reported direct container, or
+  /// kNoObject.
+  ObjectId ContainerAt(ObjectId object, Epoch epoch) const;
+
+  /// The outermost reported container at `epoch` (the object itself when
+  /// uncontained; kNoObject for unknown objects).
+  ObjectId TopLevelContainerAt(ObjectId object, Epoch epoch) const;
+
+  /// True when a Missing report covers the epoch.
+  bool IsMissingAt(ObjectId object, Epoch epoch) const;
+
+  // --- Set queries --------------------------------------------------------
+
+  /// Objects reported directly inside `container` at `epoch` (ascending;
+  /// `transitive` descends the containment tree).
+  std::vector<ObjectId> ContentsAt(ObjectId container, Epoch epoch,
+                                   bool transitive = false) const;
+
+  /// Objects reported at `location` at `epoch`, ascending.
+  std::vector<ObjectId> ObjectsAt(LocationId location, Epoch epoch) const;
+
+  // --- Timeline queries ---------------------------------------------------
+
+  /// The object's full location history, in time order.
+  const std::vector<Stay>& TrajectoryOf(ObjectId object) const;
+
+  /// The object's containment history, in time order.
+  const std::vector<Stay>& ContainmentsOf(ObjectId object) const;
+
+  /// Every Missing report in the stream, in (object, since) order.
+  const std::vector<MissingReport>& MissingReports() const {
+    return missing_;
+  }
+
+  // --- Metadata -----------------------------------------------------------
+
+  std::size_t num_objects() const { return locations_.size(); }
+  Epoch first_epoch() const { return first_epoch_; }
+  Epoch last_epoch() const { return last_epoch_; }
+
+ private:
+  EventLog() = default;
+
+  std::map<ObjectId, std::vector<Stay>> locations_;
+  std::map<ObjectId, std::vector<Stay>> containments_;
+  /// Inverse indexes: stays by location / by container, sorted by start.
+  std::map<LocationId, std::vector<std::pair<Stay, ObjectId>>> by_location_;
+  std::map<ObjectId, std::vector<std::pair<Stay, ObjectId>>> by_container_;
+  std::vector<MissingReport> missing_;
+  Epoch first_epoch_ = kNeverEpoch;
+  Epoch last_epoch_ = kNeverEpoch;
+};
+
+}  // namespace spire

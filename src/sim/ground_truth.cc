@@ -1,0 +1,70 @@
+#include "sim/ground_truth.h"
+
+#include <algorithm>
+
+namespace spire {
+
+void GroundTruthRecorder::Observe(const PhysicalWorld& world, Epoch epoch) {
+  std::vector<ObjectId> ids;
+  ids.reserve(world.size());
+  for (const auto& [id, state] : world.objects()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  // Retire objects that vanished since the last observation.
+  std::vector<ObjectId> gone;
+  for (ObjectId id : known_) {
+    if (!world.Contains(id)) gone.push_back(id);
+  }
+  for (ObjectId id : gone) Retire(id, epoch);
+  for (ObjectId id : ids) ReportOne(world, id, epoch);
+}
+
+void GroundTruthRecorder::ObserveTouched(const PhysicalWorld& world,
+                                         const std::vector<ObjectId>& touched,
+                                         Epoch epoch) {
+  std::vector<ObjectId> ids(touched);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  // Retire vanished objects first, then report the alive ones — the same
+  // order as the full-diff Observe(), so both produce identical streams.
+  for (ObjectId id : ids) {
+    if (!world.Contains(id)) Retire(id, epoch);
+  }
+  for (ObjectId id : ids) {
+    if (world.Contains(id)) ReportOne(world, id, epoch);
+  }
+}
+
+void GroundTruthRecorder::Retire(ObjectId id, Epoch epoch) {
+  compressor_.Retire(id, epoch, &events_);
+  known_.erase(id);
+}
+
+void GroundTruthRecorder::Finish(Epoch epoch) {
+  compressor_.Finish(epoch, &events_);
+  known_.clear();
+}
+
+void GroundTruthRecorder::ReportOne(const PhysicalWorld& world, ObjectId id,
+                                    Epoch epoch) {
+  const ObjectState* state = world.Find(id);
+  if (state == nullptr) return;
+  ObjectStateEstimate estimate;
+  estimate.object = id;
+  estimate.location = state->location;
+  estimate.container = state->parent;
+  // In the ground truth only improper disappearances are "missing"; an
+  // ordinary transit between locations is a plain End/Start gap. Objects
+  // inside a stolen container vanished with it.
+  estimate.missing = state->stolen;
+  for (ObjectId ancestor = state->parent;
+       ancestor != kNoObject && !estimate.missing;) {
+    const ObjectState* ancestor_state = world.Find(ancestor);
+    if (ancestor_state == nullptr) break;
+    estimate.missing = ancestor_state->stolen;
+    ancestor = ancestor_state->parent;
+  }
+  compressor_.Report(estimate, epoch, &events_);
+  known_.insert(id);
+}
+
+}  // namespace spire

@@ -1,0 +1,52 @@
+// Ground-truth event recording.
+//
+// The F-measure evaluation (Expt 7) compares SPIRE's output against "a
+// compressed event stream of the ground truth". GroundTruthRecorder builds
+// exactly that: the true per-epoch states are fed through a level-1 range
+// compressor, so the reference stream contains one ranged event per true
+// state change (plus Missing singletons for thefts).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "compress/event.h"
+#include "sim/world.h"
+
+namespace spire {
+
+/// Records the ground-truth event stream from world snapshots.
+class GroundTruthRecorder {
+ public:
+  GroundTruthRecorder() = default;
+
+  /// Full diff: reports the state of every alive object (ascending id) and
+  /// retires objects that disappeared. O(world size) per call; the reference
+  /// implementation used in tests.
+  void Observe(const PhysicalWorld& world, Epoch epoch);
+
+  /// Incremental diff: reports only the given (possibly duplicated) ids.
+  /// Ids no longer in the world are retired. The simulator calls this with
+  /// the set of objects it touched in the epoch.
+  void ObserveTouched(const PhysicalWorld& world,
+                      const std::vector<ObjectId>& touched, Epoch epoch);
+
+  /// Retires one object (proper exit) at `epoch`.
+  void Retire(ObjectId id, Epoch epoch);
+
+  /// Closes all open events.
+  void Finish(Epoch epoch);
+
+  /// The recorded ground-truth stream so far.
+  const EventStream& events() const { return events_; }
+
+ private:
+  void ReportOne(const PhysicalWorld& world, ObjectId id, Epoch epoch);
+
+  RangeCompressor compressor_;
+  EventStream events_;
+  std::set<ObjectId> known_;
+};
+
+}  // namespace spire

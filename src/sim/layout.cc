@@ -1,0 +1,70 @@
+#include "sim/layout.h"
+
+#include <string>
+
+namespace spire {
+
+namespace {
+
+Status AddReader(ReaderRegistry* registry, ReaderId* out, LocationId location,
+                 ReaderType type, Epoch period, const std::string& name) {
+  ReaderInfo info;
+  info.id = static_cast<ReaderId>(registry->readers().size());
+  info.location = location;
+  info.type = type;
+  info.period_epochs = period;
+  info.name = name;
+  SPIRE_RETURN_NOT_OK(registry->AddReader(info));
+  *out = info.id;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WarehouseLayout> WarehouseLayout::Build(const SimConfig& config) {
+  SPIRE_RETURN_NOT_OK(config.Validate());
+  WarehouseLayout layout;
+  ReaderRegistry& reg = layout.registry;
+
+  layout.entry_door = reg.AddLocation("entry_door");
+  layout.receiving_belt = reg.AddLocation("receiving_belt");
+  for (int i = 0; i < config.num_shelves; ++i) {
+    layout.shelves.push_back(reg.AddLocation("shelf_" + std::to_string(i)));
+  }
+  layout.packaging = reg.AddLocation("packaging");
+  layout.outgoing_belt = reg.AddLocation("outgoing_belt");
+  layout.exit_door = reg.AddLocation("exit_door");
+
+  SPIRE_RETURN_NOT_OK(AddReader(&reg, &layout.entry_reader, layout.entry_door,
+                                ReaderType::kEntryDoor, 1, "entry"));
+  SPIRE_RETURN_NOT_OK(AddReader(&reg, &layout.receiving_belt_reader,
+                                layout.receiving_belt,
+                                ReaderType::kReceivingBelt, 1, "rcv_belt"));
+  for (int i = 0; i < config.num_shelves; ++i) {
+    ReaderId id = kNoReader;
+    SPIRE_RETURN_NOT_OK(AddReader(&reg, &id, layout.shelves[i],
+                                  ReaderType::kShelf, config.shelf_period,
+                                  "shelf_" + std::to_string(i)));
+    layout.shelf_readers.push_back(id);
+  }
+  SPIRE_RETURN_NOT_OK(AddReader(&reg, &layout.packaging_reader,
+                                layout.packaging, ReaderType::kPackaging, 1,
+                                "packaging"));
+  SPIRE_RETURN_NOT_OK(AddReader(&reg, &layout.outgoing_belt_reader,
+                                layout.outgoing_belt,
+                                ReaderType::kOutgoingBelt, 1, "out_belt"));
+  SPIRE_RETURN_NOT_OK(AddReader(&reg, &layout.exit_reader, layout.exit_door,
+                                ReaderType::kExitDoor, 1, "exit"));
+  if (config.patrol_reader) {
+    // A mobile reader cycling all shelves (home = the first shelf).
+    SPIRE_RETURN_NOT_OK(AddReader(&reg, &layout.patrol_reader,
+                                  layout.shelves[0], ReaderType::kMobile, 1,
+                                  "patrol"));
+    SPIRE_RETURN_NOT_OK(
+        reg.SetPatrol(layout.patrol_reader, layout.shelves,
+                      config.patrol_dwell));
+  }
+  return layout;
+}
+
+}  // namespace spire

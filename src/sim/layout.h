@@ -1,0 +1,37 @@
+// The warehouse layout: locations and the six reader groups of Section VI-A.
+#pragma once
+
+#include <vector>
+
+#include "sim/sim_config.h"
+#include "stream/reader.h"
+
+namespace spire {
+
+/// The fixed layout built from a SimConfig: one location + reader for the
+/// entry door, receiving belt, packaging area, outgoing belt, and exit door,
+/// plus `num_shelves` shelf locations each with its own (slow) shelf reader.
+struct WarehouseLayout {
+  ReaderRegistry registry;
+
+  LocationId entry_door = kUnknownLocation;
+  LocationId receiving_belt = kUnknownLocation;
+  std::vector<LocationId> shelves;
+  LocationId packaging = kUnknownLocation;
+  LocationId outgoing_belt = kUnknownLocation;
+  LocationId exit_door = kUnknownLocation;
+
+  ReaderId entry_reader = kNoReader;
+  ReaderId receiving_belt_reader = kNoReader;
+  std::vector<ReaderId> shelf_readers;
+  ReaderId packaging_reader = kNoReader;
+  ReaderId outgoing_belt_reader = kNoReader;
+  ReaderId exit_reader = kNoReader;
+  /// The patrolling mobile reader (kNoReader when not deployed).
+  ReaderId patrol_reader = kNoReader;
+
+  /// Builds the layout; fails only on invalid configs.
+  static Result<WarehouseLayout> Build(const SimConfig& config);
+};
+
+}  // namespace spire

@@ -1,0 +1,109 @@
+#include "sim/sim_config.h"
+
+namespace spire {
+
+namespace {
+
+#define SPIRE_LOAD_INT(field)                                     \
+  do {                                                            \
+    auto r = config.GetInt(#field, out.field);                    \
+    if (!r.ok()) return r.status();                               \
+    out.field = r.value();                                        \
+  } while (0)
+
+#define SPIRE_LOAD_DOUBLE(field)                                  \
+  do {                                                            \
+    auto r = config.GetDouble(#field, out.field);                 \
+    if (!r.ok()) return r.status();                               \
+    out.field = r.value();                                        \
+  } while (0)
+
+}  // namespace
+
+Result<SimConfig> SimConfig::FromConfig(const Config& config) {
+  return FromConfig(config, SimConfig());
+}
+
+Result<SimConfig> SimConfig::FromConfig(const Config& config,
+                                        const SimConfig& base) {
+  SimConfig out = base;
+  SPIRE_LOAD_INT(duration_epochs);
+  SPIRE_LOAD_INT(pallet_interval);
+  SPIRE_LOAD_INT(min_cases_per_pallet);
+  SPIRE_LOAD_INT(max_cases_per_pallet);
+  SPIRE_LOAD_INT(items_per_case);
+  SPIRE_LOAD_DOUBLE(read_rate);
+  SPIRE_LOAD_INT(nonshelf_ticks_per_epoch);
+  SPIRE_LOAD_INT(shelf_period);
+  SPIRE_LOAD_INT(num_shelves);
+  SPIRE_LOAD_INT(mean_shelf_stay);
+  SPIRE_LOAD_INT(entry_dwell);
+  SPIRE_LOAD_INT(belt_dwell);
+  SPIRE_LOAD_INT(packaging_dwell);
+  SPIRE_LOAD_INT(exit_dwell);
+  SPIRE_LOAD_INT(packaging_timeout);
+  SPIRE_LOAD_INT(transit_time);
+  SPIRE_LOAD_INT(theft_interval);
+  SPIRE_LOAD_INT(patrol_dwell);
+  {
+    auto r = config.GetBool("patrol_reader", out.patrol_reader);
+    if (!r.ok()) return r.status();
+    out.patrol_reader = r.value();
+  }
+  {
+    auto r = config.GetInt("seed", static_cast<std::int64_t>(out.seed));
+    if (!r.ok()) return r.status();
+    out.seed = static_cast<std::uint64_t>(r.value());
+  }
+  SPIRE_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+Status SimConfig::Validate() const {
+  if (duration_epochs < 1) {
+    return Status::InvalidArgument("duration_epochs must be >= 1");
+  }
+  if (pallet_interval < 1) {
+    return Status::InvalidArgument("pallet_interval must be >= 1");
+  }
+  if (min_cases_per_pallet < 1 || max_cases_per_pallet < min_cases_per_pallet) {
+    return Status::InvalidArgument("invalid cases-per-pallet range");
+  }
+  if (items_per_case < 0) {
+    return Status::InvalidArgument("items_per_case must be >= 0");
+  }
+  if (read_rate < 0.0 || read_rate > 1.0) {
+    return Status::InvalidArgument("read_rate must be in [0, 1]");
+  }
+  if (nonshelf_ticks_per_epoch < 1) {
+    return Status::InvalidArgument("nonshelf_ticks_per_epoch must be >= 1");
+  }
+  if (shelf_period < 1) {
+    return Status::InvalidArgument("shelf_period must be >= 1");
+  }
+  if (num_shelves < 1) {
+    return Status::InvalidArgument("num_shelves must be >= 1");
+  }
+  if (mean_shelf_stay < 1) {
+    return Status::InvalidArgument("mean_shelf_stay must be >= 1");
+  }
+  if (entry_dwell < 1 || belt_dwell < 1 || packaging_dwell < 1 ||
+      exit_dwell < 1) {
+    return Status::InvalidArgument("stage dwell times must be >= 1");
+  }
+  if (transit_time < 0) {
+    return Status::InvalidArgument("transit_time must be >= 0");
+  }
+  if (packaging_timeout < 1) {
+    return Status::InvalidArgument("packaging_timeout must be >= 1");
+  }
+  if (patrol_dwell < 1) {
+    return Status::InvalidArgument("patrol_dwell must be >= 1");
+  }
+  if (theft_interval < 0) {
+    return Status::InvalidArgument("theft_interval must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace spire

@@ -1,0 +1,87 @@
+// Simulation parameters (Table II of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace spire {
+
+/// All knobs of the warehouse trace generator. Defaults follow the paper's
+/// accuracy experiments (Section VI-B): 6 pallets injected per hour, 5 cases
+/// per pallet, 20 items per case, 1-hour average shelving period, 3-hour
+/// simulation, read rate 0.85, shelf readers once per minute, non-shelf
+/// readers every epoch (2 interrogations per second).
+struct SimConfig {
+  /// Total simulated epochs (1 epoch = 1 second). Paper: 3-24 hours.
+  Epoch duration_epochs = 3 * 3600;
+
+  /// A new pallet enters every `pallet_interval` epochs. Paper: 1/4s-600s.
+  Epoch pallet_interval = 600;
+
+  /// Cases per arriving pallet, uniform in [min, max]. Paper: 5-8.
+  int min_cases_per_pallet = 5;
+  int max_cases_per_pallet = 5;
+
+  /// Items per case. Paper: 20.
+  int items_per_case = 20;
+
+  /// Probability that a present tag responds to one interrogation.
+  /// Paper: 0.5-1, default 0.85.
+  double read_rate = 0.85;
+
+  /// Non-shelf readers interrogate this many times per epoch. Paper: 2/sec.
+  int nonshelf_ticks_per_epoch = 2;
+
+  /// Shelf readers interrogate once every `shelf_period` epochs.
+  /// Paper: 1/sec to 1/min, default 1/min.
+  Epoch shelf_period = 60;
+
+  /// Number of distinct shelf locations cases are spread over.
+  int num_shelves = 8;
+
+  /// Average shelving period in epochs (uniform in [0.5x, 1.5x]).
+  /// Paper: ~1 hour.
+  Epoch mean_shelf_stay = 3600;
+
+  /// Dwell times (epochs) in the non-shelf stages.
+  Epoch entry_dwell = 10;
+  Epoch belt_dwell = 4;
+  Epoch packaging_dwell = 30;
+  Epoch exit_dwell = 4;
+
+  /// An under-filled outgoing pallet is sealed anyway once its first case
+  /// has waited this long in the packaging area (keeps sparse traffic
+  /// flowing; a full batch seals immediately).
+  Epoch packaging_timeout = 900;
+
+  /// Travel time between consecutive stages; objects in transit are at the
+  /// unknown location and unreadable.
+  Epoch transit_time = 5;
+
+  /// Unexpected removals (theft / misplacement): one stolen object every
+  /// `theft_interval` epochs; 0 disables. Paper (Expt 4): every 100 s.
+  Epoch theft_interval = 0;
+
+  /// Deploy a mobile reader patrolling all shelves (the paper's future-work
+  /// extension), dwelling `patrol_dwell` epochs per shelf and reading every
+  /// epoch while there. Off by default.
+  bool patrol_reader = false;
+  Epoch patrol_dwell = 10;
+
+  /// RNG seed; identical seeds reproduce identical traces.
+  std::uint64_t seed = 42;
+
+  /// Applies `key=value` overrides (keys match field names) on top of
+  /// `base`, which supplies the defaults for keys not present.
+  static Result<SimConfig> FromConfig(const Config& config,
+                                      const SimConfig& base);
+  static Result<SimConfig> FromConfig(const Config& config);
+
+  /// Sanity-checks ranges.
+  Status Validate() const;
+};
+
+}  // namespace spire

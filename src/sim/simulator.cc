@@ -1,0 +1,398 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/epc.h"
+
+namespace spire {
+
+namespace {
+
+/// Company prefix used for all generated tags.
+constexpr std::uint32_t kCompanyPrefix = 1000;
+
+}  // namespace
+
+Result<std::unique_ptr<WarehouseSimulator>> WarehouseSimulator::Create(
+    const SimConfig& config) {
+  SPIRE_RETURN_NOT_OK(config.Validate());
+  auto layout = WarehouseLayout::Build(config);
+  if (!layout.ok()) return layout.status();
+  return std::unique_ptr<WarehouseSimulator>(
+      new WarehouseSimulator(config, std::move(layout).value()));
+}
+
+WarehouseSimulator::WarehouseSimulator(const SimConfig& config,
+                                       WarehouseLayout layout)
+    : config_(config), layout_(std::move(layout)), rng_(config.seed) {}
+
+EpochReadings WarehouseSimulator::Step() {
+  ++epoch_;
+  touched_.clear();
+  if (epoch_ % config_.pallet_interval == 0) InjectPallet();
+  StepInboundPallets();
+  StepBeltQueue();
+  StepCases();
+  StepOutboundBatches();
+  StepTheft();
+  truth_.ObserveTouched(world_, touched_, epoch_);
+
+  EpochReadings readings;
+  EmitReadings(&readings);
+  return readings;
+}
+
+ObjectId WarehouseSimulator::NewEpc(PackagingLevel level) {
+  EpcFields fields;
+  fields.level = level;
+  fields.company_prefix = kCompanyPrefix;
+  // Split a wide counter across the serial (21 bits) and item-reference
+  // fields so ids never collide over long simulations.
+  fields.serial = next_serial_ & ((1u << 21) - 1);
+  fields.item_reference = next_serial_ >> 21;
+  ++next_serial_;
+  ++objects_created_;
+  return EncodeEpcUnchecked(fields);
+}
+
+void WarehouseSimulator::Touch(ObjectId id) { touched_.push_back(id); }
+
+void WarehouseSimulator::TouchCase(const CaseUnit& unit) {
+  Touch(unit.id);
+  for (ObjectId item : unit.items) Touch(item);
+}
+
+bool WarehouseSimulator::IsGone(ObjectId id) const {
+  const ObjectState* state = world_.Find(id);
+  return state == nullptr || state->stolen;
+}
+
+void WarehouseSimulator::InjectPallet() {
+  ObjectId pallet = NewEpc(PackagingLevel::kPallet);
+  (void)world_.AddObject(pallet, layout_.entry_door);
+  Touch(pallet);
+
+  InboundPallet inbound;
+  inbound.id = pallet;
+  inbound.until = epoch_ + config_.entry_dwell;
+
+  int num_cases = static_cast<int>(rng_.NextInRange(
+      config_.min_cases_per_pallet, config_.max_cases_per_pallet));
+  for (int c = 0; c < num_cases; ++c) {
+    CaseUnit unit;
+    unit.id = NewEpc(PackagingLevel::kCase);
+    (void)world_.AddObject(unit.id, layout_.entry_door);
+    (void)world_.SetContainment(unit.id, pallet);
+    for (int i = 0; i < config_.items_per_case; ++i) {
+      ObjectId item = NewEpc(PackagingLevel::kItem);
+      (void)world_.AddObject(item, layout_.entry_door);
+      (void)world_.SetContainment(item, unit.id);
+      unit.items.push_back(item);
+    }
+    TouchCase(unit);
+    inbound.case_indices.push_back(cases_.size());
+    cases_.push_back(std::move(unit));
+  }
+  inbound_.push_back(std::move(inbound));
+}
+
+void WarehouseSimulator::StepInboundPallets() {
+  for (InboundPallet& pallet : inbound_) {
+    if (pallet.stage == Stage::kDone || epoch_ < pallet.until) continue;
+    if (IsGone(pallet.id)) {
+      // The pallet was stolen before unpacking; its cases are trapped inside.
+      for (std::size_t idx : pallet.case_indices) {
+        cases_[idx].stage = Stage::kDone;
+      }
+      pallet.stage = Stage::kDone;
+      continue;
+    }
+    switch (pallet.stage) {
+      case Stage::kAtEntry:
+        // Unpack: sever case-pallet containment, queue cases for the belt,
+        // and route the emptied pallet to the exit.
+        for (std::size_t idx : pallet.case_indices) {
+          CaseUnit& unit = cases_[idx];
+          if (IsGone(unit.id)) continue;
+          (void)world_.ClearContainment(unit.id);
+          Touch(unit.id);
+          belt_queue_.push_back(idx);
+        }
+        (void)world_.MoveObject(pallet.id, kUnknownLocation);
+        Touch(pallet.id);
+        pallet.stage = Stage::kTransitToExit;
+        pallet.until = epoch_ + config_.transit_time;
+        break;
+      case Stage::kTransitToExit:
+        (void)world_.MoveObject(pallet.id, layout_.exit_door);
+        Touch(pallet.id);
+        pallet.stage = Stage::kAtExit;
+        pallet.until = epoch_ + config_.exit_dwell;
+        break;
+      case Stage::kAtExit:
+        Touch(pallet.id);
+        (void)world_.RemoveObject(pallet.id);
+        pallet.stage = Stage::kDone;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void WarehouseSimulator::StepBeltQueue() {
+  // The receiving belt is a special reader: it scans one case at a time, so
+  // case launches are serialized on the belt's next-free epoch.
+  while (!belt_queue_.empty()) {
+    std::size_t idx = belt_queue_.front();
+    CaseUnit& unit = cases_[idx];
+    if (IsGone(unit.id)) {
+      belt_queue_.pop_front();
+      continue;
+    }
+    Epoch arrival = epoch_ + config_.transit_time;
+    if (arrival < belt_next_free_) break;
+    belt_queue_.pop_front();
+    MoveCase(unit, kUnknownLocation);
+    unit.stage = Stage::kTransitToBelt;
+    unit.until = arrival;
+    belt_next_free_ = arrival + config_.belt_dwell;
+  }
+}
+
+void WarehouseSimulator::MoveCase(CaseUnit& unit, LocationId location) {
+  (void)world_.MoveObject(unit.id, location);
+  TouchCase(unit);
+}
+
+void WarehouseSimulator::StepCases() {
+  for (std::size_t idx = 0; idx < cases_.size(); ++idx) {
+    CaseUnit& unit = cases_[idx];
+    if (unit.stage == Stage::kDone || unit.stage == Stage::kAtEntry ||
+        unit.stage == Stage::kInPackaging) {
+      continue;
+    }
+    if (epoch_ < unit.until) continue;
+    if (IsGone(unit.id)) {
+      unit.stage = Stage::kDone;
+      continue;
+    }
+    switch (unit.stage) {
+      case Stage::kTransitToBelt:
+        MoveCase(unit, layout_.receiving_belt);
+        unit.stage = Stage::kOnBelt;
+        unit.until = epoch_ + config_.belt_dwell;
+        break;
+      case Stage::kOnBelt: {
+        unit.shelf = layout_.shelves[rng_.NextBounded(
+            static_cast<std::uint32_t>(layout_.shelves.size()))];
+        Epoch lo = std::max<Epoch>(1, config_.mean_shelf_stay / 2);
+        Epoch hi = std::max<Epoch>(lo, config_.mean_shelf_stay * 3 / 2);
+        unit.shelf_stay = rng_.NextInRange(lo, hi);
+        MoveCase(unit, kUnknownLocation);
+        unit.stage = Stage::kTransitToShelf;
+        unit.until = epoch_ + config_.transit_time;
+        break;
+      }
+      case Stage::kTransitToShelf:
+        MoveCase(unit, unit.shelf);
+        unit.stage = Stage::kOnShelf;
+        unit.until = epoch_ + unit.shelf_stay;
+        break;
+      case Stage::kOnShelf:
+        MoveCase(unit, kUnknownLocation);
+        unit.stage = Stage::kTransitToPackaging;
+        unit.until = epoch_ + config_.transit_time;
+        break;
+      case Stage::kTransitToPackaging: {
+        MoveCase(unit, layout_.packaging);
+        unit.stage = Stage::kInPackaging;
+        unit.in_out_batch = true;
+        if (open_batch_ < 0) {
+          OutboundBatch batch;
+          batch.target_size = static_cast<int>(rng_.NextInRange(
+              config_.min_cases_per_pallet, config_.max_cases_per_pallet));
+          open_batch_ = static_cast<int>(outbound_.size());
+          outbound_.push_back(std::move(batch));
+        }
+        OutboundBatch& batch = outbound_[static_cast<std::size_t>(open_batch_)];
+        if (batch.first_join == kNeverEpoch) batch.first_join = epoch_;
+        batch.case_indices.push_back(idx);
+        if (static_cast<int>(batch.case_indices.size()) >= batch.target_size) {
+          batch.sealed_at = epoch_;
+          batch.until = epoch_ + config_.packaging_dwell;
+          open_batch_ = -1;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void WarehouseSimulator::StepOutboundBatches() {
+  for (OutboundBatch& batch : outbound_) {
+    if (batch.stage == Stage::kDone) continue;
+    if (batch.stage == Stage::kInPackaging) {
+      // Seal an under-filled batch whose first case has waited too long.
+      if (batch.sealed_at == kNeverEpoch && batch.first_join != kNeverEpoch &&
+          epoch_ - batch.first_join >= config_.packaging_timeout) {
+        batch.sealed_at = epoch_;
+        batch.until = epoch_ + config_.packaging_dwell;
+        if (open_batch_ >= 0 &&
+            &outbound_[static_cast<std::size_t>(open_batch_)] == &batch) {
+          open_batch_ = -1;
+        }
+      }
+      if (batch.sealed_at == kNeverEpoch || epoch_ < batch.until) continue;
+      // Assemble the new pallet from the batch's surviving cases.
+      std::vector<std::size_t> alive;
+      for (std::size_t idx : batch.case_indices) {
+        if (!IsGone(cases_[idx].id) &&
+            cases_[idx].stage == Stage::kInPackaging) {
+          alive.push_back(idx);
+        }
+      }
+      if (alive.empty()) {
+        batch.stage = Stage::kDone;
+        continue;
+      }
+      batch.case_indices = alive;
+      batch.pallet = NewEpc(PackagingLevel::kPallet);
+      (void)world_.AddObject(batch.pallet, layout_.packaging);
+      Touch(batch.pallet);
+      for (std::size_t idx : batch.case_indices) {
+        (void)world_.SetContainment(cases_[idx].id, batch.pallet);
+        Touch(cases_[idx].id);
+        cases_[idx].stage = Stage::kDone;  // The batch drives it from here.
+      }
+      batch.stage = Stage::kWaitOutBelt;
+      continue;
+    }
+    if (batch.pallet != kNoObject && IsGone(batch.pallet)) {
+      batch.stage = Stage::kDone;
+      continue;
+    }
+    switch (batch.stage) {
+      case Stage::kWaitOutBelt: {
+        Epoch arrival = epoch_ + config_.transit_time;
+        if (arrival < out_belt_next_free_) break;
+        (void)world_.MoveObject(batch.pallet, kUnknownLocation);
+        for (std::size_t idx : batch.case_indices) TouchCase(cases_[idx]);
+        Touch(batch.pallet);
+        batch.stage = Stage::kTransitToOutBelt;
+        batch.until = arrival;
+        out_belt_next_free_ = arrival + config_.belt_dwell;
+        break;
+      }
+      case Stage::kTransitToOutBelt:
+        if (epoch_ < batch.until) break;
+        (void)world_.MoveObject(batch.pallet, layout_.outgoing_belt);
+        for (std::size_t idx : batch.case_indices) TouchCase(cases_[idx]);
+        Touch(batch.pallet);
+        batch.stage = Stage::kOnOutBelt;
+        batch.until = epoch_ + config_.belt_dwell;
+        break;
+      case Stage::kOnOutBelt:
+        if (epoch_ < batch.until) break;
+        (void)world_.MoveObject(batch.pallet, kUnknownLocation);
+        for (std::size_t idx : batch.case_indices) TouchCase(cases_[idx]);
+        Touch(batch.pallet);
+        batch.stage = Stage::kTransitToExit;
+        batch.until = epoch_ + config_.transit_time;
+        break;
+      case Stage::kTransitToExit:
+        if (epoch_ < batch.until) break;
+        (void)world_.MoveObject(batch.pallet, layout_.exit_door);
+        for (std::size_t idx : batch.case_indices) TouchCase(cases_[idx]);
+        Touch(batch.pallet);
+        batch.stage = Stage::kAtExit;
+        batch.until = epoch_ + config_.exit_dwell;
+        break;
+      case Stage::kAtExit:
+        if (epoch_ < batch.until) break;
+        RemoveGroup(batch);
+        batch.stage = Stage::kDone;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void WarehouseSimulator::RemoveGroup(OutboundBatch& batch) {
+  // Proper exit through the exit door: remove items first, then cases, then
+  // the pallet, so containment links are severed bottom-up.
+  for (std::size_t idx : batch.case_indices) {
+    CaseUnit& unit = cases_[idx];
+    if (IsGone(unit.id)) continue;
+    // A case stolen mid-flight was detached by Steal(); only members still
+    // contained in this pallet exit here.
+    if (world_.ParentOf(unit.id) != batch.pallet) continue;
+    for (ObjectId item : unit.items) {
+      if (IsGone(item)) continue;
+      Touch(item);
+      (void)world_.RemoveObject(item);
+    }
+    Touch(unit.id);
+    (void)world_.RemoveObject(unit.id);
+  }
+  Touch(batch.pallet);
+  (void)world_.RemoveObject(batch.pallet);
+}
+
+void WarehouseSimulator::StepTheft() {
+  if (config_.theft_interval <= 0) return;
+  if (epoch_ == 0 || epoch_ % config_.theft_interval != 0) return;
+  // Uniform selection among alive, not-yet-stolen objects, in sorted order
+  // for determinism.
+  std::vector<ObjectId> candidates;
+  candidates.reserve(world_.size());
+  for (const auto& [id, state] : world_.objects()) {
+    if (!state.stolen) candidates.push_back(id);
+  }
+  if (candidates.empty()) return;
+  std::sort(candidates.begin(), candidates.end());
+  ObjectId victim = candidates[rng_.NextBounded(
+      static_cast<std::uint32_t>(candidates.size()))];
+
+  // Touch the victim and everything it contains (they vanish with it).
+  std::vector<ObjectId> group{victim};
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const ObjectState* state = world_.Find(group[i]);
+    if (state == nullptr) continue;
+    for (ObjectId child : state->children) group.push_back(child);
+  }
+  Theft theft;
+  theft.object = victim;
+  theft.epoch = epoch_;
+  theft.from = world_.LocationOf(victim);
+  thefts_.push_back(theft);
+  (void)world_.Steal(victim);
+  for (ObjectId id : group) Touch(id);
+}
+
+void WarehouseSimulator::EmitReadings(EpochReadings* out) {
+  for (const ReaderInfo& reader : layout_.registry.readers()) {
+    if (epoch_ % reader.period_epochs != 0) continue;
+    int ticks = reader.type == ReaderType::kShelf
+                    ? 1
+                    : config_.nonshelf_ticks_per_epoch;
+    LocationId where = layout_.registry.LocationAt(reader.id, epoch_);
+    for (ObjectId id : world_.ObjectsAt(where)) {
+      for (int tick = 0; tick < ticks; ++tick) {
+        if (!rng_.NextBool(config_.read_rate)) continue;
+        RfidReading reading;
+        reading.tag = id;
+        reading.reader = reader.id;
+        reading.epoch = epoch_;
+        reading.tick = static_cast<std::uint16_t>(tick);
+        out->push_back(reading);
+        ++total_readings_;
+      }
+    }
+  }
+}
+
+}  // namespace spire

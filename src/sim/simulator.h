@@ -1,0 +1,163 @@
+// The warehouse trace generator (Section VI-A).
+//
+// Emulates the paper's evaluation deployment: pallets arrive at the entry
+// door, are unpacked, their cases are scanned one at a time on the receiving
+// belt, shelved for a dwell period, repackaged onto new pallets, rescanned
+// on the outgoing belt, and finally read at the exit door. Six reader groups
+// observe the flow; present tags answer each interrogation with probability
+// `read_rate`. Optionally, objects are stolen (removed without a proper
+// exit) at a fixed rate. The simulator maintains the ground truth
+// (PhysicalWorld) and the ground-truth event stream alongside the noisy
+// reading stream it emits.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sim/ground_truth.h"
+#include "sim/layout.h"
+#include "sim/sim_config.h"
+#include "sim/world.h"
+#include "stream/reading.h"
+
+namespace spire {
+
+/// Record of one injected anomaly.
+struct Theft {
+  ObjectId object = kNoObject;
+  Epoch epoch = kNeverEpoch;
+  LocationId from = kUnknownLocation;
+};
+
+/// Deterministic, epoch-stepped warehouse simulator.
+class WarehouseSimulator {
+ public:
+  /// Builds a simulator; fails on invalid configs.
+  static Result<std::unique_ptr<WarehouseSimulator>> Create(
+      const SimConfig& config);
+
+  /// Advances the ground truth by one epoch (arrivals, moves, thefts) and
+  /// returns the raw readings generated in that epoch (all interrogation
+  /// ticks, before deduplication).
+  EpochReadings Step();
+
+  /// The epoch of the most recent Step() (kNeverEpoch before the first).
+  Epoch current_epoch() const { return epoch_; }
+
+  /// True once `duration_epochs` steps have been taken.
+  bool Done() const { return epoch_ + 1 >= config_.duration_epochs; }
+
+  /// Closes all open ground-truth events. Call after the last Step().
+  void FinishTruth() { truth_.Finish(epoch_ + 1); }
+
+  const SimConfig& config() const { return config_; }
+  const PhysicalWorld& world() const { return world_; }
+  const WarehouseLayout& layout() const { return layout_; }
+  const ReaderRegistry& registry() const { return layout_.registry; }
+
+  /// Ground-truth event stream recorded so far.
+  const EventStream& truth_events() const { return truth_.events(); }
+
+  /// All thefts injected so far.
+  const std::vector<Theft>& thefts() const { return thefts_; }
+
+  /// Raw readings emitted so far (all ticks; the compression-ratio
+  /// denominator is this count times kReadingWireBytes).
+  std::size_t total_readings() const { return total_readings_; }
+
+  /// Objects ever created / currently alive.
+  std::size_t objects_created() const { return objects_created_; }
+  std::size_t objects_alive() const { return world_.size(); }
+
+ private:
+  /// Lifecycle stage of a case unit or an outgoing pallet group.
+  enum class Stage : std::uint8_t {
+    kAtEntry,
+    kTransitToBelt,
+    kOnBelt,
+    kTransitToShelf,
+    kOnShelf,
+    kTransitToPackaging,
+    kInPackaging,
+    kWaitOutBelt,
+    kTransitToOutBelt,
+    kOnOutBelt,
+    kTransitToExit,
+    kAtExit,
+    kDone,
+  };
+
+  /// A case and its items, tracked from unpacking to repackaging.
+  struct CaseUnit {
+    ObjectId id = kNoObject;
+    std::vector<ObjectId> items;
+    Stage stage = Stage::kAtEntry;
+    Epoch until = kNeverEpoch;
+    LocationId shelf = kUnknownLocation;
+    Epoch shelf_stay = 0;
+    bool in_out_batch = false;
+  };
+
+  /// An arriving pallet waiting to be unpacked, then routed to the exit.
+  struct InboundPallet {
+    ObjectId id = kNoObject;
+    std::vector<std::size_t> case_indices;
+    Stage stage = Stage::kAtEntry;
+    Epoch until = kNeverEpoch;
+  };
+
+  /// A batch of cases being assembled onto a new outgoing pallet.
+  struct OutboundBatch {
+    ObjectId pallet = kNoObject;
+    std::vector<std::size_t> case_indices;
+    int target_size = 0;
+    Epoch first_join = kNeverEpoch;
+    Epoch sealed_at = kNeverEpoch;
+    Stage stage = Stage::kInPackaging;
+    Epoch until = kNeverEpoch;
+  };
+
+  explicit WarehouseSimulator(const SimConfig& config, WarehouseLayout layout);
+
+  void InjectPallet();
+  void StepInboundPallets();
+  void StepBeltQueue();
+  void StepCases();
+  void StepOutboundBatches();
+  void StepTheft();
+  void EmitReadings(EpochReadings* out);
+
+  ObjectId NewEpc(PackagingLevel level);
+  void Touch(ObjectId id);
+  void TouchCase(const CaseUnit& unit);
+  bool IsGone(ObjectId id) const;
+  void RemoveGroup(OutboundBatch& batch);
+  void MoveCase(CaseUnit& unit, LocationId location);
+
+  SimConfig config_;
+  WarehouseLayout layout_;
+  PhysicalWorld world_;
+  GroundTruthRecorder truth_;
+  Pcg32 rng_;
+
+  Epoch epoch_ = kNeverEpoch;
+  std::vector<CaseUnit> cases_;
+  std::vector<InboundPallet> inbound_;
+  std::vector<OutboundBatch> outbound_;
+  std::deque<std::size_t> belt_queue_;
+  Epoch belt_next_free_ = 0;
+  Epoch out_belt_next_free_ = 0;
+  int open_batch_ = -1;
+
+  std::vector<ObjectId> touched_;
+  std::vector<Theft> thefts_;
+  std::size_t total_readings_ = 0;
+  std::size_t objects_created_ = 0;
+  std::uint32_t next_serial_ = 1;
+};
+
+}  // namespace spire

@@ -1,0 +1,157 @@
+#include "sim/world.h"
+
+#include <algorithm>
+
+namespace spire {
+
+Status PhysicalWorld::AddObject(ObjectId id, LocationId location) {
+  auto [it, inserted] = objects_.try_emplace(id);
+  if (!inserted) {
+    return Status::AlreadyExists("object already in world: " + EpcToString(id));
+  }
+  ObjectState& state = it->second;
+  state.id = id;
+  state.level = EpcLevel(id);
+  state.location = location;
+  Reindex(id, kUnknownLocation, location);
+  return Status::OK();
+}
+
+Status PhysicalWorld::RemoveObject(ObjectId id) {
+  ObjectState* state = FindMutable(id);
+  if (state == nullptr) {
+    return Status::NotFound("object not in world: " + EpcToString(id));
+  }
+  if (state->parent != kNoObject) {
+    SPIRE_RETURN_NOT_OK(ClearContainment(id));
+  }
+  // Orphan any remaining children (callers normally remove whole groups).
+  for (ObjectId child : std::vector<ObjectId>(state->children)) {
+    SPIRE_RETURN_NOT_OK(ClearContainment(child));
+  }
+  Reindex(id, state->location, kUnknownLocation);
+  objects_.erase(id);
+  return Status::OK();
+}
+
+Status PhysicalWorld::MoveObject(ObjectId id, LocationId location) {
+  ObjectState* state = FindMutable(id);
+  if (state == nullptr) {
+    return Status::NotFound("object not in world: " + EpcToString(id));
+  }
+  MoveRecursive(*state, location);
+  return Status::OK();
+}
+
+Status PhysicalWorld::SetContainment(ObjectId child, ObjectId parent) {
+  ObjectState* child_state = FindMutable(child);
+  ObjectState* parent_state = FindMutable(parent);
+  if (child_state == nullptr || parent_state == nullptr) {
+    return Status::NotFound("containment endpoints must both be in the world");
+  }
+  if (child_state->parent != kNoObject) {
+    return Status::InvalidArgument("child already has a container: " +
+                                   EpcToString(child));
+  }
+  if (child_state->location != parent_state->location) {
+    return Status::InvalidArgument(
+        "containment requires co-residence (Section II)");
+  }
+  child_state->parent = parent;
+  parent_state->children.push_back(child);
+  return Status::OK();
+}
+
+Status PhysicalWorld::ClearContainment(ObjectId child) {
+  ObjectState* child_state = FindMutable(child);
+  if (child_state == nullptr) {
+    return Status::NotFound("object not in world: " + EpcToString(child));
+  }
+  if (child_state->parent == kNoObject) return Status::OK();
+  ObjectState* parent_state = FindMutable(child_state->parent);
+  if (parent_state != nullptr) {
+    auto& siblings = parent_state->children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), child),
+                   siblings.end());
+  }
+  child_state->parent = kNoObject;
+  return Status::OK();
+}
+
+Status PhysicalWorld::Steal(ObjectId id) {
+  ObjectState* state = FindMutable(id);
+  if (state == nullptr) {
+    return Status::NotFound("object not in world: " + EpcToString(id));
+  }
+  SPIRE_RETURN_NOT_OK(ClearContainment(id));
+  MoveRecursive(*state, kUnknownLocation);
+  state->stolen = true;
+  return Status::OK();
+}
+
+bool PhysicalWorld::Resides(ObjectId id, LocationId location) const {
+  const ObjectState* state = Find(id);
+  return state != nullptr && state->location == location;
+}
+
+LocationId PhysicalWorld::LocationOf(ObjectId id) const {
+  const ObjectState* state = Find(id);
+  return state == nullptr ? kUnknownLocation : state->location;
+}
+
+ObjectId PhysicalWorld::ParentOf(ObjectId id) const {
+  const ObjectState* state = Find(id);
+  return state == nullptr ? kNoObject : state->parent;
+}
+
+ObjectId PhysicalWorld::TopLevelContainerOf(ObjectId id) const {
+  const ObjectState* state = Find(id);
+  if (state == nullptr) return kNoObject;
+  while (state->parent != kNoObject) {
+    const ObjectState* parent = Find(state->parent);
+    if (parent == nullptr) break;
+    state = parent;
+  }
+  return state->id;
+}
+
+const ObjectState* PhysicalWorld::Find(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+ObjectState* PhysicalWorld::FindMutable(ObjectId id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const std::set<ObjectId>& PhysicalWorld::ObjectsAt(LocationId location) const {
+  static const std::set<ObjectId> kEmpty;
+  if (location == kUnknownLocation) return kEmpty;
+  auto it = by_location_.find(location);
+  return it == by_location_.end() ? kEmpty : it->second;
+}
+
+void PhysicalWorld::MoveRecursive(ObjectState& state, LocationId location) {
+  Reindex(state.id, state.location, location);
+  state.location = location;
+  for (ObjectId child : state.children) {
+    ObjectState* child_state = FindMutable(child);
+    if (child_state != nullptr) {
+      MoveRecursive(*child_state, location);
+    }
+  }
+}
+
+void PhysicalWorld::Reindex(ObjectId id, LocationId from, LocationId to) {
+  if (from == to) return;
+  if (from != kUnknownLocation) {
+    auto it = by_location_.find(from);
+    if (it != by_location_.end()) it->second.erase(id);
+  }
+  if (to != kUnknownLocation) {
+    by_location_[to].insert(id);
+  }
+}
+
+}  // namespace spire

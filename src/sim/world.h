@@ -1,0 +1,102 @@
+// The physical world: ground truth for objects, locations, and containment.
+//
+// Section II defines the state of the world through two boolean functions,
+// resides(o, l, t) and contained(o, o', l, t). PhysicalWorld is the mutable
+// ground truth the simulator maintains; the evaluation library compares
+// SPIRE's estimates against it. Location changes of a container cascade to
+// its transitive contents (objects that are contained move together).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/epc.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace spire {
+
+/// Ground-truth state of one object.
+struct ObjectState {
+  ObjectId id = kNoObject;
+  PackagingLevel level = PackagingLevel::kItem;
+  /// Current location; kUnknownLocation while in transit or after a theft.
+  LocationId location = kUnknownLocation;
+  /// Direct container, or kNoObject.
+  ObjectId parent = kNoObject;
+  /// Direct contents.
+  std::vector<ObjectId> children;
+  /// True once the object improperly left the world (stolen / misplaced).
+  bool stolen = false;
+};
+
+/// Mutable ground truth of the physical world.
+class PhysicalWorld {
+ public:
+  PhysicalWorld() = default;
+
+  /// Adds a new object at a location. Fails if the id already exists.
+  Status AddObject(ObjectId id, LocationId location);
+
+  /// Removes an object that exits through a proper channel. Contained
+  /// objects are NOT removed implicitly; the caller removes the whole group.
+  /// Severs the parent/children links of the removed object.
+  Status RemoveObject(ObjectId id);
+
+  /// Moves an object and, transitively, everything it contains.
+  Status MoveObject(ObjectId id, LocationId location);
+
+  /// Establishes containment child-in-parent. Both must be alive and at the
+  /// same location (Section II requires co-residence for containment); the
+  /// child must not already have a parent.
+  Status SetContainment(ObjectId child, ObjectId parent);
+
+  /// Ends the child's containment, if any.
+  Status ClearContainment(ObjectId child);
+
+  /// Marks an object stolen: detaches it from its parent, moves it (and its
+  /// contents) to the unknown location, and flags it unreadable.
+  Status Steal(ObjectId id);
+
+  /// resides(o, l, now): true iff the object is alive and at `location`.
+  bool Resides(ObjectId id, LocationId location) const;
+
+  /// The ground-truth location, or kUnknownLocation for unknown/absent ids.
+  LocationId LocationOf(ObjectId id) const;
+
+  /// The ground-truth direct container, or kNoObject.
+  ObjectId ParentOf(ObjectId id) const;
+
+  /// The outermost container reachable from the object (itself if it has no
+  /// parent), or kNoObject for unknown ids.
+  ObjectId TopLevelContainerOf(ObjectId id) const;
+
+  /// Lookup; nullptr if the object does not exist (or was removed).
+  const ObjectState* Find(ObjectId id) const;
+
+  bool Contains(ObjectId id) const { return Find(id) != nullptr; }
+
+  /// All alive objects (unspecified order).
+  const std::unordered_map<ObjectId, ObjectState>& objects() const {
+    return objects_;
+  }
+
+  /// The objects currently at a location, in ascending id order. The empty
+  /// set is returned for locations with no objects (including the unknown
+  /// location, which is not indexed).
+  const std::set<ObjectId>& ObjectsAt(LocationId location) const;
+
+  std::size_t size() const { return objects_.size(); }
+
+ private:
+  ObjectState* FindMutable(ObjectId id);
+  void MoveRecursive(ObjectState& state, LocationId location);
+  void Reindex(ObjectId id, LocationId from, LocationId to);
+
+  std::unordered_map<ObjectId, ObjectState> objects_;
+  std::unordered_map<LocationId, std::set<ObjectId>> by_location_;
+};
+
+}  // namespace spire

@@ -1,0 +1,119 @@
+#include "smurf/smurf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spire {
+
+std::vector<ObjectStateEstimate> SmurfCleaner::ProcessEpoch(
+    Epoch now, const EpochReadings& readings) {
+  if (location_periods_.empty()) {
+    location_periods_ = LocationPeriods(*registry_);
+  }
+  // Ingest this epoch's readings (at most one per tag after deduplication;
+  // extra ticks collapse into the same epoch entry).
+  for (const RfidReading& reading : readings) {
+    TagState& tag = tags_[reading.tag];
+    LocationId location = registry_->LocationAt(reading.reader, now);
+    if (tag.first_seen == kNeverEpoch) tag.first_seen = now;
+    if (location != tag.location) {
+      // A location change is a transition and a new sampling environment
+      // (different reader cadence): restart the per-tag statistics.
+      tag.observations.clear();
+      tag.window = options_.min_window;
+      tag.first_seen = now;
+      tag.location = location;
+      tag.period = PeriodAt(location);
+    }
+    if (tag.observations.empty() || tag.observations.back() != now) {
+      tag.observations.push_back(now);
+    }
+    tag.last_seen = now;
+  }
+
+  // Adapt windows and emit smoothed states.
+  std::vector<ObjectStateEstimate> estimates;
+  estimates.reserve(tags_.size());
+  std::vector<ObjectId> forgotten;
+  for (auto& [id, tag] : tags_) {
+    if (now - tag.last_seen > options_.forget_after) {
+      forgotten.push_back(id);
+      continue;
+    }
+    Adapt(tag, now);
+    ObjectStateEstimate estimate;
+    estimate.object = id;
+    const bool present =
+        now - tag.last_seen <
+        static_cast<Epoch>(tag.window) * tag.period;
+    estimate.location = present ? tag.location : kUnknownLocation;
+    estimate.container = kNoObject;  // SMURF has no containment notion.
+    estimates.push_back(estimate);
+  }
+  for (ObjectId id : forgotten) tags_.erase(id);
+  return estimates;
+}
+
+Epoch SmurfCleaner::PeriodAt(LocationId location) const {
+  if (!options_.frequency_aware) return 1;
+  if (location >= location_periods_.size()) return 1;
+  return std::max<Epoch>(1, location_periods_[location]);
+}
+
+void SmurfCleaner::Adapt(TagState& tag, Epoch now) {
+  // All window arithmetic is in reading *opportunities*: epochs divided by
+  // the period of the tag's current reader (1 when frequency awareness is
+  // off). This is the static-reader extension of Section VI-D; vanilla
+  // SMURF assumes an interrogation every epoch. The window adapts once per
+  // opportunity — re-testing the same window state every epoch would let a
+  // single unlucky sample halve it repeatedly.
+  const Epoch period = tag.period;
+  if (tag.last_adapt != kNeverEpoch && now - tag.last_adapt < period) return;
+  tag.last_adapt = now;
+  const Epoch horizon = now - static_cast<Epoch>(options_.max_window) * period;
+  while (!tag.observations.empty() && tag.observations.front() <= horizon) {
+    tag.observations.pop_front();
+  }
+
+  // Per-opportunity read probability over the observable history.
+  const Epoch observable = std::min<Epoch>(
+      options_.max_window, (now - tag.first_seen) / period + 1);
+  if (observable <= 0) return;
+  double p_avg = static_cast<double>(tag.observations.size()) /
+                 static_cast<double>(observable);
+  p_avg = std::min(p_avg, 1.0);
+
+  // Completeness-driven target window w* = ln(1/delta) / p.
+  int w_star = options_.max_window;
+  if (p_avg > 0.0) {
+    w_star = static_cast<int>(
+        std::ceil(std::log(1.0 / options_.delta) / p_avg));
+    w_star = std::clamp(w_star, options_.min_window, options_.max_window);
+  }
+
+  // Observations inside the current window.
+  const Epoch window_start = now - static_cast<Epoch>(tag.window) * period;
+  auto first_in_window = std::lower_bound(tag.observations.begin(),
+                                          tag.observations.end(),
+                                          window_start + 1);
+  const auto s_w = static_cast<double>(
+      std::distance(first_in_window, tag.observations.end()));
+
+  // Binomial CLT transition test: significantly fewer observations than the
+  // window expects indicate the tag likely left mid-window.
+  const double w = static_cast<double>(tag.window);
+  const double expectation = w * p_avg;
+  const double deviation = 2.0 * std::sqrt(w * p_avg * (1.0 - p_avg));
+  if (tag.window > options_.min_window && s_w < expectation - deviation) {
+    tag.window = std::max(options_.min_window, tag.window / 2);
+  } else if (tag.window < w_star) {
+    tag.window = std::min(w_star, tag.window + 2);
+  }
+}
+
+int SmurfCleaner::WindowOf(ObjectId tag) const {
+  auto it = tags_.find(tag);
+  return it == tags_.end() ? 0 : it->second.window;
+}
+
+}  // namespace spire

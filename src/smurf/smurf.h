@@ -1,0 +1,89 @@
+// SMURF baseline: adaptive per-tag RFID smoothing (Jeffery, Garofalakis,
+// Franklin — VLDB 2006), the comparison system of Section VI-D.
+//
+// SMURF models each tag's readings as a random sample of its presence: in a
+// window of w epochs, a present tag is observed ~Binomial(w, p) times, where
+// p is the tag's per-epoch read probability. Per tag it keeps an adaptive
+// window sized toward the completeness requirement w* = ln(1/delta)/p (the
+// smallest window in which a present tag is observed at least once with
+// probability >= 1 - delta), detects transitions with a binomial CLT test
+// (observed count below the expectation by more than two standard
+// deviations), halving the window on a suspected transition and growing it
+// additively otherwise. A tag is reported present while it has been
+// observed within its current window, at the location of the reader that
+// read it most recently (the paper's extension for static readers).
+//
+// SMURF performs no containment inference; its estimates never carry a
+// container.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "compress/compressor.h"
+#include "stream/reader.h"
+#include "stream/reading.h"
+
+namespace spire {
+
+/// SMURF tuning knobs.
+struct SmurfOptions {
+  /// Completeness slack: w* guarantees a read within the window with
+  /// probability >= 1 - delta.
+  double delta = 0.05;
+  /// Window clamp (epochs). Slow shelf readers push w* far beyond what the
+  /// original (every-epoch-interrogation) algorithm anticipated; the cap
+  /// bounds state and reaction time.
+  int max_window = 256;
+  int min_window = 1;
+  /// Tag state is dropped after this many epochs without a reading.
+  Epoch forget_after = 2048;
+  /// Measure windows in reading *opportunities* (epochs / the period of the
+  /// tag's current reader) instead of raw epochs. Vanilla SMURF assumes an
+  /// interrogation every epoch; this static-reader extension keeps its
+  /// statistics meaningful under slow shelf readers.
+  bool frequency_aware = true;
+};
+
+/// Per-tag adaptive smoothing. Feed one (deduplicated) epoch at a time.
+class SmurfCleaner {
+ public:
+  SmurfCleaner(const ReaderRegistry* registry, SmurfOptions options = {})
+      : registry_(registry), options_(options) {}
+
+  /// Consumes one epoch of readings and returns the smoothed state of every
+  /// tracked tag: its smoothed location, or kUnknownLocation once the tag
+  /// has not been observed within its window. Estimates are in ascending
+  /// tag order.
+  std::vector<ObjectStateEstimate> ProcessEpoch(Epoch now,
+                                                const EpochReadings& readings);
+
+  /// The current adaptive window of a tag (testing hook); 0 if untracked.
+  int WindowOf(ObjectId tag) const;
+
+  std::size_t tracked_tags() const { return tags_.size(); }
+
+ private:
+  struct TagState {
+    std::deque<Epoch> observations;  ///< Epochs with >= 1 reading, ascending.
+    int window = 1;                  ///< In reading opportunities.
+    LocationId location = kUnknownLocation;
+    Epoch period = 1;                ///< Reading period at `location`.
+    Epoch first_seen = kNeverEpoch;
+    Epoch last_seen = kNeverEpoch;
+    Epoch last_adapt = kNeverEpoch;
+  };
+
+  void Adapt(TagState& tag, Epoch now);
+  Epoch PeriodAt(LocationId location) const;
+
+  const ReaderRegistry* registry_;
+  SmurfOptions options_;
+  std::map<ObjectId, TagState> tags_;
+  std::vector<Epoch> location_periods_;
+};
+
+}  // namespace spire

@@ -1,0 +1,41 @@
+// SMURF end-to-end baseline: dedup -> adaptive smoothing -> reader-location
+// mapping -> level-1 range compression (the extension described in
+// Section VI-D for comparability with SPIRE's output).
+#pragma once
+
+#include "compress/compressor.h"
+#include "compress/event.h"
+#include "smurf/smurf.h"
+#include "stream/dedup.h"
+#include "stream/reader.h"
+
+namespace spire {
+
+/// Drop-in counterpart of SpirePipeline producing location-only events.
+class SmurfPipeline {
+ public:
+  SmurfPipeline(const ReaderRegistry* registry, SmurfOptions options = {})
+      : cleaner_(registry, options) {}
+
+  /// Processes one epoch of raw readings; appends output events.
+  void ProcessEpoch(Epoch epoch, EpochReadings readings, EventStream* out) {
+    Deduplicate(&readings);
+    for (const ObjectStateEstimate& estimate :
+         cleaner_.ProcessEpoch(epoch, readings)) {
+      compressor_.Report(estimate, epoch, out);
+    }
+  }
+
+  /// Closes all open output events.
+  void Finish(Epoch epoch, EventStream* out) {
+    compressor_.Finish(epoch, out);
+  }
+
+  const SmurfCleaner& cleaner() const { return cleaner_; }
+
+ private:
+  SmurfCleaner cleaner_;
+  RangeCompressor compressor_;
+};
+
+}  // namespace spire

@@ -1,0 +1,139 @@
+#include "spire/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace spire {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+SpirePipeline::SpirePipeline(const ReaderRegistry* registry,
+                             PipelineOptions options)
+    : registry_(registry),
+      options_(options),
+      graph_(options.history_size),
+      updater_(&graph_, registry),
+      inference_(&graph_, options.inference, registry),
+      schedule_(InferenceSchedule::FromRegistry(*registry)) {
+  if (options_.level == CompressionLevel::kLevel1) {
+    compressor_ = std::make_unique<RangeCompressor>(options_.compressor);
+  } else {
+    compressor_ = std::make_unique<ContainmentCompressor>(options_.compressor);
+  }
+  if (options_.suppress_warmup_output) {
+    for (const ReaderInfo& reader : registry_->readers()) {
+      if (reader.type == ReaderType::kEntryDoor) {
+        warmup_locations_.push_back(reader.location);
+      }
+    }
+  }
+}
+
+bool SpirePipeline::IsWarmupLocation(LocationId location) const {
+  return std::find(warmup_locations_.begin(), warmup_locations_.end(),
+                   location) != warmup_locations_.end();
+}
+
+bool SpirePipeline::IsRetired(ObjectId id, Epoch epoch) const {
+  auto it = retired_.find(id);
+  return it != retired_.end() &&
+         epoch - it->second <= options_.exit_grace_epochs;
+}
+
+void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
+                                 EventStream* out) {
+  ++epochs_processed_;
+
+  // Device-level cleaning: deduplicate multi-reader/multi-tick readings and
+  // drop readings of objects inside their exit grace window.
+  Deduplicate(&readings);
+  std::erase_if(readings, [&](const RfidReading& r) {
+    return IsRetired(r.tag, epoch);
+  });
+  EpochBatch batch = GroupByReader(readings, epoch);
+
+  // Data capture: stream-driven graph update.
+  auto t0 = std::chrono::steady_clock::now();
+  updater_.ApplyEpoch(batch);
+  last_costs_.update_seconds = SecondsSince(t0);
+
+  // Interpretation: complete inference when every reader group read this
+  // epoch, partial inference otherwise; then conflict resolution.
+  auto t1 = std::chrono::steady_clock::now();
+  const bool complete =
+      options_.inference_mode == InferenceMode::kAlwaysComplete ||
+      schedule_.IsCompleteEpoch(epoch);
+  if (complete) {
+    last_result_ = inference_.RunComplete(epoch);
+  } else if (options_.inference_mode == InferenceMode::kCompleteOnly) {
+    last_result_ = InferenceResult{};
+    last_result_.epoch = epoch;
+  } else {
+    last_result_ = inference_.RunPartial(epoch);
+  }
+  if (options_.resolve_conflicts) ResolveConflicts(&last_result_);
+  last_costs_.inference_seconds = SecondsSince(t1);
+  total_costs_.update_seconds += last_costs_.update_seconds;
+  total_costs_.inference_seconds += last_costs_.inference_seconds;
+
+  // Proper exits: close the objects' events and drop their nodes.
+  for (ObjectId id : updater_.exited_this_epoch()) {
+    // Report the exit-door sighting first so the output stream (like the
+    // physical truth) shows the stay at the exit before it closes. The exit
+    // ends any containment, which also resumes the object's own location
+    // output under level-2 compression — otherwise the final stay of a
+    // contained object would be unrecoverable once its container retires.
+    auto it = last_result_.estimates.find(id);
+    if (it != last_result_.estimates.end() && !it->second.withheld) {
+      ObjectStateEstimate state;
+      state.object = id;
+      state.location = it->second.location;
+      state.container = kNoObject;
+      compressor_->Report(state, epoch, out);
+      last_result_.estimates.erase(it);
+    }
+    compressor_->Retire(id, epoch, out);
+    graph_.RemoveNode(id);
+    retired_[id] = epoch;
+  }
+
+  // Output: report every non-withheld estimate; the compressor discards
+  // everything that does not change the reported state.
+  std::vector<ObjectId> ids;
+  ids.reserve(last_result_.estimates.size());
+  for (const auto& [id, estimate] : last_result_.estimates) {
+    if (estimate.withheld) continue;
+    // No inference output for objects in the warm-up (entry door) area.
+    if (IsWarmupLocation(estimate.location)) continue;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (ObjectId id : ids) {
+    const ObjectEstimate& estimate = last_result_.estimates.at(id);
+    ObjectStateEstimate state;
+    state.object = id;
+    state.location = estimate.location;
+    state.container = estimate.container;
+    compressor_->Report(state, epoch, out);
+  }
+
+  // Expire old entries of the retirement set to bound its size.
+  if (epochs_processed_ % 1024 == 0) {
+    std::erase_if(retired_, [&](const auto& entry) {
+      return epoch - entry.second > options_.exit_grace_epochs;
+    });
+  }
+}
+
+void SpirePipeline::Finish(Epoch epoch, EventStream* out) {
+  compressor_->Finish(epoch, out);
+}
+
+}  // namespace spire

@@ -1,0 +1,116 @@
+// The end-to-end SPIRE substrate (Fig. 2): device-level deduplication,
+// stream-driven graph capture, scheduled probabilistic interpretation,
+// conflict resolution, and online compression into an output event stream.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "compress/compressor.h"
+#include "compress/event.h"
+#include "graph/graph.h"
+#include "graph/update.h"
+#include "inference/conflict.h"
+#include "inference/iterative.h"
+#include "inference/params.h"
+#include "inference/schedule.h"
+#include "stream/dedup.h"
+#include "stream/epoch_stream.h"
+#include "stream/reader.h"
+
+namespace spire {
+
+/// Output compression level (Section V).
+enum class CompressionLevel {
+  kLevel1 = 1,  ///< Range compression.
+  kLevel2 = 2,  ///< Containment-based location suppression.
+};
+
+/// When inference runs (Section IV-D; non-default modes are ablations).
+enum class InferenceMode {
+  /// Complete inference at multiples of the reader-period LCM, partial
+  /// inference otherwise (the paper's schedule).
+  kScheduled,
+  /// Complete inference every epoch (upper bound on freshness and cost).
+  kAlwaysComplete,
+  /// Complete inference on schedule, nothing in between.
+  kCompleteOnly,
+};
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  InferenceParams inference;
+  InferenceMode inference_mode = InferenceMode::kScheduled;
+  /// Conflict resolution (Table I) can be ablated.
+  bool resolve_conflicts = true;
+  /// S: capacity of each edge's co-location history register.
+  int history_size = 32;
+  CompressionLevel level = CompressionLevel::kLevel2;
+  CompressorOptions compressor;
+  /// Readings of an object retired at an exit door are ignored for this many
+  /// epochs, so the remaining interrogations during its exit dwell do not
+  /// resurrect its node.
+  Epoch exit_grace_epochs = 30;
+  /// Entry-door readings warm up the graph model, but no inference results
+  /// are output for objects located there (Section VI-A).
+  bool suppress_warmup_output = true;
+};
+
+/// Wall-clock cost of the last processed epoch (Expt 5 instrumentation).
+struct EpochCosts {
+  double update_seconds = 0.0;
+  double inference_seconds = 0.0;
+  double total_seconds() const { return update_seconds + inference_seconds; }
+};
+
+/// One SPIRE instance per reader deployment.
+class SpirePipeline {
+ public:
+  SpirePipeline(const ReaderRegistry* registry, PipelineOptions options);
+
+  /// Processes one epoch of raw readings end to end; appends output events.
+  /// Epochs must be fed in strictly increasing order.
+  void ProcessEpoch(Epoch epoch, EpochReadings readings, EventStream* out);
+
+  /// Closes all open output events (end of stream).
+  void Finish(Epoch epoch, EventStream* out);
+
+  /// The interpretation results of the last epoch, after conflict
+  /// resolution (observability / accuracy evaluation).
+  const InferenceResult& last_result() const { return last_result_; }
+
+  /// True when the last epoch ran complete inference.
+  bool last_epoch_complete() const { return last_result_.complete; }
+
+  const Graph& graph() const { return graph_; }
+  Graph& mutable_graph() { return graph_; }
+  const PipelineOptions& options() const { return options_; }
+
+  /// Costs of the last epoch and cumulative totals.
+  const EpochCosts& last_costs() const { return last_costs_; }
+  const EpochCosts& total_costs() const { return total_costs_; }
+  std::size_t epochs_processed() const { return epochs_processed_; }
+
+ private:
+  bool IsRetired(ObjectId id, Epoch epoch) const;
+  bool IsWarmupLocation(LocationId location) const;
+
+  const ReaderRegistry* registry_;
+  std::vector<LocationId> warmup_locations_;
+  PipelineOptions options_;
+  Graph graph_;
+  GraphUpdater updater_;
+  IterativeInference inference_;
+  InferenceSchedule schedule_;
+  std::unique_ptr<Compressor> compressor_;
+  InferenceResult last_result_;
+  /// Recently retired objects and their retirement epoch (exit grace).
+  std::unordered_map<ObjectId, Epoch> retired_;
+  EpochCosts last_costs_;
+  EpochCosts total_costs_;
+  std::size_t epochs_processed_ = 0;
+};
+
+}  // namespace spire

@@ -1,0 +1,41 @@
+#include "stream/dedup.h"
+
+#include <unordered_map>
+
+namespace spire {
+
+DedupStats Deduplicate(EpochReadings* readings) {
+  DedupStats stats;
+  stats.input_readings = readings->size();
+  if (readings->size() <= 1) return stats;
+
+  // First pass: for each (epoch, tag), find the index of the winning reading
+  // (highest tick; later arrival wins a tie).
+  struct Winner {
+    std::size_t index;
+    std::uint16_t tick;
+  };
+  std::unordered_map<ObjectId, Winner> winners;
+  winners.reserve(readings->size());
+  for (std::size_t i = 0; i < readings->size(); ++i) {
+    const RfidReading& r = (*readings)[i];
+    auto [it, inserted] = winners.try_emplace(r.tag, Winner{i, r.tick});
+    if (!inserted && r.tick >= it->second.tick) {
+      it->second = Winner{i, r.tick};
+    }
+  }
+
+  // Second pass: keep only the winners, preserving arrival order.
+  EpochReadings kept;
+  kept.reserve(winners.size());
+  for (std::size_t i = 0; i < readings->size(); ++i) {
+    if (winners.at((*readings)[i].tag).index == i) {
+      kept.push_back((*readings)[i]);
+    }
+  }
+  stats.duplicates_dropped = readings->size() - kept.size();
+  *readings = std::move(kept);
+  return stats;
+}
+
+}  // namespace spire

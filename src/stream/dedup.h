@@ -1,0 +1,30 @@
+// Low-level deduplication (the device data-cleaning layer of Fig. 2).
+//
+// When readers are deployed in close proximity, one tag can be read by
+// several readers within the same epoch. Per Section II, the only
+// functionality SPIRE requires from the device-cleaning layer is
+// deduplication: at each time step, detect tags read by several readers and
+// assign each tag to the reader that read it most recently.
+#pragma once
+
+#include <vector>
+
+#include "stream/reading.h"
+
+namespace spire {
+
+/// Removes duplicate readings of the same tag within one epoch, keeping the
+/// most recent interrogation (highest tick; ties broken by the later
+/// position in arrival order). The relative arrival order of the surviving
+/// readings is preserved. Readings must all belong to the same epoch;
+/// readings from other epochs are passed through untouched but counted in
+/// the returned struct for observability.
+struct DedupStats {
+  std::size_t input_readings = 0;
+  std::size_t duplicates_dropped = 0;
+};
+
+/// Deduplicates in place; returns statistics.
+DedupStats Deduplicate(EpochReadings* readings);
+
+}  // namespace spire

@@ -1,0 +1,121 @@
+#include "stream/deployment.h"
+
+#include <map>
+#include <sstream>
+
+namespace spire {
+
+namespace {
+
+Result<ReaderType> TypeFromName(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(ReaderType::kMobile); ++i) {
+    ReaderType type = static_cast<ReaderType>(i);
+    if (name == ToString(type)) return type;
+  }
+  return Status::InvalidArgument("unknown reader type: " + name);
+}
+
+}  // namespace
+
+Result<ReaderRegistry> ParseDeployment(
+    const std::vector<std::string>& lines) {
+  ReaderRegistry registry;
+  std::map<std::string, LocationId> locations;
+  std::map<std::string, ReaderId> readers_by_name;
+  for (const std::string& line : lines) {
+    std::istringstream in(line);
+    std::string keyword;
+    if (!(in >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "location") {
+      std::string name;
+      if (!(in >> name)) {
+        return Status::InvalidArgument("malformed location line: " + line);
+      }
+      auto [it, inserted] = locations.try_emplace(
+          name, static_cast<LocationId>(locations.size()));
+      if (inserted) registry.AddLocation(name);
+      continue;
+    }
+    if (keyword == "patrol") {
+      std::string name;
+      Epoch dwell = 0;
+      if (!(in >> name >> dwell)) {
+        return Status::InvalidArgument("malformed patrol line: " + line);
+      }
+      auto reader_it = readers_by_name.find(name);
+      if (reader_it == readers_by_name.end()) {
+        return Status::InvalidArgument("patrol for unknown reader: " + name);
+      }
+      std::vector<LocationId> route;
+      std::string stop;
+      while (in >> stop) {
+        auto loc_it = locations.find(stop);
+        if (loc_it == locations.end()) {
+          return Status::InvalidArgument("patrol stop is not a location: " +
+                                         stop);
+        }
+        route.push_back(loc_it->second);
+      }
+      if (route.empty()) {
+        return Status::InvalidArgument("patrol without stops: " + line);
+      }
+      SPIRE_RETURN_NOT_OK(
+          registry.SetPatrol(reader_it->second, std::move(route), dwell));
+      continue;
+    }
+    if (keyword != "reader") {
+      return Status::InvalidArgument("unknown deployment keyword: " + keyword);
+    }
+    std::string name, location_name, type_name;
+    Epoch period = 0;
+    if (!(in >> name >> location_name >> type_name >> period)) {
+      return Status::InvalidArgument("malformed reader line: " + line);
+    }
+    auto type = TypeFromName(type_name);
+    if (!type.ok()) return type.status();
+
+    auto [it, inserted] = locations.try_emplace(
+        location_name, static_cast<LocationId>(locations.size()));
+    if (inserted) registry.AddLocation(location_name);
+
+    ReaderInfo info;
+    info.id = static_cast<ReaderId>(registry.readers().size());
+    info.location = it->second;
+    info.type = type.value();
+    info.period_epochs = period;
+    info.name = name;
+    SPIRE_RETURN_NOT_OK(registry.AddReader(info));
+    readers_by_name[name] = info.id;
+  }
+  return registry;
+}
+
+std::vector<std::string> SerializeDeployment(const ReaderRegistry& registry) {
+  std::vector<std::string> lines;
+  lines.push_back("# SPIRE reader deployment");
+  for (std::size_t id = 0; id < registry.num_locations(); ++id) {
+    lines.push_back("location " +
+                    registry.LocationName(static_cast<LocationId>(id)));
+  }
+  for (const ReaderInfo& reader : registry.readers()) {
+    std::ostringstream out;
+    std::string name = reader.name.empty()
+                           ? "reader_" + std::to_string(reader.id)
+                           : reader.name;
+    out << "reader " << name << " " << registry.LocationName(reader.location)
+        << " " << ToString(reader.type) << " " << reader.period_epochs;
+    lines.push_back(out.str());
+    const std::vector<LocationId>& route = registry.PatrolRouteOf(reader.id);
+    if (!route.empty()) {
+      std::ostringstream patrol;
+      patrol << "patrol " << name << " " << registry.PatrolDwellOf(reader.id);
+      for (LocationId stop : route) {
+        patrol << " " << registry.LocationName(stop);
+      }
+      lines.push_back(patrol.str());
+    }
+  }
+  return lines;
+}
+
+}  // namespace spire

@@ -1,0 +1,34 @@
+// Text serialization of a reader deployment.
+//
+// A trace file (stream/trace_io.h) carries only readings; to interpret it
+// offline the consumer also needs the deployment: which readers exist,
+// where they are, their type, and their reading period (the "system
+// configuration file" of Section IV-D). The format is line-oriented:
+//
+//   # comments and blank lines are ignored
+//   location <name>
+//   reader <name> <location-name> <type> <period-epochs>
+//   patrol <reader-name> <dwell-epochs> <location-name> [<location-name> ...]
+//
+// with <type> one of the ReaderType names (entry_door, receiving_belt,
+// shelf, packaging, outgoing_belt, exit_door, mobile). Locations are
+// registered in first-appearance order (explicit `location` lines let a
+// patrol visit places no static reader covers); readers in file order
+// (their ids are dense).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/reader.h"
+
+namespace spire {
+
+/// Parses deployment lines into a registry.
+Result<ReaderRegistry> ParseDeployment(const std::vector<std::string>& lines);
+
+/// Serializes a registry into deployment lines (parseable back).
+std::vector<std::string> SerializeDeployment(const ReaderRegistry& registry);
+
+}  // namespace spire

@@ -1,0 +1,23 @@
+#include "stream/epoch_stream.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace spire {
+
+EpochBatch GroupByReader(const EpochReadings& readings, Epoch epoch) {
+  EpochBatch batch;
+  batch.epoch = epoch;
+  std::unordered_map<ReaderId, std::size_t> index_of;
+  for (const RfidReading& r : readings) {
+    assert(r.epoch == epoch);
+    auto [it, inserted] = index_of.try_emplace(r.reader, batch.per_reader.size());
+    if (inserted) {
+      batch.per_reader.push_back(ReaderBatch{r.reader, {}});
+    }
+    batch.per_reader[it->second].tags.push_back(r.tag);
+  }
+  return batch;
+}
+
+}  // namespace spire

@@ -1,0 +1,40 @@
+// Epoch batching: grouping a raw reading stream into per-reader sets.
+//
+// The graph update procedure of Section III-B consumes one set of readings
+// R_k per reader k per epoch and is incremental across readers. EpochBatch
+// groups the (deduplicated) readings of one epoch by reader, preserving the
+// reader arrival order so that update results are deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/reading.h"
+
+namespace spire {
+
+/// The readings one reader produced in one epoch.
+struct ReaderBatch {
+  ReaderId reader = kNoReader;
+  std::vector<ObjectId> tags;
+};
+
+/// All per-reader reading sets of one epoch.
+struct EpochBatch {
+  Epoch epoch = kNeverEpoch;
+  std::vector<ReaderBatch> per_reader;
+
+  /// Total number of readings across all readers.
+  std::size_t TotalReadings() const {
+    std::size_t n = 0;
+    for (const ReaderBatch& batch : per_reader) n += batch.tags.size();
+    return n;
+  }
+};
+
+/// Groups one epoch's readings by reader, in first-appearance order of the
+/// readers. Readings must all carry the same epoch (checked with assert in
+/// debug builds); tags within a reader keep arrival order.
+EpochBatch GroupByReader(const EpochReadings& readings, Epoch epoch);
+
+}  // namespace spire

@@ -1,0 +1,140 @@
+#include "stream/reader.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spire {
+
+const char* ToString(ReaderType type) {
+  switch (type) {
+    case ReaderType::kEntryDoor:
+      return "entry_door";
+    case ReaderType::kReceivingBelt:
+      return "receiving_belt";
+    case ReaderType::kShelf:
+      return "shelf";
+    case ReaderType::kPackaging:
+      return "packaging";
+    case ReaderType::kOutgoingBelt:
+      return "outgoing_belt";
+    case ReaderType::kExitDoor:
+      return "exit_door";
+    case ReaderType::kMobile:
+      return "mobile";
+  }
+  return "invalid";
+}
+
+Status ReaderRegistry::AddReader(const ReaderInfo& info) {
+  if (info.period_epochs < 1) {
+    return Status::InvalidArgument("reader period must be >= 1 epoch");
+  }
+  if (info.id != readers_.size()) {
+    return Status::InvalidArgument(
+        "reader ids must be assigned densely in registration order");
+  }
+  if (info.location >= location_names_.size()) {
+    return Status::InvalidArgument("reader references unregistered location");
+  }
+  readers_.push_back(info);
+  return Status::OK();
+}
+
+LocationId ReaderRegistry::AddLocation(const std::string& name) {
+  location_names_.push_back(name);
+  return static_cast<LocationId>(location_names_.size() - 1);
+}
+
+Result<ReaderInfo> ReaderRegistry::GetReader(ReaderId id) const {
+  if (id >= readers_.size()) {
+    return Status::NotFound("unknown reader id");
+  }
+  return readers_[id];
+}
+
+LocationId ReaderRegistry::LocationOf(ReaderId id) const {
+  if (id >= readers_.size()) return kUnknownLocation;
+  return readers_[id].location;
+}
+
+Status ReaderRegistry::SetPatrol(ReaderId id, std::vector<LocationId> route,
+                                 Epoch dwell) {
+  if (id >= readers_.size()) return Status::NotFound("unknown reader id");
+  if (dwell < 1) return Status::InvalidArgument("patrol dwell must be >= 1");
+  for (LocationId stop : route) {
+    if (stop >= location_names_.size()) {
+      return Status::InvalidArgument("patrol stop is not a location");
+    }
+  }
+  if (route.empty()) {
+    patrols_.erase(id);
+    return Status::OK();
+  }
+  patrols_[id] = Patrol{std::move(route), dwell};
+  return Status::OK();
+}
+
+LocationId ReaderRegistry::LocationAt(ReaderId id, Epoch epoch) const {
+  auto it = patrols_.find(id);
+  if (it == patrols_.end() || epoch < 0) return LocationOf(id);
+  const Patrol& patrol = it->second;
+  auto stop = static_cast<std::size_t>(
+      (epoch / patrol.dwell) % static_cast<Epoch>(patrol.route.size()));
+  return patrol.route[stop];
+}
+
+const std::vector<LocationId>& ReaderRegistry::PatrolRouteOf(
+    ReaderId id) const {
+  static const std::vector<LocationId> kEmpty;
+  auto it = patrols_.find(id);
+  return it == patrols_.end() ? kEmpty : it->second.route;
+}
+
+Epoch ReaderRegistry::PatrolDwellOf(ReaderId id) const {
+  auto it = patrols_.find(id);
+  return it == patrols_.end() ? 0 : it->second.dwell;
+}
+
+std::string ReaderRegistry::LocationName(LocationId id) const {
+  if (id == kUnknownLocation) return "unknown";
+  if (id >= location_names_.size()) return "invalid";
+  return location_names_[id];
+}
+
+bool ReaderRegistry::ReadsInEpoch(ReaderId id, Epoch epoch) const {
+  if (id >= readers_.size()) return false;
+  return epoch % readers_[id].period_epochs == 0;
+}
+
+std::vector<Epoch> LocationPeriods(const ReaderRegistry& registry) {
+  std::vector<Epoch> periods;
+  auto update = [&periods](LocationId location, Epoch period) {
+    if (location >= periods.size()) periods.resize(location + 1, 1);
+    Epoch& slot = periods[location];
+    slot = slot == 1 ? period : std::min(slot, period);
+  };
+  for (const ReaderInfo& reader : registry.readers()) {
+    const std::vector<LocationId>& route = registry.PatrolRouteOf(reader.id);
+    if (route.empty()) {
+      update(reader.location, reader.period_epochs);
+      continue;
+    }
+    // A patrolling reader revisits each stop once per full cycle.
+    Epoch revisit = registry.PatrolDwellOf(reader.id) *
+                    static_cast<Epoch>(route.size());
+    for (LocationId stop : route) {
+      update(stop, std::max(revisit, reader.period_epochs));
+    }
+  }
+  return periods;
+}
+
+Epoch ReaderRegistry::PeriodLcm() const {
+  Epoch lcm = 1;
+  for (const ReaderInfo& reader : readers_) {
+    lcm = std::lcm(lcm, reader.period_epochs);
+  }
+  return lcm;
+}
+
+}  // namespace spire

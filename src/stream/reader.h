@@ -1,0 +1,120 @@
+// Reader registry: the fixed RFID readers observing the physical world.
+//
+// SPIRE targets networks of static readers. Each reader is mounted at one
+// pre-defined location; a reading therefore pins the object to the reader's
+// location. Readers have a type (door / belt / shelf / ...) and a read
+// period; belt readers are the "special readers" of Section III that scan
+// one top-level container at a time and thereby confirm containment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace spire {
+
+/// Functional class of a reader. The warehouse of Section VI-A deploys six
+/// groups: entry door, receiving belt, shelves, packaging area, outgoing
+/// belt, and exit door.
+enum class ReaderType : std::uint8_t {
+  kEntryDoor = 0,
+  kReceivingBelt = 1,
+  kShelf = 2,
+  kPackaging = 3,
+  kOutgoingBelt = 4,
+  kExitDoor = 5,
+  /// A mobile reader patrolling a route of locations (the paper's future-
+  /// work extension): its current location is a function of the epoch.
+  kMobile = 6,
+};
+
+/// Human-readable reader type name.
+const char* ToString(ReaderType type);
+
+/// True for the special readers that scan one top-level container at a time
+/// and hence can confirm containment (receiving and outgoing belts).
+inline bool IsSpecialReader(ReaderType type) {
+  return type == ReaderType::kReceivingBelt || type == ReaderType::kOutgoingBelt;
+}
+
+/// True for exit readers: objects read there leave the physical world
+/// through a proper channel and their graph nodes are retired.
+inline bool IsExitReader(ReaderType type) {
+  return type == ReaderType::kExitDoor;
+}
+
+/// Static description of one deployed reader.
+struct ReaderInfo {
+  ReaderId id = kNoReader;
+  LocationId location = kUnknownLocation;
+  ReaderType type = ReaderType::kShelf;
+  /// The reader interrogates once every `period_epochs` epochs (>= 1).
+  /// Non-shelf readers in the paper read every epoch; shelf readers read
+  /// once per second up to once per minute.
+  Epoch period_epochs = 1;
+  std::string name;
+};
+
+/// Immutable-after-setup registry of readers and locations.
+class ReaderRegistry {
+ public:
+  ReaderRegistry() = default;
+
+  /// Registers a reader. Ids must be unique; periods must be >= 1.
+  Status AddReader(const ReaderInfo& info);
+
+  /// Registers a location name and returns its dense id.
+  LocationId AddLocation(const std::string& name);
+
+  /// Makes a (kMobile) reader patrol `route`, dwelling `dwell` epochs at
+  /// each stop and cycling forever. The reader's static `location` becomes
+  /// its home (used when the route is empty).
+  Status SetPatrol(ReaderId id, std::vector<LocationId> route, Epoch dwell);
+
+  /// Looks up a reader; fails with NotFound for unknown ids.
+  Result<ReaderInfo> GetReader(ReaderId id) const;
+
+  /// The reader's static (home) location, or kUnknownLocation if unknown.
+  LocationId LocationOf(ReaderId id) const;
+
+  /// The reader's location at `epoch`: the patrol stop for mobile readers,
+  /// the static location otherwise.
+  LocationId LocationAt(ReaderId id, Epoch epoch) const;
+
+  /// The patrol route of a reader (empty for static readers).
+  const std::vector<LocationId>& PatrolRouteOf(ReaderId id) const;
+  Epoch PatrolDwellOf(ReaderId id) const;
+
+  /// The registered location name, or "unknown"/"invalid".
+  std::string LocationName(LocationId id) const;
+
+  /// True if the reader interrogates in the given epoch.
+  bool ReadsInEpoch(ReaderId id, Epoch epoch) const;
+
+  /// Least common multiple of all reader periods (in epochs); the complete-
+  /// inference cadence M of Section IV-D. Returns 1 for an empty registry.
+  Epoch PeriodLcm() const;
+
+  const std::vector<ReaderInfo>& readers() const { return readers_; }
+  std::size_t num_locations() const { return location_names_.size(); }
+
+ private:
+  struct Patrol {
+    std::vector<LocationId> route;
+    Epoch dwell = 1;
+  };
+
+  std::vector<ReaderInfo> readers_;            // indexed by ReaderId
+  std::vector<std::string> location_names_;    // indexed by LocationId
+  std::map<ReaderId, Patrol> patrols_;
+};
+
+/// Per-location reading periods: entry l holds the period of the fastest
+/// reader at location l (1 for uncovered locations). Used to convert epochs
+/// into reading opportunities when weighing the silence of slow readers.
+std::vector<Epoch> LocationPeriods(const ReaderRegistry& registry);
+
+}  // namespace spire

@@ -1,0 +1,28 @@
+// The raw RFID stream element.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace spire {
+
+/// A raw RFID reading: the triplet <tag id, reader id, timestamp> of
+/// Section I. `timestamp` is a fine-grained intra-epoch tick (readers can
+/// interrogate several times per epoch); `epoch` is the enclosing epoch.
+struct RfidReading {
+  ObjectId tag = kNoObject;
+  ReaderId reader = kNoReader;
+  Epoch epoch = kNeverEpoch;
+  /// Intra-epoch interrogation tick; higher = more recent within the epoch.
+  /// Deduplication keeps the reading with the highest tick.
+  std::uint16_t tick = 0;
+
+  bool operator==(const RfidReading&) const = default;
+};
+
+/// All readings produced in one epoch, in arrival order.
+using EpochReadings = std::vector<RfidReading>;
+
+}  // namespace spire

@@ -1,0 +1,122 @@
+#include "stream/trace_io.h"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/wire.h"
+
+namespace spire {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'T', 'R'};
+constexpr std::uint16_t kVersion = 1;
+
+template <typename T>
+void PutBE(T value, std::ostream* out) {
+  using U = std::make_unsigned_t<T>;
+  U bits = static_cast<U>(value);
+  for (int shift = static_cast<int>(sizeof(U)) * 8 - 8; shift >= 0;
+       shift -= 8) {
+    char byte = static_cast<char>((bits >> shift) & 0xff);
+    out->write(&byte, 1);
+  }
+}
+
+template <typename T>
+bool GetBE(std::istream* in, T* value) {
+  using U = std::make_unsigned_t<T>;
+  U bits = 0;
+  for (std::size_t i = 0; i < sizeof(U); ++i) {
+    int byte = in->get();
+    if (byte == std::char_traits<char>::eof()) return false;
+    bits = bits << 8 | static_cast<U>(byte & 0xff);
+  }
+  *value = static_cast<T>(bits);
+  return true;
+}
+
+}  // namespace
+
+Status TraceWriter::WriteHeader() {
+  out_->write(kMagic, sizeof(kMagic));
+  PutBE<std::uint16_t>(kVersion, out_);
+  if (!out_->good()) return Status::Internal("trace header write failed");
+  return Status::OK();
+}
+
+Status TraceWriter::WriteEpoch(Epoch epoch, const EpochReadings& readings) {
+  if (readings.empty()) return Status::OK();
+  if (epoch <= last_epoch_) {
+    return Status::InvalidArgument("epoch blocks must strictly increase");
+  }
+  if (readings.size() > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::InvalidArgument("too many readings in one epoch");
+  }
+  last_epoch_ = epoch;
+  PutBE<std::int64_t>(epoch, out_);
+  PutBE<std::uint32_t>(static_cast<std::uint32_t>(readings.size()), out_);
+  for (const RfidReading& reading : readings) {
+    if (reading.epoch != epoch) {
+      return Status::InvalidArgument("reading from a different epoch");
+    }
+    PutBE<std::uint32_t>(0, out_);  // EPC header bytes.
+    PutBE<std::uint64_t>(reading.tag, out_);
+    PutBE<std::uint16_t>(reading.reader, out_);
+    PutBE<std::uint16_t>(reading.tick, out_);
+  }
+  if (!out_->good()) return Status::Internal("trace block write failed");
+  return Status::OK();
+}
+
+Status TraceReader::ReadHeader() {
+  std::array<char, sizeof(kMagic)> magic{};
+  in_->read(magic.data(), magic.size());
+  if (!in_->good() || std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a SPIRE trace file (bad magic)");
+  }
+  std::uint16_t version = 0;
+  if (!GetBE(in_, &version) || version != kVersion) {
+    return Status::NotSupported("unsupported trace version");
+  }
+  return Status::OK();
+}
+
+Result<bool> TraceReader::NextEpoch(Epoch* epoch, EpochReadings* readings) {
+  readings->clear();
+  std::int64_t epoch_value = 0;
+  if (!GetBE(in_, &epoch_value)) {
+    return false;  // Clean end of file.
+  }
+  std::uint32_t count = 0;
+  if (!GetBE(in_, &count)) {
+    return Status::Corruption("truncated epoch block header");
+  }
+  *epoch = epoch_value;
+  readings->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t epc_header = 0;
+    std::uint64_t tag = 0;
+    std::uint16_t reader = 0;
+    std::uint16_t tick = 0;
+    if (!GetBE(in_, &epc_header) || !GetBE(in_, &tag) ||
+        !GetBE(in_, &reader) || !GetBE(in_, &tick)) {
+      return Status::Corruption("truncated reading record");
+    }
+    if (epc_header != 0) {
+      return Status::Corruption("nonzero EPC header bytes");
+    }
+    RfidReading reading;
+    reading.tag = tag;
+    reading.reader = reader;
+    reading.epoch = epoch_value;
+    reading.tick = tick;
+    readings->push_back(reading);
+  }
+  return true;
+}
+
+}  // namespace spire

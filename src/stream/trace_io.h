@@ -1,0 +1,56 @@
+// Binary raw-reading trace files.
+//
+// A trace file carries the raw RFID stream for offline processing and
+// replay. Layout (big-endian):
+//
+//   header: "SPTR" magic + u16 version
+//   one block per epoch with readings:
+//     i64 epoch, u32 count, then `count` records of kReadingWireBytes each:
+//       12-byte EPC (4 zero bytes + compact 64-bit id),
+//       u16 reader id, u16 interrogation tick
+//
+// Epoch blocks must be written in increasing epoch order; epochs with no
+// readings may be skipped.
+#pragma once
+
+#include <iosfwd>
+
+#include "common/status.h"
+#include "stream/reading.h"
+
+namespace spire {
+
+/// Streaming writer. The caller owns the stream and its lifetime.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream* out) : out_(out) {}
+
+  /// Writes the file header. Call once, first.
+  Status WriteHeader();
+
+  /// Writes one epoch block (no-op for empty readings). All readings must
+  /// carry `epoch`.
+  Status WriteEpoch(Epoch epoch, const EpochReadings& readings);
+
+ private:
+  std::ostream* out_;
+  Epoch last_epoch_ = kNeverEpoch;
+};
+
+/// Streaming reader.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream* in) : in_(in) {}
+
+  /// Validates the header. Call once, first.
+  Status ReadHeader();
+
+  /// Reads the next epoch block into (epoch, readings). Returns false at a
+  /// clean end of file, an error on a malformed block.
+  Result<bool> NextEpoch(Epoch* epoch, EpochReadings* readings);
+
+ private:
+  std::istream* in_;
+};
+
+}  // namespace spire

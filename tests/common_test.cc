@@ -1,0 +1,323 @@
+// Unit tests for src/common: status/result, shift register, EPC codec,
+// deterministic RNG, and config parsing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/config.h"
+#include "common/epc.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/wire.h"
+
+namespace spire {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad beta");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad beta");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad beta");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
+      Status::AlreadyExists("x").code(),   Status::OutOfRange("x").code(),
+      Status::Corruption("x").code(),      Status::NotSupported("x").code(),
+      Status::Internal("x").code(),
+  };
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+// --------------------------------------------------------- ShiftRegister --
+
+TEST(ShiftRegisterTest, StartsEmpty) {
+  ShiftRegister reg(8);
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.size(), 0);
+  EXPECT_EQ(reg.capacity(), 8);
+  EXPECT_EQ(reg.PopCount(), 0);
+}
+
+TEST(ShiftRegisterTest, NewestIsIndexZero) {
+  ShiftRegister reg(8);
+  reg.Push(true);
+  reg.Push(false);
+  reg.Push(true);
+  EXPECT_EQ(reg.size(), 3);
+  EXPECT_TRUE(reg.Get(0));   // Most recent.
+  EXPECT_FALSE(reg.Get(1));
+  EXPECT_TRUE(reg.Get(2));   // Oldest.
+  EXPECT_EQ(reg.PopCount(), 2);
+}
+
+TEST(ShiftRegisterTest, OldObservationsFallOffAtCapacity) {
+  ShiftRegister reg(4);
+  reg.Push(true);                          // Will fall off.
+  for (int i = 0; i < 4; ++i) reg.Push(false);
+  EXPECT_EQ(reg.size(), 4);
+  EXPECT_EQ(reg.PopCount(), 0);
+}
+
+TEST(ShiftRegisterTest, SetNewestAmendsWithoutShift) {
+  ShiftRegister reg(4);
+  reg.Push(false);
+  reg.SetNewest(true);
+  EXPECT_EQ(reg.size(), 1);
+  EXPECT_TRUE(reg.Get(0));
+  reg.SetNewest(false);
+  EXPECT_FALSE(reg.Get(0));
+}
+
+TEST(ShiftRegisterTest, PopCountMasksBeyondSize) {
+  ShiftRegister reg(8);
+  reg.Push(true);
+  EXPECT_EQ(reg.PopCount(), 1);
+  reg.Push(true);
+  EXPECT_EQ(reg.PopCount(), 2);
+}
+
+TEST(ShiftRegisterTest, FullCapacity64) {
+  ShiftRegister reg(64);
+  for (int i = 0; i < 100; ++i) reg.Push(true);
+  EXPECT_EQ(reg.size(), 64);
+  EXPECT_EQ(reg.PopCount(), 64);
+}
+
+TEST(ShiftRegisterTest, ClearResets) {
+  ShiftRegister reg(8);
+  reg.Push(true);
+  reg.Clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.PopCount(), 0);
+}
+
+// ----------------------------------------------------------------- EPC ----
+
+TEST(EpcTest, RoundTripsAllFields) {
+  EpcFields fields;
+  fields.level = PackagingLevel::kCase;
+  fields.company_prefix = 123456;
+  fields.item_reference = 654321;
+  fields.serial = 1048575;
+  auto encoded = EncodeEpc(fields);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(DecodeEpc(encoded.value()), fields);
+  EXPECT_EQ(EpcLevel(encoded.value()), PackagingLevel::kCase);
+  EXPECT_EQ(EpcLayer(encoded.value()), 1);
+}
+
+TEST(EpcTest, LayersMatchLevels) {
+  for (int level = 0; level < kNumPackagingLevels; ++level) {
+    EpcFields fields;
+    fields.level = static_cast<PackagingLevel>(level);
+    fields.serial = 7;
+    auto id = EncodeEpc(fields);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(EpcLayer(id.value()), level);
+  }
+}
+
+TEST(EpcTest, RejectsOverflowingFields) {
+  EpcFields fields;
+  fields.company_prefix = 1u << 20;  // 21 bits: too wide.
+  EXPECT_FALSE(EncodeEpc(fields).ok());
+  fields = EpcFields{};
+  fields.item_reference = 1u << 20;
+  EXPECT_FALSE(EncodeEpc(fields).ok());
+  fields = EpcFields{};
+  fields.serial = 1u << 21;
+  EXPECT_FALSE(EncodeEpc(fields).ok());
+}
+
+TEST(EpcTest, DistinctFieldsYieldDistinctIds) {
+  std::set<ObjectId> ids;
+  for (std::uint32_t serial = 0; serial < 100; ++serial) {
+    for (int level = 0; level < kNumPackagingLevels; ++level) {
+      EpcFields fields;
+      fields.level = static_cast<PackagingLevel>(level);
+      fields.serial = serial;
+      ids.insert(EncodeEpcUnchecked(fields));
+    }
+  }
+  EXPECT_EQ(ids.size(), 300u);
+}
+
+TEST(EpcTest, ToStringNamesTheLevel) {
+  EpcFields fields;
+  fields.level = PackagingLevel::kPallet;
+  fields.company_prefix = 12;
+  fields.item_reference = 34;
+  fields.serial = 56;
+  EXPECT_EQ(EpcToString(EncodeEpcUnchecked(fields)), "pallet:12.34.56");
+}
+
+// ----------------------------------------------------------------- RNG ----
+
+TEST(Pcg32Test, DeterministicForSeed) {
+  Pcg32 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32Test, BoundedStaysInRange) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Pcg32Test, RangeInclusive) {
+  Pcg32 rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // All four values hit.
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, BernoulliMatchesProbability) {
+  Pcg32 rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.85)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.85, 0.02);
+}
+
+// --------------------------------------------------------------- Config ---
+
+TEST(ConfigTest, ParsesLinesSkippingComments) {
+  auto config = Config::FromLines(
+      {"# comment", "", "  read_rate = 0.85 ", "shelf_period=60"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config.value().Has("read_rate"));
+  EXPECT_EQ(config.value().GetDouble("read_rate", 0).value(), 0.85);
+  EXPECT_EQ(config.value().GetInt("shelf_period", 0).value(), 60);
+}
+
+TEST(ConfigTest, RejectsMalformedLines) {
+  EXPECT_FALSE(Config::FromLines({"no equals sign"}).ok());
+  EXPECT_FALSE(Config::FromLines({"= value-without-key"}).ok());
+}
+
+TEST(ConfigTest, FallbacksForMissingKeys) {
+  Config config;
+  EXPECT_EQ(config.GetInt("absent", 42).value(), 42);
+  EXPECT_EQ(config.GetDouble("absent", 1.5).value(), 1.5);
+  EXPECT_EQ(config.GetString("absent", "x").value(), "x");
+  EXPECT_EQ(config.GetBool("absent", true).value(), true);
+}
+
+TEST(ConfigTest, TypedParseErrors) {
+  Config config;
+  config.Set("n", "not-a-number");
+  EXPECT_FALSE(config.GetInt("n", 0).ok());
+  EXPECT_FALSE(config.GetDouble("n", 0).ok());
+  EXPECT_FALSE(config.GetBool("n", false).ok());
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  Config config;
+  for (const char* spelling : {"true", "1", "yes", "on", "TRUE"}) {
+    config.Set("b", spelling);
+    EXPECT_TRUE(config.GetBool("b", false).value()) << spelling;
+  }
+  for (const char* spelling : {"false", "0", "no", "off", "False"}) {
+    config.Set("b", spelling);
+    EXPECT_FALSE(config.GetBool("b", true).value()) << spelling;
+  }
+}
+
+TEST(ConfigTest, FromArgsParsesKeyValueTokens) {
+  const char* argv[] = {"prog", "a=1", "b=two"};
+  auto config = Config::FromArgs(3, argv);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().GetInt("a", 0).value(), 1);
+  EXPECT_EQ(config.value().GetString("b", "").value(), "two");
+}
+
+TEST(ConfigTest, LaterKeysOverride) {
+  auto config = Config::FromLines({"k = 1", "k = 2"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().GetInt("k", 0).value(), 2);
+}
+
+TEST(ConfigTest, KeysSorted) {
+  Config config;
+  config.Set("zeta", "1");
+  config.Set("alpha", "2");
+  std::vector<std::string> keys = config.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "zeta");
+}
+
+// ----------------------------------------------------------------- Wire ---
+
+TEST(WireTest, SizesAreFixed) {
+  EXPECT_EQ(kReadingWireBytes, 16u);
+  EXPECT_EQ(kEventWireBytes, 26u);
+}
+
+}  // namespace
+}  // namespace spire

@@ -1,0 +1,486 @@
+// Unit tests for src/compress: event model, level-1 and level-2 compressors,
+// well-formedness validation, and the level-2 -> level-1 decompressor.
+#include <gtest/gtest.h>
+
+#include "common/epc.h"
+#include "compress/compressor.h"
+#include "compress/decompress.h"
+#include "compress/event.h"
+#include "compress/well_formed.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+const ObjectId kItem = Obj(PackagingLevel::kItem, 1);
+const ObjectId kCase = Obj(PackagingLevel::kCase, 2);
+const ObjectId kPallet = Obj(PackagingLevel::kPallet, 3);
+
+ObjectStateEstimate At(ObjectId object, LocationId location,
+                       ObjectId container = kNoObject) {
+  ObjectStateEstimate state;
+  state.object = object;
+  state.location = location;
+  state.container = container;
+  return state;
+}
+
+ObjectStateEstimate Away(ObjectId object, bool missing = true) {
+  ObjectStateEstimate state;
+  state.object = object;
+  state.location = kUnknownLocation;
+  state.missing = missing;
+  return state;
+}
+
+// ------------------------------------------------------------- Event model --
+
+TEST(EventTest, ConstructorsFillFields) {
+  Event start = Event::StartLocation(kItem, 4, 10);
+  EXPECT_EQ(start.type, EventType::kStartLocation);
+  EXPECT_EQ(start.end, kInfiniteEpoch);
+  Event end = Event::EndLocation(kItem, 4, 10, 20);
+  EXPECT_EQ(end.start, 10);
+  EXPECT_EQ(end.end, 20);
+  Event missing = Event::Missing(kItem, 4, 30);
+  EXPECT_EQ(missing.start, missing.end);
+  Event sc = Event::StartContainment(kItem, kCase, 5);
+  EXPECT_EQ(sc.container, kCase);
+  EXPECT_TRUE(IsContainmentEvent(sc.type));
+  EXPECT_FALSE(IsContainmentEvent(missing.type));
+}
+
+TEST(EventTest, ToStringIsReadable) {
+  EXPECT_EQ(Event::StartLocation(kItem, 4, 10).ToString(),
+            "StartLocation(item:0.0.1, loc 4, [10, inf))");
+  EXPECT_EQ(Event::EndContainment(kItem, kCase, 5, 9).ToString(),
+            "EndContainment(item:0.0.1, in case:0.0.2, [5, 9))");
+}
+
+TEST(EventTest, WireBytes) {
+  EventStream stream{Event::StartLocation(kItem, 4, 10),
+                     Event::Missing(kItem, 4, 30)};
+  EXPECT_EQ(WireBytes(stream), 2 * kEventWireBytes);
+}
+
+// ------------------------------------------------------ Level-1 compressor --
+
+TEST(RangeCompressorTest, FirstReportOpensEvents) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4, kCase), 10, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Event::StartContainment(kItem, kCase, 10));
+  EXPECT_EQ(out[1], Event::StartLocation(kItem, 4, 10));
+}
+
+TEST(RangeCompressorTest, UnchangedStateIsSilent) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4, kCase), 10, &out);
+  std::size_t base = out.size();
+  for (Epoch e = 11; e < 100; ++e) compressor.Report(At(kItem, 4, kCase), e, &out);
+  EXPECT_EQ(out.size(), base);  // That is the compression.
+}
+
+TEST(RangeCompressorTest, LocationChangeEmitsEndThenStart) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4), 10, &out);
+  out.clear();
+  compressor.Report(At(kItem, 7), 25, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Event::EndLocation(kItem, 4, 10, 25));
+  EXPECT_EQ(out[1], Event::StartLocation(kItem, 7, 25));
+}
+
+TEST(RangeCompressorTest, MissingEmitsEndPlusSingleton) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4), 10, &out);
+  out.clear();
+  compressor.Report(Away(kItem), 30, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Event::EndLocation(kItem, 4, 10, 30));
+  EXPECT_EQ(out[1], Event::Missing(kItem, 4, 30));
+  // Staying missing adds nothing.
+  compressor.Report(Away(kItem), 31, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(RangeCompressorTest, TransitWithoutMissingFlagOnlyCloses) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4), 10, &out);
+  out.clear();
+  compressor.Report(Away(kItem, /*missing=*/false), 30, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, EventType::kEndLocation);
+}
+
+TEST(RangeCompressorTest, ReappearanceAfterMissing) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4), 10, &out);
+  compressor.Report(Away(kItem), 30, &out);
+  out.clear();
+  compressor.Report(At(kItem, 4), 50, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Event::StartLocation(kItem, 4, 50));
+}
+
+TEST(RangeCompressorTest, ContainmentChangeEmitsEndThenStart) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4, kCase), 10, &out);
+  out.clear();
+  compressor.Report(At(kItem, 4, kPallet), 40, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Event::EndContainment(kItem, kCase, 10, 40));
+  EXPECT_EQ(out[1], Event::StartContainment(kItem, kPallet, 40));
+}
+
+TEST(RangeCompressorTest, ContainmentSpansLocationChanges) {
+  // A start-end containment pair may span several location pairs
+  // (Section V-A nesting).
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4, kCase), 10, &out);
+  compressor.Report(At(kItem, 5, kCase), 20, &out);
+  compressor.Report(At(kItem, 6, kCase), 30, &out);
+  compressor.Finish(40, &out);
+  int containment_events = 0;
+  for (const Event& e : out) {
+    if (IsContainmentEvent(e.type)) ++containment_events;
+  }
+  EXPECT_EQ(containment_events, 2);  // One Start + one End only.
+  EXPECT_TRUE(ValidateWellFormed(out).ok());
+}
+
+TEST(RangeCompressorTest, RetireClosesEverything) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4, kCase), 10, &out);
+  out.clear();
+  compressor.Retire(kItem, 60, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Event::EndContainment(kItem, kCase, 10, 60));
+  EXPECT_EQ(out[1], Event::EndLocation(kItem, 4, 10, 60));
+  EXPECT_EQ(compressor.tracked_objects(), 0u);
+  // Retiring an unknown object is a no-op.
+  compressor.Retire(kItem, 61, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(RangeCompressorTest, FinishClosesAllTrackedObjects) {
+  RangeCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kItem, 4), 10, &out);
+  compressor.Report(At(kCase, 5), 10, &out);
+  compressor.Finish(99, &out);
+  EXPECT_TRUE(ValidateWellFormed(out).ok());
+  EXPECT_EQ(compressor.tracked_objects(), 0u);
+}
+
+TEST(RangeCompressorTest, EmitFlagsSuppressStreams) {
+  CompressorOptions location_only;
+  location_only.emit_containment = false;
+  RangeCompressor compressor(location_only);
+  EventStream out;
+  compressor.Report(At(kItem, 4, kCase), 10, &out);
+  compressor.Finish(20, &out);
+  for (const Event& e : out) EXPECT_FALSE(IsContainmentEvent(e.type));
+  EXPECT_FALSE(out.empty());
+}
+
+// ------------------------------------------------------ Level-2 compressor --
+
+TEST(ContainmentCompressorTest, SuppressesContainedChildLocations) {
+  ContainmentCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kCase, 4, kPallet), 10, &out);
+  compressor.Report(At(kPallet, 4), 10, &out);
+  // Moving the group: only the pallet's location events appear.
+  compressor.Report(At(kCase, 5, kPallet), 20, &out);
+  compressor.Report(At(kPallet, 5), 20, &out);
+  int case_location_events = 0;
+  for (const Event& e : out) {
+    if (!IsContainmentEvent(e.type) && e.object == kCase) {
+      ++case_location_events;
+    }
+  }
+  EXPECT_EQ(case_location_events, 0);
+}
+
+TEST(ContainmentCompressorTest, PaperFigure8Sequence) {
+  // Reproduces Fig. 8: P with C1, C2 at L1; group moves to L2; C2 splits at
+  // L3-time; C2 then moves alone to L4.
+  ObjectId p = kPallet, c1 = kCase, c2 = Obj(PackagingLevel::kCase, 9);
+  ContainmentCompressor compressor;
+  EventStream out;
+  // T1.
+  compressor.Report(At(c1, 1, p), 1, &out);
+  compressor.Report(At(c2, 1, p), 1, &out);
+  compressor.Report(At(p, 1), 1, &out);
+  EXPECT_EQ(out.size(), 3u);  // Two StartContainment + StartLocation(P).
+  // T2: group moves to L2.
+  out.clear();
+  compressor.Report(At(c1, 2, p), 2, &out);
+  compressor.Report(At(c2, 2, p), 2, &out);
+  compressor.Report(At(p, 2), 2, &out);
+  ASSERT_EQ(out.size(), 2u);  // End + Start for P only.
+  EXPECT_EQ(out[0].object, p);
+  EXPECT_EQ(out[1].object, p);
+  // T3: C2 stays at L2, P and C1 move to L3.
+  out.clear();
+  compressor.Report(At(c2, 2), 3, &out);  // No longer contained.
+  compressor.Report(At(c1, 3, p), 3, &out);
+  compressor.Report(At(p, 3), 3, &out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], Event::EndContainment(c2, p, 1, 3));
+  EXPECT_EQ(out[1], Event::StartLocation(c2, 2, 3));
+  EXPECT_EQ(out[2], Event::EndLocation(p, 2, 2, 3));
+  EXPECT_EQ(out[3], Event::StartLocation(p, 3, 3));
+  // T4: C2 moves alone to L4.
+  out.clear();
+  compressor.Report(At(c2, 4), 4, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Event::EndLocation(c2, 2, 3, 4));
+  EXPECT_EQ(out[1], Event::StartLocation(c2, 4, 4));
+}
+
+TEST(ContainmentCompressorTest, ContainmentStartClosesChildLocation) {
+  ContainmentCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kCase, 4), 10, &out);  // Uncontained: location opens.
+  out.clear();
+  compressor.Report(At(kCase, 4, kPallet), 20, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Event::StartContainment(kCase, kPallet, 20));
+  EXPECT_EQ(out[1], Event::EndLocation(kCase, 4, 10, 20));
+}
+
+TEST(ContainmentCompressorTest, MissingInsideContainment) {
+  // Missing does not end containment (Section V-A).
+  ContainmentCompressor compressor;
+  EventStream out;
+  compressor.Report(At(kCase, 4, kPallet), 10, &out);
+  std::size_t before = out.size();
+  ObjectStateEstimate away = Away(kCase);
+  away.container = kPallet;
+  compressor.Report(away, 30, &out);
+  ASSERT_EQ(out.size(), before + 1);
+  EXPECT_EQ(out.back().type, EventType::kMissing);
+  compressor.Finish(50, &out);
+  EXPECT_TRUE(ValidateWellFormed(out).ok());
+}
+
+// ----------------------------------------------------------- Well-formed ---
+
+TEST(WellFormedTest, EmptyStreamOk) {
+  EXPECT_TRUE(ValidateWellFormed({}).ok());
+}
+
+TEST(WellFormedTest, MatchedPairsOk) {
+  EventStream stream{
+      Event::StartLocation(kItem, 4, 10),
+      Event::EndLocation(kItem, 4, 10, 20),
+      Event::StartContainment(kItem, kCase, 12),
+      Event::EndContainment(kItem, kCase, 12, 18),
+  };
+  EXPECT_TRUE(ValidateWellFormed(stream).ok());
+}
+
+TEST(WellFormedTest, NestedStartRejected) {
+  EventStream stream{
+      Event::StartLocation(kItem, 4, 10),
+      Event::StartLocation(kItem, 5, 12),
+  };
+  EXPECT_FALSE(ValidateWellFormed(stream).ok());
+}
+
+TEST(WellFormedTest, EndWithoutStartRejected) {
+  EXPECT_FALSE(ValidateWellFormed({Event::EndLocation(kItem, 4, 1, 2)}).ok());
+  EXPECT_FALSE(
+      ValidateWellFormed({Event::EndContainment(kItem, kCase, 1, 2)}).ok());
+}
+
+TEST(WellFormedTest, MismatchedEndRejected) {
+  EventStream stream{
+      Event::StartLocation(kItem, 4, 10),
+      Event::EndLocation(kItem, 5, 10, 20),  // Wrong location.
+  };
+  EXPECT_FALSE(ValidateWellFormed(stream).ok());
+  stream[1] = Event::EndLocation(kItem, 4, 11, 20);  // Wrong V_s.
+  EXPECT_FALSE(ValidateWellFormed(stream).ok());
+  stream[1] = Event::EndLocation(kItem, 4, 10, 5);  // V_e < V_s.
+  EXPECT_FALSE(ValidateWellFormed(stream).ok());
+}
+
+TEST(WellFormedTest, MissingInsideLocationPairRejected) {
+  EventStream stream{
+      Event::StartLocation(kItem, 4, 10),
+      Event::Missing(kItem, 4, 15),
+      Event::EndLocation(kItem, 4, 10, 20),
+  };
+  EXPECT_FALSE(ValidateWellFormed(stream).ok());
+}
+
+TEST(WellFormedTest, MissingInsideContainmentPairAccepted) {
+  EventStream stream{
+      Event::StartContainment(kItem, kCase, 10),
+      Event::Missing(kItem, 4, 15),
+      Event::EndContainment(kItem, kCase, 10, 20),
+  };
+  EXPECT_TRUE(ValidateWellFormed(stream).ok());
+}
+
+TEST(WellFormedTest, OpenAtEndPolicy) {
+  EventStream stream{Event::StartLocation(kItem, 4, 10)};
+  EXPECT_FALSE(ValidateWellFormed(stream).ok());
+  EXPECT_TRUE(ValidateWellFormed(stream, /*allow_open_at_end=*/true).ok());
+}
+
+TEST(WellFormedTest, StartAtUnknownLocationRejected) {
+  EventStream stream{Event::StartLocation(kItem, kUnknownLocation, 10)};
+  EXPECT_FALSE(ValidateWellFormed(stream).ok());
+}
+
+// ----------------------------------------------------------- Decompressor --
+
+TEST(DecompressorTest, PassesThroughLevel1Stream) {
+  EventStream level1{
+      Event::StartLocation(kItem, 4, 10),
+      Event::EndLocation(kItem, 4, 10, 20),
+  };
+  EventStream out = Decompressor::DecompressAll(level1);
+  EXPECT_EQ(out, level1);
+}
+
+TEST(DecompressorTest, ReconstructsChildLocationFromContainment) {
+  // Level-2: the case's location is implied by the pallet's.
+  EventStream level2{
+      Event::StartContainment(kCase, kPallet, 1),
+      Event::StartLocation(kPallet, 1, 1),
+      Event::EndLocation(kPallet, 1, 1, 5),
+      Event::StartLocation(kPallet, 2, 5),
+  };
+  EventStream out = Decompressor::DecompressAll(level2);
+  EXPECT_TRUE(ValidateWellFormed(out, /*allow_open_at_end=*/true).ok());
+  // The case must have reconstructed stays at locations 1 and 2.
+  bool case_at_1 = false, case_at_2 = false;
+  for (const Event& e : out) {
+    if (e.type == EventType::kStartLocation && e.object == kCase) {
+      if (e.location == 1) case_at_1 = true;
+      if (e.location == 2) case_at_2 = true;
+    }
+  }
+  EXPECT_TRUE(case_at_1);
+  EXPECT_TRUE(case_at_2);
+}
+
+TEST(DecompressorTest, RecursiveDescent) {
+  // pallet -> case -> item: a pallet move propagates two levels down.
+  EventStream level2{
+      Event::StartContainment(kCase, kPallet, 1),
+      Event::StartContainment(kItem, kCase, 1),
+      Event::StartLocation(kPallet, 1, 1),
+      Event::EndLocation(kPallet, 1, 1, 9),
+      Event::StartLocation(kPallet, 3, 9),
+  };
+  EventStream out = Decompressor::DecompressAll(level2);
+  bool item_at_3 = false;
+  for (const Event& e : out) {
+    if (e.type == EventType::kStartLocation && e.object == kItem &&
+        e.location == 3) {
+      item_at_3 = true;
+    }
+  }
+  EXPECT_TRUE(item_at_3);
+}
+
+TEST(DecompressorTest, SuppressesDuplicateStart) {
+  // The paper's T2/T3 example: the stream's StartLocation(C2, L2, T3) is a
+  // duplicate of the propagated location and must be removed.
+  EventStream level2{
+      Event::StartContainment(kCase, kPallet, 1),
+      Event::StartLocation(kPallet, 2, 2),
+      Event::EndContainment(kCase, kPallet, 1, 3),
+      Event::StartLocation(kCase, 2, 3),  // Duplicate: already at 2.
+  };
+  EventStream out = Decompressor::DecompressAll(level2);
+  int case_starts_at_2 = 0;
+  for (const Event& e : out) {
+    if (e.type == EventType::kStartLocation && e.object == kCase &&
+        e.location == 2) {
+      ++case_starts_at_2;
+    }
+  }
+  EXPECT_EQ(case_starts_at_2, 1);
+}
+
+TEST(DecompressorTest, LateContainmentInheritsCurrentLocation) {
+  // Containment starting after the container settled: the child picks up
+  // the container's current location immediately.
+  EventStream level2{
+      Event::StartLocation(kPallet, 5, 1),
+      Event::EndLocation(kCase, 5, 1, 10),        // Level-2 closes the child.
+      Event::StartContainment(kCase, kPallet, 10),
+  };
+  // Give the child its own pre-containment stay first.
+  EventStream input;
+  input.push_back(Event::StartLocation(kCase, 5, 1));
+  for (const Event& e : level2) input.push_back(e);
+  EventStream out = Decompressor::DecompressAll(input);
+  EXPECT_TRUE(ValidateWellFormed(out, true).ok());
+  // The churn canceller splices the End/Start at epoch 10 away: the case's
+  // stay at 5 is continuous.
+  int case_events_at_10 = 0;
+  for (const Event& e : out) {
+    if (e.object == kCase && !IsContainmentEvent(e.type) &&
+        (e.start == 10 || e.end == 10)) {
+      ++case_events_at_10;
+    }
+  }
+  EXPECT_EQ(case_events_at_10, 0);
+}
+
+TEST(DecompressorTest, MissingClosesReconstructedStay) {
+  EventStream level2{
+      Event::StartContainment(kCase, kPallet, 1),
+      Event::StartLocation(kPallet, 2, 2),
+      Event::Missing(kCase, 2, 7),
+  };
+  EventStream out = Decompressor::DecompressAll(level2);
+  EXPECT_TRUE(ValidateWellFormed(out, true).ok());
+  bool closed = false;
+  for (const Event& e : out) {
+    if (e.type == EventType::kEndLocation && e.object == kCase) closed = true;
+  }
+  EXPECT_TRUE(closed);
+}
+
+TEST(DecompressorTest, StreamingMatchesBatch) {
+  EventStream level2{
+      Event::StartContainment(kCase, kPallet, 1),
+      Event::StartLocation(kPallet, 1, 1),
+      Event::EndLocation(kPallet, 1, 1, 5),
+      Event::StartLocation(kPallet, 2, 5),
+      Event::EndContainment(kCase, kPallet, 1, 8),
+      Event::StartLocation(kCase, 2, 8),
+  };
+  Decompressor streaming;
+  EventStream incremental;
+  for (const Event& e : level2) streaming.Push(e, &incremental);
+  streaming.Finish(&incremental);
+  EXPECT_EQ(incremental, Decompressor::DecompressAll(level2));
+}
+
+}  // namespace
+}  // namespace spire

@@ -1,0 +1,652 @@
+// Unit tests for src/inference: edge inference (Eqs. 1-2), node inference
+// (Eqs. 3-4), the iterative sweep, pruning, scheduling, and conflict
+// resolution (Table I).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/epc.h"
+#include "graph/graph.h"
+#include "inference/conflict.h"
+#include "inference/edge_inference.h"
+#include "inference/iterative.h"
+#include "inference/node_inference.h"
+#include "inference/schedule.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+const ObjectId kItem = Obj(PackagingLevel::kItem, 1);
+const ObjectId kCaseA = Obj(PackagingLevel::kCase, 2);
+const ObjectId kCaseB = Obj(PackagingLevel::kCase, 3);
+const ObjectId kPallet = Obj(PackagingLevel::kPallet, 4);
+
+/// Pushes `history` (index 0 = oldest pushed = least recent ... pushed in
+/// order, so the LAST element becomes the most recent bit).
+void PushHistory(Edge& edge, std::initializer_list<bool> history) {
+  for (bool bit : history) edge.recent_colocations.Push(bit);
+}
+
+// -------------------------------------------------------- Edge inference --
+
+class EdgeInferenceTest : public ::testing::Test {
+ protected:
+  EdgeInferenceTest() : inferencer_(&graph_, &params_) {
+    graph_.BeginEpoch(1);
+  }
+
+  Graph graph_{8};
+  InferenceParams params_;
+  EdgeInferencer inferencer_;
+};
+
+TEST_F(EdgeInferenceTest, WeightAveragesHistoryWithAlphaZero) {
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  PushHistory(graph_.edge(e), {true, false, true, true});
+  params_.alpha = 0.0;
+  EXPECT_DOUBLE_EQ(inferencer_.Weight(graph_.edge(e)), 0.75);
+}
+
+TEST_F(EdgeInferenceTest, WeightNormalizesOverObservedBitsOnly) {
+  // A fresh edge with one positive instance has full weight (DESIGN.md #3);
+  // normalizing over the whole capacity would starve new edges.
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  PushHistory(graph_.edge(e), {true});
+  EXPECT_DOUBLE_EQ(inferencer_.Weight(graph_.edge(e)), 1.0);
+}
+
+TEST_F(EdgeInferenceTest, WeightZeroForEmptyHistory) {
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  EXPECT_DOUBLE_EQ(inferencer_.Weight(graph_.edge(e)), 0.0);
+}
+
+TEST_F(EdgeInferenceTest, PositiveAlphaFavorsRecentBits) {
+  EdgeId recent = graph_.AddEdge(kCaseA, kItem);
+  EdgeId old = graph_.AddEdge(kCaseB, kItem);
+  // Same popcount; `recent` has the co-location most recently.
+  PushHistory(graph_.edge(recent), {false, false, true});
+  PushHistory(graph_.edge(old), {true, false, false});
+  params_.alpha = 1.0;
+  EXPECT_GT(inferencer_.Weight(graph_.edge(recent)),
+            inferencer_.Weight(graph_.edge(old)));
+  // With alpha = 0 they weigh the same.
+  params_.alpha = 0.0;
+  EXPECT_DOUBLE_EQ(inferencer_.Weight(graph_.edge(recent)),
+                   inferencer_.Weight(graph_.edge(old)));
+}
+
+TEST_F(EdgeInferenceTest, ConfidenceBlendsConfirmationAndHistory) {
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  PushHistory(graph_.edge(e), {true, true, false, false});  // w = 0.5.
+  Node& item = *graph_.FindNode(kItem);
+  params_.beta = 0.4;
+  // Unconfirmed: confidence = beta * w.
+  EXPECT_NEAR(inferencer_.Confidence(graph_.edge(e), item), 0.2, 1e-12);
+  // Confirmed: + (1 - beta).
+  item.confirmed.parent = kCaseA;
+  item.confirmed.confirmed_at = 1;
+  EXPECT_NEAR(inferencer_.Confidence(graph_.edge(e), item), 0.8, 1e-12);
+}
+
+TEST_F(EdgeInferenceTest, ConfirmedEdgeBeatsBetterHistory) {
+  EdgeId confirmed = graph_.AddEdge(kCaseA, kItem);
+  EdgeId rival = graph_.AddEdge(kCaseB, kItem);
+  PushHistory(graph_.edge(confirmed), {true, false, false, false});  // 0.25.
+  PushHistory(graph_.edge(rival), {true, true, true, true});         // 1.0.
+  Node& item = *graph_.FindNode(kItem);
+  item.confirmed.parent = kCaseA;
+  item.confirmed.confirmed_at = 1;
+  params_.beta = 0.4;
+  inferencer_.BeginPass();
+  EdgeInferenceResult result = inferencer_.InferAt(item);
+  EXPECT_EQ(result.best_parent, kCaseA);  // 0.6 + 0.1 > 0.4.
+}
+
+TEST_F(EdgeInferenceTest, HighBetaLetsHistoryOutweighConfirmation) {
+  EdgeId confirmed = graph_.AddEdge(kCaseA, kItem);
+  EdgeId rival = graph_.AddEdge(kCaseB, kItem);
+  PushHistory(graph_.edge(confirmed), {false, false, false, false});
+  PushHistory(graph_.edge(rival), {true, true, true, true});
+  Node& item = *graph_.FindNode(kItem);
+  item.confirmed.parent = kCaseA;
+  item.confirmed.confirmed_at = 1;
+  params_.beta = 0.9;  // Recent history dominates.
+  inferencer_.BeginPass();
+  EXPECT_EQ(inferencer_.InferAt(item).best_parent, kCaseB);
+}
+
+TEST_F(EdgeInferenceTest, ProbabilitiesNormalize) {
+  graph_.AddEdge(kCaseA, kItem);
+  graph_.AddEdge(kCaseB, kItem);
+  Node& item = *graph_.FindNode(kItem);
+  PushHistory(graph_.edge(item.parent_edges[0]), {true, true});
+  PushHistory(graph_.edge(item.parent_edges[1]), {true, false});
+  inferencer_.BeginPass();
+  inferencer_.InferAt(item);
+  double total = inferencer_.ProbabilityOf(item.parent_edges[0]) +
+                 inferencer_.ProbabilityOf(item.parent_edges[1]);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_F(EdgeInferenceTest, NoParentsNoResult) {
+  graph_.GetOrCreateNode(kItem);
+  inferencer_.BeginPass();
+  EdgeInferenceResult result = inferencer_.InferAt(*graph_.FindNode(kItem));
+  EXPECT_EQ(result.best_edge, kNoEdge);
+  EXPECT_EQ(result.best_parent, kNoObject);
+}
+
+TEST_F(EdgeInferenceTest, ZeroEvidenceFallsBackToUniform) {
+  graph_.AddEdge(kCaseA, kItem);
+  graph_.AddEdge(kCaseB, kItem);
+  Node& item = *graph_.FindNode(kItem);
+  inferencer_.BeginPass();
+  EdgeInferenceResult result = inferencer_.InferAt(item);
+  EXPECT_NEAR(result.best_prob, 0.5, 1e-12);
+}
+
+TEST_F(EdgeInferenceTest, CollectsPrunableEdges) {
+  EdgeId weak = graph_.AddEdge(kCaseA, kItem);
+  EdgeId strong = graph_.AddEdge(kCaseB, kItem);
+  PushHistory(graph_.edge(weak), {true, false, false, false});   // conf 0.1.
+  PushHistory(graph_.edge(strong), {true, true, true, true});    // conf 0.4.
+  params_.beta = 0.4;
+  params_.prune_threshold = 0.25;
+  inferencer_.BeginPass();
+  std::vector<EdgeId> prunable;
+  inferencer_.InferAt(*graph_.FindNode(kItem), &prunable);
+  ASSERT_EQ(prunable.size(), 1u);
+  EXPECT_EQ(prunable[0], weak);
+}
+
+TEST_F(EdgeInferenceTest, PruningDisabledByNonPositiveThreshold) {
+  EdgeId weak = graph_.AddEdge(kCaseA, kItem);
+  PushHistory(graph_.edge(weak), {false, false});
+  params_.prune_threshold = 0.0;
+  inferencer_.BeginPass();
+  std::vector<EdgeId> prunable;
+  inferencer_.InferAt(*graph_.FindNode(kItem), &prunable);
+  EXPECT_TRUE(prunable.empty());
+}
+
+TEST_F(EdgeInferenceTest, AdaptiveBetaTracksConflictRatio) {
+  Node& item = graph_.GetOrCreateNode(kItem);
+  params_.adaptive_beta = true;
+  params_.beta = 0.4;
+  // No confirmation: fall back to the static beta.
+  EXPECT_DOUBLE_EQ(inferencer_.EffectiveBeta(item), 0.4);
+  item.confirmed.parent = kCaseA;
+  item.confirmed.confirmed_at = 1;
+  // Fresh confirmation, no observations yet: full trust (beta = 0).
+  EXPECT_DOUBLE_EQ(inferencer_.EffectiveBeta(item), 0.0);
+  item.confirmed.observations = 10;
+  item.confirmed.conflicts = 3;
+  EXPECT_DOUBLE_EQ(inferencer_.EffectiveBeta(item), 0.3);
+  params_.adaptive_beta = false;
+  EXPECT_DOUBLE_EQ(inferencer_.EffectiveBeta(item), 0.4);
+}
+
+// -------------------------------------------------------- Node inference --
+
+class NodeInferenceTest : public ::testing::Test {
+ protected:
+  NodeInferenceTest()
+      : edges_(&graph_, &params_), nodes_(&graph_, &params_, &edges_) {
+    graph_.BeginEpoch(1);
+  }
+
+  /// Color oracle that only knows colors observed this epoch.
+  NodeInferencer::ColorOracle ObservedOnly() {
+    return [this](const Node& node) { return graph_.ColorOf(node); };
+  }
+
+  Graph graph_{8};
+  InferenceParams params_;
+  EdgeInferencer edges_;
+  NodeInferencer nodes_;
+};
+
+TEST_F(NodeInferenceTest, FreshColorWinsOverUnknown) {
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  graph_.BeginEpoch(2);
+  // Seen one epoch ago: fade = 1, unknown mass = 0.
+  NodeInferenceResult result = nodes_.InferAt(item, 2, ObservedOnly());
+  EXPECT_EQ(result.location, 5);
+}
+
+TEST_F(NodeInferenceTest, StaleColorLosesToUnknown) {
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  params_.theta = 1.25;
+  params_.gamma = 0.4;
+  graph_.BeginEpoch(100);
+  // fade = 1/99^1.25 ~ 0.003: the unknown color dominates.
+  NodeInferenceResult result = nodes_.InferAt(item, 100, ObservedOnly());
+  EXPECT_EQ(result.location, kUnknownLocation);
+}
+
+TEST_F(NodeInferenceTest, ThetaControlsFadeRate) {
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  graph_.BeginEpoch(4);  // Age 3.
+  params_.gamma = 0.0;
+  params_.theta = 0.1;  // Slow fade: 3^-0.1 ~ 0.896 > 0.5.
+  EXPECT_EQ(nodes_.InferAt(item, 4, ObservedOnly()).location, 5);
+  params_.theta = 3.0;  // Fast fade: 3^-3 ~ 0.037.
+  EXPECT_EQ(nodes_.InferAt(item, 4, ObservedOnly()).location,
+            kUnknownLocation);
+}
+
+TEST_F(NodeInferenceTest, ContainmentPropagatesColor) {
+  // The item was last seen long ago, but its (confirmed) case is observed:
+  // with enough gamma the case's color wins.
+  graph_.GetOrCreateNode(kCaseA);
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  PushHistory(graph_.edge(e), {true, true, true});
+  graph_.BeginEpoch(200);
+  Node& case_node = *graph_.FindNode(kCaseA);
+  graph_.ColorNode(case_node, 7);
+
+  params_.gamma = 0.4;
+  params_.theta = 1.25;
+  edges_.BeginPass();
+  edges_.InferAt(item);  // Fill edge probabilities.
+  NodeInferenceResult result = nodes_.InferAt(item, 200, ObservedOnly());
+  // Propagated: 0.4 * 1.0 = 0.4; unknown: 0.6 * (1 - ~0) ~ 0.6. Unknown
+  // still wins at gamma 0.4 — conflict resolution would fix this via the
+  // containment. With a higher gamma the propagation wins outright.
+  params_.gamma = 0.7;
+  result = nodes_.InferAt(item, 200, ObservedOnly());
+  EXPECT_EQ(result.location, 7);
+}
+
+TEST_F(NodeInferenceTest, GammaZeroIgnoresNeighbors) {
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  PushHistory(graph_.edge(e), {true});
+  graph_.BeginEpoch(50);
+  graph_.ColorNode(*graph_.FindNode(kCaseA), 7);
+  params_.gamma = 0.0;
+  edges_.BeginPass();
+  edges_.InferAt(item);
+  NodeInferenceResult result = nodes_.InferAt(item, 50, ObservedOnly());
+  EXPECT_NE(result.location, 7);
+}
+
+TEST_F(NodeInferenceTest, ColorPropagatesFromChildrenToo) {
+  // A case whose items are observed gains the items' color (this is how
+  // SPIRE recovers a container's location from its contents).
+  Node& case_node = graph_.GetOrCreateNode(kCaseA);
+  graph_.ColorNode(case_node, 3);
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  PushHistory(graph_.edge(e), {true, true});
+  graph_.BeginEpoch(300);
+  graph_.ColorNode(*graph_.FindNode(kItem), 9);
+  params_.gamma = 0.5;
+  edges_.BeginPass();
+  edges_.InferAt(*graph_.FindNode(kItem));
+  NodeInferenceResult result =
+      nodes_.InferAt(case_node, 300, ObservedOnly());
+  EXPECT_EQ(result.location, 9);
+}
+
+TEST_F(NodeInferenceTest, DistributionNormalized) {
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  graph_.BeginEpoch(3);
+  NodeInferenceResult result = nodes_.InferAt(item, 3, ObservedOnly());
+  EXPECT_GT(result.probability, 0.0);
+  EXPECT_LE(result.probability, 1.0);
+}
+
+TEST_F(NodeInferenceTest, MultipleNeighborsSplitTheGammaMass) {
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  EdgeId ea = graph_.AddEdge(kCaseA, kItem);
+  EdgeId eb = graph_.AddEdge(kCaseB, kItem);
+  PushHistory(graph_.edge(ea), {true, true, true});   // Stronger.
+  PushHistory(graph_.edge(eb), {true, false, false});
+  graph_.BeginEpoch(400);
+  graph_.ColorNode(*graph_.FindNode(kCaseA), 7);
+  graph_.ColorNode(*graph_.FindNode(kCaseB), 8);
+  params_.gamma = 1.0;
+  edges_.BeginPass();
+  edges_.InferAt(item);
+  NodeInferenceResult result = nodes_.InferAt(item, 400, ObservedOnly());
+  EXPECT_EQ(result.location, 7);  // The stronger edge's color wins.
+}
+
+// ------------------------------------------------------------- Schedule ---
+
+TEST(ScheduleTest, CompleteEveryLcmEpochs) {
+  InferenceSchedule schedule(10);
+  EXPECT_TRUE(schedule.IsCompleteEpoch(0));
+  EXPECT_FALSE(schedule.IsCompleteEpoch(5));
+  EXPECT_TRUE(schedule.IsCompleteEpoch(20));
+}
+
+TEST(ScheduleTest, AlwaysCompleteWhenAllReadersFast) {
+  InferenceSchedule schedule(1);
+  for (Epoch e = 0; e < 5; ++e) EXPECT_TRUE(schedule.IsCompleteEpoch(e));
+}
+
+TEST(ScheduleTest, FromRegistryUsesPeriodLcm) {
+  ReaderRegistry registry;
+  LocationId a = registry.AddLocation("a");
+  LocationId b = registry.AddLocation("b");
+  ReaderInfo fast;
+  fast.id = 0;
+  fast.location = a;
+  fast.period_epochs = 1;
+  ReaderInfo slow;
+  slow.id = 1;
+  slow.location = b;
+  slow.period_epochs = 60;
+  ASSERT_TRUE(registry.AddReader(fast).ok());
+  ASSERT_TRUE(registry.AddReader(slow).ok());
+  EXPECT_EQ(InferenceSchedule::FromRegistry(registry).period_lcm(), 60);
+}
+
+// ---------------------------------------------------- Iterative inference --
+
+class IterativeTest : public ::testing::Test {
+ protected:
+  IterativeTest() : inference_(&graph_, params_) {}
+
+  Graph graph_{8};
+  InferenceParams params_;
+  IterativeInference inference_{&graph_, params_};
+};
+
+TEST_F(IterativeTest, ObservedNodesKeepTheirColors) {
+  graph_.BeginEpoch(1);
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  InferenceResult result = inference_.RunComplete(1);
+  ASSERT_TRUE(result.estimates.contains(kItem));
+  const ObjectEstimate& estimate = result.estimates.at(kItem);
+  EXPECT_EQ(estimate.location, 5);
+  EXPECT_TRUE(estimate.observed);
+  EXPECT_EQ(estimate.location_prob, 1.0);
+}
+
+TEST_F(IterativeTest, UnobservedNeighborInferredFromColoredNode) {
+  graph_.BeginEpoch(1);
+  Node& item = graph_.GetOrCreateNode(kItem);
+  Node& case_node = graph_.GetOrCreateNode(kCaseA);
+  graph_.ColorNode(item, 5);
+  graph_.ColorNode(case_node, 5);
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  graph_.edge(e).recent_colocations.Push(true);
+
+  graph_.BeginEpoch(2);
+  graph_.ColorNode(*graph_.FindNode(kItem), 5);  // Case missed this epoch.
+  InferenceResult result = inference_.RunComplete(2);
+  const ObjectEstimate& case_estimate = result.estimates.at(kCaseA);
+  EXPECT_FALSE(case_estimate.observed);
+  EXPECT_EQ(case_estimate.location, 5);  // Fresh fading color + propagation.
+}
+
+TEST_F(IterativeTest, ChainPropagationAcrossWaves) {
+  // pallet -> case -> item; only the item is observed. The case is inferred
+  // at d=1, then the pallet at d=2 using the case's committed estimate.
+  graph_.BeginEpoch(1);
+  for (ObjectId id : {kItem, kCaseA, kPallet}) {
+    graph_.ColorNode(graph_.GetOrCreateNode(id), 5);
+  }
+  EdgeId e1 = graph_.AddEdge(kCaseA, kItem);
+  EdgeId e2 = graph_.AddEdge(kPallet, kCaseA);
+  graph_.edge(e1).recent_colocations.Push(true);
+  graph_.edge(e2).recent_colocations.Push(true);
+
+  graph_.BeginEpoch(2);
+  graph_.ColorNode(*graph_.FindNode(kItem), 5);
+  InferenceResult result = inference_.RunComplete(2);
+  EXPECT_EQ(result.estimates.at(kCaseA).location, 5);
+  EXPECT_EQ(result.estimates.at(kPallet).location, 5);
+}
+
+TEST_F(IterativeTest, IdentifiesMissingObject) {
+  graph_.BeginEpoch(1);
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  // Long silence, no edges: the object is most likely away.
+  graph_.BeginEpoch(500);
+  InferenceResult result = inference_.RunComplete(500);
+  const ObjectEstimate& estimate = result.estimates.at(kItem);
+  EXPECT_EQ(estimate.location, kUnknownLocation);
+  EXPECT_FALSE(estimate.withheld);  // Complete inference reports it.
+}
+
+TEST_F(IterativeTest, PartialInferenceWithholdsUnknown) {
+  graph_.BeginEpoch(1);
+  Node& item = graph_.GetOrCreateNode(kItem);
+  Node& case_node = graph_.GetOrCreateNode(kCaseA);
+  graph_.ColorNode(item, 5);
+  graph_.ColorNode(case_node, 5);
+  EdgeId e = graph_.AddEdge(kCaseA, kItem);
+  graph_.edge(e).recent_colocations.Push(false);  // Weak evidence.
+
+  graph_.BeginEpoch(300);
+  graph_.ColorNode(*graph_.FindNode(kItem), 5);
+  InferenceParams no_prune;
+  no_prune.prune_threshold = 0.0;  // Keep the weak-evidence edge alive.
+  IterativeInference inference(&graph_, no_prune);
+  InferenceResult result = inference.RunPartial(300);
+  ASSERT_TRUE(result.estimates.contains(kCaseA));
+  const ObjectEstimate& estimate = result.estimates.at(kCaseA);
+  // The case is stale; partial inference yields "unknown" but withholds it.
+  EXPECT_EQ(estimate.location, kUnknownLocation);
+  EXPECT_TRUE(estimate.withheld);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST_F(IterativeTest, PartialInferenceRespectsHopLimit) {
+  graph_.BeginEpoch(1);
+  for (ObjectId id : {kItem, kCaseA, kPallet}) {
+    graph_.ColorNode(graph_.GetOrCreateNode(id), 5);
+  }
+  graph_.AddEdge(kCaseA, kItem);
+  graph_.AddEdge(kPallet, kCaseA);
+
+  graph_.BeginEpoch(2);
+  graph_.ColorNode(*graph_.FindNode(kItem), 5);
+  InferenceParams params;
+  params.partial_hops = 1;
+  params.prune_threshold = 0.0;  // Keep the evidence-free edges alive.
+  IterativeInference limited(&graph_, params);
+  InferenceResult result = limited.RunPartial(2);
+  EXPECT_TRUE(result.estimates.contains(kItem));     // d=0.
+  EXPECT_TRUE(result.estimates.contains(kCaseA));    // d=1.
+  EXPECT_FALSE(result.estimates.contains(kPallet));  // d=2: out of range.
+}
+
+TEST_F(IterativeTest, CompleteInferenceCoversUnreachableNodes) {
+  graph_.BeginEpoch(1);
+  Node& lone = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(lone, 5);
+  graph_.BeginEpoch(2);
+  // Nothing colored at all: every node is "unreachable".
+  InferenceResult result = inference_.RunComplete(2);
+  ASSERT_TRUE(result.estimates.contains(kItem));
+  EXPECT_EQ(result.estimates.at(kItem).location, 5);  // Fresh fade wins.
+}
+
+TEST_F(IterativeTest, PruningRemovesWeakEdgesDuringInference) {
+  graph_.BeginEpoch(1);
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  EdgeId weak = graph_.AddEdge(kCaseA, kItem);
+  EdgeId strong = graph_.AddEdge(kCaseB, kItem);
+  for (int i = 0; i < 8; ++i) {
+    graph_.edge(weak).recent_colocations.Push(false);
+    graph_.edge(strong).recent_colocations.Push(true);
+  }
+  InferenceResult result = inference_.RunComplete(1);
+  EXPECT_GE(result.edges_pruned, 1u);
+  EXPECT_FALSE(graph_.edge(weak).alive);
+  EXPECT_TRUE(graph_.edge(strong).alive);
+  EXPECT_EQ(result.estimates.at(kItem).container, kCaseB);
+}
+
+TEST_F(IterativeTest, AllEdgesPrunedMeansNoContainer) {
+  graph_.BeginEpoch(1);
+  Node& item = graph_.GetOrCreateNode(kItem);
+  graph_.ColorNode(item, 5);
+  EdgeId weak = graph_.AddEdge(kCaseA, kItem);
+  for (int i = 0; i < 8; ++i) graph_.edge(weak).recent_colocations.Push(false);
+  InferenceResult result = inference_.RunComplete(1);
+  EXPECT_EQ(result.estimates.at(kItem).container, kNoObject);
+  EXPECT_EQ(graph_.NumEdges(), 0u);
+}
+
+// ---------------------------------------------------- Conflict resolution --
+
+ObjectEstimate MakeEstimate(ObjectId object, LocationId location,
+                            ObjectId container, bool observed) {
+  ObjectEstimate estimate;
+  estimate.object = object;
+  estimate.location = location;
+  estimate.location_prob = observed ? 1.0 : 0.6;
+  estimate.container = container;
+  estimate.container_prob = container == kNoObject ? 0.0 : 0.9;
+  estimate.observed = observed;
+  return estimate;
+}
+
+TEST(ConflictTest, RuleIObservedParentOverridesInferredChild) {
+  InferenceResult result;
+  result.estimates[kCaseA] = MakeEstimate(kCaseA, 7, kNoObject, true);
+  result.estimates[kItem] = MakeEstimate(kItem, 5, kCaseA, false);
+  ConflictStats stats = ResolveConflicts(&result);
+  EXPECT_EQ(stats.children_overridden, 1u);
+  EXPECT_EQ(result.estimates.at(kItem).location, 7);
+  EXPECT_EQ(result.estimates.at(kItem).container, kCaseA);
+}
+
+TEST(ConflictTest, RuleIIMajorityVoteRepositionsParent) {
+  InferenceResult result;
+  ObjectId i1 = Obj(PackagingLevel::kItem, 10);
+  ObjectId i2 = Obj(PackagingLevel::kItem, 11);
+  ObjectId i3 = Obj(PackagingLevel::kItem, 12);
+  result.estimates[kCaseA] = MakeEstimate(kCaseA, 3, kNoObject, false);
+  result.estimates[i1] = MakeEstimate(i1, 7, kCaseA, true);
+  result.estimates[i2] = MakeEstimate(i2, 7, kCaseA, true);
+  result.estimates[i3] = MakeEstimate(i3, 3, kCaseA, true);
+  ConflictStats stats = ResolveConflicts(&result);
+  EXPECT_EQ(stats.parents_repositioned, 1u);
+  EXPECT_EQ(result.estimates.at(kCaseA).location, 7);
+  // The minority observed child ends its containment (Rule II).
+  EXPECT_EQ(stats.containments_ended, 1u);
+  EXPECT_EQ(result.estimates.at(i3).container, kNoObject);
+}
+
+TEST(ConflictTest, RuleIINoMajorityLeavesParentAndEndsConflicts) {
+  InferenceResult result;
+  ObjectId i1 = Obj(PackagingLevel::kItem, 10);
+  ObjectId i2 = Obj(PackagingLevel::kItem, 11);
+  result.estimates[kCaseA] = MakeEstimate(kCaseA, 3, kNoObject, false);
+  result.estimates[i1] = MakeEstimate(i1, 7, kCaseA, true);
+  result.estimates[i2] = MakeEstimate(i2, 8, kCaseA, true);
+  ConflictStats stats = ResolveConflicts(&result);
+  EXPECT_EQ(stats.parents_repositioned, 0u);
+  EXPECT_EQ(result.estimates.at(kCaseA).location, 3);
+  EXPECT_EQ(stats.containments_ended, 2u);
+}
+
+TEST(ConflictTest, RuleIIIInferredChildFollowsParent) {
+  InferenceResult result;
+  ObjectId i1 = Obj(PackagingLevel::kItem, 10);
+  ObjectId i2 = Obj(PackagingLevel::kItem, 11);
+  ObjectId i3 = Obj(PackagingLevel::kItem, 12);
+  result.estimates[kCaseA] = MakeEstimate(kCaseA, 3, kNoObject, false);
+  result.estimates[i1] = MakeEstimate(i1, 7, kCaseA, true);
+  result.estimates[i2] = MakeEstimate(i2, 7, kCaseA, true);
+  result.estimates[i3] = MakeEstimate(i3, 3, kCaseA, false);  // Inferred.
+  ResolveConflicts(&result);
+  // Parent moved to 7; the inferred child follows rather than ending.
+  EXPECT_EQ(result.estimates.at(kCaseA).location, 7);
+  EXPECT_EQ(result.estimates.at(i3).location, 7);
+  EXPECT_EQ(result.estimates.at(i3).container, kCaseA);
+}
+
+TEST(ConflictTest, ProcessesParentsTopDown) {
+  // pallet (observed, loc 9) -> case (inferred, loc 5) -> item (inferred,
+  // loc 5): Rule I fixes the case first, then the case fixes the item.
+  InferenceResult result;
+  result.estimates[kPallet] = MakeEstimate(kPallet, 9, kNoObject, true);
+  result.estimates[kCaseA] = MakeEstimate(kCaseA, 5, kPallet, false);
+  result.estimates[kItem] = MakeEstimate(kItem, 5, kCaseA, false);
+  ResolveConflicts(&result);
+  EXPECT_EQ(result.estimates.at(kCaseA).location, 9);
+  EXPECT_EQ(result.estimates.at(kItem).location, 9);
+}
+
+TEST(ConflictTest, AgreementIsUntouched) {
+  InferenceResult result;
+  result.estimates[kCaseA] = MakeEstimate(kCaseA, 7, kNoObject, true);
+  result.estimates[kItem] = MakeEstimate(kItem, 7, kCaseA, false);
+  ConflictStats stats = ResolveConflicts(&result);
+  EXPECT_EQ(stats.children_overridden, 0u);
+  EXPECT_EQ(stats.containments_ended, 0u);
+  EXPECT_EQ(stats.parents_repositioned, 0u);
+}
+
+TEST(ConflictTest, MissingParentEstimateSkipsFamily) {
+  InferenceResult result;
+  result.estimates[kItem] = MakeEstimate(kItem, 5, kCaseA, false);
+  // kCaseA has no estimate (e.g. outside the partial-inference radius).
+  ConflictStats stats = ResolveConflicts(&result);
+  EXPECT_EQ(stats.children_overridden, 0u);
+  EXPECT_EQ(result.estimates.at(kItem).location, 5);
+}
+
+TEST(ConflictTest, WithheldParentSkipsResolution) {
+  InferenceResult result;
+  ObjectEstimate parent = MakeEstimate(kCaseA, kUnknownLocation, kNoObject,
+                                       false);
+  parent.withheld = true;
+  result.estimates[kCaseA] = parent;
+  result.estimates[kItem] = MakeEstimate(kItem, 5, kCaseA, false);
+  ResolveConflicts(&result);
+  EXPECT_EQ(result.estimates.at(kItem).location, 5);
+}
+
+TEST(ConflictTest, MissingIsNotAConflict) {
+  // Missing events nest inside containment pairs (Section V-A): a missing
+  // child keeps both its verdict and its containment — that is how objects
+  // that silently vanish from their containers are detected — and a missing
+  // parent exerts no location priority over its children.
+  InferenceResult result;
+  ObjectId i1 = Obj(PackagingLevel::kItem, 10);
+  result.estimates[kCaseA] = MakeEstimate(kCaseA, 7, kNoObject, true);
+  result.estimates[i1] =
+      MakeEstimate(i1, kUnknownLocation, kCaseA, false);  // Vanished item.
+  ResolveConflicts(&result);
+  EXPECT_EQ(result.estimates.at(i1).location, kUnknownLocation);
+  EXPECT_EQ(result.estimates.at(i1).container, kCaseA);
+
+  InferenceResult parent_missing;
+  parent_missing.estimates[kCaseA] =
+      MakeEstimate(kCaseA, kUnknownLocation, kNoObject, false);
+  parent_missing.estimates[i1] = MakeEstimate(i1, 5, kCaseA, false);
+  ConflictStats stats = ResolveConflicts(&parent_missing);
+  EXPECT_EQ(parent_missing.estimates.at(i1).location, 5);
+  // One voting child forms a majority and repositions the missing parent.
+  EXPECT_EQ(stats.parents_repositioned, 1u);
+  EXPECT_EQ(parent_missing.estimates.at(kCaseA).location, 5);
+}
+
+}  // namespace
+}  // namespace spire

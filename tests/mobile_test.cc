@@ -1,0 +1,190 @@
+// Tests for the mobile (patrolling) reader extension — the paper's stated
+// future work: readers whose location is a function of the epoch.
+#include <gtest/gtest.h>
+
+#include "common/epc.h"
+#include "eval/accuracy.h"
+#include "graph/update.h"
+#include "sim/simulator.h"
+#include "spire/pipeline.h"
+#include "stream/deployment.h"
+#include "stream/reader.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = PackagingLevel::kItem;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+class PatrolRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      locations_.push_back(registry_.AddLocation("loc" + std::to_string(i)));
+    }
+    ReaderInfo mobile;
+    mobile.id = 0;
+    mobile.location = locations_[0];
+    mobile.type = ReaderType::kMobile;
+    mobile.name = "patrol";
+    ASSERT_TRUE(registry_.AddReader(mobile).ok());
+  }
+
+  ReaderRegistry registry_;
+  std::vector<LocationId> locations_;
+};
+
+TEST_F(PatrolRegistryTest, StaticReaderLocationIsConstant) {
+  EXPECT_EQ(registry_.LocationAt(0, 0), locations_[0]);
+  EXPECT_EQ(registry_.LocationAt(0, 999), locations_[0]);
+  EXPECT_TRUE(registry_.PatrolRouteOf(0).empty());
+}
+
+TEST_F(PatrolRegistryTest, PatrolCyclesRoute) {
+  ASSERT_TRUE(registry_
+                  .SetPatrol(0, {locations_[1], locations_[2], locations_[3]},
+                             /*dwell=*/10)
+                  .ok());
+  EXPECT_EQ(registry_.LocationAt(0, 0), locations_[1]);
+  EXPECT_EQ(registry_.LocationAt(0, 9), locations_[1]);
+  EXPECT_EQ(registry_.LocationAt(0, 10), locations_[2]);
+  EXPECT_EQ(registry_.LocationAt(0, 25), locations_[3]);
+  EXPECT_EQ(registry_.LocationAt(0, 30), locations_[1]);  // Wrapped.
+  EXPECT_EQ(registry_.PatrolDwellOf(0), 10);
+  // The static home location is untouched.
+  EXPECT_EQ(registry_.LocationOf(0), locations_[0]);
+}
+
+TEST_F(PatrolRegistryTest, PatrolValidation) {
+  EXPECT_FALSE(registry_.SetPatrol(9, {locations_[1]}, 5).ok());  // Unknown.
+  EXPECT_FALSE(registry_.SetPatrol(0, {locations_[1]}, 0).ok());  // Dwell.
+  EXPECT_FALSE(registry_.SetPatrol(0, {LocationId{99}}, 5).ok()); // Stop.
+  // An empty route clears the patrol.
+  ASSERT_TRUE(registry_.SetPatrol(0, {locations_[1]}, 5).ok());
+  ASSERT_TRUE(registry_.SetPatrol(0, {}, 5).ok());
+  EXPECT_EQ(registry_.LocationAt(0, 100), locations_[0]);
+}
+
+TEST_F(PatrolRegistryTest, LocationPeriodsUsePatrolRevisitInterval) {
+  ASSERT_TRUE(
+      registry_.SetPatrol(0, {locations_[1], locations_[2]}, 10).ok());
+  std::vector<Epoch> periods = LocationPeriods(registry_);
+  ASSERT_GT(periods.size(), locations_[2]);
+  EXPECT_EQ(periods[locations_[1]], 20);  // 2 stops x 10 epochs.
+  EXPECT_EQ(periods[locations_[2]], 20);
+}
+
+TEST_F(PatrolRegistryTest, GraphUpdateColorsByPatrolStop) {
+  ASSERT_TRUE(
+      registry_.SetPatrol(0, {locations_[1], locations_[2]}, 10).ok());
+  Graph graph(8);
+  GraphUpdater updater(&graph, &registry_);
+  ReaderBatch batch;
+  batch.reader = 0;
+  batch.tags = {Obj(1)};
+  updater.BeginEpoch(5);  // Patrol at stop 0 -> locations_[1].
+  updater.ApplyReaderBatch(batch);
+  EXPECT_EQ(graph.FindNode(Obj(1))->recent_color, locations_[1]);
+  updater.BeginEpoch(15);  // Stop 1 -> locations_[2].
+  updater.ApplyReaderBatch(batch);
+  EXPECT_EQ(graph.FindNode(Obj(1))->recent_color, locations_[2]);
+}
+
+TEST_F(PatrolRegistryTest, DeploymentRoundTripsPatrol) {
+  ASSERT_TRUE(
+      registry_.SetPatrol(0, {locations_[1], locations_[3]}, 25).ok());
+  auto parsed = ParseDeployment(SerializeDeployment(registry_));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().PatrolDwellOf(0), 25);
+  ASSERT_EQ(parsed.value().PatrolRouteOf(0).size(), 2u);
+  EXPECT_EQ(parsed.value().LocationAt(0, 30),
+            parsed.value().PatrolRouteOf(0)[1]);
+}
+
+TEST(PatrolDeploymentTest, RejectsMalformedPatrols) {
+  std::vector<std::string> base{"reader r0 dock mobile 1"};
+  auto with = [&](const std::string& line) {
+    std::vector<std::string> lines = base;
+    lines.push_back(line);
+    return ParseDeployment(lines);
+  };
+  EXPECT_FALSE(with("patrol r0 5").ok());           // No stops.
+  EXPECT_FALSE(with("patrol r9 5 dock").ok());      // Unknown reader.
+  EXPECT_FALSE(with("patrol r0 5 nowhere").ok());   // Unknown stop.
+  EXPECT_TRUE(with("patrol r0 5 dock").ok());
+}
+
+TEST(PatrolSimulationTest, PatrolReaderEmitsFromItsCurrentStop) {
+  SimConfig config;
+  config.duration_epochs = 600;
+  config.pallet_interval = 200;
+  config.min_cases_per_pallet = 2;
+  config.max_cases_per_pallet = 2;
+  config.items_per_case = 3;
+  config.mean_shelf_stay = 300;
+  config.shelf_period = 60;
+  config.num_shelves = 4;
+  config.patrol_reader = true;
+  config.patrol_dwell = 10;
+  auto sim = WarehouseSimulator::Create(config);
+  ASSERT_TRUE(sim.ok());
+  WarehouseSimulator& s = *sim.value();
+  ReaderId patrol = s.layout().patrol_reader;
+  ASSERT_NE(patrol, kNoReader);
+  bool patrol_read_anything = false;
+  while (!s.Done()) {
+    for (const RfidReading& reading : s.Step()) {
+      if (reading.reader != patrol) continue;
+      patrol_read_anything = true;
+      // Everything the patrol reads is truly at its current stop.
+      ASSERT_EQ(s.world().LocationOf(reading.tag),
+                s.registry().LocationAt(patrol, s.current_epoch()));
+    }
+  }
+  EXPECT_TRUE(patrol_read_anything);
+}
+
+TEST(PatrolSimulationTest, PatrolImprovesShelfFreshness) {
+  // With slow shelf readers and a low read rate, a patrolling reader gives
+  // the interpretation extra observations: the location error must not get
+  // worse, and typically improves markedly.
+  SimConfig config;
+  config.duration_epochs = 1500;
+  config.pallet_interval = 300;
+  config.min_cases_per_pallet = 2;
+  config.max_cases_per_pallet = 2;
+  config.items_per_case = 4;
+  config.mean_shelf_stay = 500;
+  config.shelf_period = 60;
+  config.num_shelves = 4;
+  config.read_rate = 0.6;
+
+  auto run = [&](bool patrol) {
+    SimConfig run_config = config;
+    run_config.patrol_reader = patrol;
+    auto sim = WarehouseSimulator::Create(run_config);
+    WarehouseSimulator& s = *sim.value();
+    SpirePipeline pipeline(&s.registry(), PipelineOptions{});
+    EventStream out;
+    AccuracyStats accuracy;
+    while (!s.Done()) {
+      EpochReadings readings = s.Step();
+      pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &out);
+      if (pipeline.last_epoch_complete()) {
+        accuracy += EvaluateEstimates(pipeline.last_result(), s.world(),
+                                      s.layout().entry_door);
+      }
+    }
+    return accuracy.LocationErrorRate();
+  };
+  double without = run(false);
+  double with = run(true);
+  EXPECT_LE(with, without + 0.01);
+}
+
+}  // namespace
+}  // namespace spire

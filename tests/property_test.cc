@@ -1,0 +1,426 @@
+// Property-based tests.
+//
+// 1. Compression is lossless: for a random world history, replaying the
+//    level-1 stream (or the decompressed level-2 stream) reproduces every
+//    reported (location, containment) state at every epoch.
+// 2. Pipeline invariants hold across the (read rate x shelf period x level)
+//    grid: well-formed output, ratio < 1, warm-up suppression, determinism.
+// 3. Graph-update invariants hold on random reading streams: the color
+//    constraint, cross-layer direction, and adjacency consistency.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/epc.h"
+#include "common/random.h"
+#include "compress/compressor.h"
+#include "compress/decompress.h"
+#include "common/wire.h"
+#include "compress/serde.h"
+#include "compress/well_formed.h"
+#include "eval/event_accuracy.h"
+#include "eval/size_accounting.h"
+#include "graph/graph.h"
+#include "graph/update.h"
+#include "sim/simulator.h"
+#include "sim/world.h"
+#include "spire/pipeline.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+// ------------------------------------------------ Lossless replay property --
+
+/// One recorded world snapshot: object -> (location, container).
+using Snapshot = std::map<ObjectId, std::pair<LocationId, ObjectId>>;
+
+/// Replays a (level-1 style) stream: the per-object location/containment at
+/// every queried epoch, derived from the stays covering that epoch.
+class StreamReplay {
+ public:
+  explicit StreamReplay(const EventStream& stream) {
+    for (const RangedEvent& event : FoldEvents(stream)) {
+      if (event.type == EventType::kStartLocation) {
+        locations_[event.object].push_back(event);
+      } else if (event.type == EventType::kStartContainment) {
+        containments_[event.object].push_back(event);
+      }
+    }
+  }
+
+  LocationId LocationAt(ObjectId object, Epoch epoch) const {
+    auto it = locations_.find(object);
+    if (it == locations_.end()) return kUnknownLocation;
+    for (const RangedEvent& stay : it->second) {
+      if (stay.start <= epoch && epoch < stay.end) return stay.location;
+    }
+    return kUnknownLocation;
+  }
+
+  ObjectId ContainerAt(ObjectId object, Epoch epoch) const {
+    auto it = containments_.find(object);
+    if (it == containments_.end()) return kNoObject;
+    for (const RangedEvent& stay : it->second) {
+      if (stay.start <= epoch && epoch < stay.end) return stay.container;
+    }
+    return kNoObject;
+  }
+
+ private:
+  std::map<ObjectId, std::vector<RangedEvent>> locations_;
+  std::map<ObjectId, std::vector<RangedEvent>> containments_;
+};
+
+/// Drives a random but physically consistent world: objects enter, move,
+/// get packed/unpacked, and occasionally vanish. Every epoch the full truth
+/// is reported to the compressor under test.
+class RandomWorldDriver {
+ public:
+  explicit RandomWorldDriver(std::uint64_t seed) : rng_(seed) {
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      pallets_.push_back(Obj(PackagingLevel::kPallet, i));
+    }
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      cases_.push_back(Obj(PackagingLevel::kCase, i));
+    }
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      items_.push_back(Obj(PackagingLevel::kItem, i));
+    }
+    all_.insert(all_.end(), pallets_.begin(), pallets_.end());
+    all_.insert(all_.end(), cases_.begin(), cases_.end());
+    all_.insert(all_.end(), items_.begin(), items_.end());
+    for (ObjectId id : all_) {
+      EXPECT_TRUE(world_.AddObject(id, rng_.NextBounded(kLocations)).ok());
+    }
+  }
+
+  static constexpr LocationId kLocations = 5;
+
+  void Mutate() {
+    ObjectId victim = all_[rng_.NextBounded((std::uint32_t)all_.size())];
+    const ObjectState* state = world_.Find(victim);
+    switch (rng_.NextBounded(4)) {
+      case 0: {  // Move a top-level object (contents follow).
+        if (state->parent != kNoObject) break;
+        (void)world_.MoveObject(victim, rng_.NextBounded(kLocations));
+        break;
+      }
+      case 1: {  // Contain it in a random higher-level co-resident object.
+        if (state->parent != kNoObject || state->stolen) break;
+        const std::vector<ObjectId>& pool =
+            state->level == PackagingLevel::kItem ? cases_ : pallets_;
+        if (state->level == PackagingLevel::kPallet) break;
+        ObjectId parent = pool[rng_.NextBounded((std::uint32_t)pool.size())];
+        const ObjectState* parent_state = world_.Find(parent);
+        if (parent_state == nullptr || parent_state->stolen) break;
+        if (parent_state->location != state->location) break;
+        (void)world_.SetContainment(victim, parent);
+        break;
+      }
+      case 2:  // Release it.
+        (void)world_.ClearContainment(victim);
+        break;
+      case 3:  // Rarely, it disappears.
+        if (!state->stolen && rng_.NextBool(0.05)) {
+          (void)world_.Steal(victim);
+        }
+        break;
+    }
+  }
+
+  /// Runs one epoch: a few random mutations, then reports the full truth.
+  Snapshot StepAndReport(Epoch epoch, Compressor* compressor,
+                         EventStream* out) {
+    int mutations = static_cast<int>(rng_.NextBounded(4));
+    for (int i = 0; i < mutations; ++i) Mutate();
+    Snapshot snapshot;
+    for (ObjectId id : all_) {
+      const ObjectState* state = world_.Find(id);
+      ObjectStateEstimate estimate;
+      estimate.object = id;
+      estimate.location = state->location;
+      estimate.container = state->parent;
+      compressor->Report(estimate, epoch, out);
+      snapshot[id] = {state->location, state->parent};
+    }
+    return snapshot;
+  }
+
+ private:
+  PhysicalWorld world_;
+  Pcg32 rng_;
+  std::vector<ObjectId> pallets_, cases_, items_, all_;
+  std::vector<Snapshot> history_;
+};
+
+class CompressorLosslessProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(CompressorLosslessProperty, ReplayReproducesEveryReportedState) {
+  auto [seed, level] = GetParam();
+  RandomWorldDriver driver(seed);
+  std::unique_ptr<Compressor> compressor;
+  if (level == 1) {
+    compressor = std::make_unique<RangeCompressor>();
+  } else {
+    compressor = std::make_unique<ContainmentCompressor>();
+  }
+  EventStream stream;
+  std::vector<Snapshot> history;
+  constexpr Epoch kEpochs = 160;
+  for (Epoch epoch = 0; epoch < kEpochs; ++epoch) {
+    history.push_back(driver.StepAndReport(epoch, compressor.get(), &stream));
+  }
+  compressor->Finish(kEpochs, &stream);
+  ASSERT_TRUE(ValidateWellFormed(stream).ok());
+
+  EventStream replayable =
+      level == 1 ? stream : Decompressor::DecompressAll(stream);
+  if (level == 2) {
+    ASSERT_TRUE(ValidateWellFormed(replayable, true).ok());
+  }
+  StreamReplay replay(replayable);
+  for (Epoch epoch = 0; epoch < kEpochs; ++epoch) {
+    for (const auto& [object, state] : history[epoch]) {
+      const auto& [location, container] = state;
+      ASSERT_EQ(replay.LocationAt(object, epoch), location)
+          << "object " << EpcToString(object) << " at epoch " << epoch
+          << " (seed " << seed << ", level " << level << ")";
+      ASSERT_EQ(replay.ContainerAt(object, epoch), container)
+          << "object " << EpcToString(object) << " at epoch " << epoch
+          << " (seed " << seed << ", level " << level << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CompressorLosslessProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                       ::testing::Values(1, 2)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_level" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------- Pipeline invariants ---
+
+struct PipelineGridParam {
+  double read_rate;
+  Epoch shelf_period;
+  CompressionLevel level;
+};
+
+class PipelineInvariants
+    : public ::testing::TestWithParam<PipelineGridParam> {};
+
+TEST_P(PipelineInvariants, HoldAcrossParameterGrid) {
+  const PipelineGridParam& param = GetParam();
+  SimConfig config;
+  config.duration_epochs = 900;
+  config.pallet_interval = 300;
+  config.min_cases_per_pallet = 2;
+  config.max_cases_per_pallet = 2;
+  config.items_per_case = 4;
+  config.mean_shelf_stay = 250;
+  config.num_shelves = 2;
+  config.read_rate = param.read_rate;
+  config.shelf_period = param.shelf_period;
+  auto sim = WarehouseSimulator::Create(config);
+  ASSERT_TRUE(sim.ok());
+  WarehouseSimulator& s = *sim.value();
+  PipelineOptions options;
+  options.level = param.level;
+  SpirePipeline pipeline(&s.registry(), options);
+  EventStream out;
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &out);
+  }
+  pipeline.Finish(s.current_epoch() + 1, &out);
+  s.FinishTruth();
+
+  // Invariant 1: well-formed output and truth.
+  EXPECT_TRUE(ValidateWellFormed(out).ok());
+  EXPECT_TRUE(ValidateWellFormed(s.truth_events()).ok());
+  // Invariant 2: genuine compression.
+  if (s.total_readings() > 0) {
+    EXPECT_LT(CompressionRatio(out, s.total_readings()), 1.0);
+  }
+  // Invariant 3: no location events for the warm-up area.
+  for (const Event& event : out) {
+    if (event.type == EventType::kStartLocation ||
+        event.type == EventType::kEndLocation) {
+      EXPECT_NE(event.location, s.layout().entry_door);
+    }
+  }
+  // Invariant 4: decompression keeps the stream well-formed.
+  EventStream decompressed = Decompressor::DecompressAll(out);
+  EXPECT_TRUE(ValidateWellFormed(decompressed, true).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineInvariants,
+    ::testing::Values(
+        PipelineGridParam{1.0, 1, CompressionLevel::kLevel1},
+        PipelineGridParam{1.0, 30, CompressionLevel::kLevel2},
+        PipelineGridParam{0.85, 1, CompressionLevel::kLevel2},
+        PipelineGridParam{0.85, 15, CompressionLevel::kLevel1},
+        PipelineGridParam{0.85, 30, CompressionLevel::kLevel2},
+        PipelineGridParam{0.7, 20, CompressionLevel::kLevel1},
+        PipelineGridParam{0.7, 20, CompressionLevel::kLevel2},
+        PipelineGridParam{0.5, 10, CompressionLevel::kLevel2},
+        PipelineGridParam{0.5, 30, CompressionLevel::kLevel1},
+        PipelineGridParam{0.3, 30, CompressionLevel::kLevel2}),
+    [](const auto& info) {
+      const PipelineGridParam& p = info.param;
+      return "rr" + std::to_string(static_cast<int>(p.read_rate * 100)) +
+             "_shelf" + std::to_string(p.shelf_period) + "_level" +
+             std::to_string(static_cast<int>(p.level));
+    });
+
+// ------------------------------------------- Serialization round trips ----
+
+class SerdeRoundTripProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(SerdeRoundTripProperty, PipelineOutputSurvivesEncodeDecode) {
+  auto [seed, level] = GetParam();
+  SimConfig config;
+  config.duration_epochs = 700;
+  config.pallet_interval = 250;
+  config.min_cases_per_pallet = 2;
+  config.max_cases_per_pallet = 2;
+  config.items_per_case = 3;
+  config.mean_shelf_stay = 200;
+  config.shelf_period = 20;
+  config.num_shelves = 2;
+  config.theft_interval = 150;
+  config.seed = seed;
+  auto sim = WarehouseSimulator::Create(config);
+  ASSERT_TRUE(sim.ok());
+  WarehouseSimulator& s = *sim.value();
+  PipelineOptions options;
+  options.level = level == 1 ? CompressionLevel::kLevel1
+                             : CompressionLevel::kLevel2;
+  SpirePipeline pipeline(&s.registry(), options);
+  EventStream stream;
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &stream);
+  }
+  pipeline.Finish(s.current_epoch() + 1, &stream);
+
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(EventEncoder::EncodeStream(stream, &bytes).ok());
+  EXPECT_EQ(bytes.size(), stream.size() * kEventWireBytes);
+  EventDecoder decoder;
+  auto decoded = decoder.DecodeStream(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SerdeRoundTripProperty,
+    ::testing::Combine(::testing::Values(11u, 12u, 13u, 14u),
+                       ::testing::Values(1, 2)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_level" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------- Graph-update fuzzing ----
+
+class GraphUpdateFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphUpdateFuzz, InvariantsHoldOnRandomStreams) {
+  Pcg32 rng(GetParam());
+  ReaderRegistry registry;
+  constexpr int kReaders = 4;
+  for (int i = 0; i < kReaders; ++i) {
+    LocationId loc = registry.AddLocation("loc" + std::to_string(i));
+    ReaderInfo info;
+    info.id = static_cast<ReaderId>(i);
+    info.location = loc;
+    info.type = i == 2 ? ReaderType::kReceivingBelt : ReaderType::kShelf;
+    ASSERT_TRUE(registry.AddReader(info).ok());
+  }
+  // A pool of objects across the three layers.
+  std::vector<ObjectId> pool;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    pool.push_back(Obj(PackagingLevel::kItem, i));
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    pool.push_back(Obj(PackagingLevel::kCase, i));
+  }
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    pool.push_back(Obj(PackagingLevel::kPallet, i));
+  }
+
+  Graph graph(8);
+  GraphUpdater updater(&graph, &registry);
+  for (Epoch epoch = 1; epoch <= 120; ++epoch) {
+    updater.BeginEpoch(epoch);
+    // Each reader observes a random subset; an object reaches at most one
+    // reader per epoch (the dedup layer guarantees this upstream).
+    std::vector<int> assigned(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      assigned[i] = static_cast<int>(rng.NextBounded(kReaders + 2)) - 2;
+    }
+    for (int reader = 0; reader < kReaders; ++reader) {
+      ReaderBatch batch;
+      batch.reader = static_cast<ReaderId>(reader);
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (assigned[i] == reader) batch.tags.push_back(pool[i]);
+      }
+      if (!batch.tags.empty()) updater.ApplyReaderBatch(batch);
+    }
+
+    // Invariant A: no edge connects two nodes observed at different
+    // locations this epoch.
+    for (const auto& [id, node] : graph.nodes()) {
+      for (EdgeId e : node.parent_edges) {
+        const Edge& edge = graph.edge(e);
+        ASSERT_TRUE(edge.alive);
+        const Node* parent = graph.FindNode(edge.parent);
+        const Node* child = graph.FindNode(edge.child);
+        ASSERT_NE(parent, nullptr);
+        ASSERT_NE(child, nullptr);
+        if (graph.IsColored(*parent) && graph.IsColored(*child)) {
+          ASSERT_EQ(parent->recent_color, child->recent_color)
+              << "color constraint violated at epoch " << epoch;
+        }
+        // Invariant B: edges point from higher to lower layers.
+        ASSERT_GT(parent->layer, child->layer);
+      }
+    }
+    // Invariant C: adjacency lists are consistent with edge endpoints.
+    std::size_t from_parents = 0, from_children = 0;
+    for (const auto& [id, node] : graph.nodes()) {
+      for (EdgeId e : node.parent_edges) {
+        ASSERT_EQ(graph.edge(e).child, id);
+        ++from_parents;
+      }
+      for (EdgeId e : node.child_edges) {
+        ASSERT_EQ(graph.edge(e).parent, id);
+        ++from_children;
+      }
+    }
+    ASSERT_EQ(from_parents, graph.NumEdges());
+    ASSERT_EQ(from_children, graph.NumEdges());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphUpdateFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace spire

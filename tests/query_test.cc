@@ -1,0 +1,191 @@
+// Tests for the query engine (src/query/event_log) — point, set, and
+// timeline queries over level-1 and level-2 streams, plus an end-to-end
+// check against the simulator's ground truth.
+#include <gtest/gtest.h>
+
+#include "common/epc.h"
+#include "query/event_log.h"
+#include "sim/simulator.h"
+#include "spire/pipeline.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+const ObjectId kItem = Obj(PackagingLevel::kItem, 1);
+const ObjectId kItem2 = Obj(PackagingLevel::kItem, 2);
+const ObjectId kCase = Obj(PackagingLevel::kCase, 3);
+const ObjectId kPallet = Obj(PackagingLevel::kPallet, 4);
+
+/// A small hand-built level-1 stream:
+///   item: loc 4 [10,20), loc 7 [25,50), missing at 20..25 and after 50
+///   case: loc 4 [10,60)
+///   containment: item in case [12,40), case in pallet [15,30)
+EventStream SampleStream() {
+  return {
+      Event::StartLocation(kItem, 4, 10),
+      Event::StartLocation(kCase, 4, 10),
+      Event::StartContainment(kItem, kCase, 12),
+      Event::StartContainment(kCase, kPallet, 15),
+      Event::EndLocation(kItem, 4, 10, 20),
+      Event::Missing(kItem, 4, 20),
+      Event::StartLocation(kItem, 7, 25),
+      Event::EndContainment(kCase, kPallet, 15, 30),
+      Event::EndContainment(kItem, kCase, 12, 40),
+      Event::EndLocation(kItem, 7, 25, 50),
+      Event::Missing(kItem, 7, 50),
+      Event::EndLocation(kCase, 4, 10, 60),
+  };
+}
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto built = EventLog::Build(SampleStream());
+    ASSERT_TRUE(built.ok());
+    log_ = std::make_unique<EventLog>(std::move(built).value());
+  }
+  std::unique_ptr<EventLog> log_;
+};
+
+TEST_F(EventLogTest, LocationAt) {
+  EXPECT_EQ(log_->LocationAt(kItem, 9), kUnknownLocation);
+  EXPECT_EQ(log_->LocationAt(kItem, 10), 4);
+  EXPECT_EQ(log_->LocationAt(kItem, 19), 4);
+  EXPECT_EQ(log_->LocationAt(kItem, 20), kUnknownLocation);  // End exclusive.
+  EXPECT_EQ(log_->LocationAt(kItem, 30), 7);
+  EXPECT_EQ(log_->LocationAt(kItem, 55), kUnknownLocation);
+  EXPECT_EQ(log_->LocationAt(Obj(PackagingLevel::kItem, 99), 30),
+            kUnknownLocation);
+}
+
+TEST_F(EventLogTest, ContainerAt) {
+  EXPECT_EQ(log_->ContainerAt(kItem, 11), kNoObject);
+  EXPECT_EQ(log_->ContainerAt(kItem, 12), kCase);
+  EXPECT_EQ(log_->ContainerAt(kItem, 39), kCase);
+  EXPECT_EQ(log_->ContainerAt(kItem, 40), kNoObject);
+}
+
+TEST_F(EventLogTest, TopLevelContainerWalksTheChain) {
+  EXPECT_EQ(log_->TopLevelContainerAt(kItem, 20), kPallet);  // item<case<pallet
+  EXPECT_EQ(log_->TopLevelContainerAt(kItem, 35), kCase);    // pallet ended
+  EXPECT_EQ(log_->TopLevelContainerAt(kItem, 45), kItem);    // uncontained
+  EXPECT_EQ(log_->TopLevelContainerAt(Obj(PackagingLevel::kItem, 99), 20),
+            kNoObject);
+}
+
+TEST_F(EventLogTest, MissingIntervals) {
+  EXPECT_FALSE(log_->IsMissingAt(kItem, 19));
+  EXPECT_TRUE(log_->IsMissingAt(kItem, 20));
+  EXPECT_TRUE(log_->IsMissingAt(kItem, 24));
+  EXPECT_FALSE(log_->IsMissingAt(kItem, 25));  // Reappeared.
+  EXPECT_TRUE(log_->IsMissingAt(kItem, 99));   // Never seen again.
+  ASSERT_EQ(log_->MissingReports().size(), 2u);
+  EXPECT_EQ(log_->MissingReports()[0].until, 25);
+  EXPECT_EQ(log_->MissingReports()[1].until, kInfiniteEpoch);
+}
+
+TEST_F(EventLogTest, ContentsAt) {
+  EXPECT_EQ(log_->ContentsAt(kCase, 20), std::vector<ObjectId>{kItem});
+  EXPECT_EQ(log_->ContentsAt(kPallet, 20), std::vector<ObjectId>{kCase});
+  std::vector<ObjectId> transitive = log_->ContentsAt(kPallet, 20, true);
+  ASSERT_EQ(transitive.size(), 2u);  // Case and, through it, the item.
+  EXPECT_TRUE(log_->ContentsAt(kPallet, 35).empty());
+}
+
+TEST_F(EventLogTest, ObjectsAt) {
+  std::vector<ObjectId> at4 = log_->ObjectsAt(4, 15);
+  ASSERT_EQ(at4.size(), 2u);
+  EXPECT_EQ(at4[0], kItem);
+  EXPECT_EQ(at4[1], kCase);
+  EXPECT_EQ(log_->ObjectsAt(4, 25), std::vector<ObjectId>{kCase});
+  EXPECT_TRUE(log_->ObjectsAt(9, 15).empty());
+}
+
+TEST_F(EventLogTest, Timelines) {
+  const std::vector<Stay>& trajectory = log_->TrajectoryOf(kItem);
+  ASSERT_EQ(trajectory.size(), 2u);
+  EXPECT_EQ(trajectory[0].location, 4);
+  EXPECT_EQ(trajectory[1].location, 7);
+  EXPECT_EQ(log_->ContainmentsOf(kItem).size(), 1u);
+  EXPECT_TRUE(log_->TrajectoryOf(Obj(PackagingLevel::kItem, 99)).empty());
+}
+
+TEST_F(EventLogTest, Metadata) {
+  EXPECT_EQ(log_->num_objects(), 2u);  // Objects with location stays.
+  EXPECT_EQ(log_->first_epoch(), 10);
+  EXPECT_EQ(log_->last_epoch(), 60);
+}
+
+TEST(EventLogBuildTest, RejectsIllFormedStreams) {
+  EventStream bad{Event::EndLocation(kItem, 4, 1, 2)};
+  EXPECT_FALSE(EventLog::Build(bad).ok());
+}
+
+TEST(EventLogBuildTest, AcceptsOpenTrailingEvents) {
+  EventStream open{Event::StartLocation(kItem, 4, 10)};
+  auto log = EventLog::Build(open);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log.value().LocationAt(kItem, 1000), 4);  // Open-ended stay.
+}
+
+TEST(EventLogEndToEndTest, QueriesMatchGroundTruth) {
+  // Run SPIRE at a perfect read rate over a small trace; the level-2 log
+  // (decompressed on build) must answer resides/contained queries in
+  // agreement with the simulator's world away from transition moments.
+  SimConfig config;
+  config.duration_epochs = 1500;
+  config.pallet_interval = 400;
+  config.min_cases_per_pallet = 2;
+  config.max_cases_per_pallet = 2;
+  config.items_per_case = 4;
+  config.mean_shelf_stay = 400;
+  config.shelf_period = 20;
+  config.read_rate = 1.0;
+  auto sim = WarehouseSimulator::Create(config);
+  WarehouseSimulator& s = *sim.value();
+  PipelineOptions options;
+  options.level = CompressionLevel::kLevel2;
+  SpirePipeline pipeline(&s.registry(), options);
+  EventStream level2;
+  // Snapshot the truth at a few probe epochs.
+  std::map<Epoch, std::map<ObjectId, std::pair<LocationId, ObjectId>>> probes;
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &level2);
+    if (s.current_epoch() % 500 == 499) {
+      auto& snapshot = probes[s.current_epoch()];
+      for (const auto& [id, state] : s.world().objects()) {
+        snapshot[id] = {state.location, state.parent};
+      }
+    }
+  }
+  pipeline.Finish(s.current_epoch() + 1, &level2);
+
+  auto log = EventLog::Build(level2, /*decompress=*/true);
+  ASSERT_TRUE(log.ok());
+  std::size_t queries = 0, agree = 0;
+  LocationId entry = s.layout().entry_door;
+  for (const auto& [epoch, snapshot] : probes) {
+    for (const auto& [object, truth] : snapshot) {
+      const auto& [location, parent] = truth;
+      if (location == entry) continue;  // No output for the warm-up area.
+      ++queries;
+      if (log.value().LocationAt(object, epoch) == location &&
+          log.value().ContainerAt(object, epoch) == parent) {
+        ++agree;
+      }
+    }
+  }
+  ASSERT_GT(queries, 20u);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(queries), 0.9);
+}
+
+}  // namespace
+}  // namespace spire

@@ -1,0 +1,285 @@
+// Regression tests for behaviors introduced while calibrating the
+// reproduction: opportunity-normalized fading ages, the frequency-aware
+// SMURF adaptations, and the pipeline's exit grace window.
+#include <gtest/gtest.h>
+
+#include "common/epc.h"
+#include "graph/graph.h"
+#include "inference/edge_inference.h"
+#include "inference/iterative.h"
+#include "inference/node_inference.h"
+#include "smurf/smurf.h"
+#include "spire/pipeline.h"
+#include "stream/reader.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+RfidReading MakeReading(ObjectId tag, ReaderId reader, Epoch epoch) {
+  RfidReading r;
+  r.tag = tag;
+  r.reader = reader;
+  r.epoch = epoch;
+  return r;
+}
+
+// ----------------------------------------------- Normalized fading ages ---
+
+class NormalizedFadingTest : public ::testing::Test {
+ protected:
+  NormalizedFadingTest()
+      : edges_(&graph_, &params_),
+        // Location 0 has a fast reader (period 1), location 1 a slow shelf
+        // reader (period 60).
+        nodes_(&graph_, &params_, &edges_, {1, 60}) {
+    graph_.BeginEpoch(1);
+  }
+
+  NodeInferencer::ColorOracle ObservedOnly() {
+    return [this](const Node& node) { return graph_.ColorOf(node); };
+  }
+
+  Graph graph_{8};
+  InferenceParams params_;
+  EdgeInferencer edges_;
+  NodeInferencer nodes_;
+};
+
+TEST_F(NormalizedFadingTest, SlowReaderSilenceIsWeakEvidence) {
+  Node& node = graph_.GetOrCreateNode(Obj(PackagingLevel::kItem, 1));
+  graph_.ColorNode(node, 1);  // Seen at the slow shelf.
+  graph_.BeginEpoch(61);      // One missed shelf reading.
+  EXPECT_DOUBLE_EQ(nodes_.FadingAge(node, 61), 1.0);
+  // Belief barely faded: the object is still believed on the shelf.
+  EXPECT_EQ(nodes_.InferAt(node, 61, ObservedOnly()).location, 1);
+}
+
+TEST_F(NormalizedFadingTest, FastReaderSilenceIsStrongEvidence) {
+  Node& node = graph_.GetOrCreateNode(Obj(PackagingLevel::kItem, 1));
+  graph_.ColorNode(node, 0);  // Seen at the fast reader.
+  graph_.BeginEpoch(61);      // Sixty missed readings.
+  EXPECT_DOUBLE_EQ(nodes_.FadingAge(node, 61), 60.0);
+  EXPECT_EQ(nodes_.InferAt(node, 61, ObservedOnly()).location,
+            kUnknownLocation);
+}
+
+TEST_F(NormalizedFadingTest, ManyMissedOpportunitiesEventuallyFade) {
+  Node& node = graph_.GetOrCreateNode(Obj(PackagingLevel::kItem, 1));
+  graph_.ColorNode(node, 1);
+  graph_.BeginEpoch(601);  // Ten missed shelf readings.
+  EXPECT_DOUBLE_EQ(nodes_.FadingAge(node, 601), 10.0);
+  EXPECT_EQ(nodes_.InferAt(node, 601, ObservedOnly()).location,
+            kUnknownLocation);
+}
+
+TEST_F(NormalizedFadingTest, NormalizationCanBeDisabled) {
+  params_.normalize_age_by_reader_period = false;
+  Node& node = graph_.GetOrCreateNode(Obj(PackagingLevel::kItem, 1));
+  graph_.ColorNode(node, 1);
+  graph_.BeginEpoch(61);
+  EXPECT_DOUBLE_EQ(nodes_.FadingAge(node, 61), 60.0);  // Raw epochs.
+}
+
+TEST(LocationPeriodsTest, FastestReaderWinsPerLocation) {
+  ReaderRegistry registry;
+  LocationId a = registry.AddLocation("a");
+  LocationId b = registry.AddLocation("b");
+  ReaderInfo slow;
+  slow.id = 0;
+  slow.location = b;
+  slow.period_epochs = 60;
+  ReaderInfo fast;
+  fast.id = 1;
+  fast.location = b;
+  fast.period_epochs = 10;
+  ReaderInfo plain;
+  plain.id = 2;
+  plain.location = a;
+  plain.period_epochs = 1;
+  ASSERT_TRUE(registry.AddReader(slow).ok());
+  ASSERT_TRUE(registry.AddReader(fast).ok());
+  ASSERT_TRUE(registry.AddReader(plain).ok());
+  std::vector<Epoch> periods = LocationPeriods(registry);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[a], 1);
+  EXPECT_EQ(periods[b], 10);  // The faster of the two shelf readers.
+  EXPECT_EQ(IterativeInference::LocationPeriods(&registry), periods);
+  EXPECT_TRUE(IterativeInference::LocationPeriods(nullptr).empty());
+}
+
+// ------------------------------------------- Frequency-aware SMURF --------
+
+class SlowReaderSmurfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LocationId fast = registry_.AddLocation("fast");
+    LocationId shelf = registry_.AddLocation("shelf");
+    ReaderInfo fast_reader;
+    fast_reader.id = 0;
+    fast_reader.location = fast;
+    fast_reader.period_epochs = 1;
+    ReaderInfo shelf_reader;
+    shelf_reader.id = 1;
+    shelf_reader.location = shelf;
+    shelf_reader.period_epochs = 60;
+    ASSERT_TRUE(registry_.AddReader(fast_reader).ok());
+    ASSERT_TRUE(registry_.AddReader(shelf_reader).ok());
+  }
+
+  static LocationId LocationIn(const std::vector<ObjectStateEstimate>& v,
+                               ObjectId tag) {
+    for (const auto& e : v) {
+      if (e.object == tag) return e.location;
+    }
+    return kUnknownLocation;
+  }
+
+  ReaderRegistry registry_;
+};
+
+TEST_F(SlowReaderSmurfTest, NoFlappingBetweenPerfectShelfReads) {
+  SmurfCleaner cleaner(&registry_);
+  ObjectId tag = Obj(PackagingLevel::kItem, 1);
+  // Read at every shelf opportunity (perfect read rate, 1-per-60 cadence).
+  std::vector<ObjectStateEstimate> estimates;
+  bool always_present = true;
+  for (Epoch now = 0; now < 600; ++now) {
+    EpochReadings readings;
+    if (now % 60 == 0) readings.push_back(MakeReading(tag, 1, now));
+    estimates = cleaner.ProcessEpoch(now, readings);
+    if (now > 60 && LocationIn(estimates, tag) == kUnknownLocation) {
+      always_present = false;
+    }
+  }
+  EXPECT_TRUE(always_present)
+      << "a perfectly read tag flapped between slow shelf reads";
+}
+
+TEST_F(SlowReaderSmurfTest, FrequencyAwarenessBridgesReaderHandoff) {
+  // After a fast-reader -> shelf handoff, the frequency-aware windows reach
+  // several shelf periods quickly: once warmed up (one shelf period), the
+  // tag never flaps between perfect shelf reads.
+  SmurfCleaner aware(&registry_);
+  ObjectId tag = Obj(PackagingLevel::kItem, 1);
+  Epoch now = 0;
+  for (; now < 30; ++now) {
+    aware.ProcessEpoch(now, {MakeReading(tag, 0, now)});
+  }
+  bool aware_flapped = false;
+  for (; now < 400; ++now) {
+    EpochReadings readings;
+    if (now % 60 == 0) readings.push_back(MakeReading(tag, 1, now));
+    auto estimates = aware.ProcessEpoch(now, readings);
+    if (now > 120 && LocationIn(estimates, tag) == kUnknownLocation) {
+      aware_flapped = true;
+    }
+  }
+  EXPECT_FALSE(aware_flapped);
+}
+
+TEST_F(SlowReaderSmurfTest, LocationChangeResetsStatistics) {
+  SmurfCleaner cleaner(&registry_);
+  ObjectId tag = Obj(PackagingLevel::kItem, 1);
+  Epoch now = 0;
+  for (; now < 30; ++now) {
+    cleaner.ProcessEpoch(now, {MakeReading(tag, 0, now)});
+  }
+  EXPECT_GT(cleaner.WindowOf(tag), 1);
+  // Move to the shelf: the per-epoch history must not poison the new
+  // per-minute cadence.
+  cleaner.ProcessEpoch(now, {MakeReading(tag, 1, now)});
+  EXPECT_EQ(cleaner.WindowOf(tag), 1);
+}
+
+TEST_F(SlowReaderSmurfTest, MissedShelfReadSmoothedOver) {
+  SmurfCleaner cleaner(&registry_);
+  ObjectId tag = Obj(PackagingLevel::kItem, 1);
+  // Six perfect shelf reads grow the window past one opportunity...
+  Epoch now = 0;
+  for (; now < 361; ++now) {
+    EpochReadings readings;
+    if (now % 60 == 0) readings.push_back(MakeReading(tag, 1, now));
+    cleaner.ProcessEpoch(now, readings);
+  }
+  // ...then one missed read (epoch 360 skipped would be here; skip 360-419)
+  bool present_through_gap = true;
+  for (; now < 420; ++now) {
+    auto estimates = cleaner.ProcessEpoch(now, {});
+    if (LocationIn(estimates, tag) == kUnknownLocation) {
+      present_through_gap = false;
+    }
+  }
+  EXPECT_TRUE(present_through_gap);
+}
+
+// ------------------------------------------------- Pipeline exit grace ----
+
+class ExitGraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LocationId dock = registry_.AddLocation("dock");
+    LocationId exit = registry_.AddLocation("exit");
+    ReaderInfo dock_reader;
+    dock_reader.id = 0;
+    dock_reader.location = dock;
+    dock_reader.type = ReaderType::kPackaging;
+    ReaderInfo exit_reader;
+    exit_reader.id = 1;
+    exit_reader.location = exit;
+    exit_reader.type = ReaderType::kExitDoor;
+    ASSERT_TRUE(registry_.AddReader(dock_reader).ok());
+    ASSERT_TRUE(registry_.AddReader(exit_reader).ok());
+  }
+
+  ReaderRegistry registry_;
+};
+
+TEST_F(ExitGraceTest, ResidualExitReadingsDoNotResurrect) {
+  PipelineOptions options;
+  options.exit_grace_epochs = 10;
+  SpirePipeline pipeline(&registry_, options);
+  ObjectId tag = Obj(PackagingLevel::kItem, 1);
+  EventStream out;
+  pipeline.ProcessEpoch(1, {MakeReading(tag, 0, 1)}, &out);
+  EXPECT_EQ(pipeline.graph().NumNodes(), 1u);
+  pipeline.ProcessEpoch(2, {MakeReading(tag, 1, 2)}, &out);  // Exit read.
+  EXPECT_EQ(pipeline.graph().NumNodes(), 0u);
+  // Residual interrogations during the exit dwell are ignored.
+  pipeline.ProcessEpoch(3, {MakeReading(tag, 1, 3)}, &out);
+  EXPECT_EQ(pipeline.graph().NumNodes(), 0u);
+  // Far beyond the grace the id is fresh again (ids are not recycled in
+  // practice, but the substrate must not blacklist forever).
+  pipeline.ProcessEpoch(20, {MakeReading(tag, 0, 20)}, &out);
+  EXPECT_EQ(pipeline.graph().NumNodes(), 1u);
+}
+
+TEST_F(ExitGraceTest, ExitEmitsClosedStayAndRetires) {
+  SpirePipeline pipeline(&registry_, PipelineOptions{});
+  ObjectId tag = Obj(PackagingLevel::kItem, 1);
+  EventStream out;
+  pipeline.ProcessEpoch(1, {MakeReading(tag, 0, 1)}, &out);
+  pipeline.ProcessEpoch(2, {MakeReading(tag, 1, 2)}, &out);
+  // The stream shows: dock stay closed, exit stay opened and closed.
+  bool exit_start = false, exit_end = false;
+  for (const Event& event : out) {
+    if (event.object != tag) continue;
+    if (event.type == EventType::kStartLocation && event.location == 1) {
+      exit_start = true;
+    }
+    if (event.type == EventType::kEndLocation && event.location == 1) {
+      exit_end = true;
+    }
+  }
+  EXPECT_TRUE(exit_start);
+  EXPECT_TRUE(exit_end);
+}
+
+}  // namespace
+}  // namespace spire

@@ -1,0 +1,266 @@
+// Tests for binary serialization: event records (compress/serde), trace
+// files (stream/trace_io), and deployment text (stream/deployment).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/epc.h"
+#include "common/wire.h"
+#include "compress/serde.h"
+#include "stream/deployment.h"
+#include "stream/trace_io.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+const ObjectId kItem = Obj(PackagingLevel::kItem, 1);
+const ObjectId kCase = Obj(PackagingLevel::kCase, 2);
+
+// ------------------------------------------------------------ Event serde --
+
+TEST(EventSerdeTest, RecordSizeMatchesWireConstant) {
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(
+      EventEncoder::Encode(Event::StartLocation(kItem, 4, 10), &bytes).ok());
+  EXPECT_EQ(bytes.size(), kEventWireBytes);
+}
+
+TEST(EventSerdeTest, StreamRoundTrips) {
+  EventStream stream{
+      Event::StartContainment(kItem, kCase, 5),
+      Event::StartLocation(kItem, 4, 10),
+      Event::EndLocation(kItem, 4, 10, 20),
+      Event::StartLocation(kItem, 7, 25),
+      Event::Missing(kCase, 3, 30),
+      Event::EndContainment(kItem, kCase, 5, 40),
+      Event::EndLocation(kItem, 7, 25, 41),
+  };
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(EventEncoder::EncodeStream(stream, &bytes).ok());
+  EXPECT_EQ(bytes.size(), stream.size() * kEventWireBytes);
+  EventDecoder decoder;
+  auto decoded = decoder.DecodeStream(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), stream);
+}
+
+TEST(EventSerdeTest, EndRecoversStartFromOpenEvent) {
+  // The wire carries only V_e for End messages (Section V-A); the decoder
+  // reconstructs V_s from the open event it closes.
+  EventStream stream{
+      Event::StartLocation(kItem, 4, 123),
+      Event::EndLocation(kItem, 4, 123, 456),
+  };
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(EventEncoder::EncodeStream(stream, &bytes).ok());
+  EventDecoder decoder;
+  auto decoded = decoder.DecodeStream(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value()[1].start, 123);
+  EXPECT_EQ(decoded.value()[1].end, 456);
+}
+
+TEST(EventSerdeTest, EndWithoutOpenRejected) {
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(
+      EventEncoder::Encode(Event::EndLocation(kItem, 4, 1, 2), &bytes).ok());
+  EventDecoder decoder;
+  EXPECT_FALSE(decoder.DecodeStream(bytes).ok());
+}
+
+TEST(EventSerdeTest, RejectsCorruption) {
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(
+      EventEncoder::Encode(Event::StartLocation(kItem, 4, 10), &bytes).ok());
+  // Truncated record.
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 1);
+  EventDecoder decoder;
+  EXPECT_FALSE(decoder.DecodeStream(truncated).ok());
+  // Unknown type byte.
+  std::vector<std::uint8_t> bad_type = bytes;
+  bad_type[0] = 99;
+  EXPECT_FALSE(EventDecoder().DecodeStream(bad_type).ok());
+  // Nonzero EPC header bytes.
+  std::vector<std::uint8_t> bad_header = bytes;
+  bad_header[2] = 1;
+  EXPECT_FALSE(EventDecoder().DecodeStream(bad_header).ok());
+  // Container flag inconsistent with the type.
+  std::vector<std::uint8_t> bad_flag = bytes;
+  bad_flag[25] |= 0x01;
+  EXPECT_FALSE(EventDecoder().DecodeStream(bad_flag).ok());
+}
+
+TEST(EventSerdeTest, RejectsUnrepresentableTimestamps) {
+  std::vector<std::uint8_t> bytes;
+  Event event = Event::StartLocation(kItem, 4, Epoch{1} << 40);
+  EXPECT_FALSE(EventEncoder::Encode(event, &bytes).ok());
+  event = Event::StartLocation(kItem, 4, -5);
+  EXPECT_FALSE(EventEncoder::Encode(event, &bytes).ok());
+}
+
+TEST(EventSerdeTest, EventFileRoundTrip) {
+  EventStream stream{
+      Event::StartLocation(kItem, 4, 10),
+      Event::StartContainment(kItem, kCase, 12),
+      Event::EndLocation(kItem, 4, 10, 20),
+      Event::Missing(kItem, 4, 20),
+  };
+  std::string path = ::testing::TempDir() + "/serde_roundtrip.spev";
+  ASSERT_TRUE(WriteEventFile(path, stream).ok());
+  auto loaded = ReadEventFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), stream);
+}
+
+TEST(EventSerdeTest, EventFileRejectsGarbage) {
+  EXPECT_FALSE(ReadEventFile("/nonexistent/nowhere.spev").ok());
+  std::string path = ::testing::TempDir() + "/serde_garbage.spev";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not an event file at all";
+  }
+  EXPECT_FALSE(ReadEventFile(path).ok());
+}
+
+// -------------------------------------------------------------- Trace I/O --
+
+RfidReading MakeReading(ObjectId tag, ReaderId reader, Epoch epoch,
+                        std::uint16_t tick) {
+  RfidReading r;
+  r.tag = tag;
+  r.reader = reader;
+  r.epoch = epoch;
+  r.tick = tick;
+  return r;
+}
+
+TEST(TraceIoTest, RoundTripsEpochBlocks) {
+  std::stringstream buffer;
+  TraceWriter writer(&buffer);
+  ASSERT_TRUE(writer.WriteHeader().ok());
+  EpochReadings first{MakeReading(kItem, 0, 5, 0),
+                      MakeReading(kCase, 1, 5, 1)};
+  EpochReadings second{MakeReading(kItem, 2, 9, 0)};
+  ASSERT_TRUE(writer.WriteEpoch(5, first).ok());
+  ASSERT_TRUE(writer.WriteEpoch(7, {}).ok());  // Empty: skipped.
+  ASSERT_TRUE(writer.WriteEpoch(9, second).ok());
+
+  TraceReader reader(&buffer);
+  ASSERT_TRUE(reader.ReadHeader().ok());
+  Epoch epoch = 0;
+  EpochReadings readings;
+  auto more = reader.NextEpoch(&epoch, &readings);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(more.value());
+  EXPECT_EQ(epoch, 5);
+  EXPECT_EQ(readings, first);
+  more = reader.NextEpoch(&epoch, &readings);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(more.value());
+  EXPECT_EQ(epoch, 9);
+  EXPECT_EQ(readings, second);
+  more = reader.NextEpoch(&epoch, &readings);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(more.value());  // Clean EOF.
+}
+
+TEST(TraceIoTest, RejectsNonMonotonicEpochs) {
+  std::stringstream buffer;
+  TraceWriter writer(&buffer);
+  ASSERT_TRUE(writer.WriteHeader().ok());
+  ASSERT_TRUE(writer.WriteEpoch(5, {MakeReading(kItem, 0, 5, 0)}).ok());
+  EXPECT_FALSE(writer.WriteEpoch(5, {MakeReading(kItem, 0, 5, 0)}).ok());
+  EXPECT_FALSE(writer.WriteEpoch(4, {MakeReading(kItem, 0, 4, 0)}).ok());
+}
+
+TEST(TraceIoTest, RejectsMismatchedReadingEpoch) {
+  std::stringstream buffer;
+  TraceWriter writer(&buffer);
+  ASSERT_TRUE(writer.WriteHeader().ok());
+  EXPECT_FALSE(writer.WriteEpoch(5, {MakeReading(kItem, 0, 6, 0)}).ok());
+}
+
+TEST(TraceIoTest, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("not a trace");
+  TraceReader reader(&bad);
+  EXPECT_FALSE(reader.ReadHeader().ok());
+
+  std::stringstream buffer;
+  TraceWriter writer(&buffer);
+  ASSERT_TRUE(writer.WriteHeader().ok());
+  ASSERT_TRUE(writer.WriteEpoch(5, {MakeReading(kItem, 0, 5, 0)}).ok());
+  std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 3));
+  TraceReader truncated_reader(&truncated);
+  ASSERT_TRUE(truncated_reader.ReadHeader().ok());
+  Epoch epoch;
+  EpochReadings readings;
+  EXPECT_FALSE(truncated_reader.NextEpoch(&epoch, &readings).ok());
+}
+
+// ------------------------------------------------------------- Deployment --
+
+TEST(DeploymentTest, RoundTripsRegistry) {
+  ReaderRegistry registry;
+  LocationId dock = registry.AddLocation("dock");
+  LocationId shelf = registry.AddLocation("shelf_0");
+  ReaderInfo a;
+  a.id = 0;
+  a.location = dock;
+  a.type = ReaderType::kEntryDoor;
+  a.period_epochs = 1;
+  a.name = "door";
+  ReaderInfo b;
+  b.id = 1;
+  b.location = shelf;
+  b.type = ReaderType::kShelf;
+  b.period_epochs = 60;
+  b.name = "shelf0";
+  ASSERT_TRUE(registry.AddReader(a).ok());
+  ASSERT_TRUE(registry.AddReader(b).ok());
+
+  auto parsed = ParseDeployment(SerializeDeployment(registry));
+  ASSERT_TRUE(parsed.ok());
+  const ReaderRegistry& round = parsed.value();
+  ASSERT_EQ(round.readers().size(), 2u);
+  EXPECT_EQ(round.readers()[0].type, ReaderType::kEntryDoor);
+  EXPECT_EQ(round.readers()[1].period_epochs, 60);
+  EXPECT_EQ(round.LocationName(round.readers()[1].location), "shelf_0");
+  EXPECT_EQ(round.PeriodLcm(), registry.PeriodLcm());
+}
+
+TEST(DeploymentTest, SkipsCommentsAndBlanks) {
+  auto parsed = ParseDeployment(
+      {"# header", "", "reader r0 dock packaging 1"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().readers().size(), 1u);
+}
+
+TEST(DeploymentTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseDeployment({"reader r0 dock packaging"}).ok());
+  EXPECT_FALSE(ParseDeployment({"reader r0 dock flying_drone 1"}).ok());
+  EXPECT_FALSE(ParseDeployment({"antenna r0 dock shelf 1"}).ok());
+  EXPECT_FALSE(ParseDeployment({"reader r0 dock shelf 0"}).ok());  // Period.
+}
+
+TEST(DeploymentTest, SharedLocationRegisteredOnce) {
+  auto parsed = ParseDeployment({
+      "reader r0 dock packaging 1",
+      "reader r1 dock packaging 2",
+  });
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_locations(), 1u);
+  EXPECT_EQ(parsed.value().readers()[0].location,
+            parsed.value().readers()[1].location);
+}
+
+}  // namespace
+}  // namespace spire

@@ -1,0 +1,183 @@
+// Unit tests for the SMURF baseline (adaptive per-tag smoothing).
+#include <gtest/gtest.h>
+
+#include "common/epc.h"
+#include "smurf/smurf.h"
+#include "smurf/smurf_pipeline.h"
+#include "compress/well_formed.h"
+
+namespace spire {
+namespace {
+
+ObjectId Tag(std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = PackagingLevel::kItem;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+RfidReading MakeReading(ObjectId tag, ReaderId reader, Epoch epoch) {
+  RfidReading r;
+  r.tag = tag;
+  r.reader = reader;
+  r.epoch = epoch;
+  return r;
+}
+
+class SmurfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LocationId a = registry_.AddLocation("a");
+    LocationId b = registry_.AddLocation("b");
+    ReaderInfo r0;
+    r0.id = 0;
+    r0.location = a;
+    ASSERT_TRUE(registry_.AddReader(r0).ok());
+    ReaderInfo r1;
+    r1.id = 1;
+    r1.location = b;
+    ASSERT_TRUE(registry_.AddReader(r1).ok());
+  }
+
+  /// The estimate for `tag` in `estimates`; location kUnknownLocation when
+  /// absent entirely.
+  static LocationId LocationIn(const std::vector<ObjectStateEstimate>& v,
+                               ObjectId tag) {
+    for (const auto& e : v) {
+      if (e.object == tag) return e.location;
+    }
+    return kUnknownLocation;
+  }
+
+  ReaderRegistry registry_;
+};
+
+TEST_F(SmurfTest, ReportsTagAtReaderLocation) {
+  SmurfCleaner cleaner(&registry_);
+  auto estimates = cleaner.ProcessEpoch(1, {MakeReading(Tag(1), 0, 1)});
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates[0].location, registry_.LocationOf(0));
+  EXPECT_EQ(estimates[0].container, kNoObject);  // Never any containment.
+}
+
+TEST_F(SmurfTest, SmoothsOverShortGaps) {
+  SmurfCleaner cleaner(&registry_);
+  ObjectId tag = Tag(1);
+  // Reads 4 of 5 epochs (p ~ 0.8): the window grows to w* ~ 4, so a single
+  // missed epoch is statistically unremarkable.
+  Epoch now = 0;
+  for (; now < 40; ++now) {
+    EpochReadings readings;
+    if (now % 5 != 4) readings.push_back(MakeReading(tag, 0, now));
+    cleaner.ProcessEpoch(now, readings);
+  }
+  EXPECT_GT(cleaner.WindowOf(tag), 1);
+  // A missed epoch right after a read: still reported present (that is the
+  // smoothing).
+  auto estimates = cleaner.ProcessEpoch(now, {});
+  EXPECT_EQ(LocationIn(estimates, tag), registry_.LocationOf(0));
+}
+
+TEST_F(SmurfTest, ExpiresAfterWindow) {
+  SmurfCleaner cleaner(&registry_);
+  ObjectId tag = Tag(1);
+  Epoch now = 0;
+  for (; now < 10; ++now) {
+    cleaner.ProcessEpoch(now, {MakeReading(tag, 0, now)});
+  }
+  // Silence for far longer than any window: reported away.
+  std::vector<ObjectStateEstimate> estimates;
+  for (; now < 10 + 600; ++now) {
+    estimates = cleaner.ProcessEpoch(now, {});
+    if (estimates.empty()) break;
+    if (LocationIn(estimates, tag) == kUnknownLocation) break;
+  }
+  EXPECT_EQ(LocationIn(estimates, tag), kUnknownLocation);
+}
+
+TEST_F(SmurfTest, WindowShrinksOnSuspectedTransition) {
+  SmurfCleaner cleaner(&registry_);
+  ObjectId tag = Tag(1);
+  Epoch now = 0;
+  for (; now < 60; ++now) {
+    cleaner.ProcessEpoch(now, {MakeReading(tag, 0, now)});
+  }
+  int window_before = cleaner.WindowOf(tag);
+  ASSERT_GT(window_before, 1);
+  // Sudden silence: the binomial test fires and the window halves.
+  for (int i = 0; i < 3 && cleaner.WindowOf(tag) >= window_before; ++i) {
+    cleaner.ProcessEpoch(now++, {});
+  }
+  EXPECT_LT(cleaner.WindowOf(tag), window_before);
+}
+
+TEST_F(SmurfTest, LocationFollowsMostRecentReader) {
+  SmurfCleaner cleaner(&registry_);
+  ObjectId tag = Tag(1);
+  cleaner.ProcessEpoch(1, {MakeReading(tag, 0, 1)});
+  auto estimates = cleaner.ProcessEpoch(2, {MakeReading(tag, 1, 2)});
+  EXPECT_EQ(LocationIn(estimates, tag), registry_.LocationOf(1));
+}
+
+TEST_F(SmurfTest, ForgetsLongGoneTags) {
+  SmurfOptions options;
+  options.forget_after = 50;
+  SmurfCleaner cleaner(&registry_, options);
+  cleaner.ProcessEpoch(1, {MakeReading(Tag(1), 0, 1)});
+  EXPECT_EQ(cleaner.tracked_tags(), 1u);
+  cleaner.ProcessEpoch(100, {});
+  EXPECT_EQ(cleaner.tracked_tags(), 0u);
+}
+
+TEST_F(SmurfTest, EstimatesSortedByTag) {
+  SmurfCleaner cleaner(&registry_);
+  auto estimates = cleaner.ProcessEpoch(
+      1, {MakeReading(Tag(5), 0, 1), MakeReading(Tag(2), 0, 1),
+          MakeReading(Tag(9), 1, 1)});
+  ASSERT_EQ(estimates.size(), 3u);
+  EXPECT_LT(estimates[0].object, estimates[1].object);
+  EXPECT_LT(estimates[1].object, estimates[2].object);
+}
+
+TEST_F(SmurfTest, PipelineProducesWellFormedLocationStream) {
+  SmurfPipeline pipeline(&registry_);
+  EventStream out;
+  ObjectId tag = Tag(1);
+  for (Epoch now = 0; now < 30; ++now) {
+    EpochReadings readings;
+    if (now < 10) readings.push_back(MakeReading(tag, 0, now));
+    if (now >= 15 && now < 25) readings.push_back(MakeReading(tag, 1, now));
+    pipeline.ProcessEpoch(now, readings, &out);
+  }
+  pipeline.Finish(30, &out);
+  EXPECT_TRUE(ValidateWellFormed(out).ok());
+  // The tag was seen at both locations.
+  bool at_a = false, at_b = false;
+  for (const Event& e : out) {
+    if (e.type == EventType::kStartLocation) {
+      at_a |= e.location == registry_.LocationOf(0);
+      at_b |= e.location == registry_.LocationOf(1);
+    }
+    EXPECT_FALSE(IsContainmentEvent(e.type));
+  }
+  EXPECT_TRUE(at_a);
+  EXPECT_TRUE(at_b);
+}
+
+TEST_F(SmurfTest, WindowCappedAtMax) {
+  SmurfOptions options;
+  options.max_window = 16;
+  SmurfCleaner cleaner(&registry_, options);
+  ObjectId tag = Tag(1);
+  // Sparse reads (1 in 8): w* would exceed the cap.
+  for (Epoch now = 0; now < 400; ++now) {
+    EpochReadings readings;
+    if (now % 8 == 0) readings.push_back(MakeReading(tag, 0, now));
+    cleaner.ProcessEpoch(now, readings);
+  }
+  EXPECT_LE(cleaner.WindowOf(tag), 16);
+  EXPECT_GT(cleaner.WindowOf(tag), 1);
+}
+
+}  // namespace
+}  // namespace spire

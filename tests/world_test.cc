@@ -1,0 +1,179 @@
+// Unit tests for the ground-truth physical world (src/sim/world).
+#include <gtest/gtest.h>
+
+#include "common/epc.h"
+#include "sim/world.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pallet_ = Obj(PackagingLevel::kPallet, 1);
+    case_ = Obj(PackagingLevel::kCase, 2);
+    item_ = Obj(PackagingLevel::kItem, 3);
+    ASSERT_TRUE(world_.AddObject(pallet_, kDock).ok());
+    ASSERT_TRUE(world_.AddObject(case_, kDock).ok());
+    ASSERT_TRUE(world_.AddObject(item_, kDock).ok());
+  }
+
+  static constexpr LocationId kDock = 0;
+  static constexpr LocationId kShelf = 1;
+
+  PhysicalWorld world_;
+  ObjectId pallet_, case_, item_;
+};
+
+TEST_F(WorldTest, AddAndFind) {
+  EXPECT_TRUE(world_.Contains(case_));
+  const ObjectState* state = world_.Find(case_);
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->level, PackagingLevel::kCase);
+  EXPECT_EQ(state->location, kDock);
+  EXPECT_EQ(world_.size(), 3u);
+}
+
+TEST_F(WorldTest, RejectsDuplicateAdd) {
+  EXPECT_FALSE(world_.AddObject(case_, kDock).ok());
+}
+
+TEST_F(WorldTest, Resides) {
+  EXPECT_TRUE(world_.Resides(case_, kDock));
+  EXPECT_FALSE(world_.Resides(case_, kShelf));
+  EXPECT_FALSE(world_.Resides(Obj(PackagingLevel::kItem, 99), kDock));
+}
+
+TEST_F(WorldTest, ContainmentRequiresCoResidence) {
+  ASSERT_TRUE(world_.MoveObject(case_, kShelf).ok());
+  EXPECT_FALSE(world_.SetContainment(item_, case_).ok());
+  ASSERT_TRUE(world_.MoveObject(case_, kDock).ok());
+  EXPECT_TRUE(world_.SetContainment(item_, case_).ok());
+}
+
+TEST_F(WorldTest, ContainmentLinksBothSides) {
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  EXPECT_EQ(world_.ParentOf(item_), case_);
+  const ObjectState* parent = world_.Find(case_);
+  ASSERT_EQ(parent->children.size(), 1u);
+  EXPECT_EQ(parent->children[0], item_);
+}
+
+TEST_F(WorldTest, RejectsSecondContainer) {
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  EXPECT_FALSE(world_.SetContainment(item_, pallet_).ok());
+}
+
+TEST_F(WorldTest, ClearContainmentDetaches) {
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  ASSERT_TRUE(world_.ClearContainment(item_).ok());
+  EXPECT_EQ(world_.ParentOf(item_), kNoObject);
+  EXPECT_TRUE(world_.Find(case_)->children.empty());
+  // Clearing an uncontained object is a no-op.
+  EXPECT_TRUE(world_.ClearContainment(item_).ok());
+}
+
+TEST_F(WorldTest, MoveCascadesToContents) {
+  ASSERT_TRUE(world_.SetContainment(case_, pallet_).ok());
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  ASSERT_TRUE(world_.MoveObject(pallet_, kShelf).ok());
+  EXPECT_EQ(world_.LocationOf(pallet_), kShelf);
+  EXPECT_EQ(world_.LocationOf(case_), kShelf);
+  EXPECT_EQ(world_.LocationOf(item_), kShelf);
+}
+
+TEST_F(WorldTest, MovingChildDoesNotMoveParent) {
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  ASSERT_TRUE(world_.MoveObject(item_, kShelf).ok());
+  EXPECT_EQ(world_.LocationOf(case_), kDock);
+  EXPECT_EQ(world_.LocationOf(item_), kShelf);
+}
+
+TEST_F(WorldTest, TopLevelContainer) {
+  ASSERT_TRUE(world_.SetContainment(case_, pallet_).ok());
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  EXPECT_EQ(world_.TopLevelContainerOf(item_), pallet_);
+  EXPECT_EQ(world_.TopLevelContainerOf(case_), pallet_);
+  EXPECT_EQ(world_.TopLevelContainerOf(pallet_), pallet_);
+  EXPECT_EQ(world_.TopLevelContainerOf(Obj(PackagingLevel::kItem, 88)),
+            kNoObject);
+}
+
+TEST_F(WorldTest, StealDetachesAndHides) {
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  ASSERT_TRUE(world_.Steal(item_).ok());
+  EXPECT_EQ(world_.LocationOf(item_), kUnknownLocation);
+  EXPECT_EQ(world_.ParentOf(item_), kNoObject);
+  EXPECT_TRUE(world_.Find(item_)->stolen);
+  EXPECT_TRUE(world_.Find(case_)->children.empty());
+}
+
+TEST_F(WorldTest, StealTakesContentsAlong) {
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  ASSERT_TRUE(world_.Steal(case_).ok());
+  EXPECT_EQ(world_.LocationOf(case_), kUnknownLocation);
+  EXPECT_EQ(world_.LocationOf(item_), kUnknownLocation);
+  // The item is still inside the stolen case.
+  EXPECT_EQ(world_.ParentOf(item_), case_);
+  EXPECT_FALSE(world_.Find(item_)->stolen);
+}
+
+TEST_F(WorldTest, RemoveSeversLinks) {
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  ASSERT_TRUE(world_.RemoveObject(item_).ok());
+  EXPECT_FALSE(world_.Contains(item_));
+  EXPECT_TRUE(world_.Find(case_)->children.empty());
+  EXPECT_FALSE(world_.RemoveObject(item_).ok());  // Already gone.
+}
+
+TEST_F(WorldTest, RemoveParentOrphansChildren) {
+  ASSERT_TRUE(world_.SetContainment(item_, case_).ok());
+  ASSERT_TRUE(world_.RemoveObject(case_).ok());
+  EXPECT_TRUE(world_.Contains(item_));
+  EXPECT_EQ(world_.ParentOf(item_), kNoObject);
+}
+
+TEST_F(WorldTest, LocationIndexTracksMoves) {
+  EXPECT_EQ(world_.ObjectsAt(kDock).size(), 3u);
+  ASSERT_TRUE(world_.MoveObject(case_, kShelf).ok());
+  EXPECT_EQ(world_.ObjectsAt(kDock).size(), 2u);
+  ASSERT_EQ(world_.ObjectsAt(kShelf).size(), 1u);
+  EXPECT_EQ(*world_.ObjectsAt(kShelf).begin(), case_);
+}
+
+TEST_F(WorldTest, LocationIndexDropsRemovedAndStolen) {
+  ASSERT_TRUE(world_.RemoveObject(item_).ok());
+  EXPECT_EQ(world_.ObjectsAt(kDock).size(), 2u);
+  ASSERT_TRUE(world_.Steal(case_).ok());
+  EXPECT_EQ(world_.ObjectsAt(kDock).size(), 1u);
+  EXPECT_TRUE(world_.ObjectsAt(kUnknownLocation).empty());  // Not indexed.
+}
+
+TEST_F(WorldTest, LocationIndexSorted) {
+  // Ascending id order gives deterministic reading generation.
+  ObjectId extra = Obj(PackagingLevel::kItem, 1);
+  ASSERT_TRUE(world_.AddObject(extra, kDock).ok());
+  const auto& at_dock = world_.ObjectsAt(kDock);
+  ObjectId last = 0;
+  for (ObjectId id : at_dock) {
+    EXPECT_GT(id, last);
+    last = id;
+  }
+}
+
+TEST_F(WorldTest, MoveUnknownObjectFails) {
+  EXPECT_FALSE(world_.MoveObject(Obj(PackagingLevel::kItem, 77), kDock).ok());
+  EXPECT_FALSE(world_.Steal(Obj(PackagingLevel::kItem, 77)).ok());
+  EXPECT_FALSE(
+      world_.SetContainment(Obj(PackagingLevel::kItem, 77), case_).ok());
+}
+
+}  // namespace
+}  // namespace spire

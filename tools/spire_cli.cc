@@ -1,0 +1,274 @@
+// spire_cli — offline driver for the SPIRE substrate.
+//
+//   spire_cli generate   out=trace.sptr deployment=dep.txt [truth=t.spev]
+//                        [any SimConfig key=value]
+//   spire_cli process    in=trace.sptr deployment=dep.txt out=events.spev
+//                        [level=1|2] [beta=..] [gamma=..] [theta=..]
+//   spire_cli decompress in=level2.spev out=level1.spev
+//   spire_cli validate   in=events.spev
+//   spire_cli stats      in=events.spev
+//   spire_cli query      in=events.spev epoch=<t> [object=<id>]
+//                        [decompress=true]
+//
+// Trace files use the binary format of stream/trace_io.h; event files are
+// "SPEV" + u16 version + the 26-byte records of compress/serde.h.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "compress/decompress.h"
+#include "compress/fold.h"
+#include "compress/serde.h"
+#include "compress/well_formed.h"
+#include "query/event_log.h"
+#include "sim/simulator.h"
+#include "spire/pipeline.h"
+#include "stream/deployment.h"
+#include "stream/trace_io.h"
+
+using namespace spire;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int FailText(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+Status SaveLines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  for (const std::string& line : lines) out << line << "\n";
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Result<std::vector<std::string>> LoadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------- generate
+
+int RunGenerate(const Config& args) {
+  auto out_path = args.GetString("out", "").value_or("");
+  auto deployment_path = args.GetString("deployment", "").value_or("");
+  if (out_path.empty() || deployment_path.empty()) {
+    return FailText("generate needs out=<trace> deployment=<file>");
+  }
+  auto sim_config = SimConfig::FromConfig(args);
+  if (!sim_config.ok()) return Fail(sim_config.status());
+  auto sim = WarehouseSimulator::Create(sim_config.value());
+  if (!sim.ok()) return Fail(sim.status());
+  WarehouseSimulator& s = *sim.value();
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) return FailText("cannot open for writing: " + out_path);
+  TraceWriter writer(&out);
+  Status status = writer.WriteHeader();
+  if (!status.ok()) return Fail(status);
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    status = writer.WriteEpoch(s.current_epoch(), readings);
+    if (!status.ok()) return Fail(status);
+  }
+  s.FinishTruth();
+
+  status = SaveLines(deployment_path, SerializeDeployment(s.registry()));
+  if (!status.ok()) return Fail(status);
+
+  auto truth_path = args.GetString("truth", "").value_or("");
+  if (!truth_path.empty()) {
+    status = WriteEventFile(truth_path, s.truth_events());
+    if (!status.ok()) return Fail(status);
+  }
+  std::printf("wrote %zu readings over %lld epochs to %s\n",
+              s.total_readings(),
+              static_cast<long long>(s.current_epoch() + 1), out_path.c_str());
+  return 0;
+}
+
+// ----------------------------------------------------------------- process
+
+int RunProcess(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  auto deployment_path = args.GetString("deployment", "").value_or("");
+  auto out_path = args.GetString("out", "").value_or("");
+  if (in_path.empty() || deployment_path.empty() || out_path.empty()) {
+    return FailText("process needs in=<trace> deployment=<file> out=<events>");
+  }
+  auto lines = LoadLines(deployment_path);
+  if (!lines.ok()) return Fail(lines.status());
+  auto registry = ParseDeployment(lines.value());
+  if (!registry.ok()) return Fail(registry.status());
+
+  PipelineOptions options;
+  options.level = args.GetInt("level", 2).value_or(2) == 1
+                      ? CompressionLevel::kLevel1
+                      : CompressionLevel::kLevel2;
+  options.inference.beta =
+      args.GetDouble("beta", options.inference.beta).value_or(0.4);
+  options.inference.gamma =
+      args.GetDouble("gamma", options.inference.gamma).value_or(0.45);
+  options.inference.theta =
+      args.GetDouble("theta", options.inference.theta).value_or(1.25);
+  SpirePipeline pipeline(&registry.value(), options);
+
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) return FailText("cannot open: " + in_path);
+  TraceReader reader(&in);
+  Status status = reader.ReadHeader();
+  if (!status.ok()) return Fail(status);
+
+  EventStream events;
+  Epoch epoch = kNeverEpoch;
+  Epoch last = kNeverEpoch;
+  EpochReadings readings;
+  std::size_t total_readings = 0;
+  for (;;) {
+    auto more = reader.NextEpoch(&epoch, &readings);
+    if (!more.ok()) return Fail(more.status());
+    if (!more.value()) break;
+    total_readings += readings.size();
+    pipeline.ProcessEpoch(epoch, std::move(readings), &events);
+    last = epoch;
+  }
+  pipeline.Finish(last + 1, &events);
+
+  status = WriteEventFile(out_path, events);
+  if (!status.ok()) return Fail(status);
+  std::printf("processed %zu readings -> %zu events (level %d), "
+              "compression ratio %.4f\n",
+              total_readings, events.size(),
+              options.level == CompressionLevel::kLevel1 ? 1 : 2,
+              total_readings == 0
+                  ? 0.0
+                  : static_cast<double>(events.size() * kEventWireBytes) /
+                        static_cast<double>(total_readings *
+                                            kReadingWireBytes));
+  return 0;
+}
+
+// ------------------------------------------------------- small subcommands
+
+int RunDecompress(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  auto out_path = args.GetString("out", "").value_or("");
+  if (in_path.empty() || out_path.empty()) {
+    return FailText("decompress needs in=<events> out=<events>");
+  }
+  auto events = ReadEventFile(in_path);
+  if (!events.ok()) return Fail(events.status());
+  EventStream level1 = Decompressor::DecompressAll(events.value());
+  Status status = WriteEventFile(out_path, level1);
+  if (!status.ok()) return Fail(status);
+  std::printf("decompressed %zu -> %zu events\n", events.value().size(),
+              level1.size());
+  return 0;
+}
+
+int RunValidate(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  if (in_path.empty()) return FailText("validate needs in=<events>");
+  auto events = ReadEventFile(in_path);
+  if (!events.ok()) return Fail(events.status());
+  Status status =
+      ValidateWellFormed(events.value(), /*allow_open_at_end=*/true);
+  if (!status.ok()) return Fail(status);
+  std::printf("%zu events, well-formed\n", events.value().size());
+  return 0;
+}
+
+int RunStats(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  if (in_path.empty()) return FailText("stats needs in=<events>");
+  auto events = ReadEventFile(in_path);
+  if (!events.ok()) return Fail(events.status());
+  auto log = EventLog::Build(events.value());
+  if (!log.ok()) return Fail(log.status());
+  std::size_t counts[5] = {};
+  for (const Event& event : events.value()) {
+    ++counts[static_cast<int>(event.type)];
+  }
+  std::printf("events: %zu (%zu bytes on the wire)\n", events.value().size(),
+              WireBytes(events.value()));
+  for (int type = 0; type < 5; ++type) {
+    std::printf("  %-16s %zu\n", ToString(static_cast<EventType>(type)),
+                counts[type]);
+  }
+  std::printf("objects: %zu, epochs [%lld, %lld], missing reports: %zu\n",
+              log.value().num_objects(),
+              static_cast<long long>(log.value().first_epoch()),
+              static_cast<long long>(log.value().last_epoch()),
+              log.value().MissingReports().size());
+  return 0;
+}
+
+int RunQuery(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  if (in_path.empty()) return FailText("query needs in=<events> epoch=<t>");
+  auto events = ReadEventFile(in_path);
+  if (!events.ok()) return Fail(events.status());
+  bool decompress = args.GetBool("decompress", false).value_or(false);
+  auto log = EventLog::Build(events.value(), decompress);
+  if (!log.ok()) return Fail(log.status());
+  Epoch epoch = args.GetInt("epoch", 0).value_or(0);
+  auto object_arg = args.GetInt("object", -1).value_or(-1);
+  if (object_arg >= 0) {
+    ObjectId object = static_cast<ObjectId>(object_arg);
+    LocationId location = log.value().LocationAt(object, epoch);
+    ObjectId container = log.value().ContainerAt(object, epoch);
+    std::printf("%s @ t=%lld: location=%d container=%s missing=%s\n",
+                EpcToString(object).c_str(), static_cast<long long>(epoch),
+                static_cast<int>(location),
+                container == kNoObject ? "none"
+                                       : EpcToString(container).c_str(),
+                log.value().IsMissingAt(object, epoch) ? "yes" : "no");
+    return 0;
+  }
+  // No object: summarize the world at the epoch.
+  std::size_t located = 0;
+  for (const auto& event : FoldEvents(events.value())) {
+    if (event.type == EventType::kStartLocation && event.start <= epoch &&
+        epoch < event.end) {
+      ++located;
+    }
+  }
+  std::printf("t=%lld: %zu objects at known locations\n",
+              static_cast<long long>(epoch), located);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s generate|process|decompress|validate|stats|query "
+                 "[key=value ...]\n",
+                 argv[0]);
+    return 1;
+  }
+  std::string command = argv[1];
+  auto args = Config::FromArgs(argc - 1, argv + 1);
+  if (!args.ok()) return Fail(args.status());
+  if (command == "generate") return RunGenerate(args.value());
+  if (command == "process") return RunProcess(args.value());
+  if (command == "decompress") return RunDecompress(args.value());
+  if (command == "validate") return RunValidate(args.value());
+  if (command == "stats") return RunStats(args.value());
+  if (command == "query") return RunQuery(args.value());
+  return FailText("unknown command: " + command);
+}
