@@ -1,0 +1,176 @@
+// Expt 9 (beyond the paper): the persistent block-compressed archive
+// (src/store) versus the flat 26-byte SPEV record file.
+//
+// Reports, for a level-2 warehouse trace:
+//   - bytes per event and size relative to the flat encoding (target: the
+//     archive at most half the flat file);
+//   - write and full-scan throughput for both formats;
+//   - a 10%-of-epochs time-range scan: blocks decoded versus total blocks
+//     (the block directory must skip a proportional share) and the scan's
+//     event yield.
+//
+//   ./expt9_archive [full=true] [block_events=N] [key=value ...]
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "compress/serde.h"
+#include "eval/table.h"
+#include "sim/simulator.h"
+#include "store/archive_reader.h"
+#include "store/archive_writer.h"
+#include "common/wire.h"
+
+using namespace spire;
+using namespace spire::bench;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Runs the pipeline over the trace and returns its output stream.
+EventStream GenerateTrace(const SimConfig& config) {
+  auto sim = WarehouseSimulator::Create(config);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "simulator: %s\n", sim.status().ToString().c_str());
+    std::exit(1);
+  }
+  WarehouseSimulator& s = *sim.value();
+  PipelineOptions options;
+  options.level = CompressionLevel::kLevel2;
+  SpirePipeline pipeline(&s.registry(), options);
+  EventStream events;
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &events);
+  }
+  pipeline.Finish(s.current_epoch() + 1, &events);
+  return events;
+}
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config args = ParseArgs(argc, argv);
+  bool full = args.GetBool("full", false).value_or(false);
+  SimConfig base = PaperOutputConfig(full);
+  auto overridden = SimConfig::FromConfig(args, base);
+  if (overridden.ok()) base = overridden.value();
+  ArchiveOptions archive_options;
+  archive_options.block_events = static_cast<std::size_t>(
+      args.GetInt("block_events", 4096).value_or(4096));
+
+  PrintHeader("Expt 9: persistent archive vs flat event file",
+              "beyond the paper; store/ subsystem");
+
+  const EventStream events = GenerateTrace(base);
+  const double n = static_cast<double>(events.size());
+  std::printf("trace: %zu events over %lld epochs\n\n", events.size(),
+              static_cast<long long>(base.duration_epochs));
+
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  const std::string flat_path = dir + "/expt9_flat.spev";
+  const std::string archive_path = dir + "/expt9_archive.sparc";
+  std::error_code ec;
+  std::filesystem::remove(flat_path, ec);
+  std::filesystem::remove(archive_path, ec);
+  std::filesystem::remove(IndexPathFor(archive_path), ec);
+
+  // --- Flat SPEV file -------------------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  Check(WriteEventFile(flat_path, events), "flat write");
+  const double flat_write_s = Seconds(t0);
+  const auto flat_bytes = std::filesystem::file_size(flat_path);
+
+  t0 = std::chrono::steady_clock::now();
+  auto flat_read = ReadEventFile(flat_path);
+  Check(flat_read.status(), "flat read");
+  const double flat_read_s = Seconds(t0);
+  if (flat_read.value() != events) {
+    std::fprintf(stderr, "flat round trip mismatch\n");
+    return 1;
+  }
+
+  // --- Block-compressed archive --------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  auto writer = ArchiveWriter::Open(archive_path, archive_options);
+  Check(writer.status(), "archive open");
+  Check(writer.value()->Append(events), "archive append");
+  Check(writer.value()->Close(), "archive close");
+  const double archive_write_s = Seconds(t0);
+  const std::uint64_t archive_bytes = writer.value()->segment_bytes();
+
+  auto reader = ArchiveReader::Open(archive_path);
+  Check(reader.status(), "archive reader open");
+  t0 = std::chrono::steady_clock::now();
+  auto scanned = reader.value().ScanAll();
+  Check(scanned.status(), "archive scan");
+  const double archive_scan_s = Seconds(t0);
+  if (scanned.value() != events) {
+    std::fprintf(stderr, "archive round trip mismatch\n");
+    return 1;
+  }
+
+  TextTable table({"format", "bytes", "bytes/event", "vs flat", "write Mev/s",
+                   "scan Mev/s"});
+  table.AddRow({"flat SPEV", std::to_string(flat_bytes),
+                TextTable::Num(static_cast<double>(flat_bytes) / n, 2), "1.00",
+                TextTable::Num(n / flat_write_s / 1e6, 2),
+                TextTable::Num(n / flat_read_s / 1e6, 2)});
+  table.AddRow({"archive", std::to_string(archive_bytes),
+                TextTable::Num(static_cast<double>(archive_bytes) / n, 2),
+                TextTable::Num(static_cast<double>(archive_bytes) /
+                                   static_cast<double>(flat_bytes),
+                               2),
+                TextTable::Num(n / archive_write_s / 1e6, 2),
+                TextTable::Num(n / archive_scan_s / 1e6, 2)});
+  table.Print();
+  std::printf("archive: %zu blocks of <= %zu events; payload record = %zu "
+              "flat bytes\n\n",
+              reader.value().num_blocks(), archive_options.block_events,
+              kEventWireBytes);
+
+  // --- 10%-of-epochs range scan --------------------------------------------
+  Epoch lo_epoch = kInfiniteEpoch, hi_epoch = 0;
+  for (const Event& event : events) {
+    const Epoch primary = PrimaryEpoch(event);
+    if (primary < lo_epoch) lo_epoch = primary;
+    if (primary > hi_epoch) hi_epoch = primary;
+  }
+  const Epoch span = hi_epoch - lo_epoch;
+  const Epoch lo = lo_epoch + span * 45 / 100;
+  const Epoch hi = lo_epoch + span * 55 / 100;
+  const std::size_t touched = reader.value().BlocksInRange(lo, hi);
+  t0 = std::chrono::steady_clock::now();
+  auto ranged = reader.value().ScanRange(lo, hi);
+  Check(ranged.status(), "range scan");
+  const double range_s = Seconds(t0);
+  std::printf("range scan [%lld, %lld] (10%% of %lld epochs):\n",
+              static_cast<long long>(lo), static_cast<long long>(hi),
+              static_cast<long long>(span));
+  std::printf("  blocks decoded: %zu of %zu (%.1f%%), events: %zu "
+              "(%.1f%% of stream), %.2f ms\n",
+              touched, reader.value().num_blocks(),
+              100.0 * static_cast<double>(touched) /
+                  static_cast<double>(reader.value().num_blocks()),
+              ranged.value().size(), 100.0 * ranged.value().size() / n,
+              range_s * 1e3);
+
+  std::filesystem::remove(flat_path, ec);
+  std::filesystem::remove(archive_path, ec);
+  std::filesystem::remove(IndexPathFor(archive_path), ec);
+  return 0;
+}

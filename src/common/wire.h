@@ -1,11 +1,16 @@
-// Wire-format size accounting for compression ratios.
+// Wire-format size accounting and on-disk format identifiers.
 //
 // The paper reports compression ratio = (bytes of the compressed event
 // stream) / (bytes of the raw RFID reading stream). We fix a concrete byte
 // layout for both streams so the ratio is well-defined and reproducible.
+//
+// This header is also the single home of every SPIRE file-format magic
+// number and version, so the serde layer, the archive store, and the tools
+// share one definition (see DESIGN.md "On-disk formats").
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace spire {
 
@@ -18,5 +23,28 @@ inline constexpr std::size_t kReadingWireBytes = 16;
 /// location id) + timestamp(4) + flags(1) = 26 bytes. Every message
 /// (Start*/End*/Missing) is charged one full record.
 inline constexpr std::size_t kEventWireBytes = 26;
+
+/// Bytes of every file-format magic below.
+inline constexpr std::size_t kMagicBytes = 4;
+
+/// Flat event file (compress/serde): magic + u16 version, then (version 2)
+/// a u64 record count, then the kEventWireBytes records.
+inline constexpr char kEventFileMagic[kMagicBytes] = {'S', 'P', 'E', 'V'};
+/// Current event-file version: header carries the record count so a file
+/// truncated at a record boundary is still detected.
+inline constexpr std::uint16_t kEventFileVersion = 2;
+/// Legacy event-file version without the record count (still readable).
+inline constexpr std::uint16_t kEventFileLegacyVersion = 1;
+
+/// Segmented block-compressed event archive (store/archive_writer).
+inline constexpr char kArchiveMagic[kMagicBytes] = {'S', 'P', 'A', 'R'};
+inline constexpr std::uint16_t kArchiveVersion = 1;
+
+/// Archive index sidecar (block directory + per-object postings).
+inline constexpr char kArchiveIndexMagic[kMagicBytes] = {'S', 'P', 'I', 'X'};
+inline constexpr std::uint16_t kArchiveIndexVersion = 1;
+
+/// Marker leading every archive block header; recovery scans for it.
+inline constexpr std::uint32_t kArchiveBlockMarker = 0x53504232;  // "SPB2"
 
 }  // namespace spire

@@ -94,6 +94,9 @@ Result<Event> EventDecoder::DecodeOne(const std::vector<std::uint8_t>& bytes,
   event.object = GetU64(p + 5);
   const std::uint64_t target = GetU64(p + 13);
   const Epoch timestamp = static_cast<Epoch>(GetU32(p + 21));
+  if ((p[25] & ~kContainerFlag) != 0) {
+    return Status::Corruption("unknown flag bits set");
+  }
   const bool container_flag = (p[25] & kContainerFlag) != 0;
   if (container_flag != IsContainmentEvent(event.type)) {
     return Status::Corruption("container flag inconsistent with type");
@@ -136,18 +139,16 @@ Result<Event> EventDecoder::DecodeOne(const std::vector<std::uint8_t>& bytes,
   return event;
 }
 
-namespace {
-constexpr char kEventFileMagic[4] = {'S', 'P', 'E', 'V'};
-constexpr std::uint16_t kEventFileVersion = 1;
-}  // namespace
-
 Status WriteEventFile(const std::string& path, const EventStream& events) {
   std::vector<std::uint8_t> bytes;
-  for (char c : kEventFileMagic) {
-    bytes.push_back(static_cast<std::uint8_t>(c));
+  for (std::size_t i = 0; i < kMagicBytes; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(kEventFileMagic[i]));
   }
   bytes.push_back(static_cast<std::uint8_t>(kEventFileVersion >> 8));
   bytes.push_back(static_cast<std::uint8_t>(kEventFileVersion & 0xff));
+  // Version 2: a record count, so truncation at a record boundary — which
+  // the fixed-size records alone cannot reveal — is detected on read.
+  PutU64(events.size(), &bytes);
   SPIRE_RETURN_NOT_OK(EventEncoder::EncodeStream(events, &bytes));
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::NotFound("cannot open for writing: " + path);
@@ -160,20 +161,38 @@ Status WriteEventFile(const std::string& path, const EventStream& events) {
 Result<EventStream> ReadEventFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open: " + path);
-  char header[6] = {};
+  char header[kMagicBytes + 2] = {};
   in.read(header, sizeof(header));
   if (!in.good() ||
-      std::memcmp(header, kEventFileMagic, sizeof(kEventFileMagic)) != 0) {
+      std::memcmp(header, kEventFileMagic, kMagicBytes) != 0) {
     return Status::Corruption("not a SPIRE event file: " + path);
   }
   std::uint16_t version = static_cast<std::uint16_t>(
       static_cast<std::uint8_t>(header[4]) << 8 |
       static_cast<std::uint8_t>(header[5]));
-  if (version != kEventFileVersion) {
-    return Status::NotSupported("unsupported event-file version");
+  if (version != kEventFileVersion && version != kEventFileLegacyVersion) {
+    return Status::NotSupported("unsupported event-file version " +
+                                std::to_string(version) + ": " + path);
+  }
+  std::uint64_t expected_records = 0;
+  if (version == kEventFileVersion) {
+    std::uint8_t count[8] = {};
+    in.read(reinterpret_cast<char*>(count), sizeof(count));
+    if (!in.good()) {
+      return Status::Corruption("event-file header truncated: " + path);
+    }
+    expected_records = GetU64(count);
   }
   std::vector<std::uint8_t> records(
       (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (version == kEventFileVersion &&
+      (records.size() % kEventWireBytes != 0 ||
+       records.size() / kEventWireBytes != expected_records)) {
+    return Status::Corruption(
+        "event file truncated: header promises " +
+        std::to_string(expected_records) + " records, found " +
+        std::to_string(records.size()) + " bytes: " + path);
+  }
   EventDecoder decoder;
   return decoder.DecodeStream(records);
 }

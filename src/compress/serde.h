@@ -58,11 +58,13 @@ class EventDecoder {
   std::map<std::pair<ObjectId, bool>, Epoch> open_;
 };
 
-/// Writes a stream as an event file: "SPEV" magic, u16 version, then the
-/// 26-byte records.
+/// Writes a stream as an event file: kEventFileMagic ("SPEV"), u16 version,
+/// u64 record count (version >= 2), then the 26-byte records. The count
+/// makes truncation at a record boundary detectable on read.
 Status WriteEventFile(const std::string& path, const EventStream& events);
 
-/// Reads an event file written by WriteEventFile.
+/// Reads an event file written by WriteEventFile (current or legacy
+/// version). Every malformed input yields a descriptive non-OK Status.
 Result<EventStream> ReadEventFile(const std::string& path);
 
 }  // namespace spire

@@ -5,6 +5,7 @@
 #include "compress/decompress.h"
 #include "compress/well_formed.h"
 #include "compress/fold.h"
+#include "store/archive_reader.h"
 
 namespace spire {
 
@@ -71,6 +72,15 @@ Result<EventLog> EventLog::Build(const EventStream& stream, bool decompress) {
               return a.since < b.since;
             });
   return log;
+}
+
+Result<EventLog> EventLog::FromArchive(const ArchiveReader& archive, Epoch lo,
+                                       Epoch hi, bool decompress) {
+  auto scanned = archive.ScanRange(lo, hi);
+  if (!scanned.ok()) return scanned.status();
+  // A time-restricted selection can open with End messages whose Start
+  // predates the range; repair those before the well-formedness check.
+  return Build(RepairRestrictedStream(scanned.value()), decompress);
 }
 
 namespace {

@@ -17,6 +17,8 @@
 
 namespace spire {
 
+class ArchiveReader;
+
 /// One closed (or still-open) stay of an object at a location or inside a
 /// container. `end` is exclusive; kInfiniteEpoch while open.
 struct Stay {
@@ -47,6 +49,15 @@ class EventLog {
   /// are fine); pass `decompress` for a level-2 stream.
   static Result<EventLog> Build(const EventStream& stream,
                                 bool decompress = false);
+
+  /// Builds the index from an archive (src/store), restricted to events
+  /// whose primary timestamps lie in [lo, hi] — only intersecting blocks
+  /// are decoded. End messages whose Start predates the range are repaired
+  /// with a synthetic Start carrying the reconstructed interval, so the
+  /// restricted stream stays well-formed. With `decompress`, suppressed
+  /// child locations are reconstructed from in-range containment only.
+  static Result<EventLog> FromArchive(const ArchiveReader& archive, Epoch lo,
+                                      Epoch hi, bool decompress = false);
 
   // --- Point queries ------------------------------------------------------
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "store/archive_writer.h"
+
 namespace spire {
 
 namespace {
@@ -47,9 +49,22 @@ bool SpirePipeline::IsRetired(ObjectId id, Epoch epoch) const {
          epoch - it->second <= options_.exit_grace_epochs;
 }
 
+void SpirePipeline::MirrorToArchive(const EventStream& out,
+                                    std::size_t first) {
+  if (archive_ == nullptr || !archive_status_.ok()) return;
+  for (std::size_t i = first; i < out.size(); ++i) {
+    Status status = archive_->Append(out[i]);
+    if (!status.ok()) {
+      archive_status_ = status;
+      return;
+    }
+  }
+}
+
 void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
                                  EventStream* out) {
   ++epochs_processed_;
+  const std::size_t first_output = out->size();
 
   // Device-level cleaning: deduplicate multi-reader/multi-tick readings and
   // drop readings of objects inside their exit grace window.
@@ -130,10 +145,14 @@ void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
       return epoch - entry.second > options_.exit_grace_epochs;
     });
   }
+
+  MirrorToArchive(*out, first_output);
 }
 
 void SpirePipeline::Finish(Epoch epoch, EventStream* out) {
+  const std::size_t first_output = out->size();
   compressor_->Finish(epoch, out);
+  MirrorToArchive(*out, first_output);
 }
 
 }  // namespace spire

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "compress/compressor.h"
 #include "compress/event.h"
@@ -21,6 +22,8 @@
 #include "stream/reader.h"
 
 namespace spire {
+
+class ArchiveWriter;
 
 /// Output compression level (Section V).
 enum class CompressionLevel {
@@ -77,6 +80,15 @@ class SpirePipeline {
   /// Closes all open output events (end of stream).
   void Finish(Epoch epoch, EventStream* out);
 
+  /// Mirrors every event emitted from now on into `archive` (not owned;
+  /// must outlive the pipeline; pass nullptr to detach). The caller still
+  /// Close()s the archive. Append failures latch into archive_status() and
+  /// stop further mirroring; the in-memory output is unaffected.
+  void SetArchiveSink(ArchiveWriter* archive) { archive_ = archive; }
+
+  /// First archive-sink failure, or OK.
+  const Status& archive_status() const { return archive_status_; }
+
   /// The interpretation results of the last epoch, after conflict
   /// resolution (observability / accuracy evaluation).
   const InferenceResult& last_result() const { return last_result_; }
@@ -96,6 +108,8 @@ class SpirePipeline {
  private:
   bool IsRetired(ObjectId id, Epoch epoch) const;
   bool IsWarmupLocation(LocationId location) const;
+  /// Appends out[first, ...) to the archive sink, latching the first error.
+  void MirrorToArchive(const EventStream& out, std::size_t first);
 
   const ReaderRegistry* registry_;
   std::vector<LocationId> warmup_locations_;
@@ -108,6 +122,8 @@ class SpirePipeline {
   InferenceResult last_result_;
   /// Recently retired objects and their retirement epoch (exit grace).
   std::unordered_map<ObjectId, Epoch> retired_;
+  ArchiveWriter* archive_ = nullptr;
+  Status archive_status_;
   EpochCosts last_costs_;
   EpochCosts total_costs_;
   std::size_t epochs_processed_ = 0;

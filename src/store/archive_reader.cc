@@ -1,0 +1,162 @@
+#include "store/archive_reader.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <system_error>
+#include <utility>
+
+#include "store/block.h"
+#include "store/crc32.h"
+#include "store/little_endian.h"
+
+namespace spire {
+
+ArchiveReader::ArchiveReader(std::string path, SegmentInfo info,
+                             bool index_rebuilt)
+    : path_(std::move(path)),
+      info_(std::move(info)),
+      index_rebuilt_(index_rebuilt) {}
+
+Result<ArchiveReader> ArchiveReader::Open(const std::string& path) {
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("cannot open archive segment: " + path);
+
+  auto indexed = ReadIndexFile(path, size);
+  if (indexed.ok()) {
+    return ArchiveReader(path, std::move(indexed).value(),
+                         /*index_rebuilt=*/false);
+  }
+  auto scanned = ScanSegment(path);
+  if (!scanned.ok()) return scanned.status();
+  return ArchiveReader(path, std::move(scanned).value(),
+                       /*index_rebuilt=*/true);
+}
+
+Result<EventStream> ArchiveReader::DecodeBlocks(
+    const std::vector<std::uint32_t>& indexes) const {
+  EventStream events;
+  if (indexes.empty()) return events;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open archive segment: " + path_);
+
+  std::vector<std::uint8_t> payload;
+  for (std::uint32_t index : indexes) {
+    if (index >= info_.blocks.size()) {
+      return Status::Internal("block index out of range");
+    }
+    const BlockMeta& meta = info_.blocks[index];
+    std::uint8_t header[kBlockHeaderBytes] = {};
+    in.seekg(static_cast<std::streamoff>(meta.offset));
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (!in.good()) {
+      return Status::Corruption("truncated block header in " + path_);
+    }
+    if (GetLE32(header) != kArchiveBlockMarker ||
+        Crc32(header, kBlockHeaderBytes - 4) != GetLE32(header + 32)) {
+      return Status::Corruption("corrupt block header in " + path_);
+    }
+    const std::uint32_t count = GetLE32(header + 4);
+    const std::uint32_t payload_size = GetLE32(header + 24);
+    if (count != meta.count || payload_size > kMaxBlockPayloadBytes) {
+      return Status::Corruption("block header disagrees with the directory: " +
+                                path_);
+    }
+    payload.resize(payload_size);
+    in.read(reinterpret_cast<char*>(payload.data()), payload_size);
+    if (!in.good()) {
+      return Status::Corruption("truncated block payload in " + path_);
+    }
+    if (Crc32(payload.data(), payload.size()) != GetLE32(header + 28)) {
+      return Status::Corruption("block payload checksum mismatch in " + path_);
+    }
+    SPIRE_RETURN_NOT_OK(DecodeBlock(payload, count, &events));
+  }
+  return events;
+}
+
+Result<EventStream> ArchiveReader::ScanAll() const {
+  std::vector<std::uint32_t> all(info_.blocks.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<std::uint32_t>(i);
+  }
+  return DecodeBlocks(all);
+}
+
+Result<EventStream> ArchiveReader::ScanRange(Epoch lo, Epoch hi) const {
+  std::vector<std::uint32_t> selected;
+  for (std::size_t i = 0; i < info_.blocks.size(); ++i) {
+    if (info_.blocks[i].Intersects(lo, hi)) {
+      selected.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  auto decoded = DecodeBlocks(selected);
+  if (!decoded.ok()) return decoded.status();
+  EventStream events;
+  for (const Event& event : decoded.value()) {
+    const Epoch primary = PrimaryEpoch(event);
+    if (lo <= primary && primary <= hi) events.push_back(event);
+  }
+  return events;
+}
+
+Result<EventStream> ArchiveReader::ScanObject(ObjectId object) const {
+  auto it = info_.postings.find(object);
+  if (it == info_.postings.end()) return EventStream{};
+  auto decoded = DecodeBlocks(it->second);
+  if (!decoded.ok()) return decoded.status();
+  EventStream events;
+  for (const Event& event : decoded.value()) {
+    if (event.object == object) events.push_back(event);
+  }
+  return events;
+}
+
+EventStream RepairRestrictedStream(const EventStream& selection) {
+  EventStream repaired;
+  repaired.reserve(selection.size());
+  std::set<std::pair<ObjectId, bool>> open;
+  for (const Event& event : selection) {
+    const bool containment = IsContainmentEvent(event.type);
+    switch (event.type) {
+      case EventType::kStartLocation:
+      case EventType::kStartContainment:
+        open.insert({event.object, containment});
+        break;
+      case EventType::kEndLocation:
+      case EventType::kEndContainment: {
+        auto it = open.find({event.object, containment});
+        if (it == open.end()) {
+          Event start = event;
+          start.type = containment ? EventType::kStartContainment
+                                   : EventType::kStartLocation;
+          start.end = kInfiniteEpoch;
+          repaired.push_back(start);
+        } else {
+          open.erase(it);
+        }
+        break;
+      }
+      case EventType::kMissing:
+        break;
+    }
+    repaired.push_back(event);
+  }
+  return repaired;
+}
+
+std::size_t ArchiveReader::BlocksInRange(Epoch lo, Epoch hi) const {
+  std::size_t count = 0;
+  for (const BlockMeta& block : info_.blocks) {
+    if (block.Intersects(lo, hi)) ++count;
+  }
+  return count;
+}
+
+std::size_t ArchiveReader::BlocksForObject(ObjectId object) const {
+  auto it = info_.postings.find(object);
+  return it == info_.postings.end() ? 0 : it->second.size();
+}
+
+}  // namespace spire

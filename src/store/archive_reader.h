@@ -1,0 +1,78 @@
+// Read-side of the block-compressed event archive: three access paths that
+// never decode more blocks than they must.
+//
+//   ScanAll     every block, in order — reproduces the archived stream.
+//   ScanRange   only blocks whose [min, max] epoch range intersects the
+//               query (block directory skip test), then filters events by
+//               primary timestamp.
+//   ScanObject  only blocks on the object's posting list.
+//
+// Open() loads the index sidecar when it is present and consistent with
+// the segment; otherwise (crash before Close, sidecar deleted or corrupt)
+// it falls back to a validating full scan of the segment, honoring the
+// same torn-tail rule as ArchiveWriter recovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/event.h"
+#include "store/segment.h"
+
+namespace spire {
+
+/// Immutable view over one archive segment.
+class ArchiveReader {
+ public:
+  /// Opens a segment, via its sidecar or a validating rebuild scan.
+  static Result<ArchiveReader> Open(const std::string& path);
+
+  /// Decodes every block: the exact archived EventStream.
+  Result<EventStream> ScanAll() const;
+
+  /// Events whose primary timestamp (store/format.h) lies in [lo, hi],
+  /// decoding only intersecting blocks. Equals the same filter applied to
+  /// ScanAll().
+  Result<EventStream> ScanRange(Epoch lo, Epoch hi) const;
+
+  /// Every event of one object, decoding only its posting-list blocks.
+  Result<EventStream> ScanObject(ObjectId object) const;
+
+  // --- Directory ----------------------------------------------------------
+
+  const std::vector<BlockMeta>& blocks() const { return info_.blocks; }
+  std::size_t num_blocks() const { return info_.blocks.size(); }
+  std::uint64_t num_events() const { return info_.events; }
+  std::uint64_t segment_bytes() const { return info_.valid_bytes; }
+  /// How many blocks a ScanRange(lo, hi) would decode (bench/CLI stat).
+  std::size_t BlocksInRange(Epoch lo, Epoch hi) const;
+  /// How many blocks a ScanObject(object) would decode.
+  std::size_t BlocksForObject(ObjectId object) const;
+  /// True when the sidecar was missing or stale and the directory was
+  /// rebuilt by scanning the segment.
+  bool index_rebuilt() const { return index_rebuilt_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ArchiveReader(std::string path, SegmentInfo info, bool index_rebuilt);
+
+  /// Reads, validates, and decodes the listed blocks in index order.
+  Result<EventStream> DecodeBlocks(
+      const std::vector<std::uint32_t>& indexes) const;
+
+  std::string path_;
+  SegmentInfo info_;
+  bool index_rebuilt_ = false;
+};
+
+/// Makes a range- or object-restricted selection well-formed again by
+/// re-materializing, in place, the Start message of every End message whose
+/// Start falls outside the selection (archived events are self-contained:
+/// an End carries its reconstructed V_s). Needed before handing a
+/// restricted scan to ValidateWellFormed, EventLog::Build, or
+/// WriteEventFile readers.
+EventStream RepairRestrictedStream(const EventStream& selection);
+
+}  // namespace spire

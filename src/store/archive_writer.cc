@@ -1,0 +1,143 @@
+#include "store/archive_writer.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "store/block.h"
+#include "store/crc32.h"
+#include "store/little_endian.h"
+
+namespace spire {
+
+namespace {
+
+std::vector<std::uint8_t> MakeFileHeader() {
+  std::vector<std::uint8_t> header;
+  for (std::size_t i = 0; i < kMagicBytes; ++i) {
+    header.push_back(static_cast<std::uint8_t>(kArchiveMagic[i]));
+  }
+  PutLE16(kArchiveVersion, &header);
+  PutLE16(0, &header);  // Reserved.
+  return header;
+}
+
+Status WriteBytes(std::ofstream* out, const std::vector<std::uint8_t>& bytes,
+                  const std::string& path) {
+  out->write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!out->good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(std::string path, ArchiveOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::Open(
+    const std::string& path, ArchiveOptions options) {
+  if (options.block_events == 0) {
+    return Status::InvalidArgument("block_events must be positive");
+  }
+  std::unique_ptr<ArchiveWriter> writer(new ArchiveWriter(path, options));
+
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec) &&
+                      std::filesystem::file_size(path, ec) > 0;
+  if (exists) {
+    auto scan = ScanSegment(path);
+    if (!scan.ok()) return scan.status();
+    writer->info_ = std::move(scan).value();
+    writer->recovery_.recovered_events = writer->info_.events;
+    writer->recovery_.recovered_blocks = writer->info_.blocks.size();
+    if (writer->info_.file_bytes > writer->info_.valid_bytes) {
+      writer->recovery_.truncated_bytes =
+          writer->info_.file_bytes - writer->info_.valid_bytes;
+      std::filesystem::resize_file(path, writer->info_.valid_bytes, ec);
+      if (ec) {
+        return Status::Internal("cannot truncate torn tail of " + path + ": " +
+                                ec.message());
+      }
+      writer->info_.file_bytes = writer->info_.valid_bytes;
+    }
+    writer->out_.open(path, std::ios::binary | std::ios::app);
+    if (!writer->out_) {
+      return Status::NotFound("cannot open for appending: " + path);
+    }
+  } else {
+    writer->out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!writer->out_) {
+      return Status::NotFound("cannot open for writing: " + path);
+    }
+    SPIRE_RETURN_NOT_OK(WriteBytes(&writer->out_, MakeFileHeader(), path));
+    writer->info_.valid_bytes = kArchiveHeaderBytes;
+    writer->info_.file_bytes = kArchiveHeaderBytes;
+  }
+  return writer;
+}
+
+Status ArchiveWriter::Append(const Event& event) {
+  if (closed_) return Status::Internal("archive writer already closed");
+  SPIRE_RETURN_NOT_OK(ValidateArchivable(event));
+  buffer_.push_back(event);
+  if (buffer_.size() >= options_.block_events) return SealBlock();
+  return Status::OK();
+}
+
+Status ArchiveWriter::Append(const EventStream& events) {
+  for (const Event& event : events) SPIRE_RETURN_NOT_OK(Append(event));
+  return Status::OK();
+}
+
+Status ArchiveWriter::SealBlock() {
+  auto encoded = EncodeBlock(buffer_, 0, buffer_.size());
+  if (!encoded.ok()) return encoded.status();
+  const EncodedBlock& block = encoded.value();
+
+  std::vector<std::uint8_t> header;
+  header.reserve(kBlockHeaderBytes);
+  PutLE32(kArchiveBlockMarker, &header);
+  PutLE32(block.count, &header);
+  PutLE64(static_cast<std::uint64_t>(block.min_epoch), &header);
+  PutLE64(static_cast<std::uint64_t>(block.max_epoch), &header);
+  PutLE32(static_cast<std::uint32_t>(block.payload.size()), &header);
+  PutLE32(Crc32(block.payload.data(), block.payload.size()), &header);
+  PutLE32(Crc32(header.data(), header.size()), &header);
+
+  SPIRE_RETURN_NOT_OK(WriteBytes(&out_, header, path_));
+  SPIRE_RETURN_NOT_OK(WriteBytes(&out_, block.payload, path_));
+
+  BlockMeta meta;
+  meta.offset = info_.valid_bytes;
+  meta.count = block.count;
+  meta.min_epoch = block.min_epoch;
+  meta.max_epoch = block.max_epoch;
+  const auto index = static_cast<std::uint32_t>(info_.blocks.size());
+  for (const Event& event : buffer_) {
+    std::vector<std::uint32_t>& list = info_.postings[event.object];
+    if (list.empty() || list.back() != index) list.push_back(index);
+  }
+  info_.blocks.push_back(meta);
+  info_.events += block.count;
+  info_.valid_bytes += kBlockHeaderBytes + block.payload.size();
+  info_.file_bytes = info_.valid_bytes;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ArchiveWriter::Flush() {
+  if (closed_) return Status::Internal("archive writer already closed");
+  if (!buffer_.empty()) SPIRE_RETURN_NOT_OK(SealBlock());
+  out_.flush();
+  if (!out_.good()) return Status::Internal("flush failed: " + path_);
+  return Status::OK();
+}
+
+Status ArchiveWriter::Close() {
+  SPIRE_RETURN_NOT_OK(Flush());
+  out_.close();
+  closed_ = true;
+  return WriteIndexFile(path_, info_);
+}
+
+}  // namespace spire

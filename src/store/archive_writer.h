@@ -1,0 +1,89 @@
+// Append-only writer for the block-compressed event archive.
+//
+// Events are buffered and sealed into self-contained blocks of
+// `ArchiveOptions::block_events` events; each block is appended to the
+// segment file behind a CRC-protected header (store/format.h). Close()
+// writes the index sidecar. Opening an existing segment recovers from a
+// torn tail: the file is truncated to the last block whose CRCs validate
+// and appending continues from there — a crash loses at most the block
+// that was being written (plus any still-buffered events).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "compress/event.h"
+#include "store/segment.h"
+
+namespace spire {
+
+/// Archive writer knobs.
+struct ArchiveOptions {
+  /// Events per block. Larger blocks compress better (longer delta chains)
+  /// but make time-range and per-object scans decode more.
+  std::size_t block_events = 4096;
+};
+
+/// What ArchiveWriter::Open found (and did) on an existing segment.
+struct RecoveryInfo {
+  std::uint64_t recovered_events = 0;  ///< Events in the valid prefix.
+  std::size_t recovered_blocks = 0;    ///< Blocks in the valid prefix.
+  std::uint64_t truncated_bytes = 0;   ///< Torn-tail bytes discarded.
+};
+
+/// One writer per segment file; not thread-safe.
+class ArchiveWriter {
+ public:
+  /// Creates `path` (plus its sidecar on Close), or re-opens an existing
+  /// segment for appending after validating and truncating its tail.
+  static Result<std::unique_ptr<ArchiveWriter>> Open(const std::string& path,
+                                                     ArchiveOptions options =
+                                                         {});
+
+  /// Flushes nothing on destruction: an abandoned writer's segment is
+  /// recoverable up to its last sealed block, exactly like a crash.
+  ~ArchiveWriter() = default;
+
+  /// Buffers one event; seals a block when the buffer is full. Fails on
+  /// events no block can represent (see ValidateArchivable).
+  Status Append(const Event& event);
+
+  /// Buffers a whole stream.
+  Status Append(const EventStream& events);
+
+  /// Seals the buffered events into a (possibly short) block and flushes
+  /// the segment file. A no-op on an empty buffer.
+  Status Flush();
+
+  /// Flush + write the index sidecar. The writer is unusable afterwards.
+  Status Close();
+
+  // --- Accounting ---------------------------------------------------------
+
+  std::uint64_t events_written() const {
+    return info_.events + buffer_.size();
+  }
+  std::size_t num_blocks() const { return info_.blocks.size(); }
+  /// Segment bytes written so far (excludes the still-buffered events).
+  std::uint64_t segment_bytes() const { return info_.valid_bytes; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ArchiveWriter(std::string path, ArchiveOptions options);
+
+  Status SealBlock();
+
+  std::string path_;
+  ArchiveOptions options_;
+  std::ofstream out_;
+  SegmentInfo info_;
+  RecoveryInfo recovery_;
+  EventStream buffer_;
+  bool closed_ = false;
+};
+
+}  // namespace spire

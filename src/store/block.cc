@@ -1,0 +1,214 @@
+#include "store/block.h"
+
+#include <limits>
+
+#include "store/varint.h"
+
+namespace spire {
+
+/// Archive-representability check; mirrors EventEncoder's validation but
+/// without the flat format's 32-bit timestamp ceiling.
+Status ValidateArchivable(const Event& event) {
+  const Epoch primary = PrimaryEpoch(event);
+  if (primary < 0) {
+    return Status::InvalidArgument("negative event timestamp: " +
+                                   event.ToString());
+  }
+  switch (event.type) {
+    case EventType::kStartLocation:
+    case EventType::kStartContainment:
+      if (event.end != kInfiniteEpoch) {
+        return Status::InvalidArgument("Start event with a closed interval: " +
+                                       event.ToString());
+      }
+      break;
+    case EventType::kEndLocation:
+    case EventType::kEndContainment:
+      if (event.start < 0 || event.end < event.start) {
+        return Status::InvalidArgument(
+            "End event without a reconstructed interval: " + event.ToString());
+      }
+      break;
+    case EventType::kMissing:
+      if (event.start != event.end) {
+        return Status::InvalidArgument("Missing event is not a point: " +
+                                       event.ToString());
+      }
+      break;
+    default:
+      return Status::InvalidArgument("unknown event type");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Wraparound-safe delta append: the decoder adds the zigzag delta back
+/// modulo 2^64, so id spaces near the top of the range (kNoObject) are fine.
+void PutDelta(std::uint64_t value, std::uint64_t* prev,
+              std::vector<std::uint8_t>* out) {
+  PutVarint64(ZigzagEncode(static_cast<std::int64_t>(value - *prev)), out);
+  *prev = value;
+}
+
+Result<std::uint64_t> GetDelta(const std::vector<std::uint8_t>& in,
+                               std::size_t* offset, std::uint64_t* prev) {
+  auto delta = GetVarint64(in, offset);
+  if (!delta.ok()) return delta.status();
+  *prev += static_cast<std::uint64_t>(ZigzagDecode(delta.value()));
+  return *prev;
+}
+
+}  // namespace
+
+Result<EncodedBlock> EncodeBlock(const EventStream& events, std::size_t first,
+                                 std::size_t count) {
+  if (first + count > events.size()) {
+    return Status::InvalidArgument("block range exceeds the stream");
+  }
+  if (count == 0 ||
+      count > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::InvalidArgument("block event count out of range");
+  }
+  EncodedBlock block;
+  block.count = static_cast<std::uint32_t>(count);
+
+  // Types column (plus validation and the epoch bounds).
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& event = events[first + i];
+    SPIRE_RETURN_NOT_OK(ValidateArchivable(event));
+    const Epoch primary = PrimaryEpoch(event);
+    if (block.min_epoch == kNeverEpoch || primary < block.min_epoch) {
+      block.min_epoch = primary;
+    }
+    if (block.max_epoch == kNeverEpoch || primary > block.max_epoch) {
+      block.max_epoch = primary;
+    }
+    block.payload.push_back(static_cast<std::uint8_t>(event.type));
+  }
+  // Objects column.
+  std::uint64_t prev_object = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    PutDelta(events[first + i].object, &prev_object, &block.payload);
+  }
+  // Targets column: independent delta chains per id space.
+  std::uint64_t prev_container = 0;
+  std::uint64_t prev_location = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& event = events[first + i];
+    if (IsContainmentEvent(event.type)) {
+      PutDelta(event.container, &prev_container, &block.payload);
+    } else {
+      PutDelta(event.location, &prev_location, &block.payload);
+    }
+  }
+  // Primary timestamps.
+  std::uint64_t prev_epoch = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    PutDelta(static_cast<std::uint64_t>(PrimaryEpoch(events[first + i])),
+             &prev_epoch, &block.payload);
+  }
+  // Durations of End* events (V_e - V_s >= 0 by validation).
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& event = events[first + i];
+    if (event.type == EventType::kEndLocation ||
+        event.type == EventType::kEndContainment) {
+      PutVarint64(static_cast<std::uint64_t>(event.end - event.start),
+                  &block.payload);
+    }
+  }
+  return block;
+}
+
+Status DecodeBlock(const std::vector<std::uint8_t>& payload,
+                   std::uint32_t count, EventStream* out) {
+  if (payload.size() < count) {
+    return Status::Corruption("block payload shorter than its type column");
+  }
+  std::size_t offset = 0;
+  std::vector<EventType> types(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t byte = payload[offset++];
+    if (byte > static_cast<std::uint8_t>(EventType::kMissing)) {
+      return Status::Corruption("unknown event type byte in block");
+    }
+    types[i] = static_cast<EventType>(byte);
+  }
+
+  std::vector<std::uint64_t> objects(count);
+  std::uint64_t prev_object = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto object = GetDelta(payload, &offset, &prev_object);
+    if (!object.ok()) return object.status();
+    objects[i] = object.value();
+  }
+
+  std::vector<std::uint64_t> targets(count);
+  std::uint64_t prev_container = 0;
+  std::uint64_t prev_location = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const bool containment = IsContainmentEvent(types[i]);
+    auto target = GetDelta(payload, &offset,
+                           containment ? &prev_container : &prev_location);
+    if (!target.ok()) return target.status();
+    if (!containment &&
+        target.value() > std::numeric_limits<LocationId>::max()) {
+      return Status::Corruption("location id out of range in block");
+    }
+    targets[i] = target.value();
+  }
+
+  std::vector<Epoch> primaries(count);
+  std::uint64_t prev_epoch = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto primary = GetDelta(payload, &offset, &prev_epoch);
+    if (!primary.ok()) return primary.status();
+    primaries[i] = static_cast<Epoch>(primary.value());
+    if (primaries[i] < 0) {
+      return Status::Corruption("negative event timestamp in block");
+    }
+  }
+
+  const std::size_t base = out->size();
+  out->resize(base + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Event& event = (*out)[base + i];
+    event.type = types[i];
+    event.object = objects[i];
+    if (IsContainmentEvent(types[i])) {
+      event.container = targets[i];
+    } else {
+      event.location = static_cast<LocationId>(targets[i]);
+    }
+    switch (types[i]) {
+      case EventType::kStartLocation:
+      case EventType::kStartContainment:
+        event.start = primaries[i];
+        event.end = kInfiniteEpoch;
+        break;
+      case EventType::kEndLocation:
+      case EventType::kEndContainment: {
+        auto duration = GetVarint64(payload, &offset);
+        if (!duration.ok()) return duration.status();
+        const std::uint64_t start =
+            static_cast<std::uint64_t>(primaries[i]) - duration.value();
+        event.end = primaries[i];
+        event.start = static_cast<Epoch>(start);
+        if (event.start < 0 || event.start > event.end) {
+          return Status::Corruption("End event duration out of range in block");
+        }
+        break;
+      }
+      case EventType::kMissing:
+        event.start = primaries[i];
+        event.end = primaries[i];
+        break;
+    }
+  }
+  if (offset != payload.size()) {
+    return Status::Corruption("trailing bytes after the block columns");
+  }
+  return Status::OK();
+}
+
+}  // namespace spire

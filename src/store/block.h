@@ -1,0 +1,54 @@
+// Column-wise delta+varint codec for one archive block.
+//
+// A block is self-contained: End* events store their reconstructed V_s as a
+// duration column, so any block decodes to exact Event values without the
+// cross-record open-event state the flat SPEV stream needs. That is what
+// makes per-block access paths (time-range and per-object scans) possible.
+//
+// Payload layout, all columns back to back:
+//
+//   types      one byte per event (EventType)
+//   objects    zigzag varint delta vs the previous event's object id
+//   targets    zigzag varint delta; containment events delta against the
+//              previous container id, location events against the previous
+//              location id (two independent chains, interleaved in event
+//              order), since the two id spaces have very different scales
+//   epochs     zigzag varint delta of the primary timestamp
+//   durations  for End* events only, varint of (V_e - V_s)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/event.h"
+#include "store/format.h"
+
+namespace spire {
+
+/// Result of encoding one block.
+struct EncodedBlock {
+  std::vector<std::uint8_t> payload;
+  std::uint32_t count = 0;
+  Epoch min_epoch = kNeverEpoch;
+  Epoch max_epoch = kNeverEpoch;
+};
+
+/// Checks that one event is representable in a block: rejects a Start* with
+/// a finite end, an End* with end < start or an unreconstructed (negative)
+/// start, a Missing whose interval is not a point, and any negative primary
+/// timestamp.
+Status ValidateArchivable(const Event& event);
+
+/// Encodes `events[first, first+count)` column-wise; every event must pass
+/// ValidateArchivable.
+Result<EncodedBlock> EncodeBlock(const EventStream& events, std::size_t first,
+                                 std::size_t count);
+
+/// Decodes a payload produced by EncodeBlock back into exactly `count`
+/// events appended to `out`. Every malformed byte sequence yields a
+/// descriptive Corruption status.
+Status DecodeBlock(const std::vector<std::uint8_t>& payload,
+                   std::uint32_t count, EventStream* out);
+
+}  // namespace spire

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial) checksums for archive block integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spire {
+
+/// CRC-32 of `size` bytes, continuing from `seed` (0 for a fresh checksum),
+/// so a header-plus-payload checksum can be computed in two calls.
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace spire

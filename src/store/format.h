@@ -1,0 +1,79 @@
+// On-disk layout of the block-compressed event archive (see DESIGN.md
+// "On-disk formats").
+//
+// A segment file is:
+//
+//   file header: kArchiveMagic (4) + u16 version + u16 reserved   = 8 bytes
+//   block*:      block header (36 bytes) + encoded payload
+//
+// Block header layout (little-endian):
+//
+//   offset  size  field
+//   0       4     kArchiveBlockMarker
+//   4       4     event count
+//   8       8     min epoch (over the events' primary timestamps)
+//   16      8     max epoch
+//   24      4     payload size in bytes
+//   28      4     CRC-32 of the payload
+//   32      4     CRC-32 of header bytes [0, 32)
+//
+// The header CRC makes a torn or overwritten tail detectable before the
+// payload size is trusted; the payload CRC catches bit rot inside a block.
+// Recovery rule (ArchiveWriter::Open / ArchiveReader scan): blocks are read
+// sequentially and the file is logically truncated at the first header or
+// payload that fails validation — a crash mid-append loses at most the block
+// being written.
+//
+// The index sidecar (`<segment>.spix`, sparkey-style) is a rebuildable
+// cache: kArchiveIndexMagic + u16 version + u16 reserved, u64 covered
+// segment bytes, u64 block count, the block directory, per-object posting
+// lists of block indexes, and a trailing CRC-32 over everything after the
+// 8-byte header. A sidecar whose covered size or CRC disagrees with the
+// segment is ignored and rebuilt by scanning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+#include "common/wire.h"
+#include "compress/event.h"
+
+namespace spire {
+
+/// Bytes of the segment (and index) file header.
+inline constexpr std::size_t kArchiveHeaderBytes = 8;
+
+/// Bytes of one block header.
+inline constexpr std::size_t kBlockHeaderBytes = 36;
+
+/// Upper bound on one block's encoded payload; a header whose payload size
+/// exceeds it is treated as a torn tail even if its CRC matches by chance.
+inline constexpr std::uint32_t kMaxBlockPayloadBytes = 1u << 28;
+
+/// Directory entry of one block: where it lives and what it covers.
+struct BlockMeta {
+  std::uint64_t offset = 0;  ///< Segment-file offset of the block header.
+  std::uint32_t count = 0;   ///< Events in the block.
+  Epoch min_epoch = kNeverEpoch;  ///< Smallest primary timestamp.
+  Epoch max_epoch = kNeverEpoch;  ///< Largest primary timestamp.
+
+  bool operator==(const BlockMeta&) const = default;
+
+  /// True when the block may hold events with primary timestamps in
+  /// [lo, hi] — the time-range scan's skip test.
+  bool Intersects(Epoch lo, Epoch hi) const {
+    return min_epoch <= hi && lo <= max_epoch;
+  }
+};
+
+/// The timestamp a message carries on the wire and the archive orders and
+/// indexes by: V_e for End* messages, V_s otherwise (serde.h's rule).
+inline Epoch PrimaryEpoch(const Event& event) {
+  return (event.type == EventType::kEndLocation ||
+          event.type == EventType::kEndContainment)
+             ? event.end
+             : event.start;
+}
+
+}  // namespace spire

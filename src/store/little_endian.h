@@ -1,0 +1,42 @@
+// Little-endian fixed-width field helpers for the archive's headers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spire {
+
+inline void PutLE16(std::uint16_t value, std::vector<std::uint8_t>* out) {
+  out->push_back(static_cast<std::uint8_t>(value));
+  out->push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+inline void PutLE32(std::uint32_t value, std::vector<std::uint8_t>* out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+inline void PutLE64(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+inline std::uint16_t GetLE16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | p[1] << 8);
+}
+
+inline std::uint32_t GetLE32(const std::uint8_t* p) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) value = value << 8 | p[i];
+  return value;
+}
+
+inline std::uint64_t GetLE64(const std::uint8_t* p) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = value << 8 | p[i];
+  return value;
+}
+
+}  // namespace spire

@@ -1,0 +1,248 @@
+#include "store/segment.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "store/block.h"
+#include "store/crc32.h"
+#include "store/little_endian.h"
+
+namespace spire {
+
+namespace {
+
+/// Bounds-checked cursor over the index sidecar's body.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool Take(std::size_t size, const std::uint8_t** out) {
+    if (offset_ + size > bytes_.size()) return false;
+    *out = bytes_.data() + offset_;
+    offset_ += size;
+    return true;
+  }
+  bool U32(std::uint32_t* out) {
+    const std::uint8_t* p = nullptr;
+    if (!Take(4, &p)) return false;
+    *out = GetLE32(p);
+    return true;
+  }
+  bool U64(std::uint64_t* out) {
+    const std::uint8_t* p = nullptr;
+    if (!Take(8, &p)) return false;
+    *out = GetLE64(p);
+    return true;
+  }
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t offset_ = 0;
+};
+
+Status CheckFileHeader(const std::uint8_t* header, const char* magic,
+                       std::uint16_t version, const std::string& what) {
+  if (std::memcmp(header, magic, kMagicBytes) != 0) {
+    return Status::Corruption("not a " + what + " (bad magic)");
+  }
+  if (GetLE16(header + kMagicBytes) != version) {
+    return Status::NotSupported("unsupported " + what + " version");
+  }
+  return Status::OK();
+}
+
+void AppendFileHeader(const char* magic, std::uint16_t version,
+                      std::vector<std::uint8_t>* out) {
+  for (std::size_t i = 0; i < kMagicBytes; ++i) {
+    out->push_back(static_cast<std::uint8_t>(magic[i]));
+  }
+  PutLE16(version, out);
+  PutLE16(0, out);  // Reserved.
+}
+
+void AddPostings(const EventStream& block_events, std::uint32_t block_index,
+                 std::map<ObjectId, std::vector<std::uint32_t>>* postings) {
+  for (const Event& event : block_events) {
+    std::vector<std::uint32_t>& list = (*postings)[event.object];
+    if (list.empty() || list.back() != block_index) {
+      list.push_back(block_index);
+    }
+  }
+}
+
+}  // namespace
+
+Result<SegmentInfo> ScanSegment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open archive segment: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+
+  std::uint8_t header[kArchiveHeaderBytes] = {};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in.good()) {
+    return Status::Corruption("not a SPIRE archive (too short): " + path);
+  }
+  SPIRE_RETURN_NOT_OK(CheckFileHeader(header, kArchiveMagic, kArchiveVersion,
+                                      "SPIRE archive"));
+
+  SegmentInfo info;
+  info.file_bytes = file_bytes;
+  info.valid_bytes = kArchiveHeaderBytes;
+
+  std::vector<std::uint8_t> payload;
+  std::uint64_t pos = kArchiveHeaderBytes;
+  while (pos + kBlockHeaderBytes <= file_bytes) {
+    std::uint8_t block_header[kBlockHeaderBytes] = {};
+    in.seekg(static_cast<std::streamoff>(pos));
+    in.read(reinterpret_cast<char*>(block_header), sizeof(block_header));
+    if (!in.good()) break;
+    // Any validation failure below means the tail is torn: stop scanning.
+    if (GetLE32(block_header) != kArchiveBlockMarker) break;
+    if (Crc32(block_header, kBlockHeaderBytes - 4) !=
+        GetLE32(block_header + 32)) {
+      break;
+    }
+    const std::uint32_t count = GetLE32(block_header + 4);
+    const std::uint32_t payload_size = GetLE32(block_header + 24);
+    if (count == 0 || payload_size > kMaxBlockPayloadBytes) break;
+    if (pos + kBlockHeaderBytes + payload_size > file_bytes) break;
+    payload.resize(payload_size);
+    in.read(reinterpret_cast<char*>(payload.data()), payload_size);
+    if (!in.good()) break;
+    if (Crc32(payload.data(), payload.size()) != GetLE32(block_header + 28)) {
+      break;
+    }
+    EventStream decoded;
+    if (!DecodeBlock(payload, count, &decoded).ok()) break;
+
+    BlockMeta meta;
+    meta.offset = pos;
+    meta.count = count;
+    meta.min_epoch = static_cast<Epoch>(GetLE64(block_header + 8));
+    meta.max_epoch = static_cast<Epoch>(GetLE64(block_header + 16));
+    AddPostings(decoded, static_cast<std::uint32_t>(info.blocks.size()),
+                &info.postings);
+    info.blocks.push_back(meta);
+    info.events += count;
+    pos += kBlockHeaderBytes + payload_size;
+    info.valid_bytes = pos;
+  }
+  return info;
+}
+
+std::string IndexPathFor(const std::string& segment_path) {
+  return segment_path + ".spix";
+}
+
+Status WriteIndexFile(const std::string& segment_path,
+                      const SegmentInfo& info) {
+  std::vector<std::uint8_t> body;
+  PutLE64(info.valid_bytes, &body);
+  PutLE64(info.blocks.size(), &body);
+  for (const BlockMeta& block : info.blocks) {
+    PutLE64(block.offset, &body);
+    PutLE32(block.count, &body);
+    PutLE64(static_cast<std::uint64_t>(block.min_epoch), &body);
+    PutLE64(static_cast<std::uint64_t>(block.max_epoch), &body);
+  }
+  PutLE64(info.postings.size(), &body);
+  for (const auto& [object, blocks] : info.postings) {
+    PutLE64(object, &body);
+    PutLE32(static_cast<std::uint32_t>(blocks.size()), &body);
+    for (std::uint32_t index : blocks) PutLE32(index, &body);
+  }
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kArchiveHeaderBytes + body.size() + 4);
+  AppendFileHeader(kArchiveIndexMagic, kArchiveIndexVersion, &bytes);
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  PutLE32(Crc32(body.data(), body.size()), &bytes);
+
+  const std::string path = IndexPathFor(segment_path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SegmentInfo> ReadIndexFile(const std::string& segment_path,
+                                  std::uint64_t segment_bytes) {
+  const std::string path = IndexPathFor(segment_path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no archive index sidecar: " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (bytes.size() < kArchiveHeaderBytes + 4) {
+    return Status::Corruption("archive index too short: " + path);
+  }
+  SPIRE_RETURN_NOT_OK(CheckFileHeader(bytes.data(), kArchiveIndexMagic,
+                                      kArchiveIndexVersion,
+                                      "SPIRE archive index"));
+  const std::vector<std::uint8_t> body(bytes.begin() + kArchiveHeaderBytes,
+                                       bytes.end() - 4);
+  if (Crc32(body.data(), body.size()) != GetLE32(&bytes[bytes.size() - 4])) {
+    return Status::Corruption("archive index checksum mismatch: " + path);
+  }
+
+  Cursor cursor(body);
+  SegmentInfo info;
+  std::uint64_t block_count = 0;
+  if (!cursor.U64(&info.valid_bytes) || !cursor.U64(&block_count)) {
+    return Status::Corruption("archive index directory truncated: " + path);
+  }
+  if (info.valid_bytes != segment_bytes) {
+    return Status::Corruption("archive index is stale (covers " +
+                              std::to_string(info.valid_bytes) + " of " +
+                              std::to_string(segment_bytes) + " bytes): " +
+                              path);
+  }
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    BlockMeta block;
+    std::uint64_t min_epoch = 0;
+    std::uint64_t max_epoch = 0;
+    if (!cursor.U64(&block.offset) || !cursor.U32(&block.count) ||
+        !cursor.U64(&min_epoch) || !cursor.U64(&max_epoch)) {
+      return Status::Corruption("archive index directory truncated: " + path);
+    }
+    block.min_epoch = static_cast<Epoch>(min_epoch);
+    block.max_epoch = static_cast<Epoch>(max_epoch);
+    info.blocks.push_back(block);
+    info.events += block.count;
+  }
+  std::uint64_t num_objects = 0;
+  if (!cursor.U64(&num_objects)) {
+    return Status::Corruption("archive index postings truncated: " + path);
+  }
+  for (std::uint64_t i = 0; i < num_objects; ++i) {
+    std::uint64_t object = 0;
+    std::uint32_t posting_count = 0;
+    if (!cursor.U64(&object) || !cursor.U32(&posting_count)) {
+      return Status::Corruption("archive index postings truncated: " + path);
+    }
+    std::vector<std::uint32_t>& list = info.postings[object];
+    list.reserve(posting_count);
+    for (std::uint32_t j = 0; j < posting_count; ++j) {
+      std::uint32_t index = 0;
+      if (!cursor.U32(&index)) {
+        return Status::Corruption("archive index postings truncated: " + path);
+      }
+      if (index >= info.blocks.size()) {
+        return Status::Corruption("archive index posting out of range: " +
+                                  path);
+      }
+      list.push_back(index);
+    }
+  }
+  if (!cursor.AtEnd()) {
+    return Status::Corruption("trailing bytes in archive index: " + path);
+  }
+  info.file_bytes = segment_bytes;
+  return info;
+}
+
+}  // namespace spire

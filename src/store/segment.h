@@ -1,0 +1,49 @@
+// Segment-file scanning and the index sidecar (shared by ArchiveWriter's
+// crash recovery and ArchiveReader's open path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/format.h"
+
+namespace spire {
+
+/// Everything the directory knows about one segment: the validated block
+/// directory, per-object posting lists of block indexes, and how far the
+/// valid prefix reaches.
+struct SegmentInfo {
+  std::vector<BlockMeta> blocks;
+  std::map<ObjectId, std::vector<std::uint32_t>> postings;
+  std::uint64_t events = 0;
+  /// Bytes of the valid prefix (file header + every block that validates).
+  std::uint64_t valid_bytes = 0;
+  /// Actual on-disk size; > valid_bytes exactly when the tail is torn.
+  std::uint64_t file_bytes = 0;
+};
+
+/// Scans a segment file front to back, validating every block's header CRC,
+/// marker, and payload CRC, and decoding payloads to build the posting
+/// lists. Stops at the first block that fails validation (the torn tail) —
+/// that is the recovery rule, not an error. Fails only when the file cannot
+/// be opened or its 8-byte file header is not a SPIRE archive.
+Result<SegmentInfo> ScanSegment(const std::string& path);
+
+/// Path of the index sidecar: `<segment_path>.spix` (sparkey-style pair).
+std::string IndexPathFor(const std::string& segment_path);
+
+/// Writes the sidecar for a segment whose valid prefix is
+/// `info.valid_bytes` bytes.
+Status WriteIndexFile(const std::string& segment_path, const SegmentInfo& info);
+
+/// Reads the sidecar back. Fails when it is missing or malformed, or when
+/// it covers a different byte count than `segment_bytes` (stale after a
+/// crash or an unclosed append session) — callers then fall back to
+/// ScanSegment.
+Result<SegmentInfo> ReadIndexFile(const std::string& segment_path,
+                                  std::uint64_t segment_bytes);
+
+}  // namespace spire

@@ -1,0 +1,58 @@
+// LEB128 varint and zigzag coding for the archive block codec.
+//
+// The archive encodes event columns as deltas: epochs are near-sorted and
+// object ids cluster by packaging level, so successive differences are small
+// and a 64-bit value usually fits in one or two bytes (the Sparkey /
+// Simple8b-style integer-coding idiom). Deltas can be negative, so signed
+// values ride through the zigzag map first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spire {
+
+/// Maximum encoded size of one 64-bit varint.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends `value` as a little-endian base-128 varint.
+inline void PutVarint64(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decodes one varint starting at `*offset`, advancing it past the encoding.
+/// Fails on truncation or an encoding longer than 10 bytes.
+inline Result<std::uint64_t> GetVarint64(const std::vector<std::uint8_t>& in,
+                                         std::size_t* offset) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (*offset >= in.size()) {
+      return Status::Corruption("truncated varint");
+    }
+    const std::uint8_t byte = in[(*offset)++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) return value;
+  }
+  return Status::Corruption("varint longer than 10 bytes");
+}
+
+/// Maps signed to unsigned so small-magnitude values (either sign) encode
+/// short: 0,-1,1,-2,... -> 0,1,2,3,...
+inline std::uint64_t ZigzagEncode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+/// Inverse of ZigzagEncode.
+inline std::int64_t ZigzagDecode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+}  // namespace spire

@@ -3,10 +3,14 @@
 // check against the simulator's ground truth.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "common/epc.h"
 #include "query/event_log.h"
 #include "sim/simulator.h"
 #include "spire/pipeline.h"
+#include "store/archive_reader.h"
+#include "store/archive_writer.h"
 
 namespace spire {
 namespace {
@@ -133,6 +137,87 @@ TEST(EventLogBuildTest, AcceptsOpenTrailingEvents) {
   auto log = EventLog::Build(open);
   ASSERT_TRUE(log.ok());
   EXPECT_EQ(log.value().LocationAt(kItem, 1000), 4);  // Open-ended stay.
+}
+
+TEST(EventLogInverseIndexTest, NestedContainmentAcrossReopenedStays) {
+  // The case sits in the pallet twice ([5,15) and [25,35)); the item enters
+  // the SAME case twice ([10,20) and [30,40)). Inverse indexes must track
+  // each stay independently.
+  EventStream stream{
+      Event::StartLocation(kPallet, 4, 5),
+      Event::StartLocation(kCase, 4, 5),
+      Event::StartContainment(kCase, kPallet, 5),
+      Event::StartLocation(kItem, 4, 10),
+      Event::StartContainment(kItem, kCase, 10),
+      Event::EndContainment(kCase, kPallet, 5, 15),
+      Event::EndContainment(kItem, kCase, 10, 20),
+      Event::StartContainment(kCase, kPallet, 25),
+      Event::StartContainment(kItem, kCase, 30),
+      Event::EndContainment(kCase, kPallet, 25, 35),
+      Event::EndContainment(kItem, kCase, 30, 40),
+      Event::EndLocation(kItem, 4, 10, 40),
+      Event::EndLocation(kPallet, 4, 5, 45),
+      Event::EndLocation(kCase, 4, 5, 50),
+  };
+  auto built = EventLog::Build(stream);
+  ASSERT_TRUE(built.ok());
+  const EventLog& log = built.value();
+
+  // Direct contents around the first stay, the gap, and the re-entry into
+  // the same container.
+  EXPECT_EQ(log.ContentsAt(kCase, 12), std::vector<ObjectId>{kItem});
+  EXPECT_TRUE(log.ContentsAt(kCase, 22).empty());
+  EXPECT_EQ(log.ContentsAt(kCase, 31), std::vector<ObjectId>{kItem});
+  EXPECT_TRUE(log.ContentsAt(kCase, 40).empty());  // End exclusive.
+
+  // Transitive contents of the pallet across both of its stays.
+  std::vector<ObjectId> first = log.ContentsAt(kPallet, 12, true);
+  ASSERT_EQ(first.size(), 2u);  // Case plus, through it, the item.
+  // During the second pallet stay but before the item re-enters the case.
+  EXPECT_EQ(log.ContentsAt(kPallet, 27, true), std::vector<ObjectId>{kCase});
+  std::vector<ObjectId> second = log.ContentsAt(kPallet, 32, true);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(log.TopLevelContainerAt(kItem, 32), kPallet);
+  EXPECT_EQ(log.TopLevelContainerAt(kItem, 38), kCase);  // Pallet stay over.
+
+  // Location inverse index with all three objects co-located.
+  EXPECT_EQ(log.ObjectsAt(4, 12).size(), 3u);
+  EXPECT_EQ(log.ObjectsAt(4, 47), std::vector<ObjectId>{kCase});
+  EXPECT_TRUE(log.ObjectsAt(4, 50).empty());
+}
+
+TEST(EventLogArchiveTest, FromArchiveRestrictedWindow) {
+  const std::string path = ::testing::TempDir() + "/query_archive.sparc";
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(IndexPathFor(path), ec);
+  auto writer = ArchiveWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(SampleStream()).ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+
+  // Unrestricted: answers match a log built straight from the stream.
+  auto full = EventLog::FromArchive(reader.value(), 0, kInfiniteEpoch);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().LocationAt(kItem, 15), 4);
+  EXPECT_EQ(full.value().ContainerAt(kItem, 20), kCase);
+  EXPECT_EQ(full.value().TopLevelContainerAt(kItem, 20), kPallet);
+
+  // Restricted to [35, 60]: only End/Missing messages fall inside, and the
+  // repair re-materializes their Starts so intervals overlapping the window
+  // remain queryable...
+  auto windowed = EventLog::FromArchive(reader.value(), 35, 60);
+  ASSERT_TRUE(windowed.ok());
+  const EventLog& log = windowed.value();
+  EXPECT_EQ(log.ContainerAt(kItem, 38), kCase);  // Stay [12,40).
+  EXPECT_EQ(log.LocationAt(kItem, 40), 7);       // Stay [25,50).
+  EXPECT_EQ(log.LocationAt(kCase, 45), 4);       // Stay [10,60).
+  EXPECT_TRUE(log.IsMissingAt(kItem, 55));
+  // ...while history that closed before the window is absent.
+  EXPECT_EQ(log.LocationAt(kItem, 15), kUnknownLocation);
+  EXPECT_EQ(log.ContainerAt(kCase, 20), kNoObject);
 }
 
 TEST(EventLogEndToEndTest, QueriesMatchGroundTruth) {

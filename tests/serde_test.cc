@@ -130,6 +130,87 @@ TEST(EventSerdeTest, EventFileRejectsGarbage) {
   EXPECT_FALSE(ReadEventFile(path).ok());
 }
 
+std::vector<std::uint8_t> FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(EventSerdeTest, EventFileSurvivesByteFlipsAtEveryOffset) {
+  const EventStream stream{
+      Event::StartLocation(kItem, 4, 10),
+      Event::StartContainment(kItem, kCase, 12),
+      Event::EndContainment(kItem, kCase, 12, 18),
+      Event::EndLocation(kItem, 4, 10, 20),
+      Event::Missing(kItem, 4, 20),
+  };
+  const std::string path = ::testing::TempDir() + "/serde_flip.spev";
+  ASSERT_TRUE(WriteEventFile(path, stream).ok());
+  const std::vector<std::uint8_t> pristine = FileBytes(path);
+  ASSERT_GT(pristine.size(), kMagicBytes + 10u);
+
+  for (std::size_t offset = 0; offset < pristine.size(); ++offset) {
+    std::vector<std::uint8_t> flipped = pristine;
+    flipped[offset] ^= 0xff;
+    WriteBytes(path, flipped);
+    auto loaded = ReadEventFile(path);
+    if (loaded.ok()) {
+      // A flip may yield a different but decodable stream — it must still
+      // carry the full record count, never silently drop records.
+      EXPECT_EQ(loaded.value().size(), stream.size()) << "offset " << offset;
+    } else {
+      EXPECT_FALSE(loaded.status().message().empty()) << "offset " << offset;
+    }
+  }
+}
+
+TEST(EventSerdeTest, EventFileRejectsTruncationAtEveryLength) {
+  const EventStream stream{
+      Event::StartLocation(kItem, 4, 10),
+      Event::EndLocation(kItem, 4, 10, 20),
+      Event::Missing(kItem, 4, 20),
+  };
+  const std::string path = ::testing::TempDir() + "/serde_truncate.spev";
+  ASSERT_TRUE(WriteEventFile(path, stream).ok());
+  const std::vector<std::uint8_t> pristine = FileBytes(path);
+
+  // The version-2 record count makes every proper prefix detectable, even
+  // ones cut exactly at a record boundary.
+  for (std::size_t length = 0; length < pristine.size(); ++length) {
+    WriteBytes(path, std::vector<std::uint8_t>(pristine.begin(),
+                                               pristine.begin() + length));
+    auto loaded = ReadEventFile(path);
+    EXPECT_FALSE(loaded.ok()) << "length " << length;
+  }
+}
+
+TEST(EventSerdeTest, ReadsLegacyVersionOneFiles) {
+  const EventStream stream{
+      Event::StartLocation(kItem, 4, 10),
+      Event::EndLocation(kItem, 4, 10, 20),
+  };
+  const std::string path = ::testing::TempDir() + "/serde_v1.spev";
+  ASSERT_TRUE(WriteEventFile(path, stream).ok());
+  // Rewrite as a version-1 file: same records, no count field.
+  std::vector<std::uint8_t> v2 = FileBytes(path);
+  std::vector<std::uint8_t> v1(v2.begin(), v2.begin() + kMagicBytes);
+  v1.push_back(static_cast<std::uint8_t>(kEventFileLegacyVersion >> 8));
+  v1.push_back(static_cast<std::uint8_t>(kEventFileLegacyVersion & 0xff));
+  v1.insert(v1.end(), v2.begin() + kMagicBytes + 2 + 8, v2.end());
+  WriteBytes(path, v1);
+
+  auto loaded = ReadEventFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), stream);
+}
+
 // -------------------------------------------------------------- Trace I/O --
 
 RfidReading MakeReading(ObjectId tag, ReaderId reader, Epoch epoch,

@@ -1,0 +1,566 @@
+// Tests for the persistent block-compressed event archive (src/store):
+// varint/CRC primitives, the column-wise block codec, writer/reader round
+// trips over hand-built and simulated streams, the three access paths,
+// torn-tail crash recovery, and index-sidecar staleness handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/epc.h"
+#include "compress/well_formed.h"
+#include "sim/simulator.h"
+#include "spire/pipeline.h"
+#include "store/archive_reader.h"
+#include "store/archive_writer.h"
+#include "store/block.h"
+#include "store/crc32.h"
+#include "store/segment.h"
+#include "store/varint.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+const ObjectId kItem = Obj(PackagingLevel::kItem, 1);
+const ObjectId kItem2 = Obj(PackagingLevel::kItem, 2);
+const ObjectId kCase = Obj(PackagingLevel::kCase, 3);
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveArchive(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(IndexPathFor(path), ec);
+}
+
+/// A canonical mixed stream: every message kind, several objects, epochs
+/// near-sorted the way the pipeline emits them.
+EventStream SampleStream() {
+  return {
+      Event::StartLocation(kItem, 4, 10),
+      Event::StartLocation(kCase, 4, 10),
+      Event::StartContainment(kItem, kCase, 12),
+      Event::EndLocation(kItem, 4, 10, 20),
+      Event::Missing(kItem, 4, 20),
+      Event::StartLocation(kItem, 7, 25),
+      Event::StartLocation(kItem2, 7, 26),
+      Event::EndContainment(kItem, kCase, 12, 40),
+      Event::EndLocation(kItem, 7, 25, 50),
+      Event::EndLocation(kItem2, 7, 26, 55),
+      Event::EndLocation(kCase, 4, 10, 60),
+  };
+}
+
+/// `rounds` copies of the sample pattern shifted in time, to fill many
+/// blocks.
+EventStream LongStream(int rounds) {
+  EventStream stream;
+  for (int round = 0; round < rounds; ++round) {
+    const Epoch base = 100 * round;
+    for (Event event : SampleStream()) {
+      if (event.start != kNeverEpoch && event.start != kInfiniteEpoch) {
+        event.start += base;
+      }
+      if (event.end != kInfiniteEpoch) event.end += base;
+      stream.push_back(event);
+    }
+  }
+  return stream;
+}
+
+EventStream FilterByPrimary(const EventStream& stream, Epoch lo, Epoch hi) {
+  EventStream filtered;
+  for (const Event& event : stream) {
+    const Epoch primary = PrimaryEpoch(event);
+    if (lo <= primary && primary <= hi) filtered.push_back(event);
+  }
+  return filtered;
+}
+
+// ------------------------------------------------------------- primitives --
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 62,
+                                  ~0ull};
+  std::vector<std::uint8_t> bytes;
+  for (std::uint64_t value : values) PutVarint64(value, &bytes);
+  std::size_t offset = 0;
+  for (std::uint64_t value : values) {
+    auto decoded = GetVarint64(bytes, &offset);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), value);
+  }
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(VarintTest, RejectsTruncation) {
+  std::vector<std::uint8_t> bytes;
+  PutVarint64(1ull << 40, &bytes);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    std::size_t offset = 0;
+    EXPECT_FALSE(GetVarint64(truncated, &offset).ok());
+  }
+}
+
+TEST(VarintTest, ZigzagRoundTrips) {
+  const std::int64_t values[] = {0, -1, 1, -2, 1000, -1000,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (std::int64_t value : values) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(value)), value);
+  }
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xcbf43926u);
+}
+
+TEST(Crc32Test, SeedChainsAcrossCalls) {
+  EXPECT_EQ(Crc32("56789", 5, Crc32("1234", 4)), Crc32("123456789", 9));
+}
+
+// ------------------------------------------------------------ block codec --
+
+TEST(BlockCodecTest, RoundTripsMixedEvents) {
+  const EventStream stream = SampleStream();
+  auto encoded = EncodeBlock(stream, 0, stream.size());
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value().count, stream.size());
+  EXPECT_EQ(encoded.value().min_epoch, 10);
+  EXPECT_EQ(encoded.value().max_epoch, 60);
+  // Far below the 26-byte flat record.
+  EXPECT_LT(encoded.value().payload.size(), stream.size() * kEventWireBytes / 2);
+
+  EventStream decoded;
+  ASSERT_TRUE(
+      DecodeBlock(encoded.value().payload, encoded.value().count, &decoded)
+          .ok());
+  EXPECT_EQ(decoded, stream);
+}
+
+TEST(BlockCodecTest, RejectsNonCanonicalEvents) {
+  Event closed_start = Event::StartLocation(kItem, 4, 10);
+  closed_start.end = 20;
+  Event negative = Event::StartLocation(kItem, 4, -3);
+  Event inverted_end = Event::EndLocation(kItem, 4, 30, 20);
+  Event fat_missing = Event::Missing(kItem, 4, 10);
+  fat_missing.end = 12;
+  for (const Event& event : {closed_start, negative, inverted_end,
+                             fat_missing}) {
+    EXPECT_FALSE(ValidateArchivable(event).ok()) << event.ToString();
+    EXPECT_FALSE(EncodeBlock({event}, 0, 1).ok()) << event.ToString();
+  }
+}
+
+TEST(BlockCodecTest, DecodeRejectsCorruptionAtEveryOffset) {
+  const EventStream stream = SampleStream();
+  auto encoded = EncodeBlock(stream, 0, stream.size());
+  ASSERT_TRUE(encoded.ok());
+  const std::vector<std::uint8_t>& payload = encoded.value().payload;
+  // Flipping any byte must fail, or decode the full event count — never
+  // crash, never silently drop records.
+  for (std::size_t offset = 0; offset < payload.size(); ++offset) {
+    std::vector<std::uint8_t> flipped = payload;
+    flipped[offset] ^= 0xff;
+    EventStream decoded;
+    Status status = DecodeBlock(flipped, encoded.value().count, &decoded);
+    if (status.ok()) {
+      EXPECT_EQ(decoded.size(), stream.size()) << "offset " << offset;
+    } else {
+      EXPECT_FALSE(status.message().empty()) << "offset " << offset;
+    }
+  }
+  // Any truncation must fail.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(payload.begin(),
+                                        payload.begin() + cut);
+    EventStream decoded;
+    EXPECT_FALSE(
+        DecodeBlock(truncated, encoded.value().count, &decoded).ok())
+        << "cut " << cut;
+  }
+}
+
+// --------------------------------------------------------- writer/reader --
+
+TEST(ArchiveTest, RoundTripsAcrossManyBlocks) {
+  const std::string path = TempPath("roundtrip.sparc");
+  RemoveArchive(path);
+  const EventStream stream = LongStream(40);
+
+  ArchiveOptions options;
+  options.block_events = 32;  // Force many blocks.
+  auto writer = ArchiveWriter::Open(path, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(stream).ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+  EXPECT_GT(writer.value()->num_blocks(), 10u);
+  EXPECT_EQ(writer.value()->events_written(), stream.size());
+
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.value().index_rebuilt());
+  EXPECT_EQ(reader.value().num_events(), stream.size());
+  auto scanned = reader.value().ScanAll();
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned.value(), stream);
+}
+
+TEST(ArchiveTest, TimeRangeScanEqualsFilteredFullDecode) {
+  const std::string path = TempPath("range.sparc");
+  RemoveArchive(path);
+  const EventStream stream = LongStream(40);
+  ArchiveOptions options;
+  options.block_events = 32;
+  auto writer = ArchiveWriter::Open(path, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(stream).ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  for (auto [lo, hi] : {std::pair<Epoch, Epoch>{0, 99},
+                        {150, 430},
+                        {1000, 2000},
+                        {3990, 100000},
+                        {700, 700}}) {
+    auto ranged = reader.value().ScanRange(lo, hi);
+    ASSERT_TRUE(ranged.ok());
+    EXPECT_EQ(ranged.value(), FilterByPrimary(stream, lo, hi))
+        << "[" << lo << ", " << hi << "]";
+  }
+  // A narrow window must skip most blocks.
+  EXPECT_LT(reader.value().BlocksInRange(150, 430),
+            reader.value().num_blocks() / 2);
+  EXPECT_EQ(reader.value().BlocksInRange(1 << 20, 2 << 20), 0u);
+}
+
+TEST(ArchiveTest, PerObjectScanUsesPostings) {
+  const std::string path = TempPath("object.sparc");
+  RemoveArchive(path);
+  const EventStream stream = LongStream(40);
+  ArchiveOptions options;
+  options.block_events = 32;
+  auto writer = ArchiveWriter::Open(path, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(stream).ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  for (ObjectId object : {kItem, kItem2, kCase}) {
+    auto scanned = reader.value().ScanObject(object);
+    ASSERT_TRUE(scanned.ok());
+    EventStream expected;
+    for (const Event& event : stream) {
+      if (event.object == object) expected.push_back(event);
+    }
+    EXPECT_EQ(scanned.value(), expected);
+    EXPECT_LE(reader.value().BlocksForObject(object),
+              reader.value().num_blocks());
+  }
+  EXPECT_TRUE(reader.value()
+                  .ScanObject(Obj(PackagingLevel::kItem, 999))
+                  .value()
+                  .empty());
+}
+
+TEST(ArchiveTest, ReopenAppendsAfterClose) {
+  const std::string path = TempPath("reopen.sparc");
+  RemoveArchive(path);
+  const EventStream first = LongStream(10);
+  const EventStream second = LongStream(20);
+
+  ArchiveOptions options;
+  options.block_events = 32;
+  {
+    auto writer = ArchiveWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(first).ok());
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  {
+    auto writer = ArchiveWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer.value()->recovery().recovered_events, first.size());
+    EXPECT_EQ(writer.value()->recovery().truncated_bytes, 0u);
+    ASSERT_TRUE(writer.value()->Append(second).ok());
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EventStream expected = first;
+  expected.insert(expected.end(), second.begin(), second.end());
+  EXPECT_EQ(reader.value().ScanAll().value(), expected);
+}
+
+TEST(ArchiveTest, TornTailRecoveryLosesAtMostLastBlock) {
+  const std::string path = TempPath("torn.sparc");
+  RemoveArchive(path);
+  const EventStream stream = LongStream(40);
+  ArchiveOptions options;
+  options.block_events = 32;
+  std::uint64_t full_bytes = 0;
+  std::size_t full_blocks = 0;
+  {
+    auto writer = ArchiveWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(stream).ok());
+    ASSERT_TRUE(writer.value()->Close().ok());
+    full_bytes = writer.value()->segment_bytes();
+    full_blocks = writer.value()->num_blocks();
+  }
+  // Tear the file mid-way through the last block.
+  std::filesystem::resize_file(path, full_bytes - 20);
+
+  auto recovered = ArchiveWriter::Open(path, options);
+  ASSERT_TRUE(recovered.ok());
+  ArchiveWriter& w = *recovered.value();
+  EXPECT_EQ(w.num_blocks(), full_blocks - 1);
+  EXPECT_GT(w.recovery().truncated_bytes, 0u);
+  // At most one block of events was lost.
+  EXPECT_GE(w.recovery().recovered_events,
+            stream.size() - options.block_events);
+
+  // Appending after recovery works, and the result validates end to end.
+  const std::size_t lost = stream.size() -
+                           static_cast<std::size_t>(w.events_written());
+  EventStream tail(stream.end() - static_cast<std::ptrdiff_t>(lost),
+                   stream.end());
+  ASSERT_TRUE(w.Append(tail).ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.value().index_rebuilt());
+  EXPECT_EQ(reader.value().ScanAll().value(), stream);
+}
+
+TEST(ArchiveTest, ReaderRebuildsWhenIndexStaleOrMissing) {
+  const std::string path = TempPath("stale.sparc");
+  RemoveArchive(path);
+  const EventStream stream = LongStream(10);
+  ArchiveOptions options;
+  options.block_events = 32;
+  {
+    auto writer = ArchiveWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(stream).ok());
+    ASSERT_TRUE(writer.value()->Close().ok());
+  }
+  {
+    // Append without Close: sealed blocks land, the sidecar goes stale —
+    // exactly the crash-before-Close shape.
+    auto writer = ArchiveWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(stream).ok());
+    ASSERT_TRUE(writer.value()->Flush().ok());
+  }
+  auto stale = ArchiveReader::Open(path);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(stale.value().index_rebuilt());
+  EXPECT_EQ(stale.value().num_events(), 2 * stream.size());
+
+  std::filesystem::remove(IndexPathFor(path));
+  auto missing = ArchiveReader::Open(path);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing.value().index_rebuilt());
+  EventStream expected = stream;
+  expected.insert(expected.end(), stream.begin(), stream.end());
+  EXPECT_EQ(missing.value().ScanAll().value(), expected);
+}
+
+TEST(ArchiveTest, CorruptBlockPayloadIsDetected) {
+  const std::string path = TempPath("bitrot.sparc");
+  RemoveArchive(path);
+  const EventStream stream = LongStream(40);
+  ArchiveOptions options;
+  options.block_events = 32;
+  auto writer = ArchiveWriter::Open(path, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(stream).ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+  const BlockMeta middle =
+      writer.value()->num_blocks() > 2
+          ? ArchiveReader::Open(path).value().blocks()[2]
+          : BlockMeta{};
+  ASSERT_GT(middle.offset, 0u);
+
+  // Flip one payload byte of a middle block.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(middle.offset) + kBlockHeaderBytes);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(static_cast<std::streamoff>(middle.offset) + kBlockHeaderBytes);
+    byte = static_cast<char>(byte ^ 0xff);
+    file.write(&byte, 1);
+  }
+  // The sidecar still matches the file size, so Open succeeds; the scan
+  // hits the checksum.
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto scanned = reader.value().ScanAll();
+  ASSERT_FALSE(scanned.ok());
+  EXPECT_EQ(scanned.status().code(), StatusCode::kCorruption);
+
+  // Writer recovery truncates at the corrupt block.
+  auto recovered = ArchiveWriter::Open(path, options);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value()->num_blocks(), 2u);
+  EXPECT_GT(recovered.value()->recovery().truncated_bytes, 0u);
+}
+
+TEST(ArchiveTest, RejectsGarbageFiles) {
+  EXPECT_FALSE(ArchiveReader::Open("/nonexistent/nowhere.sparc").ok());
+  const std::string path = TempPath("garbage.sparc");
+  RemoveArchive(path);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an archive";
+  }
+  EXPECT_FALSE(ArchiveReader::Open(path).ok());
+  EXPECT_FALSE(ArchiveWriter::Open(path).ok());
+}
+
+TEST(ArchiveTest, RepairedRestrictedStreamIsWellFormed) {
+  const std::string path = TempPath("repair.sparc");
+  RemoveArchive(path);
+  const EventStream stream = LongStream(40);
+  ArchiveOptions options;
+  options.block_events = 32;
+  auto writer = ArchiveWriter::Open(path, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(stream).ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto ranged = reader.value().ScanRange(135, 460);
+  ASSERT_TRUE(ranged.ok());
+  // The raw selection opens with unmatched End messages...
+  EXPECT_FALSE(
+      ValidateWellFormed(ranged.value(), /*allow_open_at_end=*/true).ok());
+  // ...and the repair re-materializes their Starts.
+  EXPECT_TRUE(ValidateWellFormed(RepairRestrictedStream(ranged.value()),
+                                 /*allow_open_at_end=*/true)
+                  .ok());
+}
+
+// -------------------------------------------------------------- end to end --
+
+/// Runs the pipeline over a simulated trace with the archive attached as a
+/// sink, returning the in-memory output stream.
+EventStream RunPipelineWithArchive(const SimConfig& config,
+                                   CompressionLevel level,
+                                   ArchiveWriter* archive) {
+  auto sim = WarehouseSimulator::Create(config);
+  EXPECT_TRUE(sim.ok());
+  WarehouseSimulator& s = *sim.value();
+  PipelineOptions options;
+  options.level = level;
+  SpirePipeline pipeline(&s.registry(), options);
+  pipeline.SetArchiveSink(archive);
+  EventStream events;
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &events);
+  }
+  pipeline.Finish(s.current_epoch() + 1, &events);
+  EXPECT_TRUE(pipeline.archive_status().ok())
+      << pipeline.archive_status().ToString();
+  return events;
+}
+
+TEST(ArchiveEndToEndTest, SimulatorScenariosRoundTripLossless) {
+  SimConfig small;
+  small.duration_epochs = 900;
+  small.pallet_interval = 300;
+  small.min_cases_per_pallet = 2;
+  small.max_cases_per_pallet = 3;
+  small.items_per_case = 4;
+  small.mean_shelf_stay = 300;
+  small.shelf_period = 20;
+  small.read_rate = 0.9;
+
+  SimConfig lossy = small;
+  lossy.read_rate = 0.6;
+
+  int scenario = 0;
+  for (const SimConfig& config : {small, lossy}) {
+    for (CompressionLevel level :
+         {CompressionLevel::kLevel1, CompressionLevel::kLevel2}) {
+      const std::string path =
+          TempPath("e2e_" + std::to_string(scenario++) + ".sparc");
+      RemoveArchive(path);
+      ArchiveOptions options;
+      options.block_events = 256;
+      auto writer = ArchiveWriter::Open(path, options);
+      ASSERT_TRUE(writer.ok());
+      EventStream events =
+          RunPipelineWithArchive(config, level, writer.value().get());
+      ASSERT_TRUE(writer.value()->Close().ok());
+
+      auto reader = ArchiveReader::Open(path);
+      ASSERT_TRUE(reader.ok());
+      auto scanned = reader.value().ScanAll();
+      ASSERT_TRUE(scanned.ok());
+      EXPECT_EQ(scanned.value(), events);  // Lossless round trip.
+
+      // Time-range scan == filtered full decode, on a middle window.
+      const Epoch lo = 300;
+      const Epoch hi = 500;
+      auto ranged = reader.value().ScanRange(lo, hi);
+      ASSERT_TRUE(ranged.ok());
+      EXPECT_EQ(ranged.value(), FilterByPrimary(events, lo, hi));
+    }
+  }
+}
+
+TEST(ArchiveEndToEndTest, ArchiveIsSmallerThanFlatRecords) {
+  SimConfig config;
+  config.duration_epochs = 900;
+  config.pallet_interval = 300;
+  config.items_per_case = 4;
+  config.mean_shelf_stay = 300;
+  config.shelf_period = 20;
+  config.read_rate = 0.9;
+
+  const std::string path = TempPath("size.sparc");
+  RemoveArchive(path);
+  auto writer = ArchiveWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  EventStream events = RunPipelineWithArchive(
+      config, CompressionLevel::kLevel2, writer.value().get());
+  ASSERT_TRUE(writer.value()->Close().ok());
+  ASSERT_GT(events.size(), 100u);
+
+  // The acceptance target: at most half of the flat 26-byte records.
+  EXPECT_LE(writer.value()->segment_bytes(),
+            events.size() * kEventWireBytes / 2);
+}
+
+}  // namespace
+}  // namespace spire

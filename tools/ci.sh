@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Local CI: configure, build, and run the full test suite twice — once
+# plain, once under ASan+UBSan (SPIRE_SANITIZE=ON). Any warning is an error
+# in both configurations (-Werror is always on).
+#
+#   tools/ci.sh            # both configurations
+#   tools/ci.sh plain      # plain only
+#   tools/ci.sh sanitize   # sanitized only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] test ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+case "$mode" in
+  plain) run_config plain build ;;
+  sanitize) run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON ;;
+  all)
+    run_config plain build
+    run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: tools/ci.sh [plain|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== CI OK ($mode) ==="

@@ -9,11 +9,18 @@
 //   spire_cli stats      in=events.spev
 //   spire_cli query      in=events.spev epoch=<t> [object=<id>]
 //                        [decompress=true]
+//   spire_cli archive    in=events.spev out=events.sparc [block=<events>]
+//   spire_cli scan       in=events.sparc [from=<t>] [to=<t>] [object=<id>]
+//                        [out=subset.spev]
+//   spire_cli compact    in=events.sparc out=packed.sparc [block=<events>]
 //
 // Trace files use the binary format of stream/trace_io.h; event files are
-// "SPEV" + u16 version + the 26-byte records of compress/serde.h.
+// "SPEV" + u16 version + u64 record count + the 26-byte records of
+// compress/serde.h; archives are the segmented block format of
+// store/format.h with a ".spix" index sidecar.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -26,6 +33,9 @@
 #include "query/event_log.h"
 #include "sim/simulator.h"
 #include "spire/pipeline.h"
+#include "store/archive_reader.h"
+#include "store/archive_writer.h"
+#include "store/segment.h"
 #include "stream/deployment.h"
 #include "stream/trace_io.h"
 
@@ -251,13 +261,144 @@ int RunQuery(const Config& args) {
   return 0;
 }
 
+// ------------------------------------------------------- archive commands
+
+int RunArchive(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  auto out_path = args.GetString("out", "").value_or("");
+  if (in_path.empty() || out_path.empty()) {
+    return FailText("archive needs in=<events> out=<archive>");
+  }
+  auto events = ReadEventFile(in_path);
+  if (!events.ok()) return Fail(events.status());
+
+  ArchiveOptions options;
+  options.block_events = static_cast<std::size_t>(
+      args.GetInt("block", static_cast<std::int64_t>(options.block_events))
+          .value_or(4096));
+  auto writer = ArchiveWriter::Open(out_path, options);
+  if (!writer.ok()) return Fail(writer.status());
+  ArchiveWriter& w = *writer.value();
+  if (w.recovery().recovered_events > 0 || w.recovery().truncated_bytes > 0) {
+    std::printf("recovered %llu events in %zu blocks (truncated %llu torn "
+                "bytes); appending\n",
+                static_cast<unsigned long long>(w.recovery().recovered_events),
+                w.recovery().recovered_blocks,
+                static_cast<unsigned long long>(w.recovery().truncated_bytes));
+  }
+  Status status = w.Append(events.value());
+  if (!status.ok()) return Fail(status);
+  status = w.Close();
+  if (!status.ok()) return Fail(status);
+
+  const std::size_t flat_bytes = WireBytes(events.value());
+  std::printf("archived %llu events in %zu blocks, %llu bytes "
+              "(flat SPEV records: %zu bytes, %.1f%%)\n",
+              static_cast<unsigned long long>(w.events_written()),
+              w.num_blocks(),
+              static_cast<unsigned long long>(w.segment_bytes()), flat_bytes,
+              flat_bytes == 0 ? 0.0
+                              : 100.0 * static_cast<double>(w.segment_bytes()) /
+                                    static_cast<double>(flat_bytes));
+  return 0;
+}
+
+int RunScan(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  if (in_path.empty()) return FailText("scan needs in=<archive>");
+  auto reader = ArchiveReader::Open(in_path);
+  if (!reader.ok()) return Fail(reader.status());
+  const ArchiveReader& r = reader.value();
+  if (r.index_rebuilt()) {
+    std::printf("index sidecar missing or stale; directory rebuilt by scan\n");
+  }
+
+  const Epoch from = args.GetInt("from", 0).value_or(0);
+  const Epoch to = args.GetInt("to", kInfiniteEpoch).value_or(kInfiniteEpoch);
+  const auto object_arg = args.GetInt("object", -1).value_or(-1);
+  const bool ranged = from != 0 || to != kInfiniteEpoch;
+
+  Result<EventStream> scanned = Status::Internal("unreachable");
+  std::size_t blocks_decoded = 0;
+  if (object_arg >= 0) {
+    scanned = r.ScanObject(static_cast<ObjectId>(object_arg));
+    blocks_decoded = r.BlocksForObject(static_cast<ObjectId>(object_arg));
+    if (scanned.ok() && ranged) {
+      std::erase_if(scanned.value(), [&](const Event& event) {
+        const Epoch primary = (event.type == EventType::kEndLocation ||
+                               event.type == EventType::kEndContainment)
+                                  ? event.end
+                                  : event.start;
+        return primary < from || primary > to;
+      });
+    }
+  } else if (ranged) {
+    scanned = r.ScanRange(from, to);
+    blocks_decoded = r.BlocksInRange(from, to);
+  } else {
+    scanned = r.ScanAll();
+    blocks_decoded = r.num_blocks();
+  }
+  if (!scanned.ok()) return Fail(scanned.status());
+
+  std::printf("%zu events from %zu of %zu blocks (%llu events total)\n",
+              scanned.value().size(), blocks_decoded, r.num_blocks(),
+              static_cast<unsigned long long>(r.num_events()));
+
+  auto out_path = args.GetString("out", "").value_or("");
+  if (!out_path.empty()) {
+    // Restricted selections can open with unmatched End messages; repair
+    // them so the flat file decodes standalone.
+    Status status =
+        WriteEventFile(out_path, RepairRestrictedStream(scanned.value()));
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int RunCompact(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  auto out_path = args.GetString("out", "").value_or("");
+  if (in_path.empty() || out_path.empty() || in_path == out_path) {
+    return FailText("compact needs distinct in=<archive> out=<archive>");
+  }
+  auto reader = ArchiveReader::Open(in_path);
+  if (!reader.ok()) return Fail(reader.status());
+  auto events = reader.value().ScanAll();
+  if (!events.ok()) return Fail(events.status());
+
+  std::error_code ec;
+  std::filesystem::remove(out_path, ec);
+  std::filesystem::remove(IndexPathFor(out_path), ec);
+  ArchiveOptions options;
+  options.block_events = static_cast<std::size_t>(
+      args.GetInt("block", static_cast<std::int64_t>(options.block_events))
+          .value_or(4096));
+  auto writer = ArchiveWriter::Open(out_path, options);
+  if (!writer.ok()) return Fail(writer.status());
+  Status status = writer.value()->Append(events.value());
+  if (!status.ok()) return Fail(status);
+  status = writer.value()->Close();
+  if (!status.ok()) return Fail(status);
+
+  std::printf("compacted %zu blocks (%llu bytes) -> %zu blocks (%llu bytes), "
+              "%zu events\n",
+              reader.value().num_blocks(),
+              static_cast<unsigned long long>(reader.value().segment_bytes()),
+              writer.value()->num_blocks(),
+              static_cast<unsigned long long>(writer.value()->segment_bytes()),
+              events.value().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s generate|process|decompress|validate|stats|query "
-                 "[key=value ...]\n",
+                 "usage: %s generate|process|decompress|validate|stats|query|"
+                 "archive|scan|compact [key=value ...]\n",
                  argv[0]);
     return 1;
   }
@@ -270,5 +411,8 @@ int main(int argc, char** argv) {
   if (command == "validate") return RunValidate(args.value());
   if (command == "stats") return RunStats(args.value());
   if (command == "query") return RunQuery(args.value());
+  if (command == "archive") return RunArchive(args.value());
+  if (command == "scan") return RunScan(args.value());
+  if (command == "compact") return RunCompact(args.value());
   return FailText("unknown command: " + command);
 }
