@@ -1,0 +1,94 @@
+#include "check/fuzzer.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <filesystem>
+
+namespace spire {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+FuzzStats Fuzz(const FuzzOptions& options, const DifferentialChecker& checker,
+               std::FILE* log) {
+  const auto start = std::chrono::steady_clock::now();
+  FuzzStats stats;
+  CheckStats check_stats;
+
+  for (std::uint64_t seed : options.seeds) {
+    if (stats.failures >= options.max_failures) break;
+    if (options.budget_seconds > 0.0 && stats.cases_run >= options.min_cases &&
+        SecondsSince(start) > options.budget_seconds) {
+      if (log != nullptr) {
+        std::fprintf(log, "budget exhausted after %zu cases\n",
+                     stats.cases_run);
+      }
+      break;
+    }
+
+    FuzzCase fuzz_case = CaseFromSeed(seed);
+    ++stats.cases_run;
+    auto failure = checker.Check(fuzz_case, &check_stats);
+    if (!failure) continue;
+
+    ++stats.failures;
+    if (log != nullptr) {
+      std::fprintf(log, "seed %" PRIu64 ": oracle '%s' violated\n%s\n", seed,
+                   failure->oracle.c_str(), failure->detail.c_str());
+    }
+
+    FuzzCase minimized = fuzz_case;
+    OracleFailure minimized_failure = *failure;
+    if (options.shrink_attempts > 0) {
+      ShrinkOutcome outcome = MinimizeCase(
+          fuzz_case, *failure,
+          [&](const FuzzCase& candidate) {
+            return checker.Check(candidate, &check_stats);
+          },
+          options.shrink_attempts);
+      minimized = outcome.minimized;
+      minimized_failure = outcome.failure;
+      if (log != nullptr) {
+        std::fprintf(log,
+                     "seed %" PRIu64 ": minimized to %lld epochs, %zu "
+                     "excluded tags (%d shrink runs)\n",
+                     seed, static_cast<long long>(minimized.EffectiveEpochs()),
+                     minimized.excluded_tags.size(), outcome.attempts);
+      }
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(options.repro_dir, ec);
+    const std::string path =
+        (std::filesystem::path(options.repro_dir) /
+         ("repro-seed" + std::to_string(seed) + ".txt"))
+            .string();
+    Status written = WriteReproFile(path, minimized, &minimized_failure);
+    if (written.ok()) {
+      stats.repro_paths.push_back(path);
+      if (log != nullptr) std::fprintf(log, "repro: %s\n", path.c_str());
+    } else if (log != nullptr) {
+      std::fprintf(log, "failed to write repro: %s\n",
+                   written.ToString().c_str());
+    }
+  }
+
+  stats.traces_run = check_stats.traces_run;
+  stats.elapsed_seconds = SecondsSince(start);
+  if (log != nullptr) {
+    std::fprintf(log,
+                 "spire_fuzz: %zu cases, %zu pipeline traces, %zu "
+                 "failure(s) in %.1fs\n",
+                 stats.cases_run, stats.traces_run, stats.failures,
+                 stats.elapsed_seconds);
+  }
+  return stats;
+}
+
+}  // namespace spire

@@ -1,0 +1,50 @@
+// The spire_fuzz corpus driver: expands seeds into cases, runs the oracle
+// battery on each, and on failure minimizes the case and archives a
+// replayable repro file.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+#include "check/repro.h"
+#include "check/shrink.h"
+
+namespace spire {
+
+/// Driver configuration.
+struct FuzzOptions {
+  /// Seeds to expand, in order.
+  std::vector<std::uint64_t> seeds;
+  /// Wall-clock budget in seconds; 0 = run the whole corpus. At least
+  /// `min_cases` cases run even when the budget is exhausted, so CI always
+  /// gets a meaningful sample.
+  double budget_seconds = 0.0;
+  std::size_t min_cases = 100;
+  /// Directory minimized repro files are written to (created on demand).
+  std::string repro_dir = "fuzz-repros";
+  /// Candidate executions the shrinker may spend per failure (0 disables
+  /// shrinking).
+  int shrink_attempts = 150;
+  /// Stop after this many distinct failures (each already minimized).
+  std::size_t max_failures = 5;
+};
+
+/// Aggregate outcome of one driver run.
+struct FuzzStats {
+  std::size_t cases_run = 0;    ///< Seeds checked.
+  std::size_t traces_run = 0;   ///< Pipeline executions (incl. shrinking).
+  std::size_t failures = 0;     ///< Oracle violations found.
+  double elapsed_seconds = 0.0;
+  std::vector<std::string> repro_paths;  ///< One minimized repro per failure.
+};
+
+/// Runs the corpus. Progress and failure reports go to `log` (may be null
+/// for silence). Returns the aggregate stats; `failures == 0` means the
+/// battery was green on every case run.
+FuzzStats Fuzz(const FuzzOptions& options, const DifferentialChecker& checker,
+               std::FILE* log);
+
+}  // namespace spire

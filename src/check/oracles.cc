@@ -1,0 +1,232 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <tuple>
+
+#include "compress/decompress.h"
+#include "compress/serde.h"
+#include "compress/well_formed.h"
+#include "store/archive_reader.h"
+#include "store/archive_writer.h"
+#include "store/segment.h"
+
+namespace spire {
+
+namespace {
+
+/// The epoch an event is emitted at: V_e for End* messages, V_s otherwise
+/// (the same grouping rule the decompressor uses).
+Epoch EmissionEpoch(const Event& event) {
+  switch (event.type) {
+    case EventType::kEndLocation:
+    case EventType::kEndContainment:
+      return event.end;
+    default:
+      return event.start;
+  }
+}
+
+/// A fixed total order inside one emission epoch. Any total order works:
+/// equality of the sorted forms is multiset equality per epoch.
+auto CanonicalKey(const Event& event) {
+  return std::make_tuple(EmissionEpoch(event), event.object,
+                         static_cast<int>(event.type), event.location,
+                         event.container, event.start, event.end);
+}
+
+std::string Excerpt(const EventStream& stream, std::size_t center) {
+  std::ostringstream out;
+  const std::size_t from = center >= 2 ? center - 2 : 0;
+  const std::size_t to = std::min(stream.size(), center + 3);
+  for (std::size_t i = from; i < to; ++i) {
+    out << (i == center ? "  > " : "    ") << "[" << i << "] "
+        << stream[i].ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+EventStream Canonicalized(const EventStream& stream) {
+  EventStream out = stream;
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return CanonicalKey(a) < CanonicalKey(b);
+  });
+  return out;
+}
+
+std::string DiffStreams(const EventStream& a, const EventStream& b,
+                        const std::string& a_name, const std::string& b_name) {
+  const std::size_t common = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < common && a[i] == b[i]) ++i;
+  if (i == common && a.size() == b.size()) return "";
+  std::ostringstream out;
+  out << a_name << " (" << a.size() << " events) and " << b_name << " ("
+      << b.size() << " events) diverge at index " << i << "\n";
+  out << a_name << ":\n" << Excerpt(a, i);
+  out << b_name << ":\n" << Excerpt(b, i);
+  return out.str();
+}
+
+EventStream RunPipelineOnTrace(const RecordedTrace& trace,
+                               CompressionLevel level) {
+  PipelineOptions options;
+  options.level = level;
+  SpirePipeline pipeline(&trace.registry, options);
+  EventStream out;
+  for (std::size_t epoch = 0; epoch < trace.epochs.size(); ++epoch) {
+    pipeline.ProcessEpoch(static_cast<Epoch>(epoch), trace.epochs[epoch],
+                          &out);
+  }
+  pipeline.Finish(static_cast<Epoch>(trace.epochs.size()), &out);
+  return out;
+}
+
+DifferentialChecker::DifferentialChecker(CheckOptions options)
+    : options_(std::move(options)) {}
+
+std::string DifferentialChecker::ScratchPath(const std::string& label) const {
+  namespace fs = std::filesystem;
+  fs::path dir = options_.scratch_dir.empty()
+                     ? fs::temp_directory_path() / "spire_check"
+                     : fs::path(options_.scratch_dir);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  return (dir / (label + ".sparc")).string();
+}
+
+std::optional<OracleFailure> DifferentialChecker::CheckWellFormed(
+    const EventStream& level1, const EventStream& level2) {
+  if (Status status = ValidateWellFormed(level1); !status.ok()) {
+    return OracleFailure{"well_formed", "level-1 output: " + status.ToString()};
+  }
+  if (Status status = ValidateWellFormed(level2); !status.ok()) {
+    return OracleFailure{"well_formed", "level-2 output: " + status.ToString()};
+  }
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> DifferentialChecker::CheckLevel2Recovery(
+    const EventStream& level1, const EventStream& level2) {
+  EventStream decompressed = Decompressor::DecompressAll(level2);
+  if (Status status = ValidateWellFormed(decompressed); !status.ok()) {
+    return OracleFailure{"level2_recovery",
+                         "decompressed level-2 stream ill-formed: " +
+                             status.ToString()};
+  }
+  std::string diff = DiffStreams(Canonicalized(level1),
+                                 Canonicalized(decompressed), "level1",
+                                 "decompress(level2)");
+  if (!diff.empty()) return OracleFailure{"level2_recovery", diff};
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> DifferentialChecker::CheckSerdeRoundTrip(
+    const EventStream& stream, const std::string& label) {
+  std::vector<std::uint8_t> bytes;
+  if (Status status = EventEncoder::EncodeStream(stream, &bytes);
+      !status.ok()) {
+    return OracleFailure{"serde_roundtrip",
+                         label + ": encode failed: " + status.ToString()};
+  }
+  EventDecoder decoder;
+  auto decoded = decoder.DecodeStream(bytes);
+  if (!decoded.ok()) {
+    return OracleFailure{"serde_roundtrip", label + ": decode failed: " +
+                                                decoded.status().ToString()};
+  }
+  std::string diff =
+      DiffStreams(stream, decoded.value(), label, label + " after round-trip");
+  if (!diff.empty()) return OracleFailure{"serde_roundtrip", diff};
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> DifferentialChecker::CheckArchiveRoundTrip(
+    const EventStream& stream, const std::string& label) const {
+  namespace fs = std::filesystem;
+  const std::string path = ScratchPath(label);
+  std::error_code ec;
+  fs::remove(path, ec);
+  fs::remove(IndexPathFor(path), ec);
+
+  auto fail = [&](const std::string& detail) {
+    fs::remove(path, ec);
+    fs::remove(IndexPathFor(path), ec);
+    return OracleFailure{"archive_roundtrip", label + ": " + detail};
+  };
+
+  // Small blocks force multi-block segments even on shrunk traces, so the
+  // codec's block-boundary paths are always exercised.
+  ArchiveOptions archive_options;
+  archive_options.block_events = 256;
+  auto writer = ArchiveWriter::Open(path, archive_options);
+  if (!writer.ok()) return fail("open failed: " + writer.status().ToString());
+  if (Status status = (*writer.value()).Append(stream); !status.ok()) {
+    return fail("append failed: " + status.ToString());
+  }
+  if (Status status = (*writer.value()).Close(); !status.ok()) {
+    return fail("close failed: " + status.ToString());
+  }
+
+  auto reader = ArchiveReader::Open(path);
+  if (!reader.ok()) {
+    return fail("reader open failed: " + reader.status().ToString());
+  }
+  auto scanned = reader.value().ScanAll();
+  if (!scanned.ok()) {
+    return fail("scan failed: " + scanned.status().ToString());
+  }
+  std::string diff = DiffStreams(stream, scanned.value(), label,
+                                 label + " after archive round-trip");
+  fs::remove(path, ec);
+  fs::remove(IndexPathFor(path), ec);
+  if (!diff.empty()) return OracleFailure{"archive_roundtrip", diff};
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> DifferentialChecker::Check(
+    const FuzzCase& fuzz_case, CheckStats* stats) const {
+  auto trace = GenerateTrace(fuzz_case);
+  if (!trace.ok()) {
+    return OracleFailure{"generate", trace.status().ToString()};
+  }
+  EventStream level1 = RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel1);
+  EventStream level2 = RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel2);
+  if (stats != nullptr) stats->traces_run += 2;
+
+  if (auto failure = CheckWellFormed(level1, level2)) return failure;
+  if (auto failure = CheckLevel2Recovery(level1, level2)) return failure;
+  if (auto failure = CheckArchiveRoundTrip(level2, "level2")) return failure;
+  if (auto failure = CheckArchiveRoundTrip(level1, "level1")) return failure;
+  if (auto failure = CheckSerdeRoundTrip(level1, "level1")) return failure;
+  if (auto failure = CheckSerdeRoundTrip(level2, "level2")) return failure;
+
+  // Determinism: the whole path — simulator, dedup, inference, compression —
+  // must reproduce bit-identically from the same case.
+  auto trace_again = GenerateTrace(fuzz_case);
+  if (!trace_again.ok()) {
+    return OracleFailure{"determinism", "second trace generation failed: " +
+                                            trace_again.status().ToString()};
+  }
+  EventStream level1_again =
+      RunPipelineOnTrace(trace_again.value(), CompressionLevel::kLevel1);
+  EventStream level2_again =
+      RunPipelineOnTrace(trace_again.value(), CompressionLevel::kLevel2);
+  if (stats != nullptr) stats->traces_run += 2;
+  if (std::string diff =
+          DiffStreams(level1, level1_again, "level1 run A", "level1 run B");
+      !diff.empty()) {
+    return OracleFailure{"determinism", diff};
+  }
+  if (std::string diff =
+          DiffStreams(level2, level2_again, "level2 run A", "level2 run B");
+      !diff.empty()) {
+    return OracleFailure{"determinism", diff};
+  }
+  return std::nullopt;
+}
+
+}  // namespace spire

@@ -1,0 +1,92 @@
+// The oracle battery of the differential checking harness.
+//
+// Every FuzzCase is expanded into a trace and judged by five oracles:
+//
+//   (a) well_formed        both pipeline outputs pass ValidateWellFormed.
+//   (b) level2_recovery    Decompress(level-2 output) is event-for-event
+//                          equivalent to the same trace run at level 1
+//                          (equality of per-epoch canonicalized streams —
+//                          SPIRE's central losslessness claim, Section V).
+//   (c) archive_roundtrip  writing the output through src/store and scanning
+//                          it back reproduces the in-memory stream exactly.
+//   (d) serde_roundtrip    SPEV encode/decode reproduces the stream exactly.
+//   (e) determinism        regenerating and re-running the same case yields
+//                          bit-identical output streams.
+//
+// A failure names the oracle and carries a human-readable diff/detail, so a
+// minimized repro file is actionable on its own.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/trace_gen.h"
+#include "compress/event.h"
+#include "spire/pipeline.h"
+
+namespace spire {
+
+/// One oracle violation.
+struct OracleFailure {
+  std::string oracle;  ///< Stable oracle name (see header comment).
+  std::string detail;  ///< First divergence / validator message.
+};
+
+/// Sorts a stream into its canonical per-epoch order: events are grouped by
+/// their emission epoch (V_e for End*, V_s otherwise — emission order is
+/// already epoch-monotone) and ordered within the epoch by a fixed total
+/// key. Two streams are state-equivalent per epoch iff their canonical
+/// forms are equal, regardless of intra-epoch interleaving.
+EventStream Canonicalized(const EventStream& stream);
+
+/// Human-readable first divergence between two streams ("" when equal).
+/// `a_name` / `b_name` label the sides in the report.
+std::string DiffStreams(const EventStream& a, const EventStream& b,
+                        const std::string& a_name, const std::string& b_name);
+
+/// Feeds the whole trace through a fresh pipeline at `level` and Finish()es
+/// it one epoch past the end.
+EventStream RunPipelineOnTrace(const RecordedTrace& trace,
+                               CompressionLevel level);
+
+/// Checker configuration.
+struct CheckOptions {
+  /// Directory for archive round-trip scratch files; "" uses the system
+  /// temporary directory. Created on demand.
+  std::string scratch_dir;
+};
+
+/// Cost accounting for one Check() call.
+struct CheckStats {
+  /// Pipeline executions performed (2 levels + 2 determinism re-runs).
+  std::size_t traces_run = 0;
+};
+
+/// Runs the full oracle battery over fuzz cases. Single-threaded.
+class DifferentialChecker {
+ public:
+  explicit DifferentialChecker(CheckOptions options = {});
+
+  /// Expands the case and applies all five oracles; std::nullopt means all
+  /// green. `stats`, when non-null, accumulates pipeline-run counts.
+  std::optional<OracleFailure> Check(const FuzzCase& fuzz_case,
+                                     CheckStats* stats = nullptr) const;
+
+  // Individual oracles (exposed for targeted tests). Each returns
+  // std::nullopt when satisfied.
+  static std::optional<OracleFailure> CheckWellFormed(const EventStream& level1,
+                                                      const EventStream& level2);
+  static std::optional<OracleFailure> CheckLevel2Recovery(
+      const EventStream& level1, const EventStream& level2);
+  static std::optional<OracleFailure> CheckSerdeRoundTrip(
+      const EventStream& stream, const std::string& label);
+  std::optional<OracleFailure> CheckArchiveRoundTrip(
+      const EventStream& stream, const std::string& label) const;
+
+ private:
+  std::string ScratchPath(const std::string& label) const;
+
+  CheckOptions options_;
+};
+
+}  // namespace spire

@@ -1,0 +1,129 @@
+#include "check/repro.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.h"
+
+namespace spire {
+
+namespace {
+
+std::string U64Line(const char* key, std::uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%s = %" PRIu64, key, value);
+  return buffer;
+}
+
+std::string I64Line(const char* key, std::int64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%s = %" PRId64, key, value);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<std::string> SerializeRepro(const FuzzCase& fuzz_case,
+                                        const OracleFailure* failure) {
+  std::vector<std::string> lines;
+  lines.push_back("# spire_fuzz repro — replay with: spire_fuzz --replay "
+                  "<this file>");
+  if (failure != nullptr) {
+    lines.push_back("# oracle: " + failure->oracle);
+    std::istringstream detail(failure->detail);
+    std::string detail_line;
+    while (std::getline(detail, detail_line)) {
+      lines.push_back("#   " + detail_line);
+    }
+  }
+  const SimConfig& sim = fuzz_case.sim;
+  lines.push_back(U64Line("seed", sim.seed));
+  lines.push_back(I64Line("duration_epochs", sim.duration_epochs));
+  lines.push_back(I64Line("pallet_interval", sim.pallet_interval));
+  lines.push_back(I64Line("min_cases_per_pallet", sim.min_cases_per_pallet));
+  lines.push_back(I64Line("max_cases_per_pallet", sim.max_cases_per_pallet));
+  lines.push_back(I64Line("items_per_case", sim.items_per_case));
+  {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "read_rate = %.17g", sim.read_rate);
+    lines.push_back(buffer);
+  }
+  lines.push_back(
+      I64Line("nonshelf_ticks_per_epoch", sim.nonshelf_ticks_per_epoch));
+  lines.push_back(I64Line("shelf_period", sim.shelf_period));
+  lines.push_back(I64Line("num_shelves", sim.num_shelves));
+  lines.push_back(I64Line("mean_shelf_stay", sim.mean_shelf_stay));
+  lines.push_back(I64Line("entry_dwell", sim.entry_dwell));
+  lines.push_back(I64Line("belt_dwell", sim.belt_dwell));
+  lines.push_back(I64Line("packaging_dwell", sim.packaging_dwell));
+  lines.push_back(I64Line("exit_dwell", sim.exit_dwell));
+  lines.push_back(I64Line("packaging_timeout", sim.packaging_timeout));
+  lines.push_back(I64Line("transit_time", sim.transit_time));
+  lines.push_back(I64Line("theft_interval", sim.theft_interval));
+  lines.push_back(std::string("patrol_reader = ") +
+                  (sim.patrol_reader ? "true" : "false"));
+  lines.push_back(I64Line("patrol_dwell", sim.patrol_dwell));
+  lines.push_back(I64Line("max_epochs", fuzz_case.max_epochs));
+  if (!fuzz_case.excluded_tags.empty()) {
+    std::ostringstream tags;
+    tags << "exclude_tags = ";
+    for (std::size_t i = 0; i < fuzz_case.excluded_tags.size(); ++i) {
+      if (i > 0) tags << ",";
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "0x%" PRIx64,
+                    fuzz_case.excluded_tags[i]);
+      tags << buffer;
+    }
+    lines.push_back(tags.str());
+  }
+  return lines;
+}
+
+Result<FuzzCase> ParseRepro(const std::vector<std::string>& lines) {
+  auto config = Config::FromLines(lines);
+  if (!config.ok()) return config.status();
+  FuzzCase out;
+  auto sim = SimConfig::FromConfig(config.value(), SimConfig());
+  if (!sim.ok()) return sim.status();
+  out.sim = sim.value();
+  auto max_epochs = config.value().GetInt("max_epochs", 0);
+  if (!max_epochs.ok()) return max_epochs.status();
+  out.max_epochs = max_epochs.value();
+  auto tags = config.value().GetString("exclude_tags", "");
+  if (!tags.ok()) return tags.status();
+  std::istringstream list(tags.value());
+  std::string token;
+  while (std::getline(list, token, ',')) {
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const std::uint64_t id = std::strtoull(token.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad exclude_tags entry: " + token);
+    }
+    out.excluded_tags.push_back(id);
+  }
+  return out;
+}
+
+Status WriteReproFile(const std::string& path, const FuzzCase& fuzz_case,
+                      const OracleFailure* failure) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  for (const std::string& line : SerializeRepro(fuzz_case, failure)) {
+    out << line << "\n";
+  }
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Result<FuzzCase> LoadReproFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return ParseRepro(lines);
+}
+
+}  // namespace spire

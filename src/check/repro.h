@@ -1,0 +1,30 @@
+// Replayable repro files for the differential checking harness.
+//
+// A repro file is a plain `key = value` text file (common/config.h syntax)
+// holding every SimConfig field plus the shrink state (max_epochs and the
+// excluded-tag list) and, as comments, the failing oracle and its detail.
+// `spire_fuzz --replay <file>` reloads the case and re-runs the battery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+#include "check/trace_gen.h"
+#include "common/status.h"
+
+namespace spire {
+
+/// Renders a case (and, when non-null, its failure) as repro-file lines.
+std::vector<std::string> SerializeRepro(const FuzzCase& fuzz_case,
+                                        const OracleFailure* failure);
+
+/// Parses repro-file lines back into a case.
+Result<FuzzCase> ParseRepro(const std::vector<std::string>& lines);
+
+/// Writes/reads a repro file on disk.
+Status WriteReproFile(const std::string& path, const FuzzCase& fuzz_case,
+                      const OracleFailure* failure);
+Result<FuzzCase> LoadReproFile(const std::string& path);
+
+}  // namespace spire

@@ -1,0 +1,83 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace spire {
+
+namespace {
+
+/// Greedy binary descent on the epoch count: repeatedly try to cut the
+/// remaining suffix in half; halve the step on success-free tries.
+void ShrinkEpochs(FuzzCase* current, OracleFailure* failure,
+                  const CaseRunner& run, int max_attempts, int* attempts) {
+  Epoch effective = current->EffectiveEpochs();
+  Epoch step = effective / 2;
+  while (step >= 1 && *attempts < max_attempts) {
+    const Epoch candidate_epochs = effective - step;
+    if (candidate_epochs < 1) {
+      step /= 2;
+      continue;
+    }
+    FuzzCase candidate = *current;
+    candidate.max_epochs = candidate_epochs;
+    ++*attempts;
+    if (auto candidate_failure = run(candidate)) {
+      *current = candidate;
+      *failure = *candidate_failure;
+      effective = candidate_epochs;
+      step = std::min(step, effective / 2);
+    } else {
+      step /= 2;
+    }
+  }
+}
+
+/// ddmin-style tag removal: try excluding chunks of the remaining tags,
+/// halving the chunk size down to single tags.
+void ShrinkTags(FuzzCase* current, OracleFailure* failure,
+                const CaseRunner& run, int max_attempts, int* attempts) {
+  auto trace = GenerateTrace(*current);
+  if (!trace.ok()) return;
+  std::vector<ObjectId> tags = TagsInTrace(trace.value());
+  std::size_t chunk = std::max<std::size_t>(1, tags.size() / 2);
+  while (chunk >= 1 && *attempts < max_attempts) {
+    bool removed_any = false;
+    for (std::size_t begin = 0;
+         begin < tags.size() && *attempts < max_attempts; /* in body */) {
+      const std::size_t end = std::min(tags.size(), begin + chunk);
+      FuzzCase candidate = *current;
+      candidate.excluded_tags.insert(candidate.excluded_tags.end(),
+                                     tags.begin() + begin, tags.begin() + end);
+      ++*attempts;
+      if (auto candidate_failure = run(candidate)) {
+        *current = candidate;
+        *failure = *candidate_failure;
+        tags.erase(tags.begin() + begin, tags.begin() + end);
+        removed_any = true;  // `begin` now points at the next chunk.
+      } else {
+        begin = end;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    chunk /= 2;
+  }
+  std::sort(current->excluded_tags.begin(), current->excluded_tags.end());
+}
+
+}  // namespace
+
+ShrinkOutcome MinimizeCase(const FuzzCase& failing,
+                           const OracleFailure& original,
+                           const CaseRunner& run, int max_attempts) {
+  ShrinkOutcome outcome;
+  outcome.minimized = failing;
+  outcome.failure = original;
+  ShrinkEpochs(&outcome.minimized, &outcome.failure, run, max_attempts,
+               &outcome.attempts);
+  ShrinkTags(&outcome.minimized, &outcome.failure, run, max_attempts,
+             &outcome.attempts);
+  return outcome;
+}
+
+}  // namespace spire

@@ -1,0 +1,35 @@
+// Counterexample minimization for the differential checking harness.
+//
+// Given a failing FuzzCase, the shrinker first truncates the trace (greedy
+// binary descent on max_epochs), then removes tags (ddmin-style chunked
+// exclusion, ending with single-tag passes). Any oracle failure — not
+// necessarily the original one — keeps a shrink step; the final, smaller
+// counterexample with its (possibly different) failure is returned.
+#pragma once
+
+#include <functional>
+
+#include "check/oracles.h"
+#include "check/trace_gen.h"
+
+namespace spire {
+
+/// Re-runs a candidate case; std::nullopt = all oracles green.
+using CaseRunner =
+    std::function<std::optional<OracleFailure>(const FuzzCase&)>;
+
+/// Result of one minimization.
+struct ShrinkOutcome {
+  FuzzCase minimized;      ///< The smallest still-failing case found.
+  OracleFailure failure;   ///< The failure the minimized case produces.
+  int attempts = 0;        ///< Candidate cases executed.
+};
+
+/// Minimizes `failing` (which `run` must currently fail) within
+/// `max_attempts` candidate executions. `original` is the failure the
+/// unshrunk case produced.
+ShrinkOutcome MinimizeCase(const FuzzCase& failing,
+                           const OracleFailure& original,
+                           const CaseRunner& run, int max_attempts = 200);
+
+}  // namespace spire

@@ -1,0 +1,81 @@
+#include "check/trace_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace spire {
+
+Epoch FuzzCase::EffectiveEpochs() const {
+  if (max_epochs <= 0) return sim.duration_epochs;
+  return std::min<Epoch>(max_epochs, sim.duration_epochs);
+}
+
+FuzzCase CaseFromSeed(std::uint64_t seed) {
+  // A distinct stream id decouples the parameter draw from the simulator's
+  // own PCG sequence (both are seeded with `seed`).
+  Pcg32 rng(seed, 0x5eedc0de5eedc0deULL);
+  FuzzCase out;
+  SimConfig& sim = out.sim;
+  sim.seed = seed;
+  sim.duration_epochs = 160 + rng.NextBounded(240);
+  sim.pallet_interval = 40 + rng.NextBounded(120);
+  sim.min_cases_per_pallet = 1 + rng.NextBounded(2);
+  sim.max_cases_per_pallet =
+      sim.min_cases_per_pallet + rng.NextBounded(2);
+  sim.items_per_case = 2 + rng.NextBounded(4);
+  sim.read_rate = rng.NextBool(0.25) ? 1.0 : 0.5 + 0.5 * rng.NextDouble();
+  sim.nonshelf_ticks_per_epoch = 1 + rng.NextBounded(2);
+  sim.shelf_period = 1 + rng.NextBounded(30);
+  sim.num_shelves = 1 + rng.NextBounded(3);
+  sim.mean_shelf_stay = 40 + rng.NextBounded(160);
+  sim.entry_dwell = 2 + rng.NextBounded(8);
+  sim.belt_dwell = 1 + rng.NextBounded(4);
+  sim.packaging_dwell = 5 + rng.NextBounded(20);
+  sim.exit_dwell = 1 + rng.NextBounded(4);
+  sim.packaging_timeout = 60 + rng.NextBounded(200);
+  sim.transit_time = 1 + rng.NextBounded(5);
+  sim.theft_interval = rng.NextBool(0.5) ? 30 + rng.NextBounded(120) : 0;
+  sim.patrol_reader = rng.NextBool(0.25);
+  sim.patrol_dwell = 3 + rng.NextBounded(10);
+  return out;
+}
+
+Result<RecordedTrace> GenerateTrace(const FuzzCase& fuzz_case) {
+  auto sim = WarehouseSimulator::Create(fuzz_case.sim);
+  if (!sim.ok()) return sim.status();
+  WarehouseSimulator& s = *sim.value();
+  const std::unordered_set<ObjectId> excluded(
+      fuzz_case.excluded_tags.begin(), fuzz_case.excluded_tags.end());
+  const Epoch limit = fuzz_case.EffectiveEpochs();
+
+  RecordedTrace trace;
+  trace.registry = s.registry();
+  trace.entry_door = s.layout().entry_door;
+  trace.epochs.reserve(static_cast<std::size_t>(limit));
+  while (!s.Done() && static_cast<Epoch>(trace.epochs.size()) < limit) {
+    EpochReadings readings = s.Step();
+    if (!excluded.empty()) {
+      std::erase_if(readings, [&](const RfidReading& r) {
+        return excluded.contains(r.tag);
+      });
+    }
+    trace.total_readings += readings.size();
+    trace.epochs.push_back(std::move(readings));
+  }
+  return trace;
+}
+
+std::vector<ObjectId> TagsInTrace(const RecordedTrace& trace) {
+  std::unordered_set<ObjectId> seen;
+  for (const EpochReadings& readings : trace.epochs) {
+    for (const RfidReading& reading : readings) seen.insert(reading.tag);
+  }
+  std::vector<ObjectId> tags(seen.begin(), seen.end());
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+}  // namespace spire

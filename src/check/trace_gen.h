@@ -1,0 +1,59 @@
+// Deterministic random trace generation for the differential checking
+// harness (src/check, driven by tools/spire_fuzz).
+//
+// A FuzzCase is a fully self-describing test input: a PCG-seeded SimConfig
+// (deployment shape, movement cadence, containment churn, read rates) plus
+// two shrinking knobs — an epoch truncation and a tag exclusion list. The
+// same case always expands to the identical RecordedTrace, so a failing
+// case serialized to a repro file (check/repro.h) replays bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/sim_config.h"
+#include "stream/reader.h"
+#include "stream/reading.h"
+
+namespace spire {
+
+/// One deterministic checking input.
+struct FuzzCase {
+  /// Simulation parameters; `sim.seed` drives all randomness.
+  SimConfig sim;
+  /// Truncate the trace to its first `max_epochs` epochs (0 = full run).
+  /// The epoch-shrinking pass lowers this.
+  Epoch max_epochs = 0;
+  /// Readings of these tags are dropped from the trace. The tag-shrinking
+  /// pass grows this list.
+  std::vector<ObjectId> excluded_tags;
+
+  /// The number of epochs this case actually expands to.
+  Epoch EffectiveEpochs() const;
+};
+
+/// Derives a randomized small-but-varied warehouse scenario from a seed:
+/// short traces, 1-2 pallets in flight, shelf periods from 1 to 30 epochs,
+/// read rates from 0.5 to 1.0, optional theft and a patrolling reader.
+FuzzCase CaseFromSeed(std::uint64_t seed);
+
+/// A fully expanded trace: the reader deployment plus every epoch's raw
+/// readings (post exclusion filtering), ready to feed a pipeline.
+struct RecordedTrace {
+  ReaderRegistry registry;
+  /// The entry-door location (warm-up area invariant checks).
+  LocationId entry_door = kUnknownLocation;
+  /// epochs[e] holds the raw readings of epoch e.
+  std::vector<EpochReadings> epochs;
+  std::size_t total_readings = 0;
+};
+
+/// Expands a case into its trace. Fails only on invalid SimConfigs.
+Result<RecordedTrace> GenerateTrace(const FuzzCase& fuzz_case);
+
+/// All distinct tags appearing in the trace, ascending (shrink candidates).
+std::vector<ObjectId> TagsInTrace(const RecordedTrace& trace);
+
+}  // namespace spire

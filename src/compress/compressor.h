@@ -15,6 +15,7 @@
 // Both levels are lossless with respect to the interpreted state stream.
 #pragma once
 
+#include <set>
 #include <unordered_map>
 
 #include "compress/event.h"
@@ -62,12 +63,36 @@ class Compressor {
   /// cadence; unreported objects simply keep their last state.
   void Report(const ObjectStateEstimate& state, Epoch epoch, EventStream* out);
 
-  /// The object left the physical world through a proper channel: closes
-  /// its open location and containment events and forgets it.
+  /// The object left the physical world through a proper channel: releases
+  /// its contents (their containments close and suppressed stays resume
+  /// explicitly), closes its own open events, and forgets it.
   void Retire(ObjectId object, Epoch epoch, EventStream* out);
+
+  /// The container named by this object's open containment event, or
+  /// kNoObject. Lets the pipeline order reports so containment-terminating
+  /// updates precede the former container's location updates.
+  ObjectId OpenContainerOf(ObjectId object) const {
+    auto it = tracked_.find(object);
+    return it == tracked_.end() ? kNoObject : it->second.open_container;
+  }
 
   /// Closes every open event (end of trace) so the stream is well-formed.
   void Finish(Epoch epoch, EventStream* out);
+
+  /// Removes meaningless End/Start churn from one epoch's output slice
+  /// [first, out->size()): a stay that ends and restarts at the same
+  /// location within one epoch never really ended. Containment-driven
+  /// propagation can close a child's stay that the child's own (later)
+  /// report re-opens in place; the decompressor cancels exactly such pairs
+  /// (Section V-C duplicate suppression), so the emitted stream must not
+  /// keep them either. Also repairs suppress-closes whose derivation chain
+  /// evaporated within the epoch (the chain root's stay closed after the
+  /// child's stay was suppressed against it) by resuming those stays
+  /// explicitly, and hands explicit stays that match their chain root's
+  /// location over to derived tracking (level 2's steady state: a closing
+  /// End whose location the decompressor re-derives in place). Call once
+  /// per epoch after all Report/Retire calls.
+  void CancelEpochChurn(Epoch epoch, EventStream* out, std::size_t first);
 
   /// Number of objects currently tracked.
   std::size_t tracked_objects() const { return tracked_.size(); }
@@ -85,6 +110,11 @@ class Compressor {
     LocationId last_known_location = kUnknownLocation;
     /// True after a Missing message until the object is seen again.
     bool missing_reported = false;
+    /// True while the decompressor holds a *derived* stay for this object
+    /// (reconstructed from its containment chain rather than an explicit
+    /// StartLocation). While set, location_start tracks the derived stay's
+    /// start. Mutually exclusive with an open explicit stay.
+    bool derived_open = false;
   };
 
   /// Level hook: true when location updates of this (contained) object must
@@ -99,9 +129,37 @@ class Compressor {
                      EventStream* out);
   void CloseContainment(ObjectId object, Tracked& tracked, Epoch epoch,
                         EventStream* out);
+  /// Emits a Missing singleton unless one is already pending or the object
+  /// was never located (no location to be missing from).
+  void EmitMissing(ObjectId object, Tracked& tracked, Epoch epoch,
+                   EventStream* out);
+  /// The open location of the top-level container of this object's open
+  /// containment chain — the location decompression derives for suppressed
+  /// children — or kUnknownLocation when the chain's root has no open stay.
+  LocationId DerivedRootLocation(const Tracked& tracked) const;
+  /// The location the decompressor's reconstructed stay for this object
+  /// shows right now: the explicit open stay if one exists, otherwise the
+  /// derived chain-root location of a suppressed object that has been
+  /// located before. kUnknownLocation = no stay.
+  LocationId EffectiveLocation(const Tracked& tracked) const;
+  /// Closes the containments of this object's direct contents and resumes
+  /// their suppressed stays explicitly (used by Retire).
+  void ReleaseChildren(ObjectId object, Epoch epoch, EventStream* out);
+  /// Copies a location transition of `parent` down to its transitive
+  /// contents, mirroring the decompressor's propagation rules so level-1
+  /// output and decompressed level-2 output stay event-equivalent.
+  void PropagateLocation(ObjectId parent, LocationId location, Epoch epoch,
+                         EventStream* out);
 
   CompressorOptions options_;
   std::unordered_map<ObjectId, Tracked> tracked_;
+  /// Objects whose stay was suppress-closed at containment entry during the
+  /// current epoch. The close bet on the chain root's stay surviving the
+  /// epoch; CancelEpochChurn re-checks the bet once all reports are in.
+  std::vector<ObjectId> suppress_closed_;
+  /// Children of each open containment, kept sorted for deterministic
+  /// propagation order.
+  std::unordered_map<ObjectId, std::set<ObjectId>> children_;
 };
 
 /// Level-1 range compression (Section V-B): every state change is emitted;

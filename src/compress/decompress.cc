@@ -36,6 +36,13 @@ EventStream Decompressor::DecompressAll(const EventStream& level2) {
 
 void Decompressor::FlushEpoch(EventStream* out) {
   dirty_.clear();
+  closed_this_epoch_.clear();
+  closed_order_.clear();
+  closed_at_.clear();
+  vanishing_.clear();
+  for (const Event& event : buffered_) {
+    if (event.type == EventType::kMissing) vanishing_.insert(event.object);
+  }
   EventStream staged;
   // Phase 1: containment updates rebuild the hierarchy (Section V-C: "it
   // first processes all containment updates").
@@ -59,34 +66,17 @@ void Decompressor::FlushEpoch(EventStream* out) {
 }
 
 void Decompressor::CancelChurn(EventStream* staged) {
-  std::vector<bool> removed(staged->size(), false);
-  for (std::size_t i = 0; i < staged->size(); ++i) {
-    const Event& end_event = (*staged)[i];
-    if (removed[i] || end_event.type != EventType::kEndLocation) continue;
-    for (std::size_t j = i + 1; j < staged->size(); ++j) {
-      const Event& later = (*staged)[j];
-      if (removed[j] || later.object != end_event.object) continue;
-      if (later.type == EventType::kMissing) break;  // Keep a real departure.
-      if (later.type == EventType::kStartLocation) {
-        if (later.location == end_event.location &&
-            later.start == end_event.end) {
-          removed[i] = true;
-          removed[j] = true;
-          // Splice: the stay never ended; restore its original start.
-          open_[end_event.object] =
-              OpenLocation{end_event.location, end_event.start};
-        }
-        break;  // Only the immediately following stay can cancel the end.
-      }
-      if (later.type == EventType::kEndLocation) break;
+  for (const ChurnSplice& splice : CancelLocationChurn(staged, 0)) {
+    // Splice: the stay never ended; restore its original start but keep the
+    // provenance (derived vs explicit) of the reopened stay.
+    auto open_it = open_.find(splice.object);
+    if (open_it != open_.end() && open_it->second.location == splice.location) {
+      open_it->second.start = splice.start;
+    } else {
+      open_[splice.object] =
+          OpenLocation{splice.location, splice.start, /*derived=*/false};
     }
   }
-  EventStream kept;
-  kept.reserve(staged->size());
-  for (std::size_t i = 0; i < staged->size(); ++i) {
-    if (!removed[i]) kept.push_back((*staged)[i]);
-  }
-  *staged = std::move(kept);
 }
 
 void Decompressor::ApplyContainment(const Event& event, EventStream* out) {
@@ -98,6 +88,15 @@ void Decompressor::ApplyContainment(const Event& event, EventStream* out) {
     parent_.erase(event.object);
     auto it = children_.find(event.container);
     if (it != children_.end()) it->second.erase(event.object);
+    // A *derived* stay was carried by this containment; once it ends, so
+    // does the stay. If the object actually remains in place, the compressor
+    // resumes it with an explicit StartLocation at this same epoch and
+    // CancelChurn splices the interval back together. An explicit stay is
+    // untouched — the compressor keeps emitting its changes directly.
+    auto open_it = open_.find(event.object);
+    if (open_it != open_.end() && open_it->second.derived) {
+      EmitEndIfOpen(event.object, event.end, out);
+    }
   }
   dirty_.push_back(event.object);
 }
@@ -107,10 +106,15 @@ void Decompressor::ApplyLocation(const Event& event, EventStream* out) {
     case EventType::kStartLocation: {
       auto it = open_.find(event.object);
       if (it != open_.end() && it->second.location == event.location) {
-        return;  // Duplicate: already known to be at this location.
+        // Duplicate: already known to be at this location. The explicit
+        // message still reasserts that the compressor tracks this stay
+        // explicitly (e.g. after a propagated move reached it first).
+        it->second.derived = false;
+        return;
       }
       EmitEndIfOpen(event.object, event.start, out);
-      EmitStart(event.object, event.location, event.start, out);
+      EmitStart(event.object, event.location, event.start, /*derived=*/false,
+                out);
       PropagateStart(event.object, event.location, event.start, out);
       return;
     }
@@ -120,23 +124,46 @@ void Decompressor::ApplyLocation(const Event& event, EventStream* out) {
         return;  // Duplicate close.
       }
       EmitEndIfOpen(event.object, event.end, out);
-      PropagateEnd(event.object, event.location, event.end, out);
+      // A close that is part of a vanish (a Missing for this object follows
+      // in the same epoch) does not propagate — missing never does.
+      if (!vanishing_.contains(event.object)) {
+        PropagateEnd(event.object, event.location, event.end, out);
+      }
       return;
     }
-    case EventType::kMissing:
+    case EventType::kMissing: {
+      // A Missing whose location differs from where the stay closed this
+      // epoch reveals a silent hop: the containment ended in phase 1, then
+      // the former container moved and carried the object one last step
+      // (level 1 shows the zero-length visit). Replay that step so the
+      // vanish closes from the right place.
+      if (!open_.contains(event.object) && located_.contains(event.object)) {
+        auto closed_it = closed_at_.find(event.object);
+        if (closed_it != closed_at_.end() &&
+            closed_it->second != event.location) {
+          EmitStart(event.object, event.location, event.start,
+                    /*derived=*/true, out);
+        }
+      }
       // Keep the output well-formed: a reconstructed open location event
       // (propagated from a container) must not enclose a Missing singleton.
       EmitEndIfOpen(event.object, event.start, out);
+      // A missing object no longer follows its container; propagation skips
+      // it until an explicit StartLocation marks the resighting.
+      missing_.insert(event.object);
       out->push_back(event);
       return;
+    }
     default:
       return;
   }
 }
 
 void Decompressor::EmitStart(ObjectId object, LocationId location, Epoch epoch,
-                             EventStream* out) {
-  open_[object] = OpenLocation{location, epoch};
+                             bool derived, EventStream* out) {
+  open_[object] = OpenLocation{location, epoch, derived};
+  missing_.erase(object);
+  located_.insert(object);
   out->push_back(Event::StartLocation(object, location, epoch));
 }
 
@@ -146,7 +173,10 @@ void Decompressor::EmitEndIfOpen(ObjectId object, Epoch epoch,
   if (it == open_.end()) return;
   out->push_back(Event::EndLocation(object, it->second.location,
                                     it->second.start, epoch));
+  closed_at_[object] = it->second.location;
   open_.erase(it);
+  closed_this_epoch_.insert(object);
+  closed_order_.push_back(object);
 }
 
 void Decompressor::PropagateStart(ObjectId parent, LocationId location,
@@ -154,10 +184,26 @@ void Decompressor::PropagateStart(ObjectId parent, LocationId location,
   auto it = children_.find(parent);
   if (it == children_.end()) return;
   for (ObjectId child : it->second) {
+    // A missing child (and everything inside it) stays missing until an
+    // explicit resighting; it does not follow its container's moves.
+    if (missing_.contains(child)) continue;
     auto open_it = open_.find(child);
+    // An explicit stay answers only to its own messages: the compressor
+    // emits every transition of an explicitly tracked child itself, so
+    // propagation must not second-guess it.
+    if (open_it != open_.end() && !open_it->second.derived) {
+      PropagateStart(child, location, epoch, out);
+      continue;
+    }
+    // A never-located child gains no stay from its container's move; its
+    // first sighting always arrives as an explicit StartLocation.
+    if (open_it == open_.end() && !located_.contains(child)) {
+      PropagateStart(child, location, epoch, out);
+      continue;
+    }
     if (open_it == open_.end() || open_it->second.location != location) {
       EmitEndIfOpen(child, epoch, out);
-      EmitStart(child, location, epoch, out);
+      EmitStart(child, location, epoch, /*derived=*/true, out);
     }
     PropagateStart(child, location, epoch, out);
   }
@@ -168,8 +214,12 @@ void Decompressor::PropagateEnd(ObjectId parent, LocationId location,
   auto it = children_.find(parent);
   if (it == children_.end()) return;
   for (ObjectId child : it->second) {
+    if (missing_.contains(child)) continue;
     auto open_it = open_.find(child);
-    if (open_it != open_.end() && open_it->second.location == location) {
+    // Only derived stays follow the container out; an explicitly tracked
+    // child's departure (or survival) arrives as its own message.
+    if (open_it != open_.end() && open_it->second.derived &&
+        open_it->second.location == location) {
       EmitEndIfOpen(child, epoch, out);
     }
     PropagateEnd(child, location, epoch, out);
@@ -177,9 +227,17 @@ void Decompressor::PropagateEnd(ObjectId parent, LocationId location,
 }
 
 void Decompressor::Reconcile(Epoch epoch, EventStream* out) {
-  for (ObjectId object : dirty_) {
+  auto reconcile_one = [&](ObjectId object) {
     auto parent_it = parent_.find(object);
-    if (parent_it == parent_.end()) continue;
+    if (parent_it == parent_.end()) return;
+    if (missing_.contains(object)) return;
+    // Only objects with a live stay — open now, or closed this epoch — may
+    // inherit the container's location. An object that was never located
+    // gains no stay from a containment edge alone; level 1 shows none
+    // either (first sightings are always explicit).
+    if (!open_.contains(object) && !closed_this_epoch_.contains(object)) {
+      return;
+    }
     // Walk to the top-level container.
     ObjectId root = parent_it->second;
     for (auto it = parent_.find(root); it != parent_.end();
@@ -187,15 +245,29 @@ void Decompressor::Reconcile(Epoch epoch, EventStream* out) {
       root = it->second;
     }
     auto root_open = open_.find(root);
-    if (root_open == open_.end()) continue;  // Container location unknown.
+    if (root_open == open_.end()) return;  // Container location unknown.
     LocationId location = root_open->second.location;
     auto open_it = open_.find(object);
+    // An explicit stay is authoritative: the compressor only suppresses a
+    // location that matches the chain root's, so a surviving explicit stay
+    // means the object's reported location disagrees with the derived one.
+    if (open_it != open_.end() && !open_it->second.derived) return;
     if (open_it == open_.end() || open_it->second.location != location) {
       EmitEndIfOpen(object, epoch, out);
-      EmitStart(object, location, epoch, out);
+      EmitStart(object, location, epoch, /*derived=*/true, out);
       PropagateStart(object, location, epoch, out);
     }
-  }
+  };
+  // Objects whose containment changed inherit the (possibly new) chain
+  // root's location.
+  for (ObjectId object : dirty_) reconcile_one(object);
+  // So does a contained object whose stay closed this epoch without the
+  // containment changing: the compressor's end-of-epoch handover closes an
+  // explicit stay exactly when the chain root shows the same location, so
+  // the stay re-derives in place and duplicate suppression splices the
+  // interval back together. Genuine departures don't re-derive — they come
+  // with a Missing mark, a replacement Start, or a closed root stay.
+  for (ObjectId object : closed_order_) reconcile_one(object);
 }
 
 }  // namespace spire

@@ -14,6 +14,7 @@
 
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "compress/event.h"
@@ -46,7 +47,7 @@ class Decompressor {
   void ApplyContainment(const Event& event, EventStream* out);
   void ApplyLocation(const Event& event, EventStream* out);
   void EmitStart(ObjectId object, LocationId location, Epoch epoch,
-                 EventStream* out);
+                 bool derived, EventStream* out);
   void EmitEndIfOpen(ObjectId object, Epoch epoch, EventStream* out);
   void PropagateStart(ObjectId parent, LocationId location, Epoch epoch,
                       EventStream* out);
@@ -57,6 +58,11 @@ class Decompressor {
   struct OpenLocation {
     LocationId location = kUnknownLocation;
     Epoch start = kNeverEpoch;
+    /// True when this stay was reconstructed from a container's events
+    /// (propagation / reconciliation) rather than an explicit StartLocation.
+    /// Only derived stays end with their carrying containment; an explicit
+    /// stay outlives it, exactly as in the compressor's bookkeeping.
+    bool derived = false;
   };
 
   std::vector<Event> buffered_;
@@ -67,6 +73,32 @@ class Decompressor {
   /// Objects whose containment changed in the epoch being flushed; only
   /// these need reconciliation.
   std::vector<ObjectId> dirty_;
+  /// Objects flagged Missing and not resighted yet; containment propagation
+  /// skips them (and their subtrees).
+  std::unordered_set<ObjectId> missing_;
+  /// Objects with a Missing event in the epoch being flushed. Their closing
+  /// End does not propagate: a vanished container does not take its
+  /// contents' stays with it (the compressor skips propagation the same
+  /// way); the children's fate arrives with their own messages.
+  std::unordered_set<ObjectId> vanishing_;
+  /// Objects whose stay was closed during the current flush; Reconcile may
+  /// rebuild exactly these (plus currently open derived stays). An object
+  /// with no stay at all was never located — a containment edge alone does
+  /// not place it anywhere (first sightings are always explicit). The
+  /// companion vector keeps the closes in emission order so reconciliation
+  /// output is deterministic.
+  std::unordered_set<ObjectId> closed_this_epoch_;
+  std::vector<ObjectId> closed_order_;
+  /// Where each stay closed during the current flush. A Missing whose
+  /// location differs from the last close reveals a silent hop: the stay
+  /// was carried along by a container's move after its containment ended
+  /// earlier in this same epoch (level 1 shows the zero-length visit).
+  std::unordered_map<ObjectId, LocationId> closed_at_;
+  /// Every object that ever had a stay. A container's moves propagate to a
+  /// stay-less child only if the child has been located before (mirrors the
+  /// compressor's last-known-location bookkeeping); a never-located child
+  /// gains no stay from its container.
+  std::unordered_set<ObjectId> located_;
 };
 
 }  // namespace spire

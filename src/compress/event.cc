@@ -75,6 +75,120 @@ Event Event::Missing(ObjectId object, LocationId missing_from, Epoch at) {
   return e;
 }
 
+namespace {
+
+/// True for the three message kinds that describe an object's location.
+bool IsLocationEvent(EventType type) { return !IsContainmentEvent(type); }
+
+}  // namespace
+
+std::vector<ChurnSplice> CancelLocationChurn(EventStream* events,
+                                             std::size_t first) {
+  const std::size_t n = events->size();
+  std::vector<bool> removed(n - first, false);
+
+  // Pass 1: zero-length stays superseded by another stay at the same epoch.
+  for (std::size_t i = first; i < n; ++i) {
+    const Event& start_event = (*events)[i];
+    if (removed[i - first] || start_event.type != EventType::kStartLocation) {
+      continue;
+    }
+    // The stay's close must be its very next location message...
+    std::size_t close = n;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Event& later = (*events)[j];
+      if (removed[j - first] || later.object != start_event.object ||
+          !IsLocationEvent(later.type)) {
+        continue;
+      }
+      if (later.type == EventType::kEndLocation &&
+          later.location == start_event.location &&
+          later.start == start_event.start &&
+          later.end == start_event.start) {
+        close = j;
+      }
+      break;
+    }
+    if (close == n) continue;
+    // ...and a replacement stay must open at the same epoch afterwards.
+    // Without one the zero-length stay is a genuine visit (e.g. an exit
+    // sighting) and stays; a Missing in between is a real departure.
+    for (std::size_t k = close + 1; k < n; ++k) {
+      const Event& later = (*events)[k];
+      if (removed[k - first] || later.object != start_event.object ||
+          !IsLocationEvent(later.type)) {
+        continue;
+      }
+      if (later.type == EventType::kStartLocation &&
+          later.start == start_event.start) {
+        removed[i - first] = true;
+        removed[close - first] = true;
+      }
+      break;
+    }
+  }
+
+  // Pass 2: End immediately re-opened in place — the stay never ended.
+  std::vector<ChurnSplice> splices;
+  for (std::size_t i = first; i < n; ++i) {
+    const Event& end_event = (*events)[i];
+    if (removed[i - first] || end_event.type != EventType::kEndLocation) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Event& later = (*events)[j];
+      if (removed[j - first] || later.object != end_event.object ||
+          !IsLocationEvent(later.type)) {
+        continue;
+      }
+      if (later.type == EventType::kMissing) break;  // Keep a real departure.
+      if (later.type == EventType::kStartLocation) {
+        if (later.location == end_event.location &&
+            later.start == end_event.end) {
+          removed[i - first] = true;
+          removed[j - first] = true;
+          // The reopened stay may itself have ended later in this same
+          // epoch; then the splice runs *through* the pair: the surviving
+          // End inherits the original start instead of the stay being left
+          // open.
+          bool closed_later = false;
+          for (std::size_t k = j + 1; k < n; ++k) {
+            Event& after = (*events)[k];
+            if (removed[k - first] || after.object != end_event.object ||
+                !IsLocationEvent(after.type)) {
+              continue;
+            }
+            if (after.type == EventType::kEndLocation &&
+                after.location == end_event.location &&
+                after.start == later.start) {
+              after.start = end_event.start;
+              closed_later = true;
+            }
+            break;
+          }
+          if (!closed_later) {
+            splices.push_back(ChurnSplice{end_event.object,
+                                          end_event.location,
+                                          end_event.start});
+          }
+        }
+        break;  // Only the immediately following stay can cancel the end.
+      }
+      if (later.type == EventType::kEndLocation) break;
+    }
+  }
+
+  std::size_t write = first;
+  for (std::size_t i = first; i < n; ++i) {
+    if (!removed[i - first]) {
+      if (write != i) (*events)[write] = (*events)[i];
+      ++write;
+    }
+  }
+  events->resize(write);
+  return splices;
+}
+
 std::string Event::ToString() const {
   std::ostringstream out;
   out << spire::ToString(type) << "(" << EpcToString(object);

@@ -68,6 +68,32 @@ struct Event {
 /// An ordered sequence of events (by emission time).
 using EventStream = std::vector<Event>;
 
+/// A stay that survived churn cancellation but had its recorded start moved
+/// back to `start` (the End/Start pair between was spliced out); the caller
+/// must update its own open-stay bookkeeping to match.
+struct ChurnSplice {
+  ObjectId object = kNoObject;
+  LocationId location = kUnknownLocation;
+  Epoch start = kNeverEpoch;
+};
+
+/// Removes meaningless same-epoch location churn from the slice
+/// [first, events->size()), which must hold one epoch's events:
+///  1. a zero-length stay superseded by another StartLocation of the same
+///     object at the same epoch — an object has one location per epoch, so
+///     such a stay is a bookkeeping transient, not a visit;
+///  2. an EndLocation whose next location message for that object is a
+///     StartLocation continuing the stay seamlessly at the same location —
+///     the stay never ended. If the reopened stay closed again within the
+///     slice the surviving End inherits the original start; otherwise the
+///     still-open stay is returned as a splice.
+/// A Missing message blocks cancellation — a real departure is kept.
+/// Shared by the compressor (per emitted epoch) and the decompressor (per
+/// reconstructed epoch) so both sides agree on the churn-free form
+/// (Section V-C duplicate suppression).
+std::vector<ChurnSplice> CancelLocationChurn(EventStream* events,
+                                             std::size_t first);
+
 /// Total wire bytes of a stream.
 inline std::size_t WireBytes(const EventStream& stream) {
   return stream.size() * kEventWireBytes;

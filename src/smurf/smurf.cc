@@ -43,8 +43,11 @@ std::vector<ObjectStateEstimate> SmurfCleaner::ProcessEpoch(
     Adapt(tag, now);
     ObjectStateEstimate estimate;
     estimate.object = id;
+    // The smoothing window is inclusive at its left edge: a tag whose last
+    // read is exactly window * period opportunities old is still inside
+    // [now - w * period, now] and counts as present.
     const bool present =
-        now - tag.last_seen <
+        now - tag.last_seen <=
         static_cast<Epoch>(tag.window) * tag.period;
     estimate.location = present ? tag.location : kUnknownLocation;
     estimate.container = kNoObject;  // SMURF has no containment notion.
@@ -70,8 +73,10 @@ void SmurfCleaner::Adapt(TagState& tag, Epoch now) {
   const Epoch period = tag.period;
   if (tag.last_adapt != kNeverEpoch && now - tag.last_adapt < period) return;
   tag.last_adapt = now;
+  // Inclusive horizon: an observation exactly max_window opportunities old
+  // is still usable history.
   const Epoch horizon = now - static_cast<Epoch>(options_.max_window) * period;
-  while (!tag.observations.empty() && tag.observations.front() <= horizon) {
+  while (!tag.observations.empty() && tag.observations.front() < horizon) {
     tag.observations.pop_front();
   }
 
@@ -91,11 +96,11 @@ void SmurfCleaner::Adapt(TagState& tag, Epoch now) {
     w_star = std::clamp(w_star, options_.min_window, options_.max_window);
   }
 
-  // Observations inside the current window.
+  // Observations inside the current (left-inclusive) window.
   const Epoch window_start = now - static_cast<Epoch>(tag.window) * period;
   auto first_in_window = std::lower_bound(tag.observations.begin(),
                                           tag.observations.end(),
-                                          window_start + 1);
+                                          window_start);
   const auto s_w = static_cast<double>(
       std::distance(first_in_window, tag.observations.end()));
 

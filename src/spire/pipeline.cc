@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/epc.h"
 #include "store/archive_writer.h"
 
 namespace spire {
@@ -106,21 +107,33 @@ void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
     // output under level-2 compression — otherwise the final stay of a
     // contained object would be unrecoverable once its container retires.
     auto it = last_result_.estimates.find(id);
-    if (it != last_result_.estimates.end() && !it->second.withheld) {
+    if (it != last_result_.estimates.end() && !it->second.withheld &&
+        !IsWarmupLocation(it->second.location)) {
       ObjectStateEstimate state;
       state.object = id;
       state.location = it->second.location;
       state.container = kNoObject;
+      // An exit sighting is a definite read, never a disappearance; leaving
+      // the flag implicit would let a stale estimate smuggle a Missing
+      // singleton into the stream right before the Retire closes it.
+      state.missing = false;
       compressor_->Report(state, epoch, out);
-      last_result_.estimates.erase(it);
     }
+    if (it != last_result_.estimates.end()) last_result_.estimates.erase(it);
     compressor_->Retire(id, epoch, out);
     graph_.RemoveNode(id);
     retired_[id] = epoch;
   }
 
   // Output: report every non-withheld estimate; the compressor discards
-  // everything that does not change the reported state.
+  // everything that does not change the reported state. Report order matters
+  // for stream equivalence across compression levels:
+  //  * an object whose open containment terminates this epoch goes first, so
+  //    its own location resumes before the former container's updates would
+  //    (wrongly) propagate to it;
+  //  * then higher packaging layers before their contents, so a container's
+  //    location is on the stream before a child's containment opens — that
+  //    is what lets level 2 suppress the child's location from the start.
   std::vector<ObjectId> ids;
   ids.reserve(last_result_.estimates.size());
   for (const auto& [id, estimate] : last_result_.estimates) {
@@ -129,13 +142,30 @@ void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
     if (IsWarmupLocation(estimate.location)) continue;
     ids.push_back(id);
   }
-  std::sort(ids.begin(), ids.end());
+  auto ends_containment = [&](ObjectId id) {
+    const ObjectId open = compressor_->OpenContainerOf(id);
+    return open != kNoObject &&
+           last_result_.estimates.at(id).container != open;
+  };
+  std::sort(ids.begin(), ids.end(), [&](ObjectId a, ObjectId b) {
+    const bool ea = ends_containment(a), eb = ends_containment(b);
+    if (ea != eb) return ea;
+    const int la = EpcLayer(a), lb = EpcLayer(b);
+    if (la != lb) return la > lb;
+    return a < b;
+  });
   for (ObjectId id : ids) {
     const ObjectEstimate& estimate = last_result_.estimates.at(id);
     ObjectStateEstimate state;
     state.object = id;
     state.location = estimate.location;
-    state.container = estimate.container;
+    // Inference ran before the exit handling above, so an estimate may still
+    // name a container that retired this epoch (or within its grace window).
+    // A departed object cannot contain anything; dropping the stale edge
+    // also keeps the compressor from re-opening a containment under a
+    // container whose own events just closed.
+    state.container =
+        IsRetired(estimate.container, epoch) ? kNoObject : estimate.container;
     compressor_->Report(state, epoch, out);
   }
 
@@ -145,6 +175,10 @@ void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
       return epoch - entry.second > options_.exit_grace_epochs;
     });
   }
+
+  // Per-epoch duplicate suppression: propagation may have closed a stay
+  // that a later report of the same epoch re-opened in place.
+  compressor_->CancelEpochChurn(epoch, out, first_output);
 
   MirrorToArchive(*out, first_output);
 }

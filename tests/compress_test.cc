@@ -206,60 +206,81 @@ TEST(ContainmentCompressorTest, SuppressesContainedChildLocations) {
   EventStream out;
   compressor.Report(At(kCase, 4, kPallet), 10, &out);
   compressor.Report(At(kPallet, 4), 10, &out);
-  // Moving the group: only the pallet's location events appear.
-  compressor.Report(At(kCase, 5, kPallet), 20, &out);
+  // The first sighting is explicit; the end-of-epoch handover closes it
+  // (zero-length tail) and the stay carries on derived from the pallet's.
+  compressor.CancelEpochChurn(10, &out, 0);
+  std::size_t after_first = out.size();
+  // Moving the group (container reported first, as the pipeline orders it):
+  // the case's move is implied by the pallet's — no case events at all.
   compressor.Report(At(kPallet, 5), 20, &out);
+  compressor.Report(At(kCase, 5, kPallet), 20, &out);
+  compressor.CancelEpochChurn(20, &out, after_first);
+  for (std::size_t i = after_first; i < out.size(); ++i) {
+    EXPECT_NE(out[i].object, kCase) << out[i].ToString();
+  }
   int case_location_events = 0;
   for (const Event& e : out) {
     if (!IsContainmentEvent(e.type) && e.object == kCase) {
       ++case_location_events;
     }
   }
-  EXPECT_EQ(case_location_events, 0);
+  EXPECT_EQ(case_location_events, 2);  // The explicit Start + handover End.
 }
 
 TEST(ContainmentCompressorTest, PaperFigure8Sequence) {
   // Reproduces Fig. 8: P with C1, C2 at L1; group moves to L2; C2 splits at
-  // L3-time; C2 then moves alone to L4.
+  // T3; C2 then moves alone to L4. Reports arrive in pipeline order
+  // (containment enders first, then containers before contents) and the
+  // end-of-epoch churn pass runs after each epoch, exactly as the pipeline
+  // drives the compressor.
   ObjectId p = kPallet, c1 = kCase, c2 = Obj(PackagingLevel::kCase, 9);
   ContainmentCompressor compressor;
   EventStream out;
-  // T1.
+  // T1: first sightings are always explicit; the end-of-epoch handover
+  // closes both cases' stays (zero-length tails) and hands them to derived
+  // tracking, restoring the paper's steady state.
+  compressor.Report(At(p, 1), 1, &out);
   compressor.Report(At(c1, 1, p), 1, &out);
   compressor.Report(At(c2, 1, p), 1, &out);
-  compressor.Report(At(p, 1), 1, &out);
-  EXPECT_EQ(out.size(), 3u);  // Two StartContainment + StartLocation(P).
-  // T2: group moves to L2.
-  out.clear();
+  compressor.CancelEpochChurn(1, &out, 0);
+  EXPECT_EQ(out.size(), 7u);
+  std::size_t t1 = out.size();
+  // T2: group moves to L2 — End + Start for P only.
+  compressor.Report(At(p, 2), 2, &out);
   compressor.Report(At(c1, 2, p), 2, &out);
   compressor.Report(At(c2, 2, p), 2, &out);
-  compressor.Report(At(p, 2), 2, &out);
-  ASSERT_EQ(out.size(), 2u);  // End + Start for P only.
-  EXPECT_EQ(out[0].object, p);
-  EXPECT_EQ(out[1].object, p);
+  compressor.CancelEpochChurn(2, &out, t1);
+  ASSERT_EQ(out.size(), t1 + 2);
+  EXPECT_EQ(out[t1].object, p);
+  EXPECT_EQ(out[t1 + 1].object, p);
   // T3: C2 stays at L2, P and C1 move to L3.
-  out.clear();
+  std::size_t t2 = out.size();
   compressor.Report(At(c2, 2), 3, &out);  // No longer contained.
-  compressor.Report(At(c1, 3, p), 3, &out);
   compressor.Report(At(p, 3), 3, &out);
-  ASSERT_EQ(out.size(), 4u);
-  EXPECT_EQ(out[0], Event::EndContainment(c2, p, 1, 3));
-  EXPECT_EQ(out[1], Event::StartLocation(c2, 2, 3));
-  EXPECT_EQ(out[2], Event::EndLocation(p, 2, 2, 3));
-  EXPECT_EQ(out[3], Event::StartLocation(p, 3, 3));
+  compressor.Report(At(c1, 3, p), 3, &out);
+  compressor.CancelEpochChurn(3, &out, t2);
+  ASSERT_EQ(out.size(), t2 + 4);
+  EXPECT_EQ(out[t2 + 0], Event::EndContainment(c2, p, 1, 3));
+  EXPECT_EQ(out[t2 + 1], Event::StartLocation(c2, 2, 3));
+  EXPECT_EQ(out[t2 + 2], Event::EndLocation(p, 2, 2, 3));
+  EXPECT_EQ(out[t2 + 3], Event::StartLocation(p, 3, 3));
   // T4: C2 moves alone to L4.
-  out.clear();
+  std::size_t t3 = out.size();
   compressor.Report(At(c2, 4), 4, &out);
-  ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0], Event::EndLocation(c2, 2, 3, 4));
-  EXPECT_EQ(out[1], Event::StartLocation(c2, 4, 4));
+  compressor.CancelEpochChurn(4, &out, t3);
+  ASSERT_EQ(out.size(), t3 + 2);
+  EXPECT_EQ(out[t3 + 0], Event::EndLocation(c2, 2, 3, 4));
+  EXPECT_EQ(out[t3 + 1], Event::StartLocation(c2, 4, 4));
 }
 
 TEST(ContainmentCompressorTest, ContainmentStartClosesChildLocation) {
   ContainmentCompressor compressor;
   EventStream out;
+  compressor.Report(At(kPallet, 4), 10, &out);  // Container located first.
   compressor.Report(At(kCase, 4), 10, &out);  // Uncontained: location opens.
   out.clear();
+  // Entering a container whose chain root shows the same location closes the
+  // explicit stay — the decompressor re-derives it from the pallet's.
   compressor.Report(At(kCase, 4, kPallet), 20, &out);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0], Event::StartContainment(kCase, kPallet, 20));
@@ -271,14 +292,38 @@ TEST(ContainmentCompressorTest, MissingInsideContainment) {
   ContainmentCompressor compressor;
   EventStream out;
   compressor.Report(At(kCase, 4, kPallet), 10, &out);
-  std::size_t before = out.size();
+  ASSERT_EQ(out.size(), 2u);  // StartContainment + explicit first sighting.
   ObjectStateEstimate away = Away(kCase);
   away.container = kPallet;
   compressor.Report(away, 30, &out);
-  ASSERT_EQ(out.size(), before + 1);
-  EXPECT_EQ(out.back().type, EventType::kMissing);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[2], Event::EndLocation(kCase, 4, 10, 30));
+  EXPECT_EQ(out[3], Event::Missing(kCase, 4, 30));
+  // The containment survives the disappearance.
+  for (const Event& e : out) EXPECT_NE(e.type, EventType::kEndContainment);
   compressor.Finish(50, &out);
   EXPECT_TRUE(ValidateWellFormed(out).ok());
+}
+
+TEST(ContainmentCompressorTest, NeverLocatedObjectEmitsNoMissing) {
+  // Regression: an object only ever known through a containment edge has no
+  // location to be missing *from*; emitting Missing(unknown) produced an
+  // event the decompressor could not anchor. The singleton is withheld
+  // until a first sighting provides a location.
+  ContainmentCompressor compressor;
+  EventStream out;
+  ObjectStateEstimate contained_only = At(kCase, kUnknownLocation, kPallet);
+  compressor.Report(contained_only, 10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Event::StartContainment(kCase, kPallet, 10));
+  ObjectStateEstimate away = Away(kCase);
+  away.container = kPallet;
+  compressor.Report(away, 20, &out);
+  for (const Event& e : out) EXPECT_NE(e.type, EventType::kMissing);
+  // Once located and then lost, the Missing singleton appears as usual.
+  compressor.Report(At(kCase, 4, kPallet), 30, &out);
+  compressor.Report(Away(kCase), 40, &out);
+  EXPECT_EQ(out.back(), Event::Missing(kCase, 4, 40));
 }
 
 // ----------------------------------------------------------- Well-formed ---
@@ -364,10 +409,14 @@ TEST(DecompressorTest, PassesThroughLevel1Stream) {
 }
 
 TEST(DecompressorTest, ReconstructsChildLocationFromContainment) {
-  // Level-2: the case's location is implied by the pallet's.
+  // Level-2: the case's first sighting is explicit, the end-of-epoch
+  // handover closes it (zero-length tail), and from then on its location is
+  // implied by the pallet's.
   EventStream level2{
       Event::StartContainment(kCase, kPallet, 1),
+      Event::StartLocation(kCase, 1, 1),
       Event::StartLocation(kPallet, 1, 1),
+      Event::EndLocation(kCase, 1, 1, 1),
       Event::EndLocation(kPallet, 1, 1, 5),
       Event::StartLocation(kPallet, 2, 5),
   };
@@ -386,11 +435,17 @@ TEST(DecompressorTest, ReconstructsChildLocationFromContainment) {
 }
 
 TEST(DecompressorTest, RecursiveDescent) {
-  // pallet -> case -> item: a pallet move propagates two levels down.
+  // pallet -> case -> item: a pallet move propagates two levels down. The
+  // contained objects' first sightings are explicit and handed over to
+  // derived tracking at the end of their first epoch.
   EventStream level2{
       Event::StartContainment(kCase, kPallet, 1),
       Event::StartContainment(kItem, kCase, 1),
       Event::StartLocation(kPallet, 1, 1),
+      Event::StartLocation(kCase, 1, 1),
+      Event::StartLocation(kItem, 1, 1),
+      Event::EndLocation(kCase, 1, 1, 1),
+      Event::EndLocation(kItem, 1, 1, 1),
       Event::EndLocation(kPallet, 1, 1, 9),
       Event::StartLocation(kPallet, 3, 9),
   };
@@ -452,9 +507,13 @@ TEST(DecompressorTest, LateContainmentInheritsCurrentLocation) {
 }
 
 TEST(DecompressorTest, MissingClosesReconstructedStay) {
+  // The case's stay is derived from the pallet's after the handover; the
+  // Missing singleton must still close it so the output stays well-formed.
   EventStream level2{
       Event::StartContainment(kCase, kPallet, 1),
+      Event::StartLocation(kCase, 2, 2),
       Event::StartLocation(kPallet, 2, 2),
+      Event::EndLocation(kCase, 2, 2, 2),
       Event::Missing(kCase, 2, 7),
   };
   EventStream out = Decompressor::DecompressAll(level2);

@@ -2,6 +2,7 @@
 // event stream, checked against the ground truth.
 #include <gtest/gtest.h>
 
+#include "common/epc.h"
 #include "compress/decompress.h"
 #include "compress/well_formed.h"
 #include "eval/accuracy.h"
@@ -150,6 +151,49 @@ TEST(PipelineTest, NoOutputForWarmupArea) {
     if (!IsContainmentEvent(event.type) &&
         event.type != EventType::kMissing) {
       EXPECT_NE(event.location, run.entry_door);
+    }
+  }
+}
+
+TEST(PipelineTest, ExitReportHonorsWarmupSuppression) {
+  // Regression: the exit path reported the exiting object's estimate to the
+  // compressor without the warm-up filter. With an exit reader co-located
+  // with an entry door (a shared dock door), the final sighting leaked
+  // dock-area location events into the output despite
+  // suppress_warmup_output keeping every other report quiet there.
+  ReaderRegistry registry;
+  LocationId dock = registry.AddLocation("dock");
+  ReaderInfo r0;
+  r0.id = 0;
+  r0.location = dock;
+  r0.type = ReaderType::kEntryDoor;
+  ASSERT_TRUE(registry.AddReader(r0).ok());
+  ReaderInfo r1;
+  r1.id = 1;
+  r1.location = dock;
+  r1.type = ReaderType::kExitDoor;
+  ASSERT_TRUE(registry.AddReader(r1).ok());
+  EpcFields fields;
+  fields.level = PackagingLevel::kItem;
+  fields.serial = 7;
+  const ObjectId tag = EncodeEpcUnchecked(fields);
+  auto read = [&](ReaderId reader, Epoch epoch) {
+    RfidReading r;
+    r.tag = tag;
+    r.reader = reader;
+    r.epoch = epoch;
+    return r;
+  };
+  SpirePipeline pipeline(&registry, PipelineOptions{});
+  EventStream out;
+  for (Epoch e = 1; e <= 3; ++e) {
+    pipeline.ProcessEpoch(e, {read(0, e)}, &out);
+  }
+  pipeline.ProcessEpoch(4, {read(1, 4)}, &out);  // Exit read at the dock.
+  pipeline.Finish(5, &out);
+  for (const Event& event : out) {
+    if (!IsContainmentEvent(event.type)) {
+      EXPECT_NE(event.location, dock) << event.ToString();
     }
   }
 }

@@ -164,6 +164,32 @@ TEST_F(SmurfTest, PipelineProducesWellFormedLocationStream) {
   EXPECT_TRUE(at_b);
 }
 
+TEST_F(SmurfTest, WindowBoundaryIsInclusive) {
+  // Regression: the presence test used `<` while the window is inclusive at
+  // its left edge, so a tag exactly window * period epochs after its last
+  // read was dropped one epoch early.
+  SmurfOptions options;
+  options.min_window = 4;
+  options.max_window = 4;
+  SmurfCleaner cleaner(&registry_, options);
+  ObjectId tag = Tag(1);
+  Epoch now = 0;
+  for (; now < 20; ++now) {
+    cleaner.ProcessEpoch(now, {MakeReading(tag, 0, now)});
+  }
+  const Epoch last_seen = now - 1;
+  // Silence. At exactly last_seen + window * period the tag is still inside
+  // [now - w, now] and must be reported present...
+  std::vector<ObjectStateEstimate> estimates;
+  for (; now <= last_seen + 4; ++now) {
+    estimates = cleaner.ProcessEpoch(now, {});
+  }
+  EXPECT_EQ(LocationIn(estimates, tag), registry_.LocationOf(0));
+  // ...and one epoch later it is not.
+  estimates = cleaner.ProcessEpoch(now, {});
+  EXPECT_EQ(LocationIn(estimates, tag), kUnknownLocation);
+}
+
 TEST_F(SmurfTest, WindowCappedAtMax) {
   SmurfOptions options;
   options.max_window = 16;

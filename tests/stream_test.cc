@@ -190,6 +190,30 @@ TEST(DedupTest, PreservesArrivalOrderOfSurvivors) {
   EXPECT_EQ(readings[2].reader, 1);
 }
 
+TEST(DedupTest, EqualTickTiesKeepLaterArrivalPerTag) {
+  // The graph updater depends on both halves of the tie rule at once: with
+  // every tick equal, each tag keeps its last-arriving reading (the reader
+  // that interrogated it most recently), and the winners come out in their
+  // original relative arrival order.
+  EpochReadings readings{
+      MakeReading(1, 0, 5, 2),
+      MakeReading(2, 0, 5, 2),
+      MakeReading(1, 1, 5, 2),  // Tag 1's later arrival: reader 1 wins.
+      MakeReading(3, 1, 5, 2),
+      MakeReading(2, 2, 5, 2),  // Tag 2's later arrival: reader 2 wins.
+      MakeReading(1, 2, 5, 2),  // Tag 1's latest arrival: reader 2 wins.
+  };
+  DedupStats stats = Deduplicate(&readings);
+  EXPECT_EQ(stats.duplicates_dropped, 3u);
+  ASSERT_EQ(readings.size(), 3u);
+  // Winner order follows the surviving readings' arrival positions.
+  EXPECT_EQ(readings[0].tag, Tag(3));
+  EXPECT_EQ(readings[1].tag, Tag(2));
+  EXPECT_EQ(readings[1].reader, 2);
+  EXPECT_EQ(readings[2].tag, Tag(1));
+  EXPECT_EQ(readings[2].reader, 2);
+}
+
 TEST(DedupTest, ManyDuplicatesOneSurvivor) {
   EpochReadings readings;
   for (std::uint16_t tick = 0; tick < 50; ++tick) {

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Local CI: configure, build, and run the full test suite twice — once
 # plain, once under ASan+UBSan (SPIRE_SANITIZE=ON). Any warning is an error
-# in both configurations (-Werror is always on).
+# in both configurations (-Werror is always on). After ctest, each
+# configuration replays the spire_fuzz seed corpus (tools/fuzz_seeds.txt)
+# through the differential oracle battery (DESIGN.md §7); an oracle
+# violation fails the build and leaves the minimized repro under
+# <build-dir>/fuzz-repros/ (its path is printed on stdout).
 #
 #   tools/ci.sh            # both configurations
 #   tools/ci.sh plain      # plain only
@@ -21,6 +25,9 @@ run_config() {
   cmake --build "$dir" -j "$jobs"
   echo "=== [$name] test ==="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  echo "=== [$name] fuzz (differential oracles) ==="
+  "$dir/tools/spire_fuzz" --seeds tools/fuzz_seeds.txt --budget 30s \
+    --out-dir "$dir/fuzz-repros"
 }
 
 case "$mode" in

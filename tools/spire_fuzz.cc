@@ -1,0 +1,197 @@
+// spire_fuzz — seeded property-based differential checking of the SPIRE
+// substrate (src/check).
+//
+//   spire_fuzz --seeds <N|corpus-file> [--start-seed S] [--budget 30s]
+//              [--out-dir DIR] [--min-cases N] [--shrink-attempts N]
+//              [--no-shrink] [--max-failures N]
+//   spire_fuzz --replay <repro-file>
+//
+// Each seed expands into a deterministic random warehouse trace which is
+// run through the pipeline at compression levels 1 and 2 and judged by the
+// oracle battery of check/oracles.h: well-formedness, level-2 -> level-1
+// recovery, archive and SPEV round-trips, and bit-exact determinism. On a
+// violation the trace is minimized (epochs, then tags) and a replayable
+// repro file is archived; the repro path is printed to stdout. Exit code 0
+// iff every oracle stayed green.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "check/oracles.h"
+#include "check/repro.h"
+#include "check/trace_gen.h"
+#include "compress/decompress.h"
+
+using namespace spire;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: spire_fuzz --seeds <N|corpus-file> [--start-seed S]\n"
+      "                  [--budget 30s] [--out-dir DIR] [--min-cases N]\n"
+      "                  [--shrink-attempts N] [--no-shrink]\n"
+      "                  [--max-failures N]\n"
+      "       spire_fuzz --replay <repro-file>\n");
+  return 2;
+}
+
+/// Parses "30", "30s", "2m" into seconds; negative on error.
+double ParseBudget(const std::string& text) {
+  if (text.empty()) return -1.0;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0.0) return -1.0;
+  if (*end == '\0' || std::strcmp(end, "s") == 0) return value;
+  if (std::strcmp(end, "m") == 0) return value * 60.0;
+  if (std::strcmp(end, "h") == 0) return value * 3600.0;
+  return -1.0;
+}
+
+/// `--seeds` accepts a count (expanded from --start-seed) or a corpus file
+/// with one seed per line ('#' comments).
+bool LoadSeeds(const std::string& spec, std::uint64_t start_seed,
+               std::vector<std::uint64_t>* seeds) {
+  char* end = nullptr;
+  const std::uint64_t count = std::strtoull(spec.c_str(), &end, 10);
+  if (end != spec.c_str() && *end == '\0') {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      seeds->push_back(start_seed + i);
+    }
+    return true;
+  }
+  std::ifstream in(spec);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open seed corpus: %s\n", spec.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t from = line.find_first_not_of(" \t");
+    if (from == std::string::npos || line[from] == '#') continue;
+    seeds->push_back(std::strtoull(line.c_str() + from, nullptr, 0));
+  }
+  return true;
+}
+
+void DumpStream(const char* name, const EventStream& stream) {
+  std::printf("--- %s (%zu events) ---\n", name, stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    std::printf("  [%3zu] %s\n", i, stream[i].ToString().c_str());
+  }
+}
+
+int RunReplay(const std::string& path, bool dump) {
+  auto fuzz_case = LoadReproFile(path);
+  if (!fuzz_case.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 fuzz_case.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("replaying %s: %lld epochs, seed %llu, %zu excluded tag(s)\n",
+              path.c_str(),
+              static_cast<long long>(fuzz_case.value().EffectiveEpochs()),
+              static_cast<unsigned long long>(fuzz_case.value().sim.seed),
+              fuzz_case.value().excluded_tags.size());
+  if (dump) {
+    auto trace = GenerateTrace(fuzz_case.value());
+    if (!trace.ok()) {
+      std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+      return 2;
+    }
+    EventStream level1 =
+        RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel1);
+    EventStream level2 =
+        RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel2);
+    DumpStream("level1", level1);
+    DumpStream("level2", level2);
+    DumpStream("decompress(level2)", Decompressor::DecompressAll(level2));
+  }
+  DifferentialChecker checker;
+  CheckStats stats;
+  auto failure = checker.Check(fuzz_case.value(), &stats);
+  if (failure) {
+    std::printf("oracle '%s' still violated:\n%s\n", failure->oracle.c_str(),
+                failure->detail.c_str());
+    return 1;
+  }
+  std::printf("all oracles green (%zu pipeline traces) — repro is fixed\n",
+              stats.traces_run);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string seeds_spec;
+  std::string replay_path;
+  bool dump = false;
+  FuzzOptions options;
+  options.repro_dir = "fuzz-repros";
+  std::uint64_t start_seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      seeds_spec = value;
+    } else if (arg == "--replay") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      replay_path = value;
+    } else if (arg == "--start-seed") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      start_seed = std::strtoull(value, nullptr, 0);
+    } else if (arg == "--budget") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      options.budget_seconds = ParseBudget(value);
+      if (options.budget_seconds < 0.0) return Usage();
+    } else if (arg == "--out-dir") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      options.repro_dir = value;
+    } else if (arg == "--min-cases") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      options.min_cases = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--shrink-attempts") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      options.shrink_attempts = std::atoi(value);
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--no-shrink") {
+      options.shrink_attempts = 0;
+    } else if (arg == "--max-failures") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      options.max_failures = std::strtoull(value, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "error: unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  if (!replay_path.empty()) return RunReplay(replay_path, dump);
+  if (seeds_spec.empty()) return Usage();
+  if (!LoadSeeds(seeds_spec, start_seed, &options.seeds)) return 2;
+  if (options.seeds.empty()) {
+    std::fprintf(stderr, "error: empty seed corpus\n");
+    return 2;
+  }
+
+  DifferentialChecker checker;
+  FuzzStats stats = Fuzz(options, checker, stdout);
+  return stats.failures == 0 ? 0 : 1;
+}
