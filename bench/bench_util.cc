@@ -1,7 +1,11 @@
 #include "bench/bench_util.h"
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "compress/decompress.h"
 #include "compress/well_formed.h"
@@ -141,6 +145,48 @@ Config ParseArgs(int argc, char** argv) {
 void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::Add(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"bench\":\"" << name_ << "\"";
+  for (const auto& [key, value] : metrics_) {
+    out << ",\"" << key << "\":" << value;
+  }
+  out << ",\"peak_rss_bytes\":" << PeakRssBytes() << "}";
+  return out.str();
+}
+
+std::string BenchReport::path() const {
+  const char* dir = std::getenv("SPIRE_BENCH_DIR");
+  std::string prefix = dir != nullptr && dir[0] != '\0'
+                           ? std::string(dir) + "/"
+                           : std::string();
+  return prefix + "BENCH_" + name_ + ".json";
+}
+
+Status BenchReport::Write() const {
+  const std::string out_path = path();
+  std::ofstream out(out_path);
+  if (!out) return Status::NotFound("cannot open for writing: " + out_path);
+  out << ToJson() << "\n";
+  if (!out.good()) return Status::Internal("write failed: " + out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  return Status::OK();
+}
+
+std::size_t PeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes (macOS in bytes; this tree
+  // targets Linux toolchains).
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
 }
 
 }  // namespace spire::bench

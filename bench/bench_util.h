@@ -6,6 +6,8 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.h"
 #include "eval/accuracy.h"
@@ -78,5 +80,34 @@ Config ParseArgs(int argc, char** argv);
 
 /// Standard bench banner.
 void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+/// Machine-readable bench results: a flat name -> number map written as
+/// `BENCH_<name>.json` into $SPIRE_BENCH_DIR (default: the working
+/// directory), so the perf trajectory is trackable across PRs. Write()
+/// stamps the process's peak RSS as `peak_rss_bytes` automatically.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Records one metric; later adds of the same key append in order
+  /// (keys should be unique — the JSON is an object).
+  void Add(const std::string& key, double value);
+
+  /// The flat JSON object.
+  std::string ToJson() const;
+
+  /// Writes `BENCH_<name>.json`; also prints the path on stdout.
+  Status Write() const;
+
+  /// Destination path of Write().
+  std::string path() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Peak resident set size of this process in bytes (0 when unavailable).
+std::size_t PeakRssBytes();
 
 }  // namespace spire::bench

@@ -1,0 +1,162 @@
+// Parallel serving throughput (beyond the paper): epochs/s of the sharded
+// serving layer (src/serve) at 1, 2, and 4 shards over a multi-site
+// workload, against the serial reference. Sites are independent warehouse
+// simulations, so the work parallelizes site-by-site; ideal scaling is
+// min(shards, sites, hardware threads). Results land in BENCH_serve.json
+// (throughput per shard count, speedups, merge latency percentiles, peak
+// RSS) so the perf trajectory is tracked across PRs.
+//
+//   ./expt10_serve [sites=4] [shards=1,2,4] [duration=1200] [queue=64]
+//                  [full=true] [key=value ...]
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/table.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+#include "sim/simulator.h"
+
+using namespace spire;
+using namespace spire::bench;
+
+namespace {
+
+/// Simulates one independent warehouse site.
+serve::SiteWorkload SimulateSite(SimConfig config, int site) {
+  config.seed = config.seed + static_cast<std::uint64_t>(site);
+  auto sim = WarehouseSimulator::Create(config);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "simulator: %s\n", sim.status().ToString().c_str());
+    std::exit(1);
+  }
+  WarehouseSimulator& s = *sim.value();
+  serve::SiteWorkload workload;
+  workload.name = "site-" + std::to_string(site);
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    const auto epoch = static_cast<std::size_t>(s.current_epoch());
+    if (epoch >= workload.epochs.size()) workload.epochs.resize(epoch + 1);
+    workload.epochs[epoch] = std::move(readings);
+  }
+  workload.registry = s.registry();
+  return workload;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config args = ParseArgs(argc, argv);
+  const bool full = args.GetBool("full", false).value_or(false);
+  const int sites = static_cast<int>(args.GetInt("sites", 4).value_or(4));
+  const auto duration =
+      args.GetInt("duration", full ? 5400 : 1200).value_or(1200);
+  const auto queue = static_cast<std::size_t>(
+      args.GetInt("queue", 64).value_or(64));
+
+  SimConfig sim_config = SweepConfig(full);
+  sim_config.duration_epochs = duration;
+  auto overridden = SimConfig::FromConfig(args, sim_config);
+  if (overridden.ok()) sim_config = overridden.value();
+
+  PrintHeader("Expt 10: parallel serving throughput",
+              "beyond the paper (src/serve scaling)");
+  std::printf("%d site(s), %lld epochs each, %u hardware thread(s)\n\n",
+              sites, static_cast<long long>(sim_config.duration_epochs),
+              std::thread::hardware_concurrency());
+
+  serve::Workload workload;
+  for (int site = 0; site < sites; ++site) {
+    workload.sites.push_back(SimulateSite(sim_config, site));
+  }
+  Status status = serve::NormalizeWorkload(&workload);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Serial reference first: the stream every sharded run must reproduce.
+  const auto ref_start = std::chrono::steady_clock::now();
+  EventStream reference = serve::RunServeReference(workload, PipelineOptions{});
+  const double ref_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ref_start)
+          .count();
+  const double ref_eps =
+      ref_seconds > 0.0
+          ? static_cast<double>(workload.num_epochs) / ref_seconds
+          : 0.0;
+
+  BenchReport report("serve");
+  report.Add("sites", sites);
+  report.Add("epochs", static_cast<double>(workload.num_epochs));
+  report.Add("hardware_threads", std::thread::hardware_concurrency());
+  report.Add("reference_epochs_per_sec", ref_eps);
+
+  TextTable table({"config", "wall (s)", "epochs/s", "speedup vs 1 shard",
+                   "events", "identical"});
+  table.AddRow({"serial reference", TextTable::Num(ref_seconds, 3),
+                TextTable::Num(ref_eps, 1), "-",
+                std::to_string(reference.size()), "-"});
+
+  double one_shard_eps = 0.0;
+  for (int shards : {1, 2, 4}) {
+    serve::ServeOptions options;
+    options.num_shards = shards;
+    options.queue_capacity = queue;
+    serve::SpireServer server(&workload, options);
+    serve::ServeResult result = server.Run();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "serve(%d): %s\n", shards,
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    const double eps =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.epochs_processed) /
+                  result.wall_seconds
+            : 0.0;
+    if (shards == 1) one_shard_eps = eps;
+    const bool identical = result.events == reference;
+    table.AddRow({std::to_string(shards) + " shard(s)",
+                  TextTable::Num(result.wall_seconds, 3),
+                  TextTable::Num(eps, 1),
+                  TextTable::Num(one_shard_eps > 0.0 ? eps / one_shard_eps
+                                                     : 0.0,
+                                 2),
+                  std::to_string(result.events.size()),
+                  identical ? "yes" : "NO"});
+    const std::string prefix = "shards_" + std::to_string(shards) + ".";
+    report.Add(prefix + "wall_seconds", result.wall_seconds);
+    report.Add(prefix + "epochs_per_sec", eps);
+    report.Add(prefix + "speedup_vs_1_shard",
+               one_shard_eps > 0.0 ? eps / one_shard_eps : 0.0);
+    report.Add(prefix + "events", static_cast<double>(result.events.size()));
+    report.Add(prefix + "identical_to_reference", identical ? 1.0 : 0.0);
+    const serve::ShardMetrics& shard0 = server.metrics().shard(0);
+    report.Add(prefix + "p50_process_us",
+               shard0.process_latency.QuantileUs(0.50));
+    report.Add(prefix + "p95_process_us",
+               shard0.process_latency.QuantileUs(0.95));
+    report.Add(prefix + "p99_process_us",
+               shard0.process_latency.QuantileUs(0.99));
+    if (!identical) {
+      std::fprintf(stderr,
+                   "serve(%d shards) diverged from the serial reference\n",
+                   shards);
+      return 1;
+    }
+  }
+  table.Print();
+
+  status = report.Write();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

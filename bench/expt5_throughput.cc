@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"objects", "edges", "update (s/epoch)",
                    "inference (s/epoch)", "complete inf (s)", "total (s/epoch)"});
+  BenchReport report("expt5_throughput");
   std::size_t next_target = 0;
   while (next_target < targets.size() && !s.Done()) {
     EpochReadings readings = s.Step();
@@ -90,8 +91,19 @@ int main(int argc, char** argv) {
                                      : 0.0,
                                  6),
                   TextTable::Num(per_epoch_update + per_epoch_inference, 6)});
+    const double total = per_epoch_update + per_epoch_inference;
+    const std::string prefix =
+        "objects_" + std::to_string(targets[next_target]) + ".";
+    report.Add(prefix + "update_s_per_epoch", per_epoch_update);
+    report.Add(prefix + "inference_s_per_epoch", per_epoch_inference);
+    report.Add(prefix + "epochs_per_sec", total > 0.0 ? 1.0 / total : 0.0);
     ++next_target;
   }
   table.Print();
+  Status status = report.Write();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,143 @@
+#include "common/log.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace spire {
+
+namespace {
+
+struct LogState {
+  std::mutex mu;
+  std::ostream* sink = nullptr;  // nullptr -> stderr (std::cerr).
+  bool json = false;
+  LogLevel min_level = LogLevel::kInfo;
+  std::chrono::steady_clock::time_point origin;
+
+  LogState() {
+    origin = std::chrono::steady_clock::now();
+    const char* json_env = std::getenv("SPIRE_LOG_JSON");
+    json = json_env != nullptr && std::strcmp(json_env, "1") == 0;
+    if (const char* level_env = std::getenv("SPIRE_LOG_LEVEL")) {
+      if (std::strcmp(level_env, "debug") == 0) min_level = LogLevel::kDebug;
+      if (std::strcmp(level_env, "info") == 0) min_level = LogLevel::kInfo;
+      if (std::strcmp(level_env, "warn") == 0) min_level = LogLevel::kWarn;
+      if (std::strcmp(level_env, "error") == 0) min_level = LogLevel::kError;
+    }
+  }
+};
+
+LogState& State() {
+  static LogState state;
+  return state;
+}
+
+}  // namespace
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "invalid";
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Log(LogLevel level, const std::string& component,
+         const std::string& message) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (static_cast<int>(level) < static_cast<int>(state.min_level)) return;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - state.origin)
+                           .count();
+  std::ostream& out = state.sink != nullptr ? *state.sink : std::cerr;
+  if (state.json) {
+    out << "{\"ts_us\":" << elapsed << ",\"level\":\"" << ToString(level)
+        << "\",\"component\":\"" << JsonEscape(component) << "\",\"msg\":\""
+        << JsonEscape(message) << "\"}\n";
+  } else {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "%.6f",
+                  static_cast<double>(elapsed) / 1e6);
+    out << "[" << stamp << "] "
+        << static_cast<char>(std::toupper(ToString(level)[0])) << " "
+        << component << ": " << message << "\n";
+  }
+  out.flush();
+}
+
+bool LogJsonMode() {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.json;
+}
+
+void SetLogJsonMode(bool json) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.json = json;
+}
+
+LogLevel MinLogLevel() {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.min_level;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.min_level = level;
+}
+
+void SetLogSink(std::ostream* sink) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.sink = sink;
+}
+
+}  // namespace spire

@@ -1,0 +1,71 @@
+// Minimal thread-safe logging.
+//
+// Every module that runs off the main thread (the serving layer in
+// particular) logs through this facade. One process-wide mutex serializes
+// writes so a log line is always emitted atomically — concurrent shard
+// threads never interleave characters. Two output shapes:
+//
+//   text (default)   [12.345678] I serve: started 4 shards over 4 sites
+//   JSON             {"ts_us":12345678,"level":"info","component":"serve",
+//                     "msg":"started 4 shards over 4 sites"}
+//
+// JSON mode is selected with SPIRE_LOG_JSON=1 in the environment (read
+// once, overridable in-process for tests); the minimum level with
+// SPIRE_LOG_LEVEL=debug|info|warn|error (default info). Timestamps are
+// microseconds since the first log call, so lines are diffable across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace spire {
+
+/// Severity of a log line.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Human-readable level name ("debug", "info", ...).
+const char* ToString(LogLevel level);
+
+/// Emits one line. Drops the line when `level` is below the minimum.
+/// Thread-safe; the line reaches the sink atomically.
+void Log(LogLevel level, const std::string& component,
+         const std::string& message);
+
+/// Convenience wrappers.
+inline void LogDebug(const std::string& component, const std::string& message) {
+  Log(LogLevel::kDebug, component, message);
+}
+inline void LogInfo(const std::string& component, const std::string& message) {
+  Log(LogLevel::kInfo, component, message);
+}
+inline void LogWarn(const std::string& component, const std::string& message) {
+  Log(LogLevel::kWarn, component, message);
+}
+inline void LogError(const std::string& component, const std::string& message) {
+  Log(LogLevel::kError, component, message);
+}
+
+/// True when lines are emitted as JSON objects (SPIRE_LOG_JSON=1).
+bool LogJsonMode();
+
+/// Overrides the environment-selected output shape (tests, embedders).
+void SetLogJsonMode(bool json);
+
+/// Minimum emitted level (SPIRE_LOG_LEVEL, default info).
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Redirects log output; nullptr restores the default (stderr). The caller
+/// keeps ownership and must not destroy the sink while logging is possible.
+void SetLogSink(std::ostream* sink);
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared with the metrics JSON dump.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace spire

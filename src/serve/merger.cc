@@ -1,0 +1,106 @@
+#include "serve/merger.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "store/archive_writer.h"
+
+namespace spire::serve {
+
+namespace {
+
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Status EventMerger::Drain(const std::vector<BoundedQueue<SiteBatch>*>& queues,
+                          const std::vector<std::size_t>& batches_per_queue,
+                          EventStream* out, ArchiveWriter* archive) {
+  if (queues.size() != batches_per_queue.size()) {
+    return Status::InvalidArgument("merger: queue/site-count size mismatch");
+  }
+
+  std::vector<SiteBatch> round;
+  for (Epoch epoch = 0;; ++epoch) {
+    round.clear();
+    bool finish = false;
+    bool first_batch = true;
+    for (std::size_t q = 0; q < queues.size(); ++q) {
+      for (std::size_t k = 0; k < batches_per_queue[q]; ++k) {
+        const auto wait_start = std::chrono::steady_clock::now();
+        std::optional<SiteBatch> batch = queues[q]->Pop();
+        if (metrics_ != nullptr) {
+          metrics_->wait_us.fetch_add(MicrosSince(wait_start),
+                                      std::memory_order_relaxed);
+        }
+        if (!batch.has_value()) {
+          return Status::Internal(
+              "merger: shard queue " + std::to_string(q) +
+              " closed before its finish batch (epoch " +
+              std::to_string(epoch) + ")");
+        }
+        if (batch->epoch != epoch) {
+          return Status::Internal(
+              "merger: expected epoch " + std::to_string(epoch) +
+              " from queue " + std::to_string(q) + ", got " +
+              std::to_string(batch->epoch));
+        }
+        // The finish round is uniform: the router flushes every shard at
+        // the same epoch, so mixed rounds are a protocol violation.
+        if (first_batch) {
+          finish = batch->finish;
+          first_batch = false;
+        } else if (batch->finish != finish) {
+          return Status::Internal("merger: mixed finish round at epoch " +
+                                  std::to_string(epoch));
+        }
+        round.push_back(std::move(*batch));
+      }
+    }
+
+    // The epoch barrier is complete: emit in ascending site order, each
+    // site's events in its pipeline's emission order.
+    std::sort(round.begin(), round.end(),
+              [](const SiteBatch& a, const SiteBatch& b) {
+                return a.site < b.site;
+              });
+    const std::size_t first = out->size();
+    for (SiteBatch& batch : round) {
+      out->insert(out->end(), batch.events.begin(), batch.events.end());
+    }
+    if (archive != nullptr && archive_status_.ok()) {
+      for (std::size_t i = first; i < out->size(); ++i) {
+        Status status = archive->Append((*out)[i]);
+        if (!status.ok()) {
+          archive_status_ = status;
+          break;
+        }
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->events_out.fetch_add(out->size() - first,
+                                     std::memory_order_relaxed);
+      if (!finish) {
+        metrics_->epochs_merged.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (finish) break;
+  }
+
+  // After the finish round every queue must close cleanly.
+  for (std::size_t q = 0; q < queues.size(); ++q) {
+    if (queues[q]->Pop().has_value()) {
+      return Status::Internal("merger: queue " + std::to_string(q) +
+                              " delivered batches past the finish round");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spire::serve

@@ -1,0 +1,111 @@
+// Runtime observability of the serving layer.
+//
+// Every counter is a relaxed atomic so shard threads record without locks;
+// the registry is sized once at server construction and never reallocates,
+// so readers may sample it live (numbers are individually consistent, not
+// a snapshot). `Metrics::ToJson` renders the whole registry as one JSON
+// object — the payload behind `spire_cli serve --stats` and the shutdown
+// dump (schema in DESIGN.md §8).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spire::serve {
+
+/// Fixed-bucket latency histogram: bucket i counts samples whose duration
+/// in microseconds lies in [2^i, 2^(i+1)). Quantiles report the bucket's
+/// upper bound, so they over- rather than under-state latency.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  /// Records one duration (negative durations clamp to 1 us).
+  void Record(double seconds);
+
+  std::uint64_t count() const;
+  double mean_us() const;
+  double max_us() const;
+  /// Upper bound of the bucket holding quantile `q` in [0, 1]; 0 when empty.
+  double QuantileUs(double q) const;
+
+  /// {"count":..,"mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..,"max_us":..}
+  std::string ToJson() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// Health counters of one bounded queue.
+struct QueueMetrics {
+  /// Highest depth ever observed at push time.
+  std::atomic<std::uint64_t> depth_highwater{0};
+  /// Pushes that found the queue full and had to block (backpressure).
+  std::atomic<std::uint64_t> blocked_pushes{0};
+  /// Pops that found the queue empty and had to block.
+  std::atomic<std::uint64_t> blocked_pops{0};
+  /// TryPush calls rejected on a full queue.
+  std::atomic<std::uint64_t> dropped{0};
+
+  /// Folds a depth observation into the high-water mark.
+  void RecordDepth(std::uint64_t depth);
+
+  std::string ToJson() const;
+};
+
+/// Per-shard pipeline counters.
+struct ShardMetrics {
+  std::atomic<std::uint64_t> epochs{0};    ///< Epoch rounds processed.
+  std::atomic<std::uint64_t> events{0};    ///< Output events emitted.
+  std::atomic<std::uint64_t> readings{0};  ///< Raw readings consumed.
+  std::atomic<std::uint64_t> busy_us{0};   ///< Time spent inside pipelines.
+  /// Wall time of one epoch round across all of the shard's sites.
+  LatencyHistogram process_latency;
+  QueueMetrics input_queue;
+  QueueMetrics output_queue;
+
+  /// Epoch rounds per busy second (0 when idle).
+  double EpochsPerBusySecond() const;
+};
+
+/// Merger-side counters.
+struct MergerMetrics {
+  std::atomic<std::uint64_t> epochs_merged{0};
+  std::atomic<std::uint64_t> events_out{0};
+  /// Time the merger spent blocked waiting for shard batches.
+  std::atomic<std::uint64_t> wait_us{0};
+};
+
+/// The serving layer's metrics registry: one ShardMetrics per shard plus
+/// the merger. Allocated once; pointers into it stay valid for the
+/// registry's lifetime.
+class Metrics {
+ public:
+  explicit Metrics(int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  ShardMetrics& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  const ShardMetrics& shard(int i) const {
+    return *shards_[static_cast<std::size_t>(i)];
+  }
+  MergerMetrics& merger() { return merger_; }
+  const MergerMetrics& merger() const { return merger_; }
+
+  /// Renders the registry. `wall_seconds` is the run's wall-clock duration
+  /// (drives the aggregate epochs/s figure); pass 0 for a live sample.
+  std::string ToJson(double wall_seconds, int num_sites) const;
+
+ private:
+  // unique_ptr keeps the atomics' addresses stable (vector growth would
+  // copy, and atomics are not copyable anyway).
+  std::vector<std::unique_ptr<ShardMetrics>> shards_;
+  MergerMetrics merger_;
+};
+
+}  // namespace spire::serve

@@ -1,0 +1,147 @@
+// Bounded multi-producer ring queue with blocking backpressure.
+//
+// The serving layer's only cross-thread channel. A fixed-capacity ring
+// buffer guarded by one mutex and two condition variables:
+//
+//   * Push on a full queue BLOCKS — backpressure propagates upstream all
+//     the way to the router, so a slow shard throttles ingest instead of
+//     growing unbounded buffers (TryPush is the non-blocking variant and
+//     counts rejections as drops).
+//   * Pop on an empty queue blocks until an item or Close().
+//   * Close() wakes everyone: further pushes fail, pops drain the items
+//     already queued and then return nullopt. Shutdown therefore loses
+//     nothing that was accepted.
+//
+// FIFO overall, hence FIFO per producer — the ordering the merger relies
+// on. Optional QueueMetrics record depth high-water, blocked pushes/pops,
+// and drops.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "serve/metrics.h"
+
+namespace spire::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1. `metrics` may be nullptr; when given it must
+  /// outlive the queue.
+  explicit BoundedQueue(std::size_t capacity, QueueMetrics* metrics = nullptr)
+      : ring_(capacity < 1 ? 1 : capacity), metrics_(metrics) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full; false iff the queue was closed (item discarded).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (count_ == ring_.size() && !closed_) {
+      if (metrics_ != nullptr) {
+        metrics_->blocked_pushes.fetch_add(1, std::memory_order_relaxed);
+      }
+      not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
+    }
+    if (closed_) return false;
+    Enqueue(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Never blocks; false when full (counted as a drop) or closed.
+  bool TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (count_ == ring_.size()) {
+      if (metrics_ != nullptr) {
+        metrics_->dropped.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+    Enqueue(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; nullopt iff closed and fully drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (count_ == 0 && !closed_) {
+      if (metrics_ != nullptr) {
+        metrics_->blocked_pops.fetch_add(1, std::memory_order_relaxed);
+      }
+      not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    }
+    if (count_ == 0) return std::nullopt;
+    T item = Dequeue();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Never blocks; nullopt when nothing is queued.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (count_ == 0) return std::nullopt;
+    T item = Dequeue();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent. Wakes all blocked producers and consumers.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  // Callers hold mu_.
+  void Enqueue(T item) {
+    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+    ++count_;
+    if (metrics_ != nullptr) metrics_->RecordDepth(count_);
+  }
+
+  T Dequeue() {
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+  QueueMetrics* metrics_;
+};
+
+}  // namespace spire::serve

@@ -1,0 +1,62 @@
+#include "serve/router.h"
+
+namespace spire::serve {
+
+ShardRouter::ShardRouter(const Workload* workload, int num_shards)
+    : workload_(workload),
+      num_shards_(num_shards < 1 ? 1 : num_shards),
+      shard_sites_(static_cast<std::size_t>(num_shards_)) {
+  for (int site = 0; site < static_cast<int>(workload_->sites.size());
+       ++site) {
+    shard_sites_[static_cast<std::size_t>(ShardOf(site))].push_back(site);
+  }
+}
+
+Epoch ShardRouter::FeedAll(
+    const std::vector<BoundedQueue<EpochWork>*>& queues) {
+  Epoch fed = 0;
+  bool aborted = false;
+  while (fed < workload_->num_epochs && !aborted &&
+         !stop_.load(std::memory_order_relaxed)) {
+    for (int shard = 0; shard < num_shards_ && !aborted; ++shard) {
+      EpochWork work;
+      work.epoch = fed;
+      work.site_readings.reserve(
+          shard_sites_[static_cast<std::size_t>(shard)].size());
+      for (int site : shard_sites_[static_cast<std::size_t>(shard)]) {
+        const SiteWorkload& s = workload_->sites[static_cast<std::size_t>(site)];
+        EpochReadings readings =
+            fed < static_cast<Epoch>(s.epochs.size())
+                ? s.epochs[static_cast<std::size_t>(fed)]
+                : EpochReadings{};
+        work.site_readings.emplace_back(site, std::move(readings));
+      }
+      // A failed push means the queue was closed externally (abort path):
+      // skip the finish protocol — shards already stopped consuming.
+      aborted = !queues[static_cast<std::size_t>(shard)]->Push(std::move(work));
+    }
+    if (!aborted) ++fed;
+  }
+
+  if (!aborted) {
+    // Flush: every pipeline closes its open events at the same finish
+    // epoch, mirroring SpirePipeline::Finish(last + 1) of the serial path.
+    // RequestStop is checked at epoch boundaries only, so all shards have
+    // received exactly the epochs [0, fed).
+    for (int shard = 0; shard < num_shards_; ++shard) {
+      EpochWork finish;
+      finish.epoch = fed;
+      finish.finish = true;
+      // List the owned sites (with no readings) so the shard flushes one
+      // pipeline — and emits one finish batch — per site.
+      for (int site : shard_sites_[static_cast<std::size_t>(shard)]) {
+        finish.site_readings.emplace_back(site, EpochReadings{});
+      }
+      queues[static_cast<std::size_t>(shard)]->Push(std::move(finish));
+    }
+  }
+  for (BoundedQueue<EpochWork>* queue : queues) queue->Close();
+  return fed;
+}
+
+}  // namespace spire::serve

@@ -1,0 +1,68 @@
+// ShardRouter: partitions a multi-site workload onto pipeline shards and
+// streams epoch work into their bounded input queues.
+//
+// The shard key is the site index (site mod num_shards): all readings of
+// one deployment always reach the same shard, so each site's pipeline sees
+// its complete, ordered stream — the property that makes per-site
+// parallelism exact rather than approximate (DESIGN.md §8).
+//
+// Every shard receives one EpochWork per global epoch even when its sites
+// were silent: pipelines must observe every epoch for the inference
+// schedule and Missing detection to fire. After the last epoch (or an
+// early stop) the router sends one finish message per shard, telling the
+// pipelines to flush their open events, then closes the input queues.
+#pragma once
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "serve/queue.h"
+#include "serve/workload.h"
+
+namespace spire::serve {
+
+/// One unit of shard input: a global epoch plus the readings of the
+/// shard's sites for that epoch (sites in ascending order, silent sites
+/// included with empty readings). `finish` marks the final flush message;
+/// its epoch is one past the last processed epoch.
+struct EpochWork {
+  Epoch epoch = kNeverEpoch;
+  bool finish = false;
+  std::vector<std::pair<int, EpochReadings>> site_readings;
+};
+
+class ShardRouter {
+ public:
+  /// `workload` must be normalized and outlive the router.
+  ShardRouter(const Workload* workload, int num_shards);
+
+  int num_shards() const { return num_shards_; }
+
+  /// The shard a site is assigned to.
+  int ShardOf(int site) const { return site % num_shards_; }
+
+  /// Site indexes owned by each shard, ascending.
+  const std::vector<std::vector<int>>& shard_sites() const {
+    return shard_sites_;
+  }
+
+  /// Streams all epochs into the shard queues (blocking on full queues —
+  /// this is where backpressure lands), sends the finish messages, and
+  /// closes every queue. Returns the number of epochs fed, which is less
+  /// than the workload horizon after RequestStop.
+  Epoch FeedAll(const std::vector<BoundedQueue<EpochWork>*>& queues);
+
+  /// Asks FeedAll to stop at the next epoch boundary; pipelines still
+  /// flush, so the output stream stays well-formed.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  const Workload* workload_;
+  int num_shards_;
+  std::vector<std::vector<int>> shard_sites_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace spire::serve

@@ -1,0 +1,128 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "serve/merger.h"
+#include "serve/shard.h"
+
+namespace spire::serve {
+
+SpireServer::SpireServer(const Workload* workload, ServeOptions options)
+    : workload_(workload),
+      options_(options),
+      metrics_(options.num_shards < 1 ? 1 : options.num_shards),
+      router_(workload, options.num_shards) {
+  options_.num_shards = router_.num_shards();
+}
+
+ServeResult SpireServer::Run(ArchiveWriter* archive) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  LogInfo("serve",
+          "starting " + std::to_string(options_.num_shards) + " shard(s) over " +
+              std::to_string(workload_->sites.size()) + " site(s), " +
+              std::to_string(workload_->num_epochs) + " epochs, queue depth " +
+              std::to_string(options_.queue_capacity));
+
+  std::vector<std::unique_ptr<PipelineShard>> shards;
+  std::vector<BoundedQueue<EpochWork>*> inputs;
+  std::vector<BoundedQueue<SiteBatch>*> outputs;
+  std::vector<std::size_t> batches_per_queue;
+  shards.reserve(static_cast<std::size_t>(options_.num_shards));
+  for (int shard = 0; shard < options_.num_shards; ++shard) {
+    const std::vector<int>& sites =
+        router_.shard_sites()[static_cast<std::size_t>(shard)];
+    shards.push_back(std::make_unique<PipelineShard>(
+        shard, workload_, sites, options_.pipeline, options_.queue_capacity,
+        &metrics_.shard(shard)));
+    inputs.push_back(&shards.back()->input());
+    outputs.push_back(&shards.back()->output());
+    batches_per_queue.push_back(sites.size());
+  }
+  for (auto& shard : shards) shard->Start();
+
+  ServeResult result;
+  std::thread feeder(
+      [&] { result.epochs_processed = router_.FeedAll(inputs); });
+
+  EventMerger merger(&metrics_.merger());
+  result.status = merger.Drain(outputs, batches_per_queue, &result.events,
+                               archive);
+  if (result.status.ok() && !merger.archive_status().ok()) {
+    result.status = merger.archive_status();
+  }
+  if (!result.status.ok()) {
+    // Abort: unwedge the feeder and the shards, whatever they block on.
+    for (BoundedQueue<EpochWork>* queue : inputs) queue->Close();
+    for (BoundedQueue<SiteBatch>* queue : outputs) queue->Close();
+  }
+
+  feeder.join();
+  for (auto& shard : shards) shard->Join();
+
+  wall_seconds_ = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  result.wall_seconds = wall_seconds_;
+  LogInfo("serve",
+          (result.status.ok() ? std::string("completed ")
+                              : "FAILED (" + result.status.ToString() +
+                                    ") after ") +
+              std::to_string(result.epochs_processed) + " epochs, " +
+              std::to_string(result.events.size()) + " events in " +
+              std::to_string(result.wall_seconds) + "s");
+  return result;
+}
+
+std::string SpireServer::MetricsJson() const {
+  return metrics_.ToJson(wall_seconds_,
+                         static_cast<int>(workload_->sites.size()));
+}
+
+EventStream RunServeReference(const Workload& workload,
+                              const PipelineOptions& options) {
+  std::vector<std::unique_ptr<SpirePipeline>> pipelines;
+  pipelines.reserve(workload.sites.size());
+  for (const SiteWorkload& site : workload.sites) {
+    pipelines.push_back(
+        std::make_unique<SpirePipeline>(&site.registry, options));
+  }
+
+  EventStream out;
+  EventStream scratch;
+  auto emit_site = [&](std::size_t site_index) {
+    const SiteWorkload& site = workload.sites[site_index];
+    if (site.location_offset != 0) {
+      for (Event& event : scratch) {
+        if (event.location != kUnknownLocation) {
+          event.location =
+              static_cast<LocationId>(event.location + site.location_offset);
+        }
+      }
+    }
+    out.insert(out.end(), scratch.begin(), scratch.end());
+    scratch.clear();
+  };
+
+  for (Epoch epoch = 0; epoch < workload.num_epochs; ++epoch) {
+    for (std::size_t site = 0; site < workload.sites.size(); ++site) {
+      const SiteWorkload& s = workload.sites[site];
+      EpochReadings readings =
+          epoch < static_cast<Epoch>(s.epochs.size())
+              ? s.epochs[static_cast<std::size_t>(epoch)]
+              : EpochReadings{};
+      pipelines[site]->ProcessEpoch(epoch, std::move(readings), &scratch);
+      emit_site(site);
+    }
+  }
+  for (std::size_t site = 0; site < workload.sites.size(); ++site) {
+    pipelines[site]->Finish(workload.num_epochs, &scratch);
+    emit_site(site);
+  }
+  return out;
+}
+
+}  // namespace spire::serve

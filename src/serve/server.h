@@ -1,0 +1,91 @@
+// SpireServer: the concurrent multi-site serving facade.
+//
+//   Workload (sites) ──► ShardRouter ──► N PipelineShards ──► EventMerger
+//                         (feeder         (worker threads,      (caller
+//                          thread)         bounded queues)       thread)
+//
+// Run() drives one workload to completion: the router streams epochs into
+// the shard input queues from a feeder thread, each shard runs its sites'
+// pipelines, and the merger assembles the globally ordered output stream
+// on the calling thread, optionally mirroring into an archive sink. All
+// queues are bounded, so memory stays O(shards * queue_capacity) and a
+// slow stage throttles the whole chain instead of buffering it.
+//
+// The output is deterministic: byte-identical for any shard count, and
+// byte-identical to RunServeReference — the serial single-threaded
+// execution of the same workload (DESIGN.md §8).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "compress/event.h"
+#include "serve/metrics.h"
+#include "serve/router.h"
+#include "serve/workload.h"
+#include "spire/pipeline.h"
+
+namespace spire {
+class ArchiveWriter;
+}  // namespace spire
+
+namespace spire::serve {
+
+/// Serving-layer configuration.
+struct ServeOptions {
+  /// Worker shard count; sites are assigned site mod num_shards.
+  int num_shards = 1;
+  /// Capacity of each shard's input and output queue, in epoch units —
+  /// bounds how far ingest may run ahead of the slowest shard.
+  std::size_t queue_capacity = 64;
+  /// Pipeline configuration shared by every site.
+  PipelineOptions pipeline;
+};
+
+/// Outcome of one Run().
+struct ServeResult {
+  /// The merged, globally ordered output stream.
+  EventStream events;
+  /// First failure (merge protocol or archive sink); OK on success.
+  Status status;
+  Epoch epochs_processed = 0;
+  double wall_seconds = 0.0;
+};
+
+class SpireServer {
+ public:
+  /// `workload` must be normalized (NormalizeWorkload) and outlive the
+  /// server.
+  SpireServer(const Workload* workload, ServeOptions options);
+
+  /// Processes the whole workload; blocking. `archive` (optional, caller-
+  /// owned, caller still Close()s it) receives the merged stream.
+  ServeResult Run(ArchiveWriter* archive = nullptr);
+
+  /// Stops ingest at the next epoch boundary; in-flight epochs complete
+  /// and every pipeline flushes its open events before Run() returns.
+  /// Callable from any thread.
+  void RequestStop() { router_.RequestStop(); }
+
+  const Metrics& metrics() const { return metrics_; }
+
+  /// The metrics registry rendered as JSON (`wall_seconds` from the last
+  /// Run, 0 before).
+  std::string MetricsJson() const;
+
+ private:
+  const Workload* workload_;
+  ServeOptions options_;
+  Metrics metrics_;
+  ShardRouter router_;
+  double wall_seconds_ = 0.0;
+};
+
+/// The serial reference: runs every site's pipeline on the calling thread
+/// over the same global epoch axis and merges identically — the stream
+/// `serve` must reproduce byte-for-byte at any shard count. For a one-site
+/// workload this is exactly the plain single-pipeline run.
+EventStream RunServeReference(const Workload& workload,
+                              const PipelineOptions& options);
+
+}  // namespace spire::serve

@@ -1,0 +1,122 @@
+#include "serve/shard.h"
+
+#include <chrono>
+#include <string>
+
+#include "common/log.h"
+
+namespace spire::serve {
+
+namespace {
+
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// Shifts a site-local event into the global location id space.
+void RemapLocations(EventStream* events, std::size_t first,
+                    LocationId offset) {
+  if (offset == 0) return;
+  for (std::size_t i = first; i < events->size(); ++i) {
+    Event& event = (*events)[i];
+    if (event.location != kUnknownLocation) {
+      event.location = static_cast<LocationId>(event.location + offset);
+    }
+  }
+}
+
+}  // namespace
+
+PipelineShard::PipelineShard(int shard_id, const Workload* workload,
+                             std::vector<int> sites,
+                             const PipelineOptions& options,
+                             std::size_t queue_capacity, ShardMetrics* metrics)
+    : shard_id_(shard_id),
+      metrics_(metrics),
+      input_(queue_capacity, metrics != nullptr ? &metrics->input_queue
+                                                : nullptr),
+      output_(queue_capacity, metrics != nullptr ? &metrics->output_queue
+                                                 : nullptr) {
+  sites_.reserve(sites.size());
+  for (int site : sites) {
+    const SiteWorkload& s = workload->sites[static_cast<std::size_t>(site)];
+    SiteState state;
+    state.site = site;
+    state.location_offset = s.location_offset;
+    state.pipeline = std::make_unique<SpirePipeline>(&s.registry, options);
+    sites_.push_back(std::move(state));
+  }
+}
+
+PipelineShard::~PipelineShard() {
+  // Closing both queues unblocks the worker wherever it is stuck (waiting
+  // for input or pushing into a full, undrained output).
+  input_.Close();
+  output_.Close();
+  Join();
+}
+
+void PipelineShard::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void PipelineShard::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void PipelineShard::Run() {
+  LogDebug("serve", "shard " + std::to_string(shard_id_) + " running " +
+                        std::to_string(sites_.size()) + " site pipeline(s)");
+  while (std::optional<EpochWork> work = input_.Pop()) {
+    const auto round_start = std::chrono::steady_clock::now();
+    std::size_t readings = 0;
+    std::size_t events = 0;
+    // One batch per owned site, ascending — work->site_readings comes from
+    // the router in that order and FIFO queues preserve it for the merger.
+    for (auto& [site, site_readings] : work->site_readings) {
+      SiteState* state = nullptr;
+      for (SiteState& candidate : sites_) {
+        if (candidate.site == site) {
+          state = &candidate;
+          break;
+        }
+      }
+      if (state == nullptr) continue;  // Misrouted site: drop, not crash.
+      SiteBatch batch;
+      batch.epoch = work->epoch;
+      batch.site = site;
+      batch.finish = work->finish;
+      readings += site_readings.size();
+      if (work->finish) {
+        state->pipeline->Finish(work->epoch, &batch.events);
+      } else {
+        state->pipeline->ProcessEpoch(work->epoch, std::move(site_readings),
+                                      &batch.events);
+      }
+      RemapLocations(&batch.events, 0, state->location_offset);
+      events += batch.events.size();
+      if (!output_.Push(std::move(batch))) {
+        // Output closed (abort path): stop producing.
+        input_.Close();
+        output_.Close();
+        return;
+      }
+    }
+    if (metrics_ != nullptr) {
+      const std::uint64_t us = MicrosSince(round_start);
+      metrics_->busy_us.fetch_add(us, std::memory_order_relaxed);
+      metrics_->process_latency.Record(static_cast<double>(us) / 1e6);
+      metrics_->readings.fetch_add(readings, std::memory_order_relaxed);
+      metrics_->events.fetch_add(events, std::memory_order_relaxed);
+      if (!work->finish) {
+        metrics_->epochs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  output_.Close();
+}
+
+}  // namespace spire::serve

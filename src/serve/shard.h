@@ -1,0 +1,68 @@
+// PipelineShard: one worker thread running full SPIRE pipelines for its
+// assigned sites.
+//
+// The shard owns a bounded input queue of EpochWork (fed by the router)
+// and a bounded output queue of SiteBatch (drained by the merger); both
+// bounds are where backpressure forms. Per epoch it runs each owned site's
+// SpirePipeline (inference + compression, reused unchanged from src/spire)
+// over that site's readings, rewrites the resulting events into the global
+// location id space, and emits one batch per site in ascending site order.
+// A finish message flushes every pipeline's open events
+// (EndLocation/EndContainment) so shutdown never truncates the stream.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/merger.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/router.h"
+#include "serve/workload.h"
+#include "spire/pipeline.h"
+
+namespace spire::serve {
+
+class PipelineShard {
+ public:
+  /// `workload` and `metrics` must outlive the shard. `sites` are the
+  /// ascending site indexes this shard owns (may be empty).
+  PipelineShard(int shard_id, const Workload* workload, std::vector<int> sites,
+                const PipelineOptions& options, std::size_t queue_capacity,
+                ShardMetrics* metrics);
+
+  PipelineShard(const PipelineShard&) = delete;
+  PipelineShard& operator=(const PipelineShard&) = delete;
+
+  ~PipelineShard();
+
+  BoundedQueue<EpochWork>& input() { return input_; }
+  BoundedQueue<SiteBatch>& output() { return output_; }
+  int shard_id() const { return shard_id_; }
+
+  /// Launches the worker thread. Call once.
+  void Start();
+
+  /// Joins the worker (the input queue must have been closed, directly or
+  /// via the router's finish protocol). Idempotent.
+  void Join();
+
+ private:
+  struct SiteState {
+    int site = -1;
+    LocationId location_offset = 0;
+    std::unique_ptr<SpirePipeline> pipeline;
+  };
+
+  void Run();
+
+  int shard_id_;
+  std::vector<SiteState> sites_;
+  ShardMetrics* metrics_;
+  BoundedQueue<EpochWork> input_;
+  BoundedQueue<SiteBatch> output_;
+  std::thread thread_;
+};
+
+}  // namespace spire::serve

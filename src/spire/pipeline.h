@@ -100,6 +100,12 @@ class SpirePipeline {
   Graph& mutable_graph() { return graph_; }
   const PipelineOptions& options() const { return options_; }
 
+  /// The deployment this pipeline interprets. The serving layer (src/serve)
+  /// hosts one pipeline per site and uses this to map a pipeline back to
+  /// its site's registry; a pipeline instance itself stays single-threaded
+  /// — concurrency is achieved by running disjoint instances in parallel.
+  const ReaderRegistry* registry() const { return registry_; }
+
   /// Costs of the last epoch and cumulative totals.
   const EpochCosts& last_costs() const { return last_costs_; }
   const EpochCosts& total_costs() const { return total_costs_; }

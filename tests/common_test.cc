@@ -1,14 +1,17 @@
 // Unit tests for src/common: status/result, shift register, EPC codec,
-// deterministic RNG, and config parsing.
+// deterministic RNG, config parsing, and thread-safe logging.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bitvector.h"
 #include "common/config.h"
 #include "common/epc.h"
+#include "common/log.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -317,6 +320,89 @@ TEST(ConfigTest, KeysSorted) {
 TEST(WireTest, SizesAreFixed) {
   EXPECT_EQ(kReadingWireBytes, 16u);
   EXPECT_EQ(kEventWireBytes, 26u);
+}
+
+// ------------------------------------------------------------------ Log ---
+
+/// Captures log output into a string for the duration of a test.
+class LogCapture {
+ public:
+  LogCapture() { SetLogSink(&buffer_); }
+  ~LogCapture() {
+    SetLogSink(nullptr);
+    SetLogJsonMode(false);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+};
+
+TEST(LogTest, TextLineCarriesLevelComponentAndMessage) {
+  LogCapture capture;
+  LogWarn("test", "shard 3 lagging");
+  const std::string line = capture.str();
+  EXPECT_NE(line.find(" W test: shard 3 lagging\n"), std::string::npos)
+      << line;
+}
+
+TEST(LogTest, MinLevelFilters) {
+  LogCapture capture;
+  SetMinLogLevel(LogLevel::kWarn);
+  LogInfo("test", "dropped");
+  LogError("test", "kept");
+  const std::string out = capture.str();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept"), std::string::npos);
+}
+
+TEST(LogTest, JsonModeEmitsParseableObjects) {
+  LogCapture capture;
+  SetLogJsonMode(true);
+  LogInfo("serve", "started 4 shards");
+  const std::string line = capture.str();
+  EXPECT_EQ(line.find("{\"ts_us\":"), 0u) << line;
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"component\":\"serve\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"msg\":\"started 4 shards\""), std::string::npos)
+      << line;
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(LogTest, JsonEscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(LogTest, ConcurrentWritersNeverInterleaveWithinALine) {
+  LogCapture capture;
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      const std::string component = "w" + std::to_string(t);
+      for (int i = 0; i < kLines; ++i) {
+        LogInfo(component, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  // Every line, split on '\n', must be complete: level marker, a known
+  // component, and the full payload — torn writes would break this.
+  std::istringstream lines(capture.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find(" I w"), std::string::npos) << line;
+    EXPECT_NE(line.find(": xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+              std::string::npos)
+        << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 }  // namespace

@@ -1,0 +1,341 @@
+// Tests for the concurrent serving layer (src/serve): the bounded MPSC
+// queue, the epoch-barrier merger, and end-to-end determinism — serve at
+// any shard count must reproduce the serial reference byte-for-byte.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/oracles.h"
+#include "check/trace_gen.h"
+#include "compress/well_formed.h"
+#include "serve/merger.h"
+#include "serve/queue.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+
+namespace spire::serve {
+namespace {
+
+constexpr auto kTick = std::chrono::milliseconds(20);
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(2);
+  std::optional<int> got;
+  std::thread consumer([&] { got = queue.Pop(); });
+  std::this_thread::sleep_for(kTick);
+  EXPECT_TRUE(queue.Push(7));
+  consumer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+}
+
+TEST(BoundedQueueTest, PushBlocksWhenFullAndResumesOnPop) {
+  QueueMetrics metrics;
+  BoundedQueue<int> queue(2, &metrics);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(3));  // Full: must block until a Pop.
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(kTick);
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop().value_or(-1), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop().value_or(-1), 2);
+  EXPECT_EQ(queue.Pop().value_or(-1), 3);
+  EXPECT_GE(metrics.blocked_pushes.load(), 1u);
+  EXPECT_EQ(metrics.depth_highwater.load(), 2u);
+}
+
+TEST(BoundedQueueTest, TryPushCountsDrops) {
+  QueueMetrics metrics;
+  BoundedQueue<int> queue(1, &metrics);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_FALSE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_EQ(metrics.dropped.load(), 2u);
+  EXPECT_EQ(queue.Pop().value_or(-1), 1);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPop) {
+  BoundedQueue<int> queue(2);
+  std::optional<int> got = 0;
+  std::thread consumer([&] { got = queue.Pop(); });
+  std::this_thread::sleep_for(kTick);
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPush) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  bool accepted = true;
+  std::thread producer([&] { accepted = queue.Push(2); });
+  std::this_thread::sleep_for(kTick);
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(accepted);
+}
+
+TEST(BoundedQueueTest, CloseDrainsAcceptedItems) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(queue.Push(i));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(99));  // Closed: rejected.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(queue.Pop().value_or(-1), i);
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());  // Stays drained.
+}
+
+TEST(BoundedQueueTest, MultiProducerPreservesPerProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<std::pair<int, int>> queue(4);  // Small: forces backpressure.
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push({p, i}));
+      }
+    });
+  }
+  std::vector<int> next_expected(kProducers, 0);
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    const auto [producer, seq] = *item;
+    EXPECT_EQ(seq, next_expected[static_cast<std::size_t>(producer)]);
+    ++next_expected[static_cast<std::size_t>(producer)];
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[static_cast<std::size_t>(p)], kPerProducer);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventMerger
+
+/// A one-event batch whose event encodes (epoch, site) in the object id so
+/// ordering violations are visible in the merged stream.
+SiteBatch Batch(Epoch epoch, int site) {
+  SiteBatch batch;
+  batch.epoch = epoch;
+  batch.site = site;
+  batch.events.push_back(Event::StartLocation(
+      static_cast<ObjectId>(100 * (epoch + 1) + site), 1, epoch));
+  return batch;
+}
+
+SiteBatch FinishBatch(Epoch epoch, int site) {
+  SiteBatch batch;
+  batch.epoch = epoch;
+  batch.site = site;
+  batch.finish = true;
+  return batch;
+}
+
+TEST(EventMergerTest, MergesByEpochThenSite) {
+  // Queue 0 carries sites {0, 2}; queue 1 carries site {1}.
+  BoundedQueue<SiteBatch> q0(16), q1(16);
+  const std::vector<BoundedQueue<SiteBatch>*> queues = {&q0, &q1};
+  const std::vector<std::size_t> per_queue = {2, 1};
+  for (Epoch e = 0; e < 2; ++e) {
+    ASSERT_TRUE(q0.Push(Batch(e, 0)));
+    ASSERT_TRUE(q0.Push(Batch(e, 2)));
+    ASSERT_TRUE(q1.Push(Batch(e, 1)));
+  }
+  ASSERT_TRUE(q0.Push(FinishBatch(2, 0)));
+  ASSERT_TRUE(q0.Push(FinishBatch(2, 2)));
+  ASSERT_TRUE(q1.Push(FinishBatch(2, 1)));
+  q0.Close();
+  q1.Close();
+
+  MergerMetrics metrics;
+  EventMerger merger(&metrics);
+  EventStream out;
+  ASSERT_TRUE(merger.Drain(queues, per_queue, &out).ok());
+
+  // Global order: (epoch, site) ascending regardless of queue layout.
+  std::vector<ObjectId> got;
+  for (const Event& event : out) got.push_back(event.object);
+  EXPECT_EQ(got, (std::vector<ObjectId>{100, 101, 102, 200, 201, 202}));
+  EXPECT_EQ(metrics.epochs_merged.load(), 2u);  // Data rounds; finish not.
+  EXPECT_EQ(metrics.events_out.load(), 6u);
+}
+
+TEST(EventMergerTest, EarlyCloseIsProtocolError) {
+  BoundedQueue<SiteBatch> q0(4);
+  ASSERT_TRUE(q0.Push(Batch(0, 0)));
+  q0.Close();  // No finish batch: the producer died.
+  EventMerger merger;
+  EventStream out;
+  Status status = merger.Drain({&q0}, {1}, &out);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(EventMergerTest, WrongEpochIsProtocolError) {
+  BoundedQueue<SiteBatch> q0(4);
+  ASSERT_TRUE(q0.Push(Batch(5, 0)));  // Expected epoch 0.
+  q0.Close();
+  EventMerger merger;
+  EventStream out;
+  Status status = merger.Drain({&q0}, {1}, &out);
+  EXPECT_FALSE(status.ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving
+
+/// Expands fuzz seeds into a normalized multi-site workload (one site per
+/// seed), reusing the src/check trace generator.
+Workload MakeWorkload(const std::vector<std::uint64_t>& seeds) {
+  Workload workload;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    auto trace = GenerateTrace(CaseFromSeed(seeds[i]));
+    EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+    SiteWorkload site;
+    site.name = "seed-" + std::to_string(seeds[i]);
+    site.registry = trace.value().registry;
+    site.epochs = std::move(trace.value().epochs);
+    workload.sites.push_back(std::move(site));
+  }
+  Status status = NormalizeWorkload(&workload);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return workload;
+}
+
+EventStream Serve(const Workload& workload, int shards,
+                  CompressionLevel level = CompressionLevel::kLevel1) {
+  ServeOptions options;
+  options.num_shards = shards;
+  options.queue_capacity = 4;  // Small: exercises backpressure paths.
+  options.pipeline.level = level;
+  SpireServer server(&workload, options);
+  ServeResult result = server.Run();
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.epochs_processed, workload.num_epochs);
+  return std::move(result.events);
+}
+
+TEST(ServeTest, ShardCountsAreByteIdentical) {
+  // 3 sites over 4 shards also exercises a shard that owns zero sites.
+  Workload workload = MakeWorkload({11, 12, 13});
+  for (CompressionLevel level :
+       {CompressionLevel::kLevel1, CompressionLevel::kLevel2}) {
+    PipelineOptions options;
+    options.level = level;
+    EventStream reference = RunServeReference(workload, options);
+    EXPECT_FALSE(reference.empty());
+    for (int shards : {1, 2, 4}) {
+      EventStream served = Serve(workload, shards, level);
+      EXPECT_EQ(served, reference)
+          << "shards=" << shards << " level=" << static_cast<int>(level)
+          << "\n"
+          << DiffStreams(served, reference, "serve", "reference");
+    }
+  }
+}
+
+TEST(ServeTest, SingleSiteMatchesPlainPipeline) {
+  // Site 0's normalization is the identity, so serve over one site must
+  // reproduce the plain single-threaded pipeline bit for bit.
+  auto trace = GenerateTrace(CaseFromSeed(21));
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EventStream plain =
+      RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel1);
+
+  Workload workload = MakeWorkload({21});
+  EventStream served = Serve(workload, 1);
+  EXPECT_EQ(served, plain) << DiffStreams(served, plain, "serve", "pipeline");
+}
+
+TEST(ServeTest, MergedStreamIsWellFormed) {
+  Workload workload = MakeWorkload({31, 32, 33, 34});
+  EventStream served = Serve(workload, 2);
+  Status status = ValidateWellFormed(served);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ServeTest, Level2RecoversLevel1) {
+  Workload workload = MakeWorkload({41, 42});
+  EventStream level1 = Serve(workload, 2, CompressionLevel::kLevel1);
+  EventStream level2 = Serve(workload, 2, CompressionLevel::kLevel2);
+  auto failure = DifferentialChecker::CheckLevel2Recovery(level1, level2);
+  EXPECT_FALSE(failure.has_value())
+      << failure->oracle << ": " << failure->detail;
+}
+
+TEST(ServeTest, RequestStopStillFlushesOpenEvents) {
+  Workload workload = MakeWorkload({51, 52});
+  ServeOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 2;
+  SpireServer server(&workload, options);
+  std::thread stopper([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    server.RequestStop();
+  });
+  ServeResult result = server.Run();
+  stopper.join();
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_LE(result.epochs_processed, workload.num_epochs);
+  // However much was ingested, every pipeline flushed: no open events.
+  Status status = ValidateWellFormed(result.events);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ServeTest, MetricsJsonReportsRegistry) {
+  Workload workload = MakeWorkload({61, 62});
+  ServeOptions options;
+  options.num_shards = 2;
+  SpireServer server(&workload, options);
+  ServeResult result = server.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  const std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"num_shards\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"num_sites\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"process_latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"merger\""), std::string::npos);
+  EXPECT_NE(json.find("\"epochs_per_sec\""), std::string::npos);
+  const std::uint64_t merged_epochs = server.metrics().merger().epochs_merged;
+  EXPECT_EQ(merged_epochs, static_cast<std::uint64_t>(workload.num_epochs))
+      << "one merged round per data epoch";
+}
+
+TEST(ServeTest, NormalizeRejectsOversizedWorkloads) {
+  Workload workload;
+  workload.sites.resize(kMaxSites + 1);
+  EXPECT_FALSE(NormalizeWorkload(&workload).ok());
+  Workload empty;
+  EXPECT_FALSE(NormalizeWorkload(&empty).ok());
+}
+
+}  // namespace
+}  // namespace spire::serve

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Local CI: configure, build, and run the full test suite twice — once
-# plain, once under ASan+UBSan (SPIRE_SANITIZE=ON). Any warning is an error
-# in both configurations (-Werror is always on). After ctest, each
-# configuration replays the spire_fuzz seed corpus (tools/fuzz_seeds.txt)
-# through the differential oracle battery (DESIGN.md §7); an oracle
-# violation fails the build and leaves the minimized repro under
-# <build-dir>/fuzz-repros/ (its path is printed on stdout).
+# Local CI: configure, build, and run the test suite in three
+# configurations — plain, ASan+UBSan (SPIRE_SANITIZE=ON), and TSan
+# (SPIRE_SANITIZE=thread, concurrency tests only: the serving layer's
+# queue/merger/serve suites). Any warning is an error in every
+# configuration (-Werror is always on). After ctest, the plain and
+# sanitized configurations replay the spire_fuzz seed corpus
+# (tools/fuzz_seeds.txt) through the differential oracle battery
+# (DESIGN.md §7); an oracle violation fails the build and leaves the
+# minimized repro under <build-dir>/fuzz-repros/ (its path is printed on
+# stdout).
 #
-#   tools/ci.sh            # both configurations
+#   tools/ci.sh            # all three configurations
 #   tools/ci.sh plain      # plain only
-#   tools/ci.sh sanitize   # sanitized only
+#   tools/ci.sh sanitize   # ASan+UBSan only
+#   tools/ci.sh tsan       # ThreadSanitizer only (serve/queue/merger tests)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,15 +34,30 @@ run_config() {
     --out-dir "$dir/fuzz-repros"
 }
 
+# TSan watches the threaded code paths; the single-threaded suites add
+# nothing but runtime, so only the serving-layer tests run here.
+run_tsan() {
+  local dir="build-tsan"
+  echo "=== [tsan] configure ==="
+  cmake -B "$dir" -S . -DSPIRE_SANITIZE=thread
+  echo "=== [tsan] build ==="
+  cmake --build "$dir" -j "$jobs" --target serve_test common_test
+  echo "=== [tsan] test (concurrency suites) ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
+    -R 'Serve|Queue|Merger|Log'
+}
+
 case "$mode" in
   plain) run_config plain build ;;
   sanitize) run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON ;;
+  tsan) run_tsan ;;
   all)
     run_config plain build
     run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON
+    run_tsan
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|sanitize|all]" >&2
+    echo "usage: tools/ci.sh [plain|sanitize|tsan|all]" >&2
     exit 2
     ;;
 esac

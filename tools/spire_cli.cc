@@ -13,6 +13,17 @@
 //   spire_cli scan       in=events.sparc [from=<t>] [to=<t>] [object=<id>]
 //                        [out=subset.spev]
 //   spire_cli compact    in=events.sparc out=packed.sparc [block=<events>]
+//   spire_cli serve      in=<t1,t2,..> deployment=<d1,d2,..> out=events.spev
+//                        [shards=N] [queue=C] [level=1|2] [--stats]
+//                        [stats_out=metrics.json]
+//   spire_cli serve      sites=N seed=S out=events.spev [shards=N] [...]
+//
+// `serve` runs the concurrent sharded serving layer (src/serve): one SPIRE
+// pipeline per site on N worker shards with an ordered merge. Sites come
+// either from per-site trace/deployment file pairs (comma-separated, same
+// count) or from the differential-checking trace generator (`sites=N`
+// expands seeds S..S+N-1). `--stats` dumps the runtime metrics registry as
+// JSON on stdout at shutdown.
 //
 // Trace files use the binary format of stream/trace_io.h; event files are
 // "SPEV" + u16 version + u64 record count + the 26-byte records of
@@ -25,12 +36,15 @@
 #include <string>
 #include <vector>
 
+#include "check/trace_gen.h"
 #include "common/config.h"
 #include "compress/decompress.h"
 #include "compress/fold.h"
 #include "compress/serde.h"
 #include "compress/well_formed.h"
 #include "query/event_log.h"
+#include "serve/server.h"
+#include "serve/workload.h"
 #include "sim/simulator.h"
 #include "spire/pipeline.h"
 #include "store/archive_reader.h"
@@ -392,18 +406,167 @@ int RunCompact(const Config& args) {
   return 0;
 }
 
+// --------------------------------------------------------------- serve
+
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t from = 0;
+  while (from <= text.size()) {
+    const std::size_t comma = text.find(',', from);
+    if (comma == std::string::npos) {
+      if (from < text.size()) parts.push_back(text.substr(from));
+      break;
+    }
+    if (comma > from) parts.push_back(text.substr(from, comma - from));
+    from = comma + 1;
+  }
+  return parts;
+}
+
+/// Reads one (trace, deployment) pair into a site, indexing readings by
+/// epoch (trace files may skip silent epochs).
+Result<serve::SiteWorkload> LoadSite(const std::string& trace_path,
+                                     const std::string& deployment_path) {
+  serve::SiteWorkload site;
+  site.name = trace_path;
+  auto lines = LoadLines(deployment_path);
+  if (!lines.ok()) return lines.status();
+  auto registry = ParseDeployment(lines.value());
+  if (!registry.ok()) return registry.status();
+  site.registry = std::move(registry).value();
+
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + trace_path);
+  TraceReader reader(&in);
+  SPIRE_RETURN_NOT_OK(reader.ReadHeader());
+  Epoch epoch = kNeverEpoch;
+  EpochReadings readings;
+  for (;;) {
+    auto more = reader.NextEpoch(&epoch, &readings);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    if (epoch < 0) return Status::Corruption("negative epoch in " + trace_path);
+    if (static_cast<std::size_t>(epoch) >= site.epochs.size()) {
+      site.epochs.resize(static_cast<std::size_t>(epoch) + 1);
+    }
+    site.epochs[static_cast<std::size_t>(epoch)] = std::move(readings);
+  }
+  return site;
+}
+
+/// Builds the workload from file pairs or fuzz seeds (see usage).
+Result<serve::Workload> BuildServeWorkload(const Config& args) {
+  serve::Workload workload;
+  auto in_list = SplitCommaList(args.GetString("in", "").value_or(""));
+  auto dep_list =
+      SplitCommaList(args.GetString("deployment", "").value_or(""));
+  const auto num_sites = args.GetInt("sites", 0).value_or(0);
+  if (!in_list.empty()) {
+    if (in_list.size() != dep_list.size()) {
+      return Status::InvalidArgument(
+          "serve needs one deployment per trace (got " +
+          std::to_string(in_list.size()) + " traces, " +
+          std::to_string(dep_list.size()) + " deployments)");
+    }
+    for (std::size_t i = 0; i < in_list.size(); ++i) {
+      auto site = LoadSite(in_list[i], dep_list[i]);
+      if (!site.ok()) return site.status();
+      workload.sites.push_back(std::move(site).value());
+    }
+  } else if (num_sites > 0) {
+    const auto seed = args.GetInt("seed", 1).value_or(1);
+    for (std::int64_t i = 0; i < num_sites; ++i) {
+      FuzzCase fuzz_case =
+          CaseFromSeed(static_cast<std::uint64_t>(seed + i));
+      auto trace = GenerateTrace(fuzz_case);
+      if (!trace.ok()) return trace.status();
+      serve::SiteWorkload site;
+      site.name = "fuzz-seed-" + std::to_string(seed + i);
+      site.registry = std::move(trace.value().registry);
+      site.epochs = std::move(trace.value().epochs);
+      workload.sites.push_back(std::move(site));
+    }
+  } else {
+    return Status::InvalidArgument(
+        "serve needs in=<t1,t2,..> deployment=<d1,d2,..> or sites=N seed=S");
+  }
+  SPIRE_RETURN_NOT_OK(serve::NormalizeWorkload(&workload));
+  return workload;
+}
+
+int RunServe(const Config& args) {
+  auto out_path = args.GetString("out", "").value_or("");
+  if (out_path.empty()) return FailText("serve needs out=<events>");
+  auto workload = BuildServeWorkload(args);
+  if (!workload.ok()) return Fail(workload.status());
+
+  serve::ServeOptions options;
+  options.num_shards =
+      static_cast<int>(args.GetInt("shards", 1).value_or(1));
+  options.queue_capacity = static_cast<std::size_t>(
+      args.GetInt("queue", 64).value_or(64));
+  options.pipeline.level = args.GetInt("level", 2).value_or(2) == 1
+                               ? CompressionLevel::kLevel1
+                               : CompressionLevel::kLevel2;
+
+  serve::SpireServer server(&workload.value(), options);
+  serve::ServeResult result = server.Run();
+  if (!result.status.ok()) return Fail(result.status);
+
+  Status status = WriteEventFile(out_path, result.events);
+  if (!status.ok()) return Fail(status);
+
+  std::size_t total_readings = 0;
+  for (const auto& site : workload.value().sites) {
+    total_readings += site.total_readings;
+  }
+  std::printf("served %zu site(s) on %d shard(s): %zu readings over %lld "
+              "epochs -> %zu events in %.3fs (%.0f epochs/s)\n",
+              workload.value().sites.size(), options.num_shards,
+              total_readings,
+              static_cast<long long>(result.epochs_processed),
+              result.events.size(), result.wall_seconds,
+              result.wall_seconds > 0.0
+                  ? static_cast<double>(result.epochs_processed) /
+                        result.wall_seconds
+                  : 0.0);
+
+  const bool stats = args.GetBool("stats", false).value_or(false);
+  auto stats_out = args.GetString("stats_out", "").value_or("");
+  if (stats || !stats_out.empty()) {
+    const std::string json = server.MetricsJson();
+    if (stats) std::printf("%s\n", json.c_str());
+    if (!stats_out.empty()) {
+      std::ofstream stats_file(stats_out);
+      if (!stats_file) return FailText("cannot open: " + stats_out);
+      stats_file << json << "\n";
+      if (!stats_file.good()) return FailText("write failed: " + stats_out);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s generate|process|decompress|validate|stats|query|"
-                 "archive|scan|compact [key=value ...]\n",
+                 "archive|scan|compact|serve [key=value ...]\n",
                  argv[0]);
     return 1;
   }
   std::string command = argv[1];
-  auto args = Config::FromArgs(argc - 1, argv + 1);
+  // `--stats` is sugar for `stats=true` (the one flag-style option).
+  std::vector<std::string> arg_strings;
+  for (int i = 1; i < argc; ++i) {
+    arg_strings.push_back(std::strcmp(argv[i], "--stats") == 0 ? "stats=true"
+                                                               : argv[i]);
+  }
+  std::vector<const char*> arg_ptrs;
+  for (const std::string& arg : arg_strings) arg_ptrs.push_back(arg.c_str());
+  auto args = Config::FromArgs(static_cast<int>(arg_ptrs.size()),
+                               arg_ptrs.data());
   if (!args.ok()) return Fail(args.status());
   if (command == "generate") return RunGenerate(args.value());
   if (command == "process") return RunProcess(args.value());
@@ -414,5 +577,6 @@ int main(int argc, char** argv) {
   if (command == "archive") return RunArchive(args.value());
   if (command == "scan") return RunScan(args.value());
   if (command == "compact") return RunCompact(args.value());
+  if (command == "serve") return RunServe(args.value());
   return FailText("unknown command: " + command);
 }

@@ -115,13 +115,23 @@ int RunReplay(const std::string& path, bool dump) {
   DifferentialChecker checker;
   CheckStats stats;
   auto failure = checker.Check(fuzz_case.value(), &stats);
+  const auto seed =
+      static_cast<unsigned long long>(fuzz_case.value().sim.seed);
   if (failure) {
-    std::printf("oracle '%s' still violated:\n%s\n", failure->oracle.c_str(),
-                failure->detail.c_str());
+    // Name the oracle and the seed in the exit message itself, so a replay
+    // failure is actionable without re-running under --dump.
+    std::printf("%s\n", failure->detail.c_str());
+    std::printf("replay FAILED: oracle '%s' violated (seed %llu, %lld "
+                "epochs, %zu excluded tags) — re-run with --dump for the "
+                "full streams\n",
+                failure->oracle.c_str(), seed,
+                static_cast<long long>(fuzz_case.value().EffectiveEpochs()),
+                fuzz_case.value().excluded_tags.size());
     return 1;
   }
-  std::printf("all oracles green (%zu pipeline traces) — repro is fixed\n",
-              stats.traces_run);
+  std::printf("replay OK: all oracles green for seed %llu (%zu pipeline "
+              "traces) — repro is fixed\n",
+              seed, stats.traces_run);
   return 0;
 }
 
