@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "compress/decompress.h"
 #include "compress/well_formed.h"
@@ -159,7 +160,9 @@ std::string BenchReport::ToJson() const {
   for (const auto& [key, value] : metrics_) {
     out << ",\"" << key << "\":" << value;
   }
-  out << ",\"peak_rss_bytes\":" << PeakRssBytes() << "}";
+  out << ",\"peak_rss_bytes\":" << PeakRssBytes()
+      << ",\"hardware_threads\":" << std::thread::hardware_concurrency()
+      << "}";
   return out.str();
 }
 
@@ -184,9 +187,14 @@ Status BenchReport::Write() const {
 std::size_t PeakRssBytes() {
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  // Linux reports ru_maxrss in kilobytes (macOS in bytes; this tree
-  // targets Linux toolchains).
+  // ru_maxrss units differ by platform: Linux reports kilobytes, macOS
+  // bytes. Normalize to bytes either way so `peak_rss_bytes` means what it
+  // says in every BENCH_*.json.
+#ifdef __APPLE__
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
   return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
 }
 
 }  // namespace spire::bench

@@ -84,7 +84,9 @@ void PrintHeader(const std::string& title, const std::string& paper_ref);
 /// Machine-readable bench results: a flat name -> number map written as
 /// `BENCH_<name>.json` into $SPIRE_BENCH_DIR (default: the working
 /// directory), so the perf trajectory is trackable across PRs. Write()
-/// stamps the process's peak RSS as `peak_rss_bytes` automatically.
+/// stamps the process's peak RSS as `peak_rss_bytes` (bytes on every
+/// platform — see PeakRssBytes) and the machine's hardware-thread count as
+/// `hardware_threads` automatically.
 class BenchReport {
  public:
   explicit BenchReport(std::string name);
@@ -108,6 +110,8 @@ class BenchReport {
 };
 
 /// Peak resident set size of this process in bytes (0 when unavailable).
+/// getrusage's ru_maxrss is kilobytes on Linux and bytes on macOS; this
+/// helper normalizes both to bytes.
 std::size_t PeakRssBytes();
 
 }  // namespace spire::bench

@@ -139,11 +139,11 @@ int main(int argc, char** argv) {
     report.Add(prefix + "identical_to_reference", identical ? 1.0 : 0.0);
     const serve::ShardMetrics& shard0 = server.metrics().shard(0);
     report.Add(prefix + "p50_process_us",
-               shard0.process_latency.QuantileUs(0.50));
+               shard0.process_latency.Quantile(0.50));
     report.Add(prefix + "p95_process_us",
-               shard0.process_latency.QuantileUs(0.95));
+               shard0.process_latency.Quantile(0.95));
     report.Add(prefix + "p99_process_us",
-               shard0.process_latency.QuantileUs(0.99));
+               shard0.process_latency.Quantile(0.99));
     if (!identical) {
       std::fprintf(stderr,
                    "serve(%d shards) diverged from the serial reference\n",

@@ -1,0 +1,140 @@
+// Expt 11: overhead of the observability layer (DESIGN.md §9).
+//
+// The obs contract is that a disabled build costs one branch on a pointer
+// per instrumented site. This bench runs the same simulated trace through
+// the full pipeline three ways — instruments off, instruments on, and
+// instruments on with an active trace session plus explain channel — and
+// reports wall seconds for each, interleaving the configurations A/B/A/B
+// across repetitions so drift hits all arms equally. The number to watch is
+// `enabled_over_disabled`: metrics alone should be within noise of off
+// (single-digit percent), and full tracing low multiples of that.
+//
+//   ./expt11_obs [full=true] [reps=N] [key=value ...]
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/table.h"
+#include "obs/explain.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+using namespace spire;
+using namespace spire::bench;
+
+namespace {
+
+struct Arm {
+  const char* name;
+  bool enabled = false;
+  bool traced = false;
+  std::vector<double> seconds;
+};
+
+/// One full pipeline run; returns wall seconds of the processing loop.
+double RunOnce(const SimConfig& sim_config, bool enabled, bool traced,
+               const std::string& trace_path) {
+  obs::SetEnabled(enabled);
+  if (traced) {
+    Status status = obs::Tracer::Global().Start(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  auto sim = WarehouseSimulator::Create(sim_config);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "%s\n", sim.status().ToString().c_str());
+    std::exit(1);
+  }
+  WarehouseSimulator& s = *sim.value();
+  SpirePipeline pipeline(&s.registry(), PipelineOptions{});
+  obs::ExplainLog explain;
+  if (traced) pipeline.SetExplainSink(&explain);
+
+  EventStream sink;
+  const auto start = std::chrono::steady_clock::now();
+  while (!s.Done()) {
+    EpochReadings readings = s.Step();
+    pipeline.ProcessEpoch(s.current_epoch(), std::move(readings), &sink);
+  }
+  pipeline.Finish(s.current_epoch() + 1, &sink);
+  const auto end = std::chrono::steady_clock::now();
+
+  if (traced) {
+    Status status = obs::Tracer::Global().Stop();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  obs::SetEnabled(false);
+  return std::chrono::duration<double>(end - start).count();
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config args = ParseArgs(argc, argv);
+  const bool full = args.GetBool("full", false).value_or(false);
+  const int reps =
+      static_cast<int>(args.GetInt("reps", full ? 7 : 5).value_or(5));
+
+  SimConfig sim_config = SweepConfig(full);
+  auto overridden = SimConfig::FromConfig(args, sim_config);
+  if (overridden.ok()) sim_config = overridden.value();
+
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "expt11_obs_trace.json")
+          .string();
+
+  PrintHeader("Expt 11: observability overhead",
+              "DESIGN.md §9 (disabled = one branch on a pointer)");
+
+  Arm arms[] = {{"obs off", false, false, {}},
+                {"metrics on", true, false, {}},
+                {"metrics+trace+explain", true, true, {}}};
+  // Warm-up run (page cache, allocator) discarded.
+  RunOnce(sim_config, false, false, trace_path);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (Arm& arm : arms) {
+      arm.seconds.push_back(
+          RunOnce(sim_config, arm.enabled, arm.traced, trace_path));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove(trace_path, ec);
+
+  const double off = Median(arms[0].seconds);
+  TextTable table({"configuration", "median (s)", "vs off"});
+  BenchReport report("expt11_obs");
+  for (const Arm& arm : arms) {
+    const double median = Median(arm.seconds);
+    table.AddRow({arm.name, TextTable::Num(median, 4),
+                  TextTable::Num(off > 0.0 ? median / off : 0.0, 3)});
+  }
+  table.Print();
+
+  report.Add("reps", reps);
+  report.Add("disabled_s", off);
+  report.Add("enabled_s", Median(arms[1].seconds));
+  report.Add("traced_s", Median(arms[2].seconds));
+  report.Add("enabled_over_disabled",
+             off > 0.0 ? Median(arms[1].seconds) / off : 0.0);
+  report.Add("traced_over_disabled",
+             off > 0.0 ? Median(arms[2].seconds) / off : 0.0);
+  Status status = report.Write();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

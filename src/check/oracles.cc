@@ -6,8 +6,10 @@
 #include <tuple>
 
 #include "compress/decompress.h"
+#include "compress/fold.h"
 #include "compress/serde.h"
 #include "compress/well_formed.h"
+#include "obs/explain.h"
 #include "store/archive_reader.h"
 #include "store/archive_writer.h"
 #include "store/segment.h"
@@ -187,6 +189,88 @@ std::optional<OracleFailure> DifferentialChecker::CheckArchiveRoundTrip(
   return std::nullopt;
 }
 
+std::optional<OracleFailure> DifferentialChecker::CheckExplainConsistency(
+    const RecordedTrace& trace, const EventStream& level2) {
+  auto fail = [](const std::string& detail) {
+    return OracleFailure{"explain_consistency", detail};
+  };
+
+  PipelineOptions options;
+  options.level = CompressionLevel::kLevel2;
+  SpirePipeline pipeline(&trace.registry, options);
+  obs::ExplainLog log;
+  pipeline.SetExplainSink(&log);
+  EventStream out;
+  for (std::size_t epoch = 0; epoch < trace.epochs.size(); ++epoch) {
+    pipeline.ProcessEpoch(static_cast<Epoch>(epoch), trace.epochs[epoch],
+                          &out);
+  }
+  pipeline.Finish(static_cast<Epoch>(trace.epochs.size()), &out);
+
+  if (std::string diff = DiffStreams(level2, out, "level2 without explain",
+                                     "level2 with explain");
+      !diff.empty()) {
+    return fail("attaching the explain channel changed the output\n" + diff);
+  }
+  if (log.events().size() != out.size()) {
+    return fail(std::to_string(out.size()) + " events but " +
+                std::to_string(log.events().size()) + " provenance records");
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const obs::EventProvenance& record = log.events()[i];
+    const Event& event = out[i];
+    const std::string at = "record " + std::to_string(i);
+    if (record.id != i) {
+      return fail(at + " carries id " + std::to_string(record.id));
+    }
+    if (record.type != ToString(event.type) ||
+        record.object != event.object || record.location != event.location ||
+        record.container != event.container || record.start != event.start ||
+        record.end != event.end) {
+      return fail(at + " does not match its event " + event.ToString());
+    }
+    if (record.stage != "report" && record.stage != "exit" &&
+        record.stage != "finish") {
+      return fail(at + " has unknown stage '" + record.stage + "'");
+    }
+    if (record.winner_posterior < 0.0 ||
+        record.winner_posterior > 1.0 + 1e-9 ||
+        record.runner_up_posterior < 0.0 ||
+        record.runner_up_posterior > record.winner_posterior + 1e-9) {
+      return fail(at + " has implausible posteriors " +
+                  std::to_string(record.winner_posterior) + " / " +
+                  std::to_string(record.runner_up_posterior));
+    }
+  }
+
+  // Every suppressed level-2 location update must name a containment that
+  // the output stream itself shows open at the suppression epoch.
+  const std::vector<RangedEvent> folded = FoldEvents(out);
+  for (const obs::SuppressionRecord& record : log.suppressions()) {
+    if (record.reason != "contained") {
+      return fail("suppression with unknown reason '" + record.reason + "'");
+    }
+    bool covered = false;
+    for (const RangedEvent& ranged : folded) {
+      if (ranged.type == EventType::kStartContainment &&
+          ranged.object == record.object &&
+          ranged.container == record.covering_container &&
+          ranged.start <= record.epoch && record.epoch <= ranged.end) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return fail("suppression of object " + std::to_string(record.object) +
+                  " at epoch " + std::to_string(record.epoch) +
+                  " names container " +
+                  std::to_string(record.covering_container) +
+                  " with no covering containment in the output");
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<OracleFailure> DifferentialChecker::Check(
     const FuzzCase& fuzz_case, CheckStats* stats) const {
   auto trace = GenerateTrace(fuzz_case);
@@ -203,6 +287,10 @@ std::optional<OracleFailure> DifferentialChecker::Check(
   if (auto failure = CheckArchiveRoundTrip(level1, "level1")) return failure;
   if (auto failure = CheckSerdeRoundTrip(level1, "level1")) return failure;
   if (auto failure = CheckSerdeRoundTrip(level2, "level2")) return failure;
+  if (auto failure = CheckExplainConsistency(trace.value(), level2)) {
+    return failure;
+  }
+  if (stats != nullptr) stats->traces_run += 1;
 
   // Determinism: the whole path — simulator, dedup, inference, compression —
   // must reproduce bit-identically from the same case.

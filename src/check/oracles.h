@@ -1,6 +1,6 @@
 // The oracle battery of the differential checking harness.
 //
-// Every FuzzCase is expanded into a trace and judged by five oracles:
+// Every FuzzCase is expanded into a trace and judged by six oracles:
 //
 //   (a) well_formed        both pipeline outputs pass ValidateWellFormed.
 //   (b) level2_recovery    Decompress(level-2 output) is event-for-event
@@ -12,6 +12,12 @@
 //   (d) serde_roundtrip    SPEV encode/decode reproduces the stream exactly.
 //   (e) determinism        regenerating and re-running the same case yields
 //                          bit-identical output streams.
+//   (f) explain_consistency re-running level 2 with the explain channel
+//                          attached changes nothing, yields exactly one
+//                          provenance record per emitted event (matching
+//                          fields, sane stage/posteriors), and every
+//                          level-2 suppression names a covering containment
+//                          that is actually open at that epoch.
 //
 // A failure names the oracle and carries a human-readable diff/detail, so a
 // minimized repro file is actionable on its own.
@@ -58,7 +64,8 @@ struct CheckOptions {
 
 /// Cost accounting for one Check() call.
 struct CheckStats {
-  /// Pipeline executions performed (2 levels + 2 determinism re-runs).
+  /// Pipeline executions performed (2 levels + 2 determinism re-runs + 1
+  /// explain-consistency re-run).
   std::size_t traces_run = 0;
 };
 
@@ -67,7 +74,7 @@ class DifferentialChecker {
  public:
   explicit DifferentialChecker(CheckOptions options = {});
 
-  /// Expands the case and applies all five oracles; std::nullopt means all
+  /// Expands the case and applies all six oracles; std::nullopt means all
   /// green. `stats`, when non-null, accumulates pipeline-run counts.
   std::optional<OracleFailure> Check(const FuzzCase& fuzz_case,
                                      CheckStats* stats = nullptr) const;
@@ -76,6 +83,11 @@ class DifferentialChecker {
   // std::nullopt when satisfied.
   static std::optional<OracleFailure> CheckWellFormed(const EventStream& level1,
                                                       const EventStream& level2);
+  /// Re-runs the trace at level 2 with an ExplainLog attached and checks
+  /// the log against `level2` (the same trace's output without the
+  /// channel). `level2` must already be well-formed.
+  static std::optional<OracleFailure> CheckExplainConsistency(
+      const RecordedTrace& trace, const EventStream& level2);
   static std::optional<OracleFailure> CheckLevel2Recovery(
       const EventStream& level1, const EventStream& level2);
   static std::optional<OracleFailure> CheckSerdeRoundTrip(

@@ -3,12 +3,38 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/registry.h"
+
 namespace spire {
+
+namespace {
+
+struct Instruments {
+  obs::Counter* reports;
+  obs::Counter* retires;
+  obs::Counter* suppressed_locations;
+};
+
+const Instruments* GetInstruments() {
+  if (!obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  static const Instruments instruments{
+      registry.GetCounter("compress", "reports"),
+      registry.GetCounter("compress", "retires"),
+      registry.GetCounter("compress", "suppressed_locations"),
+  };
+  return &instruments;
+}
+
+}  // namespace
 
 Compressor::Compressor(CompressorOptions options) : options_(options) {}
 
 void Compressor::Report(const ObjectStateEstimate& state, Epoch epoch,
                         EventStream* out) {
+  if (const Instruments* instruments = GetInstruments()) {
+    instruments->reports->Add(1);
+  }
   Tracked& tracked = tracked_[state.object];
   const LocationId before = EffectiveLocation(tracked);
   EmitContainmentChange(tracked, state, epoch, out);
@@ -202,6 +228,16 @@ void Compressor::EmitLocationChange(Tracked& tracked,
           tracked.location_start = epoch;
           tracked.derived_open = false;
         }
+      } else {
+        // The report agrees with the derived chain-root location: level-2
+        // suppression proper — nothing reaches the stream.
+        if (const Instruments* instruments = GetInstruments()) {
+          instruments->suppressed_locations->Add(1);
+        }
+        if (observer_ != nullptr) {
+          observer_->OnLocationSuppressed(state.object, epoch,
+                                          tracked.open_container);
+        }
       }
       tracked.last_known_location = state.location;
       return;
@@ -283,6 +319,9 @@ void Compressor::CloseContainment(ObjectId object, Tracked& tracked,
 void Compressor::Retire(ObjectId object, Epoch epoch, EventStream* out) {
   auto it = tracked_.find(object);
   if (it == tracked_.end()) return;
+  if (const Instruments* instruments = GetInstruments()) {
+    instruments->retires->Add(1);
+  }
   ReleaseChildren(object, epoch, out);
   CloseContainment(object, it->second, epoch, out);
   CloseLocation(object, it->second, epoch, out);

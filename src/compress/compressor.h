@@ -49,6 +49,18 @@ struct CompressorOptions {
   bool emit_location = true;
 };
 
+/// Observes level-2 suppression decisions. Wired up by the explain channel;
+/// null (the default) costs one pointer compare per suppressed report.
+class CompressorObserver {
+ public:
+  virtual ~CompressorObserver() = default;
+  /// A contained object's location report was dropped entirely: the
+  /// decompressor derives the same location through the chain opened by
+  /// `covering_container`, so the report carried no information.
+  virtual void OnLocationSuppressed(ObjectId object, Epoch epoch,
+                                    ObjectId covering_container) = 0;
+};
+
 /// Base class implementing the shared change-detection state machine.
 /// Subclasses decide whether a contained object's location updates are
 /// emitted (level 1) or suppressed (level 2).
@@ -56,6 +68,9 @@ class Compressor {
  public:
   explicit Compressor(CompressorOptions options = {});
   virtual ~Compressor() = default;
+
+  /// Installs (or clears, with nullptr) the suppression observer. Not owned.
+  void SetObserver(CompressorObserver* observer) { observer_ = observer; }
 
   /// Reports the newly interpreted state of an object at `epoch`, appending
   /// any resulting events to `out`. Reporting the unchanged state is a
@@ -152,6 +167,7 @@ class Compressor {
                          EventStream* out);
 
   CompressorOptions options_;
+  CompressorObserver* observer_ = nullptr;
   std::unordered_map<ObjectId, Tracked> tracked_;
   /// Objects whose stay was suppress-closed at containment entry during the
   /// current epoch. The close bet on the chain root's stay surviving the

@@ -3,7 +3,38 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/registry.h"
+
 namespace spire {
+
+namespace {
+
+struct Instruments {
+  obs::Counter* epochs_applied;
+  obs::Counter* readings;
+  obs::Counter* nodes_created;
+  obs::Counter* edges_created;
+  obs::Counter* edges_removed;
+  obs::Counter* confirmations;
+  obs::Counter* conflicts_recorded;
+};
+
+const Instruments* GetInstruments() {
+  if (!obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  static const Instruments instruments{
+      registry.GetCounter("graph", "epochs_applied"),
+      registry.GetCounter("graph", "readings"),
+      registry.GetCounter("graph", "nodes_created"),
+      registry.GetCounter("graph", "edges_created"),
+      registry.GetCounter("graph", "edges_removed"),
+      registry.GetCounter("graph", "confirmations"),
+      registry.GetCounter("graph", "conflicts_recorded"),
+  };
+  return &instruments;
+}
+
+}  // namespace
 
 UpdateStats& UpdateStats::operator+=(const UpdateStats& other) {
   readings += other.readings;
@@ -26,6 +57,15 @@ UpdateStats GraphUpdater::ApplyEpoch(const EpochBatch& batch) {
   UpdateStats stats;
   for (const ReaderBatch& reader_batch : batch.per_reader) {
     stats += ApplyReaderBatch(reader_batch);
+  }
+  if (const Instruments* instruments = GetInstruments()) {
+    instruments->epochs_applied->Add(1);
+    instruments->readings->Add(stats.readings);
+    instruments->nodes_created->Add(stats.nodes_created);
+    instruments->edges_created->Add(stats.edges_created);
+    instruments->edges_removed->Add(stats.edges_removed);
+    instruments->confirmations->Add(stats.confirmations);
+    instruments->conflicts_recorded->Add(stats.conflicts_recorded);
   }
   return stats;
 }

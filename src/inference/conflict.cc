@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/epc.h"
+#include "obs/registry.h"
 
 namespace spire {
 
@@ -89,11 +90,15 @@ ConflictStats ResolveConflicts(InferenceResult* result) {
         // containment relationship.
         child.container = kNoObject;
         child.container_prob = 0.0;
+        child.container_runner_up = 0.0;
         ++stats.containments_ended;
       } else {
-        // Rules I and III: containment overrides the inferred child.
+        // Rules I and III: containment overrides the inferred child; the
+        // child adopts the parent's posterior (and its runner-up — the
+        // child's own candidates are no longer in play).
         child.location = parent.location;
         child.location_prob = parent.location_prob;
+        child.location_runner_up = parent.location_runner_up;
         child.withheld = parent.location == kUnknownLocation
                              ? child.withheld
                              : false;
@@ -101,6 +106,18 @@ ConflictStats ResolveConflicts(InferenceResult* result) {
         ++stats.children_overridden;
       }
     }
+  }
+  if (obs::Enabled()) {
+    auto& registry = obs::Registry::Global();
+    static obs::Counter* children_overridden =
+        registry.GetCounter("inference", "conflict_children_overridden");
+    static obs::Counter* parents_repositioned =
+        registry.GetCounter("inference", "conflict_parents_repositioned");
+    static obs::Counter* containments_ended =
+        registry.GetCounter("inference", "conflict_containments_ended");
+    children_overridden->Add(stats.children_overridden);
+    parents_repositioned->Add(stats.parents_repositioned);
+    containments_ended->Add(stats.containments_ended);
   }
   return stats;
 }

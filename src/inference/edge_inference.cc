@@ -52,6 +52,7 @@ EdgeInferenceResult EdgeInferencer::InferAt(const Node& node,
 
   double total = 0.0;
   double best_confidence = -1.0;
+  double second_confidence = -1.0;
   for (EdgeId id : node.parent_edges) {
     const Edge& edge = graph_->edge(id);
     const double confidence = Confidence(edge, node);
@@ -60,9 +61,12 @@ EdgeInferenceResult EdgeInferencer::InferAt(const Node& node,
     probabilities_[id] = confidence;
     total += confidence;
     if (confidence > best_confidence) {
+      second_confidence = best_confidence;
       best_confidence = confidence;
       result.best_edge = id;
       result.best_parent = edge.parent;
+    } else if (confidence > second_confidence) {
+      second_confidence = confidence;
     }
     if (prunable != nullptr && params_->prune_threshold > 0.0 &&
         confidence < params_->prune_threshold) {
@@ -72,11 +76,15 @@ EdgeInferenceResult EdgeInferencer::InferAt(const Node& node,
   if (total > 0.0) {
     for (EdgeId id : node.parent_edges) probabilities_[id] /= total;
     result.best_prob = probabilities_[result.best_edge];
+    if (second_confidence >= 0.0) {
+      result.runner_up_prob = second_confidence / total;
+    }
   } else {
     // No edge carries any evidence: fall back to a uniform distribution.
     const double uniform = 1.0 / static_cast<double>(node.parent_edges.size());
     for (EdgeId id : node.parent_edges) probabilities_[id] = uniform;
     result.best_prob = uniform;
+    if (node.parent_edges.size() > 1) result.runner_up_prob = uniform;
   }
   return result;
 }

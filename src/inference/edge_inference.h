@@ -20,6 +20,9 @@ struct EdgeInferenceResult {
   EdgeId best_edge = kNoEdge;
   ObjectId best_parent = kNoObject;
   double best_prob = 0.0;
+  /// Probability of the second-best candidate container; 0 when the node
+  /// has fewer than two parents. Feeds the explain channel's posterior gap.
+  double runner_up_prob = 0.0;
 };
 
 /// Computes Eqs. 1-2 over a graph. The per-edge probabilities of the last

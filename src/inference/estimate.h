@@ -16,10 +16,14 @@ struct ObjectEstimate {
   LocationId location = kUnknownLocation;
   /// Probability of the chosen location.
   double location_prob = 0.0;
+  /// Probability of the second-best location candidate (explain channel).
+  double location_runner_up = 0.0;
   /// argmax_j contained(o, o_j, *, now); kNoObject when uncontained.
   ObjectId container = kNoObject;
   /// Probability of the chosen container edge.
   double container_prob = 0.0;
+  /// Probability of the second-best container edge (explain channel).
+  double container_runner_up = 0.0;
   /// True when the object was directly observed this epoch (d = 0).
   bool observed = false;
   /// True when the location result must be withheld from output: partial
@@ -35,6 +39,8 @@ struct InferenceResult {
   std::unordered_map<ObjectId, ObjectEstimate> estimates;
   /// Edges pruned during this pass.
   std::size_t edges_pruned = 0;
+  /// Number of BFS waves the coloring took to converge (explain channel).
+  std::size_t waves = 0;
 };
 
 }  // namespace spire

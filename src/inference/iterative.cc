@@ -4,7 +4,35 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace spire {
+
+namespace {
+
+struct Instruments {
+  obs::Counter* passes_complete;
+  obs::Counter* passes_partial;
+  obs::Counter* waves;
+  obs::Counter* edges_pruned;
+  obs::Counter* estimates;
+};
+
+const Instruments* GetInstruments() {
+  if (!obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  static const Instruments instruments{
+      registry.GetCounter("inference", "passes_complete"),
+      registry.GetCounter("inference", "passes_partial"),
+      registry.GetCounter("inference", "waves"),
+      registry.GetCounter("inference", "edges_pruned"),
+      registry.GetCounter("inference", "estimates"),
+  };
+  return &instruments;
+}
+
+}  // namespace
 
 std::vector<Epoch> IterativeInference::LocationPeriods(
     const ReaderRegistry* registry) {
@@ -23,6 +51,7 @@ EdgeInferenceResult IterativeInference::InferEdgesAndPrune(
       inferred.best_edge = kNoEdge;
       inferred.best_parent = kNoObject;
       inferred.best_prob = 0.0;
+      inferred.runner_up_prob = 0.0;
     }
     graph_->RemoveEdge(id);
     ++result->edges_pruned;
@@ -60,6 +89,7 @@ InferenceResult IterativeInference::Run(Epoch now, bool complete) {
     estimate.location_prob = 1.0;
     estimate.container = edges.best_parent;
     estimate.container_prob = edges.best_prob;
+    estimate.container_runner_up = edges.runner_up_prob;
     estimate.observed = true;
     result.estimates[id] = estimate;
     known_color[id] = node->recent_color;
@@ -70,6 +100,7 @@ InferenceResult IterativeInference::Run(Epoch now, bool complete) {
   while (!wave.empty()) {
     ++distance;
     if (!complete && distance > params_.partial_hops) break;
+    obs::ScopedSpan wave_span("inference", "wave", now);
 
     // Collect the next wave from the (post-pruning) adjacency of this one.
     std::vector<ObjectId> next;
@@ -104,8 +135,10 @@ InferenceResult IterativeInference::Run(Epoch now, bool complete) {
       estimate.object = id;
       estimate.location = location.location;
       estimate.location_prob = location.probability;
+      estimate.location_runner_up = location.runner_up;
       estimate.container = edge_results[id].best_parent;
       estimate.container_prob = edge_results[id].best_prob;
+      estimate.container_runner_up = edge_results[id].runner_up_prob;
       estimate.observed = false;
       estimate.withheld =
           !complete && location.location == kUnknownLocation;
@@ -118,6 +151,7 @@ InferenceResult IterativeInference::Run(Epoch now, bool complete) {
         known_color[estimate.object] = estimate.location;
       }
     }
+    result.waves = static_cast<std::size_t>(distance);
     wave = std::move(next);
   }
 
@@ -139,11 +173,20 @@ InferenceResult IterativeInference::Run(Epoch now, bool complete) {
       estimate.object = id;
       estimate.location = location.location;
       estimate.location_prob = location.probability;
+      estimate.location_runner_up = location.runner_up;
       estimate.container = edges.best_parent;
       estimate.container_prob = edges.best_prob;
+      estimate.container_runner_up = edges.runner_up_prob;
       estimate.observed = false;
       result.estimates[id] = estimate;
     }
+  }
+  if (const Instruments* instruments = GetInstruments()) {
+    (complete ? instruments->passes_complete : instruments->passes_partial)
+        ->Add(1);
+    instruments->waves->Add(result.waves);
+    instruments->edges_pruned->Add(result.edges_pruned);
+    instruments->estimates->Add(result.estimates.size());
   }
   return result;
 }

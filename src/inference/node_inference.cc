@@ -72,11 +72,17 @@ NodeInferenceResult NodeInferencer::InferAt(const Node& node, Epoch now,
   result.probability = unknown_score;
   for (const auto& [color, score] : scores) {
     if (score > result.probability) {
+      result.runner_up = result.probability;
       result.probability = score;
       result.location = color;
+    } else if (score > result.runner_up) {
+      result.runner_up = score;
     }
   }
-  if (total > 0.0) result.probability /= total;
+  if (total > 0.0) {
+    result.probability /= total;
+    result.runner_up /= total;
+  }
   return result;
 }
 

@@ -23,6 +23,9 @@ struct NodeInferenceResult {
   /// argmax color; kUnknownLocation when "unknown" wins.
   LocationId location = kUnknownLocation;
   double probability = 0.0;
+  /// Probability of the second-best candidate (including "unknown"); feeds
+  /// the explain channel's posterior gap.
+  double runner_up = 0.0;
 };
 
 /// Computes Eqs. 3-4. The caller supplies a color oracle mapping a neighbor

@@ -1,0 +1,100 @@
+// The inference explain channel (DESIGN.md §9).
+//
+// When a pipeline has an ExplainLog attached, every event it emits gets a
+// provenance record — the triggering epoch, whether complete or partial
+// inference produced it, the inference iteration (wave) count, and the
+// winning posterior vs. its runner-up — and every level-2 location update
+// it *suppresses* gets a suppression record naming the covering
+// containment. Records are queryable offline (`spire_cli explain
+// <event-id>` over the `.spexp` sidecar written by `spire_cli run
+// explain_out=`) and checked online by the explain-consistency fuzz oracle
+// (src/check).
+//
+// This header deliberately depends only on common/ types: event fields are
+// carried as plain ids plus a type name, so obs sits below compress in the
+// module graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace spire::obs {
+
+/// Provenance of one emitted event. `id` is the event's index in the
+/// output stream the pipeline appended to.
+struct EventProvenance {
+  std::uint64_t id = 0;
+  std::string type;  ///< Event type name ("StartLocation", ...).
+  ObjectId object = kNoObject;
+  LocationId location = kUnknownLocation;
+  ObjectId container = kNoObject;
+  Epoch start = kNeverEpoch;
+  Epoch end = kNeverEpoch;
+
+  /// The epoch whose processing emitted the event.
+  Epoch epoch = kNeverEpoch;
+  /// True when complete inference ran that epoch, false for partial.
+  bool complete_inference = false;
+  /// BFS waves the inference pass committed (0 for non-inference stages).
+  int inference_waves = 0;
+  /// Posterior of the winning location/container choice and its runner-up
+  /// (0 when the stage carries no posterior, e.g. retire/finish closes).
+  double winner_posterior = 0.0;
+  double runner_up_posterior = 0.0;
+  /// Pipeline stage that emitted the event: "report" (regular per-epoch
+  /// output), "exit" (object retired at an exit door this epoch), or
+  /// "finish" (end-of-stream closes).
+  std::string stage;
+};
+
+/// One suppressed level-2 location update: the object's location at `epoch`
+/// was absorbed by derivation from `covering_container`'s events.
+struct SuppressionRecord {
+  ObjectId object = kNoObject;
+  Epoch epoch = kNeverEpoch;
+  ObjectId covering_container = kNoObject;
+  std::string reason;  ///< "contained" for level-2 derivation.
+};
+
+/// Collects provenance for one pipeline. Not thread-safe: each pipeline is
+/// single-threaded and owns (at most) one log.
+class ExplainLog {
+ public:
+  void RecordEvent(EventProvenance record) {
+    events_.push_back(std::move(record));
+  }
+  void RecordSuppressed(ObjectId object, Epoch epoch,
+                        ObjectId covering_container, std::string reason) {
+    suppressions_.push_back(
+        {object, epoch, covering_container, std::move(reason)});
+  }
+
+  const std::vector<EventProvenance>& events() const { return events_; }
+  const std::vector<SuppressionRecord>& suppressions() const {
+    return suppressions_;
+  }
+
+  void Clear() {
+    events_.clear();
+    suppressions_.clear();
+  }
+
+  /// Writes the log as JSON lines: one {"kind":"event",...} object per
+  /// provenance record and one {"kind":"suppressed",...} per suppression,
+  /// events first. `spire_cli explain` scans this file by id.
+  Status WriteJsonl(const std::string& path) const;
+
+  /// One provenance record rendered as its JSONL line (tests + CLI).
+  static std::string ToJsonLine(const EventProvenance& record);
+  static std::string ToJsonLine(const SuppressionRecord& record);
+
+ private:
+  std::vector<EventProvenance> events_;
+  std::vector<SuppressionRecord> suppressions_;
+};
+
+}  // namespace spire::obs

@@ -1,0 +1,215 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace spire::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int Histogram::BucketOf(std::uint64_t value) {
+  if (value < 1) value = 1;
+  const int bit = std::bit_width(value) - 1;  // floor(log2(value)).
+  return std::min(bit, kBuckets - 1);
+}
+
+void Histogram::Record(std::uint64_t value) {
+  if (value < 1) value = 1;
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::RecordSeconds(double seconds) {
+  Record(seconds <= 0.0
+             ? 1
+             : std::max<std::uint64_t>(
+                   1, static_cast<std::uint64_t>(seconds * 1e6)));
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Linear interpolation by rank position inside the bucket: the k-th
+      // of c samples reports lower + k/c * width, so a full bucket tops out
+      // exactly at its upper bound (the pre-interpolation behavior).
+      const double position = static_cast<double>(target - cumulative) /
+                              static_cast<double>(in_bucket);
+      const auto lower = static_cast<double>(BucketLowerBound(i));
+      const auto upper = static_cast<double>(BucketUpperBound(i));
+      return lower + position * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+std::string Histogram::ToJson(const std::string& unit) const {
+  std::ostringstream out;
+  out << "{\"count\":" << count() << ",\"mean" << unit << "\":" << mean()
+      << ",\"p50" << unit << "\":" << Quantile(0.50) << ",\"p95" << unit
+      << "\":" << Quantile(0.95) << ",\"p99" << unit
+      << "\":" << Quantile(0.99) << ",\"max" << unit << "\":" << max() << "}";
+  return out.str();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // Never destroyed: pointers
+  return *instance;                            // must outlive all users.
+}
+
+Counter* Registry::GetCounter(const std::string& module,
+                              const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return &modules_[module].counters[name];
+}
+
+Gauge* Registry::GetGauge(const std::string& module, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return &modules_[module].gauges[name];
+}
+
+Histogram* Registry::GetHistogram(const std::string& module,
+                                  const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return &modules_[module].histograms[name];
+}
+
+bool Registry::ModuleActive(const Module& module) const {
+  for (const auto& [name, counter] : module.counters) {
+    if (counter.value() != 0) return true;
+  }
+  for (const auto& [name, gauge] : module.gauges) {
+    if (gauge.value() != 0) return true;
+  }
+  for (const auto& [name, histogram] : module.histograms) {
+    if (histogram.count() != 0) return true;
+  }
+  return false;
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"modules\":{";
+  bool first_module = true;
+  for (const auto& [module_name, module] : modules_) {
+    if (!first_module) out << ",";
+    first_module = false;
+    out << "\"" << module_name << "\":{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, counter] : module.counters) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":" << counter.value();
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, gauge] : module.gauges) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":" << gauge.value();
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, histogram] : module.histograms) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":" << histogram.ToJson();
+    }
+    out << "}}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string Registry::ToText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  std::size_t active = 0;
+  std::string active_names;
+  for (const auto& [module_name, module] : modules_) {
+    if (!ModuleActive(module)) continue;
+    ++active;
+    if (!active_names.empty()) active_names += " ";
+    active_names += module_name;
+  }
+  out << "modules with activity: " << active << " (" << active_names << ")\n";
+  for (const auto& [module_name, module] : modules_) {
+    for (const auto& [name, counter] : module.counters) {
+      out << module_name << "." << name << " " << counter.value() << "\n";
+    }
+    for (const auto& [name, gauge] : module.gauges) {
+      out << module_name << "." << name << " " << gauge.value() << "\n";
+    }
+    for (const auto& [name, histogram] : module.histograms) {
+      out << module_name << "." << name << " count=" << histogram.count()
+          << " mean_us=" << histogram.mean()
+          << " p50_us=" << histogram.Quantile(0.50)
+          << " p95_us=" << histogram.Quantile(0.95)
+          << " p99_us=" << histogram.Quantile(0.99)
+          << " max_us=" << histogram.max() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::size_t Registry::NumActiveModules() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const auto& [name, module] : modules_) {
+    if (ModuleActive(module)) ++active;
+  }
+  return active;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [module_name, module] : modules_) {
+    for (auto& [name, counter] : module.counters) counter.Reset();
+    for (auto& [name, gauge] : module.gauges) gauge.Reset();
+    for (auto& [name, histogram] : module.histograms) histogram.Reset();
+  }
+}
+
+}  // namespace spire::obs

@@ -1,0 +1,160 @@
+// Process-wide observability registry (DESIGN.md §9).
+//
+// Every module registers named instruments — counters, gauges, and
+// fixed-bucket histograms — under its module name (`common`, `stream`,
+// `smurf`, `graph`, `inference`, `compress`, `store`, `serve`). Instruments
+// are allocated once, never move, and record through relaxed atomics, so
+// any thread may bump them and any thread may sample them live.
+//
+// Observability is off by default. Instrumented code follows one pattern:
+//
+//   const Instruments* obs = GetInstruments();   // nullptr while disabled
+//   if (obs != nullptr) obs->readings->Add(n);
+//
+// so the whole cost of a disabled build is one branch on a pointer (the
+// pointer itself is resolved from one atomic bool). Enable() is called by
+// entry points that want metrics (spire_cli statusz / run / serve, tests,
+// benches) before the instrumented objects start working.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace spire::obs {
+
+/// True when observability instruments are active (default: false).
+bool Enabled();
+
+/// Turns the instrument layer on or off, process-wide. Instruments already
+/// handed out stay valid either way; disabled code paths simply stop
+/// fetching them.
+void SetEnabled(bool enabled);
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level; also usable as a running maximum via SetMax.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Folds an observation into a running maximum.
+  void SetMax(std::int64_t v) {
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples: bucket i
+/// counts samples in [2^i, 2^(i+1)); samples below 1 clamp to 1. Quantiles
+/// interpolate linearly inside the bucket holding the target rank, so a
+/// bucket's reported quantile never exceeds its upper bound. Values are
+/// unit-agnostic; the latency users record microseconds.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  /// Lower / upper bound of bucket i: [2^i, 2^(i+1)).
+  static std::uint64_t BucketLowerBound(int i) {
+    return std::uint64_t{1} << i;
+  }
+  static std::uint64_t BucketUpperBound(int i) {
+    return std::uint64_t{1} << (i + 1);
+  }
+  /// Bucket index a value lands in.
+  static int BucketOf(std::uint64_t value);
+
+  void Record(std::uint64_t value);
+  /// Records a duration in microseconds (negative clamps to 1 us).
+  void RecordSeconds(double seconds);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double mean() const;
+  double max() const {
+    return static_cast<double>(max_.load(std::memory_order_relaxed));
+  }
+  /// Interpolated value at quantile `q` in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+
+  /// {"count":..,"mean<unit>":..,"p50<unit>":..,"p95<unit>":..,
+  ///  "p99<unit>":..,"max<unit>":..} — `unit` is a key suffix ("_us" for
+  /// the latency histograms).
+  std::string ToJson(const std::string& unit = "_us") const;
+
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// The process-wide instrument registry. Get* registers on first use and
+/// returns the same stable pointer afterwards; registration takes a mutex,
+/// recording never does. Dump methods sample live values (individually
+/// consistent, not a snapshot).
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& module, const std::string& name);
+  Gauge* GetGauge(const std::string& module, const std::string& name);
+  Histogram* GetHistogram(const std::string& module, const std::string& name);
+
+  /// {"modules":{"<module>":{"counters":{..},"gauges":{..},
+  ///  "histograms":{..}},..}} with modules and instruments in name order.
+  std::string ToJson() const;
+
+  /// Human-readable dump: one "module.name value" line per instrument,
+  /// prefixed by a summary of the modules with non-zero activity.
+  std::string ToText() const;
+
+  /// Number of modules with at least one non-zero instrument.
+  std::size_t NumActiveModules() const;
+
+  /// Zeroes every instrument (pointers stay valid). Tests and statusz runs
+  /// use this to isolate themselves from earlier activity.
+  void Reset();
+
+ private:
+  struct Module {
+    // Node-based maps: instrument addresses are stable for the registry's
+    // lifetime (atomics are neither movable nor copyable anyway).
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+  };
+
+  bool ModuleActive(const Module& module) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Module> modules_;
+};
+
+}  // namespace spire::obs

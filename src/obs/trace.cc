@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace spire::obs {
+
+namespace {
+
+/// Small dense per-thread id: Perfetto tracks sort and label nicely.
+int ThisThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AppendEvent(std::ostream& out, const TraceEvent& event) {
+  out << "{\"name\":\"" << event.name << "\",\"cat\":\"" << event.category
+      << "\",\"ph\":\"X\",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us
+      << ",\"pid\":1,\"tid\":" << event.tid;
+  if (event.epoch >= 0) {
+    out << ",\"args\":{\"epoch\":" << event.epoch << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* instance = new Tracer();  // Never destroyed (see Registry).
+  return *instance;
+}
+
+Status Tracer::Start(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (active_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("tracer: session already active");
+  }
+  events_.clear();
+  path_ = path;
+  origin_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Tracer::Stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  active_.store(false, std::memory_order_release);
+  std::ofstream out(path_);
+  if (!out) {
+    events_.clear();
+    return Status::NotFound("cannot open for writing: " + path_);
+  }
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out << ",\n";
+    AppendEvent(out, events_[i]);
+  }
+  out << "]}\n";
+  events_.clear();
+  if (!out.good()) return Status::Internal("write failed: " + path_);
+  return Status::OK();
+}
+
+void Tracer::Record(const char* category, const char* name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end,
+                    std::int64_t epoch) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.tid = ThisThreadId();
+  event.epoch = epoch;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The session may have stopped between the span's start and end; spans
+  // racing a Stop() are dropped rather than written into the next session.
+  if (!active_.load(std::memory_order_acquire)) return;
+  // A span armed under a previous session can outlive it into this one;
+  // clamp so the timestamp math never underflows.
+  if (start < origin_) start = origin_;
+  if (end < start) end = start;
+  event.ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start - origin_)
+          .count());
+  event.dur_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+  events_.push_back(event);
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out << ",\n";
+    AppendEvent(out, events_[i]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+}  // namespace spire::obs

@@ -1,0 +1,102 @@
+// Epoch-scoped tracing: scoped-span timers emitted as Chrome trace_event
+// JSON, loadable in Perfetto / chrome://tracing (DESIGN.md §9).
+//
+// One process-wide Tracer buffers complete ("ph":"X") events while a
+// session is active; Stop() writes the whole buffer as one JSON file.
+// Spans are recorded with RAII:
+//
+//   { obs::ScopedSpan span("pipeline", "graph_update", epoch); ... }
+//
+// When no session is active the constructor reads one atomic flag and does
+// nothing else — span names must therefore be string literals so a disabled
+// span costs no allocation. Thread ids are small dense integers assigned on
+// first use, which keeps Perfetto's track names stable across runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spire::obs {
+
+/// One completed span. `ts_us`/`dur_us` are microseconds relative to the
+/// session start; `epoch` < 0 means "no epoch argument".
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  int tid = 0;
+  std::int64_t epoch = -1;
+};
+
+/// The process-wide span collector. Thread-safe.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Begins a session that will be written to `path` on Stop(). Fails when
+  /// a session is already active.
+  Status Start(const std::string& path);
+
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+  /// Ends the session and writes the buffered events as Chrome trace JSON
+  /// ({"traceEvents":[...]}); clears the buffer. No-op when inactive.
+  Status Stop();
+
+  /// Records one completed span (called by ScopedSpan's destructor).
+  void Record(const char* category, const char* name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end, std::int64_t epoch);
+
+  /// The buffered events rendered as trace JSON (tests; Stop() writes the
+  /// same shape).
+  std::string ToJson() const;
+
+  std::size_t num_events() const;
+
+ private:
+  std::atomic<bool> active_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::string path_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// RAII span: times its scope and records into the global tracer. All
+/// constructor arguments must outlive the span (string literals).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name, std::int64_t epoch = -1)
+      : category_(category),
+        name_(name),
+        epoch_(epoch),
+        armed_(Tracer::Global().active()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (armed_) {
+      Tracer::Global().Record(category_, name_, start_,
+                              std::chrono::steady_clock::now(), epoch_);
+    }
+  }
+
+ private:
+  const char* category_;
+  const char* name_;
+  std::int64_t epoch_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace spire::obs

@@ -4,11 +4,30 @@
 #include <chrono>
 #include <string>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "store/archive_writer.h"
 
 namespace spire::serve {
 
 namespace {
+
+/// Global "serve" module aggregates (the per-run numbers live in
+/// MergerMetrics).
+struct GlobalInstruments {
+  obs::Counter* epochs_merged;
+  obs::Counter* events_out;
+};
+
+const GlobalInstruments* GetGlobalInstruments() {
+  if (!obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  static const GlobalInstruments instruments{
+      registry.GetCounter("serve", "epochs_merged"),
+      registry.GetCounter("serve", "events_out"),
+  };
+  return &instruments;
+}
 
 std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(
@@ -28,16 +47,19 @@ Status EventMerger::Drain(const std::vector<BoundedQueue<SiteBatch>*>& queues,
 
   std::vector<SiteBatch> round;
   for (Epoch epoch = 0;; ++epoch) {
+    obs::ScopedSpan round_span("serve", "merge_round", epoch);
     round.clear();
     bool finish = false;
     bool first_batch = true;
     for (std::size_t q = 0; q < queues.size(); ++q) {
       for (std::size_t k = 0; k < batches_per_queue[q]; ++k) {
         const auto wait_start = std::chrono::steady_clock::now();
-        std::optional<SiteBatch> batch = queues[q]->Pop();
+        std::optional<SiteBatch> batch = [&] {
+          obs::ScopedSpan span("serve", "merge_wait", epoch);
+          return queues[q]->Pop();
+        }();
         if (metrics_ != nullptr) {
-          metrics_->wait_us.fetch_add(MicrosSince(wait_start),
-                                      std::memory_order_relaxed);
+          metrics_->wait_us.Add(MicrosSince(wait_start));
         }
         if (!batch.has_value()) {
           return Status::Internal(
@@ -84,11 +106,12 @@ Status EventMerger::Drain(const std::vector<BoundedQueue<SiteBatch>*>& queues,
       }
     }
     if (metrics_ != nullptr) {
-      metrics_->events_out.fetch_add(out->size() - first,
-                                     std::memory_order_relaxed);
-      if (!finish) {
-        metrics_->epochs_merged.fetch_add(1, std::memory_order_relaxed);
-      }
+      metrics_->events_out.Add(out->size() - first);
+      if (!finish) metrics_->epochs_merged.Add(1);
+    }
+    if (const GlobalInstruments* global = GetGlobalInstruments()) {
+      global->events_out->Add(out->size() - first);
+      if (!finish) global->epochs_merged->Add(1);
     }
     if (finish) break;
   }

@@ -1,98 +1,23 @@
 #include "serve/metrics.h"
 
 #include <algorithm>
-#include <bit>
-#include <cmath>
 #include <sstream>
 
 namespace spire::serve {
 
-namespace {
-
-/// Bucket index of a duration in microseconds (>= 1).
-int BucketOf(std::uint64_t us) {
-  const int bit = std::bit_width(us) - 1;  // floor(log2(us)).
-  return std::min(bit, LatencyHistogram::kBuckets - 1);
-}
-
-}  // namespace
-
-void LatencyHistogram::Record(double seconds) {
-  const std::uint64_t us =
-      seconds <= 0.0 ? 1
-                     : std::max<std::uint64_t>(
-                           1, static_cast<std::uint64_t>(seconds * 1e6));
-  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_us_.fetch_add(us, std::memory_order_relaxed);
-  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
-  while (us > seen &&
-         !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
-  }
-}
-
-std::uint64_t LatencyHistogram::count() const {
-  return count_.load(std::memory_order_relaxed);
-}
-
-double LatencyHistogram::mean_us() const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  return static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
-         static_cast<double>(n);
-}
-
-double LatencyHistogram::max_us() const {
-  return static_cast<double>(max_us_.load(std::memory_order_relaxed));
-}
-
-double LatencyHistogram::QuantileUs(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(n)));
-  std::uint64_t cumulative = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    cumulative += buckets_[i].load(std::memory_order_relaxed);
-    if (cumulative >= target) {
-      return static_cast<double>(std::uint64_t{1} << (i + 1));  // Upper bound.
-    }
-  }
-  return max_us();
-}
-
-std::string LatencyHistogram::ToJson() const {
-  std::ostringstream out;
-  out << "{\"count\":" << count() << ",\"mean_us\":" << mean_us()
-      << ",\"p50_us\":" << QuantileUs(0.50) << ",\"p95_us\":" << QuantileUs(0.95)
-      << ",\"p99_us\":" << QuantileUs(0.99) << ",\"max_us\":" << max_us()
-      << "}";
-  return out.str();
-}
-
-void QueueMetrics::RecordDepth(std::uint64_t depth) {
-  std::uint64_t seen = depth_highwater.load(std::memory_order_relaxed);
-  while (depth > seen && !depth_highwater.compare_exchange_weak(
-                             seen, depth, std::memory_order_relaxed)) {
-  }
-}
-
 std::string QueueMetrics::ToJson() const {
   std::ostringstream out;
-  out << "{\"depth_highwater\":"
-      << depth_highwater.load(std::memory_order_relaxed)
-      << ",\"blocked_pushes\":" << blocked_pushes.load(std::memory_order_relaxed)
-      << ",\"blocked_pops\":" << blocked_pops.load(std::memory_order_relaxed)
-      << ",\"dropped\":" << dropped.load(std::memory_order_relaxed) << "}";
+  out << "{\"depth_highwater\":" << depth_highwater.value()
+      << ",\"blocked_pushes\":" << blocked_pushes.value()
+      << ",\"blocked_pops\":" << blocked_pops.value()
+      << ",\"dropped\":" << dropped.value() << "}";
   return out.str();
 }
 
 double ShardMetrics::EpochsPerBusySecond() const {
-  const std::uint64_t us = busy_us.load(std::memory_order_relaxed);
+  const std::uint64_t us = busy_us.value();
   if (us == 0) return 0.0;
-  return static_cast<double>(epochs.load(std::memory_order_relaxed)) /
-         (static_cast<double>(us) / 1e6);
+  return static_cast<double>(epochs.value()) / (static_cast<double>(us) / 1e6);
 }
 
 Metrics::Metrics(int num_shards) {
@@ -105,9 +30,9 @@ Metrics::Metrics(int num_shards) {
 std::string Metrics::ToJson(double wall_seconds, int num_sites) const {
   std::uint64_t epochs = 0, events = 0, readings = 0;
   for (const auto& shard : shards_) {
-    epochs = std::max(epochs, shard->epochs.load(std::memory_order_relaxed));
-    events += shard->events.load(std::memory_order_relaxed);
-    readings += shard->readings.load(std::memory_order_relaxed);
+    epochs = std::max(epochs, shard->epochs.value());
+    events += shard->events.value();
+    readings += shard->readings.value();
   }
   std::ostringstream out;
   out << "{\"num_shards\":" << shards_.size() << ",\"num_sites\":" << num_sites
@@ -120,25 +45,18 @@ std::string Metrics::ToJson(double wall_seconds, int num_sites) const {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const ShardMetrics& shard = *shards_[i];
     if (i > 0) out << ",";
-    out << "{\"shard\":" << i
-        << ",\"epochs\":" << shard.epochs.load(std::memory_order_relaxed)
-        << ",\"events\":" << shard.events.load(std::memory_order_relaxed)
-        << ",\"readings\":" << shard.readings.load(std::memory_order_relaxed)
-        << ",\"busy_seconds\":"
-        << static_cast<double>(shard.busy_us.load(std::memory_order_relaxed)) /
-               1e6
+    out << "{\"shard\":" << i << ",\"epochs\":" << shard.epochs.value()
+        << ",\"events\":" << shard.events.value()
+        << ",\"readings\":" << shard.readings.value() << ",\"busy_seconds\":"
+        << static_cast<double>(shard.busy_us.value()) / 1e6
         << ",\"epochs_per_busy_sec\":" << shard.EpochsPerBusySecond()
-        << ",\"process_latency\":" << shard.process_latency.ToJson()
+        << ",\"process_latency\":" << shard.process_latency.ToJson("_us")
         << ",\"input_queue\":" << shard.input_queue.ToJson()
         << ",\"output_queue\":" << shard.output_queue.ToJson() << "}";
   }
-  out << "],\"merger\":{\"epochs\":"
-      << merger_.epochs_merged.load(std::memory_order_relaxed)
-      << ",\"events\":" << merger_.events_out.load(std::memory_order_relaxed)
-      << ",\"wait_seconds\":"
-      << static_cast<double>(merger_.wait_us.load(std::memory_order_relaxed)) /
-             1e6
-      << "}}";
+  out << "],\"merger\":{\"epochs\":" << merger_.epochs_merged.value()
+      << ",\"events\":" << merger_.events_out.value() << ",\"wait_seconds\":"
+      << static_cast<double>(merger_.wait_us.value()) / 1e6 << "}}";
   return out.str();
 }
 

@@ -1,72 +1,53 @@
 // Runtime observability of the serving layer.
 //
-// Every counter is a relaxed atomic so shard threads record without locks;
-// the registry is sized once at server construction and never reallocates,
-// so readers may sample it live (numbers are individually consistent, not
-// a snapshot). `Metrics::ToJson` renders the whole registry as one JSON
-// object — the payload behind `spire_cli serve --stats` and the shutdown
-// dump (schema in DESIGN.md §8).
+// Instruments are the obs registry's value types (obs::Counter /
+// obs::Gauge / obs::Histogram): relaxed atomics recorded lock-free from
+// shard threads and sampled live by readers (numbers are individually
+// consistent, not a snapshot). The instruments live *here*, per server run,
+// rather than in the process-global registry, so `spire_cli serve --stats`
+// reports exactly one run; the recording sites additionally fold aggregates
+// into the global "serve" module when obs::Enabled(). The registry is sized
+// once at server construction and never reallocates. `Metrics::ToJson`
+// renders the whole registry as one JSON object — the payload behind
+// `spire_cli serve --stats` and the shutdown dump (schema in DESIGN.md §8).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
+
 namespace spire::serve {
-
-/// Fixed-bucket latency histogram: bucket i counts samples whose duration
-/// in microseconds lies in [2^i, 2^(i+1)). Quantiles report the bucket's
-/// upper bound, so they over- rather than under-state latency.
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 40;
-
-  /// Records one duration (negative durations clamp to 1 us).
-  void Record(double seconds);
-
-  std::uint64_t count() const;
-  double mean_us() const;
-  double max_us() const;
-  /// Upper bound of the bucket holding quantile `q` in [0, 1]; 0 when empty.
-  double QuantileUs(double q) const;
-
-  /// {"count":..,"mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..,"max_us":..}
-  std::string ToJson() const;
-
- private:
-  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> total_us_{0};
-  std::atomic<std::uint64_t> max_us_{0};
-};
 
 /// Health counters of one bounded queue.
 struct QueueMetrics {
   /// Highest depth ever observed at push time.
-  std::atomic<std::uint64_t> depth_highwater{0};
+  obs::Gauge depth_highwater;
   /// Pushes that found the queue full and had to block (backpressure).
-  std::atomic<std::uint64_t> blocked_pushes{0};
+  obs::Counter blocked_pushes;
   /// Pops that found the queue empty and had to block.
-  std::atomic<std::uint64_t> blocked_pops{0};
+  obs::Counter blocked_pops;
   /// TryPush calls rejected on a full queue.
-  std::atomic<std::uint64_t> dropped{0};
+  obs::Counter dropped;
 
   /// Folds a depth observation into the high-water mark.
-  void RecordDepth(std::uint64_t depth);
+  void RecordDepth(std::uint64_t depth) {
+    depth_highwater.SetMax(static_cast<std::int64_t>(depth));
+  }
 
   std::string ToJson() const;
 };
 
 /// Per-shard pipeline counters.
 struct ShardMetrics {
-  std::atomic<std::uint64_t> epochs{0};    ///< Epoch rounds processed.
-  std::atomic<std::uint64_t> events{0};    ///< Output events emitted.
-  std::atomic<std::uint64_t> readings{0};  ///< Raw readings consumed.
-  std::atomic<std::uint64_t> busy_us{0};   ///< Time spent inside pipelines.
-  /// Wall time of one epoch round across all of the shard's sites.
-  LatencyHistogram process_latency;
+  obs::Counter epochs;    ///< Epoch rounds processed.
+  obs::Counter events;    ///< Output events emitted.
+  obs::Counter readings;  ///< Raw readings consumed.
+  obs::Counter busy_us;   ///< Time spent inside pipelines.
+  /// Wall time of one epoch round across all of the shard's sites (us).
+  obs::Histogram process_latency;
   QueueMetrics input_queue;
   QueueMetrics output_queue;
 
@@ -76,10 +57,10 @@ struct ShardMetrics {
 
 /// Merger-side counters.
 struct MergerMetrics {
-  std::atomic<std::uint64_t> epochs_merged{0};
-  std::atomic<std::uint64_t> events_out{0};
+  obs::Counter epochs_merged;
+  obs::Counter events_out;
   /// Time the merger spent blocked waiting for shard batches.
-  std::atomic<std::uint64_t> wait_us{0};
+  obs::Counter wait_us;
 };
 
 /// The serving layer's metrics registry: one ShardMetrics per shard plus

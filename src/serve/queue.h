@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/metrics.h"
 
 namespace spire::serve {
@@ -43,9 +44,8 @@ class BoundedQueue {
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     if (count_ == ring_.size() && !closed_) {
-      if (metrics_ != nullptr) {
-        metrics_->blocked_pushes.fetch_add(1, std::memory_order_relaxed);
-      }
+      if (metrics_ != nullptr) metrics_->blocked_pushes.Add(1);
+      obs::ScopedSpan span("serve", "queue_wait");
       not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
     }
     if (closed_) return false;
@@ -60,9 +60,7 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) return false;
     if (count_ == ring_.size()) {
-      if (metrics_ != nullptr) {
-        metrics_->dropped.fetch_add(1, std::memory_order_relaxed);
-      }
+      if (metrics_ != nullptr) metrics_->dropped.Add(1);
       return false;
     }
     Enqueue(std::move(item));
@@ -75,9 +73,8 @@ class BoundedQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     if (count_ == 0 && !closed_) {
-      if (metrics_ != nullptr) {
-        metrics_->blocked_pops.fetch_add(1, std::memory_order_relaxed);
-      }
+      if (metrics_ != nullptr) metrics_->blocked_pops.Add(1);
+      obs::ScopedSpan span("serve", "queue_wait");
       not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
     }
     if (count_ == 0) return std::nullopt;

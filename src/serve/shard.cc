@@ -4,10 +4,33 @@
 #include <string>
 
 #include "common/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace spire::serve {
 
 namespace {
+
+/// Global "serve" module aggregates across all shards of the process
+/// (the per-run numbers live in ShardMetrics).
+struct GlobalInstruments {
+  obs::Counter* epochs;
+  obs::Counter* events;
+  obs::Counter* readings;
+  obs::Histogram* process_latency;
+};
+
+const GlobalInstruments* GetGlobalInstruments() {
+  if (!obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  static const GlobalInstruments instruments{
+      registry.GetCounter("serve", "shard_epochs"),
+      registry.GetCounter("serve", "shard_events"),
+      registry.GetCounter("serve", "shard_readings"),
+      registry.GetHistogram("serve", "shard_process_latency"),
+  };
+  return &instruments;
+}
 
 std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(
@@ -71,6 +94,7 @@ void PipelineShard::Run() {
   LogDebug("serve", "shard " + std::to_string(shard_id_) + " running " +
                         std::to_string(sites_.size()) + " site pipeline(s)");
   while (std::optional<EpochWork> work = input_.Pop()) {
+    obs::ScopedSpan round_span("serve", "shard_epoch", work->epoch);
     const auto round_start = std::chrono::steady_clock::now();
     std::size_t readings = 0;
     std::size_t events = 0;
@@ -105,15 +129,19 @@ void PipelineShard::Run() {
         return;
       }
     }
+    const std::uint64_t us = MicrosSince(round_start);
     if (metrics_ != nullptr) {
-      const std::uint64_t us = MicrosSince(round_start);
-      metrics_->busy_us.fetch_add(us, std::memory_order_relaxed);
-      metrics_->process_latency.Record(static_cast<double>(us) / 1e6);
-      metrics_->readings.fetch_add(readings, std::memory_order_relaxed);
-      metrics_->events.fetch_add(events, std::memory_order_relaxed);
-      if (!work->finish) {
-        metrics_->epochs.fetch_add(1, std::memory_order_relaxed);
-      }
+      metrics_->busy_us.Add(us);
+      metrics_->process_latency.Record(us);
+      metrics_->readings.Add(readings);
+      metrics_->events.Add(events);
+      if (!work->finish) metrics_->epochs.Add(1);
+    }
+    if (const GlobalInstruments* global = GetGlobalInstruments()) {
+      global->process_latency->Record(us);
+      global->readings->Add(readings);
+      global->events->Add(events);
+      if (!work->finish) global->epochs->Add(1);
     }
   }
   output_.Close();

@@ -3,10 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.h"
+
 namespace spire {
+
+namespace {
+
+struct Instruments {
+  obs::Counter* epochs;
+  obs::Counter* readings;
+  obs::Counter* tags_forgotten;
+};
+
+const Instruments* GetInstruments() {
+  if (!obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  static const Instruments instruments{
+      registry.GetCounter("smurf", "epochs"),
+      registry.GetCounter("smurf", "readings"),
+      registry.GetCounter("smurf", "tags_forgotten"),
+  };
+  return &instruments;
+}
+
+}  // namespace
 
 std::vector<ObjectStateEstimate> SmurfCleaner::ProcessEpoch(
     Epoch now, const EpochReadings& readings) {
+  if (const Instruments* instruments = GetInstruments()) {
+    instruments->epochs->Add(1);
+    instruments->readings->Add(readings.size());
+  }
   if (location_periods_.empty()) {
     location_periods_ = LocationPeriods(*registry_);
   }
@@ -52,6 +79,11 @@ std::vector<ObjectStateEstimate> SmurfCleaner::ProcessEpoch(
     estimate.location = present ? tag.location : kUnknownLocation;
     estimate.container = kNoObject;  // SMURF has no containment notion.
     estimates.push_back(estimate);
+  }
+  if (!forgotten.empty()) {
+    if (const Instruments* instruments = GetInstruments()) {
+      instruments->tags_forgotten->Add(forgotten.size());
+    }
   }
   for (ObjectId id : forgotten) tags_.erase(id);
   return estimates;

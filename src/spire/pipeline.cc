@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/epc.h"
+#include "obs/trace.h"
 #include "store/archive_writer.h"
 
 namespace spire {
@@ -50,8 +51,55 @@ bool SpirePipeline::IsRetired(ObjectId id, Epoch epoch) const {
          epoch - it->second <= options_.exit_grace_epochs;
 }
 
+void SpirePipeline::SetExplainSink(obs::ExplainLog* log) {
+  explain_ = log;
+  suppression_recorder_.log = log;
+  compressor_->SetObserver(log == nullptr ? nullptr : &suppression_recorder_);
+}
+
+void SpirePipeline::RecordProvenance(const EventStream& out, std::size_t first,
+                                     Epoch epoch, const char* default_stage) {
+  if (explain_ == nullptr) return;
+  for (std::size_t i = first; i < out.size(); ++i) {
+    const Event& event = out[i];
+    obs::EventProvenance record;
+    record.id = i;
+    record.type = ToString(event.type);
+    record.object = event.object;
+    record.location = event.location;
+    record.container = event.container;
+    record.start = event.start;
+    record.end = event.end;
+    record.epoch = epoch;
+    record.complete_inference = last_result_.complete;
+    record.inference_waves = static_cast<int>(last_result_.waves);
+    const ObjectEstimate* estimate = nullptr;
+    const char* stage = default_stage;
+    if (auto it = last_result_.estimates.find(event.object);
+        it != last_result_.estimates.end()) {
+      estimate = &it->second;
+    } else if (auto exited = exited_estimates_.find(event.object);
+               exited != exited_estimates_.end()) {
+      estimate = &exited->second;
+      stage = "exit";
+    }
+    if (estimate != nullptr) {
+      if (IsContainmentEvent(event.type)) {
+        record.winner_posterior = estimate->container_prob;
+        record.runner_up_posterior = estimate->container_runner_up;
+      } else {
+        record.winner_posterior = estimate->location_prob;
+        record.runner_up_posterior = estimate->location_runner_up;
+      }
+    }
+    record.stage = stage;
+    explain_->RecordEvent(std::move(record));
+  }
+}
+
 void SpirePipeline::MirrorToArchive(const EventStream& out,
                                     std::size_t first) {
+  obs::ScopedSpan span("pipeline", "archive_append");
   if (archive_ == nullptr || !archive_status_.ok()) return;
   for (std::size_t i = first; i < out.size(); ++i) {
     Status status = archive_->Append(out[i]);
@@ -65,19 +113,27 @@ void SpirePipeline::MirrorToArchive(const EventStream& out,
 void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
                                  EventStream* out) {
   ++epochs_processed_;
+  exited_estimates_.clear();
+  obs::ScopedSpan epoch_span("pipeline", "epoch", epoch);
   const std::size_t first_output = out->size();
 
   // Device-level cleaning: deduplicate multi-reader/multi-tick readings and
   // drop readings of objects inside their exit grace window.
-  Deduplicate(&readings);
-  std::erase_if(readings, [&](const RfidReading& r) {
-    return IsRetired(r.tag, epoch);
-  });
-  EpochBatch batch = GroupByReader(readings, epoch);
+  EpochBatch batch = [&] {
+    obs::ScopedSpan span("pipeline", "smooth", epoch);
+    Deduplicate(&readings);
+    std::erase_if(readings, [&](const RfidReading& r) {
+      return IsRetired(r.tag, epoch);
+    });
+    return GroupByReader(readings, epoch);
+  }();
 
   // Data capture: stream-driven graph update.
   auto t0 = std::chrono::steady_clock::now();
-  updater_.ApplyEpoch(batch);
+  {
+    obs::ScopedSpan span("pipeline", "graph_update", epoch);
+    updater_.ApplyEpoch(batch);
+  }
   last_costs_.update_seconds = SecondsSince(t0);
 
   // Interpretation: complete inference when every reader group read this
@@ -86,99 +142,115 @@ void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
   const bool complete =
       options_.inference_mode == InferenceMode::kAlwaysComplete ||
       schedule_.IsCompleteEpoch(epoch);
-  if (complete) {
-    last_result_ = inference_.RunComplete(epoch);
-  } else if (options_.inference_mode == InferenceMode::kCompleteOnly) {
-    last_result_ = InferenceResult{};
-    last_result_.epoch = epoch;
-  } else {
-    last_result_ = inference_.RunPartial(epoch);
+  {
+    obs::ScopedSpan span("pipeline", "inference", epoch);
+    if (complete) {
+      last_result_ = inference_.RunComplete(epoch);
+    } else if (options_.inference_mode == InferenceMode::kCompleteOnly) {
+      last_result_ = InferenceResult{};
+      last_result_.epoch = epoch;
+    } else {
+      last_result_ = inference_.RunPartial(epoch);
+    }
   }
-  if (options_.resolve_conflicts) ResolveConflicts(&last_result_);
+  if (options_.resolve_conflicts) {
+    obs::ScopedSpan span("pipeline", "conflict", epoch);
+    ResolveConflicts(&last_result_);
+  }
   last_costs_.inference_seconds = SecondsSince(t1);
   total_costs_.update_seconds += last_costs_.update_seconds;
   total_costs_.inference_seconds += last_costs_.inference_seconds;
 
-  // Proper exits: close the objects' events and drop their nodes.
-  for (ObjectId id : updater_.exited_this_epoch()) {
-    // Report the exit-door sighting first so the output stream (like the
-    // physical truth) shows the stay at the exit before it closes. The exit
-    // ends any containment, which also resumes the object's own location
-    // output under level-2 compression — otherwise the final stay of a
-    // contained object would be unrecoverable once its container retires.
-    auto it = last_result_.estimates.find(id);
-    if (it != last_result_.estimates.end() && !it->second.withheld &&
-        !IsWarmupLocation(it->second.location)) {
+  {
+    obs::ScopedSpan span("pipeline", "compress", epoch);
+    // Proper exits: close the objects' events and drop their nodes.
+    for (ObjectId id : updater_.exited_this_epoch()) {
+      // Report the exit-door sighting first so the output stream (like the
+      // physical truth) shows the stay at the exit before it closes. The exit
+      // ends any containment, which also resumes the object's own location
+      // output under level-2 compression — otherwise the final stay of a
+      // contained object would be unrecoverable once its container retires.
+      auto it = last_result_.estimates.find(id);
+      if (it != last_result_.estimates.end() && !it->second.withheld &&
+          !IsWarmupLocation(it->second.location)) {
+        ObjectStateEstimate state;
+        state.object = id;
+        state.location = it->second.location;
+        state.container = kNoObject;
+        // An exit sighting is a definite read, never a disappearance; leaving
+        // the flag implicit would let a stale estimate smuggle a Missing
+        // singleton into the stream right before the Retire closes it.
+        state.missing = false;
+        compressor_->Report(state, epoch, out);
+      }
+      if (it != last_result_.estimates.end()) {
+        exited_estimates_.emplace(id, it->second);
+        last_result_.estimates.erase(it);
+      }
+      compressor_->Retire(id, epoch, out);
+      graph_.RemoveNode(id);
+      retired_[id] = epoch;
+    }
+
+    // Output: report every non-withheld estimate; the compressor discards
+    // everything that does not change the reported state. Report order matters
+    // for stream equivalence across compression levels:
+    //  * an object whose open containment terminates this epoch goes first, so
+    //    its own location resumes before the former container's updates would
+    //    (wrongly) propagate to it;
+    //  * then higher packaging layers before their contents, so a container's
+    //    location is on the stream before a child's containment opens — that
+    //    is what lets level 2 suppress the child's location from the start.
+    std::vector<ObjectId> ids;
+    ids.reserve(last_result_.estimates.size());
+    for (const auto& [id, estimate] : last_result_.estimates) {
+      if (estimate.withheld) continue;
+      // No inference output for objects in the warm-up (entry door) area.
+      if (IsWarmupLocation(estimate.location)) continue;
+      ids.push_back(id);
+    }
+    auto ends_containment = [&](ObjectId id) {
+      const ObjectId open = compressor_->OpenContainerOf(id);
+      return open != kNoObject &&
+             last_result_.estimates.at(id).container != open;
+    };
+    std::sort(ids.begin(), ids.end(), [&](ObjectId a, ObjectId b) {
+      const bool ea = ends_containment(a), eb = ends_containment(b);
+      if (ea != eb) return ea;
+      const int la = EpcLayer(a), lb = EpcLayer(b);
+      if (la != lb) return la > lb;
+      return a < b;
+    });
+    for (ObjectId id : ids) {
+      const ObjectEstimate& estimate = last_result_.estimates.at(id);
       ObjectStateEstimate state;
       state.object = id;
-      state.location = it->second.location;
-      state.container = kNoObject;
-      // An exit sighting is a definite read, never a disappearance; leaving
-      // the flag implicit would let a stale estimate smuggle a Missing
-      // singleton into the stream right before the Retire closes it.
-      state.missing = false;
+      state.location = estimate.location;
+      // Inference ran before the exit handling above, so an estimate may still
+      // name a container that retired this epoch (or within its grace window).
+      // A departed object cannot contain anything; dropping the stale edge
+      // also keeps the compressor from re-opening a containment under a
+      // container whose own events just closed.
+      state.container =
+          IsRetired(estimate.container, epoch) ? kNoObject : estimate.container;
       compressor_->Report(state, epoch, out);
     }
-    if (it != last_result_.estimates.end()) last_result_.estimates.erase(it);
-    compressor_->Retire(id, epoch, out);
-    graph_.RemoveNode(id);
-    retired_[id] = epoch;
+
+    // Expire old entries of the retirement set to bound its size.
+    if (epochs_processed_ % 1024 == 0) {
+      std::erase_if(retired_, [&](const auto& entry) {
+        return epoch - entry.second > options_.exit_grace_epochs;
+      });
+    }
+
+    // Per-epoch duplicate suppression: propagation may have closed a stay
+    // that a later report of the same epoch re-opened in place.
+    compressor_->CancelEpochChurn(epoch, out, first_output);
   }
 
-  // Output: report every non-withheld estimate; the compressor discards
-  // everything that does not change the reported state. Report order matters
-  // for stream equivalence across compression levels:
-  //  * an object whose open containment terminates this epoch goes first, so
-  //    its own location resumes before the former container's updates would
-  //    (wrongly) propagate to it;
-  //  * then higher packaging layers before their contents, so a container's
-  //    location is on the stream before a child's containment opens — that
-  //    is what lets level 2 suppress the child's location from the start.
-  std::vector<ObjectId> ids;
-  ids.reserve(last_result_.estimates.size());
-  for (const auto& [id, estimate] : last_result_.estimates) {
-    if (estimate.withheld) continue;
-    // No inference output for objects in the warm-up (entry door) area.
-    if (IsWarmupLocation(estimate.location)) continue;
-    ids.push_back(id);
-  }
-  auto ends_containment = [&](ObjectId id) {
-    const ObjectId open = compressor_->OpenContainerOf(id);
-    return open != kNoObject &&
-           last_result_.estimates.at(id).container != open;
-  };
-  std::sort(ids.begin(), ids.end(), [&](ObjectId a, ObjectId b) {
-    const bool ea = ends_containment(a), eb = ends_containment(b);
-    if (ea != eb) return ea;
-    const int la = EpcLayer(a), lb = EpcLayer(b);
-    if (la != lb) return la > lb;
-    return a < b;
-  });
-  for (ObjectId id : ids) {
-    const ObjectEstimate& estimate = last_result_.estimates.at(id);
-    ObjectStateEstimate state;
-    state.object = id;
-    state.location = estimate.location;
-    // Inference ran before the exit handling above, so an estimate may still
-    // name a container that retired this epoch (or within its grace window).
-    // A departed object cannot contain anything; dropping the stale edge
-    // also keeps the compressor from re-opening a containment under a
-    // container whose own events just closed.
-    state.container =
-        IsRetired(estimate.container, epoch) ? kNoObject : estimate.container;
-    compressor_->Report(state, epoch, out);
-  }
-
-  // Expire old entries of the retirement set to bound its size.
-  if (epochs_processed_ % 1024 == 0) {
-    std::erase_if(retired_, [&](const auto& entry) {
-      return epoch - entry.second > options_.exit_grace_epochs;
-    });
-  }
-
-  // Per-epoch duplicate suppression: propagation may have closed a stay
-  // that a later report of the same epoch re-opened in place.
-  compressor_->CancelEpochChurn(epoch, out, first_output);
+  // Provenance is attributed after churn cancellation so the recorded ids
+  // are the indexes of the events that actually survived into the stream.
+  RecordProvenance(*out, first_output, epoch, "report");
 
   MirrorToArchive(*out, first_output);
 }
@@ -186,6 +258,7 @@ void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
 void SpirePipeline::Finish(Epoch epoch, EventStream* out) {
   const std::size_t first_output = out->size();
   compressor_->Finish(epoch, out);
+  RecordProvenance(*out, first_output, epoch, "finish");
   MirrorToArchive(*out, first_output);
 }
 

@@ -17,6 +17,7 @@
 #include "inference/iterative.h"
 #include "inference/params.h"
 #include "inference/schedule.h"
+#include "obs/explain.h"
 #include "stream/dedup.h"
 #include "stream/epoch_stream.h"
 #include "stream/reader.h"
@@ -89,6 +90,14 @@ class SpirePipeline {
   /// First archive-sink failure, or OK.
   const Status& archive_status() const { return archive_status_; }
 
+  /// Attaches the explain channel (not owned; must outlive the pipeline;
+  /// nullptr to detach). While attached, every event appended to `out` gets
+  /// a provenance record in the log and every level-2 location suppression
+  /// a suppression record. The attribution indexes events by their position
+  /// in the stream `out` passed to ProcessEpoch/Finish, so one log must only
+  /// ever see one output stream.
+  void SetExplainSink(obs::ExplainLog* log);
+
   /// The interpretation results of the last epoch, after conflict
   /// resolution (observability / accuracy evaluation).
   const InferenceResult& last_result() const { return last_result_; }
@@ -112,10 +121,25 @@ class SpirePipeline {
   std::size_t epochs_processed() const { return epochs_processed_; }
 
  private:
+  /// Forwards level-2 suppression decisions into the attached explain log.
+  struct SuppressionRecorder final : CompressorObserver {
+    obs::ExplainLog* log = nullptr;
+    void OnLocationSuppressed(ObjectId object, Epoch epoch,
+                              ObjectId covering_container) override {
+      if (log != nullptr) {
+        log->RecordSuppressed(object, epoch, covering_container, "contained");
+      }
+    }
+  };
+
   bool IsRetired(ObjectId id, Epoch epoch) const;
   bool IsWarmupLocation(LocationId location) const;
   /// Appends out[first, ...) to the archive sink, latching the first error.
   void MirrorToArchive(const EventStream& out, std::size_t first);
+  /// Records provenance for out[first, ...) into the explain log (no-op
+  /// when detached). `stage_of` labels events by object id.
+  void RecordProvenance(const EventStream& out, std::size_t first, Epoch epoch,
+                        const char* default_stage);
 
   const ReaderRegistry* registry_;
   std::vector<LocationId> warmup_locations_;
@@ -130,6 +154,11 @@ class SpirePipeline {
   std::unordered_map<ObjectId, Epoch> retired_;
   ArchiveWriter* archive_ = nullptr;
   Status archive_status_;
+  obs::ExplainLog* explain_ = nullptr;
+  SuppressionRecorder suppression_recorder_;
+  /// Estimates of objects that exited this epoch, preserved for provenance
+  /// after their entries leave last_result_ (cleared each epoch).
+  std::unordered_map<ObjectId, ObjectEstimate> exited_estimates_;
   EpochCosts last_costs_;
   EpochCosts total_costs_;
   std::size_t epochs_processed_ = 0;

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/registry.h"
 #include "store/block.h"
 #include "store/crc32.h"
 #include "store/little_endian.h"
@@ -10,6 +11,23 @@
 namespace spire {
 
 namespace {
+
+struct Instruments {
+  obs::Counter* events_appended;
+  obs::Counter* blocks_sealed;
+  obs::Counter* bytes_written;
+};
+
+const Instruments* GetInstruments() {
+  if (!spire::obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  static const Instruments instruments{
+      registry.GetCounter("store", "events_appended"),
+      registry.GetCounter("store", "blocks_sealed"),
+      registry.GetCounter("store", "bytes_written"),
+  };
+  return &instruments;
+}
 
 std::vector<std::uint8_t> MakeFileHeader() {
   std::vector<std::uint8_t> header;
@@ -79,6 +97,9 @@ Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::Open(
 Status ArchiveWriter::Append(const Event& event) {
   if (closed_) return Status::Internal("archive writer already closed");
   SPIRE_RETURN_NOT_OK(ValidateArchivable(event));
+  if (const Instruments* instruments = GetInstruments()) {
+    instruments->events_appended->Add(1);
+  }
   buffer_.push_back(event);
   if (buffer_.size() >= options_.block_events) return SealBlock();
   return Status::OK();
@@ -121,6 +142,10 @@ Status ArchiveWriter::SealBlock() {
   info_.events += block.count;
   info_.valid_bytes += kBlockHeaderBytes + block.payload.size();
   info_.file_bytes = info_.valid_bytes;
+  if (const Instruments* instruments = GetInstruments()) {
+    instruments->blocks_sealed->Add(1);
+    instruments->bytes_written->Add(kBlockHeaderBytes + block.payload.size());
+  }
   buffer_.clear();
   return Status::OK();
 }

@@ -2,11 +2,35 @@
 
 #include <unordered_map>
 
+#include "obs/registry.h"
+
 namespace spire {
+
+namespace {
+
+struct Instruments {
+  obs::Counter* readings_in;
+  obs::Counter* duplicates_dropped;
+};
+
+const Instruments* GetInstruments() {
+  if (!obs::Enabled()) return nullptr;
+  static const Instruments instruments{
+      obs::Registry::Global().GetCounter("stream", "readings_in"),
+      obs::Registry::Global().GetCounter("stream", "duplicates_dropped"),
+  };
+  return &instruments;
+}
+
+}  // namespace
 
 DedupStats Deduplicate(EpochReadings* readings) {
   DedupStats stats;
   stats.input_readings = readings->size();
+  const Instruments* instruments = GetInstruments();
+  if (instruments != nullptr) {
+    instruments->readings_in->Add(stats.input_readings);
+  }
   if (readings->size() <= 1) return stats;
 
   // First pass: for each (epoch, tag), find the index of the winning reading
@@ -34,6 +58,9 @@ DedupStats Deduplicate(EpochReadings* readings) {
     }
   }
   stats.duplicates_dropped = readings->size() - kept.size();
+  if (instruments != nullptr) {
+    instruments->duplicates_dropped->Add(stats.duplicates_dropped);
+  }
   *readings = std::move(kept);
   return stats;
 }

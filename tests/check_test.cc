@@ -84,8 +84,9 @@ TEST(OracleTest, KnownSeedsStayGreen) {
         << "seed " << seed << ": " << failure->oracle << "\n"
         << failure->detail;
   }
-  // 2 compression levels + 2 determinism re-runs per case.
-  EXPECT_EQ(stats.traces_run, 12u);
+  // 2 compression levels + 2 determinism re-runs + 1 explain-consistency
+  // re-run per case.
+  EXPECT_EQ(stats.traces_run, 15u);
 }
 
 TEST(OracleTest, WellFormednessCatchesDanglingEnd) {

@@ -1,0 +1,310 @@
+// Unit tests of the observability layer (src/obs): histogram bucket math
+// and quantile interpolation, concurrent instrument recording (the
+// SPIRE_SANITIZE=thread build makes these real races if they are), trace
+// JSON well-formedness, registry dump round-trips, and the explain log's
+// JSONL shape.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/explain.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace spire::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket i spans [2^i, 2^(i+1)); sub-1 samples clamp up, huge samples
+  // clamp into the last bucket.
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 0);
+  EXPECT_EQ(Histogram::BucketOf(2), 1);
+  EXPECT_EQ(Histogram::BucketOf(3), 1);
+  EXPECT_EQ(Histogram::BucketOf(4), 2);
+  EXPECT_EQ(Histogram::BucketOf(7), 2);
+  EXPECT_EQ(Histogram::BucketOf(8), 3);
+  EXPECT_EQ(Histogram::BucketOf((std::uint64_t{1} << 39) - 1), 38);
+  EXPECT_EQ(Histogram::BucketOf(std::uint64_t{1} << 39), 39);
+  EXPECT_EQ(Histogram::BucketOf(~std::uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 8u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 16u);
+
+  Histogram histogram;
+  histogram.Record(0);  // Clamps to 1.
+  histogram.Record(1);
+  histogram.Record(2);
+  EXPECT_EQ(histogram.bucket(0), 2u);
+  EXPECT_EQ(histogram.bucket(1), 1u);
+  EXPECT_EQ(histogram.count(), 3u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  // Four samples of 10 all land in bucket 3 = [8, 16): the k-th of c
+  // samples reports lower + k/c * width.
+  Histogram histogram;
+  for (int i = 0; i < 4; ++i) histogram.Record(10);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.50), 12.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.75), 14.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.00), 16.0);
+  // q=0 still reports the first sample's position, never a negative rank.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileCrossesBuckets) {
+  Histogram histogram;
+  histogram.Record(1);  // Bucket 0 = [1, 2).
+  histogram.Record(8);  // Bucket 3 = [8, 16).
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 2.0);   // Top of bucket 0.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 16.0);  // Top of bucket 3.
+  EXPECT_DOUBLE_EQ(histogram.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 8.0);
+}
+
+TEST(HistogramTest, EmptyAndReset) {
+  Histogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  histogram.Record(100);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, RecordSecondsUsesMicroseconds) {
+  Histogram histogram;
+  histogram.RecordSeconds(0.001);  // 1000 us -> bucket 9 = [512, 1024).
+  EXPECT_EQ(histogram.bucket(9), 1u);
+  histogram.RecordSeconds(-1.0);  // Clamps to 1 us.
+  EXPECT_EQ(histogram.bucket(0), 1u);
+}
+
+TEST(ObsConcurrencyTest, CountersSumAcrossThreads) {
+  Counter counter;
+  Gauge highwater;
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.Add(1);
+        highwater.SetMax(t * kIters + i);
+        histogram.Record(static_cast<std::uint64_t>(i % 1000) + 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(highwater.value(), (kThreads - 1) * kIters + kIters - 1);
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsConcurrencyTest, RegistryRegistrationIsThreadSafe) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // All threads race to register and bump the same instrument.
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("test", "shared")->Add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("test", "shared")->value(), 8000u);
+}
+
+TEST(RegistryTest, StablePointersAndDumps) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("graph", "edges");
+  EXPECT_EQ(registry.GetCounter("graph", "edges"), counter);
+  counter->Add(3);
+  registry.GetGauge("serve", "depth")->SetMax(7);
+  registry.GetHistogram("serve", "latency")->Record(100);
+  registry.GetCounter("idle", "nothing");  // Registered but inactive.
+
+  EXPECT_EQ(registry.NumActiveModules(), 2u);
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("modules with activity: 2 (graph serve)"),
+            std::string::npos);
+  EXPECT_NE(text.find("graph.edges 3"), std::string::npos);
+
+  auto parsed = ParseJson(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* modules = parsed.value().Find("modules");
+  ASSERT_NE(modules, nullptr);
+  ASSERT_EQ(modules->type, JsonValue::Type::kObject);
+  EXPECT_EQ(modules->object.size(), 3u);
+  const JsonValue* graph = modules->Find("graph");
+  ASSERT_NE(graph, nullptr);
+  const JsonValue* counters = graph->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* edges = counters->Find("edges");
+  ASSERT_NE(edges, nullptr);
+  EXPECT_EQ(edges->text, "3");
+
+  // parse -> serialize -> parse is the identity (numbers stay verbatim).
+  auto round_trip = ParseJson(parsed.value().Serialize());
+  ASSERT_TRUE(round_trip.ok());
+  EXPECT_EQ(round_trip.value(), parsed.value());
+
+  registry.Reset();
+  EXPECT_EQ(registry.NumActiveModules(), 0u);
+  EXPECT_EQ(registry.GetCounter("graph", "edges"), counter);
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer& tracer = Tracer::Global();
+  ASSERT_FALSE(tracer.active());
+  const std::size_t before = tracer.num_events();
+  {
+    ScopedSpan span("test", "noop", 42);
+  }
+  EXPECT_EQ(tracer.num_events(), before);
+}
+
+TEST(TracerTest, WritesWellFormedChromeTrace) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "obs_test_trace.json")
+          .string();
+  Tracer& tracer = Tracer::Global();
+  ASSERT_TRUE(tracer.Start(path).ok());
+  EXPECT_FALSE(tracer.Start(path).ok());  // Second session rejected.
+  {
+    ScopedSpan outer("test", "outer", 7);
+    ScopedSpan inner("test", "inner");
+  }
+  std::thread([] { ScopedSpan span("test", "worker", 8); }).join();
+  EXPECT_EQ(tracer.num_events(), 3u);
+  ASSERT_TRUE(tracer.Stop().ok());
+  EXPECT_FALSE(tracer.active());
+  EXPECT_EQ(tracer.num_events(), 0u);  // Stop drains the buffer.
+
+  auto parsed = ParseJson(ReadFile(path));
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+  ASSERT_EQ(events->array.size(), 3u);
+
+  bool saw_epoch_arg = false;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* name = event.Find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->type, JsonValue::Type::kString);
+    const JsonValue* phase = event.Find("ph");
+    ASSERT_NE(phase, nullptr);
+    EXPECT_EQ(phase->text, "X");
+    EXPECT_NE(event.Find("cat"), nullptr);
+    EXPECT_NE(event.Find("ts"), nullptr);
+    EXPECT_NE(event.Find("dur"), nullptr);
+    const JsonValue* pid = event.Find("pid");
+    ASSERT_NE(pid, nullptr);
+    EXPECT_EQ(pid->text, "1");
+    const JsonValue* tid = event.Find("tid");
+    ASSERT_NE(tid, nullptr);
+    // Dense thread ids: the main thread and one worker.
+    EXPECT_TRUE(tid->text == "0" || tid->text == "1");
+    if (const JsonValue* args = event.Find("args"); args != nullptr) {
+      if (args->Find("epoch") != nullptr) saw_epoch_arg = true;
+    }
+  }
+  EXPECT_TRUE(saw_epoch_arg);
+}
+
+TEST(ExplainLogTest, JsonlRecordsParse) {
+  ExplainLog log;
+  EventProvenance provenance;
+  provenance.id = 5;
+  provenance.type = "StartLocation";
+  provenance.object = 42;
+  provenance.location = 3;
+  provenance.epoch = 17;
+  provenance.complete_inference = true;
+  provenance.inference_waves = 4;
+  provenance.winner_posterior = 0.9;
+  provenance.runner_up_posterior = 0.05;
+  provenance.stage = "report";
+  log.RecordEvent(provenance);
+  log.RecordSuppressed(43, 18, 42, "contained");
+
+  auto event_line = ParseJson(ExplainLog::ToJsonLine(log.events()[0]));
+  ASSERT_TRUE(event_line.ok()) << event_line.status().ToString();
+  EXPECT_EQ(event_line.value().Find("kind")->text, "event");
+  EXPECT_EQ(event_line.value().Find("id")->text, "5");
+  EXPECT_EQ(event_line.value().Find("type")->text, "StartLocation");
+  EXPECT_EQ(event_line.value().Find("complete_inference")->bool_value, true);
+  EXPECT_EQ(event_line.value().Find("stage")->text, "report");
+
+  auto suppressed_line =
+      ParseJson(ExplainLog::ToJsonLine(log.suppressions()[0]));
+  ASSERT_TRUE(suppressed_line.ok());
+  EXPECT_EQ(suppressed_line.value().Find("kind")->text, "suppressed");
+  EXPECT_EQ(suppressed_line.value().Find("covering_container")->text, "42");
+  EXPECT_EQ(suppressed_line.value().Find("reason")->text, "contained");
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "obs_test_explain.spexp")
+          .string();
+  ASSERT_TRUE(log.WriteJsonl(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(ParseJson(line).ok()) << line;
+    ++lines;
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(JsonTest, NumbersStayVerbatim) {
+  // kNoObject is 2^64-1: beyond double precision, so the parser must not
+  // go through a double.
+  auto parsed = ParseJson("{\"id\":18446744073709551615,\"x\":-0.25e2}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("id")->text, "18446744073709551615");
+  EXPECT_EQ(parsed.value().Serialize(),
+            "{\"id\":18446744073709551615,\"x\":-0.25e2}");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{}extra").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,2,-]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_TRUE(ParseJson("{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u0041\"}").ok());
+}
+
+TEST(EnabledFlagTest, TogglesProcessWide) {
+  ASSERT_FALSE(Enabled());  // Tests run with instruments off by default.
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+}
+
+}  // namespace
+}  // namespace spire::obs

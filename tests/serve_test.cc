@@ -68,8 +68,8 @@ TEST(BoundedQueueTest, PushBlocksWhenFullAndResumesOnPop) {
   EXPECT_TRUE(pushed.load());
   EXPECT_EQ(queue.Pop().value_or(-1), 2);
   EXPECT_EQ(queue.Pop().value_or(-1), 3);
-  EXPECT_GE(metrics.blocked_pushes.load(), 1u);
-  EXPECT_EQ(metrics.depth_highwater.load(), 2u);
+  EXPECT_GE(metrics.blocked_pushes.value(), 1u);
+  EXPECT_EQ(metrics.depth_highwater.value(), 2);
 }
 
 TEST(BoundedQueueTest, TryPushCountsDrops) {
@@ -78,7 +78,7 @@ TEST(BoundedQueueTest, TryPushCountsDrops) {
   EXPECT_TRUE(queue.TryPush(1));
   EXPECT_FALSE(queue.TryPush(2));
   EXPECT_FALSE(queue.TryPush(3));
-  EXPECT_EQ(metrics.dropped.load(), 2u);
+  EXPECT_EQ(metrics.dropped.value(), 2u);
   EXPECT_EQ(queue.Pop().value_or(-1), 1);
 }
 
@@ -186,8 +186,8 @@ TEST(EventMergerTest, MergesByEpochThenSite) {
   std::vector<ObjectId> got;
   for (const Event& event : out) got.push_back(event.object);
   EXPECT_EQ(got, (std::vector<ObjectId>{100, 101, 102, 200, 201, 202}));
-  EXPECT_EQ(metrics.epochs_merged.load(), 2u);  // Data rounds; finish not.
-  EXPECT_EQ(metrics.events_out.load(), 6u);
+  EXPECT_EQ(metrics.epochs_merged.value(), 2u);  // Data rounds; finish not.
+  EXPECT_EQ(metrics.events_out.value(), 6u);
 }
 
 TEST(EventMergerTest, EarlyCloseIsProtocolError) {
@@ -324,7 +324,8 @@ TEST(ServeTest, MetricsJsonReportsRegistry) {
   EXPECT_NE(json.find("\"process_latency\""), std::string::npos);
   EXPECT_NE(json.find("\"merger\""), std::string::npos);
   EXPECT_NE(json.find("\"epochs_per_sec\""), std::string::npos);
-  const std::uint64_t merged_epochs = server.metrics().merger().epochs_merged;
+  const std::uint64_t merged_epochs =
+      server.metrics().merger().epochs_merged.value();
   EXPECT_EQ(merged_epochs, static_cast<std::uint64_t>(workload.num_epochs))
       << "one merged round per data epoch";
 }

@@ -15,8 +15,17 @@
 //   spire_cli compact    in=events.sparc out=packed.sparc [block=<events>]
 //   spire_cli serve      in=<t1,t2,..> deployment=<d1,d2,..> out=events.spev
 //                        [shards=N] [queue=C] [level=1|2] [--stats]
-//                        [stats_out=metrics.json]
+//                        [stats_out=metrics.json] [trace_out=trace.json]
+//                        [statusz=text|json]
 //   spire_cli serve      sites=N seed=S out=events.spev [shards=N] [...]
+//   spire_cli run        in=trace.sptr deployment=dep.txt | seed=S
+//                        [out=events.spev] [trace_out=trace.json]
+//                        [explain_out=run.spexp] [archive_out=run.sparc]
+//                        [statusz=text|json] [level=1|2] [beta=..] [...]
+//   spire_cli statusz    [seed=S] [json=true]
+//   spire_cli explain    <event-id> in=run.spexp
+//   spire_cli obscheck   [trace=trace.json] [metrics=metrics.json]
+//                        [explain=run.spexp] [require=span1,span2,..]
 //
 // `serve` runs the concurrent sharded serving layer (src/serve): one SPIRE
 // pipeline per site on N worker shards with an ordered merge. Sites come
@@ -24,6 +33,15 @@
 // count) or from the differential-checking trace generator (`sites=N`
 // expands seeds S..S+N-1). `--stats` dumps the runtime metrics registry as
 // JSON on stdout at shutdown.
+//
+// The observability entry points (DESIGN.md §9): `run` processes one site
+// single-threaded with instruments on — optionally writing a Chrome trace
+// (`trace_out=`, load in Perfetto), an explain-channel JSONL sidecar
+// (`explain_out=`), and an archive mirror (`archive_out=`). `statusz`
+// exercises every module on a fuzz-seed workload and dumps the metrics
+// registry. `explain` looks one emitted event's provenance up in a .spexp
+// sidecar. `obscheck` validates trace/metrics/explain artifacts (the CI obs
+// smoke step).
 //
 // Trace files use the binary format of stream/trace_io.h; event files are
 // "SPEV" + u16 version + u64 record count + the 26-byte records of
@@ -33,6 +51,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -42,10 +63,15 @@
 #include "compress/fold.h"
 #include "compress/serde.h"
 #include "compress/well_formed.h"
+#include "obs/explain.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "query/event_log.h"
 #include "serve/server.h"
 #include "serve/workload.h"
 #include "sim/simulator.h"
+#include "smurf/smurf.h"
 #include "spire/pipeline.h"
 #include "store/archive_reader.h"
 #include "store/archive_writer.h"
@@ -126,6 +152,21 @@ int RunGenerate(const Config& args) {
 
 // ----------------------------------------------------------------- process
 
+/// Pipeline knobs shared by `process` and `run`.
+PipelineOptions PipelineOptionsFromArgs(const Config& args) {
+  PipelineOptions options;
+  options.level = args.GetInt("level", 2).value_or(2) == 1
+                      ? CompressionLevel::kLevel1
+                      : CompressionLevel::kLevel2;
+  options.inference.beta =
+      args.GetDouble("beta", options.inference.beta).value_or(0.4);
+  options.inference.gamma =
+      args.GetDouble("gamma", options.inference.gamma).value_or(0.45);
+  options.inference.theta =
+      args.GetDouble("theta", options.inference.theta).value_or(1.25);
+  return options;
+}
+
 int RunProcess(const Config& args) {
   auto in_path = args.GetString("in", "").value_or("");
   auto deployment_path = args.GetString("deployment", "").value_or("");
@@ -138,16 +179,7 @@ int RunProcess(const Config& args) {
   auto registry = ParseDeployment(lines.value());
   if (!registry.ok()) return Fail(registry.status());
 
-  PipelineOptions options;
-  options.level = args.GetInt("level", 2).value_or(2) == 1
-                      ? CompressionLevel::kLevel1
-                      : CompressionLevel::kLevel2;
-  options.inference.beta =
-      args.GetDouble("beta", options.inference.beta).value_or(0.4);
-  options.inference.gamma =
-      args.GetDouble("gamma", options.inference.gamma).value_or(0.45);
-  options.inference.theta =
-      args.GetDouble("theta", options.inference.theta).value_or(1.25);
+  PipelineOptions options = PipelineOptionsFromArgs(args);
   SpirePipeline pipeline(&registry.value(), options);
 
   std::ifstream in(in_path, std::ios::binary);
@@ -500,6 +532,17 @@ int RunServe(const Config& args) {
   auto workload = BuildServeWorkload(args);
   if (!workload.ok()) return Fail(workload.status());
 
+  const auto trace_out = args.GetString("trace_out", "").value_or("");
+  const auto statusz = args.GetString("statusz", "").value_or("");
+  if (!trace_out.empty() || !statusz.empty()) {
+    obs::SetEnabled(true);
+    obs::Registry::Global().GetCounter("common", "cli_invocations")->Add(1);
+  }
+  if (!trace_out.empty()) {
+    Status status = obs::Tracer::Global().Start(trace_out);
+    if (!status.ok()) return Fail(status);
+  }
+
   serve::ServeOptions options;
   options.num_shards =
       static_cast<int>(args.GetInt("shards", 1).value_or(1));
@@ -512,6 +555,11 @@ int RunServe(const Config& args) {
   serve::SpireServer server(&workload.value(), options);
   serve::ServeResult result = server.Run();
   if (!result.status.ok()) return Fail(result.status);
+
+  if (!trace_out.empty()) {
+    Status status = obs::Tracer::Global().Stop();
+    if (!status.ok()) return Fail(status);
+  }
 
   Status status = WriteEventFile(out_path, result.events);
   if (!status.ok()) return Fail(status);
@@ -543,6 +591,330 @@ int RunServe(const Config& args) {
       if (!stats_file.good()) return FailText("write failed: " + stats_out);
     }
   }
+  if (statusz == "json") {
+    std::printf("%s\n", obs::Registry::Global().ToJson().c_str());
+  } else if (!statusz.empty()) {
+    std::printf("%s", obs::Registry::Global().ToText().c_str());
+  }
+  return 0;
+}
+
+// ------------------------------------------------------- observability
+
+/// One site for `run`: a (trace, deployment) file pair or a fuzz-seed case
+/// from the differential checker's generator.
+struct RunWorkload {
+  ReaderRegistry registry;
+  std::vector<EpochReadings> epochs;  ///< Dense, indexed by epoch.
+};
+
+Result<RunWorkload> BuildRunWorkload(const Config& args) {
+  RunWorkload load;
+  const auto in_path = args.GetString("in", "").value_or("");
+  const auto deployment_path = args.GetString("deployment", "").value_or("");
+  const auto seed = args.GetInt("seed", 0).value_or(0);
+  if (!in_path.empty() && !deployment_path.empty()) {
+    auto site = LoadSite(in_path, deployment_path);
+    if (!site.ok()) return site.status();
+    load.registry = std::move(site.value().registry);
+    load.epochs = std::move(site.value().epochs);
+  } else if (seed > 0) {
+    auto trace = GenerateTrace(CaseFromSeed(static_cast<std::uint64_t>(seed)));
+    if (!trace.ok()) return trace.status();
+    load.registry = std::move(trace.value().registry);
+    load.epochs = std::move(trace.value().epochs);
+  } else {
+    return Status::InvalidArgument(
+        "run needs in=<trace> deployment=<file> or seed=S");
+  }
+  return load;
+}
+
+/// The CLI is the instrumentation site of the "common" module: the config
+/// layer itself sits below obs in the module graph and cannot register.
+void RecordCommonInstruments(const Config& args) {
+  auto& registry = obs::Registry::Global();
+  registry.GetCounter("common", "cli_invocations")->Add(1);
+  registry.GetCounter("common", "config_keys")
+      ->Add(args.Keys().size());
+}
+
+int RunRun(const Config& args) {
+  obs::SetEnabled(true);
+  obs::Registry::Global().Reset();
+  RecordCommonInstruments(args);
+
+  const auto trace_out = args.GetString("trace_out", "").value_or("");
+  if (!trace_out.empty()) {
+    Status status = obs::Tracer::Global().Start(trace_out);
+    if (!status.ok()) return Fail(status);
+  }
+
+  auto workload = BuildRunWorkload(args);
+  if (!workload.ok()) return Fail(workload.status());
+  std::vector<EpochReadings>& epochs = workload.value().epochs;
+
+  SpirePipeline pipeline(&workload.value().registry,
+                         PipelineOptionsFromArgs(args));
+  obs::ExplainLog explain;
+  pipeline.SetExplainSink(&explain);
+
+  std::unique_ptr<ArchiveWriter> archive;
+  const auto archive_out = args.GetString("archive_out", "").value_or("");
+  if (!archive_out.empty()) {
+    auto writer = ArchiveWriter::Open(archive_out, {});
+    if (!writer.ok()) return Fail(writer.status());
+    archive = std::move(writer).value();
+    pipeline.SetArchiveSink(archive.get());
+  }
+
+  EventStream events;
+  std::size_t total_readings = 0;
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    total_readings += epochs[i].size();
+    pipeline.ProcessEpoch(static_cast<Epoch>(i), std::move(epochs[i]),
+                          &events);
+  }
+  pipeline.Finish(static_cast<Epoch>(epochs.size()), &events);
+  if (archive != nullptr) {
+    if (!pipeline.archive_status().ok()) return Fail(pipeline.archive_status());
+    Status status = archive->Close();
+    if (!status.ok()) return Fail(status);
+  }
+
+  const auto out_path = args.GetString("out", "").value_or("");
+  if (!out_path.empty()) {
+    Status status = WriteEventFile(out_path, events);
+    if (!status.ok()) return Fail(status);
+  }
+  const auto explain_out = args.GetString("explain_out", "").value_or("");
+  if (!explain_out.empty()) {
+    Status status = explain.WriteJsonl(explain_out);
+    if (!status.ok()) return Fail(status);
+  }
+  std::size_t trace_spans = 0;
+  if (!trace_out.empty()) {
+    trace_spans = obs::Tracer::Global().num_events();
+    Status status = obs::Tracer::Global().Stop();
+    if (!status.ok()) return Fail(status);
+  }
+
+  std::printf("ran %zu epochs: %zu readings -> %zu events, %zu provenance "
+              "records, %zu suppressions, %zu trace spans\n",
+              epochs.size(), total_readings, events.size(),
+              explain.events().size(), explain.suppressions().size(),
+              trace_spans);
+  const auto statusz = args.GetString("statusz", "").value_or("");
+  if (statusz == "json") {
+    std::printf("%s\n", obs::Registry::Global().ToJson().c_str());
+  } else if (!statusz.empty()) {
+    std::printf("%s", obs::Registry::Global().ToText().c_str());
+  }
+  return 0;
+}
+
+int RunStatusz(const Config& args) {
+  obs::SetEnabled(true);
+  auto& metrics = obs::Registry::Global();
+  metrics.Reset();
+  RecordCommonInstruments(args);
+
+  const auto seed = args.GetInt("seed", 1).value_or(1);
+  auto trace = GenerateTrace(CaseFromSeed(static_cast<std::uint64_t>(seed)));
+  if (!trace.ok()) return Fail(trace.status());
+  ReaderRegistry& site_registry = trace.value().registry;
+  std::vector<EpochReadings>& epochs = trace.value().epochs;
+
+  // SMURF pass over the same readings, so the comparison system's
+  // instruments see traffic too.
+  SmurfCleaner smurf(&site_registry);
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    smurf.ProcessEpoch(static_cast<Epoch>(i), epochs[i]);
+  }
+
+  // SPIRE pass mirrored into a throwaway archive (store instruments).
+  std::error_code ec;
+  const std::string archive_path =
+      (std::filesystem::temp_directory_path(ec) / "spire_statusz.sparc")
+          .string();
+  std::filesystem::remove(archive_path, ec);
+  std::filesystem::remove(IndexPathFor(archive_path), ec);
+  auto writer = ArchiveWriter::Open(archive_path, {});
+  if (!writer.ok()) return Fail(writer.status());
+
+  SpirePipeline pipeline(&site_registry, PipelineOptionsFromArgs(args));
+  pipeline.SetArchiveSink(writer.value().get());
+  EventStream events;
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    pipeline.ProcessEpoch(static_cast<Epoch>(i), std::move(epochs[i]),
+                          &events);
+  }
+  pipeline.Finish(static_cast<Epoch>(epochs.size()), &events);
+  if (!pipeline.archive_status().ok()) return Fail(pipeline.archive_status());
+  Status status = writer.value()->Close();
+  if (!status.ok()) return Fail(status);
+  std::filesystem::remove(archive_path, ec);
+  std::filesystem::remove(IndexPathFor(archive_path), ec);
+
+  if (args.GetBool("json", false).value_or(false)) {
+    std::printf("%s\n", metrics.ToJson().c_str());
+  } else {
+    std::printf("%s", metrics.ToText().c_str());
+  }
+  return 0;
+}
+
+int RunExplain(const Config& args) {
+  const auto in_path = args.GetString("in", "").value_or("");
+  const auto id = args.GetInt("id", -1).value_or(-1);
+  if (in_path.empty() || id < 0) {
+    return FailText("explain needs <event-id> (or id=N) and in=<log.spexp>");
+  }
+  auto lines = LoadLines(in_path);
+  if (!lines.ok()) return Fail(lines.status());
+  const std::string id_text = std::to_string(id);
+  for (const std::string& line : lines.value()) {
+    if (line.empty()) continue;
+    auto parsed = obs::ParseJson(line);
+    if (!parsed.ok()) return Fail(parsed.status());
+    const obs::JsonValue& record = parsed.value();
+    const obs::JsonValue* kind = record.Find("kind");
+    const obs::JsonValue* record_id = record.Find("id");
+    if (kind == nullptr || kind->text != "event" || record_id == nullptr ||
+        record_id->text != id_text) {
+      continue;
+    }
+    auto text_of = [&record](const char* key) -> std::string {
+      const obs::JsonValue* value = record.Find(key);
+      return value == nullptr ? std::string("?") : value->text;
+    };
+    const obs::JsonValue* complete = record.Find("complete_inference");
+    std::printf("%s\n", record.Serialize().c_str());
+    std::printf(
+        "event %lld: %s object=%s location=%s container=%s [%s, %s)\n"
+        "  emitted by stage '%s' at epoch %s after %s inference "
+        "(%s waves)\n"
+        "  winning posterior %s vs runner-up %s\n",
+        static_cast<long long>(id), text_of("type").c_str(),
+        text_of("object").c_str(), text_of("location").c_str(),
+        text_of("container").c_str(), text_of("start").c_str(),
+        text_of("end").c_str(), text_of("stage").c_str(),
+        text_of("epoch").c_str(),
+        (complete != nullptr && complete->bool_value) ? "complete" : "partial",
+        text_of("inference_waves").c_str(),
+        text_of("winner_posterior").c_str(),
+        text_of("runner_up_posterior").c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "no provenance record for event %lld in %s\n",
+               static_cast<long long>(id), in_path.c_str());
+  return 1;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::Internal("read failed: " + path);
+  return buffer.str();
+}
+
+int RunObscheck(const Config& args) {
+  const auto trace_path = args.GetString("trace", "").value_or("");
+  const auto metrics_path = args.GetString("metrics", "").value_or("");
+  const auto explain_path = args.GetString("explain", "").value_or("");
+  if (trace_path.empty() && metrics_path.empty() && explain_path.empty()) {
+    return FailText(
+        "obscheck needs trace=<trace.json>, metrics=<metrics.json>, and/or "
+        "explain=<log.spexp>");
+  }
+
+  if (!trace_path.empty()) {
+    auto text = ReadWholeFile(trace_path);
+    if (!text.ok()) return Fail(text.status());
+    auto parsed = obs::ParseJson(text.value());
+    if (!parsed.ok()) return Fail(parsed.status());
+    const obs::JsonValue* events = parsed.value().Find("traceEvents");
+    if (events == nullptr || events->type != obs::JsonValue::Type::kArray ||
+        events->array.empty()) {
+      return FailText(trace_path + ": no traceEvents");
+    }
+    std::set<std::string> names;
+    for (const obs::JsonValue& event : events->array) {
+      const obs::JsonValue* name = event.Find("name");
+      const obs::JsonValue* phase = event.Find("ph");
+      if (name == nullptr || name->type != obs::JsonValue::Type::kString ||
+          phase == nullptr || phase->text != "X" ||
+          event.Find("ts") == nullptr || event.Find("dur") == nullptr ||
+          event.Find("pid") == nullptr || event.Find("tid") == nullptr) {
+        return FailText(trace_path + ": malformed trace event");
+      }
+      names.insert(name->text);
+    }
+    // Every single-pipeline stage by default; `require=` overrides (e.g.
+    // serve traces carry shard/merge spans but no archive_append).
+    std::vector<std::string> required = {
+        "epoch",    "smooth",   "graph_update", "inference",
+        "conflict", "compress", "archive_append"};
+    const auto require_arg = args.GetString("require", "").value_or("");
+    if (!require_arg.empty()) required = SplitCommaList(require_arg);
+    for (const std::string& name : required) {
+      if (names.count(name) == 0) {
+        return FailText(trace_path + ": missing span '" + name + "'");
+      }
+    }
+    std::printf("trace ok: %s (%zu events, %zu span names)\n",
+                trace_path.c_str(), events->array.size(), names.size());
+  }
+
+  if (!metrics_path.empty()) {
+    auto text = ReadWholeFile(metrics_path);
+    if (!text.ok()) return Fail(text.status());
+    auto parsed = obs::ParseJson(text.value());
+    if (!parsed.ok()) return Fail(parsed.status());
+    const obs::JsonValue* modules = parsed.value().Find("modules");
+    if (modules != nullptr &&
+        (modules->type != obs::JsonValue::Type::kObject ||
+         modules->object.empty())) {
+      return FailText(metrics_path + ": empty modules object");
+    }
+    auto round_trip = obs::ParseJson(parsed.value().Serialize());
+    if (!round_trip.ok()) return Fail(round_trip.status());
+    if (!(round_trip.value() == parsed.value())) {
+      return FailText(metrics_path + ": parse -> serialize -> parse mismatch");
+    }
+    const std::string shape =
+        modules != nullptr
+            ? std::to_string(modules->object.size()) + " modules"
+            : std::string("no modules key");
+    std::printf("metrics ok: %s (%s, round-trips)\n", metrics_path.c_str(),
+                shape.c_str());
+  }
+
+  if (!explain_path.empty()) {
+    auto lines = LoadLines(explain_path);
+    if (!lines.ok()) return Fail(lines.status());
+    std::size_t events = 0, suppressions = 0;
+    for (const std::string& line : lines.value()) {
+      if (line.empty()) continue;
+      auto parsed = obs::ParseJson(line);
+      if (!parsed.ok()) return Fail(parsed.status());
+      const obs::JsonValue* kind = parsed.value().Find("kind");
+      if (kind == nullptr || kind->type != obs::JsonValue::Type::kString) {
+        return FailText(explain_path + ": record without kind");
+      }
+      if (kind->text == "event") {
+        ++events;
+      } else if (kind->text == "suppressed") {
+        ++suppressions;
+      } else {
+        return FailText(explain_path + ": unknown kind '" + kind->text + "'");
+      }
+    }
+    std::printf("explain ok: %s (%zu events, %zu suppressions)\n",
+                explain_path.c_str(), events, suppressions);
+  }
   return 0;
 }
 
@@ -552,16 +924,24 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s generate|process|decompress|validate|stats|query|"
-                 "archive|scan|compact|serve [key=value ...]\n",
+                 "archive|scan|compact|serve|run|statusz|explain|obscheck "
+                 "[key=value ...]\n",
                  argv[0]);
     return 1;
   }
   std::string command = argv[1];
-  // `--stats` is sugar for `stats=true` (the one flag-style option).
+  // `--stats` is sugar for `stats=true` (the one flag-style option);
+  // `explain <event-id>` accepts the id as a bare integer.
   std::vector<std::string> arg_strings;
   for (int i = 1; i < argc; ++i) {
-    arg_strings.push_back(std::strcmp(argv[i], "--stats") == 0 ? "stats=true"
-                                                               : argv[i]);
+    std::string arg = argv[i];
+    if (arg == "--stats") {
+      arg = "stats=true";
+    } else if (command == "explain" && i >= 2 && !arg.empty() &&
+               arg.find_first_not_of("0123456789") == std::string::npos) {
+      arg = "id=" + arg;
+    }
+    arg_strings.push_back(std::move(arg));
   }
   std::vector<const char*> arg_ptrs;
   for (const std::string& arg : arg_strings) arg_ptrs.push_back(arg.c_str());
@@ -578,5 +958,9 @@ int main(int argc, char** argv) {
   if (command == "scan") return RunScan(args.value());
   if (command == "compact") return RunCompact(args.value());
   if (command == "serve") return RunServe(args.value());
+  if (command == "run") return RunRun(args.value());
+  if (command == "statusz") return RunStatusz(args.value());
+  if (command == "explain") return RunExplain(args.value());
+  if (command == "obscheck") return RunObscheck(args.value());
   return FailText("unknown command: " + command);
 }
