@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"objects", "edges", "update (s/epoch)",
                    "inference (s/epoch)", "complete inf (s)", "total (s/epoch)"});
-  BenchReport report("expt5_throughput");
+  BenchReport report("throughput");
   std::size_t next_target = 0;
   while (next_target < targets.size() && !s.Done()) {
     EpochReadings readings = s.Step();

@@ -162,6 +162,96 @@ void BM_Decompress(benchmark::State& state) {
 }
 BENCHMARK(BM_Decompress);
 
+/// A standalone graph with `n` nodes chained pallet->case->item style and a
+/// sprinkle of colored slots — the shape the inference wave loop walks.
+Graph MakeGraph(std::uint32_t n) {
+  Graph graph;
+  graph.BeginEpoch(1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EpcFields fields;
+    fields.serial = i;
+    ObjectId id = EncodeEpcUnchecked(fields);
+    Node& node = graph.GetOrCreateNode(id);
+    if (i % 8 != 0) {
+      EpcFields parent_fields;
+      parent_fields.serial = i - i % 8;
+      (void)graph.AddEdge(EncodeEpcUnchecked(parent_fields), id);
+    } else if (i % 64 == 0) {
+      graph.ColorNode(node, static_cast<LocationId>(1 + i % 4));
+    }
+  }
+  return graph;
+}
+
+void BM_GraphFindNode(benchmark::State& state) {
+  // The ObjectId -> NodeId hash hop, paid once per reading at ingest.
+  Graph graph = MakeGraph(static_cast<std::uint32_t>(state.range(0)));
+  std::vector<ObjectId> ids;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0));
+       ++i) {
+    EpcFields fields;
+    fields.serial = i;
+    ids.push_back(EncodeEpcUnchecked(fields));
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const Node* node = graph.FindNode(ids[cursor]);
+    benchmark::DoNotOptimize(node);
+    if (++cursor == ids.size()) cursor = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphFindNode)->Arg(4096)->Arg(65536);
+
+void BM_GraphNodeAt(benchmark::State& state) {
+  // The dense-slot hop the wave loops use instead of the hash.
+  Graph graph = MakeGraph(static_cast<std::uint32_t>(state.range(0)));
+  const NodeId slots = static_cast<NodeId>(graph.NodeSlots());
+  NodeId cursor = 0;
+  for (auto _ : state) {
+    const Node& node = graph.node(cursor);
+    benchmark::DoNotOptimize(&node);
+    if (++cursor == slots) cursor = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphNodeAt)->Arg(4096)->Arg(65536);
+
+void BM_GraphEdgeChurn(benchmark::State& state) {
+  // Add + remove one containment edge: the pruning-path cost.
+  Graph graph = MakeGraph(1024);
+  EpcFields parent_fields;
+  parent_fields.serial = 2048;
+  EpcFields child_fields;
+  child_fields.serial = 2049;
+  ObjectId parent = EncodeEpcUnchecked(parent_fields);
+  ObjectId child = EncodeEpcUnchecked(child_fields);
+  graph.GetOrCreateNode(parent);
+  graph.GetOrCreateNode(child);
+  for (auto _ : state) {
+    EdgeId edge = graph.AddEdge(parent, child);
+    graph.RemoveEdge(edge);
+    graph.ClearDirty();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphEdgeChurn);
+
+void BM_GraphColoredScan(benchmark::State& state) {
+  // Wave 0 seeding: walk the flat colored index, touch each node.
+  Graph graph = MakeGraph(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t colored = 0;
+    for (NodeId slot : graph.ColoredSlots()) {
+      if (graph.NodeAlive(slot)) ++colored;
+    }
+    benchmark::DoNotOptimize(colored);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.ColoredSlots().size()));
+}
+BENCHMARK(BM_GraphColoredScan)->Arg(4096)->Arg(65536);
+
 void BM_SmurfEpoch(benchmark::State& state) {
   ReaderRegistry registry;
   LocationId loc = registry.AddLocation("a");

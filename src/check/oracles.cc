@@ -77,6 +77,11 @@ EventStream RunPipelineOnTrace(const RecordedTrace& trace,
                                CompressionLevel level) {
   PipelineOptions options;
   options.level = level;
+  return RunPipelineOnTrace(trace, options);
+}
+
+EventStream RunPipelineOnTrace(const RecordedTrace& trace,
+                               const PipelineOptions& options) {
   SpirePipeline pipeline(&trace.registry, options);
   EventStream out;
   for (std::size_t epoch = 0; epoch < trace.epochs.size(); ++epoch) {
@@ -123,6 +128,48 @@ std::optional<OracleFailure> DifferentialChecker::CheckLevel2Recovery(
                                  Canonicalized(decompressed), "level1",
                                  "decompress(level2)");
   if (!diff.empty()) return OracleFailure{"level2_recovery", diff};
+  return std::nullopt;
+}
+
+std::optional<OracleFailure> DifferentialChecker::CheckIncrementalEquivalence(
+    const RecordedTrace& trace, const EventStream& level1,
+    const EventStream& level2, CheckStats* stats) {
+  // Leg 1: the scheduled-inference runs (what `level1` / `level2` are), with
+  // delta-driven scheduling off. Raw DiffStreams — not canonicalized — since
+  // the claim is bit-identity, not mere state equivalence.
+  PipelineOptions options;
+  options.inference.incremental = false;
+  for (CompressionLevel level :
+       {CompressionLevel::kLevel1, CompressionLevel::kLevel2}) {
+    options.level = level;
+    EventStream full = RunPipelineOnTrace(trace, options);
+    if (stats != nullptr) stats->traces_run += 1;
+    const EventStream& incremental =
+        level == CompressionLevel::kLevel1 ? level1 : level2;
+    std::string diff = DiffStreams(incremental, full, "incremental", "full");
+    if (!diff.empty()) {
+      return OracleFailure{"incremental_equivalence",
+                           (level == CompressionLevel::kLevel1 ? "level1: "
+                                                               : "level2: ") +
+                               diff};
+    }
+  }
+  // Leg 2: a complete pass every epoch — every epoch exercises the seed /
+  // reach / cache-replay machinery, including resync boundaries.
+  options.level = CompressionLevel::kLevel2;
+  options.inference_mode = InferenceMode::kAlwaysComplete;
+  options.inference.incremental = true;
+  options.inference.full_resync_passes = 7;  // Hit resync boundaries often.
+  EventStream always_incremental = RunPipelineOnTrace(trace, options);
+  options.inference.incremental = false;
+  EventStream always_full = RunPipelineOnTrace(trace, options);
+  if (stats != nullptr) stats->traces_run += 2;
+  std::string diff = DiffStreams(always_incremental, always_full,
+                                 "incremental", "full");
+  if (!diff.empty()) {
+    return OracleFailure{"incremental_equivalence",
+                         "always-complete level2: " + diff};
+  }
   return std::nullopt;
 }
 
@@ -283,6 +330,10 @@ std::optional<OracleFailure> DifferentialChecker::Check(
 
   if (auto failure = CheckWellFormed(level1, level2)) return failure;
   if (auto failure = CheckLevel2Recovery(level1, level2)) return failure;
+  if (auto failure =
+          CheckIncrementalEquivalence(trace.value(), level1, level2, stats)) {
+    return failure;
+  }
   if (auto failure = CheckArchiveRoundTrip(level2, "level2")) return failure;
   if (auto failure = CheckArchiveRoundTrip(level1, "level1")) return failure;
   if (auto failure = CheckSerdeRoundTrip(level1, "level1")) return failure;

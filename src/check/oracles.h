@@ -1,6 +1,6 @@
 // The oracle battery of the differential checking harness.
 //
-// Every FuzzCase is expanded into a trace and judged by six oracles:
+// Every FuzzCase is expanded into a trace and judged by seven oracles:
 //
 //   (a) well_formed        both pipeline outputs pass ValidateWellFormed.
 //   (b) level2_recovery    Decompress(level-2 output) is event-for-event
@@ -12,7 +12,16 @@
 //   (d) serde_roundtrip    SPEV encode/decode reproduces the stream exactly.
 //   (e) determinism        regenerating and re-running the same case yields
 //                          bit-identical output streams.
-//   (f) explain_consistency re-running level 2 with the explain channel
+//   (f) incremental_equivalence
+//                          the delta-driven inference scheduler
+//                          (InferenceParams::incremental, DESIGN.md §10) is
+//                          an optimization, not a semantics change: the same
+//                          trace run with incremental off is bit-identical
+//                          to the default run at both compression levels,
+//                          and likewise under InferenceMode::kAlwaysComplete
+//                          (a complete pass every epoch — the scheduler's
+//                          hottest path).
+//   (g) explain_consistency re-running level 2 with the explain channel
 //                          attached changes nothing, yields exactly one
 //                          provenance record per emitted event (matching
 //                          fields, sane stage/posteriors), and every
@@ -55,6 +64,10 @@ std::string DiffStreams(const EventStream& a, const EventStream& b,
 EventStream RunPipelineOnTrace(const RecordedTrace& trace,
                                CompressionLevel level);
 
+/// Same, with full control over the pipeline configuration.
+EventStream RunPipelineOnTrace(const RecordedTrace& trace,
+                               const PipelineOptions& options);
+
 /// Checker configuration.
 struct CheckOptions {
   /// Directory for archive round-trip scratch files; "" uses the system
@@ -64,8 +77,8 @@ struct CheckOptions {
 
 /// Cost accounting for one Check() call.
 struct CheckStats {
-  /// Pipeline executions performed (2 levels + 2 determinism re-runs + 1
-  /// explain-consistency re-run).
+  /// Pipeline executions performed (2 levels + 4 incremental-equivalence
+  /// re-runs + 2 determinism re-runs + 1 explain-consistency re-run).
   std::size_t traces_run = 0;
 };
 
@@ -74,7 +87,7 @@ class DifferentialChecker {
  public:
   explicit DifferentialChecker(CheckOptions options = {});
 
-  /// Expands the case and applies all six oracles; std::nullopt means all
+  /// Expands the case and applies all seven oracles; std::nullopt means all
   /// green. `stats`, when non-null, accumulates pipeline-run counts.
   std::optional<OracleFailure> Check(const FuzzCase& fuzz_case,
                                      CheckStats* stats = nullptr) const;
@@ -90,6 +103,12 @@ class DifferentialChecker {
       const RecordedTrace& trace, const EventStream& level2);
   static std::optional<OracleFailure> CheckLevel2Recovery(
       const EventStream& level1, const EventStream& level2);
+  /// Re-runs the trace with delta-driven inference disabled (and under
+  /// InferenceMode::kAlwaysComplete both ways) and requires bit-identical
+  /// output. `level1` / `level2` are the default (incremental) runs.
+  static std::optional<OracleFailure> CheckIncrementalEquivalence(
+      const RecordedTrace& trace, const EventStream& level1,
+      const EventStream& level2, CheckStats* stats = nullptr);
   static std::optional<OracleFailure> CheckSerdeRoundTrip(
       const EventStream& stream, const std::string& label);
   std::optional<OracleFailure> CheckArchiveRoundTrip(

@@ -57,11 +57,7 @@ class ShiftRegister {
   bool empty() const { return count_ == 0; }
 
   /// Number of `true` observations currently held.
-  int PopCount() const {
-    std::uint64_t mask =
-        count_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count_) - 1);
-    return __builtin_popcountll(bits_ & mask);
-  }
+  int PopCount() const { return __builtin_popcountll(Window()); }
 
   /// Drops all history.
   void Clear() {
@@ -71,6 +67,16 @@ class ShiftRegister {
 
   /// Raw bits, newest in the least-significant position (testing hook).
   std::uint64_t raw() const { return bits_; }
+
+  /// The visible window: raw bits masked to the observations actually held.
+  /// Two registers with equal Window() and size() are indistinguishable to
+  /// every reader (Get/PopCount), even when their raw() differ in bits that
+  /// already shifted past the capacity.
+  std::uint64_t Window() const {
+    const std::uint64_t mask =
+        count_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count_) - 1);
+    return bits_ & mask;
+  }
 
  private:
   std::uint64_t bits_ = 0;

@@ -12,39 +12,85 @@ Graph::Graph(int history_size) : history_size_(history_size) {
 void Graph::BeginEpoch(Epoch now) {
   assert(now > now_);
   now_ = now;
-  for (auto& layer_index : colored_index_) layer_index.clear();
+  // Losing the epoch color changes a node's next estimate (observed ->
+  // inferred), so last epoch's colored nodes are change candidates.
+  for (NodeId slot : colored_slots_) {
+    if (NodeAlive(slot)) MarkDirty(node(slot));
+  }
+  for (const auto& [layer, color] : touched_colors_) {
+    colored_index_[layer][color].clear();
+  }
+  touched_colors_.clear();
   colored_nodes_.clear();
+  colored_slots_.clear();
+}
+
+NodeId Graph::AllocateSlot() {
+  if (!free_nodes_.empty()) {
+    NodeId slot = free_nodes_.back();
+    free_nodes_.pop_back();
+    return slot;
+  }
+  const NodeId slot = static_cast<NodeId>(node_slots_);
+  if ((node_slots_ & (kNodeChunkSize - 1)) == 0) {
+    node_chunks_.push_back(std::make_unique<Node[]>(kNodeChunkSize));
+  }
+  ++node_slots_;
+  return slot;
 }
 
 Node& Graph::GetOrCreateNode(ObjectId id) {
-  auto [it, inserted] = nodes_.try_emplace(id);
-  if (inserted) {
-    Node& node = it->second;
-    node.id = id;
-    node.layer = EpcLayer(id);
-  }
-  return it->second;
+  auto [it, inserted] = node_ids_.try_emplace(id, kNoNode);
+  if (!inserted) return node(it->second);
+  const NodeId slot = AllocateSlot();
+  it->second = slot;
+  Node& n = node(slot);
+  // Reset fields individually: clear() keeps the adjacency vectors'
+  // capacity on slot reuse, and the dirty flag stays in sync with the
+  // dirty list (the freed slot may still be queued there).
+  n.id = id;
+  n.self = slot;
+  n.layer = EpcLayer(id);
+  n.recent_color = kUnknownLocation;
+  n.seen_at = kNeverEpoch;
+  n.colored_epoch = kNeverEpoch;
+  n.confirmed = ConfirmedParent{};
+  n.parent_edges.clear();
+  n.child_edges.clear();
+  ++num_alive_nodes_;
+  return n;
 }
 
 void Graph::ColorNode(Node& node, LocationId color) {
   if (IsColored(node) && node.recent_color == color) return;
+  // A new color or a refreshed seen_at both change the node's estimate.
+  MarkDirty(node);
   node.recent_color = color;
   node.seen_at = now_;
   if (node.colored_epoch != now_) {
     node.colored_epoch = now_;
     colored_nodes_.push_back(node.id);
+    colored_slots_.push_back(node.self);
   }
-  colored_index_[node.layer][color].push_back(node.id);
+  auto& by_color = colored_index_[node.layer];
+  if (color >= by_color.size()) by_color.resize(color + 1);
+  if (by_color[color].empty()) touched_colors_.emplace_back(node.layer, color);
+  by_color[color].push_back(node.id);
 }
 
 Node* Graph::FindNode(ObjectId id) {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
+  auto it = node_ids_.find(id);
+  return it == node_ids_.end() ? nullptr : &node(it->second);
 }
 
 const Node* Graph::FindNode(ObjectId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
+  auto it = node_ids_.find(id);
+  return it == node_ids_.end() ? nullptr : &node(it->second);
+}
+
+void Graph::ClearDirty() {
+  for (NodeId slot : dirty_nodes_) node(slot).dirty = false;
+  dirty_nodes_.clear();
 }
 
 EdgeId Graph::AddEdge(ObjectId parent, ObjectId child) {
@@ -59,16 +105,24 @@ EdgeId Graph::AddEdge(ObjectId parent, ObjectId child) {
     id = static_cast<EdgeId>(edges_.size());
     edges_.emplace_back();
   }
+  // Node references stay valid across both GetOrCreateNode calls: the
+  // chunked arena never moves existing nodes.
+  Node& parent_node = GetOrCreateNode(parent);
+  Node& child_node = GetOrCreateNode(child);
   Edge& e = edges_[id];
   e = Edge{};
   e.parent = parent;
   e.child = child;
+  e.parent_node = parent_node.self;
+  e.child_node = child_node.self;
   e.recent_colocations = ShiftRegister(history_size_);
   e.created_at = now_;
   e.alive = true;
 
-  GetOrCreateNode(parent).child_edges.push_back(id);
-  GetOrCreateNode(child).parent_edges.push_back(id);
+  parent_node.child_edges.push_back(id);
+  child_node.parent_edges.push_back(id);
+  MarkDirty(parent_node);
+  MarkDirty(child_node);
   ++num_alive_edges_;
   return id;
 }
@@ -85,11 +139,13 @@ EdgeId Graph::FindEdge(ObjectId parent, ObjectId child) const {
 void Graph::RemoveEdge(EdgeId id) {
   Edge& e = edges_[id];
   assert(e.alive);
-  if (Node* parent = FindNode(e.parent)) {
+  if (Node* parent = NodeAt(e.parent_node)) {
     DetachFromAdjacency(parent->child_edges, id);
+    MarkDirty(*parent);
   }
-  if (Node* child = FindNode(e.child)) {
+  if (Node* child = NodeAt(e.child_node)) {
     DetachFromAdjacency(child->parent_edges, id);
+    MarkDirty(*child);
   }
   e.alive = false;
   free_edges_.push_back(id);
@@ -99,7 +155,9 @@ void Graph::RemoveEdge(EdgeId id) {
 void Graph::RemoveNode(ObjectId id) {
   Node* node = FindNode(id);
   if (node == nullptr) return;
-  // Copy: RemoveEdge mutates the adjacency lists.
+  // Copy: RemoveEdge mutates the adjacency lists. Removal dirties every
+  // former neighbor (via RemoveEdge), which is what re-seeds inference in
+  // the region the node left.
   std::vector<EdgeId> incident = node->parent_edges;
   incident.insert(incident.end(), node->child_edges.begin(),
                   node->child_edges.end());
@@ -108,16 +166,21 @@ void Graph::RemoveNode(ObjectId id) {
   // is not possible for removed ids, so purge it eagerly.
   if (node->colored_epoch == now_) {
     auto& by_color = colored_index_[node->layer];
-    auto it = by_color.find(node->recent_color);
-    if (it != by_color.end()) {
-      auto& vec = it->second;
+    if (node->recent_color < by_color.size()) {
+      auto& vec = by_color[node->recent_color];
       vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
     }
     colored_nodes_.erase(
         std::remove(colored_nodes_.begin(), colored_nodes_.end(), id),
         colored_nodes_.end());
+    colored_slots_.erase(
+        std::remove(colored_slots_.begin(), colored_slots_.end(), node->self),
+        colored_slots_.end());
   }
-  nodes_.erase(id);
+  node_ids_.erase(id);
+  free_nodes_.push_back(node->self);
+  node->id = kNoObject;
+  --num_alive_nodes_;
 }
 
 const std::vector<ObjectId>& Graph::ColoredAt(LocationId color,
@@ -125,22 +188,33 @@ const std::vector<ObjectId>& Graph::ColoredAt(LocationId color,
   static const std::vector<ObjectId> kEmpty;
   assert(layer >= 0 && layer < kNumPackagingLevels);
   const auto& by_color = colored_index_[layer];
-  auto it = by_color.find(color);
-  return it == by_color.end() ? kEmpty : it->second;
+  return color < by_color.size() ? by_color[color] : kEmpty;
 }
 
 std::size_t Graph::MemoryUsage() const {
   std::size_t bytes = 0;
-  // Hash-map node storage: entry payload plus an assumed bucket/control
-  // overhead of two pointers per entry.
-  bytes += nodes_.size() * (sizeof(Node) + 2 * sizeof(void*));
-  for (const auto& [id, node] : nodes_) {
-    bytes += node.parent_edges.capacity() * sizeof(EdgeId);
-    bytes += node.child_edges.capacity() * sizeof(EdgeId);
+  // Arena node storage: whole chunks, plus the id map's entry payload with
+  // an assumed bucket/control overhead of two pointers per entry.
+  bytes += node_chunks_.size() * kNodeChunkSize * sizeof(Node);
+  bytes += node_ids_.size() *
+           (sizeof(std::pair<ObjectId, NodeId>) + 2 * sizeof(void*));
+  for (NodeId slot = 0; slot < node_slots_; ++slot) {
+    const Node& n = node(slot);
+    bytes += n.parent_edges.capacity() * sizeof(EdgeId);
+    bytes += n.child_edges.capacity() * sizeof(EdgeId);
   }
+  bytes += free_nodes_.capacity() * sizeof(NodeId);
   bytes += edges_.capacity() * sizeof(Edge);
   bytes += free_edges_.capacity() * sizeof(EdgeId);
   bytes += colored_nodes_.capacity() * sizeof(ObjectId);
+  bytes += colored_slots_.capacity() * sizeof(NodeId);
+  bytes += dirty_nodes_.capacity() * sizeof(NodeId);
+  for (const auto& layer_index : colored_index_) {
+    bytes += layer_index.capacity() * sizeof(std::vector<ObjectId>);
+    for (const auto& cell : layer_index) {
+      bytes += cell.capacity() * sizeof(ObjectId);
+    }
+  }
   return bytes;
 }
 

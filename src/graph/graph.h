@@ -8,11 +8,23 @@
 // edge carries a shift-register of recent co-location evidence, and each
 // node remembers the last container confirmed by a special reader together
 // with a count of conflicting observations since that confirmation.
+//
+// Storage (hot-path architecture, DESIGN.md §10): nodes live in a chunked
+// slot arena addressed by dense NodeId, with the ObjectId -> NodeId hash
+// looked up once at ingest; chunks are never reallocated, so Node references
+// stay stable across arena growth. Edges name their endpoints both ways —
+// by ObjectId (the external identity) and by NodeId (the O(1) hop used in
+// inference wave loops). The per-epoch color index is a flat
+// vector-of-vectors per layer, cleared in O(colors touched). The graph also
+// maintains a dirty set — nodes whose color, adjacency or confirmation
+// state changed since the last ClearDirty() — that seeds the incremental
+// inference pass.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bitvector.h"
@@ -26,6 +38,10 @@ namespace spire {
 using EdgeId = std::uint32_t;
 inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
 
+/// Index of a node in the graph's node arena.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
 /// The last containment confirmation a node received from a special reader.
 struct ConfirmedParent {
   ObjectId parent = kNoObject;
@@ -38,9 +54,13 @@ struct ConfirmedParent {
   int observations = 0;
 };
 
-/// A graph node: one RFID-tagged object.
+/// A graph node: one RFID-tagged object. `id == kNoObject` marks a freed
+/// arena slot.
 struct Node {
   ObjectId id = kNoObject;
+  /// This node's own arena slot (so a Node& is enough to index the
+  /// inference scratch arrays).
+  NodeId self = kNoNode;
   /// Layer = packaging level (item 0, case 1, pallet 2).
   int layer = 0;
   /// Most recent color and when it was observed ((recent color, seen at) of
@@ -49,6 +69,8 @@ struct Node {
   LocationId recent_color = kUnknownLocation;
   Epoch seen_at = kNeverEpoch;
   Epoch colored_epoch = kNeverEpoch;
+  /// On the graph's dirty list (maintained by Graph::MarkDirty).
+  bool dirty = false;
   ConfirmedParent confirmed;
   /// Incoming edges (possible containers) and outgoing edges (possible
   /// contents).
@@ -56,10 +78,13 @@ struct Node {
   std::vector<EdgeId> child_edges;
 };
 
-/// A directed containment-candidate edge parent -> child.
+/// A directed containment-candidate edge parent -> child. Endpoints are
+/// named both by ObjectId and by arena NodeId.
 struct Edge {
   ObjectId parent = kNoObject;
   ObjectId child = kNoObject;
+  NodeId parent_node = kNoNode;
+  NodeId child_node = kNoNode;
   /// recent_co-locations: positive/negative co-location evidence, newest
   /// observation at index 0.
   ShiftRegister recent_colocations{32};
@@ -78,17 +103,19 @@ class Graph {
 
   /// Starts a new epoch: all nodes become uncolored (lazily, via the epoch
   /// stamp) and the per-epoch color index is cleared. `now` must increase
-  /// strictly.
+  /// strictly. Nodes colored in the previous epoch are marked dirty: losing
+  /// the color changes their next estimate (observed -> inferred).
   void BeginEpoch(Epoch now);
 
   Epoch now() const { return now_; }
 
   /// Finds or creates the node for an object; the layer is decoded from the
-  /// EPC id. Returns the node.
+  /// EPC id. Returns the node (reference stable across arena growth).
   Node& GetOrCreateNode(ObjectId id);
 
   /// Colors a node for the current epoch and updates (recent color, seen
-  /// at). Also registers the node in the per-epoch color index.
+  /// at). Also registers the node in the per-epoch color index and marks it
+  /// dirty.
   void ColorNode(Node& node, LocationId color);
 
   /// True iff the node was observed in the current epoch.
@@ -99,9 +126,40 @@ class Graph {
     return IsColored(node) ? node.recent_color : kUnknownLocation;
   }
 
-  /// Node lookup; nullptr when the object has no node.
+  /// Node lookup by object; nullptr when the object has no node.
   Node* FindNode(ObjectId id);
   const Node* FindNode(ObjectId id) const;
+
+  /// Arena slot of an object's node, or kNoNode.
+  NodeId FindNodeId(ObjectId id) const {
+    auto it = node_ids_.find(id);
+    return it == node_ids_.end() ? kNoNode : it->second;
+  }
+
+  /// Direct arena access; `id` must be < NodeSlots(). The slot may be freed
+  /// (see NodeAlive).
+  Node& node(NodeId id) {
+    return node_chunks_[id >> kNodeChunkShift][id & (kNodeChunkSize - 1)];
+  }
+  const Node& node(NodeId id) const {
+    return node_chunks_[id >> kNodeChunkShift][id & (kNodeChunkSize - 1)];
+  }
+
+  /// True iff the slot currently holds a live node.
+  bool NodeAlive(NodeId id) const { return node(id).id != kNoObject; }
+
+  /// Arena slot access that hides freed slots; nullptr for a freed slot.
+  Node* NodeAt(NodeId id) {
+    Node& n = node(id);
+    return n.id == kNoObject ? nullptr : &n;
+  }
+  const Node* NodeAt(NodeId id) const {
+    const Node& n = node(id);
+    return n.id == kNoObject ? nullptr : &n;
+  }
+
+  /// Number of arena slots ever allocated; NodeIds are always < NodeSlots().
+  std::size_t NodeSlots() const { return node_slots_; }
 
   /// Creates the edge parent -> child unless it already exists; returns its
   /// id either way. The caller guarantees the color constraint.
@@ -110,11 +168,13 @@ class Graph {
   /// Looks up an existing edge parent -> child, or kNoEdge.
   EdgeId FindEdge(ObjectId parent, ObjectId child) const;
 
-  /// Removes an edge from the arena and both adjacency lists.
+  /// Removes an edge from the arena and both adjacency lists; both former
+  /// endpoints are marked dirty.
   void RemoveEdge(EdgeId id);
 
   /// Removes a node and all its incident edges (used when an object exits
-  /// the physical world through a proper channel).
+  /// the physical world through a proper channel). The freed slot is reused
+  /// by a later GetOrCreateNode.
   void RemoveNode(ObjectId id);
 
   Edge& edge(EdgeId id) { return edges_[id]; }
@@ -125,16 +185,37 @@ class Graph {
     return e.parent == from ? e.child : e.parent;
   }
 
+  /// Ditto by arena slot.
+  NodeId OtherEndNode(const Edge& e, NodeId from) const {
+    return e.parent_node == from ? e.child_node : e.parent_node;
+  }
+
   /// Nodes colored `color` in the current epoch at the given layer.
   const std::vector<ObjectId>& ColoredAt(LocationId color, int layer) const;
 
   /// All nodes colored in the current epoch (seed set for inference).
   const std::vector<ObjectId>& ColoredNodes() const { return colored_nodes_; }
 
-  /// All nodes (stable reference map; iteration order unspecified).
-  const std::unordered_map<ObjectId, Node>& nodes() const { return nodes_; }
+  /// Arena slots of ColoredNodes(), in the same order.
+  const std::vector<NodeId>& ColoredSlots() const { return colored_slots_; }
 
-  std::size_t NumNodes() const { return nodes_.size(); }
+  /// Nodes whose color, adjacency or confirmation state changed since the
+  /// last ClearDirty(). May contain slots that were freed after being
+  /// marked; callers filter with NodeAlive.
+  const std::vector<NodeId>& DirtyNodes() const { return dirty_nodes_; }
+
+  /// Marks a node as changed since the last complete inference pass.
+  void MarkDirty(Node& node) {
+    if (!node.dirty) {
+      node.dirty = true;
+      dirty_nodes_.push_back(node.self);
+    }
+  }
+
+  /// Resets the dirty set (called by inference after a complete pass).
+  void ClearDirty();
+
+  std::size_t NumNodes() const { return num_alive_nodes_; }
   std::size_t NumEdges() const { return num_alive_edges_; }
 
   /// Upper bound on edge-arena slots (alive + free-listed); edge ids are
@@ -149,17 +230,32 @@ class Graph {
   std::size_t MemoryUsage() const;
 
  private:
+  static constexpr std::size_t kNodeChunkShift = 10;
+  static constexpr std::size_t kNodeChunkSize = std::size_t{1}
+                                                << kNodeChunkShift;
+
   void DetachFromAdjacency(std::vector<EdgeId>& list, EdgeId id);
+  NodeId AllocateSlot();
 
   int history_size_;
   Epoch now_ = kNeverEpoch;
-  std::unordered_map<ObjectId, Node> nodes_;
+  /// Chunked node arena: chunk pointers grow, chunks never move.
+  std::vector<std::unique_ptr<Node[]>> node_chunks_;
+  std::size_t node_slots_ = 0;
+  std::vector<NodeId> free_nodes_;
+  std::unordered_map<ObjectId, NodeId> node_ids_;
+  std::size_t num_alive_nodes_ = 0;
   std::vector<Edge> edges_;
   std::vector<EdgeId> free_edges_;
   std::size_t num_alive_edges_ = 0;
-  /// Per-epoch index: color -> layer -> colored nodes.
-  std::map<LocationId, std::vector<ObjectId>> colored_index_[kNumPackagingLevels];
+  /// Per-epoch index: layer -> color -> colored nodes, flat by LocationId.
+  /// `touched_colors_` lists the (layer, color) cells filled this epoch so
+  /// BeginEpoch clears in O(touched), not O(location space).
+  std::vector<std::vector<ObjectId>> colored_index_[kNumPackagingLevels];
+  std::vector<std::pair<int, LocationId>> touched_colors_;
   std::vector<ObjectId> colored_nodes_;
+  std::vector<NodeId> colored_slots_;
+  std::vector<NodeId> dirty_nodes_;
 };
 
 }  // namespace spire

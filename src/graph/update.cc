@@ -112,8 +112,9 @@ UpdateStats GraphUpdater::ApplyReaderBatch(const ReaderBatch& batch) {
   // (just created, or observed at a different location than their most
   // recent color) — only those spawn edges in step 2.
   std::unordered_set<ObjectId> new_color;
-  std::array<std::vector<ObjectId>, kNumPackagingLevels> by_layer;
+  std::array<std::vector<NodeId>, kNumPackagingLevels> by_layer;
   for (ObjectId tag : batch.tags) {
+    // One hash lookup per reading: the arena slot from here on.
     Node* existing = graph_->FindNode(tag);
     if (existing == nullptr) {
       ++stats.nodes_created;
@@ -121,9 +122,10 @@ UpdateStats GraphUpdater::ApplyReaderBatch(const ReaderBatch& batch) {
     } else if (existing->recent_color != color) {
       new_color.insert(tag);
     }
-    Node& node = graph_->GetOrCreateNode(tag);
+    Node& node =
+        existing != nullptr ? *existing : graph_->GetOrCreateNode(tag);
     graph_->ColorNode(node, color);
-    by_layer[static_cast<std::size_t>(node.layer)].push_back(tag);
+    by_layer[static_cast<std::size_t>(node.layer)].push_back(node.self);
     ++stats.readings;
     if (exit) exited_.push_back(tag);
   }
@@ -133,8 +135,9 @@ UpdateStats GraphUpdater::ApplyReaderBatch(const ReaderBatch& batch) {
 
   // Steps 2-4, packaging levels bottom-up (Fig. 4 line 7).
   for (int layer = 0; layer < kNumPackagingLevels; ++layer) {
-    for (ObjectId tag : by_layer[static_cast<std::size_t>(layer)]) {
-      Node& v = *graph_->FindNode(tag);
+    for (NodeId slot : by_layer[static_cast<std::size_t>(layer)]) {
+      Node& v = graph_->node(slot);
+      const ObjectId tag = v.id;
 
       // Step 2: connect a newly colored node to same-colored nodes in the
       // closest layer above and below (edges may cross layers when the
@@ -182,8 +185,7 @@ void GraphUpdater::ProcessIncidentEdges(Node& v, LocationId color,
   for (EdgeId id : incident) {
     Edge& e = graph_->edge(id);
     if (!e.alive) continue;
-    ObjectId other_id = graph_->OtherEnd(e, v.id);
-    Node* other = graph_->FindNode(other_id);
+    Node* other = graph_->NodeAt(graph_->OtherEndNode(e, v.self));
     if (other == nullptr) continue;
 
     const bool other_colored = graph_->IsColored(*other);
@@ -227,11 +229,22 @@ void GraphUpdater::UpdateEdgeStats(Edge& e, bool same_color,
                                    const Confirmation& confirmation,
                                    UpdateStats* stats) {
   const Epoch now = graph_->now();
-  // Right-shift the history and record the newest observation.
+  // Right-shift the history and record the newest observation. The push
+  // only dirties the endpoints when it changes the register's *visible*
+  // window — a saturated all-alike history absorbing one more identical
+  // observation leaves every edge weight (and thus every estimate) as it
+  // was, so the incremental pass may keep the region cached.
+  const std::uint64_t window_before = e.recent_colocations.Window();
+  const int count_before = e.recent_colocations.size();
   e.recent_colocations.Push(same_color);
+  if (e.recent_colocations.Window() != window_before ||
+      e.recent_colocations.size() != count_before) {
+    if (Node* parent = graph_->NodeAt(e.parent_node)) graph_->MarkDirty(*parent);
+    if (Node* child = graph_->NodeAt(e.child_node)) graph_->MarkDirty(*child);
+  }
   if (same_color) ++stats->colocations_recorded;
 
-  Node* child = graph_->FindNode(e.child);
+  Node* child = graph_->NodeAt(e.child_node);
   if (child == nullptr) return;
 
   if (same_color && confirmation.active && e.parent == confirmation.top &&
@@ -241,6 +254,7 @@ void GraphUpdater::UpdateEdgeStats(Edge& e, bool same_color,
     child->confirmed.confirmed_at = now;
     child->confirmed.conflicts = 0;
     child->confirmed.observations = 0;
+    graph_->MarkDirty(*child);
     ++stats->confirmations;
     return;
   }
@@ -250,6 +264,7 @@ void GraphUpdater::UpdateEdgeStats(Edge& e, bool same_color,
     // The confirmed edge was exercised: track agreement/conflict for the
     // adaptive-beta heuristic and the conflict count of Section III-A.
     ++child->confirmed.observations;
+    graph_->MarkDirty(*child);
     if (!same_color) {
       ++child->confirmed.conflicts;
       ++stats->conflicts_recorded;

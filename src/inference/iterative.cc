@@ -1,8 +1,7 @@
 #include "inference/iterative.h"
 
 #include <algorithm>
-#include <unordered_set>
-#include <vector>
+#include <cassert>
 
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -17,6 +16,10 @@ struct Instruments {
   obs::Counter* waves;
   obs::Counter* edges_pruned;
   obs::Counter* estimates;
+  obs::Counter* dirty_nodes;
+  obs::Counter* fade_wakeups;
+  obs::Counter* cache_hits;
+  obs::Counter* nodes_reinferred;
 };
 
 const Instruments* GetInstruments() {
@@ -28,16 +31,87 @@ const Instruments* GetInstruments() {
       registry.GetCounter("inference", "waves"),
       registry.GetCounter("inference", "edges_pruned"),
       registry.GetCounter("inference", "estimates"),
+      registry.GetCounter("inference", "dirty_nodes"),
+      registry.GetCounter("inference", "fade_wakeups"),
+      registry.GetCounter("inference", "cache_hits"),
+      registry.GetCounter("inference", "nodes_reinferred"),
   };
   return &instruments;
 }
 
 }  // namespace
 
+// ------------------------------------------------------------- FadeWheel ---
+
+void IterativeInference::FadeWheel::Resize(std::size_t slots) {
+  if (wake_.size() < slots) wake_.resize(slots, kNeverEpoch);
+}
+
+void IterativeInference::FadeWheel::Schedule(NodeId slot, Epoch deadline) {
+  wake_[slot] = deadline;
+  if (deadline == kNeverEpoch) return;
+  ring_[static_cast<std::size_t>(deadline) & (kBuckets - 1)].push_back(
+      Entry{deadline, slot});
+}
+
+void IterativeInference::FadeWheel::Drain(std::vector<Entry>& bucket,
+                                          Epoch now,
+                                          std::vector<NodeId>* out) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const Entry entry = bucket[i];
+    if (entry.deadline > now) {
+      bucket[kept++] = entry;
+      continue;
+    }
+    // Due, or stale (superseded by a later Schedule). Only the entry that
+    // matches the authoritative wake-up fires; either way it leaves the
+    // ring.
+    if (wake_[entry.slot] == entry.deadline) {
+      wake_[entry.slot] = kNeverEpoch;
+      out->push_back(entry.slot);
+    }
+  }
+  bucket.resize(kept);
+}
+
+void IterativeInference::FadeWheel::Collect(Epoch prev, Epoch now,
+                                            std::vector<NodeId>* out) {
+  if (now <= prev) return;
+  if (now - prev >= static_cast<Epoch>(kBuckets)) {
+    for (auto& bucket : ring_) Drain(bucket, now, out);
+    return;
+  }
+  // Any deadline in (prev, now] hashes into one of these consecutive
+  // buckets; earlier deadlines were collected by earlier calls.
+  for (Epoch e = prev + 1; e <= now; ++e) {
+    Drain(ring_[static_cast<std::size_t>(e) & (kBuckets - 1)], now, out);
+  }
+}
+
+void IterativeInference::FadeWheel::Clear() {
+  for (auto& bucket : ring_) bucket.clear();
+  std::fill(wake_.begin(), wake_.end(), kNeverEpoch);
+}
+
+// -------------------------------------------------------------- Inference ---
+
 std::vector<Epoch> IterativeInference::LocationPeriods(
     const ReaderRegistry* registry) {
   if (registry == nullptr) return {};
   return spire::LocationPeriods(*registry);
+}
+
+void IterativeInference::EnsureScratch() {
+  const std::size_t slots = graph_->NodeSlots();
+  if (visited_stamp_.size() >= slots) return;
+  visited_stamp_.resize(slots, 0);
+  known_stamp_.resize(slots, 0);
+  known_value_.resize(slots, kUnknownLocation);
+  reach_stamp_.resize(slots, 0);
+  cache_.resize(slots);
+  cache_valid_.resize(slots, 0);
+  wheel_.Resize(slots);
 }
 
 EdgeInferenceResult IterativeInference::InferEdgesAndPrune(
@@ -59,118 +133,99 @@ EdgeInferenceResult IterativeInference::InferEdgesAndPrune(
   return inferred;
 }
 
-InferenceResult IterativeInference::Run(Epoch now, bool complete) {
+void IterativeInference::StoreCache(NodeId slot,
+                                    const ObjectEstimate& estimate,
+                                    const ScoreModel* model, Epoch now) {
+  if (!store_cache_) return;
+  cache_[slot] = estimate;
+  cache_valid_[slot] = 1;
+  Epoch deadline = kNeverEpoch;
+  if (model != nullptr) {
+    deadline = NextArgmaxFlip(*model, now, now + kFadeHorizon);
+  }
+  wheel_.Schedule(slot, deadline);
+}
+
+InferenceResult IterativeInference::RunPass(
+    Epoch now, bool complete, const std::vector<NodeId>* restrict_to) {
   InferenceResult result;
   result.epoch = now;
   result.complete = complete;
   edge_inferencer_.BeginPass();
+  EnsureScratch();
+  ++pass_;
+  const std::uint64_t pass = pass_;
+  if (complete) result.estimates.reserve(graph_->NumNodes());
 
-  // Colors known so far in this pass (observed or committed estimates).
-  std::unordered_map<ObjectId, LocationId> known_color;
-  const auto color_of = [&](const Node& node) -> LocationId {
-    if (graph_->IsColored(node)) return node.recent_color;
-    auto it = known_color.find(node.id);
-    return it == known_color.end() ? kUnknownLocation : it->second;
-  };
-
-  std::unordered_set<ObjectId> visited;
-  std::vector<ObjectId> wave = graph_->ColoredNodes();
-  for (ObjectId id : wave) visited.insert(id);
+  PassColors colors;
+  colors.graph = graph_;
+  colors.known_stamp = known_stamp_.data();
+  colors.known_value = known_value_.data();
+  colors.pass = pass;
 
   // Wave d = 0: the observed nodes. Edge inference estimates their most
-  // likely containers; their location is the observed color.
-  for (ObjectId id : wave) {
-    Node* node = graph_->FindNode(id);
-    if (node == nullptr) continue;
-    EdgeInferenceResult edges = InferEdgesAndPrune(*node, &result);
+  // likely containers; their location is the observed color. In a
+  // restricted pass every colored node is a seed (coloring marks dirty), so
+  // wave 0 — and with it the whole BFS — is identical to the full pass's.
+  wave_.clear();
+  for (NodeId slot : graph_->ColoredSlots()) {
+    visited_stamp_[slot] = pass;
+    wave_.push_back(slot);
+  }
+  for (NodeId slot : wave_) {
+    Node& node = graph_->node(slot);
+    EdgeInferenceResult edges = InferEdgesAndPrune(node, &result);
     ObjectEstimate estimate;
-    estimate.object = id;
-    estimate.location = node->recent_color;
+    estimate.object = node.id;
+    estimate.location = node.recent_color;
     estimate.location_prob = 1.0;
     estimate.container = edges.best_parent;
     estimate.container_prob = edges.best_prob;
     estimate.container_runner_up = edges.runner_up_prob;
     estimate.observed = true;
-    result.estimates[id] = estimate;
-    known_color[id] = node->recent_color;
+    result.estimates[node.id] = estimate;
+    known_stamp_[slot] = pass;
+    known_value_[slot] = node.recent_color;
+    if (complete) StoreCache(slot, estimate, nullptr, now);
   }
 
   // Waves d = 1, 2, ...: uncolored nodes in increasing distance.
   int distance = 0;
-  while (!wave.empty()) {
+  while (!wave_.empty()) {
     ++distance;
     if (!complete && distance > params_.partial_hops) break;
     obs::ScopedSpan wave_span("inference", "wave", now);
 
     // Collect the next wave from the (post-pruning) adjacency of this one.
-    std::vector<ObjectId> next;
-    for (ObjectId id : wave) {
-      const Node* node = graph_->FindNode(id);
-      if (node == nullptr) continue;
-      auto discover = [&](ObjectId neighbor) {
-        if (visited.insert(neighbor).second) next.push_back(neighbor);
+    next_.clear();
+    for (NodeId slot : wave_) {
+      const Node& node = graph_->node(slot);
+      auto discover = [&](NodeId neighbor) {
+        if (visited_stamp_[neighbor] != pass) {
+          visited_stamp_[neighbor] = pass;
+          next_.push_back(neighbor);
+        }
       };
-      for (EdgeId e : node->parent_edges) discover(graph_->edge(e).parent);
-      for (EdgeId e : node->child_edges) discover(graph_->edge(e).child);
+      for (EdgeId e : node.parent_edges) discover(graph_->edge(e).parent_node);
+      for (EdgeId e : node.child_edges) discover(graph_->edge(e).child_node);
     }
-    if (next.empty()) break;
+    if (next_.empty()) break;
 
     // Edge inference (with pruning) for the whole wave first...
-    std::unordered_map<ObjectId, EdgeInferenceResult> edge_results;
-    edge_results.reserve(next.size());
-    for (ObjectId id : next) {
-      Node* node = graph_->FindNode(id);
-      if (node == nullptr) continue;
-      edge_results[id] = InferEdgesAndPrune(*node, &result);
+    wave_edges_.clear();
+    for (NodeId slot : next_) {
+      wave_edges_.push_back(InferEdgesAndPrune(graph_->node(slot), &result));
     }
     // ...then node inference, seeing only colors from earlier waves.
-    std::vector<ObjectEstimate> pending;
-    pending.reserve(next.size());
-    for (ObjectId id : next) {
-      Node* node = graph_->FindNode(id);
-      if (node == nullptr) continue;
-      NodeInferenceResult location =
-          node_inferencer_.InferAt(*node, now, color_of);
+    pending_.clear();
+    wave_models_.resize(next_.size());
+    for (std::size_t i = 0; i < next_.size(); ++i) {
+      const Node& node = graph_->node(next_[i]);
+      const EdgeInferenceResult& edges = wave_edges_[i];
+      NodeInferenceResult location = node_inferencer_.InferAt(
+          node, now, colors, complete ? &wave_models_[i] : nullptr);
       ObjectEstimate estimate;
-      estimate.object = id;
-      estimate.location = location.location;
-      estimate.location_prob = location.probability;
-      estimate.location_runner_up = location.runner_up;
-      estimate.container = edge_results[id].best_parent;
-      estimate.container_prob = edge_results[id].best_prob;
-      estimate.container_runner_up = edge_results[id].runner_up_prob;
-      estimate.observed = false;
-      estimate.withheld =
-          !complete && location.location == kUnknownLocation;
-      pending.push_back(estimate);
-    }
-    // Commit the wave: later waves may now use these colors.
-    for (const ObjectEstimate& estimate : pending) {
-      result.estimates[estimate.object] = estimate;
-      if (estimate.location != kUnknownLocation) {
-        known_color[estimate.object] = estimate.location;
-      }
-    }
-    result.waves = static_cast<std::size_t>(distance);
-    wave = std::move(next);
-  }
-
-  if (complete) {
-    // Nodes unreachable from any colored node ("d = infinity"): no color can
-    // propagate to them; infer from their fading colors alone.
-    std::vector<ObjectId> rest;
-    for (const auto& [id, node] : graph_->nodes()) {
-      if (!visited.contains(id)) rest.push_back(id);
-    }
-    std::sort(rest.begin(), rest.end());
-    for (ObjectId id : rest) {
-      Node* node = graph_->FindNode(id);
-      if (node == nullptr) continue;
-      EdgeInferenceResult edges = InferEdgesAndPrune(*node, &result);
-      NodeInferenceResult location =
-          node_inferencer_.InferAt(*node, now, color_of);
-      ObjectEstimate estimate;
-      estimate.object = id;
+      estimate.object = node.id;
       estimate.location = location.location;
       estimate.location_prob = location.probability;
       estimate.location_runner_up = location.runner_up;
@@ -178,17 +233,195 @@ InferenceResult IterativeInference::Run(Epoch now, bool complete) {
       estimate.container_prob = edges.best_prob;
       estimate.container_runner_up = edges.runner_up_prob;
       estimate.observed = false;
-      result.estimates[id] = estimate;
+      estimate.withheld = !complete && location.location == kUnknownLocation;
+      pending_.push_back(estimate);
+    }
+    // Commit the wave: later waves may now use these colors.
+    for (std::size_t i = 0; i < next_.size(); ++i) {
+      const ObjectEstimate& estimate = pending_[i];
+      result.estimates[estimate.object] = estimate;
+      if (estimate.location != kUnknownLocation) {
+        known_stamp_[next_[i]] = pass;
+        known_value_[next_[i]] = estimate.location;
+      }
+      if (complete) StoreCache(next_[i], estimate, &wave_models_[i], now);
+    }
+    result.waves = static_cast<std::size_t>(distance);
+    wave_.swap(next_);
+  }
+
+  if (complete) {
+    // Nodes unreachable from any colored node ("d = infinity"): no color can
+    // propagate to them; infer from their fading colors alone.
+    rest_.clear();
+    if (restrict_to == nullptr) {
+      const std::size_t slots = graph_->NodeSlots();
+      for (NodeId slot = 0; slot < slots; ++slot) {
+        if (!graph_->NodeAlive(slot)) continue;
+        if (visited_stamp_[slot] == pass) continue;
+        rest_.push_back(slot);
+      }
+    } else {
+      for (NodeId slot : *restrict_to) {
+        if (visited_stamp_[slot] == pass) continue;
+        rest_.push_back(slot);
+      }
+    }
+    std::sort(rest_.begin(), rest_.end(), [&](NodeId a, NodeId b) {
+      return graph_->node(a).id < graph_->node(b).id;
+    });
+    ScoreModel model;
+    for (NodeId slot : rest_) {
+      const Node& node = graph_->node(slot);
+      EdgeInferenceResult edges = InferEdgesAndPrune(node, &result);
+      NodeInferenceResult location =
+          node_inferencer_.InferAt(node, now, colors, &model);
+      ObjectEstimate estimate;
+      estimate.object = node.id;
+      estimate.location = location.location;
+      estimate.location_prob = location.probability;
+      estimate.location_runner_up = location.runner_up;
+      estimate.container = edges.best_parent;
+      estimate.container_prob = edges.best_prob;
+      estimate.container_runner_up = edges.runner_up_prob;
+      estimate.observed = false;
+      result.estimates[node.id] = estimate;
+      StoreCache(slot, estimate, &model, now);
     }
   }
+  return result;
+}
+
+InferenceResult IterativeInference::RunPartial(Epoch now) {
+  store_cache_ = false;
+  InferenceResult result = RunPass(now, false, nullptr);
   if (const Instruments* instruments = GetInstruments()) {
-    (complete ? instruments->passes_complete : instruments->passes_partial)
-        ->Add(1);
+    instruments->passes_partial->Add(1);
     instruments->waves->Add(result.waves);
     instruments->edges_pruned->Add(result.edges_pruned);
     instruments->estimates->Add(result.estimates.size());
   }
   return result;
+}
+
+InferenceResult IterativeInference::RunFullComplete(Epoch now) {
+  // Cache maintenance (and its deadline computations) only pays off when
+  // incremental passes will consume it.
+  store_cache_ = params_.incremental;
+  if (store_cache_) {
+    EnsureScratch();
+    wheel_.Clear();
+  }
+  // Consume the dirty set *before* the pass: edges pruned mid-pass re-dirty
+  // their endpoints, and those marks must survive into the next epoch's
+  // seeds (the pass's cached estimates saw the pre-pruning structure).
+  graph_->ClearDirty();
+  InferenceResult result = RunPass(now, true, nullptr);
+  cache_primed_ = store_cache_;
+  passes_since_full_ = 0;
+  last_complete_ = now;
+  if (const Instruments* instruments = GetInstruments()) {
+    instruments->passes_complete->Add(1);
+    instruments->waves->Add(result.waves);
+    instruments->edges_pruned->Add(result.edges_pruned);
+    instruments->estimates->Add(result.estimates.size());
+    instruments->nodes_reinferred->Add(result.estimates.size());
+  }
+  return result;
+}
+
+InferenceResult IterativeInference::RunIncrementalComplete(Epoch now) {
+  EnsureScratch();
+  store_cache_ = true;
+  ++reach_round_;
+  const std::uint64_t round = reach_round_;
+
+  // Seeds: nodes whose inputs changed (dirty) or whose fade deadline
+  // arrived (due). Dead slots may linger on either list; skip them.
+  reach_.clear();
+  auto seed = [&](NodeId slot) {
+    if (!graph_->NodeAlive(slot)) return;
+    if (reach_stamp_[slot] == round) return;
+    reach_stamp_[slot] = round;
+    reach_.push_back(slot);
+  };
+  for (NodeId slot : graph_->DirtyNodes()) seed(slot);
+  const std::size_t dirty_seeds = reach_.size();
+  // Seeds are consumed; marks set from here on (mid-pass pruning) are next
+  // epoch's seeds.
+  graph_->ClearDirty();
+  due_.clear();
+  wheel_.Collect(last_complete_, now, &due_);
+  for (NodeId slot : due_) seed(slot);
+
+  // The recompute set is the union of the seeds' connected components:
+  // estimates are a per-component function, so recomputing whole components
+  // (and nothing less) reproduces the full pass bit-for-bit.
+  auto close_reach = [&](std::size_t from) {
+    for (std::size_t i = from; i < reach_.size(); ++i) {
+      const Node& node = graph_->node(reach_[i]);
+      auto grow = [&](NodeId neighbor) {
+        if (reach_stamp_[neighbor] != round) {
+          reach_stamp_[neighbor] = round;
+          reach_.push_back(neighbor);
+        }
+      };
+      for (EdgeId e : node.parent_edges) grow(graph_->edge(e).parent_node);
+      for (EdgeId e : node.child_edges) grow(graph_->edge(e).child_node);
+    }
+  };
+  close_reach(0);
+
+  // Safety net: every untouched node must have a valid cached estimate. A
+  // hole (which the seeding rules are designed to make impossible) extends
+  // the recompute set *before* the pass runs, so a fallback never mixes
+  // with a partially pruned graph.
+  const std::size_t slots = graph_->NodeSlots();
+  for (NodeId slot = 0; slot < slots; ++slot) {
+    if (!graph_->NodeAlive(slot) || reach_stamp_[slot] == round) continue;
+    if (cache_valid_[slot] && cache_[slot].object == graph_->node(slot).id) {
+      continue;
+    }
+    const std::size_t from = reach_.size();
+    reach_stamp_[slot] = round;
+    reach_.push_back(slot);
+    close_reach(from);
+  }
+
+  InferenceResult result = RunPass(now, true, &reach_);
+  const std::size_t reinferred = result.estimates.size();
+
+  // Untouched components: replay the cached estimates. Their (location,
+  // container, observed, withheld) equal what a full pass would recompute;
+  // the posteriors may lag (explain channel only, see DESIGN.md §10).
+  for (NodeId slot = 0; slot < slots; ++slot) {
+    if (!graph_->NodeAlive(slot) || reach_stamp_[slot] == round) continue;
+    result.estimates.emplace(cache_[slot].object, cache_[slot]);
+  }
+  const std::size_t cache_hits = result.estimates.size() - reinferred;
+
+  ++passes_since_full_;
+  last_complete_ = now;
+  if (const Instruments* instruments = GetInstruments()) {
+    instruments->passes_complete->Add(1);
+    instruments->waves->Add(result.waves);
+    instruments->edges_pruned->Add(result.edges_pruned);
+    instruments->estimates->Add(result.estimates.size());
+    instruments->dirty_nodes->Add(dirty_seeds);
+    instruments->fade_wakeups->Add(due_.size());
+    instruments->cache_hits->Add(cache_hits);
+    instruments->nodes_reinferred->Add(reinferred);
+  }
+  return result;
+}
+
+InferenceResult IterativeInference::RunComplete(Epoch now) {
+  const bool resync_due = params_.full_resync_passes > 0 &&
+                          passes_since_full_ >= params_.full_resync_passes;
+  if (!params_.incremental || !cache_primed_ || resync_due) {
+    return RunFullComplete(now);
+  }
+  return RunIncrementalComplete(now);
 }
 
 }  // namespace spire

@@ -13,9 +13,25 @@
 // epochs where some readers are silent) is restricted to nodes within
 // `partial_hops` of a colored node and withholds "unknown" verdicts, since
 // they may merely reflect a reader that was not scheduled to read.
+//
+// Delta-driven complete passes (DESIGN.md §10): with
+// InferenceParams::incremental on, a complete pass recomputes only the
+// connected components that contain a *seed* — a node whose color,
+// adjacency or confirmation state changed since the last complete pass
+// (Graph's dirty set), or a node whose fade-flip deadline arrived (the fade
+// wheel) — and replays cached estimates for every untouched component.
+// Because estimates are a per-component function of inputs that are all
+// either constant or deadline-scheduled, the emitted event stream is
+// byte-identical to a full recompute (the incremental_equivalence oracle
+// proves it on every fuzz seed); only the cached posteriors served to the
+// explain channel may be stale. All per-pass state (visited set, committed
+// colors, wave buffers) lives in epoch-stamped scratch arrays indexed by
+// NodeId, so steady-state passes allocate nothing.
 #pragma once
 
-#include <unordered_map>
+#include <array>
+#include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
 #include "stream/reader.h"
@@ -42,27 +58,96 @@ class IterativeInference {
   /// Per-location reader periods from a registry (empty without one).
   static std::vector<Epoch> LocationPeriods(const ReaderRegistry* registry);
 
-  /// Complete inference over the entire graph.
-  InferenceResult RunComplete(Epoch now) { return Run(now, true); }
+  /// Complete inference: every live node receives an estimate. Incremental
+  /// when enabled and the cache is primed; a full pass otherwise (first
+  /// pass, incremental off, or a scheduled resync boundary).
+  InferenceResult RunComplete(Epoch now);
 
   /// Partial inference over the `partial_hops`-neighborhood of the colored
   /// nodes.
-  InferenceResult RunPartial(Epoch now) { return Run(now, false); }
+  InferenceResult RunPartial(Epoch now);
 
   const InferenceParams& params() const { return params_; }
   InferenceParams& mutable_params() { return params_; }
 
  private:
-  InferenceResult Run(Epoch now, bool complete);
+  /// Epochs ahead that fade-flip deadlines are searched; nodes whose argmax
+  /// is stable through the horizon but not in the fade -> 0 limit get a
+  /// recheck at the horizon.
+  static constexpr Epoch kFadeHorizon = 1 << 14;
+
+  /// Timer wheel of per-node fade-flip deadlines. A node may be scheduled
+  /// many times (each recompute reschedules); only the entry matching the
+  /// latest Schedule() fires, the rest are dropped lazily on collection.
+  class FadeWheel {
+   public:
+    void Resize(std::size_t slots);
+    /// Sets the node's next wake-up (kNeverEpoch cancels a pending one).
+    void Schedule(NodeId slot, Epoch deadline);
+    /// Appends every node whose scheduled deadline lies in (prev, now] to
+    /// `out` and unschedules it.
+    void Collect(Epoch prev, Epoch now, std::vector<NodeId>* out);
+    void Clear();
+
+   private:
+    static constexpr std::size_t kBuckets = 1024;
+    struct Entry {
+      Epoch deadline;
+      NodeId slot;
+    };
+    void Drain(std::vector<Entry>& bucket, Epoch now,
+               std::vector<NodeId>* out);
+    std::array<std::vector<Entry>, kBuckets> ring_;
+    /// Authoritative next wake-up per node slot; kNeverEpoch when none.
+    std::vector<Epoch> wake_;
+  };
+
+  /// One inference pass. `restrict` limits complete passes to the given
+  /// node set (a union of whole connected components); nullptr = whole
+  /// graph.
+  InferenceResult RunPass(Epoch now, bool complete,
+                          const std::vector<NodeId>* restrict_to);
+  InferenceResult RunFullComplete(Epoch now);
+  InferenceResult RunIncrementalComplete(Epoch now);
+
+  /// Grows the epoch-stamped scratch arrays to the graph's slot count.
+  void EnsureScratch();
 
   /// Edge inference + pruning at one node; returns the container choice.
   EdgeInferenceResult InferEdgesAndPrune(const Node& node,
                                          InferenceResult* result);
 
+  /// Caches a complete-pass estimate and (re)schedules the node's fade
+  /// deadline; `model` is null for observed nodes (their next change is the
+  /// color loss, which dirties them).
+  void StoreCache(NodeId slot, const ObjectEstimate& estimate,
+                  const ScoreModel* model, Epoch now);
+
   Graph* graph_;
   InferenceParams params_;
   EdgeInferencer edge_inferencer_;
   NodeInferencer node_inferencer_;
+
+  // --- Epoch-stamped scratch (allocation-free steady-state passes) ---
+  std::uint64_t pass_ = 0;
+  std::vector<std::uint64_t> visited_stamp_;
+  std::vector<std::uint64_t> known_stamp_;
+  std::vector<LocationId> known_value_;
+  std::uint64_t reach_round_ = 0;
+  std::vector<std::uint64_t> reach_stamp_;
+  std::vector<NodeId> wave_, next_, rest_, reach_, due_;
+  std::vector<EdgeInferenceResult> wave_edges_;
+  std::vector<ObjectEstimate> pending_;
+  std::vector<ScoreModel> wave_models_;
+
+  // --- Estimate cache + fade wheel (incremental mode) ---
+  std::vector<ObjectEstimate> cache_;
+  std::vector<std::uint8_t> cache_valid_;
+  bool cache_primed_ = false;
+  bool store_cache_ = false;
+  int passes_since_full_ = 0;
+  Epoch last_complete_ = kNeverEpoch;
+  FadeWheel wheel_;
 };
 
 }  // namespace spire

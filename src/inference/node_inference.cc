@@ -17,60 +17,27 @@ double NodeInferencer::FadingAge(const Node& node, Epoch now) const {
   return age < 1.0 ? 1.0 : age;
 }
 
-NodeInferenceResult NodeInferencer::InferAt(const Node& node, Epoch now,
-                                            const ColorOracle& color_of) const {
-  const double gamma = params_->gamma;
+double ScoreModel::FadeAt(Epoch t) const {
+  if (!fades) return 0.0;
+  double age = static_cast<double>(t - seen_at);
+  if (period_divisor > 1.0) age /= period_divisor;
+  if (age < 1.0) age = 1.0;
+  return 1.0 / std::pow(age, theta);
+}
 
-  // Fading belief in the most recent color: 1 / (now - seen_at)^theta.
-  // Nodes are created on first observation, so seen_at is always valid and
-  // (now - seen_at) >= 1 for an uncolored node.
-  double fade = 0.0;
-  if (node.seen_at != kNeverEpoch && node.recent_color != kUnknownLocation) {
-    fade = 1.0 / std::pow(FadingAge(node, now), params_->theta);
-  }
-
-  // Colors propagated through the edges: sum of edge probabilities per
-  // color, normalized by Z2 over all propagating edges (Eq. 3).
-  std::map<LocationId, double> propagated;
-  double z2 = 0.0;
-  auto consider = [&](EdgeId id, ObjectId neighbor_id) {
-    const Node* neighbor = graph_->FindNode(neighbor_id);
-    if (neighbor == nullptr) return;
-    LocationId color = color_of(*neighbor);
-    if (color == kUnknownLocation) return;
-    const double p = edges_->ProbabilityOf(id);
-    if (p <= 0.0) return;
-    propagated[color] += p;
-    z2 += p;
-  };
-  for (EdgeId id : node.parent_edges) {
-    consider(id, graph_->edge(id).parent);
-  }
-  for (EdgeId id : node.child_edges) {
-    consider(id, graph_->edge(id).child);
-  }
-
-  // Assemble the distribution. When no edge propagates a color, the gamma
-  // mass is unavailable and the remaining terms are compared directly
-  // (renormalization does not change the argmax).
-  std::map<LocationId, double> scores;
-  double total = 0.0;
-  if (node.recent_color != kUnknownLocation) {
-    scores[node.recent_color] += (1.0 - gamma) * fade;
-  }
-  double unknown_score = (1.0 - gamma) * (1.0 - fade);  // Eq. 4.
-  if (z2 > 0.0) {
-    for (const auto& [color, mass] : propagated) {
-      scores[color] += gamma * mass / z2;
-    }
-  }
-  for (const auto& [color, score] : scores) total += score;
-  total += unknown_score;
-
+NodeInferenceResult ScoreModel::EvaluateFade(double fade) const {
+  // "unknown" opens as the incumbent, then candidates in ascending color
+  // order with strict > — the exact selection semantics of the original
+  // std::map sweep.
+  const double unknown_score = fade_unit * (1.0 - fade);  // Eq. 4.
   NodeInferenceResult result;
   result.location = kUnknownLocation;
   result.probability = unknown_score;
-  for (const auto& [color, score] : scores) {
+  double total = 0.0;
+  for (const auto& [color, constant] : base) {
+    const double score =
+        color == recent ? constant + fade_unit * fade : constant;
+    total += score;
     if (score > result.probability) {
       result.runner_up = result.probability;
       result.probability = score;
@@ -79,11 +46,97 @@ NodeInferenceResult NodeInferencer::InferAt(const Node& node, Epoch now,
       result.runner_up = score;
     }
   }
+  total += unknown_score;
   if (total > 0.0) {
     result.probability /= total;
     result.runner_up /= total;
   }
   return result;
+}
+
+Epoch NextArgmaxFlip(const ScoreModel& model, Epoch now, Epoch horizon) {
+  const LocationId winner = model.ArgmaxAt(now);
+  // "unknown" only gains ground over time; once it wins it wins forever.
+  if (winner == kUnknownLocation) return kNeverEpoch;
+  if (model.ArgmaxAt(horizon) == winner) {
+    // Stable through the horizon. If the winner also holds in the fade -> 0
+    // limit, monotonicity makes it stable forever; otherwise the flip is
+    // somewhere past the horizon — recheck there rather than search an
+    // unbounded range.
+    return model.EvaluateFade(0.0).location == winner ? kNeverEpoch : horizon;
+  }
+  // Invariant: argmax == winner at lo, != winner at hi.
+  Epoch lo = now, hi = horizon;
+  while (hi - lo > 1) {
+    const Epoch mid = lo + (hi - lo) / 2;
+    if (model.ArgmaxAt(mid) == winner) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+NodeInferenceResult NodeInferencer::InferAt(const Node& node, Epoch now,
+                                            const PassColors& colors,
+                                            ScoreModel* model) const {
+  const double gamma = params_->gamma;
+
+  // Colors propagated through the edges: sum of edge probabilities per
+  // color, normalized by Z2 over all propagating edges (Eq. 3).
+  std::map<LocationId, double> propagated;
+  double z2 = 0.0;
+  auto consider = [&](EdgeId id, NodeId neighbor_slot) {
+    const Node& neighbor = graph_->node(neighbor_slot);
+    LocationId color = colors.ColorOf(neighbor);
+    if (color == kUnknownLocation) return;
+    const double p = edges_->ProbabilityOf(id);
+    if (p <= 0.0) return;
+    propagated[color] += p;
+    z2 += p;
+  };
+  for (EdgeId id : node.parent_edges) {
+    consider(id, graph_->edge(id).parent_node);
+  }
+  for (EdgeId id : node.child_edges) {
+    consider(id, graph_->edge(id).child_node);
+  }
+
+  // Assemble the model: per-color scores that do not move with time, plus
+  // the fading term on the recent color added at evaluation. When no edge
+  // propagates a color, the gamma mass is unavailable and the remaining
+  // terms are compared directly (renormalization does not change the
+  // argmax).
+  std::map<LocationId, double> constant_scores;
+  if (node.recent_color != kUnknownLocation) {
+    constant_scores[node.recent_color] += 0.0;
+  }
+  if (z2 > 0.0) {
+    for (const auto& [color, mass] : propagated) {
+      constant_scores[color] += gamma * mass / z2;
+    }
+  }
+
+  ScoreModel local;
+  ScoreModel& m = model != nullptr ? *model : local;
+  m.base.assign(constant_scores.begin(), constant_scores.end());
+  m.fade_unit = 1.0 - gamma;
+  m.recent = node.recent_color;
+  // Nodes are created on first observation, so seen_at is always valid and
+  // (now - seen_at) >= 1 for an uncolored node; the guard covers synthetic
+  // test nodes.
+  m.fades =
+      node.seen_at != kNeverEpoch && node.recent_color != kUnknownLocation;
+  m.seen_at = node.seen_at;
+  m.theta = params_->theta;
+  m.period_divisor = 1.0;
+  if (params_->normalize_age_by_reader_period &&
+      node.recent_color < location_periods_.size()) {
+    Epoch period = location_periods_[node.recent_color];
+    if (period > 1) m.period_divisor = static_cast<double>(period);
+  }
+  return m.EvaluateAt(now);
 }
 
 }  // namespace spire

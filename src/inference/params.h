@@ -47,6 +47,19 @@ struct InferenceParams {
   /// Partial inference is restricted to nodes at most this many hops from a
   /// colored node (Section IV-D).
   int partial_hops = 1;
+
+  /// Delta-driven complete passes (DESIGN.md §10): recompute only the
+  /// connected components containing dirty or fade-due nodes and serve the
+  /// rest from the estimate cache. Off = recompute the whole graph every
+  /// complete pass. The emitted event stream is byte-identical either way
+  /// (the incremental_equivalence oracle); only the explain channel's
+  /// posterior values may be served stale.
+  bool incremental = true;
+
+  /// Every Nth complete pass is forced to a full recompute, re-priming the
+  /// cache and the fade wheel (a bounded-staleness safety net; it does not
+  /// change the output). <= 0 disables forced resyncs.
+  int full_resync_passes = 64;
 };
 
 }  // namespace spire

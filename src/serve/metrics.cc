@@ -50,6 +50,10 @@ std::string Metrics::ToJson(double wall_seconds, int num_sites) const {
         << ",\"readings\":" << shard.readings.value() << ",\"busy_seconds\":"
         << static_cast<double>(shard.busy_us.value()) / 1e6
         << ",\"epochs_per_busy_sec\":" << shard.EpochsPerBusySecond()
+        << ",\"update_seconds\":"
+        << static_cast<double>(shard.update_us.value()) / 1e6
+        << ",\"inference_seconds\":"
+        << static_cast<double>(shard.inference_us.value()) / 1e6
         << ",\"process_latency\":" << shard.process_latency.ToJson("_us")
         << ",\"input_queue\":" << shard.input_queue.ToJson()
         << ",\"output_queue\":" << shard.output_queue.ToJson() << "}";

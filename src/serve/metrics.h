@@ -46,6 +46,11 @@ struct ShardMetrics {
   obs::Counter events;    ///< Output events emitted.
   obs::Counter readings;  ///< Raw readings consumed.
   obs::Counter busy_us;   ///< Time spent inside pipelines.
+  /// Pipeline-internal split of busy time (from SpirePipeline::last_costs):
+  /// graph update vs inference. Watching inference_us against epochs shows
+  /// the effect of delta-driven inference (DESIGN.md §10) per shard.
+  obs::Counter update_us;
+  obs::Counter inference_us;
   /// Wall time of one epoch round across all of the shard's sites (us).
   obs::Histogram process_latency;
   QueueMetrics input_queue;

@@ -121,6 +121,13 @@ void PipelineShard::Run() {
                                       &batch.events);
       }
       RemapLocations(&batch.events, 0, state->location_offset);
+      if (metrics_ != nullptr && !work->finish) {
+        const EpochCosts& costs = state->pipeline->last_costs();
+        metrics_->update_us.Add(
+            static_cast<std::uint64_t>(costs.update_seconds * 1e6));
+        metrics_->inference_us.Add(
+            static_cast<std::uint64_t>(costs.inference_seconds * 1e6));
+      }
       events += batch.events.size();
       if (!output_.Push(std::move(batch))) {
         // Output closed (abort path): stop producing.

@@ -201,28 +201,37 @@ void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
     //  * then higher packaging layers before their contents, so a container's
     //    location is on the stream before a child's containment opens — that
     //    is what lets level 2 suppress the child's location from the start.
-    std::vector<ObjectId> ids;
-    ids.reserve(last_result_.estimates.size());
+    // The sort keys (containment-ends flag, layer) are precomputed once per
+    // id — OpenContainerOf is a compressor-state lookup, far too heavy to
+    // re-evaluate inside a comparator.
+    struct ReportEntry {
+      ObjectId id;
+      const ObjectEstimate* estimate;
+      bool ends_containment;
+      int layer;
+    };
+    std::vector<ReportEntry> entries;
+    entries.reserve(last_result_.estimates.size());
     for (const auto& [id, estimate] : last_result_.estimates) {
       if (estimate.withheld) continue;
       // No inference output for objects in the warm-up (entry door) area.
       if (IsWarmupLocation(estimate.location)) continue;
-      ids.push_back(id);
-    }
-    auto ends_containment = [&](ObjectId id) {
       const ObjectId open = compressor_->OpenContainerOf(id);
-      return open != kNoObject &&
-             last_result_.estimates.at(id).container != open;
-    };
-    std::sort(ids.begin(), ids.end(), [&](ObjectId a, ObjectId b) {
-      const bool ea = ends_containment(a), eb = ends_containment(b);
-      if (ea != eb) return ea;
-      const int la = EpcLayer(a), lb = EpcLayer(b);
-      if (la != lb) return la > lb;
-      return a < b;
-    });
-    for (ObjectId id : ids) {
-      const ObjectEstimate& estimate = last_result_.estimates.at(id);
+      entries.push_back(ReportEntry{
+          id, &estimate, open != kNoObject && estimate.container != open,
+          EpcLayer(id)});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const ReportEntry& a, const ReportEntry& b) {
+                if (a.ends_containment != b.ends_containment) {
+                  return a.ends_containment;
+                }
+                if (a.layer != b.layer) return a.layer > b.layer;
+                return a.id < b.id;
+              });
+    for (const ReportEntry& entry : entries) {
+      const ObjectId id = entry.id;
+      const ObjectEstimate& estimate = *entry.estimate;
       ObjectStateEstimate state;
       state.object = id;
       state.location = estimate.location;

@@ -84,9 +84,39 @@ TEST(OracleTest, KnownSeedsStayGreen) {
         << "seed " << seed << ": " << failure->oracle << "\n"
         << failure->detail;
   }
-  // 2 compression levels + 2 determinism re-runs + 1 explain-consistency
-  // re-run per case.
-  EXPECT_EQ(stats.traces_run, 15u);
+  // 2 compression levels + 4 incremental-equivalence re-runs + 2 determinism
+  // re-runs + 1 explain-consistency re-run per case.
+  EXPECT_EQ(stats.traces_run, 27u);
+}
+
+TEST(OracleTest, IncrementalEquivalenceHoldsOnKnownSeeds) {
+  for (std::uint64_t seed : {4u, 40u}) {  // 40 caught the pruning-seed bug.
+    auto trace = GenerateTrace(CaseFromSeed(seed));
+    ASSERT_TRUE(trace.ok());
+    EventStream level1 =
+        RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel1);
+    EventStream level2 =
+        RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel2);
+    auto failure = DifferentialChecker::CheckIncrementalEquivalence(
+        trace.value(), level1, level2);
+    EXPECT_FALSE(failure.has_value())
+        << "seed " << seed << ": " << failure->detail;
+  }
+}
+
+TEST(OracleTest, IncrementalEquivalenceCatchesTamperedStream) {
+  auto trace = GenerateTrace(CaseFromSeed(4));
+  ASSERT_TRUE(trace.ok());
+  EventStream level1 =
+      RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel1);
+  EventStream level2 =
+      RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel2);
+  ASSERT_FALSE(level1.empty());
+  level1.pop_back();  // An incremental run that dropped an event.
+  auto failure = DifferentialChecker::CheckIncrementalEquivalence(
+      trace.value(), level1, level2);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->oracle, "incremental_equivalence");
 }
 
 TEST(OracleTest, WellFormednessCatchesDanglingEnd) {

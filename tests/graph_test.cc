@@ -2,6 +2,9 @@
 // update procedure (Fig. 4).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/epc.h"
 #include "graph/graph.h"
 #include "graph/update.h"
@@ -166,6 +169,110 @@ TEST(GraphTest, RemoveNodeDropsIncidentEdgesAndIndex) {
   EXPECT_TRUE(graph.ColoredNodes().empty());
   EXPECT_TRUE(graph.FindNode(pallet)->child_edges.empty());
   EXPECT_TRUE(graph.FindNode(item)->parent_edges.empty());
+}
+
+TEST(GraphTest, NodeArenaRecyclesSlotsAfterRemove) {
+  Graph graph;
+  graph.BeginEpoch(1);
+  ObjectId a = Obj(PackagingLevel::kItem, 1);
+  ObjectId b = Obj(PackagingLevel::kItem, 2);
+  NodeId slot_a = graph.GetOrCreateNode(a).self;
+  graph.GetOrCreateNode(b);
+  const std::size_t slots = graph.NodeSlots();
+  graph.RemoveNode(a);
+  EXPECT_FALSE(graph.NodeAlive(slot_a));
+  EXPECT_EQ(graph.NodeAt(slot_a), nullptr);
+  EXPECT_EQ(graph.FindNodeId(a), kNoNode);
+  // A new object takes the freed slot instead of growing the arena.
+  ObjectId c = Obj(PackagingLevel::kItem, 3);
+  Node& reused = graph.GetOrCreateNode(c);
+  EXPECT_EQ(reused.self, slot_a);
+  EXPECT_EQ(graph.NodeSlots(), slots);
+  EXPECT_EQ(graph.FindNodeId(c), slot_a);
+  EXPECT_EQ(graph.NodeAt(slot_a)->id, c);
+}
+
+TEST(GraphTest, NodeReferencesStayValidAcrossArenaGrowth) {
+  // The chunked arena must never move a live node: update code holds Node&
+  // across calls that create further nodes.
+  Graph graph;
+  graph.BeginEpoch(1);
+  Node& first = graph.GetOrCreateNode(Obj(PackagingLevel::kItem, 0));
+  Node* first_address = &first;
+  for (std::uint32_t i = 1; i < 5000; ++i) {
+    graph.GetOrCreateNode(Obj(PackagingLevel::kItem, i));
+  }
+  EXPECT_EQ(graph.FindNode(Obj(PackagingLevel::kItem, 0)), first_address);
+  EXPECT_EQ(first_address->self, graph.FindNodeId(Obj(PackagingLevel::kItem, 0)));
+}
+
+TEST(GraphTest, EdgeCapacityBoundedByPeakAliveEdges) {
+  Graph graph;
+  graph.BeginEpoch(1);
+  ObjectId c1 = Obj(PackagingLevel::kCase, 1);
+  // Churn: one alive edge at a time, many times over.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EdgeId e = graph.AddEdge(c1, Obj(PackagingLevel::kItem, 10 + i));
+    graph.RemoveEdge(e);
+  }
+  EXPECT_EQ(graph.NumEdges(), 0u);
+  EXPECT_EQ(graph.EdgeCapacity(), 1u);  // Free list reused one slot.
+}
+
+TEST(GraphTest, DirtySetTracksColorAdjacencyAndLoss) {
+  Graph graph;
+  graph.BeginEpoch(1);
+  ObjectId case1 = Obj(PackagingLevel::kCase, 1);
+  ObjectId item = Obj(PackagingLevel::kItem, 2);
+  Node& case_node = graph.GetOrCreateNode(case1);
+  graph.ColorNode(case_node, 3);
+  EXPECT_EQ(graph.DirtyNodes().size(), 1u);
+  EXPECT_EQ(graph.DirtyNodes()[0], case_node.self);
+  graph.ClearDirty();
+  EXPECT_TRUE(graph.DirtyNodes().empty());
+  EXPECT_FALSE(case_node.dirty);
+
+  // Adjacency changes dirty both endpoints.
+  EdgeId e = graph.AddEdge(case1, item);
+  EXPECT_EQ(graph.DirtyNodes().size(), 2u);
+  graph.ClearDirty();
+  graph.RemoveEdge(e);
+  EXPECT_EQ(graph.DirtyNodes().size(), 2u);
+  graph.ClearDirty();
+
+  // Losing the color at the epoch boundary dirties the node again: its
+  // estimate flips from observed to inferred.
+  graph.BeginEpoch(2);
+  ASSERT_FALSE(graph.DirtyNodes().empty());
+  EXPECT_EQ(graph.DirtyNodes()[0], case_node.self);
+
+  // Re-dirtying an already-dirty node does not duplicate the entry.
+  graph.MarkDirty(case_node);
+  graph.MarkDirty(case_node);
+  EXPECT_EQ(graph.DirtyNodes().size(), 1u);
+}
+
+TEST(GraphTest, RemoveNodeDirtiesFormerNeighbors) {
+  Graph graph;
+  graph.BeginEpoch(1);
+  ObjectId pallet = Obj(PackagingLevel::kPallet, 1);
+  ObjectId case1 = Obj(PackagingLevel::kCase, 2);
+  ObjectId item = Obj(PackagingLevel::kItem, 3);
+  graph.AddEdge(pallet, case1);
+  graph.AddEdge(case1, item);
+  graph.ClearDirty();
+  graph.RemoveNode(case1);
+  // Both ex-neighbors must be re-inferred: their adjacency changed. The
+  // removed node's own slot may linger on the list; consumers skip dead
+  // slots.
+  std::vector<NodeId> alive_dirty;
+  for (NodeId slot : graph.DirtyNodes()) {
+    if (graph.NodeAlive(slot)) alive_dirty.push_back(slot);
+  }
+  ASSERT_EQ(alive_dirty.size(), 2u);
+  std::sort(alive_dirty.begin(), alive_dirty.end());
+  EXPECT_EQ(graph.NodeAt(alive_dirty[0])->id, pallet);
+  EXPECT_EQ(graph.NodeAt(alive_dirty[1])->id, item);
 }
 
 TEST(GraphTest, MemoryUsageGrowsWithContent) {

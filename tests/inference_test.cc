@@ -202,10 +202,9 @@ class NodeInferenceTest : public ::testing::Test {
     graph_.BeginEpoch(1);
   }
 
-  /// Color oracle that only knows colors observed this epoch.
-  NodeInferencer::ColorOracle ObservedOnly() {
-    return [this](const Node& node) { return graph_.ColorOf(node); };
-  }
+  /// Pass colors that only know colors observed this epoch (no committed
+  /// wave estimates).
+  PassColors ObservedOnly() { return PassColors{&graph_}; }
 
   Graph graph_{8};
   InferenceParams params_;

@@ -386,7 +386,10 @@ TEST_P(GraphUpdateFuzz, InvariantsHoldOnRandomStreams) {
 
     // Invariant A: no edge connects two nodes observed at different
     // locations this epoch.
-    for (const auto& [id, node] : graph.nodes()) {
+    for (NodeId slot = 0; slot < graph.NodeSlots(); ++slot) {
+      const Node* np = graph.NodeAt(slot);
+      if (np == nullptr) continue;
+      const Node& node = *np;
       for (EdgeId e : node.parent_edges) {
         const Edge& edge = graph.edge(e);
         ASSERT_TRUE(edge.alive);
@@ -404,13 +407,15 @@ TEST_P(GraphUpdateFuzz, InvariantsHoldOnRandomStreams) {
     }
     // Invariant C: adjacency lists are consistent with edge endpoints.
     std::size_t from_parents = 0, from_children = 0;
-    for (const auto& [id, node] : graph.nodes()) {
-      for (EdgeId e : node.parent_edges) {
-        ASSERT_EQ(graph.edge(e).child, id);
+    for (NodeId slot = 0; slot < graph.NodeSlots(); ++slot) {
+      const Node* np = graph.NodeAt(slot);
+      if (np == nullptr) continue;
+      for (EdgeId e : np->parent_edges) {
+        ASSERT_EQ(graph.edge(e).child, np->id);
         ++from_parents;
       }
-      for (EdgeId e : node.child_edges) {
-        ASSERT_EQ(graph.edge(e).parent, id);
+      for (EdgeId e : np->child_edges) {
+        ASSERT_EQ(graph.edge(e).parent, np->id);
         ++from_children;
       }
     }

@@ -42,9 +42,7 @@ class NormalizedFadingTest : public ::testing::Test {
     graph_.BeginEpoch(1);
   }
 
-  NodeInferencer::ColorOracle ObservedOnly() {
-    return [this](const Node& node) { return graph_.ColorOf(node); };
-  }
+  PassColors ObservedOnly() { return PassColors{&graph_}; }
 
   Graph graph_{8};
   InferenceParams params_;

@@ -80,16 +80,37 @@ run_obs_smoke() {
   rm -rf "$tmp"
 }
 
+# Incremental-inference bench: a quick expt12 run (byte-identity of
+# delta-driven vs full recomputation is checked inside the binary, so a
+# divergence fails hard) compared against the committed
+# BENCH_incremental.json baseline. The comparison itself is soft — same
+# noisy-wall-clock policy as the expt11 check above.
+run_bench_compare() {
+  local dir="$1" tmp
+  tmp="$(mktemp -d)"
+  echo "=== [bench] expt12 incremental (byte-identity + soft compare) ==="
+  # full=true matches the scale of the committed baseline (quick mode runs
+  # a smaller graph where the stationary speedup is structurally lower).
+  SPIRE_BENCH_DIR="$tmp" "$dir/bench/expt12_incremental" full=true | tail -n +4
+  if [ -f BENCH_incremental.json ]; then
+    tools/bench_compare.py BENCH_incremental.json \
+      "$tmp/BENCH_incremental.json" || true
+  fi
+  rm -rf "$tmp"
+}
+
 case "$mode" in
   plain)
     run_config plain build
     run_obs_smoke build
+    run_bench_compare build
     ;;
   sanitize) run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON ;;
   tsan) run_tsan ;;
   all)
     run_config plain build
     run_obs_smoke build
+    run_bench_compare build
     run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON
     run_tsan
     ;;

@@ -4,6 +4,7 @@
 //                        [any SimConfig key=value]
 //   spire_cli process    in=trace.sptr deployment=dep.txt out=events.spev
 //                        [level=1|2] [beta=..] [gamma=..] [theta=..]
+//                        [incremental=0|1] [mode=scheduled|always|complete_only]
 //   spire_cli decompress in=level2.spev out=level1.spev
 //   spire_cli validate   in=events.spev
 //   spire_cli stats      in=events.spev
@@ -164,6 +165,18 @@ PipelineOptions PipelineOptionsFromArgs(const Config& args) {
       args.GetDouble("gamma", options.inference.gamma).value_or(0.45);
   options.inference.theta =
       args.GetDouble("theta", options.inference.theta).value_or(1.25);
+  // incremental=0 forces full recomputation every complete pass (the output
+  // is identical either way; the knob exists for A/B timing and debugging).
+  options.inference.incremental =
+      args.GetInt("incremental", options.inference.incremental ? 1 : 0)
+          .value_or(1) != 0;
+  const std::string mode =
+      args.GetString("mode", "scheduled").value_or("scheduled");
+  if (mode == "always") {
+    options.inference_mode = InferenceMode::kAlwaysComplete;
+  } else if (mode == "complete_only") {
+    options.inference_mode = InferenceMode::kCompleteOnly;
+  }
   return options;
 }
 
