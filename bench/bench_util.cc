@@ -77,6 +77,8 @@ RunMetrics RunSpireTrace(const RunOptions& options) {
   ScoreOutput(output,
               options.pipeline.level == CompressionLevel::kLevel2, s,
               &metrics);
+  if (options.capture_output != nullptr) *options.capture_output = output;
+  if (options.capture_thefts != nullptr) *options.capture_thefts = s.thefts();
   return metrics;
 }
 

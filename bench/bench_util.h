@@ -14,6 +14,7 @@
 #include "eval/delay.h"
 #include "eval/event_accuracy.h"
 #include "sim/sim_config.h"
+#include "sim/simulator.h"
 #include "smurf/smurf.h"
 #include "spire/pipeline.h"
 
@@ -26,6 +27,10 @@ struct RunOptions {
   /// Accuracy is sampled at complete-inference epochs >= this epoch
   /// (excludes the cold-start window).
   Epoch eval_start = 0;
+  /// When set, RunSpireTrace copies the output stream / the simulated
+  /// thefts out (expt4's pattern-agreement check needs both).
+  EventStream* capture_output = nullptr;
+  std::vector<Theft>* capture_thefts = nullptr;
 };
 
 /// Everything the experiment reports might need from one trace.

@@ -1,0 +1,218 @@
+#include "cep/compressed_log.h"
+
+#include <algorithm>
+
+#include "compress/well_formed.h"
+
+namespace spire::cep {
+
+const std::vector<Stay> CompressedLog::kNoStays;
+
+namespace {
+
+void SortUnique(std::vector<ObjectId>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+}  // namespace
+
+Result<CompressedLog> CompressedLog::Build(const EventStream& stream) {
+  SPIRE_RETURN_NOT_OK(ValidateWellFormed(stream, /*allow_open_at_end=*/true));
+  CompressedLog log;
+  log.stream_ = stream;
+  for (std::size_t i = 0; i < log.stream_.size(); ++i) {
+    const Event& event = log.stream_[i];
+    log.events_of_[event.object].push_back(static_cast<std::uint32_t>(i));
+    switch (event.type) {
+      case EventType::kStartContainment:
+        log.parents_of_[event.object].push_back(event.container);
+        log.children_of_[event.container].push_back(event.object);
+        log.containment_pairs_.emplace_back(event.object, event.container);
+        break;
+      case EventType::kStartLocation:
+        log.explicit_at_[event.location].push_back(event.object);
+        break;
+      case EventType::kMissing:
+        log.ever_missing_.push_back(event.object);
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& [object, parents] : log.parents_of_) SortUnique(&parents);
+  for (auto& [object, children] : log.children_of_) SortUnique(&children);
+  for (auto& [location, objects] : log.explicit_at_) SortUnique(&objects);
+  SortUnique(&log.ever_missing_);
+  std::sort(log.containment_pairs_.begin(), log.containment_pairs_.end());
+  log.containment_pairs_.erase(
+      std::unique(log.containment_pairs_.begin(), log.containment_pairs_.end()),
+      log.containment_pairs_.end());
+  return log;
+}
+
+std::vector<ObjectId> CompressedLog::AncestorClosure(ObjectId object) const {
+  std::vector<ObjectId> closure = {object};
+  // The containment forest is acyclic by construction; the visited check
+  // bounds malformed inputs anyway.
+  for (std::size_t i = 0; i < closure.size(); ++i) {
+    auto it = parents_of_.find(closure[i]);
+    if (it == parents_of_.end()) continue;
+    for (ObjectId parent : it->second) {
+      if (std::find(closure.begin(), closure.end(), parent) == closure.end()) {
+        closure.push_back(parent);
+      }
+    }
+  }
+  return closure;
+}
+
+const EventLog& CompressedLog::ClusterLogFor(ObjectId object) {
+  auto cached = cluster_of_.find(object);
+  if (cached != cluster_of_.end()) return *cached->second;
+
+  const std::vector<ObjectId> closure = AncestorClosure(object);
+  std::vector<std::uint32_t> indices;
+  for (ObjectId member : closure) {
+    auto it = events_of_.find(member);
+    if (it == events_of_.end()) continue;
+    indices.insert(indices.end(), it->second.begin(), it->second.end());
+  }
+  // Stream order is emission order, which the decompressor requires.
+  std::sort(indices.begin(), indices.end());
+  EventStream subset;
+  subset.reserve(indices.size());
+  for (std::uint32_t i : indices) subset.push_back(stream_[i]);
+
+  // The whole stream is well-formed and validity is per-object, so the
+  // ancestor-closed subset decompresses cleanly; an empty log otherwise.
+  auto built = EventLog::Build(subset, /*decompress=*/true);
+  if (!built.ok()) built = EventLog::Build(EventStream{});
+  auto shared = std::make_shared<const EventLog>(std::move(built).value());
+  for (ObjectId member : closure) cluster_of_.emplace(member, shared);
+  replayed_events_ += subset.size();
+  clusters_built_ += 1;
+  return *cluster_of_.find(object)->second;
+}
+
+const std::vector<Stay>& CompressedLog::TrajectoryOf(ObjectId object) {
+  if (!events_of_.contains(object)) return kNoStays;
+  return ClusterLogFor(object).TrajectoryOf(object);
+}
+
+const std::vector<Stay>& CompressedLog::ContainmentsOf(ObjectId object) {
+  if (!events_of_.contains(object)) return kNoStays;
+  return ClusterLogFor(object).ContainmentsOf(object);
+}
+
+std::vector<MissingReport> CompressedLog::MissingOf(ObjectId object) {
+  std::vector<MissingReport> out;
+  if (!events_of_.contains(object)) return out;
+  for (const MissingReport& report : ClusterLogFor(object).MissingReports()) {
+    if (report.object == object) out.push_back(report);
+  }
+  return out;
+}
+
+std::vector<ObjectId> CompressedLog::AllObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(events_of_.size());
+  for (const auto& [object, indices] : events_of_) out.push_back(object);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectId> CompressedLog::CandidatesEverAt(
+    const std::vector<LocationId>& locations) const {
+  std::vector<ObjectId> out;
+  for (LocationId location : locations) {
+    auto it = explicit_at_.find(location);
+    if (it == explicit_at_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  // Derived stays of a contained object always originate from an ancestor's
+  // explicit stay at the same location, so the ever-descendants of the
+  // explicit residents complete the superset.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    auto it = children_of_.find(out[i]);
+    if (it == children_of_.end()) continue;
+    for (ObjectId child : it->second) {
+      if (std::find(out.begin(), out.end(), child) == out.end()) {
+        out.push_back(child);
+      }
+    }
+  }
+  SortUnique(&out);
+  return out;
+}
+
+std::vector<ObjectId> CompressedLog::EverMissing() const {
+  return ever_missing_;
+}
+
+std::vector<ObjectId> CompressedLog::EverContainersOf(ObjectId object) const {
+  auto it = parents_of_.find(object);
+  return it == parents_of_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+std::vector<ObjectId> CompressedLog::EverContentsOf(ObjectId container) const {
+  auto it = children_of_.find(container);
+  return it == children_of_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+std::vector<std::uint64_t> CompressedLog::SupportingLocationEvents(
+    ObjectId object, const std::vector<LocationId>& locations,
+    Epoch at) const {
+  std::vector<std::uint64_t> best;
+  Epoch best_start = kNeverEpoch;
+  for (ObjectId member : AncestorClosure(object)) {
+    auto it = events_of_.find(member);
+    if (it == events_of_.end()) continue;
+    for (std::uint32_t i : it->second) {
+      const Event& event = stream_[i];
+      if (event.type != EventType::kStartLocation || event.start > at) {
+        continue;
+      }
+      if (std::find(locations.begin(), locations.end(), event.location) ==
+          locations.end()) {
+        continue;
+      }
+      if (best.empty() || event.start >= best_start) {
+        best = {i};
+        best_start = event.start;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> CompressedLog::SupportingContainmentEvent(
+    ObjectId child, ObjectId container, Epoch at) const {
+  std::vector<std::uint64_t> best;
+  auto it = events_of_.find(child);
+  if (it == events_of_.end()) return best;
+  for (std::uint32_t i : it->second) {
+    const Event& event = stream_[i];
+    if (event.type == EventType::kStartContainment &&
+        event.container == container && event.start <= at) {
+      best = {i};
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> CompressedLog::SupportingMissingEvent(
+    ObjectId object, Epoch at) const {
+  std::vector<std::uint64_t> best;
+  auto it = events_of_.find(object);
+  if (it == events_of_.end()) return best;
+  for (std::uint32_t i : it->second) {
+    const Event& event = stream_[i];
+    if (event.type == EventType::kMissing && event.start <= at) {
+      best = {i};
+    }
+  }
+  return best;
+}
+
+}  // namespace spire::cep

@@ -1,0 +1,130 @@
+// Interval access to a level-2 compressed stream without global
+// decompression (DESIGN.md §11).
+//
+// The pattern evaluator needs per-object effective timelines — where was x,
+// what contained it, when was it missing — as validity intervals. A level-2
+// stream suppresses the location updates of contained objects, so x's
+// effective timeline is derivable from x's own events plus those of its
+// ever-ancestors (location derivation only ever flows down the containment
+// chain: propagation, reconciliation, and churn cancellation all consult
+// the parent chain and never a sibling or child). CompressedLog exploits
+// that locality: one indexing pass over the stream builds per-object event
+// lists and ever-containment adjacency, and a query for x replays just the
+// ancestor-closed event cluster of x through the streaming Decompressor —
+// the suppressed regions of every unrelated object are never materialized.
+// Cluster timelines are memoized, so evaluating a pattern over a pallet
+// touches the pallet's cluster once no matter how many items it carries.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/event.h"
+#include "query/event_log.h"
+
+namespace spire::cep {
+
+/// Indexed view over one level-2 (or level-1) stream. Not thread-safe:
+/// queries memoize cluster replays.
+class CompressedLog {
+ public:
+  /// Indexes the stream (one pass, no decompression). The stream must be
+  /// well-formed; open trailing events are fine.
+  static Result<CompressedLog> Build(const EventStream& stream);
+
+  // --- Effective per-object timelines (lazy cluster replay) ---------------
+
+  /// The object's effective location history (explicit + derived stays).
+  const std::vector<Stay>& TrajectoryOf(ObjectId object);
+
+  /// The object's direct containment history.
+  const std::vector<Stay>& ContainmentsOf(ObjectId object);
+
+  /// The object's missing reports, in time order.
+  std::vector<MissingReport> MissingOf(ObjectId object);
+
+  // --- Binding candidate indexes (from the indexing pass, no replay) ------
+
+  /// Every object with any event in the stream, ascending.
+  std::vector<ObjectId> AllObjects() const;
+
+  /// A superset of the objects whose effective location ever lies in
+  /// `locations`: objects with an explicit stay there plus all their
+  /// ever-descendants (derived stays always originate from an ancestor's
+  /// explicit stay at the same location). Ascending, deduplicated.
+  std::vector<ObjectId> CandidatesEverAt(
+      const std::vector<LocationId>& locations) const;
+
+  /// Objects with at least one Missing event, ascending.
+  std::vector<ObjectId> EverMissing() const;
+
+  /// Distinct (child, container) pairs over all containment events,
+  /// ascending.
+  const std::vector<std::pair<ObjectId, ObjectId>>& ContainmentPairs() const {
+    return containment_pairs_;
+  }
+
+  /// Distinct ever-containers of `object` / ever-contents of `container`.
+  std::vector<ObjectId> EverContainersOf(ObjectId object) const;
+  std::vector<ObjectId> EverContentsOf(ObjectId container) const;
+
+  // --- Provenance ---------------------------------------------------------
+
+  /// Indices (into the indexed stream) of the events supporting "predicate
+  /// held for `object` by epoch `at`": the latest explicit StartLocation at
+  /// one of `locations` owned by the object or an ever-ancestor.
+  /// Empty if nothing matches (the caller treats that as "no provenance").
+  std::vector<std::uint64_t> SupportingLocationEvents(
+      ObjectId object, const std::vector<LocationId>& locations,
+      Epoch at) const;
+  /// The latest StartContainment of `child` inside `container` at or
+  /// before `at`, and the latest Missing event of `object` at or before
+  /// `at` (empty when absent).
+  std::vector<std::uint64_t> SupportingContainmentEvent(ObjectId child,
+                                                        ObjectId container,
+                                                        Epoch at) const;
+  std::vector<std::uint64_t> SupportingMissingEvent(ObjectId object,
+                                                    Epoch at) const;
+
+  const EventStream& stream() const { return stream_; }
+
+  // --- Cost accounting (bench + tests) ------------------------------------
+
+  /// Events pushed through cluster replays so far (a measure of how much of
+  /// the stream the evaluator actually touched).
+  std::size_t replayed_events() const { return replayed_events_; }
+  std::size_t clusters_built() const { return clusters_built_; }
+
+ private:
+  CompressedLog() = default;
+
+  /// The ever-ancestor closure of `object` (object itself included).
+  std::vector<ObjectId> AncestorClosure(ObjectId object) const;
+
+  /// Replays the ancestor-closed cluster of `object` through a fresh
+  /// Decompressor and caches the resulting EventLog for every member.
+  const EventLog& ClusterLogFor(ObjectId object);
+
+  EventStream stream_;
+  /// Per-object indices into stream_, in stream order (= epoch order).
+  std::unordered_map<ObjectId, std::vector<std::uint32_t>> events_of_;
+  /// Ever-containment adjacency: child -> containers, container -> children.
+  std::unordered_map<ObjectId, std::vector<ObjectId>> parents_of_;
+  std::unordered_map<ObjectId, std::vector<ObjectId>> children_of_;
+  std::vector<std::pair<ObjectId, ObjectId>> containment_pairs_;
+  /// Objects with an explicit StartLocation per location.
+  std::map<LocationId, std::vector<ObjectId>> explicit_at_;
+  std::vector<ObjectId> ever_missing_;
+
+  std::unordered_map<ObjectId, std::shared_ptr<const EventLog>> cluster_of_;
+  std::size_t replayed_events_ = 0;
+  std::size_t clusters_built_ = 0;
+  static const std::vector<Stay> kNoStays;
+};
+
+}  // namespace spire::cep

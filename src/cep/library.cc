@@ -1,0 +1,96 @@
+#include "cep/library.h"
+
+#include <sstream>
+
+namespace spire::cep {
+
+namespace {
+
+struct NamedExpr {
+  const char* name;
+  const char* expr;
+};
+
+constexpr NamedExpr kLibrary[] = {
+    {"theft", "Missing(x)"},
+    {"dock_to_exit",
+     "SEQ(At(x, entry_door), !At(x, receiving_belt) WITHIN 50, "
+     "At(x, exit_door))"},
+    {"misrouted_case",
+     "SEQ(At(x, entry_door), !At(x, receiving_belt) WITHIN 200, "
+     "At(x, shelf_*))"},
+    {"shelf_to_exit_direct",
+     "SEQ(At(x, shelf_*), !At(x, outgoing_belt) WITHIN 120, "
+     "At(x, exit_door))"},
+    {"pallet_left_without_case",
+     "SEQ(Contains(p, c), At(p, exit_door), !At(c, exit_door) WITHIN 60)"},
+    {"flapping_reader",
+     "SEQ(At(x, shelf_*), Missing(x) WITHIN 150, At(x, shelf_*) WITHIN 150, "
+     "Missing(x) WITHIN 150)"},
+    // Flow confirmations: the negated leg is the exception, not the rule,
+    // so these fire on healthy traffic and keep the guard-satisfied match
+    // path under differential test.
+    {"packed_for_shipping",
+     "SEQ(At(x, packaging), !At(x, shelf_*) WITHIN 150, "
+     "At(x, outgoing_belt))"},
+    {"clean_putaway",
+     "SEQ(At(x, receiving_belt), !Missing(x) WITHIN 100, At(x, shelf_*))"},
+};
+
+std::vector<Pattern> ParseLibrary() {
+  std::vector<Pattern> patterns;
+  for (const NamedExpr& entry : kLibrary) {
+    auto parsed = ParsePattern(entry.expr, entry.name);
+    // The expressions are compile-time constants; a parse failure is a
+    // programming error surfaced by cep_test, not a runtime condition.
+    if (parsed.ok()) patterns.push_back(std::move(parsed).value());
+  }
+  return patterns;
+}
+
+}  // namespace
+
+const std::vector<Pattern>& BuiltinLibrary() {
+  static const std::vector<Pattern> library = ParseLibrary();
+  return library;
+}
+
+Result<Pattern> LibraryPattern(const std::string& name) {
+  for (const Pattern& pattern : BuiltinLibrary()) {
+    if (pattern.name == name) return pattern;
+  }
+  return Status::NotFound("no library pattern named '" + name + "'");
+}
+
+Result<std::vector<Pattern>> ParsePatternFileLines(const std::string& text) {
+  std::vector<Pattern> patterns;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("pattern file line " +
+                                     std::to_string(lineno) +
+                                     ": expected 'name = expression'");
+    }
+    std::string name = line.substr(first, eq - first);
+    name.erase(name.find_last_not_of(" \t") + 1);
+    if (name.empty()) {
+      return Status::InvalidArgument("pattern file line " +
+                                     std::to_string(lineno) +
+                                     ": empty pattern name");
+    }
+    auto parsed = ParsePattern(line.substr(eq + 1), name);
+    if (!parsed.ok()) return parsed.status();
+    patterns.push_back(std::move(parsed).value());
+  }
+  return patterns;
+}
+
+}  // namespace spire::cep

@@ -1,0 +1,47 @@
+// The built-in warehouse scenario library (DESIGN.md §11).
+//
+// Named patterns over the location vocabulary the simulator registers for
+// every deployment (entry_door, receiving_belt, shelf_*, packaging,
+// outgoing_belt, exit_door), so they compile against any generated trace.
+// `spire_cli detect patterns=library` runs all of them; the
+// pattern_equivalence fuzz oracle holds both evaluators to them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cep/pattern.h"
+#include "common/status.h"
+
+namespace spire::cep {
+
+/// The built-in patterns, parsed and named:
+///   theft                    — Missing(x): an object vanished without an
+///                              exit read (the paper's §7.4 anomaly).
+///   dock_to_exit             — entry_door to exit_door without touching
+///                              receiving_belt within 50 epochs: a case
+///                              that skipped check-in.
+///   misrouted_case           — entry_door then some shelf while never on
+///                              receiving_belt within 200 epochs.
+///   shelf_to_exit_direct     — a shelved object at exit_door while never
+///                              crossing outgoing_belt within 120 epochs.
+///   pallet_left_without_case — a pallet reaches exit_door and a case it
+///                              once carried does not follow within 60.
+///   flapping_reader          — shelf / missing / shelf / missing churn,
+///                              each hop within 150 epochs.
+///   packed_for_shipping      — packaging to outgoing_belt within 150
+///                              without returning to any shelf (flow
+///                              confirmation; fires on healthy traffic).
+///   clean_putaway            — receiving_belt to a shelf within 100 with
+///                              no missing gap in between (flow
+///                              confirmation; fires on healthy traffic).
+const std::vector<Pattern>& BuiltinLibrary();
+
+/// The library pattern with that name (not found otherwise).
+Result<Pattern> LibraryPattern(const std::string& name);
+
+/// Parses a pattern file: one `name = expression` per line, `#` comments
+/// and blank lines skipped.
+Result<std::vector<Pattern>> ParsePatternFileLines(const std::string& text);
+
+}  // namespace spire::cep

@@ -1,0 +1,825 @@
+#include "cep/nfa.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+
+#include "common/epc.h"
+#include "stream/reader.h"
+
+namespace spire::cep {
+
+Epoch CompiledPattern::WindowInto(std::size_t i) const {
+  Epoch window = steps[static_cast<std::size_t>(positive[i])].within;
+  if (i < guard.size() && guard[i] >= 0) {
+    const Epoch guard_window = steps[static_cast<std::size_t>(guard[i])].within;
+    if (guard_window > 0 && (window == 0 || guard_window < window)) {
+      window = guard_window;
+    }
+  }
+  return window;
+}
+
+Result<CompiledPattern> Compile(const Pattern& pattern,
+                                const ReaderRegistry* registry) {
+  auto fail = [&](const std::string& what) {
+    return Status::InvalidArgument("pattern '" + pattern.name + "': " + what);
+  };
+  if (pattern.steps.empty()) return fail("no steps");
+  if (pattern.steps.front().negated) return fail("first step must be positive");
+  if (pattern.steps.front().within > 0) {
+    return fail("WITHIN on the first step has no preceding step to bound");
+  }
+
+  CompiledPattern out;
+  out.name = pattern.name;
+  auto var_index = [&out](const std::string& name) {
+    for (std::size_t i = 0; i < out.vars.size(); ++i) {
+      if (out.vars[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  int pending_guard = -1;
+  for (std::size_t s = 0; s < pattern.steps.size(); ++s) {
+    const Step& step = pattern.steps[s];
+    if (step.negated && pattern.steps[s - 1].negated) {
+      return fail("adjacent negative steps");
+    }
+
+    CompiledStep compiled;
+    compiled.negated = step.negated;
+    compiled.within = step.within;
+    compiled.pred.kind = step.pred.kind;
+
+    const bool pair_pred = step.pred.kind == PredKind::kIn ||
+                           step.pred.kind == PredKind::kContains;
+    int v = var_index(step.pred.var);
+    int v2 = pair_pred ? var_index(step.pred.var2) : -1;
+    if (step.negated) {
+      if (v < 0 || (pair_pred && v2 < 0)) {
+        return fail("negative step introduces variable '" +
+                    (v < 0 ? step.pred.var : step.pred.var2) + "'");
+      }
+    } else if (s > 0) {
+      // Later positive steps may only introduce a variable through a
+      // containment link to an already-bound one; that keeps binding
+      // enumeration index-driven instead of a cross product.
+      if (!pair_pred && v < 0) {
+        return fail("variable '" + step.pred.var +
+                    "' must be introduced in the first step or via "
+                    "In/Contains");
+      }
+      if (pair_pred && v < 0 && v2 < 0) {
+        return fail("step introduces two unbound variables '" +
+                    step.pred.var + "', '" + step.pred.var2 + "'");
+      }
+    }
+    if (v < 0) {
+      out.vars.push_back(step.pred.var);
+      v = static_cast<int>(out.vars.size()) - 1;
+    }
+    if (pair_pred && v2 < 0) {
+      out.vars.push_back(step.pred.var2);
+      v2 = static_cast<int>(out.vars.size()) - 1;
+    }
+    compiled.pred.var = v;
+    compiled.pred.var2 = v2;
+
+    if (step.pred.kind == PredKind::kAt) {
+      auto locations = ResolveLocationSpec(step.pred.loc_spec, registry);
+      if (!locations.ok()) {
+        return fail(locations.status().ToString());
+      }
+      compiled.pred.locations = std::move(locations).value();
+      std::sort(compiled.pred.locations.begin(),
+                compiled.pred.locations.end());
+    }
+
+    out.steps.push_back(std::move(compiled));
+    if (step.negated) {
+      pending_guard = static_cast<int>(s);
+    } else {
+      out.positive.push_back(static_cast<int>(s));
+      out.guard.push_back(pending_guard);
+      pending_guard = -1;
+    }
+  }
+  out.trailing_guard = pending_guard;
+  if (out.trailing_guard >= 0 &&
+      out.steps[static_cast<std::size_t>(out.trailing_guard)].within <= 0) {
+    return fail("a trailing negative step needs WITHIN (the absence must "
+                "span a bounded, observable window)");
+  }
+  return out;
+}
+
+namespace {
+
+// ------------------------------------------------------------ intervals
+
+/// Half-open epoch interval [start, end).
+struct Interval {
+  Epoch start = 0;
+  Epoch end = 0;
+};
+
+Epoch SatAdd(Epoch a, Epoch b) {
+  return a > kInfiniteEpoch - b ? kInfiniteEpoch : a + b;
+}
+
+/// Sorts and coalesces (adjacent intervals merge: epochs are integers, so
+/// [2,5)+[5,8) is one maximal run of true epochs — onset detection needs
+/// maximal runs).
+std::vector<Interval> Merged(std::vector<Interval> intervals) {
+  std::erase_if(intervals,
+                [](const Interval& i) { return i.start >= i.end; });
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  std::vector<Interval> out;
+  for (const Interval& interval : intervals) {
+    if (!out.empty() && interval.start <= out.back().end) {
+      out.back().end = std::max(out.back().end, interval.end);
+    } else {
+      out.push_back(interval);
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> Clipped(const std::vector<Interval>& intervals,
+                              Epoch lo, Epoch end_exclusive) {
+  std::vector<Interval> out;
+  for (const Interval& interval : intervals) {
+    const Epoch s = std::max(interval.start, lo);
+    const Epoch e = std::min(interval.end, end_exclusive);
+    if (s < e) out.push_back({s, e});
+  }
+  return out;
+}
+
+std::vector<Interval> Intersect(const std::vector<Interval>& a,
+                                const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Epoch s = std::max(a[i].start, b[j].start);
+    const Epoch e = std::min(a[i].end, b[j].end);
+    if (s < e) out.push_back({s, e});
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// First epoch strictly greater than `t` covered by `intervals`
+/// (kInfiniteEpoch if none).
+Epoch FirstAfter(const std::vector<Interval>& intervals, Epoch t) {
+  for (const Interval& interval : intervals) {
+    if (interval.end > t + 1) return std::max(interval.start, t + 1);
+  }
+  return kInfiniteEpoch;
+}
+
+/// Last epoch strictly less than `t` covered by `intervals` (kNeverEpoch
+/// if none).
+Epoch LastBefore(const std::vector<Interval>& intervals, Epoch t) {
+  Epoch best = kNeverEpoch;
+  for (const Interval& interval : intervals) {
+    if (interval.start >= t) break;
+    best = std::min(interval.end, t) - 1;
+  }
+  return best;
+}
+
+const Interval* Containing(const std::vector<Interval>& intervals, Epoch t) {
+  for (const Interval& interval : intervals) {
+    if (interval.start <= t && t < interval.end) return &interval;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------- binding enumeration
+
+/// Candidate indexes a world view offers the enumerator. Both sides
+/// provide sound supersets; evaluating a non-matching binding is harmless.
+struct BindingSource {
+  std::function<std::vector<ObjectId>(const std::vector<LocationId>&)>
+      ever_at;
+  std::function<std::vector<ObjectId>()> ever_missing;
+  /// Distinct (child, container) pairs.
+  std::function<std::vector<std::pair<ObjectId, ObjectId>>()> pairs;
+  std::function<std::vector<ObjectId>(ObjectId)> containers_of;
+  std::function<std::vector<ObjectId>(ObjectId)> contents_of;
+};
+
+std::vector<std::vector<ObjectId>> EnumerateBindings(
+    const CompiledPattern& pattern, const BindingSource& source) {
+  std::vector<std::vector<ObjectId>> partials = {
+      std::vector<ObjectId>(pattern.vars.size(), kNoObject)};
+  std::vector<bool> bound(pattern.vars.size(), false);
+
+  auto expand_one = [&](int var, auto candidates_of) {
+    std::vector<std::vector<ObjectId>> next;
+    for (const std::vector<ObjectId>& partial : partials) {
+      for (ObjectId candidate : candidates_of(partial)) {
+        std::vector<ObjectId> grown = partial;
+        grown[static_cast<std::size_t>(var)] = candidate;
+        next.push_back(std::move(grown));
+      }
+    }
+    partials = std::move(next);
+    bound[static_cast<std::size_t>(var)] = true;
+  };
+
+  for (const CompiledStep& step : pattern.steps) {
+    const CompiledPredicate& pred = step.pred;
+    const bool v_bound = bound[static_cast<std::size_t>(pred.var)];
+    switch (pred.kind) {
+      case PredKind::kAt:
+        if (!v_bound) {
+          const std::vector<ObjectId> candidates =
+              source.ever_at(pred.locations);
+          expand_one(pred.var,
+                     [&](const std::vector<ObjectId>&) { return candidates; });
+        }
+        break;
+      case PredKind::kMissing:
+        if (!v_bound) {
+          const std::vector<ObjectId> candidates = source.ever_missing();
+          expand_one(pred.var,
+                     [&](const std::vector<ObjectId>&) { return candidates; });
+        }
+        break;
+      case PredKind::kIn:
+      case PredKind::kContains: {
+        // kIn(child=var, container=var2); kContains(container=var,
+        // child=var2).
+        const int child = pred.kind == PredKind::kIn ? pred.var : pred.var2;
+        const int container =
+            pred.kind == PredKind::kIn ? pred.var2 : pred.var;
+        const bool child_bound = bound[static_cast<std::size_t>(child)];
+        const bool container_bound =
+            bound[static_cast<std::size_t>(container)];
+        if (!child_bound && !container_bound) {
+          std::vector<std::vector<ObjectId>> next;
+          for (const std::vector<ObjectId>& partial : partials) {
+            for (const auto& [c, p] : source.pairs()) {
+              std::vector<ObjectId> grown = partial;
+              grown[static_cast<std::size_t>(child)] = c;
+              grown[static_cast<std::size_t>(container)] = p;
+              next.push_back(std::move(grown));
+            }
+          }
+          partials = std::move(next);
+          bound[static_cast<std::size_t>(child)] = true;
+          bound[static_cast<std::size_t>(container)] = true;
+        } else if (!container_bound) {
+          expand_one(container, [&](const std::vector<ObjectId>& partial) {
+            return source.containers_of(
+                partial[static_cast<std::size_t>(child)]);
+          });
+        } else if (!child_bound) {
+          expand_one(child, [&](const std::vector<ObjectId>& partial) {
+            return source.contents_of(
+                partial[static_cast<std::size_t>(container)]);
+          });
+        }
+        break;
+      }
+    }
+  }
+  std::sort(partials.begin(), partials.end());
+  partials.erase(std::unique(partials.begin(), partials.end()),
+                 partials.end());
+  return partials;
+}
+
+void SortMatches(std::vector<Match>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const Match& a, const Match& b) {
+              if (a.binding != b.binding) return a.binding < b.binding;
+              return a.completion < b.completion;
+            });
+}
+
+// ------------------------------------------------------ naive evaluator
+
+bool HoldsAt(const EventLog& log, const CompiledPredicate& pred,
+             const std::vector<ObjectId>& binding, Epoch t) {
+  switch (pred.kind) {
+    case PredKind::kAt: {
+      const LocationId location =
+          log.LocationAt(binding[static_cast<std::size_t>(pred.var)], t);
+      return std::binary_search(pred.locations.begin(), pred.locations.end(),
+                                location);
+    }
+    case PredKind::kIn:
+      return log.ContainerAt(binding[static_cast<std::size_t>(pred.var)],
+                             t) ==
+             binding[static_cast<std::size_t>(pred.var2)];
+    case PredKind::kContains:
+      return log.ContainerAt(binding[static_cast<std::size_t>(pred.var2)],
+                             t) ==
+             binding[static_cast<std::size_t>(pred.var)];
+    case PredKind::kMissing:
+      return log.IsMissingAt(binding[static_cast<std::size_t>(pred.var)], t);
+  }
+  return false;
+}
+
+/// Epoch-by-epoch NFA simulation for one binding (see nfa.h for the
+/// semantics being implemented).
+void ScanBindingNaive(const CompiledPattern& pattern, const EventLog& log,
+                      const std::vector<ObjectId>& binding, EvalBounds bounds,
+                      std::vector<Match>* out) {
+  const std::size_t k = pattern.positive.size();
+  struct Run {
+    std::size_t next;          ///< Positive-step index awaited.
+    Epoch prev;                ///< Epoch of the last matched positive.
+    std::vector<Epoch> hist;   ///< Matched positive epochs so far.
+    bool dead = false;
+  };
+  struct Pending {
+    Epoch t_k;
+    std::vector<Epoch> hist;
+  };
+  std::vector<Run> runs;
+  std::vector<Pending> pendings;
+  const Epoch trailing_window =
+      pattern.trailing_guard >= 0
+          ? pattern.steps[static_cast<std::size_t>(pattern.trailing_guard)]
+                .within
+          : 0;
+  Epoch floor = bounds.lo - 1;
+  bool first_held_before = false;
+  std::vector<bool> truth(pattern.steps.size(), false);
+
+  for (Epoch t = bounds.lo; t <= bounds.hi; ++t) {
+    for (std::size_t s = 0; s < pattern.steps.size(); ++s) {
+      truth[s] = HoldsAt(log, pattern.steps[s].pred, binding, t);
+    }
+    std::optional<std::vector<Epoch>> completed;
+    std::vector<Run> spawned;
+    auto land_last_positive = [&](std::vector<Epoch> hist) {
+      if (pattern.trailing_guard >= 0) {
+        pendings.push_back({t, std::move(hist)});
+      } else if (!completed) {
+        completed = std::move(hist);
+      }
+    };
+
+    // 1) Advance live runs (nondeterministically: the source run stays).
+    for (Run& run : runs) {
+      const Epoch window = pattern.WindowInto(run.next);
+      if (window > 0 && t - run.prev > window) {
+        run.dead = true;  // Can never advance again.
+        continue;
+      }
+      if (!truth[static_cast<std::size_t>(pattern.positive[run.next])]) {
+        continue;
+      }
+      std::vector<Epoch> hist = run.hist;
+      hist.push_back(t);
+      if (run.next + 1 == k) {
+        land_last_positive(std::move(hist));
+      } else {
+        spawned.push_back({run.next + 1, t, std::move(hist)});
+      }
+    }
+    // 2) Spawn on a first-step onset past the floor.
+    const bool first_holds =
+        truth[static_cast<std::size_t>(pattern.positive[0])];
+    if (first_holds && (t == bounds.lo || !first_held_before) && t > floor) {
+      if (k == 1) {
+        land_last_positive({t});
+      } else {
+        spawned.push_back({1, t, {t}});
+      }
+    }
+    first_held_before = first_holds;
+    // 3) Integrate spawns, deduplicating on (next, prev).
+    for (Run& run : spawned) {
+      const bool exists =
+          std::any_of(runs.begin(), runs.end(), [&](const Run& r) {
+            return !r.dead && r.next == run.next && r.prev == run.prev;
+          });
+      if (!exists) runs.push_back(std::move(run));
+    }
+    // 4) Kill runs whose pending negation holds now (strictly after their
+    // last positive: a run spawned this epoch is safe).
+    std::erase_if(runs, [&](const Run& run) {
+      if (run.dead) return true;
+      const int g = pattern.guard[run.next];
+      return g >= 0 && run.prev < t && truth[static_cast<std::size_t>(g)];
+    });
+    // 5) Trailing guard: kill covered pendings, then commit ripe ones.
+    if (pattern.trailing_guard >= 0) {
+      if (truth[static_cast<std::size_t>(pattern.trailing_guard)]) {
+        std::erase_if(pendings, [&](const Pending& pending) {
+          return pending.t_k < t && t <= SatAdd(pending.t_k, trailing_window);
+        });
+      }
+      if (!completed) {
+        const Pending* ripe = nullptr;
+        for (const Pending& pending : pendings) {
+          if (SatAdd(pending.t_k, trailing_window) == t &&
+              (ripe == nullptr || pending.t_k < ripe->t_k)) {
+            ripe = &pending;
+          }
+        }
+        if (ripe != nullptr) completed = ripe->hist;
+      }
+    }
+    if (completed) {
+      Match match;
+      match.pattern = pattern.name;
+      match.binding = binding;
+      match.step_epochs = *completed;
+      match.completion = pattern.trailing_guard >= 0
+                             ? completed->back() + trailing_window
+                             : completed->back();
+      out->push_back(std::move(match));
+      floor = t;  // Next instance must begin strictly later.
+      runs.clear();
+      pendings.clear();
+    }
+  }
+}
+
+// --------------------------------------------------- interval evaluator
+
+std::vector<Interval> PredIntervals(CompressedLog* log,
+                                    const CompiledPredicate& pred,
+                                    const std::vector<ObjectId>& binding) {
+  std::vector<Interval> out;
+  switch (pred.kind) {
+    case PredKind::kAt:
+      for (const Stay& stay :
+           log->TrajectoryOf(binding[static_cast<std::size_t>(pred.var)])) {
+        if (std::binary_search(pred.locations.begin(), pred.locations.end(),
+                               stay.location)) {
+          out.push_back({stay.start, stay.end});
+        }
+      }
+      break;
+    case PredKind::kIn:
+      for (const Stay& stay : log->ContainmentsOf(
+               binding[static_cast<std::size_t>(pred.var)])) {
+        if (stay.container == binding[static_cast<std::size_t>(pred.var2)]) {
+          out.push_back({stay.start, stay.end});
+        }
+      }
+      break;
+    case PredKind::kContains:
+      for (const Stay& stay : log->ContainmentsOf(
+               binding[static_cast<std::size_t>(pred.var2)])) {
+        if (stay.container == binding[static_cast<std::size_t>(pred.var)]) {
+          out.push_back({stay.start, stay.end});
+        }
+      }
+      break;
+    case PredKind::kMissing:
+      for (const MissingReport& report :
+           log->MissingOf(binding[static_cast<std::size_t>(pred.var)])) {
+        out.push_back({report.since, report.until});
+      }
+      break;
+  }
+  return Merged(std::move(out));
+}
+
+std::vector<std::uint64_t> CollectProvenance(
+    const CompiledPattern& pattern, const CompressedLog& log,
+    const std::vector<ObjectId>& binding, const std::vector<Epoch>& witness) {
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < pattern.positive.size(); ++i) {
+    const CompiledPredicate& pred =
+        pattern.steps[static_cast<std::size_t>(pattern.positive[i])].pred;
+    const Epoch t = witness[i];
+    std::vector<std::uint64_t> got;
+    switch (pred.kind) {
+      case PredKind::kAt:
+        got = log.SupportingLocationEvents(
+            binding[static_cast<std::size_t>(pred.var)], pred.locations, t);
+        break;
+      case PredKind::kIn:
+        got = log.SupportingContainmentEvent(
+            binding[static_cast<std::size_t>(pred.var)],
+            binding[static_cast<std::size_t>(pred.var2)], t);
+        break;
+      case PredKind::kContains:
+        got = log.SupportingContainmentEvent(
+            binding[static_cast<std::size_t>(pred.var2)],
+            binding[static_cast<std::size_t>(pred.var)], t);
+        break;
+      case PredKind::kMissing:
+        got = log.SupportingMissingEvent(
+            binding[static_cast<std::size_t>(pred.var)], t);
+        break;
+    }
+    ids.insert(ids.end(), got.begin(), got.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+/// Feasible-set evaluation for one binding: per positive step, the set of
+/// epochs it can match at is a union of intervals; each transition maps
+/// the previous set through the window/negation constraints in one sweep.
+void ScanBindingCompressed(const CompiledPattern& pattern, CompressedLog* log,
+                           const std::vector<ObjectId>& binding,
+                           EvalBounds bounds, std::vector<Match>* out) {
+  const std::size_t k = pattern.positive.size();
+  const Epoch end_exclusive = SatAdd(bounds.hi, 1);
+
+  // Predicate interval sets. The first positive step keeps its unclipped
+  // maximal runs too: onsets are their (clamped) left endpoints.
+  std::vector<std::vector<Interval>> pos(k), guards(k);
+  std::vector<Interval> first_raw, trailing;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<Interval> raw = PredIntervals(
+        log, pattern.steps[static_cast<std::size_t>(pattern.positive[i])].pred,
+        binding);
+    if (i == 0) first_raw = raw;
+    pos[i] = Clipped(raw, bounds.lo, end_exclusive);
+    if (pos[i].empty()) return;
+    if (pattern.guard[i] >= 0) {
+      guards[i] = Clipped(
+          PredIntervals(
+              log,
+              pattern.steps[static_cast<std::size_t>(pattern.guard[i])].pred,
+              binding),
+          bounds.lo, end_exclusive);
+    }
+  }
+  Epoch trailing_window = 0;
+  if (pattern.trailing_guard >= 0) {
+    const CompiledStep& step =
+        pattern.steps[static_cast<std::size_t>(pattern.trailing_guard)];
+    trailing_window = step.within;
+    trailing =
+        Clipped(PredIntervals(log, step.pred, binding), bounds.lo,
+                end_exclusive);
+  }
+
+  Epoch floor = bounds.lo - 1;
+  for (;;) {
+    // Layer 0: onset points past the floor.
+    std::vector<std::vector<Interval>> layers(k);
+    for (const Interval& run : first_raw) {
+      if (run.end <= bounds.lo) continue;
+      const Epoch t = std::max(run.start, bounds.lo);
+      if (t > bounds.hi || t <= floor) continue;
+      layers[0].push_back({t, t + 1});
+    }
+    if (layers[0].empty()) return;
+
+    bool empty = false;
+    for (std::size_t j = 1; j < k; ++j) {
+      const Epoch window = pattern.WindowInto(j);
+      std::vector<Interval> raw;
+      for (const Interval& prev : layers[j - 1]) {
+        const Epoch t_last = prev.end - 1;
+        // Reachable t_j from t' in [prev.start, prev.end): the union of
+        // (t', U(t')] with U(t') = min(t' + w, first guard epoch > t').
+        // Each range is nonempty and consecutive ranges adjoin (U is
+        // nondecreasing and U(t') >= t' + 1), so the union is one
+        // interval ending at U of the last point.
+        Epoch reach = window > 0 ? SatAdd(t_last, window) : kInfiniteEpoch;
+        if (!guards[j].empty()) {
+          reach = std::min(reach, FirstAfter(guards[j], t_last));
+        }
+        reach = std::min(reach, bounds.hi);
+        if (reach > prev.start) {
+          raw.push_back({prev.start + 1, SatAdd(reach, 1)});
+        }
+      }
+      layers[j] = Intersect(Merged(std::move(raw)), pos[j]);
+      if (layers[j].empty()) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) return;
+
+    // Earliest completion from the feasible t_k set.
+    Epoch t_k = kNeverEpoch;
+    Epoch completion = kNeverEpoch;
+    if (pattern.trailing_guard < 0) {
+      t_k = layers[k - 1].front().start;
+      completion = t_k;
+    } else {
+      bool found = false, hopeless = false;
+      for (const Interval& run : layers[k - 1]) {
+        Epoch t = run.start;
+        while (t < run.end) {
+          if (SatAdd(t, trailing_window) > bounds.hi) {
+            hopeless = true;  // Later candidates only end later.
+            break;
+          }
+          const Epoch next_neg = FirstAfter(trailing, t);
+          if (next_neg > SatAdd(t, trailing_window)) {
+            t_k = t;
+            completion = t + trailing_window;
+            found = true;
+            break;
+          }
+          // Skip to where the blocking negation run can no longer reach.
+          const Interval* block = Containing(trailing, next_neg);
+          t = std::max(t + 1, block->end - 1);
+        }
+        if (found || hopeless) break;
+      }
+      if (!found) return;  // A larger floor only shrinks the sets.
+    }
+
+    // Witness chain, back to front: the earliest feasible predecessor
+    // compatible with the window and the guard's last epoch before t.
+    std::vector<Epoch> witness(k, t_k);
+    Epoch t = t_k;
+    for (std::size_t j = k - 1; j >= 1; --j) {
+      const Epoch window = pattern.WindowInto(j);
+      Epoch lower = bounds.lo;
+      if (window > 0) lower = std::max(lower, t - window);
+      if (!guards[j].empty()) {
+        lower = std::max(lower, LastBefore(guards[j], t));
+      }
+      Epoch chosen = kNeverEpoch;
+      for (const Interval& prev : layers[j - 1]) {
+        if (prev.end <= lower) continue;
+        const Epoch candidate = std::max(prev.start, lower);
+        if (candidate < t) {
+          chosen = candidate;
+          break;
+        }
+      }
+      witness[j - 1] = chosen == kNeverEpoch ? t - 1 : chosen;
+      t = witness[j - 1];
+    }
+
+    Match match;
+    match.pattern = pattern.name;
+    match.binding = binding;
+    match.step_epochs = witness;
+    match.completion = completion;
+    match.event_ids = CollectProvenance(pattern, *log, binding, witness);
+    out->push_back(std::move(match));
+    floor = completion;
+  }
+}
+
+}  // namespace
+
+EvalBounds BoundsOf(const EventLog& log) {
+  if (log.first_epoch() == kNeverEpoch) return {0, -1};
+  return {log.first_epoch(), log.last_epoch()};
+}
+
+EvalBounds BoundsOf(const EventStream& stream) {
+  EvalBounds bounds{0, -1};
+  bool any = false;
+  for (const Event& event : stream) {
+    if (!any || event.start < bounds.lo) bounds.lo = event.start;
+    any = true;
+    bounds.hi = std::max(bounds.hi, event.start);
+    if (event.end != kInfiniteEpoch) {
+      bounds.hi = std::max(bounds.hi, event.end);
+    }
+  }
+  if (!any) return {0, -1};
+  return bounds;
+}
+
+std::vector<Match> EvaluateNaive(const CompiledPattern& pattern,
+                                 const EventLog& log, EvalBounds bounds) {
+  std::vector<Match> out;
+  if (bounds.hi < bounds.lo) return out;
+  BindingSource source;
+  source.ever_at = [&log](const std::vector<LocationId>& locations) {
+    std::vector<ObjectId> ids;
+    for (LocationId location : locations) {
+      std::vector<ObjectId> at = log.ObjectsEverAt(location);
+      ids.insert(ids.end(), at.begin(), at.end());
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  };
+  source.ever_missing = [&log]() {
+    std::vector<ObjectId> ids;
+    for (const MissingReport& report : log.MissingReports()) {
+      ids.push_back(report.object);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  };
+  source.pairs = [&log]() { return log.ContainmentPairs(); };
+  source.containers_of = [&log](ObjectId object) {
+    return log.EverContainersOf(object);
+  };
+  source.contents_of = [&log](ObjectId container) {
+    return log.EverContentsOf(container);
+  };
+  for (const std::vector<ObjectId>& binding :
+       EnumerateBindings(pattern, source)) {
+    ScanBindingNaive(pattern, log, binding, bounds, &out);
+  }
+  SortMatches(&out);
+  return out;
+}
+
+std::vector<Match> EvaluateCompressed(const CompiledPattern& pattern,
+                                      CompressedLog* log, EvalBounds bounds) {
+  std::vector<Match> out;
+  if (bounds.hi < bounds.lo) return out;
+  BindingSource source;
+  source.ever_at = [log](const std::vector<LocationId>& locations) {
+    return log->CandidatesEverAt(locations);
+  };
+  source.ever_missing = [log]() { return log->EverMissing(); };
+  source.pairs = [log]() { return log->ContainmentPairs(); };
+  source.containers_of = [log](ObjectId object) {
+    return log->EverContainersOf(object);
+  };
+  source.contents_of = [log](ObjectId container) {
+    return log->EverContentsOf(container);
+  };
+  for (const std::vector<ObjectId>& binding :
+       EnumerateBindings(pattern, source)) {
+    ScanBindingCompressed(pattern, log, binding, bounds, &out);
+  }
+  SortMatches(&out);
+  return out;
+}
+
+std::string DiffMatchSets(const std::vector<Match>& a,
+                          const std::vector<Match>& b,
+                          const std::string& a_name,
+                          const std::string& b_name) {
+  auto render = [](const Match& match) {
+    std::ostringstream out;
+    out << "(";
+    for (std::size_t i = 0; i < match.binding.size(); ++i) {
+      out << (i > 0 ? "," : "") << EpcToString(match.binding[i]);
+    }
+    out << ") @ " << match.completion;
+    return out.str();
+  };
+  std::size_t i = 0, j = 0;
+  auto key = [](const Match& m) { return std::tie(m.binding, m.completion); };
+  while (i < a.size() && j < b.size()) {
+    if (key(a[i]) == key(b[j])) {
+      ++i;
+      ++j;
+      continue;
+    }
+    std::ostringstream out;
+    if (key(a[i]) < key(b[j])) {
+      out << a[i].pattern << ": " << a_name << " has " << render(a[i])
+          << " missing from " << b_name;
+    } else {
+      out << b[j].pattern << ": " << b_name << " has " << render(b[j])
+          << " missing from " << a_name;
+    }
+    return out.str();
+  }
+  if (i < a.size()) {
+    return a[i].pattern + ": " + a_name + " has " + render(a[i]) +
+           " missing from " + b_name;
+  }
+  if (j < b.size()) {
+    return b[j].pattern + ": " + b_name + " has " + render(b[j]) +
+           " missing from " + a_name;
+  }
+  return "";
+}
+
+std::string ToString(const CompiledPattern& pattern, const Match& match) {
+  std::ostringstream out;
+  out << match.pattern << "(";
+  for (std::size_t i = 0; i < match.binding.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << pattern.vars[i] << "=" << EpcToString(match.binding[i]);
+  }
+  out << ") steps=[";
+  for (std::size_t i = 0; i < match.step_epochs.size(); ++i) {
+    out << (i > 0 ? "," : "") << match.step_epochs[i];
+  }
+  out << "] complete=" << match.completion << " events=[";
+  for (std::size_t i = 0; i < match.event_ids.size(); ++i) {
+    out << (i > 0 ? "," : "") << match.event_ids[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace spire::cep

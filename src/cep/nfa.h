@@ -1,0 +1,136 @@
+// Compiled patterns and their two evaluators (DESIGN.md §11).
+//
+// `Compile` checks a parsed pattern's structure, resolves location specs,
+// and lays the steps out as a linear NFA: automaton state i means "the
+// first i positive steps have matched", negative steps become guards on
+// the transition between their neighbouring positives.
+//
+// Match semantics (the contract both evaluators implement; the
+// pattern_equivalence fuzz oracle holds them to it):
+//
+//   Let the positive steps be p_1..p_k. An instance over the inclusive
+//   epoch bounds [lo, hi] is a chain t_1 < t_2 < ... < t_k with
+//     - P_{p_1} holds at t_1 and t_1 is an *onset*: t_1 == lo or P_{p_1}
+//       is false at t_1 - 1;
+//     - P_{p_i} holds at t_i;
+//     - a WITHIN w on p_i (i >= 2) or on the negative step before it
+//       bounds t_i - t_{i-1} <= w;
+//     - a negative step between p_i and p_{i+1} forbids its predicate at
+//       every epoch strictly between t_i and t_{i+1};
+//     - a trailing negative step (always windowed) forbids its predicate
+//       over (t_k, t_k + w] and requires t_k + w <= hi (the absence must
+//       be fully observed); the match then completes at t_k + w, at t_k
+//       otherwise.
+//   Detection is skip-till-next-match: the earliest completion among
+//   instances whose t_1 lies past the previous detection's completion
+//   epoch; repeated until none remains. The match set of a pattern is the
+//   set of (binding, completion) pairs over all variable bindings.
+//
+// `EvaluateNaive` scans every epoch in [lo, hi] against an EventLog and
+// advances NFA run sets point by point — the reference implementation.
+// `EvaluateCompressed` computes per-step feasible *epoch interval sets*
+// directly from the compressed stream's validity intervals (CompressedLog)
+// and intersects them step over step, so its cost scales with the number
+// of stays, not the number of epochs, and suppressed-child regions are
+// never expanded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cep/compressed_log.h"
+#include "cep/pattern.h"
+#include "common/status.h"
+#include "query/event_log.h"
+
+namespace spire {
+
+class ReaderRegistry;
+
+namespace cep {
+
+struct CompiledPredicate {
+  PredKind kind = PredKind::kMissing;
+  int var = -1;   ///< Subject, as an index into CompiledPattern::vars.
+  int var2 = -1;  ///< Second variable (kIn / kContains).
+  std::vector<LocationId> locations;  ///< kAt targets, ascending.
+};
+
+struct CompiledStep {
+  bool negated = false;
+  CompiledPredicate pred;
+  Epoch within = 0;  ///< 0 = unbounded.
+};
+
+/// A validated, registry-resolved pattern.
+struct CompiledPattern {
+  std::string name;
+  std::vector<std::string> vars;  ///< First-appearance order.
+  std::vector<CompiledStep> steps;
+  std::vector<int> positive;  ///< Indices of the positive steps, in order.
+  /// guard[i]: index of the negative step between positive i-1 and i
+  /// (-1 when absent; guard[0] is always -1).
+  std::vector<int> guard;
+  int trailing_guard = -1;  ///< Negative step after the last positive.
+
+  /// Window bound on t_i - t_{i-1} into positive step `i`: the tighter of
+  /// the positive step's own WITHIN and its guard's (0 = unbounded).
+  Epoch WindowInto(std::size_t i) const;
+};
+
+/// Validates structure (first step positive, no adjacent negatives, a
+/// window on any trailing negative, variables introduced in a positive
+/// step — via In/Contains linked to a bound variable unless in the first
+/// step) and resolves every location spec against `registry` (nullable:
+/// then only numeric specs resolve).
+Result<CompiledPattern> Compile(const Pattern& pattern,
+                                const ReaderRegistry* registry);
+
+/// One detection. `step_epochs` witnesses the positive-step chain;
+/// `event_ids` indexes the compressed stream's supporting events
+/// (provenance; filled by EvaluateCompressed only). The oracle compares
+/// matches on (pattern, binding, completion) alone.
+struct Match {
+  std::string pattern;
+  std::vector<ObjectId> binding;   ///< Parallel to CompiledPattern::vars.
+  std::vector<Epoch> step_epochs;  ///< One per positive step.
+  Epoch completion = kNeverEpoch;
+  std::vector<std::uint64_t> event_ids;
+};
+
+/// Inclusive epoch bounds an evaluation runs over. Both evaluators must be
+/// given the same bounds to be comparable.
+struct EvalBounds {
+  Epoch lo = 0;
+  Epoch hi = -1;
+};
+
+/// Bounds covering the whole log ([0, -1] — empty — for an empty log).
+EvalBounds BoundsOf(const EventLog& log);
+
+/// Bounds covering a raw stream: [min emission epoch, max finite reach].
+/// Open trailing events extend only to the last finite endpoint seen.
+EvalBounds BoundsOf(const EventStream& stream);
+
+/// Reference evaluator: per-epoch NFA simulation over the decompressed
+/// view. Matches come out sorted by (binding, completion).
+std::vector<Match> EvaluateNaive(const CompiledPattern& pattern,
+                                 const EventLog& log, EvalBounds bounds);
+
+/// Interval evaluator over the compressed stream; no per-epoch work.
+/// Matches come out sorted by (binding, completion), with provenance.
+std::vector<Match> EvaluateCompressed(const CompiledPattern& pattern,
+                                      CompressedLog* log, EvalBounds bounds);
+
+/// Human-readable first divergence between two match sets compared on
+/// (binding, completion); "" when equal. Inputs must be sorted as the
+/// evaluators emit them.
+std::string DiffMatchSets(const std::vector<Match>& a,
+                          const std::vector<Match>& b,
+                          const std::string& a_name, const std::string& b_name);
+
+/// One-line rendering of a match (CLI + diffs).
+std::string ToString(const CompiledPattern& pattern, const Match& match);
+
+}  // namespace cep
+}  // namespace spire

@@ -1,0 +1,252 @@
+#include "cep/pattern.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "stream/reader.h"
+
+namespace spire::cep {
+
+const char* ToString(PredKind kind) {
+  switch (kind) {
+    case PredKind::kAt: return "At";
+    case PredKind::kIn: return "In";
+    case PredKind::kContains: return "Contains";
+    case PredKind::kMissing: return "Missing";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Hand-rolled scanner over the expression text. Tokens are identifiers
+/// (with an optional glued trailing '*' for location globs), integers, and
+/// the punctuation `( ) , !`.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes one punctuation character if it is next.
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads an identifier ([A-Za-z_][A-Za-z0-9_]*, optionally ending in a
+  /// glued '*'); "" if the next token is not one.
+  std::string Ident() {
+    SkipSpace();
+    std::size_t start = pos_;
+    if (pos_ >= text_.size()) return "";
+    char c = text_[pos_];
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '_') return "";
+    while (pos_ < text_.size()) {
+      c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '*') ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Reads a nonnegative decimal integer; -1 if the next token is not one.
+  std::int64_t Integer() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return -1;
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  /// True if the next token is exactly the keyword (consumed on match).
+  bool Keyword(const std::string& word) {
+    SkipSpace();
+    std::size_t save = pos_;
+    if (Ident() == word) return true;
+    pos_ = save;
+    return false;
+  }
+
+  std::string Context() const {
+    return "near position " + std::to_string(pos_) + " in '" + text_ + "'";
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Status ParseError(const std::string& name, Scanner& scan,
+                  const std::string& what) {
+  return Status::InvalidArgument("pattern '" + name + "': " + what + " " +
+                                 scan.Context());
+}
+
+/// A plain variable: an identifier with no glob star.
+bool IsVarName(const std::string& ident) {
+  return !ident.empty() && ident.back() != '*';
+}
+
+Result<Step> ParseStep(const std::string& name, Scanner& scan) {
+  Step step;
+  step.negated = scan.Eat('!');
+  const std::string head = scan.Ident();
+  if (head == "At") {
+    step.pred.kind = PredKind::kAt;
+  } else if (head == "In") {
+    step.pred.kind = PredKind::kIn;
+  } else if (head == "Contains") {
+    step.pred.kind = PredKind::kContains;
+  } else if (head == "Missing") {
+    step.pred.kind = PredKind::kMissing;
+  } else {
+    return ParseError(name, scan,
+                      "expected a predicate (At/In/Contains/Missing)");
+  }
+  if (!scan.Eat('(')) return ParseError(name, scan, "expected '('");
+  step.pred.var = scan.Ident();
+  if (!IsVarName(step.pred.var)) {
+    return ParseError(name, scan, "expected a variable");
+  }
+  if (step.pred.kind != PredKind::kMissing) {
+    if (!scan.Eat(',')) return ParseError(name, scan, "expected ','");
+    if (step.pred.kind == PredKind::kAt) {
+      step.pred.loc_spec = scan.Ident();
+      if (step.pred.loc_spec.empty()) {
+        const std::int64_t id = scan.Integer();
+        if (id < 0) {
+          return ParseError(name, scan, "expected a location spec");
+        }
+        step.pred.loc_spec = std::to_string(id);
+      }
+    } else {
+      step.pred.var2 = scan.Ident();
+      if (!IsVarName(step.pred.var2)) {
+        return ParseError(name, scan, "expected a second variable");
+      }
+    }
+  }
+  if (!scan.Eat(')')) return ParseError(name, scan, "expected ')'");
+  if (scan.Keyword("WITHIN")) {
+    const std::int64_t window = scan.Integer();
+    if (window <= 0) {
+      return ParseError(name, scan, "WITHIN needs a positive epoch count");
+    }
+    step.within = window;
+  }
+  return step;
+}
+
+}  // namespace
+
+Result<Pattern> ParsePattern(const std::string& text,
+                             const std::string& name) {
+  Scanner scan(text);
+  Pattern pattern;
+  pattern.name = name;
+  if (scan.Keyword("SEQ")) {
+    if (!scan.Eat('(')) return ParseError(name, scan, "expected '(' after SEQ");
+    do {
+      auto step = ParseStep(name, scan);
+      if (!step.ok()) return step.status();
+      pattern.steps.push_back(std::move(step).value());
+    } while (scan.Eat(','));
+    if (!scan.Eat(')')) return ParseError(name, scan, "expected ')' or ','");
+  } else {
+    auto step = ParseStep(name, scan);
+    if (!step.ok()) return step.status();
+    pattern.steps.push_back(std::move(step).value());
+  }
+  if (!scan.AtEnd()) {
+    return ParseError(name, scan, "trailing input");
+  }
+  return pattern;
+}
+
+std::string Pattern::ToString() const {
+  std::ostringstream out;
+  if (steps.size() != 1) out << "SEQ(";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    if (i > 0) out << ", ";
+    if (step.negated) out << "!";
+    out << cep::ToString(step.pred.kind) << "(" << step.pred.var;
+    if (step.pred.kind == PredKind::kAt) {
+      out << ", " << step.pred.loc_spec;
+    } else if (step.pred.kind != PredKind::kMissing) {
+      out << ", " << step.pred.var2;
+    }
+    out << ")";
+    if (step.within > 0) out << " WITHIN " << step.within;
+  }
+  if (steps.size() != 1) out << ")";
+  return out.str();
+}
+
+Result<std::vector<LocationId>> ResolveLocationSpec(
+    const std::string& spec, const ReaderRegistry* registry) {
+  if (spec.empty()) return Status::InvalidArgument("empty location spec");
+  if (std::all_of(spec.begin(), spec.end(), [](unsigned char c) {
+        return std::isdigit(c);
+      })) {
+    const std::int64_t id = std::stoll(spec);
+    if (id < 0 || id >= kUnknownLocation) {
+      return Status::InvalidArgument("location id out of range: " + spec);
+    }
+    return std::vector<LocationId>{static_cast<LocationId>(id)};
+  }
+  if (registry == nullptr) {
+    return Status::InvalidArgument(
+        "location name '" + spec +
+        "' needs a deployment (only numeric ids resolve without one)");
+  }
+  std::vector<LocationId> out;
+  const std::size_t num = registry->num_locations();
+  if (!spec.empty() && spec.back() == '*') {
+    const std::string prefix = spec.substr(0, spec.size() - 1);
+    for (std::size_t id = 0; id < num; ++id) {
+      const LocationId location = static_cast<LocationId>(id);
+      if (registry->LocationName(location).starts_with(prefix)) {
+        out.push_back(location);
+      }
+    }
+    if (out.empty()) {
+      return Status::NotFound("location glob '" + spec +
+                              "' matches no registered location");
+    }
+    return out;
+  }
+  for (std::size_t id = 0; id < num; ++id) {
+    const LocationId location = static_cast<LocationId>(id);
+    if (registry->LocationName(location) == spec) {
+      out.push_back(location);
+      return out;
+    }
+  }
+  return Status::NotFound("unknown location '" + spec + "'");
+}
+
+}  // namespace spire::cep

@@ -1,0 +1,86 @@
+// The SPIRE complex-event pattern language (DESIGN.md §11).
+//
+// Patterns describe sequences of predicate onsets over the interpreted
+// object timelines — the SASE-style SEQ/negation/WITHIN fragment the paper
+// alludes to when it calls the compressed output "directly queriable using
+// recently developed event processors" (§V-B). The grammar (whitespace-
+// insensitive, keywords case-sensitive):
+//
+//   pattern   := "SEQ" "(" step ("," step)* ")" | step
+//   step      := ["!"] predicate ["WITHIN" <epochs>]
+//   predicate := "At" "(" var "," locspec ")"      object at a location
+//              | "In" "(" var "," var ")"          1st var directly inside 2nd
+//              | "Contains" "(" var "," var ")"    2nd var directly inside 1st
+//              | "Missing" "(" var ")"             object reported missing
+//   locspec   := location-name | prefix "*" | <decimal location id>
+//
+// Example: SEQ(At(x, entry_door), !At(x, receiving_belt) WITHIN 50,
+//              At(x, exit_door)) — x entered and reached the exit within 50
+// epochs without ever crossing the receiving belt in between.
+//
+// Parsing produces the plain AST below; `Compile` (cep/nfa.h) validates
+// step structure and variable introduction and resolves location specs
+// against a ReaderRegistry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace spire {
+
+class ReaderRegistry;
+
+namespace cep {
+
+/// Predicate kind, evaluated per (binding, epoch).
+enum class PredKind : std::uint8_t { kAt, kIn, kContains, kMissing };
+
+const char* ToString(PredKind kind);
+
+struct Predicate {
+  PredKind kind = PredKind::kAt;
+  std::string var;       ///< Subject variable.
+  std::string var2;      ///< Second variable (kIn / kContains).
+  std::string loc_spec;  ///< kAt: name, `prefix*` glob, or decimal id.
+
+  bool operator==(const Predicate&) const = default;
+};
+
+struct Step {
+  bool negated = false;
+  Predicate pred;
+  /// Time window in epochs bounding this step's distance to the previous
+  /// positive step (for trailing negations: the guarded span). 0 = none.
+  Epoch within = 0;
+
+  bool operator==(const Step&) const = default;
+};
+
+/// A parsed pattern. Structural validity (first step positive, windows on
+/// trailing negations, variable introduction order) is checked by Compile.
+struct Pattern {
+  std::string name = "pattern";
+  std::vector<Step> steps;
+
+  /// Renders the pattern in the grammar above; parses back equal.
+  std::string ToString() const;
+
+  bool operator==(const Pattern& other) const { return steps == other.steps; }
+};
+
+/// Parses one pattern expression. `name` labels matches and errors.
+Result<Pattern> ParsePattern(const std::string& text,
+                             const std::string& name = "pattern");
+
+/// Expands a location spec: an exact registered name, a `prefix*` glob
+/// (all registered names with the prefix), or a decimal location id (the
+/// only form usable with a null registry). Unknown names and globs that
+/// match nothing are errors.
+Result<std::vector<LocationId>> ResolveLocationSpec(
+    const std::string& spec, const ReaderRegistry* registry);
+
+}  // namespace cep
+}  // namespace spire

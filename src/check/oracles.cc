@@ -5,11 +5,15 @@
 #include <sstream>
 #include <tuple>
 
+#include "cep/compressed_log.h"
+#include "cep/library.h"
+#include "cep/nfa.h"
 #include "compress/decompress.h"
 #include "compress/fold.h"
 #include "compress/serde.h"
 #include "compress/well_formed.h"
 #include "obs/explain.h"
+#include "query/event_log.h"
 #include "store/archive_reader.h"
 #include "store/archive_writer.h"
 #include "store/segment.h"
@@ -318,6 +322,42 @@ std::optional<OracleFailure> DifferentialChecker::CheckExplainConsistency(
   return std::nullopt;
 }
 
+std::optional<OracleFailure> DifferentialChecker::CheckPatternEquivalence(
+    const ReaderRegistry& registry, const EventStream& level1,
+    const EventStream& level2) {
+  auto fail = [](const std::string& detail) {
+    return OracleFailure{"pattern_equivalence", detail};
+  };
+  auto naive_log = EventLog::Build(level1);
+  if (!naive_log.ok()) {
+    return fail("level1 EventLog: " + naive_log.status().ToString());
+  }
+  auto compressed_log = cep::CompressedLog::Build(level2);
+  if (!compressed_log.ok()) {
+    return fail("level2 CompressedLog: " + compressed_log.status().ToString());
+  }
+  // Both evaluators must agree under identical bounds; take them from the
+  // level-1 view (the decompressed ground truth).
+  const cep::EvalBounds bounds = cep::BoundsOf(naive_log.value());
+  for (const cep::Pattern& pattern : cep::BuiltinLibrary()) {
+    auto compiled = cep::Compile(pattern, &registry);
+    if (!compiled.ok()) {
+      // Library names that this deployment does not register (possible for
+      // shrunken layouts) make the pattern vacuous, not a failure.
+      continue;
+    }
+    const std::vector<cep::Match> naive =
+        cep::EvaluateNaive(compiled.value(), naive_log.value(), bounds);
+    const std::vector<cep::Match> interval = cep::EvaluateCompressed(
+        compiled.value(), &compressed_log.value(), bounds);
+    const std::string diff =
+        cep::DiffMatchSets(interval, naive, "interval(level2)",
+                           "naive(level1)");
+    if (!diff.empty()) return fail(pattern.name + ": " + diff);
+  }
+  return std::nullopt;
+}
+
 std::optional<OracleFailure> DifferentialChecker::Check(
     const FuzzCase& fuzz_case, CheckStats* stats) const {
   auto trace = GenerateTrace(fuzz_case);
@@ -342,6 +382,10 @@ std::optional<OracleFailure> DifferentialChecker::Check(
     return failure;
   }
   if (stats != nullptr) stats->traces_run += 1;
+  if (auto failure = CheckPatternEquivalence(trace.value().registry, level1,
+                                             level2)) {
+    return failure;
+  }
 
   // Determinism: the whole path — simulator, dedup, inference, compression —
   // must reproduce bit-identically from the same case.

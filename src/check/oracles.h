@@ -1,6 +1,6 @@
 // The oracle battery of the differential checking harness.
 //
-// Every FuzzCase is expanded into a trace and judged by seven oracles:
+// Every FuzzCase is expanded into a trace and judged by eight oracles:
 //
 //   (a) well_formed        both pipeline outputs pass ValidateWellFormed.
 //   (b) level2_recovery    Decompress(level-2 output) is event-for-event
@@ -27,6 +27,11 @@
 //                          fields, sane stage/posteriors), and every
 //                          level-2 suppression names a covering containment
 //                          that is actually open at that epoch.
+//   (h) pattern_equivalence for every built-in CEP pattern (src/cep), the
+//                          interval evaluator run directly on the level-2
+//                          stream detects exactly the same (binding,
+//                          completion) match set as the naive per-epoch
+//                          evaluator over the decompressed level-1 view.
 //
 // A failure names the oracle and carries a human-readable diff/detail, so a
 // minimized repro file is actionable on its own.
@@ -87,7 +92,7 @@ class DifferentialChecker {
  public:
   explicit DifferentialChecker(CheckOptions options = {});
 
-  /// Expands the case and applies all seven oracles; std::nullopt means all
+  /// Expands the case and applies all eight oracles; std::nullopt means all
   /// green. `stats`, when non-null, accumulates pipeline-run counts.
   std::optional<OracleFailure> Check(const FuzzCase& fuzz_case,
                                      CheckStats* stats = nullptr) const;
@@ -103,6 +108,13 @@ class DifferentialChecker {
       const RecordedTrace& trace, const EventStream& level2);
   static std::optional<OracleFailure> CheckLevel2Recovery(
       const EventStream& level1, const EventStream& level2);
+  /// Evaluates every library pattern both ways — interval NFA on the
+  /// compressed `level2`, naive per-epoch NFA on the decompressed `level1`
+  /// — and requires identical match sets. `registry` resolves the
+  /// patterns' location names for this trace.
+  static std::optional<OracleFailure> CheckPatternEquivalence(
+      const ReaderRegistry& registry, const EventStream& level1,
+      const EventStream& level2);
   /// Re-runs the trace with delta-driven inference disabled (and under
   /// InferenceMode::kAlwaysComplete both ways) and requires bit-identical
   /// output. `level1` / `level2` are the default (incremental) runs.

@@ -30,6 +30,28 @@ std::string ExplainLog::ToJsonLine(const SuppressionRecord& record) {
   return out.str();
 }
 
+std::string ExplainLog::ToJsonLine(const MatchRecord& record) {
+  std::ostringstream out;
+  out << "{\"kind\":\"match\",\"pattern\":\"" << record.pattern
+      << "\",\"binding\":{";
+  for (std::size_t i = 0; i < record.binding.size(); ++i) {
+    const std::string var = i < record.variables.size()
+                                ? record.variables[i]
+                                : "v" + std::to_string(i);
+    out << (i > 0 ? "," : "") << "\"" << var << "\":" << record.binding[i];
+  }
+  out << "},\"step_epochs\":[";
+  for (std::size_t i = 0; i < record.step_epochs.size(); ++i) {
+    out << (i > 0 ? "," : "") << record.step_epochs[i];
+  }
+  out << "],\"completion\":" << record.completion << ",\"event_ids\":[";
+  for (std::size_t i = 0; i < record.event_ids.size(); ++i) {
+    out << (i > 0 ? "," : "") << record.event_ids[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
 Status ExplainLog::WriteJsonl(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot open for writing: " + path);
@@ -37,6 +59,9 @@ Status ExplainLog::WriteJsonl(const std::string& path) const {
     out << ToJsonLine(record) << "\n";
   }
   for (const SuppressionRecord& record : suppressions_) {
+    out << ToJsonLine(record) << "\n";
+  }
+  for (const MatchRecord& record : matches_) {
     out << ToJsonLine(record) << "\n";
   }
   if (!out.good()) return Status::Internal("write failed: " + path);

@@ -60,6 +60,19 @@ struct SuppressionRecord {
   std::string reason;  ///< "contained" for level-2 derivation.
 };
 
+/// One complex-event pattern detection (src/cep): which binding matched,
+/// the witness epoch per positive step, and the ids of the compressed
+/// stream events that support the match (so `spire_cli explain` can chain
+/// a detection back to its provenance records).
+struct MatchRecord {
+  std::string pattern;
+  std::vector<std::string> variables;  ///< Pattern variables, in order.
+  std::vector<ObjectId> binding;       ///< Parallel to `variables`.
+  std::vector<Epoch> step_epochs;      ///< One per positive step.
+  Epoch completion = kNeverEpoch;
+  std::vector<std::uint64_t> event_ids;  ///< Supporting event ids.
+};
+
 /// Collects provenance for one pipeline. Not thread-safe: each pipeline is
 /// single-threaded and owns (at most) one log.
 class ExplainLog {
@@ -72,29 +85,37 @@ class ExplainLog {
     suppressions_.push_back(
         {object, epoch, covering_container, std::move(reason)});
   }
+  void RecordMatch(MatchRecord record) {
+    matches_.push_back(std::move(record));
+  }
 
   const std::vector<EventProvenance>& events() const { return events_; }
   const std::vector<SuppressionRecord>& suppressions() const {
     return suppressions_;
   }
+  const std::vector<MatchRecord>& matches() const { return matches_; }
 
   void Clear() {
     events_.clear();
     suppressions_.clear();
+    matches_.clear();
   }
 
   /// Writes the log as JSON lines: one {"kind":"event",...} object per
-  /// provenance record and one {"kind":"suppressed",...} per suppression,
-  /// events first. `spire_cli explain` scans this file by id.
+  /// provenance record, one {"kind":"suppressed",...} per suppression, and
+  /// one {"kind":"match",...} per pattern detection, in that order.
+  /// `spire_cli explain` scans this file by id.
   Status WriteJsonl(const std::string& path) const;
 
   /// One provenance record rendered as its JSONL line (tests + CLI).
   static std::string ToJsonLine(const EventProvenance& record);
   static std::string ToJsonLine(const SuppressionRecord& record);
+  static std::string ToJsonLine(const MatchRecord& record);
 
  private:
   std::vector<EventProvenance> events_;
   std::vector<SuppressionRecord> suppressions_;
+  std::vector<MatchRecord> matches_;
 };
 
 }  // namespace spire::obs

@@ -186,4 +186,62 @@ const std::vector<Stay>& EventLog::ContainmentsOf(ObjectId object) const {
   return it == containments_.end() ? EmptyStays() : it->second;
 }
 
+namespace {
+
+void SortUnique(std::vector<ObjectId>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+}  // namespace
+
+std::vector<ObjectId> EventLog::Objects() const {
+  std::vector<ObjectId> out;
+  for (const auto& [object, stays] : locations_) out.push_back(object);
+  for (const auto& [object, stays] : containments_) out.push_back(object);
+  for (const MissingReport& report : missing_) out.push_back(report.object);
+  SortUnique(&out);
+  return out;
+}
+
+std::vector<ObjectId> EventLog::ObjectsEverAt(LocationId location) const {
+  std::vector<ObjectId> out;
+  auto it = by_location_.find(location);
+  if (it != by_location_.end()) {
+    for (const auto& [stay, object] : it->second) out.push_back(object);
+  }
+  SortUnique(&out);
+  return out;
+}
+
+std::vector<std::pair<ObjectId, ObjectId>> EventLog::ContainmentPairs()
+    const {
+  std::vector<std::pair<ObjectId, ObjectId>> out;
+  for (const auto& [child, stays] : containments_) {
+    for (const Stay& stay : stays) out.emplace_back(child, stay.container);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ObjectId> EventLog::EverContainersOf(ObjectId object) const {
+  std::vector<ObjectId> out;
+  for (const Stay& stay : ContainmentsOf(object)) {
+    out.push_back(stay.container);
+  }
+  SortUnique(&out);
+  return out;
+}
+
+std::vector<ObjectId> EventLog::EverContentsOf(ObjectId container) const {
+  std::vector<ObjectId> out;
+  auto it = by_container_.find(container);
+  if (it != by_container_.end()) {
+    for (const auto& [stay, object] : it->second) out.push_back(object);
+  }
+  SortUnique(&out);
+  return out;
+}
+
 }  // namespace spire

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -97,6 +98,22 @@ class EventLog {
   const std::vector<MissingReport>& MissingReports() const {
     return missing_;
   }
+
+  // --- Candidate indexes (pattern binding enumeration, src/cep) -----------
+
+  /// Every object with any stay or report, ascending.
+  std::vector<ObjectId> Objects() const;
+
+  /// Objects with at least one stay at `location`, ascending.
+  std::vector<ObjectId> ObjectsEverAt(LocationId location) const;
+
+  /// Distinct (child, container) pairs over all containment stays,
+  /// ascending.
+  std::vector<std::pair<ObjectId, ObjectId>> ContainmentPairs() const;
+
+  /// Distinct ever-containers of `object` / ever-contents of `container`.
+  std::vector<ObjectId> EverContainersOf(ObjectId object) const;
+  std::vector<ObjectId> EverContentsOf(ObjectId container) const;
 
   // --- Metadata -----------------------------------------------------------
 

@@ -1,0 +1,426 @@
+// Tests for the complex-event pattern subsystem (src/cep): parser
+// round-trips and rejections, Compile's structural validation and NFA
+// layout, negation-window edge cases on hand-built streams (both
+// evaluators must agree everywhere), the built-in scenario library, and
+// explain provenance on a simulated level-2 trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cep/compressed_log.h"
+#include "cep/library.h"
+#include "cep/nfa.h"
+#include "cep/pattern.h"
+#include "common/epc.h"
+#include "obs/explain.h"
+#include "query/event_log.h"
+#include "sim/simulator.h"
+#include "spire/pipeline.h"
+
+namespace spire {
+namespace {
+
+ObjectId Obj(PackagingLevel level, std::uint32_t serial) {
+  EpcFields fields;
+  fields.level = level;
+  fields.serial = serial;
+  return EncodeEpcUnchecked(fields);
+}
+
+const ObjectId kX = Obj(PackagingLevel::kItem, 1);
+const ObjectId kY = Obj(PackagingLevel::kItem, 2);
+const ObjectId kCase = Obj(PackagingLevel::kCase, 3);
+const ObjectId kPallet = Obj(PackagingLevel::kPallet, 4);
+
+/// Parses + compiles (null registry: numeric locations only), runs both
+/// evaluators over the stream, asserts they agree, returns the matches.
+std::vector<cep::Match> RunBoth(const std::string& text,
+                                const EventStream& stream) {
+  auto pattern = cep::ParsePattern(text);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  if (!pattern.ok()) return {};
+  auto compiled = cep::Compile(pattern.value(), nullptr);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  if (!compiled.ok()) return {};
+  auto naive_log = EventLog::Build(stream, /*decompress=*/true);
+  auto interval_log = cep::CompressedLog::Build(stream);
+  EXPECT_TRUE(naive_log.ok() && interval_log.ok());
+  if (!naive_log.ok() || !interval_log.ok()) return {};
+  const cep::EvalBounds bounds = cep::BoundsOf(stream);
+  auto interval =
+      cep::EvaluateCompressed(compiled.value(), &interval_log.value(), bounds);
+  auto naive = cep::EvaluateNaive(compiled.value(), naive_log.value(), bounds);
+  EXPECT_EQ(cep::DiffMatchSets(interval, naive, "interval", "naive"), "")
+      << text;
+  return interval;
+}
+
+std::vector<Epoch> Completions(const std::vector<cep::Match>& matches) {
+  std::vector<Epoch> out;
+  for (const cep::Match& match : matches) out.push_back(match.completion);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- Parser ----------------------------------------------------------------
+
+TEST(CepParser, RoundTripsTheGrammar) {
+  const std::vector<std::string> expressions = {
+      "Missing(x)",
+      "At(x, 4)",
+      "SEQ(At(x, entry_door), !At(x, receiving_belt) WITHIN 50, "
+      "At(x, exit_door))",
+      "SEQ(Contains(p, c), At(p, exit_door), !At(c, exit_door) WITHIN 60)",
+      "SEQ(At(x, shelf_*), Missing(x) WITHIN 150, At(x, shelf_*) WITHIN 150, "
+      "Missing(x) WITHIN 150)",
+      "SEQ(In(c, p), !Missing(c) WITHIN 10, At(c, 7))",
+  };
+  for (const std::string& text : expressions) {
+    auto parsed = cep::ParsePattern(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    auto reparsed = cep::ParsePattern(parsed.value().ToString());
+    ASSERT_TRUE(reparsed.ok()) << parsed.value().ToString();
+    EXPECT_EQ(parsed.value(), reparsed.value()) << text;
+  }
+}
+
+TEST(CepParser, ParsesStepStructure) {
+  auto parsed = cep::ParsePattern(
+      "SEQ(At(x, entry_door), !At(x, receiving_belt) WITHIN 50, "
+      "At(x, exit_door))");
+  ASSERT_TRUE(parsed.ok());
+  const cep::Pattern& pattern = parsed.value();
+  ASSERT_EQ(pattern.steps.size(), 3u);
+  EXPECT_FALSE(pattern.steps[0].negated);
+  EXPECT_EQ(pattern.steps[0].pred.kind, cep::PredKind::kAt);
+  EXPECT_EQ(pattern.steps[0].pred.var, "x");
+  EXPECT_EQ(pattern.steps[0].pred.loc_spec, "entry_door");
+  EXPECT_EQ(pattern.steps[0].within, 0);
+  EXPECT_TRUE(pattern.steps[1].negated);
+  EXPECT_EQ(pattern.steps[1].within, 50);
+  EXPECT_FALSE(pattern.steps[2].negated);
+}
+
+TEST(CepParser, RejectsMalformedInput) {
+  const std::vector<std::string> bad = {
+      "",
+      "SEQ()",
+      "At(x)",
+      "At(x, 4) trailing",
+      "SEQ(At(x, 4),",
+      "Near(x, 4)",
+      "At(x, 4) WITHIN 0",
+      "!At(x, 4) WITHIN",
+      "SEQ(At(x, 4) At(x, 5))",
+  };
+  for (const std::string& text : bad) {
+    EXPECT_FALSE(cep::ParsePattern(text).ok()) << text;
+  }
+}
+
+// --- Compile ---------------------------------------------------------------
+
+Result<cep::CompiledPattern> CompileText(const std::string& text) {
+  auto parsed = cep::ParsePattern(text);
+  if (!parsed.ok()) return parsed.status();
+  return cep::Compile(parsed.value(), nullptr);
+}
+
+TEST(CepCompile, RejectsInvalidStructure) {
+  const std::vector<std::string> bad = {
+      "!Missing(x) WITHIN 5",                                // First negative.
+      "At(x, 4) WITHIN 5",                                   // Window on p_1.
+      "SEQ(At(x, 4), !Missing(x) WITHIN 5, !At(x, 5) WITHIN 5, At(x, 6))",
+      "SEQ(At(x, 4), !Missing(x))",        // Trailing negation needs WITHIN.
+      "SEQ(At(x, 4), At(y, 5))",           // New variable in a later At.
+      "SEQ(At(x, 4), !In(y, x) WITHIN 3, At(x, 5))",  // New var in negation.
+      "At(x, dock_door)",                  // Name needs a registry.
+  };
+  for (const std::string& text : bad) {
+    EXPECT_FALSE(CompileText(text).ok()) << text;
+  }
+}
+
+TEST(CepCompile, LaysOutGuardsAndWindows) {
+  auto compiled =
+      CompileText("SEQ(At(x, 4), !At(x, 5) WITHIN 7, Missing(x) WITHIN 9)");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const cep::CompiledPattern& pattern = compiled.value();
+  EXPECT_EQ(pattern.vars, std::vector<std::string>{"x"});
+  EXPECT_EQ(pattern.positive, (std::vector<int>{0, 2}));
+  EXPECT_EQ(pattern.guard, (std::vector<int>{-1, 1}));
+  EXPECT_EQ(pattern.trailing_guard, -1);
+  // The tighter of the step's own WITHIN (9) and its guard's (7).
+  EXPECT_EQ(pattern.WindowInto(1), 7);
+
+  auto trailing = CompileText("SEQ(At(x, 4), !Missing(x) WITHIN 6)");
+  ASSERT_TRUE(trailing.ok());
+  EXPECT_EQ(trailing.value().positive, std::vector<int>{0});
+  EXPECT_EQ(trailing.value().trailing_guard, 1);
+
+  // New variables may enter later steps through In/Contains on a bound one.
+  auto chained = CompileText("SEQ(In(c, p), Contains(p, q))");
+  ASSERT_TRUE(chained.ok()) << chained.status().ToString();
+  EXPECT_EQ(chained.value().vars, (std::vector<std::string>{"c", "p", "q"}));
+}
+
+// --- Evaluation edge cases -------------------------------------------------
+
+TEST(CepEval, WindowBoundaryIsInclusive) {
+  // Second stay starts exactly at the window bound: t_2 - t_1 == 10 <= 10.
+  EventStream at_bound = {
+      Event::StartLocation(kX, 4, 0),
+      Event::EndLocation(kX, 4, 0, 10),
+      Event::StartLocation(kX, 5, 10),
+      Event::EndLocation(kX, 5, 10, 20),
+  };
+  auto matches = RunBoth("SEQ(At(x, 4), At(x, 5) WITHIN 10)", at_bound);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].step_epochs, (std::vector<Epoch>{0, 10}));
+  EXPECT_EQ(matches[0].completion, 10);
+
+  // One epoch later and the window can no longer be met.
+  EventStream past_bound = {
+      Event::StartLocation(kX, 4, 0),
+      Event::EndLocation(kX, 4, 0, 10),
+      Event::StartLocation(kX, 5, 11),
+      Event::EndLocation(kX, 5, 11, 20),
+  };
+  EXPECT_TRUE(RunBoth("SEQ(At(x, 4), At(x, 5) WITHIN 10)", past_bound).empty());
+}
+
+TEST(CepEval, BetweenNegationForbidsStrictlyBetween) {
+  // x passes through location 7 between 4 and 5: the guard kills the run.
+  EventStream via7 = {
+      Event::StartLocation(kX, 4, 0),  Event::EndLocation(kX, 4, 0, 3),
+      Event::StartLocation(kX, 7, 3),  Event::EndLocation(kX, 7, 3, 5),
+      Event::StartLocation(kX, 5, 5),  Event::EndLocation(kX, 5, 5, 9),
+  };
+  const std::string pattern = "SEQ(At(x, 4), !At(x, 7) WITHIN 10, At(x, 5))";
+  EXPECT_TRUE(RunBoth(pattern, via7).empty());
+
+  // Same chain without touching 7: the guard is satisfied.
+  EventStream direct = {
+      Event::StartLocation(kX, 4, 0), Event::EndLocation(kX, 4, 0, 3),
+      Event::StartLocation(kX, 5, 5), Event::EndLocation(kX, 5, 5, 9),
+  };
+  auto matches = RunBoth(pattern, direct);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].completion, 5);
+}
+
+TEST(CepEval, TrailingNegationWindowBoundaries) {
+  const std::string pattern = "SEQ(At(x, 4), !Missing(x) WITHIN 5)";
+  // The absence span (0, 5] fits exactly: hi == t_k + w. Completes at 5.
+  EventStream fits = {
+      Event::StartLocation(kX, 4, 0), Event::EndLocation(kX, 4, 0, 1),
+      Event::StartLocation(kY, 9, 0), Event::EndLocation(kY, 9, 0, 5),
+  };
+  auto matches = RunBoth(pattern, fits);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].step_epochs, std::vector<Epoch>{0});
+  EXPECT_EQ(matches[0].completion, 5);
+
+  // One epoch shorter and the absence is not fully observed: no match.
+  EventStream short_tail = {
+      Event::StartLocation(kX, 4, 0), Event::EndLocation(kX, 4, 0, 1),
+      Event::StartLocation(kY, 9, 0), Event::EndLocation(kY, 9, 0, 4),
+  };
+  EXPECT_TRUE(RunBoth(pattern, short_tail).empty());
+
+  // A Missing report exactly at t_k + w lands inside (t_k, t_k + w]: killed.
+  EventStream missing_at_bound = {
+      Event::StartLocation(kX, 4, 0), Event::EndLocation(kX, 4, 0, 1),
+      Event::Missing(kX, 4, 5),
+      Event::StartLocation(kY, 9, 0), Event::EndLocation(kY, 9, 0, 10),
+  };
+  EXPECT_TRUE(RunBoth(pattern, missing_at_bound).empty());
+
+  // One epoch past the window and the match completes untouched.
+  EventStream missing_after = {
+      Event::StartLocation(kX, 4, 0), Event::EndLocation(kX, 4, 0, 1),
+      Event::Missing(kX, 4, 6),
+      Event::StartLocation(kY, 9, 0), Event::EndLocation(kY, 9, 0, 10),
+  };
+  matches = RunBoth(pattern, missing_after);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].completion, 5);
+}
+
+TEST(CepEval, OpenTrailingIntervals) {
+  // x's final stay never closes; it extends to the stream's horizon.
+  EventStream open_stay = {
+      Event::StartLocation(kY, 9, 0), Event::EndLocation(kY, 9, 0, 20),
+      Event::StartLocation(kX, 4, 5),
+  };
+  auto matches = RunBoth("At(x, 4)", open_stay);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].completion, 5);
+
+  // Trailing negation observed over the open tail: completes at t_k + w.
+  matches = RunBoth("SEQ(At(x, 4), !At(x, 9) WITHIN 6)", open_stay);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].completion, 11);
+
+  // An open Missing report behaves the same way.
+  EventStream open_missing = {
+      Event::StartLocation(kY, 9, 0), Event::EndLocation(kY, 9, 0, 20),
+      Event::StartLocation(kX, 4, 0), Event::EndLocation(kX, 4, 0, 3),
+      Event::Missing(kX, 4, 3),
+  };
+  matches = RunBoth("Missing(x)", open_missing);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].completion, 3);
+}
+
+TEST(CepEval, SkipTillNextMatchDetectsEachOnset) {
+  EventStream two_runs = {
+      Event::StartLocation(kX, 4, 0),  Event::EndLocation(kX, 4, 0, 5),
+      Event::StartLocation(kX, 4, 8),  Event::EndLocation(kX, 4, 8, 12),
+  };
+  EXPECT_EQ(Completions(RunBoth("At(x, 4)", two_runs)),
+            (std::vector<Epoch>{0, 8}));
+}
+
+TEST(CepEval, ContainmentBindingOrderAndMatch) {
+  EventStream stream = {
+      Event::StartContainment(kCase, kPallet, 2),
+      Event::StartLocation(kPallet, 9, 4),
+      Event::EndContainment(kCase, kPallet, 2, 6),
+      Event::EndLocation(kPallet, 9, 4, 10),
+  };
+  auto matches = RunBoth("SEQ(Contains(p, c), At(p, 9))", stream);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].binding, (std::vector<ObjectId>{kPallet, kCase}));
+  EXPECT_EQ(matches[0].step_epochs, (std::vector<Epoch>{2, 4}));
+}
+
+// --- Library + provenance on a simulated trace -----------------------------
+
+class CepLibraryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimConfig config;
+    config.duration_epochs = 1200;
+    config.pallet_interval = 240;
+    config.min_cases_per_pallet = 3;
+    config.max_cases_per_pallet = 3;
+    config.items_per_case = 4;
+    config.read_rate = 0.9;
+    config.shelf_period = 30;
+    config.mean_shelf_stay = 400;
+    config.theft_interval = 300;
+    auto sim = WarehouseSimulator::Create(config);
+    ASSERT_TRUE(sim.ok());
+    sim_ = sim.value().release();
+    PipelineOptions options;
+    options.level = CompressionLevel::kLevel2;
+    SpirePipeline pipeline(&sim_->registry(), options);
+    stream_ = new EventStream;
+    while (!sim_->Done()) {
+      EpochReadings readings = sim_->Step();
+      pipeline.ProcessEpoch(sim_->current_epoch(), std::move(readings),
+                            stream_);
+    }
+    pipeline.Finish(sim_->current_epoch() + 1, stream_);
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    delete stream_;
+    sim_ = nullptr;
+    stream_ = nullptr;
+  }
+  static WarehouseSimulator* sim_;
+  static EventStream* stream_;
+};
+
+WarehouseSimulator* CepLibraryTest::sim_ = nullptr;
+EventStream* CepLibraryTest::stream_ = nullptr;
+
+TEST_F(CepLibraryTest, AllLibraryPatternsParseAndCompile) {
+  const std::vector<cep::Pattern>& library = cep::BuiltinLibrary();
+  ASSERT_EQ(library.size(), 8u);
+  std::set<std::string> names;
+  for (const cep::Pattern& pattern : library) {
+    EXPECT_TRUE(names.insert(pattern.name).second) << pattern.name;
+    auto compiled = cep::Compile(pattern, &sim_->registry());
+    EXPECT_TRUE(compiled.ok())
+        << pattern.name << ": " << compiled.status().ToString();
+    auto reparsed = cep::ParsePattern(pattern.ToString(), pattern.name);
+    ASSERT_TRUE(reparsed.ok()) << pattern.name;
+    EXPECT_EQ(reparsed.value(), pattern) << pattern.name;
+  }
+  EXPECT_TRUE(cep::LibraryPattern("theft").ok());
+  EXPECT_FALSE(cep::LibraryPattern("no_such_pattern").ok());
+}
+
+TEST_F(CepLibraryTest, ParsesPatternFiles) {
+  auto parsed = cep::ParsePatternFileLines(
+      "# comment\n"
+      "\n"
+      "gone = Missing(x)\n"
+      "stored = SEQ(At(x, 4), At(x, 5) WITHIN 9)\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].name, "gone");
+  EXPECT_EQ(parsed.value()[1].name, "stored");
+  EXPECT_FALSE(cep::ParsePatternFileLines("no equals sign\n").ok());
+  EXPECT_FALSE(cep::ParsePatternFileLines("= Missing(x)\n").ok());
+}
+
+TEST_F(CepLibraryTest, EvaluatorsAgreeWithProvenanceOnSimTrace) {
+  auto interval_log = cep::CompressedLog::Build(*stream_);
+  auto naive_log = EventLog::Build(*stream_, /*decompress=*/true);
+  ASSERT_TRUE(interval_log.ok() && naive_log.ok());
+  const cep::EvalBounds bounds = cep::BoundsOf(*stream_);
+  std::size_t patterns_with_matches = 0;
+  for (const cep::Pattern& pattern : cep::BuiltinLibrary()) {
+    auto compiled = cep::Compile(pattern, &sim_->registry());
+    ASSERT_TRUE(compiled.ok()) << pattern.name;
+    auto interval = cep::EvaluateCompressed(compiled.value(),
+                                            &interval_log.value(), bounds);
+    auto naive =
+        cep::EvaluateNaive(compiled.value(), naive_log.value(), bounds);
+    EXPECT_EQ(cep::DiffMatchSets(interval, naive, "interval", "naive"), "")
+        << pattern.name;
+    if (!interval.empty()) ++patterns_with_matches;
+    for (const cep::Match& match : interval) {
+      // Every detection carries provenance into the compressed stream: the
+      // witness chain and at least one supporting event per match.
+      EXPECT_EQ(match.step_epochs.size(), compiled.value().positive.size());
+      ASSERT_FALSE(match.event_ids.empty()) << pattern.name;
+      for (std::uint64_t id : match.event_ids) {
+        EXPECT_LT(id, stream_->size()) << pattern.name;
+      }
+      EXPECT_GE(match.completion, match.step_epochs.back()) << pattern.name;
+    }
+  }
+  // The healthy-flow confirmations and the theft detector all fire on a
+  // trace with thefts enabled.
+  EXPECT_GE(patterns_with_matches, 3u);
+}
+
+TEST_F(CepLibraryTest, MatchesFlowIntoTheExplainChannel) {
+  auto interval_log = cep::CompressedLog::Build(*stream_);
+  ASSERT_TRUE(interval_log.ok());
+  auto compiled = cep::Compile(cep::LibraryPattern("theft").value(),
+                               &sim_->registry());
+  ASSERT_TRUE(compiled.ok());
+  obs::ExplainLog explain;
+  for (const cep::Match& match : cep::EvaluateCompressed(
+           compiled.value(), &interval_log.value(), cep::BoundsOf(*stream_))) {
+    explain.RecordMatch({match.pattern, compiled.value().vars, match.binding,
+                         match.step_epochs, match.completion,
+                         match.event_ids});
+  }
+  ASSERT_FALSE(explain.matches().empty());
+  const std::string line = obs::ExplainLog::ToJsonLine(explain.matches()[0]);
+  EXPECT_NE(line.find("\"kind\":\"match\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"pattern\":\"theft\""), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace spire

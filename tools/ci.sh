@@ -12,7 +12,9 @@
 # (DESIGN.md §9): a fuzz-seed `spire_cli run` with tracing + explain on,
 # artifact validation via `spire_cli obscheck`, byte-identity of
 # instrumented vs uninstrumented output, and the expt11_obs
-# disabled-overhead bench (reported, not gated).
+# disabled-overhead bench (reported, not gated). A CEP smoke step
+# (DESIGN.md §11) then cross-checks the pattern library's two evaluators
+# over a fuzz-seed trace and an archive replay via `spire_cli detect`.
 #
 #   tools/ci.sh            # all three configurations
 #   tools/ci.sh plain      # plain only
@@ -80,6 +82,25 @@ run_obs_smoke() {
   rm -rf "$tmp"
 }
 
+# CEP detection smoke (DESIGN.md §11): the built-in pattern library over a
+# fuzz-seed trace with both evaluators cross-checked (eval=check exits
+# nonzero on any divergence or zero matches), the match explain channel
+# re-validated by obscheck, and a registry-free pattern detected over an
+# archive replay of the same seed.
+run_cep_smoke() {
+  local dir="$1" tmp
+  tmp="$(mktemp -d)"
+  echo "=== [cep] detect smoke (library + archive + explain) ==="
+  "$dir/tools/spire_cli" detect patterns=library seed=33 eval=check \
+    require_matches=true explain_out="$tmp/matches.spexp"
+  "$dir/tools/spire_cli" obscheck explain="$tmp/matches.spexp"
+  "$dir/tools/spire_cli" run seed=33 out="$tmp/run.spev" \
+    archive_out="$tmp/run.sparc" > /dev/null
+  "$dir/tools/spire_cli" detect 'pattern=Missing(x)' \
+    archive="$tmp/run.sparc" eval=check require_matches=true
+  rm -rf "$tmp"
+}
+
 # Incremental-inference bench: a quick expt12 run (byte-identity of
 # delta-driven vs full recomputation is checked inside the binary, so a
 # divergence fails hard) compared against the committed
@@ -96,6 +117,13 @@ run_bench_compare() {
     tools/bench_compare.py BENCH_incremental.json \
       "$tmp/BENCH_incremental.json" || true
   fi
+  echo "=== [bench] expt13 cep (match identity + soft compare) ==="
+  # Match-set identity and the 2x interval-vs-naive floor are asserted
+  # inside the binary; the wall-clock comparison stays soft.
+  SPIRE_BENCH_DIR="$tmp" "$dir/bench/expt13_cep" | tail -n +4
+  if [ -f BENCH_cep.json ]; then
+    tools/bench_compare.py BENCH_cep.json "$tmp/BENCH_cep.json" || true
+  fi
   rm -rf "$tmp"
 }
 
@@ -103,6 +131,7 @@ case "$mode" in
   plain)
     run_config plain build
     run_obs_smoke build
+    run_cep_smoke build
     run_bench_compare build
     ;;
   sanitize) run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON ;;
@@ -110,6 +139,7 @@ case "$mode" in
   all)
     run_config plain build
     run_obs_smoke build
+    run_cep_smoke build
     run_bench_compare build
     run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON
     run_tsan

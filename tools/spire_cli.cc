@@ -27,6 +27,12 @@
 //   spire_cli explain    <event-id> in=run.spexp
 //   spire_cli obscheck   [trace=trace.json] [metrics=metrics.json]
 //                        [explain=run.spexp] [require=span1,span2,..]
+//   spire_cli detect     pattern=<expr> | patterns=library|<file>
+//                        seed=S | in=trace.sptr deployment=dep.txt |
+//                        in=events.spev [deployment=dep.txt] |
+//                        archive=events.sparc [from=<t>] [to=<t>]
+//                        [eval=interval|naive|check] [print=N]
+//                        [explain_out=matches.spexp] [require_matches=true]
 //
 // `serve` runs the concurrent sharded serving layer (src/serve): one SPIRE
 // pipeline per site on N worker shards with an ordered merge. Sites come
@@ -58,6 +64,10 @@
 #include <string>
 #include <vector>
 
+#include "cep/compressed_log.h"
+#include "cep/library.h"
+#include "cep/nfa.h"
+#include "cep/pattern.h"
 #include "check/trace_gen.h"
 #include "common/config.h"
 #include "compress/decompress.h"
@@ -908,7 +918,7 @@ int RunObscheck(const Config& args) {
   if (!explain_path.empty()) {
     auto lines = LoadLines(explain_path);
     if (!lines.ok()) return Fail(lines.status());
-    std::size_t events = 0, suppressions = 0;
+    std::size_t events = 0, suppressions = 0, matches = 0;
     for (const std::string& line : lines.value()) {
       if (line.empty()) continue;
       auto parsed = obs::ParseJson(line);
@@ -921,12 +931,201 @@ int RunObscheck(const Config& args) {
         ++events;
       } else if (kind->text == "suppressed") {
         ++suppressions;
+      } else if (kind->text == "match") {
+        const obs::JsonValue* pattern = parsed.value().Find("pattern");
+        const obs::JsonValue* ids = parsed.value().Find("event_ids");
+        if (pattern == nullptr ||
+            pattern->type != obs::JsonValue::Type::kString || ids == nullptr ||
+            ids->type != obs::JsonValue::Type::kArray) {
+          return FailText(explain_path + ": malformed match record");
+        }
+        ++matches;
       } else {
         return FailText(explain_path + ": unknown kind '" + kind->text + "'");
       }
     }
-    std::printf("explain ok: %s (%zu events, %zu suppressions)\n",
-                explain_path.c_str(), events, suppressions);
+    std::printf("explain ok: %s (%zu events, %zu suppressions, %zu matches)\n",
+                explain_path.c_str(), events, suppressions, matches);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- detect
+
+Result<std::vector<cep::Pattern>> DetectPatterns(const Config& args) {
+  const auto expr = args.GetString("pattern", "").value_or("");
+  const auto file = args.GetString("patterns", "").value_or("");
+  if (expr.empty() == file.empty()) {
+    return Status::InvalidArgument(
+        "detect needs exactly one of pattern=<expr> or "
+        "patterns=library|<file>");
+  }
+  if (!expr.empty()) {
+    auto parsed = cep::ParsePattern(expr, "pattern");
+    if (!parsed.ok()) return parsed.status();
+    return std::vector<cep::Pattern>{std::move(parsed).value()};
+  }
+  if (file == "library") return cep::BuiltinLibrary();
+  auto text = ReadWholeFile(file);
+  if (!text.ok()) return text.status();
+  return cep::ParsePatternFileLines(text.value());
+}
+
+/// The stream to detect over, its evaluation bounds, and (when a
+/// deployment or generated trace supplies one) the registry resolving the
+/// patterns' location names.
+struct DetectInput {
+  EventStream events;
+  std::optional<ReaderRegistry> registry;
+  cep::EvalBounds bounds;
+  std::string source;
+};
+
+Result<DetectInput> BuildDetectInput(const Config& args) {
+  DetectInput input;
+  const auto seed = args.GetInt("seed", 0).value_or(0);
+  const auto in_path = args.GetString("in", "").value_or("");
+  const auto archive_path = args.GetString("archive", "").value_or("");
+  const bool run_pipeline =
+      seed > 0 || (!in_path.empty() && in_path.ends_with(".sptr"));
+
+  if (run_pipeline) {
+    auto workload = BuildRunWorkload(args);
+    if (!workload.ok()) return workload.status();
+    SpirePipeline pipeline(&workload.value().registry,
+                           PipelineOptionsFromArgs(args));
+    std::vector<EpochReadings>& epochs = workload.value().epochs;
+    for (std::size_t i = 0; i < epochs.size(); ++i) {
+      pipeline.ProcessEpoch(static_cast<Epoch>(i), std::move(epochs[i]),
+                            &input.events);
+    }
+    pipeline.Finish(static_cast<Epoch>(epochs.size()), &input.events);
+    input.registry = std::move(workload.value().registry);
+    input.source = seed > 0 ? "seed " + std::to_string(seed) : in_path;
+    input.bounds = cep::BoundsOf(input.events);
+    return input;
+  }
+
+  const auto deployment_path = args.GetString("deployment", "").value_or("");
+  if (!deployment_path.empty()) {
+    auto lines = LoadLines(deployment_path);
+    if (!lines.ok()) return lines.status();
+    auto registry = ParseDeployment(lines.value());
+    if (!registry.ok()) return registry.status();
+    input.registry = std::move(registry).value();
+  }
+
+  if (!archive_path.empty()) {
+    auto reader = ArchiveReader::Open(archive_path);
+    if (!reader.ok()) return reader.status();
+    const Epoch from = args.GetInt("from", 0).value_or(0);
+    const Epoch to =
+        args.GetInt("to", kInfiniteEpoch).value_or(kInfiniteEpoch);
+    Result<EventStream> scanned = (from != 0 || to != kInfiniteEpoch)
+                                      ? reader.value().ScanRange(from, to)
+                                      : reader.value().ScanAll();
+    if (!scanned.ok()) return scanned.status();
+    // Range restriction can orphan End messages; repair keeps the subset
+    // well-formed so it indexes like a live stream.
+    input.events = RepairRestrictedStream(scanned.value());
+    input.bounds = cep::BoundsOf(input.events);
+    input.bounds.lo = std::max(input.bounds.lo, from);
+    input.bounds.hi = std::min(input.bounds.hi, to);
+    input.source = archive_path;
+    return input;
+  }
+
+  if (in_path.empty()) {
+    return Status::InvalidArgument(
+        "detect needs seed=S, in=<trace.sptr> deployment=<file>, "
+        "in=<events.spev>, or archive=<events.sparc>");
+  }
+  auto events = ReadEventFile(in_path);
+  if (!events.ok()) return events.status();
+  input.events = std::move(events).value();
+  input.bounds = cep::BoundsOf(input.events);
+  input.source = in_path;
+  return input;
+}
+
+int RunDetect(const Config& args) {
+  auto patterns = DetectPatterns(args);
+  if (!patterns.ok()) return Fail(patterns.status());
+  auto input = BuildDetectInput(args);
+  if (!input.ok()) return Fail(input.status());
+  const ReaderRegistry* registry =
+      input.value().registry ? &*input.value().registry : nullptr;
+
+  const auto eval = args.GetString("eval", "interval").value_or("interval");
+  if (eval != "interval" && eval != "naive" && eval != "check") {
+    return FailText("eval must be interval, naive, or check");
+  }
+  const auto print_limit = args.GetInt("print", 5).value_or(5);
+
+  // The interval evaluator works on the compressed stream as-is; the naive
+  // reference needs the decompressed per-epoch view.
+  std::optional<cep::CompressedLog> compressed;
+  std::optional<EventLog> naive_log;
+  if (eval != "naive") {
+    auto built = cep::CompressedLog::Build(input.value().events);
+    if (!built.ok()) return Fail(built.status());
+    compressed = std::move(built).value();
+  }
+  if (eval != "interval") {
+    auto built = EventLog::Build(input.value().events, /*decompress=*/true);
+    if (!built.ok()) return Fail(built.status());
+    naive_log = std::move(built).value();
+  }
+
+  obs::ExplainLog explain;
+  std::size_t total = 0;
+  for (const cep::Pattern& pattern : patterns.value()) {
+    auto compiled = cep::Compile(pattern, registry);
+    if (!compiled.ok()) return Fail(compiled.status());
+    std::vector<cep::Match> matches;
+    if (eval != "naive") {
+      matches = cep::EvaluateCompressed(compiled.value(), &*compressed,
+                                        input.value().bounds);
+    }
+    if (eval != "interval") {
+      std::vector<cep::Match> naive = cep::EvaluateNaive(
+          compiled.value(), *naive_log, input.value().bounds);
+      if (eval == "naive") {
+        matches = std::move(naive);
+      } else {
+        const std::string diff =
+            cep::DiffMatchSets(matches, naive, "interval", "naive");
+        if (!diff.empty()) {
+          return FailText("evaluator divergence on '" + pattern.name +
+                          "': " + diff);
+        }
+      }
+    }
+    std::printf("%s: %zu match(es)\n", pattern.name.c_str(), matches.size());
+    for (std::size_t i = 0;
+         i < matches.size() && i < static_cast<std::size_t>(print_limit);
+         ++i) {
+      std::printf("  %s\n",
+                  cep::ToString(compiled.value(), matches[i]).c_str());
+    }
+    for (const cep::Match& match : matches) {
+      explain.RecordMatch({match.pattern, compiled.value().vars,
+                           match.binding, match.step_epochs, match.completion,
+                           match.event_ids});
+    }
+    total += matches.size();
+  }
+
+  const auto explain_out = args.GetString("explain_out", "").value_or("");
+  if (!explain_out.empty()) {
+    Status status = explain.WriteJsonl(explain_out);
+    if (!status.ok()) return Fail(status);
+  }
+  std::printf("total_matches=%zu over %s%s\n", total,
+              input.value().source.c_str(),
+              eval == "check" ? " (evaluators agree)" : "");
+  if (args.GetBool("require_matches", false).value_or(false) && total == 0) {
+    return FailText("require_matches=true but no pattern matched");
   }
   return 0;
 }
@@ -937,8 +1136,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s generate|process|decompress|validate|stats|query|"
-                 "archive|scan|compact|serve|run|statusz|explain|obscheck "
-                 "[key=value ...]\n",
+                 "archive|scan|compact|serve|run|statusz|explain|obscheck|"
+                 "detect [key=value ...]\n",
                  argv[0]);
     return 1;
   }
@@ -975,5 +1174,6 @@ int main(int argc, char** argv) {
   if (command == "statusz") return RunStatusz(args.value());
   if (command == "explain") return RunExplain(args.value());
   if (command == "obscheck") return RunObscheck(args.value());
+  if (command == "detect") return RunDetect(args.value());
   return FailText("unknown command: " + command);
 }
