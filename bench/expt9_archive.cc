@@ -1,32 +1,47 @@
 // Expt 9 (beyond the paper): the persistent block-compressed archive
-// (src/store) versus the flat 26-byte SPEV record file.
+// (src/store) versus the flat 26-byte SPEV record file, plus the format-v2
+// codec shootout.
 //
 // Reports, for a level-2 warehouse trace:
-//   - bytes per event and size relative to the flat encoding (target: the
-//     archive at most half the flat file);
-//   - write and full-scan throughput for both formats;
+//   - bytes per event and size relative to the flat encoding for both
+//     block codecs (target: the varint archive at most half the flat
+//     file);
+//   - write and full-scan throughput for the flat file and both codecs;
 //   - a 10%-of-epochs time-range scan: blocks decoded versus total blocks
 //     (the block directory must skip a proportional share) and the scan's
-//     event yield.
+//     event yield;
+//   - the epoch-column decode shootout: ScanEpochColumn over
+//     {varint, bitpack} x {buffered, mmap}. The bitpack codec skips the
+//     leading columns structurally (one width byte per 128-value
+//     miniblock) where varint must walk every byte, and the mmap path
+//     decodes zero-copy with once-per-reader payload validation; together
+//     they must beat the seed reader configuration (buffered varint) by
+//     >= kEpochSpeedupFloor x — asserted hard, and written to
+//     BENCH_archive.json for tools/bench_compare.py to track.
 //
 //   ./expt9_archive [full=true] [block_events=N] [key=value ...]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/wire.h"
 #include "compress/serde.h"
 #include "eval/table.h"
 #include "sim/simulator.h"
 #include "store/archive_reader.h"
 #include "store/archive_writer.h"
-#include "common/wire.h"
 
 using namespace spire;
 using namespace spire::bench;
 
 namespace {
+
+/// Hard floor on bitpack/varint epoch-column scan rate (mmap transport).
+constexpr double kEpochSpeedupFloor = 5.0;
 
 double Seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -61,6 +76,67 @@ void Check(const Status& status, const char* what) {
   }
 }
 
+/// One archive written with a specific codec: size + write/scan rates.
+struct CodecRun {
+  std::string path;
+  std::uint64_t bytes = 0;
+  double write_s = 0.0;
+  double scan_s = 0.0;
+  std::size_t blocks = 0;
+};
+
+CodecRun WriteAndScan(const std::string& path, BlockCodec codec,
+                      std::size_t block_events, const EventStream& events) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(IndexPathFor(path), ec);
+  ArchiveOptions options;
+  options.block_events = block_events;
+  options.codec = codec;
+
+  CodecRun run;
+  run.path = path;
+  auto t0 = std::chrono::steady_clock::now();
+  auto writer = ArchiveWriter::Open(path, options);
+  Check(writer.status(), "archive open");
+  Check(writer.value()->Append(events), "archive append");
+  Check(writer.value()->Close(), "archive close");
+  run.write_s = Seconds(t0);
+  run.bytes = writer.value()->segment_bytes();
+
+  auto reader = ArchiveReader::Open(path);
+  Check(reader.status(), "archive reader open");
+  run.blocks = reader.value().num_blocks();
+  t0 = std::chrono::steady_clock::now();
+  auto scanned = reader.value().ScanAll();
+  Check(scanned.status(), "archive scan");
+  run.scan_s = Seconds(t0);
+  if (scanned.value() != events) {
+    std::fprintf(stderr, "%s round trip mismatch\n", ToString(codec));
+    std::exit(1);
+  }
+  return run;
+}
+
+/// Best-of-`reps` ScanEpochColumn wall time; the decoded column must match
+/// `expect` on every rep (a fast-but-wrong decode is not a result).
+double BestEpochScanSeconds(const ArchiveReader& reader, int reps,
+                            const std::vector<Epoch>& expect) {
+  double best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto epochs = reader.ScanEpochColumn();
+    const double elapsed = Seconds(t0);
+    Check(epochs.status(), "epoch-column scan");
+    if (epochs.value() != expect) {
+      std::fprintf(stderr, "epoch-column scan diverged from full decode\n");
+      std::exit(1);
+    }
+    best = std::min(best, elapsed);
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,8 +145,7 @@ int main(int argc, char** argv) {
   SimConfig base = PaperOutputConfig(full);
   auto overridden = SimConfig::FromConfig(args, base);
   if (overridden.ok()) base = overridden.value();
-  ArchiveOptions archive_options;
-  archive_options.block_events = static_cast<std::size_t>(
+  const std::size_t block_events = static_cast<std::size_t>(
       args.GetInt("block_events", 4096).value_or(4096));
 
   PrintHeader("Expt 9: persistent archive vs flat event file",
@@ -83,11 +158,10 @@ int main(int argc, char** argv) {
 
   const std::string dir = std::filesystem::temp_directory_path().string();
   const std::string flat_path = dir + "/expt9_flat.spev";
-  const std::string archive_path = dir + "/expt9_archive.sparc";
+  const std::string varint_path = dir + "/expt9_varint.sparc";
+  const std::string bitpack_path = dir + "/expt9_bitpack.sparc";
   std::error_code ec;
   std::filesystem::remove(flat_path, ec);
-  std::filesystem::remove(archive_path, ec);
-  std::filesystem::remove(IndexPathFor(archive_path), ec);
 
   // --- Flat SPEV file -------------------------------------------------------
   auto t0 = std::chrono::steady_clock::now();
@@ -104,25 +178,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // --- Block-compressed archive --------------------------------------------
-  t0 = std::chrono::steady_clock::now();
-  auto writer = ArchiveWriter::Open(archive_path, archive_options);
-  Check(writer.status(), "archive open");
-  Check(writer.value()->Append(events), "archive append");
-  Check(writer.value()->Close(), "archive close");
-  const double archive_write_s = Seconds(t0);
-  const std::uint64_t archive_bytes = writer.value()->segment_bytes();
-
-  auto reader = ArchiveReader::Open(archive_path);
-  Check(reader.status(), "archive reader open");
-  t0 = std::chrono::steady_clock::now();
-  auto scanned = reader.value().ScanAll();
-  Check(scanned.status(), "archive scan");
-  const double archive_scan_s = Seconds(t0);
-  if (scanned.value() != events) {
-    std::fprintf(stderr, "archive round trip mismatch\n");
-    return 1;
-  }
+  // --- Block-compressed archive, both codecs --------------------------------
+  const CodecRun varint =
+      WriteAndScan(varint_path, BlockCodec::kVarint, block_events, events);
+  const CodecRun bitpack =
+      WriteAndScan(bitpack_path, BlockCodec::kBitpack, block_events, events);
 
   TextTable table({"format", "bytes", "bytes/event", "vs flat", "write Mev/s",
                    "scan Mev/s"});
@@ -130,20 +190,24 @@ int main(int argc, char** argv) {
                 TextTable::Num(static_cast<double>(flat_bytes) / n, 2), "1.00",
                 TextTable::Num(n / flat_write_s / 1e6, 2),
                 TextTable::Num(n / flat_read_s / 1e6, 2)});
-  table.AddRow({"archive", std::to_string(archive_bytes),
-                TextTable::Num(static_cast<double>(archive_bytes) / n, 2),
-                TextTable::Num(static_cast<double>(archive_bytes) /
-                                   static_cast<double>(flat_bytes),
-                               2),
-                TextTable::Num(n / archive_write_s / 1e6, 2),
-                TextTable::Num(n / archive_scan_s / 1e6, 2)});
+  for (const CodecRun* run : {&varint, &bitpack}) {
+    table.AddRow({run == &varint ? "archive varint" : "archive bitpack",
+                  std::to_string(run->bytes),
+                  TextTable::Num(static_cast<double>(run->bytes) / n, 2),
+                  TextTable::Num(static_cast<double>(run->bytes) /
+                                     static_cast<double>(flat_bytes),
+                                 2),
+                  TextTable::Num(n / run->write_s / 1e6, 2),
+                  TextTable::Num(n / run->scan_s / 1e6, 2)});
+  }
   table.Print();
   std::printf("archive: %zu blocks of <= %zu events; payload record = %zu "
               "flat bytes\n\n",
-              reader.value().num_blocks(), archive_options.block_events,
-              kEventWireBytes);
+              varint.blocks, block_events, kEventWireBytes);
 
   // --- 10%-of-epochs range scan --------------------------------------------
+  auto reader = ArchiveReader::Open(varint_path);
+  Check(reader.status(), "archive reader open");
   Epoch lo_epoch = kInfiniteEpoch, hi_epoch = 0;
   for (const Event& event : events) {
     const Epoch primary = PrimaryEpoch(event);
@@ -162,15 +226,93 @@ int main(int argc, char** argv) {
               static_cast<long long>(lo), static_cast<long long>(hi),
               static_cast<long long>(span));
   std::printf("  blocks decoded: %zu of %zu (%.1f%%), events: %zu "
-              "(%.1f%% of stream), %.2f ms\n",
+              "(%.1f%% of stream), %.2f ms\n\n",
               touched, reader.value().num_blocks(),
               100.0 * static_cast<double>(touched) /
                   static_cast<double>(reader.value().num_blocks()),
               ranged.value().size(), 100.0 * ranged.value().size() / n,
               range_s * 1e3);
 
+  // --- Epoch-column decode shootout ----------------------------------------
+  // Repetitions scale inversely with the trace so quick mode still measures
+  // something (best-of over >= 8 scans, ~2M decoded epochs total per cell).
+  const int reps = static_cast<int>(
+      std::max<double>(8.0, 2e6 / std::max(n, 1.0)));
+  std::vector<Epoch> expect;
+  expect.reserve(events.size());
+  for (const Event& event : events) expect.push_back(PrimaryEpoch(event));
+
+  struct Cell {
+    const char* codec;
+    const char* transport;
+    bool mapped = false;
+    double best_s = 0.0;
+  };
+  std::vector<Cell> cells;
+  for (const CodecRun* run : {&varint, &bitpack}) {
+    for (bool use_mmap : {false, true}) {
+      ReaderOptions reader_options;
+      reader_options.use_mmap = use_mmap;
+      auto r = ArchiveReader::Open(run->path, reader_options);
+      Check(r.status(), "shootout reader open");
+      Cell cell;
+      cell.codec = run == &varint ? "varint" : "bitpack";
+      cell.transport = use_mmap ? "mmap" : "buffered";
+      cell.mapped = r.value().mapped();
+      cell.best_s = BestEpochScanSeconds(r.value(), reps, expect);
+      cells.push_back(cell);
+    }
+  }
+
+  TextTable shootout({"codec", "transport", "mapped", "best ms",
+                      "Mepochs/s"});
+  for (const Cell& cell : cells) {
+    shootout.AddRow({cell.codec, cell.transport, cell.mapped ? "yes" : "no",
+                     TextTable::Num(cell.best_s * 1e3, 3),
+                     TextTable::Num(n / cell.best_s / 1e6, 2)});
+  }
+  shootout.Print();
+
+  // The gated ratio is new fast path vs the seed reader configuration:
+  // before format v2 the reader was buffered and varint-only, so
+  // cells[0] (varint/buffered) is the baseline and cells[3]
+  // (bitpack/mmap) is what this subsystem buys. The same-transport ratio
+  // (cells[3]/cells[1]) isolates the codec alone and is reported but not
+  // floored — the shared zigzag/prefix pass bounds it tighter.
+  const double baseline_rate = n / cells[0].best_s;
+  const double varint_mmap_rate = n / cells[1].best_s;
+  const double bitpack_mmap_rate = n / cells[3].best_s;
+  const double speedup = bitpack_mmap_rate / baseline_rate;
+  const double codec_speedup = bitpack_mmap_rate / varint_mmap_rate;
+  std::printf("epoch-column speedup: %.2fx vs seed reader (buffered "
+              "varint; floor %.0fx), %.2fx vs varint on mmap\n",
+              speedup, kEpochSpeedupFloor, codec_speedup);
+  if (speedup < kEpochSpeedupFloor) {
+    std::fprintf(stderr,
+                 "FAIL: bitpack/mmap epoch-column scan is %.2fx the "
+                 "buffered-varint baseline, below the %.0fx floor\n",
+                 speedup, kEpochSpeedupFloor);
+    return 1;
+  }
+
+  BenchReport report("archive");
+  report.Add("events", n);
+  report.Add("flat_bytes", static_cast<double>(flat_bytes));
+  report.Add("varint_bytes", static_cast<double>(varint.bytes));
+  report.Add("bitpack_bytes", static_cast<double>(bitpack.bytes));
+  report.Add("varint_buffered_epochs_per_sec", n / cells[0].best_s);
+  report.Add("varint_mmap_epochs_per_sec", varint_mmap_rate);
+  report.Add("bitpack_buffered_epochs_per_sec", n / cells[2].best_s);
+  report.Add("bitpack_mmap_epochs_per_sec", bitpack_mmap_rate);
+  report.Add("bitpack_epoch_speedup", speedup);
+  report.Add("bitpack_epoch_codec_speedup", codec_speedup);
+  report.Add("range_scan_seconds", range_s);
+  Check(report.Write(), "report write");
+
   std::filesystem::remove(flat_path, ec);
-  std::filesystem::remove(archive_path, ec);
-  std::filesystem::remove(IndexPathFor(archive_path), ec);
+  for (const std::string& path : {varint_path, bitpack_path}) {
+    std::filesystem::remove(path, ec);
+    std::filesystem::remove(IndexPathFor(path), ec);
+  }
   return 0;
 }

@@ -202,40 +202,112 @@ std::optional<OracleFailure> DifferentialChecker::CheckArchiveRoundTrip(
   namespace fs = std::filesystem;
   const std::string path = ScratchPath(label);
   std::error_code ec;
-  fs::remove(path, ec);
-  fs::remove(IndexPathFor(path), ec);
 
-  auto fail = [&](const std::string& detail) {
+  auto cleanup = [&] {
     fs::remove(path, ec);
     fs::remove(IndexPathFor(path), ec);
+  };
+  auto fail = [&](const std::string& detail) {
+    cleanup();
     return OracleFailure{"archive_roundtrip", label + ": " + detail};
   };
 
+  // Writes `stream` with `options`, re-reads it, and diffs. Returns the
+  // archived stream through `out` for chained (compaction) stages.
+  auto round_trip = [&](ArchiveOptions options, const std::string& stage,
+                        EventStream* out) -> std::optional<std::string> {
+    cleanup();
+    auto writer = ArchiveWriter::Open(path, options);
+    if (!writer.ok()) {
+      return stage + ": open failed: " + writer.status().ToString();
+    }
+    if (Status status = (*writer.value()).Append(stream); !status.ok()) {
+      return stage + ": append failed: " + status.ToString();
+    }
+    if (Status status = (*writer.value()).Close(); !status.ok()) {
+      return stage + ": close failed: " + status.ToString();
+    }
+    auto reader = ArchiveReader::Open(path);
+    if (!reader.ok()) {
+      return stage + ": reader open failed: " + reader.status().ToString();
+    }
+    auto scanned = reader.value().ScanAll();
+    if (!scanned.ok()) {
+      return stage + ": scan failed: " + scanned.status().ToString();
+    }
+    std::string diff = DiffStreams(stream, scanned.value(), label,
+                                   label + " after " + stage);
+    if (!diff.empty()) return diff;
+    // The epoch-column fast path must agree with the full decode.
+    auto epochs = reader.value().ScanEpochColumn();
+    if (!epochs.ok()) {
+      return stage + ": epoch column failed: " + epochs.status().ToString();
+    }
+    if (epochs.value().size() != scanned.value().size()) {
+      return stage + ": epoch column count mismatch";
+    }
+    for (std::size_t i = 0; i < epochs.value().size(); ++i) {
+      if (epochs.value()[i] != PrimaryEpoch(scanned.value()[i])) {
+        return stage + ": epoch column diverges at event " +
+               std::to_string(i);
+      }
+    }
+    if (out != nullptr) *out = std::move(scanned).value();
+    return std::nullopt;
+  };
+
   // Small blocks force multi-block segments even on shrunk traces, so the
-  // codec's block-boundary paths are always exercised.
+  // codec's block-boundary paths are always exercised — through every
+  // codec id the format knows.
   ArchiveOptions archive_options;
   archive_options.block_events = 256;
-  auto writer = ArchiveWriter::Open(path, archive_options);
-  if (!writer.ok()) return fail("open failed: " + writer.status().ToString());
-  if (Status status = (*writer.value()).Append(stream); !status.ok()) {
-    return fail("append failed: " + status.ToString());
-  }
-  if (Status status = (*writer.value()).Close(); !status.ok()) {
-    return fail("close failed: " + status.ToString());
+  for (BlockCodec codec : {BlockCodec::kVarint, BlockCodec::kBitpack}) {
+    archive_options.codec = codec;
+    if (auto diff = round_trip(archive_options,
+                               std::string("archive round-trip (") +
+                                   ToString(codec) + ")",
+                               nullptr)) {
+      return fail(*diff);
+    }
   }
 
+  // The v1-written / v2-compacted path: archive as format v1 (varint-only),
+  // then re-archive what it decodes to as v2 bitpack — the `spire_cli
+  // compact` transcode shape. Reconstruction must stay byte-identical
+  // (DiffStreams compares full Event values) across the version hop.
+  ArchiveOptions v1_options;
+  v1_options.block_events = 256;
+  v1_options.format_version = kArchiveVersionV1;
+  EventStream recovered;
+  if (auto diff = round_trip(v1_options, "v1 archive round-trip",
+                             &recovered)) {
+    return fail(*diff);
+  }
+  cleanup();
+  ArchiveOptions v2_options;
+  v2_options.block_events = 256;
+  v2_options.codec = BlockCodec::kBitpack;
+  auto writer = ArchiveWriter::Open(path, v2_options);
+  if (!writer.ok()) {
+    return fail("compact open failed: " + writer.status().ToString());
+  }
+  if (Status status = (*writer.value()).Append(recovered); !status.ok()) {
+    return fail("compact append failed: " + status.ToString());
+  }
+  if (Status status = (*writer.value()).Close(); !status.ok()) {
+    return fail("compact close failed: " + status.ToString());
+  }
   auto reader = ArchiveReader::Open(path);
   if (!reader.ok()) {
-    return fail("reader open failed: " + reader.status().ToString());
+    return fail("compact reader open failed: " + reader.status().ToString());
   }
-  auto scanned = reader.value().ScanAll();
-  if (!scanned.ok()) {
-    return fail("scan failed: " + scanned.status().ToString());
+  auto compacted = reader.value().ScanAll();
+  if (!compacted.ok()) {
+    return fail("compact scan failed: " + compacted.status().ToString());
   }
-  std::string diff = DiffStreams(stream, scanned.value(), label,
-                                 label + " after archive round-trip");
-  fs::remove(path, ec);
-  fs::remove(IndexPathFor(path), ec);
+  std::string diff = DiffStreams(stream, compacted.value(), label,
+                                 label + " after v1->v2 compaction");
+  cleanup();
   if (!diff.empty()) return OracleFailure{"archive_roundtrip", diff};
   return std::nullopt;
 }

@@ -38,11 +38,19 @@ inline constexpr std::uint16_t kEventFileLegacyVersion = 1;
 
 /// Segmented block-compressed event archive (store/archive_writer).
 inline constexpr char kArchiveMagic[kMagicBytes] = {'S', 'P', 'A', 'R'};
-inline constexpr std::uint16_t kArchiveVersion = 1;
+/// Current segment version: 40-byte block headers carrying a per-block
+/// codec id (store/format.h). New segments are written at this version.
+inline constexpr std::uint16_t kArchiveVersion = 2;
+/// Legacy segment version: 36-byte block headers, implicit zigzag-varint
+/// codec. Still readable, and still writable for compatibility tests.
+inline constexpr std::uint16_t kArchiveVersionV1 = 1;
 
 /// Archive index sidecar (block directory + per-object postings).
+/// Version 2 adds the per-block codec id and a fingerprint of the last
+/// covered block header, so a sidecar cannot describe a segment that was
+/// truncated and rewritten to the same byte count.
 inline constexpr char kArchiveIndexMagic[kMagicBytes] = {'S', 'P', 'I', 'X'};
-inline constexpr std::uint16_t kArchiveIndexVersion = 1;
+inline constexpr std::uint16_t kArchiveIndexVersion = 2;
 
 /// Marker leading every archive block header; recovery scans for it.
 inline constexpr std::uint32_t kArchiveBlockMarker = 0x53504232;  // "SPB2"

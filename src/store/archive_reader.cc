@@ -12,76 +12,182 @@
 
 namespace spire {
 
+namespace {
+
+/// Cross-checks a parsed, CRC-valid block header against its directory
+/// entry. The directory (sidecar or rebuild scan) is what scans trust for
+/// skipping; a header that disagrees means segment and directory have
+/// diverged — corruption, never a fallback.
+Status CheckHeaderAgainstMeta(const BlockHeader& header, const BlockMeta& meta,
+                              const std::string& path) {
+  if (header.count != meta.count || header.codec != meta.codec ||
+      header.min_epoch != meta.min_epoch ||
+      header.max_epoch != meta.max_epoch) {
+    return Status::Corruption("block header disagrees with the directory: " +
+                              path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 ArchiveReader::ArchiveReader(std::string path, SegmentInfo info,
-                             bool index_rebuilt)
+                             bool index_rebuilt,
+                             std::shared_ptr<MappedFile> map)
     : path_(std::move(path)),
       info_(std::move(info)),
-      index_rebuilt_(index_rebuilt) {}
+      index_rebuilt_(index_rebuilt),
+      map_(std::move(map)) {
+  if (map_ != nullptr && !info_.blocks.empty()) {
+    payload_ok_.reset(new std::atomic<std::uint8_t>[info_.blocks.size()]());
+  }
+}
 
-Result<ArchiveReader> ArchiveReader::Open(const std::string& path) {
+Result<ArchiveReader> ArchiveReader::Open(const std::string& path,
+                                          ReaderOptions options) {
   std::error_code ec;
   const std::uint64_t size = std::filesystem::file_size(path, ec);
   if (ec) return Status::NotFound("cannot open archive segment: " + path);
 
+  SegmentInfo info;
+  bool rebuilt = false;
   auto indexed = ReadIndexFile(path, size);
   if (indexed.ok()) {
-    return ArchiveReader(path, std::move(indexed).value(),
-                         /*index_rebuilt=*/false);
+    info = std::move(indexed).value();
+  } else {
+    auto scanned = ScanSegment(path);
+    if (!scanned.ok()) return scanned.status();
+    info = std::move(scanned).value();
+    rebuilt = true;
   }
-  auto scanned = ScanSegment(path);
-  if (!scanned.ok()) return scanned.status();
-  return ArchiveReader(path, std::move(scanned).value(),
-                       /*index_rebuilt=*/true);
+
+  // Map only the validated prefix: a torn tail beyond valid_bytes stays
+  // invisible to zero-copy scans, same as to the buffered path.
+  std::shared_ptr<MappedFile> map;
+  if (options.use_mmap) {
+    auto mapped = MappedFile::Open(path, info.valid_bytes);
+    if (mapped.ok()) map = std::move(mapped).value();
+    // Any failure (platform without mmap, exotic filesystem) falls back to
+    // buffered reads — never an open error.
+  }
+  return ArchiveReader(std::move(path), std::move(info), rebuilt,
+                       std::move(map));
 }
 
-Result<EventStream> ArchiveReader::DecodeBlocks(
-    const std::vector<std::uint32_t>& indexes) const {
-  EventStream events;
-  if (indexes.empty()) return events;
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open archive segment: " + path_);
+Status ArchiveReader::DecodeBlockSet(const std::vector<std::uint32_t>& indexes,
+                                     bool epochs_only, EventStream* events_out,
+                                     std::vector<Epoch>* epochs_out) const {
+  if (indexes.empty()) return Status::OK();
+  const std::size_t header_bytes = BlockHeaderBytes(info_.version);
 
-  std::vector<std::uint8_t> payload;
+  std::ifstream in;
+  if (map_ == nullptr) {
+    in.open(path_, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open archive segment: " + path_);
+  }
+
+  std::vector<std::uint8_t> buffer;  // Header + payload (buffered path only).
   for (std::uint32_t index : indexes) {
     if (index >= info_.blocks.size()) {
       return Status::Internal("block index out of range");
     }
     const BlockMeta& meta = info_.blocks[index];
-    std::uint8_t header[kBlockHeaderBytes] = {};
-    in.seekg(static_cast<std::streamoff>(meta.offset));
-    in.read(reinterpret_cast<char*>(header), sizeof(header));
-    if (!in.good()) {
-      return Status::Corruption("truncated block header in " + path_);
+
+    const std::uint8_t* block_bytes = nullptr;
+    if (map_ != nullptr) {
+      // Zero-copy: the block must lie inside the mapped valid prefix.
+      if (meta.offset > map_->size() ||
+          map_->size() - meta.offset < header_bytes) {
+        return Status::Corruption("block header past the valid prefix: " +
+                                  path_);
+      }
+      block_bytes = map_->data() + meta.offset;
+    } else {
+      buffer.resize(header_bytes);
+      in.seekg(static_cast<std::streamoff>(meta.offset));
+      in.read(reinterpret_cast<char*>(buffer.data()),
+              static_cast<std::streamsize>(header_bytes));
+      if (!in.good()) {
+        return Status::Corruption("truncated block header in " + path_);
+      }
+      block_bytes = buffer.data();
     }
-    if (GetLE32(header) != kArchiveBlockMarker ||
-        Crc32(header, kBlockHeaderBytes - 4) != GetLE32(header + 32)) {
-      return Status::Corruption("corrupt block header in " + path_);
+
+    auto parsed = ParseBlockHeader(block_bytes, info_.version);
+    if (!parsed.ok()) return parsed.status();
+    const BlockHeader header = parsed.value();
+    SPIRE_RETURN_NOT_OK(CheckHeaderAgainstMeta(header, meta, path_));
+
+    const std::uint8_t* payload = nullptr;
+    if (map_ != nullptr) {
+      if (map_->size() - meta.offset - header_bytes < header.payload_size) {
+        return Status::Corruption("block payload past the valid prefix: " +
+                                  path_);
+      }
+      payload = block_bytes + header_bytes;
+    } else {
+      buffer.resize(header_bytes + header.payload_size);
+      in.read(reinterpret_cast<char*>(buffer.data() + header_bytes),
+              static_cast<std::streamsize>(header.payload_size));
+      if (!in.good()) {
+        return Status::Corruption("truncated block payload in " + path_);
+      }
+      payload = buffer.data() + header_bytes;
     }
-    const std::uint32_t count = GetLE32(header + 4);
-    const std::uint32_t payload_size = GetLE32(header + 24);
-    if (count != meta.count || payload_size > kMaxBlockPayloadBytes) {
-      return Status::Corruption("block header disagrees with the directory: " +
-                                path_);
+    // Mapped payloads pay the checksum once per reader: the mapping pins
+    // the bytes, so a passed check cannot be invalidated. The buffered
+    // path re-reads from the file each scan and therefore re-checks.
+    const bool crc_cached =
+        payload_ok_ != nullptr &&
+        payload_ok_[index].load(std::memory_order_acquire) != 0;
+    if (!crc_cached) {
+      if (Crc32(payload, header.payload_size) != header.payload_crc) {
+        return Status::Corruption("block payload checksum mismatch in " +
+                                  path_);
+      }
+      if (payload_ok_ != nullptr) {
+        payload_ok_[index].store(1, std::memory_order_release);
+      }
     }
-    payload.resize(payload_size);
-    in.read(reinterpret_cast<char*>(payload.data()), payload_size);
-    if (!in.good()) {
-      return Status::Corruption("truncated block payload in " + path_);
+
+    if (epochs_only) {
+      SPIRE_RETURN_NOT_OK(DecodeBlockEpochs(payload, header.payload_size,
+                                            header.count, header.codec,
+                                            epochs_out));
+    } else {
+      SPIRE_RETURN_NOT_OK(DecodeBlock(payload, header.payload_size,
+                                      header.count, header.codec, events_out));
     }
-    if (Crc32(payload.data(), payload.size()) != GetLE32(header + 28)) {
-      return Status::Corruption("block payload checksum mismatch in " + path_);
-    }
-    SPIRE_RETURN_NOT_OK(DecodeBlock(payload, count, &events));
   }
+  return Status::OK();
+}
+
+Result<EventStream> ArchiveReader::DecodeBlocks(
+    const std::vector<std::uint32_t>& indexes) const {
+  EventStream events;
+  SPIRE_RETURN_NOT_OK(
+      DecodeBlockSet(indexes, /*epochs_only=*/false, &events, nullptr));
   return events;
 }
 
-Result<EventStream> ArchiveReader::ScanAll() const {
+std::vector<std::uint32_t> ArchiveReader::AllBlockIndexes() const {
   std::vector<std::uint32_t> all(info_.blocks.size());
   for (std::size_t i = 0; i < all.size(); ++i) {
     all[i] = static_cast<std::uint32_t>(i);
   }
-  return DecodeBlocks(all);
+  return all;
+}
+
+Result<EventStream> ArchiveReader::ScanAll() const {
+  return DecodeBlocks(AllBlockIndexes());
+}
+
+Result<std::vector<Epoch>> ArchiveReader::ScanEpochColumn() const {
+  std::vector<Epoch> epochs;
+  epochs.reserve(info_.events);
+  SPIRE_RETURN_NOT_OK(DecodeBlockSet(AllBlockIndexes(), /*epochs_only=*/true,
+                                     nullptr, &epochs));
+  return epochs;
 }
 
 Result<EventStream> ArchiveReader::ScanRange(Epoch lo, Epoch hi) const {

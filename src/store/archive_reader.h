@@ -1,33 +1,57 @@
-// Read-side of the block-compressed event archive: three access paths that
-// never decode more blocks than they must.
+// Read-side of the block-compressed event archive: access paths that never
+// decode more blocks than they must.
 //
-//   ScanAll     every block, in order — reproduces the archived stream.
-//   ScanRange   only blocks whose [min, max] epoch range intersects the
-//               query (block directory skip test), then filters events by
-//               primary timestamp.
-//   ScanObject  only blocks on the object's posting list.
+//   ScanAll         every block, in order — reproduces the archived stream.
+//   ScanRange       only blocks whose [min, max] epoch range intersects the
+//                   query (block directory skip test), then filters events
+//                   by primary timestamp.
+//   ScanObject      only blocks on the object's posting list.
+//   ScanEpochColumn only the primary-timestamp column of every block — the
+//                   epoch-restricted-analytics fast path (for kBitpack
+//                   blocks the other columns are skipped structurally).
 //
 // Open() loads the index sidecar when it is present and consistent with
 // the segment; otherwise (crash before Close, sidecar deleted or corrupt)
 // it falls back to a validating full scan of the segment, honoring the
-// same torn-tail rule as ArchiveWriter recovery.
+// same torn-tail rule as ArchiveWriter recovery. Startup cost is constant
+// in the sidecar case (sparkey's reader model): the segment is mapped
+// read-only once, blocks validate lazily — header and payload CRCs are
+// checked only for the blocks a scan actually decodes, zero-copy out of
+// the mapping, and a block's payload CRC is checked at most once per
+// reader (the mapping pins the bytes, so a passed check stays valid for
+// the reader's lifetime). Where mmap is unavailable (platform or
+// filesystem), every scan falls back to buffered per-block reads — there
+// each scan re-reads from the file, so every decode re-checks the CRC;
+// results are identical.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "compress/event.h"
+#include "store/mmap_file.h"
 #include "store/segment.h"
 
 namespace spire {
+
+/// Archive reader knobs.
+struct ReaderOptions {
+  /// Map the segment and decode zero-copy (default). Off forces the
+  /// buffered-read path — the bench shootout's comparison axis, and a
+  /// rescue hatch for filesystems where mapping misbehaves.
+  bool use_mmap = true;
+};
 
 /// Immutable view over one archive segment.
 class ArchiveReader {
  public:
   /// Opens a segment, via its sidecar or a validating rebuild scan.
-  static Result<ArchiveReader> Open(const std::string& path);
+  static Result<ArchiveReader> Open(const std::string& path,
+                                    ReaderOptions options = {});
 
   /// Decodes every block: the exact archived EventStream.
   Result<EventStream> ScanAll() const;
@@ -40,12 +64,19 @@ class ArchiveReader {
   /// Every event of one object, decoding only its posting-list blocks.
   Result<EventStream> ScanObject(ObjectId object) const;
 
+  /// The primary timestamp of every archived event, in stream order,
+  /// without materializing events. Equals PrimaryEpoch mapped over
+  /// ScanAll().
+  Result<std::vector<Epoch>> ScanEpochColumn() const;
+
   // --- Directory ----------------------------------------------------------
 
   const std::vector<BlockMeta>& blocks() const { return info_.blocks; }
   std::size_t num_blocks() const { return info_.blocks.size(); }
   std::uint64_t num_events() const { return info_.events; }
   std::uint64_t segment_bytes() const { return info_.valid_bytes; }
+  /// Segment format version (kArchiveVersionV1 segments stay readable).
+  std::uint16_t format_version() const { return info_.version; }
   /// How many blocks a ScanRange(lo, hi) would decode (bench/CLI stat).
   std::size_t BlocksInRange(Epoch lo, Epoch hi) const;
   /// How many blocks a ScanObject(object) would decode.
@@ -53,18 +84,37 @@ class ArchiveReader {
   /// True when the sidecar was missing or stale and the directory was
   /// rebuilt by scanning the segment.
   bool index_rebuilt() const { return index_rebuilt_; }
+  /// True when scans decode zero-copy from a memory mapping (false: the
+  /// buffered-read fallback is in effect).
+  bool mapped() const { return map_ != nullptr; }
   const std::string& path() const { return path_; }
 
  private:
-  ArchiveReader(std::string path, SegmentInfo info, bool index_rebuilt);
+  ArchiveReader(std::string path, SegmentInfo info, bool index_rebuilt,
+                std::shared_ptr<MappedFile> map);
 
   /// Reads, validates, and decodes the listed blocks in index order.
+  /// `epochs_only` decodes just the primary-timestamp column into
+  /// `epochs_out` instead of materializing events into `events_out`.
+  Status DecodeBlockSet(const std::vector<std::uint32_t>& indexes,
+                        bool epochs_only, EventStream* events_out,
+                        std::vector<Epoch>* epochs_out) const;
+
   Result<EventStream> DecodeBlocks(
       const std::vector<std::uint32_t>& indexes) const;
+
+  std::vector<std::uint32_t> AllBlockIndexes() const;
 
   std::string path_;
   SegmentInfo info_;
   bool index_rebuilt_ = false;
+  std::shared_ptr<MappedFile> map_;  ///< Null on the buffered fallback.
+  /// Per-block "payload CRC already passed" flags, mmap path only (null on
+  /// the buffered fallback): the mapping pins the bytes, so each block pays
+  /// its checksum once per reader, on first decode. Atomic so concurrent
+  /// scans over one reader stay race-free; shared so reader copies share
+  /// the validation state along with the mapping.
+  std::shared_ptr<std::atomic<std::uint8_t>[]> payload_ok_;
 };
 
 /// Makes a range- or object-restricted selection well-formed again by

@@ -29,12 +29,12 @@ const Instruments* GetInstruments() {
   return &instruments;
 }
 
-std::vector<std::uint8_t> MakeFileHeader() {
+std::vector<std::uint8_t> MakeFileHeader(std::uint16_t version) {
   std::vector<std::uint8_t> header;
   for (std::size_t i = 0; i < kMagicBytes; ++i) {
     header.push_back(static_cast<std::uint8_t>(kArchiveMagic[i]));
   }
-  PutLE16(kArchiveVersion, &header);
+  PutLE16(version, &header);
   PutLE16(0, &header);  // Reserved.
   return header;
 }
@@ -56,6 +56,11 @@ Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::Open(
     const std::string& path, ArchiveOptions options) {
   if (options.block_events == 0) {
     return Status::InvalidArgument("block_events must be positive");
+  }
+  if (options.format_version != kArchiveVersion &&
+      options.format_version != kArchiveVersionV1) {
+    return Status::InvalidArgument("unsupported archive format version " +
+                                   std::to_string(options.format_version));
   }
   std::unique_ptr<ArchiveWriter> writer(new ArchiveWriter(path, options));
 
@@ -83,14 +88,26 @@ Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::Open(
       return Status::NotFound("cannot open for appending: " + path);
     }
   } else {
+    writer->info_.version = options.format_version;
     writer->out_.open(path, std::ios::binary | std::ios::trunc);
     if (!writer->out_) {
       return Status::NotFound("cannot open for writing: " + path);
     }
-    SPIRE_RETURN_NOT_OK(WriteBytes(&writer->out_, MakeFileHeader(), path));
+    SPIRE_RETURN_NOT_OK(
+        WriteBytes(&writer->out_, MakeFileHeader(writer->info_.version),
+                   path));
     writer->info_.valid_bytes = kArchiveHeaderBytes;
     writer->info_.file_bytes = kArchiveHeaderBytes;
   }
+  // v1 block headers carry no codec field, so a v1 segment can only grow
+  // varint blocks.
+  if (writer->info_.version == kArchiveVersionV1) {
+    writer->options_.codec = BlockCodec::kVarint;
+  }
+  // From here until Close() any existing sidecar describes a stale prefix
+  // — and could even re-match by size if a truncated segment is re-grown.
+  // Delete it now; Close() writes a fresh one.
+  std::filesystem::remove(IndexPathFor(path), ec);
   return writer;
 }
 
@@ -111,26 +128,28 @@ Status ArchiveWriter::Append(const EventStream& events) {
 }
 
 Status ArchiveWriter::SealBlock() {
-  auto encoded = EncodeBlock(buffer_, 0, buffer_.size());
+  auto encoded = EncodeBlock(buffer_, 0, buffer_.size(), options_.codec);
   if (!encoded.ok()) return encoded.status();
   const EncodedBlock& block = encoded.value();
 
-  std::vector<std::uint8_t> header;
-  header.reserve(kBlockHeaderBytes);
-  PutLE32(kArchiveBlockMarker, &header);
-  PutLE32(block.count, &header);
-  PutLE64(static_cast<std::uint64_t>(block.min_epoch), &header);
-  PutLE64(static_cast<std::uint64_t>(block.max_epoch), &header);
-  PutLE32(static_cast<std::uint32_t>(block.payload.size()), &header);
-  PutLE32(Crc32(block.payload.data(), block.payload.size()), &header);
-  PutLE32(Crc32(header.data(), header.size()), &header);
+  BlockHeader header;
+  header.count = block.count;
+  header.codec = block.codec;
+  header.min_epoch = block.min_epoch;
+  header.max_epoch = block.max_epoch;
+  header.payload_size = static_cast<std::uint32_t>(block.payload.size());
+  header.payload_crc = Crc32(block.payload.data(), block.payload.size());
+  std::vector<std::uint8_t> header_bytes;
+  header_bytes.reserve(BlockHeaderBytes(info_.version));
+  AppendBlockHeader(header, info_.version, &header_bytes);
 
-  SPIRE_RETURN_NOT_OK(WriteBytes(&out_, header, path_));
+  SPIRE_RETURN_NOT_OK(WriteBytes(&out_, header_bytes, path_));
   SPIRE_RETURN_NOT_OK(WriteBytes(&out_, block.payload, path_));
 
   BlockMeta meta;
   meta.offset = info_.valid_bytes;
   meta.count = block.count;
+  meta.codec = block.codec;
   meta.min_epoch = block.min_epoch;
   meta.max_epoch = block.max_epoch;
   const auto index = static_cast<std::uint32_t>(info_.blocks.size());
@@ -140,11 +159,12 @@ Status ArchiveWriter::SealBlock() {
   }
   info_.blocks.push_back(meta);
   info_.events += block.count;
-  info_.valid_bytes += kBlockHeaderBytes + block.payload.size();
+  info_.valid_bytes += header_bytes.size() + block.payload.size();
   info_.file_bytes = info_.valid_bytes;
   if (const Instruments* instruments = GetInstruments()) {
     instruments->blocks_sealed->Add(1);
-    instruments->bytes_written->Add(kBlockHeaderBytes + block.payload.size());
+    instruments->bytes_written->Add(header_bytes.size() +
+                                    block.payload.size());
   }
   buffer_.clear();
   return Status::OK();

@@ -25,6 +25,18 @@ struct ArchiveOptions {
   /// Events per block. Larger blocks compress better (longer delta chains)
   /// but make time-range and per-object scans decode more.
   std::size_t block_events = 4096;
+  /// Payload codec of newly sealed blocks (format v2 names it per block,
+  /// so a segment may mix codecs across append sessions). kVarint is the
+  /// size-optimal default; kBitpack trades a larger payload (delta columns
+  /// pay each 128-value miniblock's worst-case width) for word-at-a-time
+  /// decode and structurally skippable columns — the right choice for
+  /// scan-heavy segments, e.g. via `spire_cli compact`.
+  BlockCodec codec = BlockCodec::kVarint;
+  /// Segment format version for newly created files: kArchiveVersion, or
+  /// kArchiveVersionV1 for compatibility (which only carries kVarint
+  /// blocks). Appending to an existing segment adopts the file's version —
+  /// a v1 segment silently coerces `codec` back to kVarint.
+  std::uint16_t format_version = kArchiveVersion;
 };
 
 /// What ArchiveWriter::Open found (and did) on an existing segment.
@@ -38,7 +50,10 @@ struct RecoveryInfo {
 class ArchiveWriter {
  public:
   /// Creates `path` (plus its sidecar on Close), or re-opens an existing
-  /// segment for appending after validating and truncating its tail.
+  /// segment for appending after validating and truncating its tail. Any
+  /// existing sidecar is deleted up front: once appending starts it
+  /// describes a stale prefix, and a crash before Close must not leave it
+  /// behind to be trusted by a later reader.
   static Result<std::unique_ptr<ArchiveWriter>> Open(const std::string& path,
                                                      ArchiveOptions options =
                                                          {});
@@ -69,6 +84,11 @@ class ArchiveWriter {
   std::size_t num_blocks() const { return info_.blocks.size(); }
   /// Segment bytes written so far (excludes the still-buffered events).
   std::uint64_t segment_bytes() const { return info_.valid_bytes; }
+  /// Segment format version in effect (the file's, once it exists).
+  std::uint16_t format_version() const { return info_.version; }
+  /// Codec newly sealed blocks use (options_, possibly coerced by a v1
+  /// segment).
+  BlockCodec codec() const { return options_.codec; }
   const RecoveryInfo& recovery() const { return recovery_; }
   const std::string& path() const { return path_; }
 

@@ -1,0 +1,172 @@
+// Bit-packed integer columns for the archive's codec 1 (BlockCodec::kBitpack).
+//
+// A column of n 64-bit values is split into miniblocks of 128 values (the
+// SIMD-BP128 idiom of Lemire/Boytsov, "Decoding billions of integers per
+// second through vectorization"): each miniblock stores one width byte b,
+// then its values packed LSB-first into ceil(m*b/8) bytes. The width is the
+// *minimal* width of the miniblock (some value uses bit b-1; b = 0 iff all
+// values are zero), and unused bits of the final packed byte are zero — so,
+// like the canonical-varint rule, every byte sequence has at most one
+// decoding and the fuzz oracles can demand byte-identical re-encodes.
+//
+// Decoding reads the bit stream through unaligned 64-bit loads (memcpy, so
+// ASan/UBSan stay clean on any alignment and the loop auto-vectorizes
+// instead of chasing per-byte continuation branches the way varint decode
+// must). Loads may run up to 8 bytes past the last packed byte; codec-1
+// payloads therefore end with kBitpackPadBytes zero bytes (enforced by the
+// block decoder) so every load stays inside the payload — which is what
+// makes decoding straight out of an mmapped segment safe.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spire {
+
+/// Values per miniblock; a multiple of every SIMD lane count that matters.
+inline constexpr std::size_t kMiniblockValues = 128;
+
+/// Zero bytes every codec-1 payload carries at its end so word-wise decode
+/// loads never leave the payload.
+inline constexpr std::size_t kBitpackPadBytes = 8;
+
+namespace bitpack_internal {
+
+inline std::uint64_t LoadWord(const std::uint8_t* p) {
+  std::uint64_t word;
+  std::memcpy(&word, p, sizeof(word));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  word = __builtin_bswap64(word);
+#endif
+  return word;
+}
+
+inline constexpr std::uint64_t Mask(unsigned width) {
+  return width >= 64 ? ~0ull : (1ull << width) - 1;
+}
+
+}  // namespace bitpack_internal
+
+/// Appends `values[0, n)` as bit-packed miniblocks. The caller owns column
+/// framing (n is not stored) and the trailing payload pad.
+inline void PackColumn(const std::uint64_t* values, std::size_t n,
+                       std::vector<std::uint8_t>* out) {
+  for (std::size_t first = 0; first < n; first += kMiniblockValues) {
+    const std::size_t m = std::min(kMiniblockValues, n - first);
+    std::uint64_t ored = 0;
+    for (std::size_t i = 0; i < m; ++i) ored |= values[first + i];
+    const unsigned width = static_cast<unsigned>(std::bit_width(ored));
+    out->push_back(static_cast<std::uint8_t>(width));
+
+    std::uint64_t acc = 0;
+    unsigned bits = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      acc |= values[first + i] << bits;
+      const unsigned total = bits + width;
+      if (total >= 64) {
+        for (int k = 0; k < 8; ++k) {
+          out->push_back(static_cast<std::uint8_t>(acc));
+          acc >>= 8;
+        }
+        acc = bits == 0 ? 0 : values[first + i] >> (64 - bits);
+        bits = total - 64;
+      } else {
+        bits = total;
+      }
+    }
+    while (bits > 0) {
+      out->push_back(static_cast<std::uint8_t>(acc));
+      acc >>= 8;
+      bits -= bits < 8 ? bits : 8;
+    }
+  }
+}
+
+/// Decodes `n` values from the miniblocks starting at `in[*offset]`,
+/// advancing `*offset` past them. `in[0, size)` must retain at least
+/// kBitpackPadBytes readable bytes after the packed data (the payload pad).
+/// Strict: rejects truncation, a non-minimal width byte, and nonzero bits
+/// in the unused tail of a miniblock's final byte.
+inline Status UnpackColumn(const std::uint8_t* in, std::size_t size,
+                           std::size_t* offset, std::size_t n,
+                           std::uint64_t* out) {
+  using bitpack_internal::LoadWord;
+  using bitpack_internal::Mask;
+  for (std::size_t first = 0; first < n; first += kMiniblockValues) {
+    const std::size_t m = std::min(kMiniblockValues, n - first);
+    if (*offset >= size) return Status::Corruption("truncated bitpack column");
+    const unsigned width = in[(*offset)++];
+    if (width > 64) return Status::Corruption("bitpack width exceeds 64");
+    const std::size_t packed_bytes = (m * width + 7) / 8;
+    // The +kBitpackPadBytes keeps every 64-bit load below inside `in`.
+    if (*offset + packed_bytes + kBitpackPadBytes > size) {
+      return Status::Corruption("truncated bitpack miniblock");
+    }
+    const std::uint8_t* base = in + *offset;
+    std::uint64_t ored = 0;
+    if (width == 0) {
+      for (std::size_t i = 0; i < m; ++i) out[first + i] = 0;
+    } else if (width <= 57) {
+      // One load per value: shift-in (<= 7) plus width (<= 57) fits a word.
+      const std::uint64_t mask = Mask(width);
+      std::size_t bit = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t value =
+            (LoadWord(base + (bit >> 3)) >> (bit & 7)) & mask;
+        out[first + i] = value;
+        ored |= value;
+        bit += width;
+      }
+    } else {
+      const std::uint64_t mask = Mask(width);
+      std::size_t bit = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        std::uint64_t value = LoadWord(base + (bit >> 3)) >> (bit & 7);
+        const unsigned got = 64 - (bit & 7);
+        if (got < width) {
+          value |= static_cast<std::uint64_t>(base[(bit >> 3) + 8]) << got;
+        }
+        value &= mask;
+        out[first + i] = value;
+        ored |= value;
+        bit += width;
+      }
+    }
+    if (width > 0 &&
+        static_cast<unsigned>(std::bit_width(ored)) != width) {
+      return Status::Corruption("non-minimal bitpack width");
+    }
+    const std::size_t used_bits = m * width;
+    if (used_bits % 8 != 0 &&
+        (base[packed_bytes - 1] >> (used_bits % 8)) != 0) {
+      return Status::Corruption("nonzero bits in bitpack tail byte");
+    }
+    *offset += packed_bytes;
+  }
+  return Status::OK();
+}
+
+/// Advances `*offset` past `n` packed values without decoding them (column
+/// skip: one width-byte read per 128 values). Length-checked only.
+inline Status SkipColumn(const std::uint8_t* in, std::size_t size,
+                         std::size_t* offset, std::size_t n) {
+  for (std::size_t first = 0; first < n; first += kMiniblockValues) {
+    const std::size_t m = std::min(kMiniblockValues, n - first);
+    if (*offset >= size) return Status::Corruption("truncated bitpack column");
+    const unsigned width = in[(*offset)++];
+    if (width > 64) return Status::Corruption("bitpack width exceeds 64");
+    const std::size_t packed_bytes = (m * width + 7) / 8;
+    if (*offset + packed_bytes + kBitpackPadBytes > size) {
+      return Status::Corruption("truncated bitpack miniblock");
+    }
+    *offset += packed_bytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace spire

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "store/bitpack.h"
 #include "store/varint.h"
 
 namespace spire {
@@ -43,26 +44,177 @@ Status ValidateArchivable(const Event& event) {
 
 namespace {
 
-/// Wraparound-safe delta append: the decoder adds the zigzag delta back
-/// modulo 2^64, so id spaces near the top of the range (kNoObject) are fine.
-void PutDelta(std::uint64_t value, std::uint64_t* prev,
-              std::vector<std::uint8_t>* out) {
-  PutVarint64(ZigzagEncode(static_cast<std::int64_t>(value - *prev)), out);
-  *prev = value;
+inline bool IsEndType(EventType type) {
+  return type == EventType::kEndLocation || type == EventType::kEndContainment;
 }
 
-Result<std::uint64_t> GetDelta(const std::vector<std::uint8_t>& in,
-                               std::size_t* offset, std::uint64_t* prev) {
-  auto delta = GetVarint64(in, offset);
-  if (!delta.ok()) return delta.status();
-  *prev += static_cast<std::uint64_t>(ZigzagDecode(delta.value()));
-  return *prev;
+/// The numeric columns of one block as flat zigzag-delta (and, for
+/// durations, plain) u64 arrays — the codec-independent intermediate both
+/// payload layouts serialize.
+struct Columns {
+  std::vector<std::uint64_t> objects;    // zigzag deltas
+  std::vector<std::uint64_t> targets;    // zigzag deltas, two chains
+  std::vector<std::uint64_t> epochs;     // zigzag deltas
+  std::vector<std::uint64_t> durations;  // plain, one per End event
+};
+
+/// Wraparound-safe delta: the decoder adds the zigzag delta back modulo
+/// 2^64, so id spaces near the top of the range (kNoObject) are fine.
+inline std::uint64_t NextDelta(std::uint64_t value, std::uint64_t* prev) {
+  const std::uint64_t delta =
+      ZigzagEncode(static_cast<std::int64_t>(value - *prev));
+  *prev = value;
+  return delta;
+}
+
+Columns BuildColumns(const EventStream& events, std::size_t first,
+                     std::size_t count) {
+  Columns columns;
+  columns.objects.reserve(count);
+  columns.targets.reserve(count);
+  columns.epochs.reserve(count);
+  std::uint64_t prev_object = 0;
+  std::uint64_t prev_container = 0;
+  std::uint64_t prev_location = 0;
+  std::uint64_t prev_epoch = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& event = events[first + i];
+    columns.objects.push_back(NextDelta(event.object, &prev_object));
+    if (IsContainmentEvent(event.type)) {
+      columns.targets.push_back(NextDelta(event.container, &prev_container));
+    } else {
+      columns.targets.push_back(NextDelta(event.location, &prev_location));
+    }
+    columns.epochs.push_back(NextDelta(
+        static_cast<std::uint64_t>(PrimaryEpoch(event)), &prev_epoch));
+    if (IsEndType(event.type)) {
+      // V_e - V_s >= 0 by validation.
+      columns.durations.push_back(
+          static_cast<std::uint64_t>(event.end - event.start));
+    }
+  }
+  return columns;
+}
+
+void PutVarintColumn(const std::vector<std::uint64_t>& values,
+                     std::vector<std::uint8_t>* out) {
+  for (std::uint64_t value : values) PutVarint64(value, out);
+}
+
+Status GetVarintColumn(const std::uint8_t* in, std::size_t size,
+                       std::size_t* offset, std::size_t count,
+                       std::vector<std::uint64_t>* out) {
+  out->resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto value = GetVarint64(in, size, offset);
+    if (!value.ok()) return value.status();
+    (*out)[i] = value.value();
+  }
+  return Status::OK();
+}
+
+/// Undoes the zigzag-delta map in place: deltas -> absolute values.
+void PrefixDecode(std::vector<std::uint64_t>* values) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t& value : *values) {
+    prev += static_cast<std::uint64_t>(ZigzagDecode(value));
+    value = prev;
+  }
+}
+
+/// Targets interleave two independent delta chains (container ids for
+/// containment events, location ids otherwise), so decoding picks the
+/// chain per event by its type.
+void PrefixDecodeTargets(const std::vector<EventType>& types,
+                         std::vector<std::uint64_t>* values) {
+  std::uint64_t prev_container = 0;
+  std::uint64_t prev_location = 0;
+  for (std::size_t i = 0; i < values->size(); ++i) {
+    std::uint64_t& prev =
+        IsContainmentEvent(types[i]) ? prev_container : prev_location;
+    prev += static_cast<std::uint64_t>(ZigzagDecode((*values)[i]));
+    (*values)[i] = prev;
+  }
+}
+
+/// Materializes events from fully decoded columns, applying the value
+/// checks both codecs share. `objects`, `targets`, `epochs` hold absolute
+/// values; `durations` is consumed in End-event order.
+Status MaterializeEvents(const std::vector<EventType>& types,
+                         const std::vector<std::uint64_t>& objects,
+                         const std::vector<std::uint64_t>& targets,
+                         const std::vector<std::uint64_t>& epochs,
+                         const std::vector<std::uint64_t>& durations,
+                         EventStream* out) {
+  const std::size_t count = types.size();
+  std::size_t next_duration = 0;
+  const std::size_t base = out->size();
+  out->resize(base + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Event& event = (*out)[base + i];
+    event.type = types[i];
+    event.object = objects[i];
+    if (IsContainmentEvent(types[i])) {
+      event.container = targets[i];
+    } else {
+      if (targets[i] > std::numeric_limits<LocationId>::max()) {
+        return Status::Corruption("location id out of range in block");
+      }
+      event.location = static_cast<LocationId>(targets[i]);
+    }
+    const Epoch primary = static_cast<Epoch>(epochs[i]);
+    if (primary < 0) {
+      return Status::Corruption("negative event timestamp in block");
+    }
+    switch (types[i]) {
+      case EventType::kStartLocation:
+      case EventType::kStartContainment:
+        event.start = primary;
+        event.end = kInfiniteEpoch;
+        break;
+      case EventType::kEndLocation:
+      case EventType::kEndContainment: {
+        const std::uint64_t start = static_cast<std::uint64_t>(primary) -
+                                    durations[next_duration++];
+        event.end = primary;
+        event.start = static_cast<Epoch>(start);
+        if (event.start < 0 || event.start > event.end) {
+          return Status::Corruption("End event duration out of range in block");
+        }
+        break;
+      }
+      case EventType::kMissing:
+        event.start = primary;
+        event.end = primary;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeTypes(const std::uint8_t* payload, std::size_t payload_size,
+                   std::uint32_t count, std::vector<EventType>* types,
+                   std::size_t* num_ends) {
+  if (payload_size < count) {
+    return Status::Corruption("block payload shorter than its type column");
+  }
+  types->resize(count);
+  *num_ends = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t byte = payload[i];
+    if (byte > static_cast<std::uint8_t>(EventType::kMissing)) {
+      return Status::Corruption("unknown event type byte in block");
+    }
+    (*types)[i] = static_cast<EventType>(byte);
+    if (IsEndType((*types)[i])) ++*num_ends;
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
 Result<EncodedBlock> EncodeBlock(const EventStream& events, std::size_t first,
-                                 std::size_t count) {
+                                 std::size_t count, BlockCodec codec) {
   if (first + count > events.size()) {
     return Status::InvalidArgument("block range exceeds the stream");
   }
@@ -72,6 +224,7 @@ Result<EncodedBlock> EncodeBlock(const EventStream& events, std::size_t first,
   }
   EncodedBlock block;
   block.count = static_cast<std::uint32_t>(count);
+  block.codec = codec;
 
   // Types column (plus validation and the epoch bounds).
   for (std::size_t i = 0; i < count; ++i) {
@@ -86,127 +239,131 @@ Result<EncodedBlock> EncodeBlock(const EventStream& events, std::size_t first,
     }
     block.payload.push_back(static_cast<std::uint8_t>(event.type));
   }
-  // Objects column.
-  std::uint64_t prev_object = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    PutDelta(events[first + i].object, &prev_object, &block.payload);
-  }
-  // Targets column: independent delta chains per id space.
-  std::uint64_t prev_container = 0;
-  std::uint64_t prev_location = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    const Event& event = events[first + i];
-    if (IsContainmentEvent(event.type)) {
-      PutDelta(event.container, &prev_container, &block.payload);
-    } else {
-      PutDelta(event.location, &prev_location, &block.payload);
-    }
-  }
-  // Primary timestamps.
-  std::uint64_t prev_epoch = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    PutDelta(static_cast<std::uint64_t>(PrimaryEpoch(events[first + i])),
-             &prev_epoch, &block.payload);
-  }
-  // Durations of End* events (V_e - V_s >= 0 by validation).
-  for (std::size_t i = 0; i < count; ++i) {
-    const Event& event = events[first + i];
-    if (event.type == EventType::kEndLocation ||
-        event.type == EventType::kEndContainment) {
-      PutVarint64(static_cast<std::uint64_t>(event.end - event.start),
-                  &block.payload);
-    }
+
+  const Columns columns = BuildColumns(events, first, count);
+  switch (codec) {
+    case BlockCodec::kVarint:
+      PutVarintColumn(columns.objects, &block.payload);
+      PutVarintColumn(columns.targets, &block.payload);
+      PutVarintColumn(columns.epochs, &block.payload);
+      PutVarintColumn(columns.durations, &block.payload);
+      break;
+    case BlockCodec::kBitpack:
+      PackColumn(columns.objects.data(), columns.objects.size(),
+                 &block.payload);
+      PackColumn(columns.targets.data(), columns.targets.size(),
+                 &block.payload);
+      PackColumn(columns.epochs.data(), columns.epochs.size(),
+                 &block.payload);
+      PackColumn(columns.durations.data(), columns.durations.size(),
+                 &block.payload);
+      block.payload.insert(block.payload.end(), kBitpackPadBytes, 0);
+      break;
   }
   return block;
 }
 
-Status DecodeBlock(const std::vector<std::uint8_t>& payload,
-                   std::uint32_t count, EventStream* out) {
-  if (payload.size() < count) {
+Status DecodeBlock(const std::uint8_t* payload, std::size_t payload_size,
+                   std::uint32_t count, BlockCodec codec, EventStream* out) {
+  std::vector<EventType> types;
+  std::size_t num_ends = 0;
+  SPIRE_RETURN_NOT_OK(DecodeTypes(payload, payload_size, count, &types,
+                                  &num_ends));
+  std::size_t offset = count;
+
+  Columns columns;
+  switch (codec) {
+    case BlockCodec::kVarint:
+      SPIRE_RETURN_NOT_OK(GetVarintColumn(payload, payload_size, &offset,
+                                          count, &columns.objects));
+      SPIRE_RETURN_NOT_OK(GetVarintColumn(payload, payload_size, &offset,
+                                          count, &columns.targets));
+      SPIRE_RETURN_NOT_OK(GetVarintColumn(payload, payload_size, &offset,
+                                          count, &columns.epochs));
+      SPIRE_RETURN_NOT_OK(GetVarintColumn(payload, payload_size, &offset,
+                                          num_ends, &columns.durations));
+      if (offset != payload_size) {
+        return Status::Corruption("trailing bytes after the block columns");
+      }
+      break;
+    case BlockCodec::kBitpack: {
+      columns.objects.resize(count);
+      columns.targets.resize(count);
+      columns.epochs.resize(count);
+      columns.durations.resize(num_ends);
+      SPIRE_RETURN_NOT_OK(UnpackColumn(payload, payload_size, &offset, count,
+                                       columns.objects.data()));
+      SPIRE_RETURN_NOT_OK(UnpackColumn(payload, payload_size, &offset, count,
+                                       columns.targets.data()));
+      SPIRE_RETURN_NOT_OK(UnpackColumn(payload, payload_size, &offset, count,
+                                       columns.epochs.data()));
+      SPIRE_RETURN_NOT_OK(UnpackColumn(payload, payload_size, &offset,
+                                       num_ends, columns.durations.data()));
+      if (offset + kBitpackPadBytes != payload_size) {
+        return Status::Corruption("trailing bytes after the block columns");
+      }
+      for (std::size_t i = offset; i < payload_size; ++i) {
+        if (payload[i] != 0) {
+          return Status::Corruption("nonzero bitpack payload pad");
+        }
+      }
+      break;
+    }
+    default:
+      return Status::Corruption("unknown block codec");
+  }
+  PrefixDecode(&columns.objects);
+  PrefixDecodeTargets(types, &columns.targets);
+  PrefixDecode(&columns.epochs);
+  return MaterializeEvents(types, columns.objects, columns.targets,
+                           columns.epochs, columns.durations, out);
+}
+
+Status DecodeBlockEpochs(const std::uint8_t* payload,
+                         std::size_t payload_size, std::uint32_t count,
+                         BlockCodec codec, std::vector<Epoch>* out) {
+  if (payload_size < count) {
     return Status::Corruption("block payload shorter than its type column");
   }
-  std::size_t offset = 0;
-  std::vector<EventType> types(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint8_t byte = payload[offset++];
-    if (byte > static_cast<std::uint8_t>(EventType::kMissing)) {
-      return Status::Corruption("unknown event type byte in block");
-    }
-    types[i] = static_cast<EventType>(byte);
-  }
-
-  std::vector<std::uint64_t> objects(count);
-  std::uint64_t prev_object = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    auto object = GetDelta(payload, &offset, &prev_object);
-    if (!object.ok()) return object.status();
-    objects[i] = object.value();
-  }
-
-  std::vector<std::uint64_t> targets(count);
-  std::uint64_t prev_container = 0;
-  std::uint64_t prev_location = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const bool containment = IsContainmentEvent(types[i]);
-    auto target = GetDelta(payload, &offset,
-                           containment ? &prev_container : &prev_location);
-    if (!target.ok()) return target.status();
-    if (!containment &&
-        target.value() > std::numeric_limits<LocationId>::max()) {
-      return Status::Corruption("location id out of range in block");
-    }
-    targets[i] = target.value();
-  }
-
-  std::vector<Epoch> primaries(count);
-  std::uint64_t prev_epoch = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    auto primary = GetDelta(payload, &offset, &prev_epoch);
-    if (!primary.ok()) return primary.status();
-    primaries[i] = static_cast<Epoch>(primary.value());
-    if (primaries[i] < 0) {
-      return Status::Corruption("negative event timestamp in block");
-    }
-  }
-
+  std::size_t offset = count;  // Types carry no epoch data; jump them.
+  // Unpack the zigzag deltas straight into the output tail and transform
+  // them in place (Epoch and uint64_t share size, and signed/unsigned
+  // aliasing of the same width is well-defined), so the hot path pays no
+  // per-block scratch allocation or copy pass.
   const std::size_t base = out->size();
   out->resize(base + count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    Event& event = (*out)[base + i];
-    event.type = types[i];
-    event.object = objects[i];
-    if (IsContainmentEvent(types[i])) {
-      event.container = targets[i];
-    } else {
-      event.location = static_cast<LocationId>(targets[i]);
-    }
-    switch (types[i]) {
-      case EventType::kStartLocation:
-      case EventType::kStartContainment:
-        event.start = primaries[i];
-        event.end = kInfiniteEpoch;
-        break;
-      case EventType::kEndLocation:
-      case EventType::kEndContainment: {
-        auto duration = GetVarint64(payload, &offset);
-        if (!duration.ok()) return duration.status();
-        const std::uint64_t start =
-            static_cast<std::uint64_t>(primaries[i]) - duration.value();
-        event.end = primaries[i];
-        event.start = static_cast<Epoch>(start);
-        if (event.start < 0 || event.start > event.end) {
-          return Status::Corruption("End event duration out of range in block");
-        }
-        break;
+  auto* deltas = reinterpret_cast<std::uint64_t*>(out->data() + base);
+  switch (codec) {
+    case BlockCodec::kVarint:
+      // Varint columns have no skip structure: reaching the epoch column
+      // means walking every object/target byte's continuation bit.
+      for (std::uint32_t i = 0; i < 2 * count; ++i) {
+        SPIRE_RETURN_NOT_OK(SkipVarint64(payload, payload_size, &offset));
       }
-      case EventType::kMissing:
-        event.start = primaries[i];
-        event.end = primaries[i];
-        break;
-    }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        auto value = GetVarint64(payload, payload_size, &offset);
+        if (!value.ok()) return value.status();
+        deltas[i] = value.value();
+      }
+      break;
+    case BlockCodec::kBitpack:
+      SPIRE_RETURN_NOT_OK(SkipColumn(payload, payload_size, &offset, count));
+      SPIRE_RETURN_NOT_OK(SkipColumn(payload, payload_size, &offset, count));
+      SPIRE_RETURN_NOT_OK(
+          UnpackColumn(payload, payload_size, &offset, count, deltas));
+      break;
+    default:
+      return Status::Corruption("unknown block codec");
   }
-  if (offset != payload.size()) {
-    return Status::Corruption("trailing bytes after the block columns");
+  std::uint64_t prev = 0;
+  std::uint64_t sign = 0;  // Accumulated sign bits: branch-free range check.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    prev += static_cast<std::uint64_t>(ZigzagDecode(deltas[i]));
+    sign |= prev;
+    deltas[i] = prev;
+  }
+  if ((sign >> 63) != 0) {
+    return Status::Corruption("negative event timestamp in block");
   }
   return Status::OK();
 }

@@ -1,20 +1,33 @@
-// Column-wise delta+varint codec for one archive block.
+// Column-wise codecs for one archive block.
 //
 // A block is self-contained: End* events store their reconstructed V_s as a
 // duration column, so any block decodes to exact Event values without the
 // cross-record open-event state the flat SPEV stream needs. That is what
 // makes per-block access paths (time-range and per-object scans) possible.
 //
-// Payload layout, all columns back to back:
+// Both codecs share the column model — all columns back to back:
 //
 //   types      one byte per event (EventType)
-//   objects    zigzag varint delta vs the previous event's object id
-//   targets    zigzag varint delta; containment events delta against the
+//   objects    zigzag delta vs the previous event's object id
+//   targets    zigzag delta; containment events delta against the
 //              previous container id, location events against the previous
 //              location id (two independent chains, interleaved in event
 //              order), since the two id spaces have very different scales
-//   epochs     zigzag varint delta of the primary timestamp
-//   durations  for End* events only, varint of (V_e - V_s)
+//   epochs     zigzag delta of the primary timestamp
+//   durations  for End* events only, (V_e - V_s), one entry per End event
+//
+// Codec 0 (kVarint) writes each numeric column as LEB128 varints — compact,
+// but decode is a data-dependent branch per byte. Codec 1 (kBitpack) writes
+// each numeric column as 128-value bit-packed miniblocks (store/bitpack.h)
+// and appends kBitpackPadBytes zero bytes, decoded by branch-free word
+// loads; its column framing is also skippable, so the epoch column can be
+// decoded without touching the object/target columns at all
+// (DecodeBlockEpochs).
+//
+// Decoders take (pointer, size) rather than a vector so they can run
+// zero-copy over an mmapped segment. Every malformed byte sequence —
+// including non-canonical varints, non-minimal bit widths, and nonzero pad
+// bytes — yields a descriptive Corruption status.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +43,7 @@ namespace spire {
 struct EncodedBlock {
   std::vector<std::uint8_t> payload;
   std::uint32_t count = 0;
+  BlockCodec codec = BlockCodec::kVarint;
   Epoch min_epoch = kNeverEpoch;
   Epoch max_epoch = kNeverEpoch;
 };
@@ -40,15 +54,30 @@ struct EncodedBlock {
 /// timestamp.
 Status ValidateArchivable(const Event& event);
 
-/// Encodes `events[first, first+count)` column-wise; every event must pass
-/// ValidateArchivable.
+/// Encodes `events[first, first+count)` column-wise with `codec`; every
+/// event must pass ValidateArchivable.
 Result<EncodedBlock> EncodeBlock(const EventStream& events, std::size_t first,
-                                 std::size_t count);
+                                 std::size_t count,
+                                 BlockCodec codec = BlockCodec::kVarint);
 
 /// Decodes a payload produced by EncodeBlock back into exactly `count`
-/// events appended to `out`. Every malformed byte sequence yields a
-/// descriptive Corruption status.
-Status DecodeBlock(const std::vector<std::uint8_t>& payload,
-                   std::uint32_t count, EventStream* out);
+/// events appended to `out`.
+Status DecodeBlock(const std::uint8_t* payload, std::size_t payload_size,
+                   std::uint32_t count, BlockCodec codec, EventStream* out);
+
+inline Status DecodeBlock(const std::vector<std::uint8_t>& payload,
+                          std::uint32_t count, EventStream* out,
+                          BlockCodec codec = BlockCodec::kVarint) {
+  return DecodeBlock(payload.data(), payload.size(), count, codec, out);
+}
+
+/// Decodes only the primary-timestamp column, appending `count` epochs to
+/// `out` — the scan-rate workhorse for epoch-restricted analytics. For
+/// kBitpack the object/target columns are skipped structurally (one width
+/// byte per 128 values); for kVarint they must still be walked byte by
+/// byte, which is exactly the asymmetry bench/expt9_archive measures.
+Status DecodeBlockEpochs(const std::uint8_t* payload,
+                         std::size_t payload_size, std::uint32_t count,
+                         BlockCodec codec, std::vector<Epoch>* out);
 
 }  // namespace spire

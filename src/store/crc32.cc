@@ -1,31 +1,62 @@
 #include "store/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace spire {
 
 namespace {
 
-std::array<std::uint32_t, 256> MakeTable() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8: table[0] is the classic byte-at-a-time CRC-32 table; table[k]
+// advances a CRC by k additional zero bytes, so eight table lookups retire
+// eight message bytes per iteration. All tables derive from the same
+// 0xedb88320 (IEEE 802.3) polynomial — results are byte-identical to the
+// byte-at-a-time loop, only faster.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+};
+
+Tables MakeTables() {
+  Tables tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0u);
     }
-    table[i] = crc;
+    tables.t[0][i] = crc;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables.t[k - 1][i];
+      tables.t[k][i] = (prev >> 8) ^ tables.t[0][prev & 0xff];
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
-  static const std::array<std::uint32_t, 256> kTable = MakeTable();
+  static const Tables kTables = MakeTables();
+  const auto& t = kTables.t;
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   std::uint32_t crc = ~seed;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xff];
+  while (size >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes, sizeof(word));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    word = __builtin_bswap64(word);
+#endif
+    word ^= crc;
+    crc = t[7][word & 0xff] ^ t[6][(word >> 8) & 0xff] ^
+          t[5][(word >> 16) & 0xff] ^ t[4][(word >> 24) & 0xff] ^
+          t[3][(word >> 32) & 0xff] ^ t[2][(word >> 40) & 0xff] ^
+          t[1][(word >> 48) & 0xff] ^ t[0][(word >> 56) & 0xff];
+    bytes += 8;
+    size -= 8;
+  }
+  for (; size > 0; --size, ++bytes) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *bytes) & 0xff];
   }
   return ~crc;
 }

@@ -1,0 +1,72 @@
+#include "store/format.h"
+
+#include "store/crc32.h"
+#include "store/little_endian.h"
+
+namespace spire {
+
+const char* ToString(BlockCodec codec) {
+  switch (codec) {
+    case BlockCodec::kVarint:
+      return "varint";
+    case BlockCodec::kBitpack:
+      return "bitpack";
+  }
+  return "unknown";
+}
+
+Result<BlockHeader> ParseBlockHeader(const std::uint8_t* bytes,
+                                     std::uint16_t version) {
+  const std::size_t size = BlockHeaderBytes(version);
+  if (GetLE32(bytes) != kArchiveBlockMarker) {
+    return Status::Corruption("bad block marker");
+  }
+  if (Crc32(bytes, size - 4) != GetLE32(bytes + size - 4)) {
+    return Status::Corruption("block header checksum mismatch");
+  }
+  BlockHeader header;
+  header.count = GetLE32(bytes + 4);
+  header.min_epoch = static_cast<Epoch>(GetLE64(bytes + 8));
+  header.max_epoch = static_cast<Epoch>(GetLE64(bytes + 16));
+  header.payload_size = GetLE32(bytes + 24);
+  header.payload_crc = GetLE32(bytes + 28);
+  if (version >= kArchiveVersion) {
+    const std::uint32_t codec_word = GetLE32(bytes + 32);
+    if (codec_word > 0xff || !KnownBlockCodec(
+                                 static_cast<std::uint8_t>(codec_word))) {
+      return Status::Corruption("unknown block codec id");
+    }
+    header.codec = static_cast<BlockCodec>(codec_word);
+  }
+  if (header.count == 0) {
+    return Status::Corruption("empty block");
+  }
+  if (header.payload_size > kMaxBlockPayloadBytes) {
+    return Status::Corruption("block payload size out of bounds");
+  }
+  // A sealed block's epoch bounds come from >= 1 validated events, so the
+  // kNeverEpoch sentinel (huge when read unsigned, negative as an Epoch)
+  // and inverted ranges can only mean corruption — and either would defeat
+  // the range-scan skip test if let through.
+  if (header.min_epoch < 0 || header.max_epoch < header.min_epoch) {
+    return Status::Corruption("block epoch range invalid");
+  }
+  return header;
+}
+
+void AppendBlockHeader(const BlockHeader& header, std::uint16_t version,
+                       std::vector<std::uint8_t>* out) {
+  const std::size_t start = out->size();
+  PutLE32(kArchiveBlockMarker, out);
+  PutLE32(header.count, out);
+  PutLE64(static_cast<std::uint64_t>(header.min_epoch), out);
+  PutLE64(static_cast<std::uint64_t>(header.max_epoch), out);
+  PutLE32(header.payload_size, out);
+  PutLE32(header.payload_crc, out);
+  if (version >= kArchiveVersion) {
+    PutLE32(static_cast<std::uint32_t>(header.codec), out);
+  }
+  PutLE32(Crc32(out->data() + start, out->size() - start), out);
+}
+
+}  // namespace spire

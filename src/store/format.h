@@ -4,18 +4,21 @@
 // A segment file is:
 //
 //   file header: kArchiveMagic (4) + u16 version + u16 reserved   = 8 bytes
-//   block*:      block header (36 bytes) + encoded payload
+//   block*:      block header + encoded payload
 //
-// Block header layout (little-endian):
+// Block header layout (little-endian). Version 1 headers are 36 bytes,
+// version 2 headers are 40: field offsets [0, 32) are identical, version 2
+// inserts a codec-id word before the trailing CRC.
 //
 //   offset  size  field
 //   0       4     kArchiveBlockMarker
-//   4       4     event count
-//   8       8     min epoch (over the events' primary timestamps)
-//   16      8     max epoch
+//   4       4     event count (>= 1)
+//   8       8     min epoch (over the events' primary timestamps, >= 0)
+//   16      8     max epoch (>= min epoch)
 //   24      4     payload size in bytes
 //   28      4     CRC-32 of the payload
-//   32      4     CRC-32 of header bytes [0, 32)
+//   [v2] 32 4     codec id (low byte, see BlockCodec) + 3 reserved zeros
+//   32/36   4     CRC-32 of all header bytes before this field
 //
 // The header CRC makes a torn or overwritten tail detectable before the
 // payload size is trusted; the payload CRC catches bit rot inside a block.
@@ -24,17 +27,29 @@
 // payload that fails validation — a crash mid-append loses at most the block
 // being written.
 //
+// Epoch-field semantics: a sealed block always holds >= 1 event and every
+// archived event has a primary timestamp >= 0 (ValidateArchivable), so a
+// valid header satisfies 0 <= min <= max. The kNeverEpoch sentinel (-1,
+// which reads back from the unsigned field as a huge epoch) therefore never
+// appears in a valid header; ParseBlockHeader rejects it — and any
+// min/max inversion — as corruption rather than letting it defeat the
+// BlockMeta::Intersects range-skip test.
+//
 // The index sidecar (`<segment>.spix`, sparkey-style) is a rebuildable
 // cache: kArchiveIndexMagic + u16 version + u16 reserved, u64 covered
-// segment bytes, u64 block count, the block directory, per-object posting
-// lists of block indexes, and a trailing CRC-32 over everything after the
-// 8-byte header. A sidecar whose covered size or CRC disagrees with the
-// segment is ignored and rebuilt by scanning.
+// segment bytes, u64 block count, a CRC-32 fingerprint of the last covered
+// block header, the block directory (offset, count, codec, min/max epoch),
+// per-object posting lists of block indexes, and a trailing CRC-32 over
+// everything after the 8-byte header. A sidecar whose covered size, tail
+// fingerprint, or CRC disagrees with the segment is ignored and rebuilt by
+// scanning.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "common/wire.h"
 #include "compress/event.h"
@@ -44,28 +59,80 @@ namespace spire {
 /// Bytes of the segment (and index) file header.
 inline constexpr std::size_t kArchiveHeaderBytes = 8;
 
-/// Bytes of one block header.
-inline constexpr std::size_t kBlockHeaderBytes = 36;
+/// Bytes of one version-1 block header.
+inline constexpr std::size_t kBlockHeaderBytesV1 = 36;
+
+/// Bytes of one version-2 block header (adds the codec-id word).
+inline constexpr std::size_t kBlockHeaderBytesV2 = 40;
+
+/// Bytes of a block header in a segment of the given format version.
+inline constexpr std::size_t BlockHeaderBytes(std::uint16_t version) {
+  return version >= kArchiveVersion ? kBlockHeaderBytesV2
+                                    : kBlockHeaderBytesV1;
+}
 
 /// Upper bound on one block's encoded payload; a header whose payload size
 /// exceeds it is treated as a torn tail even if its CRC matches by chance.
 inline constexpr std::uint32_t kMaxBlockPayloadBytes = 1u << 28;
 
+/// Per-block payload codec. Version-1 segments carry no codec field and are
+/// implicitly kVarint; version-2 blocks name theirs in the header.
+enum class BlockCodec : std::uint8_t {
+  /// Column-wise zigzag-varint deltas (the original format).
+  kVarint = 0,
+  /// 128-value miniblocks of bit-packed zigzag deltas with per-miniblock
+  /// minimal bit widths (store/bitpack.h).
+  kBitpack = 1,
+};
+
+/// True for codec ids this build can decode.
+inline constexpr bool KnownBlockCodec(std::uint8_t codec) {
+  return codec <= static_cast<std::uint8_t>(BlockCodec::kBitpack);
+}
+
+const char* ToString(BlockCodec codec);
+
 /// Directory entry of one block: where it lives and what it covers.
 struct BlockMeta {
   std::uint64_t offset = 0;  ///< Segment-file offset of the block header.
   std::uint32_t count = 0;   ///< Events in the block.
+  BlockCodec codec = BlockCodec::kVarint;  ///< Payload codec.
   Epoch min_epoch = kNeverEpoch;  ///< Smallest primary timestamp.
   Epoch max_epoch = kNeverEpoch;  ///< Largest primary timestamp.
 
   bool operator==(const BlockMeta&) const = default;
 
   /// True when the block may hold events with primary timestamps in
-  /// [lo, hi] — the time-range scan's skip test.
+  /// [lo, hi] — the time-range scan's skip test. Requires a validated meta
+  /// (0 <= min_epoch <= max_epoch; every ingestion path rejects sentinel or
+  /// inverted headers), so the test is a plain interval overlap.
   bool Intersects(Epoch lo, Epoch hi) const {
     return min_epoch <= hi && lo <= max_epoch;
   }
 };
+
+/// One parsed-and-validated block header.
+struct BlockHeader {
+  std::uint32_t count = 0;
+  BlockCodec codec = BlockCodec::kVarint;
+  Epoch min_epoch = 0;
+  Epoch max_epoch = 0;
+  std::uint32_t payload_size = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Parses and fully validates one block header of a version-`version`
+/// segment from `bytes` (which must hold BlockHeaderBytes(version) bytes):
+/// marker, header CRC, count >= 1, payload size bound, known codec, and
+/// 0 <= min <= max epoch. Any failure is Corruption — callers treating a
+/// failure as a torn tail stop scanning instead of propagating it.
+Result<BlockHeader> ParseBlockHeader(const std::uint8_t* bytes,
+                                     std::uint16_t version);
+
+/// Serializes a block header (including its CRC) for a version-`version`
+/// segment.
+void AppendBlockHeader(const BlockHeader& header, std::uint16_t version,
+                       std::vector<std::uint8_t>* out);
 
 /// The timestamp a message carries on the wire and the archive orders and
 /// indexes by: V_e for End* messages, V_s otherwise (serde.h's rule).

@@ -1,0 +1,54 @@
+#include "store/mmap_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPIRE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace spire {
+
+MappedFile::MappedFile(void* map, std::uint64_t size)
+    : data_(static_cast<std::uint8_t*>(map)), size_(size) {}
+
+#if SPIRE_HAVE_MMAP
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path,
+                                                     std::uint64_t size) {
+  if (size == 0) {
+    return Status::NotSupported("empty file, nothing to map: " + path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open for mapping: " + path);
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+  // The fd only anchors the mapping's creation; the mapping outlives it.
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::NotSupported("mmap failed: " + path);
+  }
+  return std::shared_ptr<MappedFile>(new MappedFile(map, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(data_, static_cast<std::size_t>(size_));
+  }
+}
+
+#else  // !SPIRE_HAVE_MMAP
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path,
+                                                     std::uint64_t) {
+  return Status::NotSupported("memory mapping unavailable on this platform: " +
+                              path);
+}
+
+MappedFile::~MappedFile() = default;
+
+#endif
+
+}  // namespace spire

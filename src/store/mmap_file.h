@@ -1,0 +1,44 @@
+// Read-only memory mapping of a segment file, with a graceful signal to
+// fall back to buffered reads where mapping is unavailable (non-POSIX
+// builds, exotic filesystems, zero-length files).
+//
+// The sparkey reader model: map once at open for a constant startup cost,
+// then serve every scan zero-copy out of the page cache. The mapping is
+// immutable-by-contract — SPIRE segments are append-only and readers map
+// only the validated prefix, so pages behind `size()` never change under
+// the reader (a concurrent appender writes past them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace spire {
+
+/// A read-only byte view of one file's first `size` bytes.
+class MappedFile {
+ public:
+  /// Maps the first `size` bytes of `path`. Fails (NotSupported /
+  /// NotFound) when the platform cannot map or the file cannot be opened —
+  /// callers then use their buffered-read path.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path,
+                                                  std::uint64_t size);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::uint64_t size() const { return size_; }
+
+ private:
+  MappedFile(void* map, std::uint64_t size);
+
+  std::uint8_t* data_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace spire

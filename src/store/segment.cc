@@ -41,17 +41,6 @@ class Cursor {
   std::size_t offset_ = 0;
 };
 
-Status CheckFileHeader(const std::uint8_t* header, const char* magic,
-                       std::uint16_t version, const std::string& what) {
-  if (std::memcmp(header, magic, kMagicBytes) != 0) {
-    return Status::Corruption("not a " + what + " (bad magic)");
-  }
-  if (GetLE16(header + kMagicBytes) != version) {
-    return Status::NotSupported("unsupported " + what + " version");
-  }
-  return Status::OK();
-}
-
 void AppendFileHeader(const char* magic, std::uint16_t version,
                       std::vector<std::uint8_t>* out) {
   for (std::size_t i = 0; i < kMagicBytes; ++i) {
@@ -71,6 +60,53 @@ void AddPostings(const EventStream& block_events, std::uint32_t block_index,
   }
 }
 
+/// Reads a segment's 8-byte file header and returns its format version.
+Result<std::uint16_t> ReadSegmentVersion(std::ifstream* in,
+                                         const std::string& path) {
+  std::uint8_t header[kArchiveHeaderBytes] = {};
+  in->read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in->good()) {
+    return Status::Corruption("not a SPIRE archive (too short): " + path);
+  }
+  if (std::memcmp(header, kArchiveMagic, kMagicBytes) != 0) {
+    return Status::Corruption("not a SPIRE archive (bad magic): " + path);
+  }
+  const std::uint16_t version = GetLE16(header + kMagicBytes);
+  if (version != kArchiveVersion && version != kArchiveVersionV1) {
+    return Status::NotSupported("unsupported SPIRE archive version " +
+                                std::to_string(version) + ": " + path);
+  }
+  return version;
+}
+
+/// The sidecar's tail fingerprint: the last valid block header's own CRC
+/// field, which digests every other header field (count, epoch bounds,
+/// payload size, payload CRC). Zero when the segment has no blocks.
+///
+/// Deliberately NOT a CRC over the whole header: CRC-32 of a message
+/// concatenated with its own CRC is the fixed residue 0x2144df1c, so that
+/// "fingerprint" would be identical for every valid header and match any
+/// rewritten tail.
+Result<std::uint32_t> TailFingerprint(const std::string& segment_path,
+                                      std::uint16_t version,
+                                      const std::vector<BlockMeta>& blocks) {
+  if (blocks.empty()) return std::uint32_t{0};
+  std::ifstream in(segment_path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open archive segment: " + segment_path);
+  }
+  const std::size_t header_bytes = BlockHeaderBytes(version);
+  std::uint8_t header[kBlockHeaderBytesV2] = {};
+  in.seekg(static_cast<std::streamoff>(blocks.back().offset));
+  in.read(reinterpret_cast<char*>(header),
+          static_cast<std::streamsize>(header_bytes));
+  if (!in.good()) {
+    return Status::Corruption("cannot read tail block header: " +
+                              segment_path);
+  }
+  return GetLE32(header + header_bytes - 4);
+}
+
 }  // namespace
 
 Result<SegmentInfo> ScanSegment(const std::string& path) {
@@ -80,54 +116,69 @@ Result<SegmentInfo> ScanSegment(const std::string& path) {
   const std::uint64_t file_bytes = static_cast<std::uint64_t>(in.tellg());
   in.seekg(0);
 
-  std::uint8_t header[kArchiveHeaderBytes] = {};
-  in.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (!in.good()) {
-    return Status::Corruption("not a SPIRE archive (too short): " + path);
-  }
-  SPIRE_RETURN_NOT_OK(CheckFileHeader(header, kArchiveMagic, kArchiveVersion,
-                                      "SPIRE archive"));
+  auto version = ReadSegmentVersion(&in, path);
+  if (!version.ok()) return version.status();
 
   SegmentInfo info;
+  info.version = version.value();
   info.file_bytes = file_bytes;
   info.valid_bytes = kArchiveHeaderBytes;
 
+  const std::size_t header_bytes = BlockHeaderBytes(info.version);
   std::vector<std::uint8_t> payload;
   std::uint64_t pos = kArchiveHeaderBytes;
-  while (pos + kBlockHeaderBytes <= file_bytes) {
-    std::uint8_t block_header[kBlockHeaderBytes] = {};
+  while (pos + header_bytes <= file_bytes) {
+    std::uint8_t block_header[kBlockHeaderBytesV2] = {};
     in.seekg(static_cast<std::streamoff>(pos));
-    in.read(reinterpret_cast<char*>(block_header), sizeof(block_header));
+    in.read(reinterpret_cast<char*>(block_header),
+            static_cast<std::streamsize>(header_bytes));
     if (!in.good()) break;
     // Any validation failure below means the tail is torn: stop scanning.
-    if (GetLE32(block_header) != kArchiveBlockMarker) break;
-    if (Crc32(block_header, kBlockHeaderBytes - 4) !=
-        GetLE32(block_header + 32)) {
-      break;
-    }
-    const std::uint32_t count = GetLE32(block_header + 4);
-    const std::uint32_t payload_size = GetLE32(block_header + 24);
-    if (count == 0 || payload_size > kMaxBlockPayloadBytes) break;
-    if (pos + kBlockHeaderBytes + payload_size > file_bytes) break;
-    payload.resize(payload_size);
-    in.read(reinterpret_cast<char*>(payload.data()), payload_size);
+    auto header = ParseBlockHeader(block_header, info.version);
+    if (!header.ok()) break;
+    if (pos + header_bytes + header.value().payload_size > file_bytes) break;
+    payload.resize(header.value().payload_size);
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
     if (!in.good()) break;
-    if (Crc32(payload.data(), payload.size()) != GetLE32(block_header + 28)) {
+    if (Crc32(payload.data(), payload.size()) != header.value().payload_crc) {
       break;
     }
     EventStream decoded;
-    if (!DecodeBlock(payload, count, &decoded).ok()) break;
+    if (!DecodeBlock(payload.data(), payload.size(), header.value().count,
+                     header.value().codec, &decoded)
+             .ok()) {
+      break;
+    }
+    // The header's epoch range must be exactly the decoded events' bounds;
+    // a wider (or sentinel) range would poison the range-scan skip test.
+    Epoch min_epoch = kNeverEpoch;
+    Epoch max_epoch = kNeverEpoch;
+    for (const Event& event : decoded) {
+      const Epoch primary = PrimaryEpoch(event);
+      if (min_epoch == kNeverEpoch || primary < min_epoch) {
+        min_epoch = primary;
+      }
+      if (max_epoch == kNeverEpoch || primary > max_epoch) {
+        max_epoch = primary;
+      }
+    }
+    if (min_epoch != header.value().min_epoch ||
+        max_epoch != header.value().max_epoch) {
+      break;
+    }
 
     BlockMeta meta;
     meta.offset = pos;
-    meta.count = count;
-    meta.min_epoch = static_cast<Epoch>(GetLE64(block_header + 8));
-    meta.max_epoch = static_cast<Epoch>(GetLE64(block_header + 16));
+    meta.count = header.value().count;
+    meta.codec = header.value().codec;
+    meta.min_epoch = min_epoch;
+    meta.max_epoch = max_epoch;
     AddPostings(decoded, static_cast<std::uint32_t>(info.blocks.size()),
                 &info.postings);
     info.blocks.push_back(meta);
-    info.events += count;
-    pos += kBlockHeaderBytes + payload_size;
+    info.events += meta.count;
+    pos += header_bytes + header.value().payload_size;
     info.valid_bytes = pos;
   }
   return info;
@@ -139,12 +190,19 @@ std::string IndexPathFor(const std::string& segment_path) {
 
 Status WriteIndexFile(const std::string& segment_path,
                       const SegmentInfo& info) {
+  auto tail_crc = TailFingerprint(segment_path, info.version, info.blocks);
+  if (!tail_crc.ok()) return tail_crc.status();
+
   std::vector<std::uint8_t> body;
   PutLE64(info.valid_bytes, &body);
   PutLE64(info.blocks.size(), &body);
+  PutLE16(info.version, &body);
+  PutLE16(0, &body);  // Reserved.
+  PutLE32(tail_crc.value(), &body);
   for (const BlockMeta& block : info.blocks) {
     PutLE64(block.offset, &body);
     PutLE32(block.count, &body);
+    PutLE32(static_cast<std::uint32_t>(block.codec), &body);
     PutLE64(static_cast<std::uint64_t>(block.min_epoch), &body);
     PutLE64(static_cast<std::uint64_t>(block.max_epoch), &body);
   }
@@ -180,9 +238,15 @@ Result<SegmentInfo> ReadIndexFile(const std::string& segment_path,
   if (bytes.size() < kArchiveHeaderBytes + 4) {
     return Status::Corruption("archive index too short: " + path);
   }
-  SPIRE_RETURN_NOT_OK(CheckFileHeader(bytes.data(), kArchiveIndexMagic,
-                                      kArchiveIndexVersion,
-                                      "SPIRE archive index"));
+  if (std::memcmp(bytes.data(), kArchiveIndexMagic, kMagicBytes) != 0) {
+    return Status::Corruption("not a SPIRE archive index (bad magic): " +
+                              path);
+  }
+  if (GetLE16(bytes.data() + kMagicBytes) != kArchiveIndexVersion) {
+    // Older (or newer) sidecars are rebuildable caches, not data: callers
+    // rebuild by scanning and Close() rewrites the current version.
+    return Status::NotSupported("unsupported archive index version: " + path);
+  }
   const std::vector<std::uint8_t> body(bytes.begin() + kArchiveHeaderBytes,
                                        bytes.end() - 4);
   if (Crc32(body.data(), body.size()) != GetLE32(&bytes[bytes.size() - 4])) {
@@ -192,25 +256,58 @@ Result<SegmentInfo> ReadIndexFile(const std::string& segment_path,
   Cursor cursor(body);
   SegmentInfo info;
   std::uint64_t block_count = 0;
-  if (!cursor.U64(&info.valid_bytes) || !cursor.U64(&block_count)) {
+  std::uint32_t segment_version = 0;
+  std::uint32_t tail_crc = 0;
+  if (!cursor.U64(&info.valid_bytes) || !cursor.U64(&block_count) ||
+      !cursor.U32(&segment_version) || !cursor.U32(&tail_crc)) {
     return Status::Corruption("archive index directory truncated: " + path);
   }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(segment_version & 0xffff);
+  if (version != kArchiveVersion && version != kArchiveVersionV1) {
+    return Status::Corruption("archive index names an unknown segment "
+                              "version: " + path);
+  }
+  info.version = version;
   if (info.valid_bytes != segment_bytes) {
+    // Covers both directions: a segment that grew past the sidecar (append
+    // without Close) and one that shrank below it (post-crash logical
+    // truncation) — either way the directory describes a different prefix.
     return Status::Corruption("archive index is stale (covers " +
                               std::to_string(info.valid_bytes) + " of " +
                               std::to_string(segment_bytes) + " bytes): " +
                               path);
   }
+  const std::size_t header_bytes = BlockHeaderBytes(info.version);
+  std::uint64_t min_next_offset = kArchiveHeaderBytes;
   for (std::uint64_t i = 0; i < block_count; ++i) {
     BlockMeta block;
+    std::uint32_t codec = 0;
     std::uint64_t min_epoch = 0;
     std::uint64_t max_epoch = 0;
     if (!cursor.U64(&block.offset) || !cursor.U32(&block.count) ||
-        !cursor.U64(&min_epoch) || !cursor.U64(&max_epoch)) {
+        !cursor.U32(&codec) || !cursor.U64(&min_epoch) ||
+        !cursor.U64(&max_epoch)) {
       return Status::Corruption("archive index directory truncated: " + path);
     }
+    block.codec = static_cast<BlockCodec>(codec);
     block.min_epoch = static_cast<Epoch>(min_epoch);
     block.max_epoch = static_cast<Epoch>(max_epoch);
+    // The same invariants ParseBlockHeader enforces on the segment side: a
+    // directory with empty, codec-unknown, sentinel-epoch, or out-of-place
+    // blocks must not steer scans. The sidecar carries no payload sizes,
+    // so exact block contiguity is rechecked against the real header at
+    // decode time; here offsets must be in-bounds and strictly advancing
+    // past each predecessor's header.
+    if (block.count == 0 || codec > 0xff ||
+        !KnownBlockCodec(static_cast<std::uint8_t>(codec)) ||
+        block.min_epoch < 0 || block.max_epoch < block.min_epoch ||
+        block.offset < min_next_offset ||
+        block.offset + header_bytes > segment_bytes) {
+      return Status::Corruption("archive index directory entry invalid: " +
+                                path);
+    }
+    min_next_offset = block.offset + header_bytes;
     info.blocks.push_back(block);
     info.events += block.count;
   }
@@ -240,6 +337,16 @@ Result<SegmentInfo> ReadIndexFile(const std::string& segment_path,
   }
   if (!cursor.AtEnd()) {
     return Status::Corruption("trailing bytes in archive index: " + path);
+  }
+
+  // The covered-bytes equality above cannot tell a segment apart from a
+  // different one of the same size (truncated and re-appended); the tail
+  // fingerprint can.
+  auto fingerprint = TailFingerprint(segment_path, info.version, info.blocks);
+  if (!fingerprint.ok()) return fingerprint.status();
+  if (fingerprint.value() != tail_crc) {
+    return Status::Corruption("archive index tail fingerprint mismatch "
+                              "(segment rewritten since indexing): " + path);
   }
   info.file_bytes = segment_bytes;
   return info;

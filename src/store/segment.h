@@ -16,6 +16,9 @@ namespace spire {
 /// directory, per-object posting lists of block indexes, and how far the
 /// valid prefix reaches.
 struct SegmentInfo {
+  /// Segment format version (kArchiveVersionV1 or kArchiveVersion); decides
+  /// the block-header layout.
+  std::uint16_t version = kArchiveVersion;
   std::vector<BlockMeta> blocks;
   std::map<ObjectId, std::vector<std::uint32_t>> postings;
   std::uint64_t events = 0;
@@ -25,24 +28,31 @@ struct SegmentInfo {
   std::uint64_t file_bytes = 0;
 };
 
-/// Scans a segment file front to back, validating every block's header CRC,
-/// marker, and payload CRC, and decoding payloads to build the posting
+/// Scans a segment file front to back, validating every block's header
+/// (marker, CRC, codec id, epoch-range sanity) and payload (CRC, decode,
+/// and that the header's min/max epochs are exactly the decoded events'
+/// primary-timestamp bounds), and decoding payloads to build the posting
 /// lists. Stops at the first block that fails validation (the torn tail) —
 /// that is the recovery rule, not an error. Fails only when the file cannot
-/// be opened or its 8-byte file header is not a SPIRE archive.
+/// be opened or its 8-byte file header is not a SPIRE archive of a
+/// supported version.
 Result<SegmentInfo> ScanSegment(const std::string& path);
 
 /// Path of the index sidecar: `<segment_path>.spix` (sparkey-style pair).
 std::string IndexPathFor(const std::string& segment_path);
 
 /// Writes the sidecar for a segment whose valid prefix is
-/// `info.valid_bytes` bytes.
+/// `info.valid_bytes` bytes. Reads the segment's last block header back to
+/// record the tail fingerprint that ties the sidecar to this exact prefix.
 Status WriteIndexFile(const std::string& segment_path, const SegmentInfo& info);
 
-/// Reads the sidecar back. Fails when it is missing or malformed, or when
-/// it covers a different byte count than `segment_bytes` (stale after a
-/// crash or an unclosed append session) — callers then fall back to
-/// ScanSegment.
+/// Reads the sidecar back. Fails when it is missing or malformed, when it
+/// covers a different byte count than `segment_bytes` (stale after a crash
+/// or an unclosed append session — including a segment *shrunk* below the
+/// covered bytes by post-crash logical truncation), or when the segment's
+/// last block header no longer matches the recorded tail fingerprint (a
+/// same-size segment with different contents, e.g. truncated and
+/// re-appended). Callers then fall back to ScanSegment.
 Result<SegmentInfo> ReadIndexFile(const std::string& segment_path,
                                   std::uint64_t segment_bytes);
 

@@ -26,18 +26,52 @@ inline void PutVarint64(std::uint64_t value, std::vector<std::uint8_t>* out) {
   out->push_back(static_cast<std::uint8_t>(value));
 }
 
-/// Decodes one varint starting at `*offset`, advancing it past the encoding.
-/// Fails on truncation or an encoding longer than 10 bytes.
-inline Result<std::uint64_t> GetVarint64(const std::vector<std::uint8_t>& in,
+/// Decodes one varint from `in[*offset, size)`, advancing `*offset` past the
+/// encoding. Strict: every decodable byte sequence is the unique encoding
+/// PutVarint64 produces. Fails on
+///   - truncation or an encoding longer than 10 bytes;
+///   - a 10th byte carrying bits beyond bit 63 (the 9 prior bytes supply 63
+///     bits, so only its lowest bit is payload — anything else would be
+///     silently shifted out);
+///   - non-canonical padding (a trailing 0x00 continuation target, e.g.
+///     0x80 0x00 for zero): the final byte of a multi-byte encoding must be
+///     nonzero, or a shorter encoding of the same value exists.
+inline Result<std::uint64_t> GetVarint64(const std::uint8_t* in,
+                                         std::size_t size,
                                          std::size_t* offset) {
   std::uint64_t value = 0;
   for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
-    if (*offset >= in.size()) {
+    if (*offset >= size) {
       return Status::Corruption("truncated varint");
     }
     const std::uint8_t byte = in[(*offset)++];
+    if (i == kMaxVarintBytes - 1 && byte > 1) {
+      return Status::Corruption("varint overflows 64 bits");
+    }
     value |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
-    if ((byte & 0x80) == 0) return value;
+    if ((byte & 0x80) == 0) {
+      if (byte == 0 && i > 0) {
+        return Status::Corruption("non-canonical varint padding");
+      }
+      return value;
+    }
+  }
+  return Status::Corruption("varint longer than 10 bytes");
+}
+
+inline Result<std::uint64_t> GetVarint64(const std::vector<std::uint8_t>& in,
+                                         std::size_t* offset) {
+  return GetVarint64(in.data(), in.size(), offset);
+}
+
+/// Advances `*offset` past one varint without decoding it (column skip);
+/// applies the same length bound, but not the canonicality checks — the
+/// full-decode path is the validator.
+inline Status SkipVarint64(const std::uint8_t* in, std::size_t size,
+                           std::size_t* offset) {
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (*offset >= size) return Status::Corruption("truncated varint");
+    if ((in[(*offset)++] & 0x80) == 0) return Status::OK();
   }
   return Status::Corruption("varint longer than 10 bytes");
 }

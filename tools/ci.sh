@@ -15,6 +15,9 @@
 # disabled-overhead bench (reported, not gated). A CEP smoke step
 # (DESIGN.md §11) then cross-checks the pattern library's two evaluators
 # over a fuzz-seed trace and an archive replay via `spire_cli detect`.
+# An archive codec smoke (DESIGN.md §6) round-trips a trace through both
+# block codecs (including the v1 -> v2 compaction path) over the mmap and
+# buffered transports — in the plain AND the sanitized configuration.
 #
 #   tools/ci.sh            # all three configurations
 #   tools/ci.sh plain      # plain only
@@ -101,6 +104,37 @@ run_cep_smoke() {
   rm -rf "$tmp"
 }
 
+# Archive codec smoke (DESIGN.md §6): a fuzz-seed trace archived with each
+# codec (the v2 bitpack segment produced by compacting a v1 varint segment,
+# so the upgrade path is exercised too), then scanned back over both
+# transports. Every scan must reproduce the pipeline's event file
+# byte-for-byte. Runs under the sanitized build as well, putting the
+# word-at-a-time bitpack decode and the mmap zero-copy path in front of
+# ASan/UBSan on every CI pass.
+run_archive_smoke() {
+  local dir="$1" tmp arc transport
+  tmp="$(mktemp -d)"
+  echo "=== [archive] codec smoke (varint + v1->v2 bitpack, mmap + buffered) ==="
+  "$dir/tools/spire_cli" run seed=21 out="$tmp/run.spev" > /dev/null
+  "$dir/tools/spire_cli" archive in="$tmp/run.spev" out="$tmp/varint.sparc" \
+    codec=varint
+  "$dir/tools/spire_cli" archive in="$tmp/run.spev" out="$tmp/v1.sparc" \
+    format=1
+  "$dir/tools/spire_cli" compact in="$tmp/v1.sparc" out="$tmp/bitpack.sparc"
+  for arc in varint bitpack; do
+    for transport in 1 0; do
+      "$dir/tools/spire_cli" scan in="$tmp/$arc.sparc" mmap="$transport" \
+        out="$tmp/scan.spev" > /dev/null
+      if ! cmp -s "$tmp/run.spev" "$tmp/scan.spev"; then
+        echo "archive smoke: $arc mmap=$transport scan diverged" >&2
+        rm -rf "$tmp"
+        exit 1
+      fi
+    done
+  done
+  rm -rf "$tmp"
+}
+
 # Incremental-inference bench: a quick expt12 run (byte-identity of
 # delta-driven vs full recomputation is checked inside the binary, so a
 # divergence fails hard) compared against the committed
@@ -124,6 +158,13 @@ run_bench_compare() {
   if [ -f BENCH_cep.json ]; then
     tools/bench_compare.py BENCH_cep.json "$tmp/BENCH_cep.json" || true
   fi
+  echo "=== [bench] expt9 archive (5x epoch-scan floor + soft compare) ==="
+  # The 5x bitpack/mmap-vs-buffered-varint epoch-scan floor is asserted
+  # inside the binary; the wall-clock comparison stays soft.
+  SPIRE_BENCH_DIR="$tmp" "$dir/bench/expt9_archive" | tail -n +4
+  if [ -f BENCH_archive.json ]; then
+    tools/bench_compare.py BENCH_archive.json "$tmp/BENCH_archive.json" || true
+  fi
   rm -rf "$tmp"
 }
 
@@ -132,16 +173,22 @@ case "$mode" in
     run_config plain build
     run_obs_smoke build
     run_cep_smoke build
+    run_archive_smoke build
     run_bench_compare build
     ;;
-  sanitize) run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON ;;
+  sanitize)
+    run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON
+    run_archive_smoke build-sanitize
+    ;;
   tsan) run_tsan ;;
   all)
     run_config plain build
     run_obs_smoke build
     run_cep_smoke build
+    run_archive_smoke build
     run_bench_compare build
     run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON
+    run_archive_smoke build-sanitize
     run_tsan
     ;;
   *)

@@ -11,9 +11,11 @@
 //   spire_cli query      in=events.spev epoch=<t> [object=<id>]
 //                        [decompress=true]
 //   spire_cli archive    in=events.spev out=events.sparc [block=<events>]
+//                        [codec=varint|bitpack] [format=1|2]
 //   spire_cli scan       in=events.sparc [from=<t>] [to=<t>] [object=<id>]
-//                        [out=subset.spev]
+//                        [out=subset.spev] [mmap=0|1]
 //   spire_cli compact    in=events.sparc out=packed.sparc [block=<events>]
+//                        [codec=varint|bitpack] [format=1|2]
 //   spire_cli serve      in=<t1,t2,..> deployment=<d1,d2,..> out=events.spev
 //                        [shards=N] [queue=C] [level=1|2] [--stats]
 //                        [stats_out=metrics.json] [trace_out=trace.json]
@@ -332,6 +334,33 @@ int RunQuery(const Config& args) {
 
 // ------------------------------------------------------- archive commands
 
+/// Applies the shared archive-writer arguments: `block=<events>`,
+/// `codec=varint|bitpack`, and `format=1|2`.
+Status ParseArchiveWriterArgs(const Config& args, ArchiveOptions* options) {
+  options->block_events = static_cast<std::size_t>(
+      args.GetInt("block", static_cast<std::int64_t>(options->block_events))
+          .value_or(4096));
+  const std::string codec = args.GetString("codec", "").value_or("");
+  if (codec == "varint") {
+    options->codec = BlockCodec::kVarint;
+  } else if (codec == "bitpack") {
+    options->codec = BlockCodec::kBitpack;
+  } else if (!codec.empty()) {
+    return Status::InvalidArgument("unknown codec '" + codec +
+                                   "' (expected varint or bitpack)");
+  }
+  const std::int64_t format =
+      args.GetInt("format", options->format_version)
+          .value_or(options->format_version);
+  if (format != kArchiveVersion && format != kArchiveVersionV1) {
+    return Status::InvalidArgument("unknown archive format version " +
+                                   std::to_string(format) +
+                                   " (expected 1 or 2)");
+  }
+  options->format_version = static_cast<std::uint16_t>(format);
+  return Status::OK();
+}
+
 int RunArchive(const Config& args) {
   auto in_path = args.GetString("in", "").value_or("");
   auto out_path = args.GetString("out", "").value_or("");
@@ -342,9 +371,9 @@ int RunArchive(const Config& args) {
   if (!events.ok()) return Fail(events.status());
 
   ArchiveOptions options;
-  options.block_events = static_cast<std::size_t>(
-      args.GetInt("block", static_cast<std::int64_t>(options.block_events))
-          .value_or(4096));
+  if (Status status = ParseArchiveWriterArgs(args, &options); !status.ok()) {
+    return Fail(status);
+  }
   auto writer = ArchiveWriter::Open(out_path, options);
   if (!writer.ok()) return Fail(writer.status());
   ArchiveWriter& w = *writer.value();
@@ -361,10 +390,10 @@ int RunArchive(const Config& args) {
   if (!status.ok()) return Fail(status);
 
   const std::size_t flat_bytes = WireBytes(events.value());
-  std::printf("archived %llu events in %zu blocks, %llu bytes "
+  std::printf("archived %llu events in %zu blocks (v%u %s), %llu bytes "
               "(flat SPEV records: %zu bytes, %.1f%%)\n",
               static_cast<unsigned long long>(w.events_written()),
-              w.num_blocks(),
+              w.num_blocks(), w.format_version(), ToString(w.codec()),
               static_cast<unsigned long long>(w.segment_bytes()), flat_bytes,
               flat_bytes == 0 ? 0.0
                               : 100.0 * static_cast<double>(w.segment_bytes()) /
@@ -375,7 +404,9 @@ int RunArchive(const Config& args) {
 int RunScan(const Config& args) {
   auto in_path = args.GetString("in", "").value_or("");
   if (in_path.empty()) return FailText("scan needs in=<archive>");
-  auto reader = ArchiveReader::Open(in_path);
+  ReaderOptions reader_options;
+  reader_options.use_mmap = args.GetInt("mmap", 1).value_or(1) != 0;
+  auto reader = ArchiveReader::Open(in_path, reader_options);
   if (!reader.ok()) return Fail(reader.status());
   const ArchiveReader& r = reader.value();
   if (r.index_rebuilt()) {
@@ -440,10 +471,15 @@ int RunCompact(const Config& args) {
   std::error_code ec;
   std::filesystem::remove(out_path, ec);
   std::filesystem::remove(IndexPathFor(out_path), ec);
+  // Compaction rewrites every block anyway, so default to the
+  // scan-optimized codec; codec=varint opts back into the smaller one.
+  // This is also the v1 -> v2 upgrade path: compacting a v1 segment writes
+  // a current-format segment unless format=1 is forced.
   ArchiveOptions options;
-  options.block_events = static_cast<std::size_t>(
-      args.GetInt("block", static_cast<std::int64_t>(options.block_events))
-          .value_or(4096));
+  options.codec = BlockCodec::kBitpack;
+  if (Status status = ParseArchiveWriterArgs(args, &options); !status.ok()) {
+    return Fail(status);
+  }
   auto writer = ArchiveWriter::Open(out_path, options);
   if (!writer.ok()) return Fail(writer.status());
   Status status = writer.value()->Append(events.value());
@@ -451,11 +487,12 @@ int RunCompact(const Config& args) {
   status = writer.value()->Close();
   if (!status.ok()) return Fail(status);
 
-  std::printf("compacted %zu blocks (%llu bytes) -> %zu blocks (%llu bytes), "
-              "%zu events\n",
-              reader.value().num_blocks(),
+  std::printf("compacted %zu blocks (v%u, %llu bytes) -> %zu blocks "
+              "(v%u %s, %llu bytes), %zu events\n",
+              reader.value().num_blocks(), reader.value().format_version(),
               static_cast<unsigned long long>(reader.value().segment_bytes()),
-              writer.value()->num_blocks(),
+              writer.value()->num_blocks(), writer.value()->format_version(),
+              ToString(writer.value()->codec()),
               static_cast<unsigned long long>(writer.value()->segment_bytes()),
               events.value().size());
   return 0;
