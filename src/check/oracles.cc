@@ -9,6 +9,7 @@
 #include "cep/library.h"
 #include "cep/nfa.h"
 #include "compress/decompress.h"
+#include "dist/runner.h"
 #include "compress/fold.h"
 #include "compress/serde.h"
 #include "compress/well_formed.h"
@@ -430,6 +431,59 @@ std::optional<OracleFailure> DifferentialChecker::CheckPatternEquivalence(
   return std::nullopt;
 }
 
+std::optional<OracleFailure> DifferentialChecker::CheckDistributedEquivalence(
+    const FuzzCase& fuzz_case, CheckStats* stats) {
+  if (fuzz_case.sim.transfer_sites < 2) return std::nullopt;
+  auto fail = [](const std::string& detail) {
+    return OracleFailure{"distributed_equivalence", detail};
+  };
+
+  auto trace = GenerateTransferTrace(fuzz_case);
+  if (!trace.ok()) {
+    return fail("transfer expansion failed: " + trace.status().ToString());
+  }
+  auto workload = dist::ToWorkload(trace.value());
+  if (!workload.ok()) {
+    return fail("workload conversion failed: " + workload.status().ToString());
+  }
+
+  PipelineOptions options;
+  options.level = CompressionLevel::kLevel2;
+  const EventStream reference =
+      dist::RunDistReference(workload.value(), trace.value().hops, options);
+  options.level = CompressionLevel::kLevel1;
+  const EventStream reference_level1 =
+      dist::RunDistReference(workload.value(), trace.value().hops, options);
+  if (stats != nullptr) stats->traces_run += 2;
+
+  if (auto failure = CheckWellFormed(reference_level1, reference)) {
+    return fail("serial reference: " + failure->detail);
+  }
+  if (auto failure = CheckLevel2Recovery(reference_level1, reference)) {
+    return fail("serial reference: " + failure->detail);
+  }
+
+  // Bit-identity — raw DiffStreams, not canonicalized: the distributed
+  // merge must reproduce the serial stream exactly, for any node count.
+  for (int nodes : {1, 2}) {
+    dist::DistOptions dist_options;
+    dist_options.num_nodes = nodes;
+    dist_options.pipeline.level = CompressionLevel::kLevel2;
+    dist::DistResult result = dist::RunDistLoopback(
+        workload.value(), trace.value().hops, dist_options);
+    if (stats != nullptr) stats->traces_run += 1;
+    if (!result.status.ok()) {
+      return fail(std::to_string(nodes) +
+                  "-node run failed: " + result.status.ToString());
+    }
+    std::string diff =
+        DiffStreams(reference, result.events, "serial reference",
+                    std::to_string(nodes) + "-node distributed");
+    if (!diff.empty()) return fail(diff);
+  }
+  return std::nullopt;
+}
+
 std::optional<OracleFailure> DifferentialChecker::Check(
     const FuzzCase& fuzz_case, CheckStats* stats) const {
   auto trace = GenerateTrace(fuzz_case);
@@ -456,6 +510,9 @@ std::optional<OracleFailure> DifferentialChecker::Check(
   if (stats != nullptr) stats->traces_run += 1;
   if (auto failure = CheckPatternEquivalence(trace.value().registry, level1,
                                              level2)) {
+    return failure;
+  }
+  if (auto failure = CheckDistributedEquivalence(fuzz_case, stats)) {
     return failure;
   }
 

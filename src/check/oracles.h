@@ -1,6 +1,6 @@
 // The oracle battery of the differential checking harness.
 //
-// Every FuzzCase is expanded into a trace and judged by eight oracles:
+// Every FuzzCase is expanded into a trace and judged by nine oracles:
 //
 //   (a) well_formed        both pipeline outputs pass ValidateWellFormed.
 //   (b) level2_recovery    Decompress(level-2 output) is event-for-event
@@ -32,6 +32,13 @@
 //                          stream detects exactly the same (binding,
 //                          completion) match set as the naive per-epoch
 //                          evaluator over the decompressed level-1 view.
+//   (i) distributed_equivalence
+//                          on transfer cases (sim.transfer_sites >= 2), the
+//                          distributed runtime (src/dist) over loopback
+//                          connections at 1 and 2 nodes emits a stream
+//                          bit-identical to the serial per-site reference,
+//                          and that stream is well-formed with lossless
+//                          level-2 recovery.
 //
 // A failure names the oracle and carries a human-readable diff/detail, so a
 // minimized repro file is actionable on its own.
@@ -83,7 +90,8 @@ struct CheckOptions {
 /// Cost accounting for one Check() call.
 struct CheckStats {
   /// Pipeline executions performed (2 levels + 4 incremental-equivalence
-  /// re-runs + 2 determinism re-runs + 1 explain-consistency re-run).
+  /// re-runs + 2 determinism re-runs + 1 explain-consistency re-run; on
+  /// transfer cases + 2 distributed references + 2 distributed runs).
   std::size_t traces_run = 0;
 };
 
@@ -92,7 +100,7 @@ class DifferentialChecker {
  public:
   explicit DifferentialChecker(CheckOptions options = {});
 
-  /// Expands the case and applies all eight oracles; std::nullopt means all
+  /// Expands the case and applies all nine oracles; std::nullopt means all
   /// green. `stats`, when non-null, accumulates pipeline-run counts.
   std::optional<OracleFailure> Check(const FuzzCase& fuzz_case,
                                      CheckStats* stats = nullptr) const;
@@ -123,6 +131,13 @@ class DifferentialChecker {
       const EventStream& level2, CheckStats* stats = nullptr);
   static std::optional<OracleFailure> CheckSerdeRoundTrip(
       const EventStream& stream, const std::string& label);
+  /// Transfer cases only (no-op otherwise): re-expands the case's
+  /// multi-site view and requires the distributed runtime (src/dist) to
+  /// reproduce the serial per-site reference bit-for-bit over loopback
+  /// connections at 1 and 2 nodes, with a well-formed, level-2-recoverable
+  /// merged stream.
+  static std::optional<OracleFailure> CheckDistributedEquivalence(
+      const FuzzCase& fuzz_case, CheckStats* stats = nullptr);
   std::optional<OracleFailure> CheckArchiveRoundTrip(
       const EventStream& stream, const std::string& label) const;
 

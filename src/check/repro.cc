@@ -65,6 +65,13 @@ std::vector<std::string> SerializeRepro(const FuzzCase& fuzz_case,
   lines.push_back(std::string("patrol_reader = ") +
                   (sim.patrol_reader ? "true" : "false"));
   lines.push_back(I64Line("patrol_dwell", sim.patrol_dwell));
+  lines.push_back(I64Line("transfer_sites", sim.transfer_sites));
+  lines.push_back(I64Line("transfer_interval", sim.transfer_interval));
+  lines.push_back(I64Line("transfer_dwell", sim.transfer_dwell));
+  lines.push_back(I64Line("transfer_transit", sim.transfer_transit));
+  lines.push_back(I64Line("transfer_round_trips", sim.transfer_round_trips));
+  lines.push_back(I64Line("transfer_cases", sim.transfer_cases));
+  lines.push_back(I64Line("transfer_items", sim.transfer_items));
   lines.push_back(I64Line("max_epochs", fuzz_case.max_epochs));
   if (!fuzz_case.excluded_tags.empty()) {
     std::ostringstream tags;

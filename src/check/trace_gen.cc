@@ -40,10 +40,77 @@ FuzzCase CaseFromSeed(std::uint64_t seed) {
   sim.theft_interval = rng.NextBool(0.5) ? 30 + rng.NextBounded(120) : 0;
   sim.patrol_reader = rng.NextBool(0.25);
   sim.patrol_dwell = 3 + rng.NextBounded(10);
+  // Cross-site trucks (sim/transfer.h) on a minority of cases. Drawn last,
+  // so single-site cases consume exactly the draw sequence they always did.
+  if (rng.NextBool(0.3)) {
+    sim.transfer_sites = 2 + static_cast<int>(rng.NextBounded(2));
+    sim.transfer_interval = 30 + rng.NextBounded(60);
+    sim.transfer_dwell = 2 + rng.NextBounded(6);
+    sim.transfer_transit = 1 + rng.NextBounded(8);
+    sim.transfer_round_trips = 1 + static_cast<int>(rng.NextBounded(2));
+    sim.transfer_cases = 1 + static_cast<int>(rng.NextBounded(2));
+    sim.transfer_items = 1 + static_cast<int>(rng.NextBounded(3));
+  }
   return out;
 }
 
+Result<TransferTrace> GenerateTransferTrace(const FuzzCase& fuzz_case) {
+  if (fuzz_case.sim.transfer_sites < 2) {
+    return Status::InvalidArgument("not a transfer case");
+  }
+  auto built = BuildTransferTrace(fuzz_case.sim);
+  if (!built.ok()) return built.status();
+  TransferTrace trace = std::move(built.value());
+
+  const Epoch limit = fuzz_case.EffectiveEpochs();
+  if (limit < trace.num_epochs) {
+    trace.num_epochs = limit;
+    for (SiteTrace& site : trace.sites) {
+      if (static_cast<Epoch>(site.epochs.size()) > limit) {
+        site.epochs.resize(static_cast<std::size_t>(limit));
+      }
+    }
+    // Hops that no longer depart within the horizon vanish; hops that
+    // depart but never arrive stay (captured, never delivered).
+    std::erase_if(trace.hops, [&](const TransferHop& hop) {
+      return hop.depart_epoch >= limit;
+    });
+  }
+
+  if (!fuzz_case.excluded_tags.empty()) {
+    const std::unordered_set<ObjectId> excluded(
+        fuzz_case.excluded_tags.begin(), fuzz_case.excluded_tags.end());
+    for (SiteTrace& site : trace.sites) {
+      std::size_t total = 0;
+      for (EpochReadings& readings : site.epochs) {
+        std::erase_if(readings, [&](const RfidReading& r) {
+          return excluded.contains(r.tag);
+        });
+        total += readings.size();
+      }
+      site.total_readings = total;
+    }
+    for (TransferHop& hop : trace.hops) {
+      std::erase_if(hop.objects,
+                    [&](ObjectId id) { return excluded.contains(id); });
+    }
+  }
+  return trace;
+}
+
 Result<RecordedTrace> GenerateTrace(const FuzzCase& fuzz_case) {
+  if (fuzz_case.sim.transfer_sites >= 2) {
+    auto transfer = GenerateTransferTrace(fuzz_case);
+    if (!transfer.ok()) return transfer.status();
+    auto merged = MergeToSingleDeployment(transfer.value());
+    if (!merged.ok()) return merged.status();
+    RecordedTrace trace;
+    trace.registry = std::move(merged.value().registry);
+    trace.entry_door = merged.value().entry_door;
+    trace.epochs = std::move(merged.value().epochs);
+    trace.total_readings = merged.value().total_readings;
+    return trace;
+  }
   auto sim = WarehouseSimulator::Create(fuzz_case.sim);
   if (!sim.ok()) return sim.status();
   WarehouseSimulator& s = *sim.value();

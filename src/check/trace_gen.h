@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/sim_config.h"
+#include "sim/transfer.h"
 #include "stream/reader.h"
 #include "stream/reading.h"
 
@@ -51,7 +52,18 @@ struct RecordedTrace {
 };
 
 /// Expands a case into its trace. Fails only on invalid SimConfigs.
+/// Transfer cases (sim.transfer_sites >= 2) expand to the multi-site
+/// truck_transfer scenario collapsed into one merged deployment
+/// (sim/transfer.h), so every single-deployment oracle fuzzes cross-site
+/// movement too.
 Result<RecordedTrace> GenerateTrace(const FuzzCase& fuzz_case);
+
+/// The multi-site expansion of a transfer case (sim.transfer_sites >= 2),
+/// with the case's epoch truncation and tag exclusions applied to both the
+/// readings and the hop schedule. GenerateTrace returns the merged
+/// single-deployment view of exactly this expansion; the distributed
+/// oracle feeds it to src/dist unmerged. Fails on non-transfer cases.
+Result<TransferTrace> GenerateTransferTrace(const FuzzCase& fuzz_case);
 
 /// All distinct tags appearing in the trace, ascending (shrink candidates).
 std::vector<ObjectId> TagsInTrace(const RecordedTrace& trace);

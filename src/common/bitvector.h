@@ -59,6 +59,18 @@ class ShiftRegister {
   /// Number of `true` observations currently held.
   int PopCount() const { return __builtin_popcountll(Window()); }
 
+  /// Reinstates a history captured from another register (dist handoff):
+  /// `window` must be the source's Window() and `count` its size(). Bits
+  /// past `count` are cleared, so a restored register is indistinguishable
+  /// from the source to every reader (Get/PopCount/Window).
+  void Restore(std::uint64_t window, int count) {
+    assert(count >= 0 && count <= capacity_);
+    count_ = count;
+    const std::uint64_t mask =
+        count >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
+    bits_ = window & mask;
+  }
+
   /// Drops all history.
   void Clear() {
     bits_ = 0;

@@ -54,6 +54,15 @@ PackagingLevel EpcLevel(ObjectId id) {
   return static_cast<PackagingLevel>((id >> kLevelShift) & kLevelMask);
 }
 
+ObjectId PlantEpcSite(int site, ObjectId tag) {
+  if (tag == kNoObject) return tag;
+  EpcFields fields = DecodeEpc(tag);
+  fields.company_prefix =
+      (static_cast<std::uint32_t>(site) << kEpcSitePrefixBits) |
+      (fields.company_prefix & kEpcSitePrefixMask);
+  return EncodeEpcUnchecked(fields);
+}
+
 std::string EpcToString(ObjectId id) {
   EpcFields f = DecodeEpc(id);
   std::ostringstream out;

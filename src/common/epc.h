@@ -54,4 +54,19 @@ inline int EpcLayer(ObjectId id) { return static_cast<int>(EpcLevel(id)); }
 /// packaging level spelled out, e.g. "case:42.7.12345".
 std::string EpcToString(ObjectId id);
 
+/// Multi-deployment tag spaces (serve/dist): a site index planted in the
+/// top kEpcSiteBits of the company-prefix field keeps independently
+/// authored per-site tag spaces globally disjoint while preserving the
+/// packaging level the graph layers key on. Site 0 is the identity mapping
+/// for prefixes that fit kEpcSitePrefixMask.
+inline constexpr std::uint32_t kEpcSiteBits = 6;
+inline constexpr std::uint32_t kEpcSitePrefixBits = 20 - kEpcSiteBits;
+inline constexpr std::uint32_t kEpcSitePrefixMask =
+    (std::uint32_t{1} << kEpcSitePrefixBits) - 1;
+inline constexpr int kEpcMaxSites = 1 << kEpcSiteBits;
+
+/// Plants `site` into the top kEpcSiteBits of `tag`'s company prefix,
+/// keeping the low kEpcSitePrefixBits (kNoObject passes through).
+ObjectId PlantEpcSite(int site, ObjectId tag);
+
 }  // namespace spire

@@ -55,4 +55,12 @@ inline constexpr std::uint16_t kArchiveIndexVersion = 2;
 /// Marker leading every archive block header; recovery scans for it.
 inline constexpr std::uint32_t kArchiveBlockMarker = 0x53504232;  // "SPB2"
 
+/// Distributed serving frames (dist/wire.h): every frame starts with a
+/// 16-byte header = this marker, a type byte, a flags byte, the protocol
+/// version, the payload length, and a CRC-32 covering header + payload.
+inline constexpr std::uint32_t kDistFrameMarker = 0x53504446;  // "SPDF"
+/// Version 1: Hello / EpochWork / SiteBatch / Barrier / Handoff payloads
+/// (dist/wire.h). Peers reject any other version at the frame layer.
+inline constexpr std::uint16_t kDistProtocolVersion = 1;
+
 }  // namespace spire

@@ -95,7 +95,18 @@ void Decompressor::ApplyContainment(const Event& event, EventStream* out) {
     // untouched — the compressor keeps emitting its changes directly.
     auto open_it = open_.find(event.object);
     if (open_it != open_.end() && open_it->second.derived) {
+      const LocationId location = open_it->second.location;
       EmitEndIfOpen(event.object, event.end, out);
+      // The closed stay was itself a chain root for derived stays further
+      // down; they end with it, exactly as an explicit End would propagate.
+      // (Without this, a grandchild whose middle link unlinks in the same
+      // epoch as the root's departure is reachable by neither propagation.)
+      // Stays that actually survive are re-derived by Reconcile and the
+      // churn pass splices the interval back together. A vanishing object
+      // closes alone, mirroring ApplyLocation's Missing rule.
+      if (!vanishing_.contains(event.object)) {
+        PropagateEnd(event.object, location, event.end, out);
+      }
     }
   }
   dirty_.push_back(event.object);

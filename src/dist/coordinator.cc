@@ -1,0 +1,333 @@
+#include "dist/coordinator.h"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/registry.h"
+#include "serve/merger.h"
+#include "serve/queue.h"
+
+namespace spire::dist {
+
+namespace {
+
+obs::Counter* BarrierWaitsCounter() {
+  if (!obs::Enabled()) return nullptr;
+  static obs::Counter* counter =
+      obs::Registry::Global().GetCounter("dist", "barrier_waits");
+  return counter;
+}
+
+}  // namespace
+
+std::vector<int> SitesOfNode(int node, int num_sites, int num_nodes) {
+  std::vector<int> sites;
+  for (int site = node; site < num_sites; site += num_nodes) {
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+DistResult RunDistCoordinator(const serve::Workload& workload,
+                              const std::vector<TransferHop>& hops,
+                              const DistOptions& options,
+                              const std::vector<Conn*>& conns) {
+  DistResult result;
+  const int num_nodes = static_cast<int>(conns.size());
+  const int num_sites = static_cast<int>(workload.sites.size());
+  if (num_nodes < 1 || num_nodes > num_sites) {
+    result.status = Status::InvalidArgument(
+        "node count must be in [1, site count]");
+    return result;
+  }
+  const Epoch window =
+      static_cast<Epoch>(options.inflight_epochs < 1 ? 1
+                                                     : options.inflight_epochs);
+
+  std::vector<std::vector<int>> sites_of(num_nodes);
+  std::vector<std::size_t> batches_per_queue(num_nodes);
+  for (int n = 0; n < num_nodes; ++n) {
+    sites_of[n] = SitesOfNode(n, num_sites, num_nodes);
+    batches_per_queue[n] = sites_of[n].size();
+  }
+
+  std::vector<std::unique_ptr<serve::BoundedQueue<serve::SiteBatch>>> queues;
+  std::vector<serve::BoundedQueue<serve::SiteBatch>*> queue_ptrs;
+  for (int n = 0; n < num_nodes; ++n) {
+    queues.push_back(std::make_unique<serve::BoundedQueue<serve::SiteBatch>>(
+        static_cast<std::size_t>(window) * batches_per_queue[n] + 1));
+    queue_ptrs.push_back(queues.back().get());
+  }
+
+  // Hops in flight and barrier progress, shared by the reader threads and
+  // the feeder.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Epoch> barriers(static_cast<std::size_t>(num_nodes), 0);
+  std::vector<std::uint8_t> finished(static_cast<std::size_t>(num_nodes), 0);
+  std::unordered_map<std::uint64_t, HandoffPayload> ready_handoffs;
+  Status error;
+  bool aborted = false;
+
+  /// Latches the first error and unblocks every wait: queues (merger and
+  /// blocked pushes), connections (blocked reads on both sides), and the
+  /// shared condition variable.
+  auto fail = [&](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!aborted) {
+        error = std::move(status);
+        aborted = true;
+      }
+    }
+    cv.notify_all();
+    for (auto& queue : queues) queue->Close();
+    for (Conn* conn : conns) conn->Close();
+  };
+
+  auto reader = [&](int n) {
+    for (;;) {
+      Frame frame;
+      bool eof = false;
+      Status status = RecvFrame(conns[static_cast<std::size_t>(n)], &frame,
+                                &eof);
+      if (!status.ok()) {
+        fail(std::move(status));
+        break;
+      }
+      if (eof) {
+        bool clean = false;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          clean = finished[static_cast<std::size_t>(n)] != 0;
+        }
+        if (!clean) {
+          fail(Status::Internal("node " + std::to_string(n) +
+                                " disconnected before finish"));
+        }
+        break;
+      }
+      if (frame.type == FrameType::kHello) {
+        Result<HelloPayload> hello = DecodeHello(frame.payload);
+        if (!hello.ok()) {
+          fail(hello.status());
+          break;
+        }
+        if (hello.value().node_id != static_cast<std::uint32_t>(n)) {
+          fail(Status::Internal("node identity mismatch"));
+          break;
+        }
+        continue;
+      }
+      if (frame.type == FrameType::kSiteBatch) {
+        Result<SiteBatchPayload> decoded = DecodeSiteBatch(frame.payload);
+        if (!decoded.ok()) {
+          fail(decoded.status());
+          break;
+        }
+        serve::SiteBatch batch;
+        batch.epoch = decoded.value().epoch;
+        batch.site = static_cast<int>(decoded.value().site);
+        batch.finish = decoded.value().finish;
+        batch.events = std::move(decoded.value().events);
+        if (!queues[static_cast<std::size_t>(n)]->Push(std::move(batch))) {
+          break;  // queue closed: an abort is already in progress
+        }
+        continue;
+      }
+      if (frame.type == FrameType::kBarrier) {
+        Result<BarrierPayload> barrier = DecodeBarrier(frame.payload);
+        if (!barrier.ok()) {
+          fail(barrier.status());
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++barriers[static_cast<std::size_t>(n)];
+          if (barrier.value().finish) {
+            finished[static_cast<std::size_t>(n)] = 1;
+          }
+        }
+        cv.notify_all();
+        continue;
+      }
+      if (frame.type == FrameType::kHandoff) {
+        Result<HandoffPayload> handoff = DecodeHandoff(frame.payload);
+        if (!handoff.ok()) {
+          fail(handoff.status());
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ready_handoffs[handoff.value().hop] = std::move(handoff.value());
+        }
+        cv.notify_all();
+        continue;
+      }
+      fail(Status::Internal(std::string("unexpected ") + ToString(frame.type) +
+                            " frame from node"));
+      break;
+    }
+    // The merger treats a closed, drained queue as this node's stream end.
+    queues[static_cast<std::size_t>(n)]->Close();
+  };
+
+  // Hop indexes by arrival epoch (schedule order). Hops arriving at or
+  // after the horizon are never delivered: their departure is still
+  // captured (the objects leave the origin site), matching the serial
+  // reference. depart < arrive guarantees such hops also depart in range.
+  std::map<Epoch, std::vector<std::size_t>> arrivals_at;
+  std::map<Epoch, std::vector<std::size_t>> departures_at;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (hops[i].depart_epoch < workload.num_epochs) {
+      departures_at[hops[i].depart_epoch].push_back(i);
+      if (hops[i].arrive_epoch < workload.num_epochs) {
+        arrivals_at[hops[i].arrive_epoch].push_back(i);
+      }
+    }
+  }
+
+  obs::Counter* barrier_waits = BarrierWaitsCounter();
+
+  auto feeder = [&] {
+    for (Epoch epoch = 0; epoch < workload.num_epochs; ++epoch) {
+      for (int n = 0; n < num_nodes; ++n) {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          if (!aborted &&
+              epoch - barriers[static_cast<std::size_t>(n)] >= window) {
+            if (barrier_waits != nullptr) barrier_waits->Add(1);
+            cv.wait(lock, [&] {
+              return aborted ||
+                     epoch - barriers[static_cast<std::size_t>(n)] < window;
+            });
+          }
+          if (aborted) return;
+        }
+
+        // Forward the handoffs arriving at this node this epoch, in
+        // schedule order, ahead of the epoch's work on the same FIFO.
+        auto arriving = arrivals_at.find(epoch);
+        if (arriving != arrivals_at.end()) {
+          for (std::size_t hop_index : arriving->second) {
+            const TransferHop& hop = hops[hop_index];
+            if (NodeOfSite(hop.to_site, num_nodes) != n) continue;
+            HandoffPayload payload;
+            {
+              std::unique_lock<std::mutex> lock(mu);
+              cv.wait(lock, [&] {
+                return aborted || ready_handoffs.count(hop_index) != 0;
+              });
+              if (aborted) return;
+              auto it = ready_handoffs.find(hop_index);
+              payload = std::move(it->second);
+              ready_handoffs.erase(it);
+            }
+            ++result.handoff_hops;
+            result.handoff_objects += payload.objects.size();
+            std::vector<std::uint8_t> bytes;
+            EncodeHandoff(payload, &bytes);
+            Status status = SendFrame(conns[static_cast<std::size_t>(n)],
+                                      FrameType::kHandoff, bytes);
+            if (!status.ok()) {
+              fail(std::move(status));
+              return;
+            }
+          }
+        }
+
+        EpochWorkPayload work;
+        work.epoch = epoch;
+        for (int site : sites_of[static_cast<std::size_t>(n)]) {
+          const serve::SiteWorkload& sw =
+              workload.sites[static_cast<std::size_t>(site)];
+          if (epoch < static_cast<Epoch>(sw.epochs.size())) {
+            work.site_readings.emplace_back(
+                static_cast<std::uint32_t>(site),
+                sw.epochs[static_cast<std::size_t>(epoch)]);
+          }
+        }
+        auto departing = departures_at.find(epoch);
+        if (departing != departures_at.end()) {
+          for (std::size_t hop_index : departing->second) {
+            const TransferHop& hop = hops[hop_index];
+            if (NodeOfSite(hop.from_site, num_nodes) != n) continue;
+            CaptureOrder order;
+            order.hop = hop_index;
+            order.from_site = static_cast<std::uint32_t>(hop.from_site);
+            order.to_site = static_cast<std::uint32_t>(hop.to_site);
+            order.arrive_epoch = hop.arrive_epoch;
+            order.objects = hop.objects;
+            work.captures.push_back(std::move(order));
+          }
+        }
+        std::vector<std::uint8_t> bytes;
+        EncodeEpochWork(work, &bytes);
+        Status status = SendFrame(conns[static_cast<std::size_t>(n)],
+                                  FrameType::kEpochWork, bytes);
+        if (!status.ok()) {
+          fail(std::move(status));
+          return;
+        }
+      }
+    }
+    for (int n = 0; n < num_nodes; ++n) {
+      EpochWorkPayload work;
+      work.epoch = workload.num_epochs;
+      work.finish = true;
+      std::vector<std::uint8_t> bytes;
+      EncodeEpochWork(work, &bytes);
+      Status status = SendFrame(conns[static_cast<std::size_t>(n)],
+                                FrameType::kEpochWork, bytes);
+      if (!status.ok()) {
+        fail(std::move(status));
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    // Send each node its site assignment before any reader can fail the
+    // run, so nodes never wait on a Hello that was aborted away.
+    HelloPayload hello;
+    hello.node_id = static_cast<std::uint32_t>(n);
+    for (int site : sites_of[static_cast<std::size_t>(n)]) {
+      hello.sites.push_back(static_cast<std::uint32_t>(site));
+    }
+    std::vector<std::uint8_t> bytes;
+    EncodeHello(hello, &bytes);
+    Status status = SendFrame(conns[static_cast<std::size_t>(n)],
+                              FrameType::kHello, bytes);
+    if (!status.ok()) {
+      fail(std::move(status));
+      break;
+    }
+  }
+  for (int n = 0; n < num_nodes; ++n) {
+    threads.emplace_back(reader, n);
+  }
+  std::thread feed(feeder);
+
+  serve::EventMerger merger;
+  Status drain = merger.Drain(queue_ptrs, batches_per_queue, &result.events);
+  if (!drain.ok()) fail(drain);
+
+  feed.join();
+  for (std::thread& thread : threads) thread.join();
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    result.status = aborted ? error : Status::OK();
+  }
+  if (!result.status.ok()) result.events.clear();
+  return result;
+}
+
+}  // namespace spire::dist

@@ -1,0 +1,238 @@
+#include "dist/node.h"
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "obs/registry.h"
+
+namespace spire::dist {
+
+namespace {
+
+struct NodeInstruments {
+  obs::Counter* handoffs;
+  obs::Histogram* handoff_latency_us;
+};
+
+const NodeInstruments* GetInstruments() {
+  if (!obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  static const NodeInstruments instruments{
+      registry.GetCounter("dist", "handoffs"),
+      registry.GetHistogram("dist", "handoff_latency_us"),
+  };
+  return &instruments;
+}
+
+std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Shifts site-local output locations into the global id space (the same
+/// mapping serve's shards and reference runner apply).
+void RemapLocations(EventStream* events, LocationId offset) {
+  if (offset == 0) return;
+  for (Event& event : *events) {
+    if (event.location != kUnknownLocation) {
+      event.location = static_cast<LocationId>(event.location + offset);
+    }
+  }
+}
+
+/// One hop captured this epoch; lives in a deque so the sink address
+/// handed to StageDeparture stays stable.
+struct HopCapture {
+  CaptureOrder order;
+  std::vector<ObjectHandoff> objects;
+};
+
+}  // namespace
+
+Status RunDistNode(const NodeConfig& config, Conn* conn) {
+  if (config.workload == nullptr) {
+    return Status::InvalidArgument("node has no workload");
+  }
+  const serve::Workload& workload = *config.workload;
+  for (int site : config.sites) {
+    if (site < 0 || site >= static_cast<int>(workload.sites.size())) {
+      return Status::InvalidArgument("node owns out-of-range site");
+    }
+  }
+
+  std::vector<std::unique_ptr<SpirePipeline>> pipelines;
+  pipelines.reserve(config.sites.size());
+  for (int site : config.sites) {
+    pipelines.push_back(std::make_unique<SpirePipeline>(
+        &workload.sites[static_cast<std::size_t>(site)].registry,
+        config.pipeline));
+  }
+
+  // Hello exchange: announce identity, require a same-version coordinator.
+  {
+    HelloPayload hello;
+    hello.node_id = static_cast<std::uint32_t>(config.node_id);
+    for (int site : config.sites) {
+      hello.sites.push_back(static_cast<std::uint32_t>(site));
+    }
+    std::vector<std::uint8_t> payload;
+    EncodeHello(hello, &payload);
+    SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kHello, payload));
+
+    Frame frame;
+    bool eof = false;
+    SPIRE_RETURN_NOT_OK(RecvFrame(conn, &frame, &eof));
+    if (eof) return Status::Internal("connection closed before hello");
+    if (frame.type != FrameType::kHello) {
+      return Status::Internal(std::string("expected Hello, got ") +
+                              ToString(frame.type));
+    }
+    Result<HelloPayload> peer = DecodeHello(frame.payload);
+    if (!peer.ok()) return peer.status();
+  }
+
+  const NodeInstruments* obs = GetInstruments();
+
+  // Handoffs stashed until their (arrival site, arrival epoch) comes up,
+  // in arrival (frame) order.
+  std::map<std::pair<int, Epoch>, std::deque<HandoffPayload>> stash;
+
+  Epoch next_epoch = 0;
+  EventStream scratch;
+  for (;;) {
+    Frame frame;
+    bool eof = false;
+    SPIRE_RETURN_NOT_OK(RecvFrame(conn, &frame, &eof));
+    if (eof) {
+      return Status::Internal("connection closed before finish");
+    }
+
+    if (frame.type == FrameType::kHandoff) {
+      Result<HandoffPayload> handoff = DecodeHandoff(frame.payload);
+      if (!handoff.ok()) return handoff.status();
+      const int site = static_cast<int>(handoff.value().to_site);
+      stash[{site, handoff.value().arrive_epoch}].push_back(
+          std::move(handoff.value()));
+      continue;
+    }
+    if (frame.type != FrameType::kEpochWork) {
+      return Status::Internal(std::string("unexpected ") +
+                              ToString(frame.type) + " frame");
+    }
+
+    Result<EpochWorkPayload> decoded = DecodeEpochWork(frame.payload);
+    if (!decoded.ok()) return decoded.status();
+    EpochWorkPayload& work = decoded.value();
+
+    if (work.finish) {
+      for (std::size_t i = 0; i < config.sites.size(); ++i) {
+        const int site = config.sites[i];
+        scratch.clear();
+        pipelines[i]->Finish(work.epoch, &scratch);
+        RemapLocations(
+            &scratch,
+            workload.sites[static_cast<std::size_t>(site)].location_offset);
+        SiteBatchPayload batch;
+        batch.epoch = work.epoch;
+        batch.site = static_cast<std::uint32_t>(site);
+        batch.finish = true;
+        batch.events = std::move(scratch);
+        std::vector<std::uint8_t> payload;
+        EncodeSiteBatch(batch, &payload);
+        SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kSiteBatch, payload));
+        scratch = std::move(batch.events);
+      }
+      BarrierPayload barrier;
+      barrier.epoch = work.epoch;
+      barrier.finish = true;
+      std::vector<std::uint8_t> payload;
+      EncodeBarrier(barrier, &payload);
+      return SendFrame(conn, FrameType::kBarrier, payload);
+    }
+
+    if (work.epoch != next_epoch) {
+      return Status::Internal("epoch work out of order");
+    }
+    ++next_epoch;
+
+    std::deque<HopCapture> captured;
+    for (std::size_t i = 0; i < config.sites.size(); ++i) {
+      const int site = config.sites[i];
+      SpirePipeline& pipeline = *pipelines[i];
+
+      // Arrivals first: splice shipped objects in ahead of this epoch.
+      auto arrivals = stash.find({site, work.epoch});
+      if (arrivals != stash.end()) {
+        const std::uint64_t now_us = NowMicros();
+        for (const HandoffPayload& handoff : arrivals->second) {
+          for (const ObjectHandoff& object : handoff.objects) {
+            pipeline.ImplantHandoff(object);
+          }
+          if (obs != nullptr) {
+            obs->handoffs->Add(handoff.objects.size());
+            obs->handoff_latency_us->Record(
+                now_us > handoff.capture_micros
+                    ? now_us - handoff.capture_micros
+                    : 0);
+          }
+        }
+        stash.erase(arrivals);
+      }
+
+      // Departures: stage this epoch's capture orders for this site.
+      for (CaptureOrder& order : work.captures) {
+        if (static_cast<int>(order.from_site) != site) continue;
+        captured.push_back(HopCapture{std::move(order), {}});
+        pipeline.StageDeparture(captured.back().order.objects,
+                                &captured.back().objects);
+      }
+
+      EpochReadings readings;
+      for (auto& [reading_site, site_readings] : work.site_readings) {
+        if (static_cast<int>(reading_site) == site) {
+          readings = std::move(site_readings);
+          break;
+        }
+      }
+      scratch.clear();
+      pipeline.ProcessEpoch(work.epoch, std::move(readings), &scratch);
+      RemapLocations(
+          &scratch,
+          workload.sites[static_cast<std::size_t>(site)].location_offset);
+
+      SiteBatchPayload batch;
+      batch.epoch = work.epoch;
+      batch.site = static_cast<std::uint32_t>(site);
+      batch.events = std::move(scratch);
+      std::vector<std::uint8_t> payload;
+      EncodeSiteBatch(batch, &payload);
+      SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kSiteBatch, payload));
+      scratch = std::move(batch.events);
+    }
+
+    // Ship this epoch's captures, then the barrier.
+    for (HopCapture& capture : captured) {
+      HandoffPayload handoff;
+      handoff.hop = capture.order.hop;
+      handoff.to_site = capture.order.to_site;
+      handoff.arrive_epoch = capture.order.arrive_epoch;
+      handoff.capture_micros = NowMicros();
+      handoff.objects = std::move(capture.objects);
+      std::vector<std::uint8_t> payload;
+      EncodeHandoff(handoff, &payload);
+      SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kHandoff, payload));
+    }
+    BarrierPayload barrier;
+    barrier.epoch = work.epoch;
+    std::vector<std::uint8_t> payload;
+    EncodeBarrier(barrier, &payload);
+    SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kBarrier, payload));
+  }
+}
+
+}  // namespace spire::dist

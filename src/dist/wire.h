@@ -1,0 +1,173 @@
+// The distributed serving wire protocol (DESIGN.md §12).
+//
+// Every message is one length-prefixed frame: a fixed 16-byte header
+// followed by a varint-encoded payload. The header carries a marker, the
+// frame type, the protocol version, the payload length, and a CRC-32 over
+// the first twelve header bytes plus the payload — so a single corrupted
+// byte anywhere in the frame (including the type and version fields) fails
+// the checksum instead of being re-interpreted as a different valid
+// message. Payload integers use the strict LEB128 varints of
+// store/varint.h (signed values zigzag-coded); doubles travel as their
+// 8-byte little-endian IEEE-754 bit pattern, which round-trips exactly.
+//
+// Five frame types carry the shard feed/merge protocol of src/serve plus
+// the cross-site object handoff:
+//
+//   Hello       both directions; version/identity check at connection open.
+//   EpochWork   coordinator -> node; one epoch's raw readings for every
+//               site the node owns, plus capture orders for hops departing
+//               this epoch. A finish EpochWork closes the stream.
+//   SiteBatch   node -> coordinator; one site's output events for one
+//               epoch (serve::SiteBatch over the wire).
+//   Barrier     node -> coordinator; "epoch done" for flow control.
+//   Handoff     both directions; the captured per-object inference state
+//               of one hop (spire/handoff.h), shipped from the departure
+//               node through the coordinator to the arrival node.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/wire.h"
+#include "compress/event.h"
+#include "spire/handoff.h"
+#include "stream/reading.h"
+
+namespace spire::dist {
+
+/// Message kind of one frame (header byte 4).
+enum class FrameType : std::uint8_t {
+  kHello = 0,
+  kEpochWork = 1,
+  kSiteBatch = 2,
+  kBarrier = 3,
+  kHandoff = 4,
+};
+
+/// Human-readable frame type name.
+const char* ToString(FrameType type);
+
+/// Fixed header size: marker u32 | type u8 | flags u8 | version u16 |
+/// payload length u32 | crc32 u32, all little-endian.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Upper bound on one frame's payload (a sanity bound against corrupted
+/// length fields, far above any real epoch batch).
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+/// The validated fixed header of one frame.
+struct FrameHeader {
+  FrameType type = FrameType::kHello;
+  std::uint8_t flags = 0;
+  std::uint16_t version = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+/// A decoded frame: type plus raw payload bytes (decode with the typed
+/// payload codec below).
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::uint8_t flags = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Encodes a complete frame (header + payload) at kDistProtocolVersion.
+std::vector<std::uint8_t> EncodeFrame(FrameType type,
+                                      const std::vector<std::uint8_t>& payload);
+
+/// Parses and validates the 16-byte header: marker, known type, exact
+/// version match, and payload length bound. The CRC field is returned but
+/// only checkable once the payload is present (DecodeFrame).
+Result<FrameHeader> ParseFrameHeader(const std::uint8_t* data,
+                                     std::size_t size);
+
+/// Decodes one complete frame, validating header and CRC.
+Result<Frame> DecodeFrame(const std::vector<std::uint8_t>& bytes);
+
+// --- Payloads ---------------------------------------------------------
+
+/// Connection-open identity: which node this is and which global site
+/// indexes it owns (ascending). The coordinator echoes the assignment.
+struct HelloPayload {
+  std::uint32_t node_id = 0;
+  std::vector<std::uint32_t> sites;
+};
+
+/// One hop's capture order: which objects to stage for departure at the
+/// hop's origin site this epoch. `hop` is the hop's index in the global
+/// transfer schedule; it keys the handoff back to its arrival slot.
+struct CaptureOrder {
+  std::uint64_t hop = 0;
+  std::uint32_t from_site = 0;
+  std::uint32_t to_site = 0;
+  Epoch arrive_epoch = kNeverEpoch;
+  /// Leaf-up, as staged (see SpirePipeline::StageDeparture).
+  std::vector<ObjectId> objects;
+};
+
+/// One epoch of work for one node. `site_readings` holds the raw readings
+/// of every site the node owns (ascending site order; sites past their
+/// stream end are omitted — an omitted site processes an empty epoch).
+/// A finish message carries no readings or captures; the node flushes
+/// every pipeline and exits after its finish barrier.
+struct EpochWorkPayload {
+  Epoch epoch = kNeverEpoch;
+  bool finish = false;
+  std::vector<std::pair<std::uint32_t, EpochReadings>> site_readings;
+  std::vector<CaptureOrder> captures;
+};
+
+/// serve::SiteBatch over the wire. Events are self-contained records (not
+/// the stateful SPEV archive encoding): the merge path re-encodes nothing.
+struct SiteBatchPayload {
+  Epoch epoch = kNeverEpoch;
+  std::uint32_t site = 0;
+  bool finish = false;
+  EventStream events;
+};
+
+/// Node-side epoch completion marker (flow control).
+struct BarrierPayload {
+  Epoch epoch = kNeverEpoch;
+  bool finish = false;
+};
+
+/// One hop's captured objects, in capture (leaf-up) order.
+/// `capture_micros` is the departure node's steady-clock stamp at send
+/// time; the arrival side records now - capture_micros into the
+/// dist/handoff_latency_us histogram (comparable across processes on one
+/// machine — CLOCK_MONOTONIC is boot-global on Linux).
+struct HandoffPayload {
+  std::uint64_t hop = 0;
+  std::uint32_t to_site = 0;
+  Epoch arrive_epoch = kNeverEpoch;
+  std::uint64_t capture_micros = 0;
+  std::vector<ObjectHandoff> objects;
+};
+
+void EncodeHello(const HelloPayload& payload, std::vector<std::uint8_t>* out);
+Result<HelloPayload> DecodeHello(const std::vector<std::uint8_t>& payload);
+
+void EncodeEpochWork(const EpochWorkPayload& payload,
+                     std::vector<std::uint8_t>* out);
+Result<EpochWorkPayload> DecodeEpochWork(
+    const std::vector<std::uint8_t>& payload);
+
+void EncodeSiteBatch(const SiteBatchPayload& payload,
+                     std::vector<std::uint8_t>* out);
+Result<SiteBatchPayload> DecodeSiteBatch(
+    const std::vector<std::uint8_t>& payload);
+
+void EncodeBarrier(const BarrierPayload& payload,
+                   std::vector<std::uint8_t>* out);
+Result<BarrierPayload> DecodeBarrier(const std::vector<std::uint8_t>& payload);
+
+void EncodeHandoff(const HandoffPayload& payload,
+                   std::vector<std::uint8_t>* out);
+Result<HandoffPayload> DecodeHandoff(const std::vector<std::uint8_t>& payload);
+
+}  // namespace spire::dist

@@ -52,6 +52,8 @@ struct ConfirmedParent {
   /// Observations in which the confirmed edge was exercised (either
   /// co-location or one-sided observation) since the confirmation.
   int observations = 0;
+
+  bool operator==(const ConfirmedParent&) const = default;
 };
 
 /// A graph node: one RFID-tagged object. `id == kNoObject` marks a freed

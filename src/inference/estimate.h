@@ -29,6 +29,8 @@ struct ObjectEstimate {
   /// True when the location result must be withheld from output: partial
   /// inference produced "unknown" from an incomplete view (Section IV-D).
   bool withheld = false;
+
+  bool operator==(const ObjectEstimate&) const = default;
 };
 
 /// Results of one inference pass, keyed by object.

@@ -146,6 +146,29 @@ void IterativeInference::StoreCache(NodeId slot,
   wheel_.Schedule(slot, deadline);
 }
 
+bool IterativeInference::CaptureHandoff(NodeId slot, ObjectEstimate* estimate,
+                                        Epoch* deadline) const {
+  *deadline = wheel_.ScheduledAt(slot);
+  // The validity check mirrors the incremental pass's cache-hole safety
+  // net: a slot may have been recycled since the entry was stored.
+  if (slot >= cache_valid_.size() || cache_valid_[slot] == 0) return false;
+  if (cache_[slot].object != graph_->node(slot).id) return false;
+  *estimate = cache_[slot];
+  return true;
+}
+
+void IterativeInference::ImplantHandoff(NodeId slot,
+                                        const ObjectEstimate& estimate,
+                                        Epoch deadline) {
+  // The slot belongs to a node the caller just created, so EnsureScratch
+  // covers it. Implanting is unconditional (not gated on store_cache_):
+  // with incremental inference off the entry is simply never read.
+  EnsureScratch();
+  cache_[slot] = estimate;
+  cache_valid_[slot] = 1;
+  wheel_.Schedule(slot, deadline);
+}
+
 InferenceResult IterativeInference::RunPass(
     Epoch now, bool complete, const std::vector<NodeId>* restrict_to) {
   InferenceResult result;

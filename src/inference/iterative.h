@@ -70,6 +70,20 @@ class IterativeInference {
   const InferenceParams& params() const { return params_; }
   InferenceParams& mutable_params() { return params_; }
 
+  /// Cross-site handoff support (spire/handoff.h). CaptureHandoff reads
+  /// the node's cached complete-pass estimate and scheduled fade deadline;
+  /// returns false when the cache holds no valid entry for the node (the
+  /// deadline is still reported). ImplantHandoff restores both on the
+  /// receiving side. The caller must also mark the implanted node dirty:
+  /// the next complete pass then recomputes its component, so the shipped
+  /// estimate is never replayed into the output — it only keeps the
+  /// incremental cache and fade schedule shaped as if the object had lived
+  /// here all along.
+  bool CaptureHandoff(NodeId slot, ObjectEstimate* estimate,
+                      Epoch* deadline) const;
+  void ImplantHandoff(NodeId slot, const ObjectEstimate& estimate,
+                      Epoch deadline);
+
  private:
   /// Epochs ahead that fade-flip deadlines are searched; nodes whose argmax
   /// is stable through the horizon but not in the fade -> 0 limit get a
@@ -88,6 +102,10 @@ class IterativeInference {
     /// `out` and unschedules it.
     void Collect(Epoch prev, Epoch now, std::vector<NodeId>* out);
     void Clear();
+    /// The node's pending wake-up (kNeverEpoch when none or out of range).
+    Epoch ScheduledAt(NodeId slot) const {
+      return slot < wake_.size() ? wake_[slot] : kNeverEpoch;
+    }
 
    private:
     static constexpr std::size_t kBuckets = 1024;

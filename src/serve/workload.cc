@@ -6,21 +6,8 @@
 
 namespace spire::serve {
 
-namespace {
-
-/// Low bits of the company-prefix field left for the site-local prefix.
-constexpr std::uint32_t kPrefixBits = 14;
-constexpr std::uint32_t kPrefixMask = (1u << kPrefixBits) - 1;
-
-}  // namespace
-
 ObjectId NormalizeTag(int site, ObjectId tag) {
-  if (tag == kNoObject) return tag;
-  EpcFields fields = DecodeEpc(tag);
-  fields.company_prefix =
-      (static_cast<std::uint32_t>(site) << kPrefixBits) |
-      (fields.company_prefix & kPrefixMask);
-  return EncodeEpcUnchecked(fields);
+  return PlantEpcSite(site, tag);
 }
 
 Status NormalizeWorkload(Workload* workload) {
@@ -52,7 +39,7 @@ Status NormalizeWorkload(Workload* workload) {
     for (EpochReadings& epoch : s.epochs) {
       s.total_readings += epoch.size();
       for (RfidReading& reading : epoch) {
-        if (DecodeEpc(reading.tag).company_prefix > kPrefixMask) {
+        if (DecodeEpc(reading.tag).company_prefix > kEpcSitePrefixMask) {
           return Status::InvalidArgument(
               "site " + std::to_string(site) +
               ": company prefix already uses the site bits");

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/epc.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "stream/reader.h"
@@ -31,8 +32,9 @@
 
 namespace spire::serve {
 
-/// Hard cap on sites per workload (6 bits of the company-prefix field).
-inline constexpr int kMaxSites = 64;
+/// Hard cap on sites per workload (the kEpcSiteBits of the company-prefix
+/// field).
+inline constexpr int kMaxSites = kEpcMaxSites;
 
 /// One reader deployment and its raw epoch stream.
 struct SiteWorkload {

@@ -45,6 +45,13 @@ Result<SimConfig> SimConfig::FromConfig(const Config& config,
   SPIRE_LOAD_INT(transit_time);
   SPIRE_LOAD_INT(theft_interval);
   SPIRE_LOAD_INT(patrol_dwell);
+  SPIRE_LOAD_INT(transfer_sites);
+  SPIRE_LOAD_INT(transfer_interval);
+  SPIRE_LOAD_INT(transfer_dwell);
+  SPIRE_LOAD_INT(transfer_transit);
+  SPIRE_LOAD_INT(transfer_round_trips);
+  SPIRE_LOAD_INT(transfer_cases);
+  SPIRE_LOAD_INT(transfer_items);
   {
     auto r = config.GetBool("patrol_reader", out.patrol_reader);
     if (!r.ok()) return r.status();
@@ -102,6 +109,28 @@ Status SimConfig::Validate() const {
   }
   if (theft_interval < 0) {
     return Status::InvalidArgument("theft_interval must be >= 0");
+  }
+  // 16 real sites is far below the tag space's kEpcMaxSites; the headroom
+  // keeps the reserved truck-tag site index (sim/transfer.h) collision-free.
+  if (transfer_sites < 1 || transfer_sites > 16) {
+    return Status::InvalidArgument("transfer_sites must be in [1, 16]");
+  }
+  if (transfer_sites > 1) {
+    if (transfer_interval < 1) {
+      return Status::InvalidArgument("transfer_interval must be >= 1");
+    }
+    if (transfer_dwell < 1) {
+      return Status::InvalidArgument("transfer_dwell must be >= 1");
+    }
+    if (transfer_transit < 1) {
+      return Status::InvalidArgument("transfer_transit must be >= 1");
+    }
+    if (transfer_round_trips < 1) {
+      return Status::InvalidArgument("transfer_round_trips must be >= 1");
+    }
+    if (transfer_cases < 0 || transfer_items < 0) {
+      return Status::InvalidArgument("transfer cargo counts must be >= 0");
+    }
   }
   return Status::OK();
 }

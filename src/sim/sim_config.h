@@ -71,6 +71,33 @@ struct SimConfig {
   bool patrol_reader = false;
   Epoch patrol_dwell = 10;
 
+  /// Cross-site truck transfers (sim/transfer.h). With `transfer_sites`
+  /// >= 2, BuildTransferTrace runs that many independent warehouses and
+  /// overlays trucks that carry a closed pallet group from one site's
+  /// outgoing belt to the next site's entry door. 1 disables transfers.
+  int transfer_sites = 1;
+
+  /// A new truck enters service every `transfer_interval` epochs.
+  Epoch transfer_interval = 120;
+
+  /// Epochs a truck spends being loaded at the outgoing belt (readings
+  /// before departure) and unloaded at the entry door (readings after
+  /// arrival); also the parking gap between consecutive legs.
+  Epoch transfer_dwell = 4;
+
+  /// Epochs in transit between sites. Must be >= 1: a handoff has to
+  /// arrive strictly after it departs so the distributed feed protocol can
+  /// forward the captured state ahead of the arrival epoch.
+  Epoch transfer_transit = 5;
+
+  /// Round trips per truck; each round trip is two legs.
+  int transfer_round_trips = 1;
+
+  /// Truck cargo: one pallet carrying `transfer_cases` cases with
+  /// `transfer_items` items each.
+  int transfer_cases = 2;
+  int transfer_items = 3;
+
   /// RNG seed; identical seeds reproduce identical traces.
   std::uint64_t seed = 42;
 

@@ -1,0 +1,185 @@
+#include "sim/transfer.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace spire {
+
+namespace {
+
+/// Appends one group-at-a-reader window [begin, end) to `site`. The RNG is
+/// consumed for every window epoch regardless of the trace horizon, so a
+/// window straddling the end of the trace never shifts later draws.
+void EmitGroupReadings(const SimConfig& config,
+                       const std::vector<ObjectId>& group, Pcg32* rng,
+                       ReaderId reader, Epoch begin, Epoch end,
+                       SiteTrace* site) {
+  const auto horizon = static_cast<Epoch>(site->epochs.size());
+  for (Epoch epoch = begin; epoch < end; ++epoch) {
+    for (int tick = 0; tick < config.nonshelf_ticks_per_epoch; ++tick) {
+      for (ObjectId tag : group) {
+        const bool responds = rng->NextBool(config.read_rate);
+        if (!responds || epoch < 0 || epoch >= horizon) continue;
+        site->epochs[epoch].push_back(
+            RfidReading{tag, reader, epoch, static_cast<std::uint16_t>(tick)});
+        ++site->total_readings;
+      }
+    }
+  }
+}
+
+/// Builds one truck's cargo in leaf-up order (items, cases, pallet) under
+/// the reserved transfer tag-site index.
+std::vector<ObjectId> TruckCargo(const SimConfig& config, int truck) {
+  const auto prefix =
+      static_cast<std::uint32_t>(truck) & kEpcSitePrefixMask;
+  std::vector<ObjectId> group;
+  group.reserve(static_cast<std::size_t>(config.transfer_cases) *
+                    config.transfer_items +
+                config.transfer_cases + 1);
+  for (int c = 0; c < config.transfer_cases; ++c) {
+    for (int i = 0; i < config.transfer_items; ++i) {
+      EpcFields f{PackagingLevel::kItem, prefix,
+                  static_cast<std::uint32_t>(c + 1),
+                  static_cast<std::uint32_t>(i + 1)};
+      group.push_back(PlantEpcSite(kTransferTagSite, EncodeEpcUnchecked(f)));
+    }
+  }
+  for (int c = 0; c < config.transfer_cases; ++c) {
+    EpcFields f{PackagingLevel::kCase, prefix,
+                static_cast<std::uint32_t>(c + 1), 0};
+    group.push_back(PlantEpcSite(kTransferTagSite, EncodeEpcUnchecked(f)));
+  }
+  EpcFields f{PackagingLevel::kPallet, prefix, 0, 0};
+  group.push_back(PlantEpcSite(kTransferTagSite, EncodeEpcUnchecked(f)));
+  return group;
+}
+
+/// Overlays one truck's legs: readings at the origin's outgoing belt while
+/// loading, a TransferHop per leg, readings at the destination's entry
+/// door while unloading. Legs stop once a departure falls past the trace;
+/// a hop whose *arrival* falls past the trace is still recorded (its state
+/// is captured but never spliced in — the runtime must cope).
+void AppendTruck(const SimConfig& config, int truck, TransferTrace* trace) {
+  const int num_sites = config.transfer_sites;
+  const std::vector<ObjectId> group = TruckCargo(config, truck);
+  Pcg32 rng(config.seed ^ (0x7472756bULL + static_cast<std::uint64_t>(truck)),
+            0x5d15717aULL + static_cast<std::uint64_t>(truck));
+  const Epoch dwell = config.transfer_dwell;
+  Epoch depart = config.transfer_interval * (truck + 1) + dwell;
+  const int legs = 2 * config.transfer_round_trips;
+  for (int leg = 0; leg < legs; ++leg) {
+    if (depart >= trace->num_epochs) break;
+    const int from = (truck + leg) % num_sites;
+    const int to = (truck + leg + 1) % num_sites;
+    const Epoch arrive = depart + config.transfer_transit;
+    EmitGroupReadings(config, group, &rng,
+                      trace->sites[from].layout.outgoing_belt_reader,
+                      depart - dwell, depart, &trace->sites[from]);
+    TransferHop hop;
+    hop.from_site = from;
+    hop.to_site = to;
+    hop.depart_epoch = depart;
+    hop.arrive_epoch = arrive;
+    hop.objects = group;
+    trace->hops.push_back(std::move(hop));
+    EmitGroupReadings(config, group, &rng,
+                      trace->sites[to].layout.entry_reader, arrive,
+                      arrive + dwell, &trace->sites[to]);
+    depart = arrive + 2 * dwell;
+  }
+}
+
+}  // namespace
+
+Result<TransferTrace> BuildTransferTrace(const SimConfig& config) {
+  SPIRE_RETURN_NOT_OK(config.Validate());
+  if (config.transfer_sites < 2) {
+    return Status::InvalidArgument(
+        "BuildTransferTrace needs transfer_sites >= 2");
+  }
+  TransferTrace trace;
+  trace.num_epochs = config.duration_epochs;
+  trace.sites.reserve(config.transfer_sites);
+  for (int site = 0; site < config.transfer_sites; ++site) {
+    SimConfig site_config = config;
+    // Distinct organic traffic per site; the mixing constant keeps nearby
+    // fuzz seeds from aliasing onto each other's site streams.
+    site_config.seed =
+        config.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(site);
+    auto sim = WarehouseSimulator::Create(site_config);
+    SPIRE_RETURN_NOT_OK(sim.status());
+    WarehouseSimulator& simulator = *sim.value();
+    SiteTrace site_trace;
+    site_trace.name = "site" + std::to_string(site);
+    site_trace.layout = simulator.layout();
+    site_trace.epochs.resize(config.duration_epochs);
+    for (Epoch epoch = 0; epoch < config.duration_epochs; ++epoch) {
+      EpochReadings readings = simulator.Step();
+      for (RfidReading& reading : readings) {
+        reading.tag = PlantEpcSite(site, reading.tag);
+      }
+      site_trace.total_readings += readings.size();
+      site_trace.epochs[epoch] = std::move(readings);
+    }
+    trace.sites.push_back(std::move(site_trace));
+  }
+  for (int truck = 0;; ++truck) {
+    const Epoch start = config.transfer_interval * (truck + 1);
+    if (start + config.transfer_dwell >= config.duration_epochs) break;
+    AppendTruck(config, truck, &trace);
+  }
+  return trace;
+}
+
+Result<MergedDeployment> MergeToSingleDeployment(const TransferTrace& trace) {
+  MergedDeployment merged;
+  merged.epochs.resize(trace.num_epochs);
+  std::size_t reader_offset = 0;
+  std::size_t location_offset = 0;
+  for (const SiteTrace& site : trace.sites) {
+    const ReaderRegistry& registry = site.layout.registry;
+    for (LocationId l = 0;
+         l < static_cast<LocationId>(registry.num_locations()); ++l) {
+      merged.registry.AddLocation(site.name + "/" + registry.LocationName(l));
+    }
+    for (const ReaderInfo& info : registry.readers()) {
+      ReaderInfo remapped = info;
+      remapped.id = static_cast<ReaderId>(info.id + reader_offset);
+      remapped.location =
+          static_cast<LocationId>(info.location + location_offset);
+      remapped.name = site.name + "/" + info.name;
+      SPIRE_RETURN_NOT_OK(merged.registry.AddReader(remapped));
+      const std::vector<LocationId>& route = registry.PatrolRouteOf(info.id);
+      if (!route.empty()) {
+        std::vector<LocationId> shifted;
+        shifted.reserve(route.size());
+        for (LocationId stop : route) {
+          shifted.push_back(static_cast<LocationId>(stop + location_offset));
+        }
+        SPIRE_RETURN_NOT_OK(merged.registry.SetPatrol(
+            remapped.id, std::move(shifted), registry.PatrolDwellOf(info.id)));
+      }
+    }
+    const auto site_epochs =
+        std::min(static_cast<Epoch>(site.epochs.size()), trace.num_epochs);
+    for (Epoch epoch = 0; epoch < site_epochs; ++epoch) {
+      for (RfidReading reading : site.epochs[epoch]) {
+        reading.reader = static_cast<ReaderId>(reading.reader + reader_offset);
+        merged.epochs[epoch].push_back(reading);
+      }
+    }
+    merged.total_readings += site.total_readings;
+    if (merged.entry_door == kUnknownLocation) {
+      merged.entry_door = site.layout.entry_door;
+    }
+    reader_offset += registry.readers().size();
+    location_offset += registry.num_locations();
+  }
+  return merged;
+}
+
+}  // namespace spire

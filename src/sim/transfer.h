@@ -1,0 +1,87 @@
+// Cross-site truck-transfer traces (the `truck_transfer` scenario).
+//
+// The sequel paper (Cao et al., "Distributed Inference and Query Processing
+// for RFID Tracking and Monitoring") extends SPIRE's single-deployment
+// model with objects that physically move between deployments. This module
+// generates that workload: `transfer_sites` independent warehouses (one
+// WarehouseSimulator each, tag spaces made disjoint by planting the site
+// index in the EPC company prefix) plus a fleet of trucks. Each truck
+// carries a closed pallet group (pallet -> cases -> items) and shuttles
+// between sites: it is read at the origin's outgoing belt for
+// `transfer_dwell` epochs, departs, spends `transfer_transit` epochs
+// unreadable, and is read at the destination's entry door for another
+// dwell window. Every leg is recorded as a TransferHop — the transfer
+// schedule the distributed runtime (src/dist) turns into object handoffs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/epc.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/layout.h"
+#include "sim/sim_config.h"
+#include "stream/reader.h"
+#include "stream/reading.h"
+
+namespace spire {
+
+/// Site index planted into truck cargo tags. Never a real site
+/// (SimConfig::Validate caps transfer_sites at 16), so truck tags collide
+/// with no site's organic tag space.
+inline constexpr int kTransferTagSite = kEpcMaxSites - 1;
+
+/// One truck leg: a closed object group leaving `from_site`'s outgoing
+/// belt after epoch `depart_epoch` and first readable at `to_site`'s entry
+/// door at `arrive_epoch` (strictly later; the distributed feed protocol
+/// relies on that to forward the handoff ahead of the arrival epoch).
+/// `objects` is in leaf-up order — items, then cases, then the pallet — so
+/// retiring them in order never leaves a container with live children.
+struct TransferHop {
+  int from_site = 0;
+  int to_site = 0;
+  Epoch depart_epoch = kNeverEpoch;
+  Epoch arrive_epoch = kNeverEpoch;
+  std::vector<ObjectId> objects;
+};
+
+/// One reader deployment of a multi-site trace: its own layout (registry
+/// with site-local reader/location ids) and per-epoch readings. Tag ids
+/// are global — the site index is already planted in the company prefix.
+struct SiteTrace {
+  std::string name;
+  WarehouseLayout layout;
+  std::vector<EpochReadings> epochs;
+  std::size_t total_readings = 0;
+};
+
+/// A multi-site trace plus its transfer schedule. All sites share the
+/// epoch axis [0, num_epochs); hops are in truck-major, then leg order.
+struct TransferTrace {
+  std::vector<SiteTrace> sites;
+  std::vector<TransferHop> hops;
+  Epoch num_epochs = 0;
+};
+
+/// Generates the truck_transfer scenario from `config` (which must have
+/// transfer_sites >= 2). Site i runs a WarehouseSimulator with a
+/// site-derived seed; truck readings are overlaid on the organic streams.
+Result<TransferTrace> BuildTransferTrace(const SimConfig& config);
+
+/// A multi-site trace collapsed into one merged deployment: every site's
+/// readers and locations re-registered with cumulative id offsets, and all
+/// readings on one stream. A single pipeline over this view sees the whole
+/// world, which is how the existing single-deployment oracles fuzz
+/// cross-site movement.
+struct MergedDeployment {
+  ReaderRegistry registry;
+  std::vector<EpochReadings> epochs;
+  /// Site 0's entry door (offset 0) for warm-up-area checks.
+  LocationId entry_door = kUnknownLocation;
+  std::size_t total_readings = 0;
+};
+
+Result<MergedDeployment> MergeToSingleDeployment(const TransferTrace& trace);
+
+}  // namespace spire

@@ -1,0 +1,57 @@
+// Per-object inference state shipped with a cross-site transfer.
+//
+// When the simulator moves an object out-belt@A -> entry-door@B, site A's
+// pipeline retires it exactly like an exit-door sighting — but first
+// captures the state below, which site B splices in before the arrival
+// epoch. The captured pieces are precisely the per-object inputs the
+// interpretation layer reads: the graph node's (seen_at, confirmed parent),
+// the containment edges *within the departing group* (evidence binding the
+// object to anything left behind dies with the departure), and the
+// incremental-inference cache entry + fade-wheel deadline. Locations are
+// site-local ids, so the cached estimate travels with its location
+// scrubbed; the destination recomputes it on the first complete pass after
+// the splice (the implanted node is always marked dirty).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "inference/estimate.h"
+
+namespace spire {
+
+/// One containment edge captured with a departing object; `parent` departs
+/// in the same hop. The co-location history ships as its visible window
+/// (ShiftRegister::Window/size), which restores a register
+/// indistinguishable from the source.
+struct HandoffEdge {
+  ObjectId parent = kNoObject;
+  std::uint64_t colocation_window = 0;
+  int colocation_count = 0;
+  Epoch update_time = kNeverEpoch;
+  Epoch created_at = kNeverEpoch;
+
+  bool operator==(const HandoffEdge&) const = default;
+};
+
+/// Everything the destination pipeline needs to splice one object in.
+struct ObjectHandoff {
+  ObjectId object = kNoObject;
+  /// Node state: last-sighting epoch and the confirmed containment.
+  Epoch seen_at = kNeverEpoch;
+  ConfirmedParent confirmed;
+  /// Edges to parents departing in the same hop, sorted by parent id.
+  std::vector<HandoffEdge> parent_edges;
+  /// Cached complete-pass estimate (location scrubbed — site-local) and
+  /// the node's scheduled fade-flip deadline. has_estimate is false when
+  /// the source held no valid cache entry for the node.
+  bool has_estimate = false;
+  ObjectEstimate estimate;
+  Epoch fade_deadline = kNeverEpoch;
+
+  bool operator==(const ObjectHandoff&) const = default;
+};
+
+}  // namespace spire

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
 #include "common/epc.h"
 #include "obs/trace.h"
@@ -110,6 +111,120 @@ void SpirePipeline::MirrorToArchive(const EventStream& out,
   }
 }
 
+void SpirePipeline::RetireObject(ObjectId id, Epoch epoch, EventStream* out) {
+  // Report the final sighting first so the output stream (like the
+  // physical truth) shows the stay at the exit before it closes. The exit
+  // ends any containment, which also resumes the object's own location
+  // output under level-2 compression — otherwise the final stay of a
+  // contained object would be unrecoverable once its container retires.
+  auto it = last_result_.estimates.find(id);
+  if (it != last_result_.estimates.end() && !it->second.withheld &&
+      !IsWarmupLocation(it->second.location)) {
+    ObjectStateEstimate state;
+    state.object = id;
+    state.location = it->second.location;
+    state.container = kNoObject;
+    // An exit sighting is a definite read, never a disappearance; leaving
+    // the flag implicit would let a stale estimate smuggle a Missing
+    // singleton into the stream right before the Retire closes it.
+    state.missing = false;
+    compressor_->Report(state, epoch, out);
+  }
+  if (it != last_result_.estimates.end()) {
+    exited_estimates_.emplace(id, it->second);
+    last_result_.estimates.erase(it);
+  }
+  compressor_->Retire(id, epoch, out);
+  graph_.RemoveNode(id);
+  retired_[id] = epoch;
+}
+
+void SpirePipeline::StageDeparture(const std::vector<ObjectId>& ids,
+                                   std::vector<ObjectHandoff>* sink) {
+  pending_departures_.push_back(DepartureGroup{ids, sink});
+}
+
+void SpirePipeline::ProcessDepartures(Epoch epoch, EventStream* out) {
+  for (DepartureGroup& group : pending_departures_) {
+    // Capture the whole group before retiring any member: removing one
+    // node destroys the intra-group edges the others still need to read.
+    const std::unordered_set<ObjectId> members(group.ids.begin(),
+                                               group.ids.end());
+    for (ObjectId id : group.ids) {
+      const Node* node = graph_.FindNode(id);
+      // Never sighted here (or already organically exited this epoch):
+      // nothing to ship, and nothing to retire below either.
+      if (node == nullptr) continue;
+      ObjectHandoff handoff;
+      handoff.object = id;
+      handoff.seen_at = node->seen_at;
+      handoff.confirmed = node->confirmed;
+      for (EdgeId edge_id : node->parent_edges) {
+        const Edge& edge = graph_.edge(edge_id);
+        if (!edge.alive || members.count(edge.parent) == 0) continue;
+        HandoffEdge shipped;
+        shipped.parent = edge.parent;
+        shipped.colocation_window = edge.recent_colocations.Window();
+        shipped.colocation_count = edge.recent_colocations.size();
+        shipped.update_time = edge.update_time;
+        shipped.created_at = edge.created_at;
+        handoff.parent_edges.push_back(shipped);
+      }
+      // Adjacency-list order depends on update history; sort for a
+      // canonical wire form.
+      std::sort(handoff.parent_edges.begin(), handoff.parent_edges.end(),
+                [](const HandoffEdge& a, const HandoffEdge& b) {
+                  return a.parent < b.parent;
+                });
+      handoff.has_estimate = inference_.CaptureHandoff(
+          node->self, &handoff.estimate, &handoff.fade_deadline);
+      if (handoff.has_estimate) {
+        // Location ids are site-local; the destination recomputes them on
+        // its first complete pass after the splice.
+        handoff.estimate.location = kUnknownLocation;
+        handoff.estimate.location_prob = 0.0;
+        handoff.estimate.location_runner_up = 0.0;
+      }
+      group.sink->push_back(std::move(handoff));
+    }
+    // Retire in the staged leaf-up order: contents go before their
+    // containers, so Retire never releases a still-live child (which would
+    // splice resume events into the stream).
+    for (ObjectId id : group.ids) {
+      if (graph_.FindNode(id) == nullptr) continue;
+      RetireObject(id, epoch, out);
+    }
+  }
+  pending_departures_.clear();
+}
+
+void SpirePipeline::ImplantHandoff(const ObjectHandoff& handoff) {
+  // A round trip may return within the exit grace window; the arrival must
+  // not be swallowed by the retirement filter.
+  retired_.erase(handoff.object);
+  Node& node = graph_.GetOrCreateNode(handoff.object);
+  node.seen_at = handoff.seen_at;
+  node.confirmed = handoff.confirmed;
+  for (const HandoffEdge& shipped : handoff.parent_edges) {
+    // AddEdge creates the parent's node if its own handoff has not been
+    // implanted yet (hops are captured leaf-up, so children come first);
+    // the parent's implant then fills in its node state.
+    const EdgeId edge_id = graph_.AddEdge(shipped.parent, handoff.object);
+    Edge& edge = graph_.edge(edge_id);
+    edge.recent_colocations.Restore(shipped.colocation_window,
+                                    shipped.colocation_count);
+    edge.update_time = shipped.update_time;
+    edge.created_at = shipped.created_at;
+  }
+  // Always recompute the implanted component on the next complete pass:
+  // the shipped estimate must never be replayed into the output.
+  graph_.MarkDirty(node);
+  if (handoff.has_estimate) {
+    inference_.ImplantHandoff(node.self, handoff.estimate,
+                              handoff.fade_deadline);
+  }
+}
+
 void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
                                  EventStream* out) {
   ++epochs_processed_;
@@ -165,32 +280,12 @@ void SpirePipeline::ProcessEpoch(Epoch epoch, EpochReadings readings,
     obs::ScopedSpan span("pipeline", "compress", epoch);
     // Proper exits: close the objects' events and drop their nodes.
     for (ObjectId id : updater_.exited_this_epoch()) {
-      // Report the exit-door sighting first so the output stream (like the
-      // physical truth) shows the stay at the exit before it closes. The exit
-      // ends any containment, which also resumes the object's own location
-      // output under level-2 compression — otherwise the final stay of a
-      // contained object would be unrecoverable once its container retires.
-      auto it = last_result_.estimates.find(id);
-      if (it != last_result_.estimates.end() && !it->second.withheld &&
-          !IsWarmupLocation(it->second.location)) {
-        ObjectStateEstimate state;
-        state.object = id;
-        state.location = it->second.location;
-        state.container = kNoObject;
-        // An exit sighting is a definite read, never a disappearance; leaving
-        // the flag implicit would let a stale estimate smuggle a Missing
-        // singleton into the stream right before the Retire closes it.
-        state.missing = false;
-        compressor_->Report(state, epoch, out);
-      }
-      if (it != last_result_.estimates.end()) {
-        exited_estimates_.emplace(id, it->second);
-        last_result_.estimates.erase(it);
-      }
-      compressor_->Retire(id, epoch, out);
-      graph_.RemoveNode(id);
-      retired_[id] = epoch;
+      RetireObject(id, epoch, out);
     }
+
+    // Cross-site departures behave like exits, but capture the objects'
+    // inference state first (spire/handoff.h).
+    if (!pending_departures_.empty()) ProcessDepartures(epoch, out);
 
     // Output: report every non-withheld estimate; the compressor discards
     // everything that does not change the reported state. Report order matters

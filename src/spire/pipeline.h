@@ -18,6 +18,7 @@
 #include "inference/params.h"
 #include "inference/schedule.h"
 #include "obs/explain.h"
+#include "spire/handoff.h"
 #include "stream/dedup.h"
 #include "stream/epoch_stream.h"
 #include "stream/reader.h"
@@ -81,6 +82,29 @@ class SpirePipeline {
   /// Closes all open output events (end of stream).
   void Finish(Epoch epoch, EventStream* out);
 
+  /// Cross-site handoff, departure side (src/dist): marks `ids` to depart
+  /// during the NEXT ProcessEpoch. After that epoch's inference, each is
+  /// reported and retired exactly like an exit-door sighting, and its
+  /// captured state (spire/handoff.h) is appended to `sink` in the staged
+  /// order; objects without a graph node are skipped. `ids` must be
+  /// leaf-up (contents before their containers) so retiring in order never
+  /// leaves a container with live children. Several groups may be staged
+  /// before one ProcessEpoch; they are processed in call order. `sink`
+  /// must outlive that ProcessEpoch call.
+  void StageDeparture(const std::vector<ObjectId>& ids,
+                      std::vector<ObjectHandoff>* sink);
+
+  /// Cross-site handoff, arrival side: splices a captured object in ahead
+  /// of this pipeline's next ProcessEpoch. Recreates the node (seen_at,
+  /// confirmed parent), restores the shipped intra-group containment
+  /// edges, clears any exit-grace retirement (a round trip may return
+  /// within the grace window), forwards the cached estimate + fade
+  /// deadline to the inference layer, and marks the node dirty so the next
+  /// complete pass recomputes its component — a stale shipped estimate can
+  /// never reach the output stream. Implant a hop's handoffs in their
+  /// captured order.
+  void ImplantHandoff(const ObjectHandoff& handoff);
+
   /// Mirrors every event emitted from now on into `archive` (not owned;
   /// must outlive the pipeline; pass nullptr to detach). The caller still
   /// Close()s the archive. Append failures latch into archive_status() and
@@ -132,8 +156,19 @@ class SpirePipeline {
     }
   };
 
+  /// Objects staged by one StageDeparture call, capturing into `sink`.
+  struct DepartureGroup {
+    std::vector<ObjectId> ids;
+    std::vector<ObjectHandoff>* sink;
+  };
+
   bool IsRetired(ObjectId id, Epoch epoch) const;
   bool IsWarmupLocation(LocationId location) const;
+  /// The shared tail of an exit and a departure: final location report,
+  /// compressor retire, node removal, exit-grace entry.
+  void RetireObject(ObjectId id, Epoch epoch, EventStream* out);
+  /// Captures and retires every staged departure group (call order).
+  void ProcessDepartures(Epoch epoch, EventStream* out);
   /// Appends out[first, ...) to the archive sink, latching the first error.
   void MirrorToArchive(const EventStream& out, std::size_t first);
   /// Records provenance for out[first, ...) into the explain log (no-op
@@ -152,6 +187,8 @@ class SpirePipeline {
   InferenceResult last_result_;
   /// Recently retired objects and their retirement epoch (exit grace).
   std::unordered_map<ObjectId, Epoch> retired_;
+  /// Departure groups staged for the next ProcessEpoch.
+  std::vector<DepartureGroup> pending_departures_;
   ArchiveWriter* archive_ = nullptr;
   Status archive_status_;
   obs::ExplainLog* explain_ = nullptr;

@@ -1,0 +1,354 @@
+// Tests for the distributed serving layer (src/dist): wire-protocol
+// hardening (corruption, truncation, version skew), handoff state serde,
+// transfer-schedule invariants, and end-to-end loopback runs that must
+// reproduce the serial reference byte for byte.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.h"
+#include "common/wire.h"
+#include "dist/runner.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "obs/registry.h"
+#include "sim/transfer.h"
+#include "store/crc32.h"
+
+namespace spire::dist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+HandoffPayload SampleHandoff() {
+  HandoffPayload payload;
+  payload.hop = 7;
+  payload.to_site = 2;
+  payload.arrive_epoch = 123;
+  payload.capture_micros = 987654321;
+  ObjectHandoff pallet;
+  pallet.object = 0x5f80000000000001ull;
+  pallet.seen_at = 120;
+  pallet.confirmed.parent = kNoObject;
+  pallet.confirmed.confirmed_at = kNeverEpoch;
+  pallet.has_estimate = true;
+  pallet.estimate.object = pallet.object;
+  pallet.estimate.location = kUnknownLocation;  // Scrubbed: site-local.
+  pallet.estimate.location_prob = 0.25;
+  pallet.estimate.container = kNoObject;
+  pallet.estimate.observed = true;
+  pallet.fade_deadline = 140;
+  ObjectHandoff item;
+  item.object = 0x1f80000000200001ull;
+  item.seen_at = 121;
+  item.confirmed.parent = pallet.object;
+  item.confirmed.confirmed_at = 100;
+  item.confirmed.conflicts = 3;
+  item.confirmed.observations = 17;
+  HandoffEdge edge;
+  edge.parent = pallet.object;
+  edge.colocation_window = 0b1011011;
+  edge.colocation_count = 7;
+  edge.update_time = 121;
+  edge.created_at = 95;
+  item.parent_edges.push_back(edge);
+  item.has_estimate = false;
+  payload.objects.push_back(item);
+  payload.objects.push_back(pallet);
+  return payload;
+}
+
+std::vector<std::uint8_t> SampleFrame() {
+  std::vector<std::uint8_t> payload;
+  EncodeHandoff(SampleHandoff(), &payload);
+  return EncodeFrame(FrameType::kHandoff, payload);
+}
+
+TEST(DistWireTest, FrameRoundTripAllTypes) {
+  {
+    HelloPayload hello;
+    hello.node_id = 3;
+    hello.sites = {3, 7, 11};
+    std::vector<std::uint8_t> payload;
+    EncodeHello(hello, &payload);
+    auto frame = DecodeFrame(EncodeFrame(FrameType::kHello, payload));
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame.value().type, FrameType::kHello);
+    auto decoded = DecodeHello(frame.value().payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().node_id, hello.node_id);
+    EXPECT_EQ(decoded.value().sites, hello.sites);
+  }
+  {
+    EpochWorkPayload work;
+    work.epoch = 42;
+    EpochReadings readings;
+    RfidReading reading;
+    reading.tag = 0x1f80000000200001ull;
+    reading.reader = 1;
+    reading.epoch = 42;
+    reading.tick = 3;
+    readings.push_back(reading);
+    work.site_readings.emplace_back(1u, readings);
+    CaptureOrder order;
+    order.hop = 2;
+    order.from_site = 1;
+    order.to_site = 0;
+    order.arrive_epoch = 50;
+    order.objects = {0x1f80000000200001ull};
+    work.captures.push_back(order);
+    std::vector<std::uint8_t> payload;
+    EncodeEpochWork(work, &payload);
+    auto frame = DecodeFrame(EncodeFrame(FrameType::kEpochWork, payload));
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    auto decoded = DecodeEpochWork(frame.value().payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().epoch, work.epoch);
+    EXPECT_FALSE(decoded.value().finish);
+    ASSERT_EQ(decoded.value().site_readings.size(), 1u);
+    EXPECT_EQ(decoded.value().site_readings[0].second, readings);
+    ASSERT_EQ(decoded.value().captures.size(), 1u);
+    EXPECT_EQ(decoded.value().captures[0].objects, order.objects);
+    EXPECT_EQ(decoded.value().captures[0].arrive_epoch, order.arrive_epoch);
+  }
+  {
+    SiteBatchPayload batch;
+    batch.epoch = 9;
+    batch.site = 4;
+    batch.events.push_back(Event::StartLocation(77, 5, 9));
+    batch.events.push_back(Event::EndLocation(77, 5, 3, 9));
+    std::vector<std::uint8_t> payload;
+    EncodeSiteBatch(batch, &payload);
+    auto frame = DecodeFrame(EncodeFrame(FrameType::kSiteBatch, payload));
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    auto decoded = DecodeSiteBatch(frame.value().payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().epoch, batch.epoch);
+    EXPECT_EQ(decoded.value().site, batch.site);
+    EXPECT_EQ(decoded.value().events, batch.events);
+  }
+  {
+    BarrierPayload barrier;
+    barrier.epoch = 13;
+    barrier.finish = true;
+    std::vector<std::uint8_t> payload;
+    EncodeBarrier(barrier, &payload);
+    auto frame = DecodeFrame(EncodeFrame(FrameType::kBarrier, payload));
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    auto decoded = DecodeBarrier(frame.value().payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().epoch, barrier.epoch);
+    EXPECT_TRUE(decoded.value().finish);
+  }
+  {
+    const HandoffPayload handoff = SampleHandoff();
+    auto frame = DecodeFrame(SampleFrame());
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    auto decoded = DecodeHandoff(frame.value().payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().hop, handoff.hop);
+    EXPECT_EQ(decoded.value().capture_micros, handoff.capture_micros);
+    EXPECT_EQ(decoded.value().objects, handoff.objects);
+  }
+}
+
+TEST(DistWireTest, EveryByteFlipFailsDecode) {
+  const std::vector<std::uint8_t> frame = SampleFrame();
+  ASSERT_TRUE(DecodeFrame(frame).ok());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (std::uint8_t bit : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> corrupted = frame;
+      corrupted[i] ^= bit;
+      EXPECT_FALSE(DecodeFrame(corrupted).ok())
+          << "flip of bit " << int{bit} << " in byte " << i
+          << " decoded as a valid frame";
+    }
+  }
+}
+
+TEST(DistWireTest, EveryPrefixTruncationFails) {
+  const std::vector<std::uint8_t> frame = SampleFrame();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    std::vector<std::uint8_t> truncated(frame.begin(), frame.begin() + len);
+    EXPECT_FALSE(DecodeFrame(truncated).ok())
+        << "prefix of " << len << " bytes decoded as a valid frame";
+  }
+}
+
+TEST(DistWireTest, VersionSkewIsNamedInTheError) {
+  std::vector<std::uint8_t> frame = SampleFrame();
+  // Patch a future protocol version in and fix the checksum up, so the
+  // version check itself (not the CRC) must reject the frame.
+  const std::uint16_t future = kDistProtocolVersion + 1;
+  frame[6] = static_cast<std::uint8_t>(future & 0xff);
+  frame[7] = static_cast<std::uint8_t>(future >> 8);
+  const std::uint32_t crc =
+      Crc32(frame.data() + kFrameHeaderBytes, frame.size() - kFrameHeaderBytes,
+            Crc32(frame.data(), 12));
+  frame[12] = static_cast<std::uint8_t>(crc & 0xff);
+  frame[13] = static_cast<std::uint8_t>((crc >> 8) & 0xff);
+  frame[14] = static_cast<std::uint8_t>((crc >> 16) & 0xff);
+  frame[15] = static_cast<std::uint8_t>(crc >> 24);
+  auto decoded = DecodeFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("version"), std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(DistWireTest, HandoffRoundTripsSentinelsAndDoubles) {
+  HandoffPayload payload;
+  payload.hop = 0;
+  payload.to_site = 0;
+  payload.arrive_epoch = kInfiniteEpoch;
+  ObjectHandoff handoff;
+  handoff.object = ~std::uint64_t{0} - 1;
+  handoff.seen_at = kNeverEpoch;
+  handoff.confirmed.parent = kNoObject;
+  handoff.confirmed.confirmed_at = kNeverEpoch;
+  handoff.has_estimate = true;
+  handoff.estimate.object = handoff.object;
+  handoff.estimate.location = kUnknownLocation;
+  handoff.estimate.location_prob = 0.1 + 0.2;  // Not exactly 0.3.
+  handoff.estimate.location_runner_up = 1e-300;
+  handoff.estimate.container_prob = 0.9999999999999999;
+  handoff.fade_deadline = kInfiniteEpoch;
+  HandoffEdge edge;
+  edge.parent = kNoObject - 1;
+  edge.colocation_window = ~std::uint64_t{0};
+  edge.colocation_count = ShiftRegister::kMaxCapacity;
+  edge.update_time = kNeverEpoch;
+  edge.created_at = kNeverEpoch;
+  handoff.parent_edges.push_back(edge);
+  payload.objects.push_back(handoff);
+
+  std::vector<std::uint8_t> bytes;
+  EncodeHandoff(payload, &bytes);
+  auto decoded = DecodeHandoff(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().arrive_epoch, kInfiniteEpoch);
+  ASSERT_EQ(decoded.value().objects.size(), 1u);
+  EXPECT_EQ(decoded.value().objects[0], handoff);
+}
+
+TEST(DistWireTest, ShiftRegisterRestoreIsIndistinguishable) {
+  ShiftRegister source(16);
+  for (int i = 0; i < 40; ++i) source.Push(i % 3 == 0);
+  ShiftRegister restored(16);
+  restored.Restore(source.Window(), source.size());
+  EXPECT_EQ(restored.size(), source.size());
+  EXPECT_EQ(restored.Window(), source.Window());
+  EXPECT_EQ(restored.PopCount(), source.PopCount());
+  for (int i = 0; i < source.size(); ++i) {
+    EXPECT_EQ(restored.Get(i), source.Get(i)) << "bit " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transfer schedule
+
+SimConfig TransferConfig() {
+  SimConfig sim;
+  sim.seed = 5;
+  sim.duration_epochs = 120;
+  sim.transfer_sites = 3;
+  sim.transfer_interval = 25;
+  sim.transfer_dwell = 2;
+  sim.transfer_transit = 3;
+  sim.transfer_round_trips = 2;
+  sim.transfer_cases = 1;
+  sim.transfer_items = 2;
+  return sim;
+}
+
+TEST(TransferTraceTest, ScheduleInvariantsHold) {
+  auto trace = BuildTransferTrace(TransferConfig());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const TransferTrace& t = trace.value();
+  EXPECT_EQ(t.sites.size(), 3u);
+  EXPECT_FALSE(t.hops.empty());
+  for (const TransferHop& hop : t.hops) {
+    EXPECT_GE(hop.from_site, 0);
+    EXPECT_LT(hop.from_site, 3);
+    EXPECT_GE(hop.to_site, 0);
+    EXPECT_LT(hop.to_site, 3);
+    EXPECT_NE(hop.from_site, hop.to_site);
+    // The feed protocol forwards a handoff between the departure epoch and
+    // the arrival epoch; the gap must be strictly positive.
+    EXPECT_LT(hop.depart_epoch, hop.arrive_epoch);
+    EXPECT_GE(hop.depart_epoch, 0);
+    ASSERT_FALSE(hop.objects.empty());
+    // Leaf-up capture order: the pallet (the group's root, smallest serial
+    // in its tag space) is staged last so retiring in order never leaves a
+    // container with live children. All cargo tags carry the reserved
+    // transfer site index, outside every real site's tag space.
+    for (ObjectId object : hop.objects) {
+      EXPECT_EQ(DecodeEpc(object).company_prefix >> kEpcSitePrefixBits,
+                static_cast<std::uint32_t>(kTransferTagSite))
+          << "object 0x" << std::hex << object;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end loopback vs serial reference
+
+TEST(DistRunnerTest, LoopbackMatchesReferenceAtAnyNodeCount) {
+  auto trace = BuildTransferTrace(TransferConfig());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  auto workload = ToWorkload(trace.value());
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  for (CompressionLevel level :
+       {CompressionLevel::kLevel1, CompressionLevel::kLevel2}) {
+    PipelineOptions pipeline;
+    pipeline.level = level;
+    const EventStream reference =
+        RunDistReference(workload.value(), trace.value().hops, pipeline);
+    EXPECT_FALSE(reference.empty());
+    for (int nodes : {1, 2, 3}) {
+      DistOptions options;
+      options.num_nodes = nodes;
+      options.pipeline = pipeline;
+      DistResult result =
+          RunDistLoopback(workload.value(), trace.value().hops, options);
+      ASSERT_TRUE(result.status.ok())
+          << "nodes=" << nodes << ": " << result.status.ToString();
+      EXPECT_EQ(result.events, reference)
+          << "nodes=" << nodes << " level=" << static_cast<int>(level);
+      EXPECT_GT(result.handoff_objects, 0u);
+    }
+  }
+}
+
+TEST(DistRunnerTest, ObsInstrumentsCountTraffic) {
+  obs::SetEnabled(true);
+  auto& registry = obs::Registry::Global();
+  registry.Reset();
+
+  auto trace = BuildTransferTrace(TransferConfig());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  auto workload = ToWorkload(trace.value());
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  DistOptions options;
+  options.num_nodes = 2;
+  DistResult result =
+      RunDistLoopback(workload.value(), trace.value().hops, options);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+
+  EXPECT_GT(registry.GetCounter("dist", "frames")->value(), 0u);
+  EXPECT_GT(registry.GetCounter("dist", "bytes")->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("dist", "handoffs")->value(),
+            result.handoff_objects);
+  // One latency sample per delivered hop (objects in a hop share the ship).
+  EXPECT_EQ(registry.GetHistogram("dist", "handoff_latency_us")->count(),
+            result.handoff_hops);
+
+  registry.Reset();
+  obs::SetEnabled(false);
+}
+
+}  // namespace
+}  // namespace spire::dist

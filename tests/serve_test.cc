@@ -218,7 +218,11 @@ TEST(EventMergerTest, WrongEpochIsProtocolError) {
 Workload MakeWorkload(const std::vector<std::uint64_t>& seeds) {
   Workload workload;
   for (std::size_t i = 0; i < seeds.size(); ++i) {
-    auto trace = GenerateTrace(CaseFromSeed(seeds[i]));
+    FuzzCase fuzz_case = CaseFromSeed(seeds[i]);
+    // NormalizeWorkload plants the site bits itself, so each site must be a
+    // raw single-site trace; a transfer case's merged view already uses them.
+    fuzz_case.sim.transfer_sites = 1;
+    auto trace = GenerateTrace(fuzz_case);
     EXPECT_TRUE(trace.ok()) << trace.status().ToString();
     SiteWorkload site;
     site.name = "seed-" + std::to_string(seeds[i]);
@@ -266,7 +270,9 @@ TEST(ServeTest, ShardCountsAreByteIdentical) {
 TEST(ServeTest, SingleSiteMatchesPlainPipeline) {
   // Site 0's normalization is the identity, so serve over one site must
   // reproduce the plain single-threaded pipeline bit for bit.
-  auto trace = GenerateTrace(CaseFromSeed(21));
+  FuzzCase fuzz_case = CaseFromSeed(21);
+  fuzz_case.sim.transfer_sites = 1;  // Same single-site view as MakeWorkload.
+  auto trace = GenerateTrace(fuzz_case);
   ASSERT_TRUE(trace.ok()) << trace.status().ToString();
   EventStream plain =
       RunPipelineOnTrace(trace.value(), CompressionLevel::kLevel1);

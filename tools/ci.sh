@@ -18,6 +18,12 @@
 # An archive codec smoke (DESIGN.md §6) round-trips a trace through both
 # block codecs (including the v1 -> v2 compaction path) over the mmap and
 # buffered transports — in the plain AND the sanitized configuration.
+# A distributed-serving smoke (DESIGN.md §12) runs a truck-transfer seed
+# on 2 loopback nodes with the serial-reference byte-identity check on,
+# validates the dist wire counters via `spire_cli obscheck`, and re-runs
+# the workload on forked node processes (spawn mode must match loopback
+# bit for bit). The TSan leg repeats the loopback half only — fork with
+# running threads is out of bounds under the sanitizer.
 #
 #   tools/ci.sh            # all three configurations
 #   tools/ci.sh plain      # plain only
@@ -51,10 +57,12 @@ run_tsan() {
   echo "=== [tsan] configure ==="
   cmake -B "$dir" -S . -DSPIRE_SANITIZE=thread
   echo "=== [tsan] build ==="
-  cmake --build "$dir" -j "$jobs" --target serve_test common_test obs_test
+  cmake --build "$dir" -j "$jobs" \
+    --target serve_test common_test obs_test dist_test spire_cli
   echo "=== [tsan] test (concurrency suites) ==="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
-    -R 'Serve|Queue|Merger|Log|Obs|Tracer'
+    -R 'Serve|Queue|Merger|Log|Obs|Tracer|Dist'
+  run_dist_smoke "$dir" loopback
 }
 
 # Observability smoke: a fuzz-seed run with tracing and the explain channel
@@ -135,6 +143,34 @@ run_archive_smoke() {
   rm -rf "$tmp"
 }
 
+# Distributed serving smoke (DESIGN.md §12): a transfer-scenario seed on 2
+# nodes. `check=1` replays the serial per-site reference and demands the
+# distributed stream match it byte for byte (the CLI face of the
+# distributed_equivalence oracle); the dist wire counters round-trip
+# through obscheck. The optional second half re-runs the same workload
+# with each node in a forked process over real socketpairs and compares
+# the two output files — pass "loopback" as the second argument to skip
+# it (TSan forbids fork once coordinator threads are up).
+run_dist_smoke() {
+  local dir="$1" spawn="${2:-spawn}" tmp
+  tmp="$(mktemp -d)"
+  echo "=== [dist] smoke (2-node loopback + obscheck) ==="
+  "$dir/tools/spire_cli" dist seed=7 nodes=2 mode=loopback check=1 \
+    out="$tmp/loopback.spev" stats_out="$tmp/dist-metrics.json"
+  "$dir/tools/spire_cli" obscheck metrics="$tmp/dist-metrics.json"
+  if [ "$spawn" = "spawn" ]; then
+    echo "=== [dist] smoke (forked node processes) ==="
+    "$dir/tools/spire_cli" dist seed=7 nodes=2 mode=spawn check=1 \
+      out="$tmp/spawn.spev"
+    if ! cmp -s "$tmp/loopback.spev" "$tmp/spawn.spev"; then
+      echo "dist smoke: spawn run diverged from loopback run" >&2
+      rm -rf "$tmp"
+      exit 1
+    fi
+  fi
+  rm -rf "$tmp"
+}
+
 # Incremental-inference bench: a quick expt12 run (byte-identity of
 # delta-driven vs full recomputation is checked inside the binary, so a
 # divergence fails hard) compared against the committed
@@ -165,6 +201,15 @@ run_bench_compare() {
   if [ -f BENCH_archive.json ]; then
     tools/bench_compare.py BENCH_archive.json "$tmp/BENCH_archive.json" || true
   fi
+  echo "=== [bench] expt14 dist (byte-identity + soft compare) ==="
+  # Byte-identity of every node count (loopback and forked processes)
+  # against the serial reference is asserted inside the binary; the
+  # throughput/speedup comparison stays soft — the scaling columns only
+  # mean anything with more than one hardware thread.
+  SPIRE_BENCH_DIR="$tmp" "$dir/bench/expt14_dist" | tail -n +4
+  if [ -f BENCH_dist.json ]; then
+    tools/bench_compare.py BENCH_dist.json "$tmp/BENCH_dist.json" || true
+  fi
   rm -rf "$tmp"
 }
 
@@ -174,6 +219,7 @@ case "$mode" in
     run_obs_smoke build
     run_cep_smoke build
     run_archive_smoke build
+    run_dist_smoke build
     run_bench_compare build
     ;;
   sanitize)
@@ -186,6 +232,7 @@ case "$mode" in
     run_obs_smoke build
     run_cep_smoke build
     run_archive_smoke build
+    run_dist_smoke build
     run_bench_compare build
     run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON
     run_archive_smoke build-sanitize

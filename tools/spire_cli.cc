@@ -21,6 +21,12 @@
 //                        [stats_out=metrics.json] [trace_out=trace.json]
 //                        [statusz=text|json]
 //   spire_cli serve      sites=N seed=S out=events.spev [shards=N] [...]
+//   spire_cli dist       seed=S [sites=N] [nodes=N] [mode=loopback|spawn]
+//                        [check=0|1] [out=events.spev] [level=1|2]
+//                        [statusz=text|json] [--stats]
+//                        [stats_out=metrics.json] [any SimConfig key=value]
+//   spire_cli node       node_id=I nodes=N fd=F seed=S [sites=N] [level=1|2]
+//                        [any SimConfig key=value]
 //   spire_cli run        in=trace.sptr deployment=dep.txt | seed=S
 //                        [out=events.spev] [trace_out=trace.json]
 //                        [explain_out=run.spexp] [archive_out=run.sparc]
@@ -35,6 +41,15 @@
 //                        archive=events.sparc [from=<t>] [to=<t>]
 //                        [eval=interval|naive|check] [print=N]
 //                        [explain_out=matches.spexp] [require_matches=true]
+//
+// `dist` runs the distributed serving runtime (src/dist) over a generated
+// truck-transfer workload: `nodes=N` pipelines-per-node behind a
+// coordinator, over in-process loopback connections (`mode=loopback`) or
+// forked `spire_cli node` processes talking the wire protocol over
+// socketpairs (`mode=spawn`). `check=1` (the default) re-runs the serial
+// per-site reference and fails unless the merged stream is byte-identical.
+// `node` is the spawned per-process entry point; it re-derives the shared
+// workload from the forwarded args and serves its sites over fd=F.
 //
 // `serve` runs the concurrent sharded serving layer (src/serve): one SPIRE
 // pipeline per site on N worker shards with an ordered merge. Sites come
@@ -56,6 +71,13 @@
 // "SPEV" + u16 version + u64 record count + the 26-byte records of
 // compress/serde.h; archives are the segmented block format of
 // store/format.h with a ".spix" index sidecar.
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -70,12 +92,17 @@
 #include "cep/library.h"
 #include "cep/nfa.h"
 #include "cep/pattern.h"
+#include "check/oracles.h"
 #include "check/trace_gen.h"
 #include "common/config.h"
 #include "compress/decompress.h"
 #include "compress/fold.h"
 #include "compress/serde.h"
 #include "compress/well_formed.h"
+#include "dist/coordinator.h"
+#include "dist/node.h"
+#include "dist/runner.h"
+#include "dist/transport.h"
 #include "obs/explain.h"
 #include "obs/json.h"
 #include "obs/registry.h"
@@ -570,6 +597,10 @@ Result<serve::Workload> BuildServeWorkload(const Config& args) {
     for (std::int64_t i = 0; i < num_sites; ++i) {
       FuzzCase fuzz_case =
           CaseFromSeed(static_cast<std::uint64_t>(seed + i));
+      // NormalizeWorkload plants the site bits itself, so each site must be
+      // a raw single-site trace; a transfer case's merged view already uses
+      // them.
+      fuzz_case.sim.transfer_sites = 1;
       auto trace = GenerateTrace(fuzz_case);
       if (!trace.ok()) return trace.status();
       serve::SiteWorkload site;
@@ -643,6 +674,265 @@ int RunServe(const Config& args) {
   auto stats_out = args.GetString("stats_out", "").value_or("");
   if (stats || !stats_out.empty()) {
     const std::string json = server.MetricsJson();
+    if (stats) std::printf("%s\n", json.c_str());
+    if (!stats_out.empty()) {
+      std::ofstream stats_file(stats_out);
+      if (!stats_file) return FailText("cannot open: " + stats_out);
+      stats_file << json << "\n";
+      if (!stats_file.good()) return FailText("write failed: " + stats_out);
+    }
+  }
+  if (statusz == "json") {
+    std::printf("%s\n", obs::Registry::Global().ToJson().c_str());
+  } else if (!statusz.empty()) {
+    std::printf("%s", obs::Registry::Global().ToText().c_str());
+  }
+  return 0;
+}
+
+// -------------------------------------------------------------- dist
+
+/// The transfer scenario behind one `dist`/`node` run. Both commands must
+/// derive the identical workload from the same args, so the node fleet can
+/// be spawned with nothing but the coordinator's argument list. Starts from
+/// the fuzz case of `seed`, applies any SimConfig key=value overrides, and
+/// forces cross-site traffic (`sites=N` is sugar for `transfer_sites=N`).
+Result<SimConfig> DistSimConfig(const Config& args) {
+  const auto seed = args.GetInt("seed", 1).value_or(1);
+  FuzzCase fuzz_case = CaseFromSeed(static_cast<std::uint64_t>(seed));
+  auto sim = SimConfig::FromConfig(args, fuzz_case.sim);
+  if (!sim.ok()) return sim.status();
+  SimConfig config = sim.value();
+  const auto sites = args.GetInt("sites", 0).value_or(0);
+  if (sites > 0) config.transfer_sites = static_cast<int>(sites);
+  if (config.transfer_sites < 2) {
+    // The fuzz case drew a single-site scenario; a distributed run always
+    // needs cross-site traffic, so fall back to a three-site shuttle.
+    config.transfer_sites = 3;
+  }
+  return config;
+}
+
+struct DistWorkload {
+  serve::Workload workload;
+  std::vector<TransferHop> hops;
+};
+
+Result<DistWorkload> BuildDistWorkload(const Config& args) {
+  auto config = DistSimConfig(args);
+  if (!config.ok()) return config.status();
+  auto trace = BuildTransferTrace(config.value());
+  if (!trace.ok()) return trace.status();
+  auto workload = dist::ToWorkload(trace.value());
+  if (!workload.ok()) return workload.status();
+  DistWorkload out;
+  out.workload = std::move(workload).value();
+  out.hops = std::move(trace.value().hops);
+  return out;
+}
+
+PipelineOptions DistPipelineOptions(const Config& args) {
+  PipelineOptions pipeline;
+  pipeline.level = args.GetInt("level", 2).value_or(2) == 1
+                       ? CompressionLevel::kLevel1
+                       : CompressionLevel::kLevel2;
+  return pipeline;
+}
+
+int RunNode(const Config& args) {
+  const auto node_id = args.GetInt("node_id", -1).value_or(-1);
+  const auto nodes = args.GetInt("nodes", 0).value_or(0);
+  const auto fd = args.GetInt("fd", -1).value_or(-1);
+  if (node_id < 0 || nodes <= 0 || node_id >= nodes || fd < 0) {
+    return FailText(
+        "node needs node_id=I nodes=N fd=F (plus the dist run's workload "
+        "args)");
+  }
+  auto built = BuildDistWorkload(args);
+  if (!built.ok()) return Fail(built.status());
+  dist::NodeConfig config;
+  config.node_id = static_cast<int>(node_id);
+  config.sites = dist::SitesOfNode(
+      config.node_id, static_cast<int>(built.value().workload.sites.size()),
+      static_cast<int>(nodes));
+  config.workload = &built.value().workload;
+  config.pipeline = DistPipelineOptions(args);
+  auto conn = dist::MakeFdConn(static_cast<int>(fd));
+  Status status = dist::RunDistNode(config, conn.get());
+  conn->Close();
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
+/// Coordinator-side keys that must not leak into a spawned node's argument
+/// list (everything else — seed, sim overrides, level — defines the shared
+/// workload and is forwarded verbatim).
+bool IsCoordinatorOnlyArg(const std::string& arg) {
+  for (const char* prefix :
+       {"out=", "check=", "mode=", "stats=", "stats_out=", "statusz=",
+        "trace_out=", "nodes=", "node_id=", "fd="}) {
+    if (arg.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Runs the node fleet as separate spire_cli processes: one socketpair per
+/// node, fork, exec `/proc/self/exe node ...` with the workload-defining
+/// arguments forwarded verbatim, then the coordinator over the parent ends.
+dist::DistResult SpawnDistProcesses(const std::vector<std::string>& raw_args,
+                                    const DistWorkload& built,
+                                    dist::DistOptions options) {
+  dist::DistResult result;
+  const int num_sites = static_cast<int>(built.workload.sites.size());
+  options.num_nodes = std::max(1, std::min(options.num_nodes, num_sites));
+
+  std::vector<std::array<int, 2>> pairs(
+      static_cast<std::size_t>(options.num_nodes), {-1, -1});
+  for (auto& sv : pairs) {
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv.data()) != 0) {
+      result.status = Status::Internal("socketpair failed");
+      for (auto& open_pair : pairs) {
+        for (int fd : open_pair) {
+          if (fd >= 0) ::close(fd);
+        }
+      }
+      return result;
+    }
+  }
+
+  std::vector<pid_t> children;
+  for (int n = 0; n < options.num_nodes; ++n) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      result.status = Status::Internal("fork failed");
+      break;
+    }
+    if (pid == 0) {
+      // Child: keep only this node's end, exec the `node` front end. The
+      // child re-derives the identical workload from the forwarded args.
+      for (int m = 0; m < options.num_nodes; ++m) {
+        ::close(pairs[static_cast<std::size_t>(m)][0]);
+        if (m != n) ::close(pairs[static_cast<std::size_t>(m)][1]);
+      }
+      std::vector<std::string> child_args;
+      child_args.push_back("/proc/self/exe");
+      child_args.push_back("node");
+      for (std::size_t i = 1; i < raw_args.size(); ++i) {
+        if (!IsCoordinatorOnlyArg(raw_args[i])) {
+          child_args.push_back(raw_args[i]);
+        }
+      }
+      child_args.push_back("nodes=" + std::to_string(options.num_nodes));
+      child_args.push_back("node_id=" + std::to_string(n));
+      child_args.push_back(
+          "fd=" + std::to_string(pairs[static_cast<std::size_t>(n)][1]));
+      std::vector<char*> argv;
+      for (std::string& arg : child_args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv("/proc/self/exe", argv.data());
+      std::fprintf(stderr, "error: exec of node %d failed\n", n);
+      ::_exit(127);
+    }
+    children.push_back(pid);
+    ::close(pairs[static_cast<std::size_t>(n)][1]);
+    pairs[static_cast<std::size_t>(n)][1] = -1;
+  }
+
+  if (result.status.ok()) {
+    std::vector<std::unique_ptr<dist::Conn>> conns;
+    std::vector<dist::Conn*> conn_ptrs;
+    for (int n = 0; n < options.num_nodes; ++n) {
+      conns.push_back(
+          dist::MakeFdConn(pairs[static_cast<std::size_t>(n)][0]));
+      pairs[static_cast<std::size_t>(n)][0] = -1;
+      conn_ptrs.push_back(conns.back().get());
+    }
+    result =
+        dist::RunDistCoordinator(built.workload, built.hops, options,
+                                 conn_ptrs);
+    for (auto& conn : conns) conn->Close();
+  } else {
+    for (auto& sv : pairs) {
+      for (int fd : sv) {
+        if (fd >= 0) ::close(fd);
+      }
+    }
+  }
+
+  for (pid_t pid : children) {
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, 0) == pid) {
+      const bool clean = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+      if (!clean && result.status.ok()) {
+        result.status = Status::Internal(
+            "node process exited with status " + std::to_string(wstatus));
+      }
+    }
+  }
+  return result;
+}
+
+int RunDist(const Config& args, const std::vector<std::string>& raw_args) {
+  auto built = BuildDistWorkload(args);
+  if (!built.ok()) return Fail(built.status());
+  const serve::Workload& workload = built.value().workload;
+  const std::vector<TransferHop>& hops = built.value().hops;
+
+  const auto statusz = args.GetString("statusz", "").value_or("");
+  const bool stats = args.GetBool("stats", false).value_or(false);
+  const auto stats_out = args.GetString("stats_out", "").value_or("");
+  if (!statusz.empty() || stats || !stats_out.empty()) {
+    obs::SetEnabled(true);
+    obs::Registry::Global().GetCounter("common", "cli_invocations")->Add(1);
+  }
+
+  dist::DistOptions options;
+  options.num_nodes = static_cast<int>(args.GetInt("nodes", 2).value_or(2));
+  options.pipeline = DistPipelineOptions(args);
+  const auto mode = args.GetString("mode", "loopback").value_or("loopback");
+
+  const auto start = std::chrono::steady_clock::now();
+  dist::DistResult result;
+  if (mode == "loopback") {
+    result = dist::RunDistLoopback(workload, hops, options);
+  } else if (mode == "spawn") {
+    result = SpawnDistProcesses(raw_args, built.value(), options);
+  } else {
+    return FailText("mode must be loopback or spawn");
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!result.status.ok()) return Fail(result.status);
+
+  std::printf(
+      "dist (%s): %zu site(s) on %d node(s), %lld epochs -> %zu events, "
+      "%zu handoff(s) carrying %zu object(s) in %.3fs\n",
+      mode.c_str(), workload.sites.size(), options.num_nodes,
+      static_cast<long long>(workload.num_epochs), result.events.size(),
+      result.handoff_hops, result.handoff_objects, wall);
+
+  if (args.GetBool("check", true).value_or(true)) {
+    const EventStream reference =
+        dist::RunDistReference(workload, hops, options.pipeline);
+    if (result.events != reference) {
+      std::fprintf(stderr, "%s\n",
+                   DiffStreams(result.events, reference, "dist",
+                               "serial reference")
+                       .c_str());
+      return FailText("distributed stream diverges from the serial reference");
+    }
+    std::printf("check: byte-identical to the serial reference (%zu events)\n",
+                reference.size());
+  }
+
+  const auto out_path = args.GetString("out", "").value_or("");
+  if (!out_path.empty()) {
+    Status status = WriteEventFile(out_path, result.events);
+    if (!status.ok()) return Fail(status);
+  }
+  if (stats || !stats_out.empty()) {
+    const std::string json = obs::Registry::Global().ToJson();
     if (stats) std::printf("%s\n", json.c_str());
     if (!stats_out.empty()) {
       std::ofstream stats_file(stats_out);
@@ -1173,7 +1463,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s generate|process|decompress|validate|stats|query|"
-                 "archive|scan|compact|serve|run|statusz|explain|obscheck|"
+                 "archive|scan|compact|serve|dist|node|run|statusz|explain|obscheck|"
                  "detect [key=value ...]\n",
                  argv[0]);
     return 1;
@@ -1207,6 +1497,8 @@ int main(int argc, char** argv) {
   if (command == "scan") return RunScan(args.value());
   if (command == "compact") return RunCompact(args.value());
   if (command == "serve") return RunServe(args.value());
+  if (command == "dist") return RunDist(args.value(), arg_strings);
+  if (command == "node") return RunNode(args.value());
   if (command == "run") return RunRun(args.value());
   if (command == "statusz") return RunStatusz(args.value());
   if (command == "explain") return RunExplain(args.value());
