@@ -9,18 +9,26 @@
 // `enabled_over_disabled`: metrics alone should be within noise of off
 // (single-digit percent), and full tracing low multiples of that.
 //
-//   ./expt11_obs [full=true] [reps=N] [key=value ...]
+// The dist leg (dist=true, on by default) repeats the comparison for the
+// fleet machinery: a 2-node loopback transfer run with per-epoch
+// StatsReport frames, ClockSync, and cross-node handoff spans against the
+// same run with everything off. `dist_traced_over_disabled` is gated in CI
+// (ci.sh compares against BENCH_obs.json with tools/bench_compare.py).
+//
+//   ./expt11_obs [full=true] [reps=N] [dist=false] [key=value ...]
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "dist/runner.h"
 #include "eval/table.h"
 #include "obs/explain.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "sim/transfer.h"
 
 using namespace spire;
 using namespace spire::bench;
@@ -80,6 +88,48 @@ double Median(std::vector<double> values) {
   return values[values.size() / 2];
 }
 
+/// One 2-node loopback run over `workload`; with `traced` the full fleet
+/// observability stack is live: metrics, per-epoch StatsReport frames,
+/// and an active trace session collecting cross-node handoff spans.
+double RunDistOnce(const serve::Workload& workload,
+                   const std::vector<TransferHop>& hops, bool traced,
+                   const std::string& trace_path, EventStream* events) {
+  if (traced) {
+    obs::SetEnabled(true);
+    obs::Registry::Global().Reset();
+    Status status = obs::Tracer::Global().Start(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  dist::DistOptions options;
+  options.num_nodes = 2;
+  // The statusz default cadence (spire_cli dist stats_every): the oracle
+  // leg covers the pathological per-epoch case; this arm measures what a
+  // monitored fleet actually pays.
+  if (traced) options.stats_interval_epochs = 16;
+  const auto start = std::chrono::steady_clock::now();
+  dist::DistResult result = dist::RunDistLoopback(workload, hops, options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (traced) {
+    Status status = obs::Tracer::Global().Stop();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+    obs::SetEnabled(false);
+  }
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "dist leg: %s\n", result.status.ToString().c_str());
+    std::exit(1);
+  }
+  *events = std::move(result.events);
+  return wall;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,7 +165,7 @@ int main(int argc, char** argv) {
 
   const double off = Median(arms[0].seconds);
   TextTable table({"configuration", "median (s)", "vs off"});
-  BenchReport report("expt11_obs");
+  BenchReport report("obs");
   for (const Arm& arm : arms) {
     const double median = Median(arm.seconds);
     table.AddRow({arm.name, TextTable::Num(median, 4),
@@ -131,6 +181,65 @@ int main(int argc, char** argv) {
              off > 0.0 ? Median(arms[1].seconds) / off : 0.0);
   report.Add("traced_over_disabled",
              off > 0.0 ? Median(arms[2].seconds) / off : 0.0);
+
+  if (args.GetBool("dist", true).value_or(true)) {
+    // Fleet leg: the same overhead question for the distributed runtime,
+    // with the stats cadence at its maximum (a StatsReport per node per
+    // epoch) and the tracer collecting cross-node handoff spans.
+    SimConfig dist_config = sim_config;
+    dist_config.transfer_sites = 3;
+    dist_config.transfer_interval = 90;
+    dist_config.transfer_dwell = 4;
+    dist_config.transfer_transit = 6;
+    dist_config.transfer_round_trips = 2;
+    auto transfer = BuildTransferTrace(dist_config);
+    if (!transfer.ok()) {
+      std::fprintf(stderr, "%s\n", transfer.status().ToString().c_str());
+      return 1;
+    }
+    auto workload = dist::ToWorkload(transfer.value());
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<TransferHop>& hops = transfer.value().hops;
+
+    EventStream baseline_events;
+    EventStream traced_events;
+    std::vector<double> dist_off;
+    std::vector<double> dist_traced;
+    RunDistOnce(workload.value(), hops, false, trace_path,
+                &baseline_events);  // Warm-up, discarded.
+    for (int rep = 0; rep < reps; ++rep) {
+      dist_off.push_back(RunDistOnce(workload.value(), hops, false,
+                                     trace_path, &baseline_events));
+      dist_traced.push_back(RunDistOnce(workload.value(), hops, true,
+                                        trace_path, &traced_events));
+    }
+    std::filesystem::remove(trace_path, ec);
+    if (traced_events != baseline_events) {
+      std::fprintf(stderr,
+                   "dist leg: stats+tracing changed the merged stream\n");
+      return 1;
+    }
+
+    const double dist_disabled_s = Median(dist_off);
+    const double dist_traced_s = Median(dist_traced);
+    const double over =
+        dist_disabled_s > 0.0 ? dist_traced_s / dist_disabled_s : 0.0;
+    TextTable dist_table({"configuration", "median (s)", "vs off"});
+    dist_table.AddRow({"dist 2-node, obs off",
+                       TextTable::Num(dist_disabled_s, 4), "1.000"});
+    dist_table.AddRow({"dist 2-node, stats+trace",
+                       TextTable::Num(dist_traced_s, 4),
+                       TextTable::Num(over, 3)});
+    std::printf("\n");
+    dist_table.Print();
+    report.Add("dist_disabled_s", dist_disabled_s);
+    report.Add("dist_traced_s", dist_traced_s);
+    report.Add("dist_traced_over_disabled", over);
+  }
+
   Status status = report.Write();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());

@@ -14,6 +14,8 @@
 #include "compress/serde.h"
 #include "compress/well_formed.h"
 #include "obs/explain.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "query/event_log.h"
 #include "store/archive_reader.h"
 #include "store/archive_writer.h"
@@ -480,6 +482,46 @@ std::optional<OracleFailure> DifferentialChecker::CheckDistributedEquivalence(
         DiffStreams(reference, result.events, "serial reference",
                     std::to_string(nodes) + "-node distributed");
     if (!diff.empty()) return fail(diff);
+  }
+
+  // Observer-effect leg: the fleet observability machinery — per-epoch
+  // StatsReport frames, ClockSync, and cross-node handoff trace spans —
+  // must never change a single byte of the merged output stream.
+  {
+    const bool was_enabled = obs::Enabled();
+    obs::SetEnabled(true);
+    const std::string trace_path =
+        (std::filesystem::temp_directory_path() /
+         ("spire_oracle_trace_" + std::to_string(fuzz_case.sim.seed) +
+          ".json"))
+            .string();
+    obs::Tracer& tracer = obs::Tracer::Global();
+    const bool tracing = tracer.Start(trace_path).ok();
+
+    dist::DistOptions dist_options;
+    dist_options.num_nodes = 2;
+    dist_options.pipeline.level = CompressionLevel::kLevel2;
+    dist_options.stats_interval_epochs = 1;  // Maximum cadence pressure.
+    dist::DistResult result = dist::RunDistLoopback(
+        workload.value(), trace.value().hops, dist_options);
+    if (stats != nullptr) stats->traces_run += 1;
+
+    if (tracing) {
+      (void)tracer.Stop();
+      std::error_code ec;
+      std::filesystem::remove(trace_path, ec);
+    }
+    obs::SetEnabled(was_enabled);
+
+    if (!result.status.ok()) {
+      return fail("observed 2-node run failed: " + result.status.ToString());
+    }
+    std::string diff = DiffStreams(reference, result.events,
+                                   "serial reference",
+                                   "2-node distributed with stats+tracing");
+    if (!diff.empty()) {
+      return fail("observability changed the output: " + diff);
+    }
   }
   return std::nullopt;
 }

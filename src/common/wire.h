@@ -60,7 +60,10 @@ inline constexpr std::uint32_t kArchiveBlockMarker = 0x53504232;  // "SPB2"
 /// version, the payload length, and a CRC-32 covering header + payload.
 inline constexpr std::uint32_t kDistFrameMarker = 0x53504446;  // "SPDF"
 /// Version 1: Hello / EpochWork / SiteBatch / Barrier / Handoff payloads
-/// (dist/wire.h). Peers reject any other version at the frame layer.
-inline constexpr std::uint16_t kDistProtocolVersion = 1;
+/// (dist/wire.h). Version 2 adds the StatsReport frame and the fleet
+/// observability fields: clock sync + stats cadence in Hello, a heartbeat
+/// stamp in Barrier, and a trace span id in Handoff. Peers reject any
+/// other version at the frame layer.
+inline constexpr std::uint16_t kDistProtocolVersion = 2;
 
 }  // namespace spire

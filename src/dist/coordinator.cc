@@ -1,5 +1,6 @@
 #include "dist/coordinator.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -21,6 +22,34 @@ obs::Counter* BarrierWaitsCounter() {
   static obs::Counter* counter =
       obs::Registry::Global().GetCounter("dist", "barrier_waits");
   return counter;
+}
+
+/// The coordinator's fleet-health instruments: per-node clock skew and
+/// epoch lag, the fleet-wide worst lag, and the Barrier heartbeat gap.
+/// Sized to the run's node count, so built per run rather than as a
+/// static.
+struct FleetInstruments {
+  obs::Histogram* heartbeat_gap_us;
+  obs::Gauge* max_epoch_lag;
+  obs::Gauge* slowest_node;
+  std::vector<obs::Gauge*> clock_skew_us;
+  std::vector<obs::Gauge*> epoch_lag;
+};
+
+std::unique_ptr<FleetInstruments> MakeFleetInstruments(int num_nodes) {
+  if (!obs::Enabled()) return nullptr;
+  auto& registry = obs::Registry::Global();
+  auto out = std::make_unique<FleetInstruments>();
+  out->heartbeat_gap_us = registry.GetHistogram("fleet", "heartbeat_gap_us");
+  out->max_epoch_lag = registry.GetGauge("fleet", "max_epoch_lag");
+  out->slowest_node = registry.GetGauge("fleet", "slowest_node");
+  for (int n = 0; n < num_nodes; ++n) {
+    const std::string node = "node" + std::to_string(n);
+    out->clock_skew_us.push_back(
+        registry.GetGauge("fleet", node + "_clock_skew_us"));
+    out->epoch_lag.push_back(registry.GetGauge("fleet", node + "_epoch_lag"));
+  }
+  return out;
 }
 
 }  // namespace
@@ -74,6 +103,12 @@ DistResult RunDistCoordinator(const serve::Workload& workload,
   Status error;
   bool aborted = false;
 
+  const std::unique_ptr<FleetInstruments> fleet =
+      MakeFleetInstruments(num_nodes);
+  if (options.stats_interval_epochs > 0) {
+    result.node_stats.resize(static_cast<std::size_t>(num_nodes));
+  }
+
   /// Latches the first error and unblocks every wait: queues (merger and
   /// blocked pushes), connections (blocked reads on both sides), and the
   /// shared condition variable.
@@ -122,6 +157,15 @@ DistResult RunDistCoordinator(const serve::Workload& workload,
           fail(Status::Internal("node identity mismatch"));
           break;
         }
+        if (fleet != nullptr) {
+          // One-way skew estimate: the node stamped its Hello at send, we
+          // read our clock at receipt; the gap is send->receive delay plus
+          // any clock divergence (~0 on one machine: CLOCK_MONOTONIC is
+          // boot-global).
+          fleet->clock_skew_us[static_cast<std::size_t>(n)]->Set(
+              static_cast<std::int64_t>(SteadyNowMicros()) -
+              static_cast<std::int64_t>(hello.value().steady_now_micros));
+        }
         continue;
       }
       if (frame.type == FrameType::kSiteBatch) {
@@ -146,11 +190,38 @@ DistResult RunDistCoordinator(const serve::Workload& workload,
           fail(barrier.status());
           break;
         }
+        if (fleet != nullptr && barrier.value().steady_micros > 0) {
+          const std::int64_t gap =
+              static_cast<std::int64_t>(SteadyNowMicros()) -
+              static_cast<std::int64_t>(barrier.value().steady_micros);
+          fleet->heartbeat_gap_us->Record(
+              gap > 0 ? static_cast<std::uint64_t>(gap) : 1);
+        }
         {
           std::lock_guard<std::mutex> lock(mu);
           ++barriers[static_cast<std::size_t>(n)];
           if (barrier.value().finish) {
             finished[static_cast<std::size_t>(n)] = 1;
+          }
+          if (fleet != nullptr) {
+            // Slow-node detection: how far each node trails the furthest
+            // barrier. The max-lag gauge is a running high-water mark;
+            // slowest_node names the node holding the current worst lag.
+            Epoch max_barrier = 0;
+            for (Epoch b : barriers) max_barrier = std::max(max_barrier, b);
+            Epoch worst_lag = 0;
+            int worst_node = 0;
+            for (int i = 0; i < num_nodes; ++i) {
+              const Epoch lag =
+                  max_barrier - barriers[static_cast<std::size_t>(i)];
+              fleet->epoch_lag[static_cast<std::size_t>(i)]->Set(lag);
+              if (lag > worst_lag) {
+                worst_lag = lag;
+                worst_node = i;
+              }
+            }
+            fleet->max_epoch_lag->SetMax(worst_lag);
+            fleet->slowest_node->Set(worst_node);
           }
         }
         cv.notify_all();
@@ -167,6 +238,26 @@ DistResult RunDistCoordinator(const serve::Workload& workload,
           ready_handoffs[handoff.value().hop] = std::move(handoff.value());
         }
         cv.notify_all();
+        continue;
+      }
+      if (frame.type == FrameType::kStatsReport) {
+        Result<StatsReportPayload> report = DecodeStatsReport(frame.payload);
+        if (!report.ok()) {
+          fail(report.status());
+          break;
+        }
+        if (report.value().node_id != static_cast<std::uint32_t>(n)) {
+          fail(Status::Internal("stats report node identity mismatch"));
+          break;
+        }
+        // Reports are cumulative; keep only the latest per node. Each
+        // reader writes its own slot, but take the lock anyway so the
+        // final result read is ordered after every store.
+        if (static_cast<std::size_t>(n) < result.node_stats.size()) {
+          std::lock_guard<std::mutex> lock(mu);
+          result.node_stats[static_cast<std::size_t>(n)] =
+              std::move(report.value().snapshot);
+        }
         continue;
       }
       fail(Status::Internal(std::string("unexpected ") + ToString(frame.type) +
@@ -301,6 +392,8 @@ DistResult RunDistCoordinator(const serve::Workload& workload,
     for (int site : sites_of[static_cast<std::size_t>(n)]) {
       hello.sites.push_back(static_cast<std::uint32_t>(site));
     }
+    hello.steady_now_micros = SteadyNowMicros();
+    hello.stats_interval_epochs = options.stats_interval_epochs;
     std::vector<std::uint8_t> bytes;
     EncodeHello(hello, &bytes);
     Status status = SendFrame(conns[static_cast<std::size_t>(n)],

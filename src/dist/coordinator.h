@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "compress/event.h"
 #include "dist/transport.h"
+#include "obs/registry.h"
 #include "serve/workload.h"
 #include "sim/transfer.h"
 #include "spire/pipeline.h"
@@ -39,6 +40,9 @@ struct DistOptions {
   /// Per-node flow-control window: epochs of work in flight beyond the
   /// node's last barrier.
   std::size_t inflight_epochs = 64;
+  /// Stats cadence announced in the coordinator's Hello: nodes ship a
+  /// StatsReport every N epochs plus a final one at shutdown (0 = never).
+  std::uint32_t stats_interval_epochs = 0;
   PipelineOptions pipeline;
 };
 
@@ -50,6 +54,10 @@ struct DistResult {
   /// Hops and objects routed through the coordinator.
   std::size_t handoff_hops = 0;
   std::size_t handoff_objects = 0;
+  /// Latest StatsReport snapshot per node (indexed by node id); a node
+  /// that never reported leaves an empty snapshot. Populated only when
+  /// stats_interval_epochs > 0.
+  std::vector<obs::RegistrySnapshot> node_stats;
 };
 
 /// Runs the coordinator over one connection per node; conns[n] talks to

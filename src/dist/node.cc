@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace spire::dist {
 
@@ -74,12 +75,20 @@ Status RunDistNode(const NodeConfig& config, Conn* conn) {
   }
 
   // Hello exchange: announce identity, require a same-version coordinator.
+  // Doubles as the ClockSync handshake: bracketing the round trip with t0
+  // and t1 puts the coordinator's stamp at roughly the midpoint, so
+  // coord_stamp - (t0 + t1) / 2 estimates this node's offset onto the
+  // coordinator clock (the NTP half-round-trip estimate; ~0 on one
+  // machine, where the steady clock is shared).
+  std::uint32_t stats_interval = 0;
   {
+    const std::uint64_t t0 = NowMicros();
     HelloPayload hello;
     hello.node_id = static_cast<std::uint32_t>(config.node_id);
     for (int site : config.sites) {
       hello.sites.push_back(static_cast<std::uint32_t>(site));
     }
+    hello.steady_now_micros = t0;
     std::vector<std::uint8_t> payload;
     EncodeHello(hello, &payload);
     SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kHello, payload));
@@ -94,9 +103,40 @@ Status RunDistNode(const NodeConfig& config, Conn* conn) {
     }
     Result<HelloPayload> peer = DecodeHello(frame.payload);
     if (!peer.ok()) return peer.status();
+    const std::uint64_t t1 = NowMicros();
+
+    // The coordinator's stats cadence turns metrics on before the first
+    // instrumented work (and before the instrument fetch below).
+    stats_interval = peer.value().stats_interval_epochs;
+    if (stats_interval > 0) obs::SetEnabled(true);
+
+    const std::int64_t offset_us =
+        static_cast<std::int64_t>(peer.value().steady_now_micros) -
+        static_cast<std::int64_t>((t0 + t1) / 2);
+    if (obs::Enabled()) {
+      obs::Registry::Global()
+          .GetGauge("dist", "clock_offset_us")
+          ->Set(offset_us);
+    }
+    if (obs::Tracer::Global().active()) {
+      obs::Tracer::Global().SetClockOffsetMicros(offset_us);
+    }
   }
 
   const NodeInstruments* obs = GetInstruments();
+
+  // One cumulative registry snapshot per cadence tick, plus the final
+  // report just before the finish barrier.
+  auto send_stats = [&](Epoch epoch, bool final_report) -> Status {
+    StatsReportPayload report;
+    report.node_id = static_cast<std::uint32_t>(config.node_id);
+    report.epoch = epoch;
+    report.final_report = final_report;
+    report.snapshot = obs::Registry::Global().TakeSnapshot();
+    std::vector<std::uint8_t> payload;
+    EncodeStatsReport(report, &payload);
+    return SendFrame(conn, FrameType::kStatsReport, payload);
+  };
 
   // Handoffs stashed until their (arrival site, arrival epoch) comes up,
   // in arrival (frame) order.
@@ -147,9 +187,13 @@ Status RunDistNode(const NodeConfig& config, Conn* conn) {
         SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kSiteBatch, payload));
         scratch = std::move(batch.events);
       }
+      if (stats_interval > 0) {
+        SPIRE_RETURN_NOT_OK(send_stats(work.epoch, /*final_report=*/true));
+      }
       BarrierPayload barrier;
       barrier.epoch = work.epoch;
       barrier.finish = true;
+      barrier.steady_micros = NowMicros();
       std::vector<std::uint8_t> payload;
       EncodeBarrier(barrier, &payload);
       return SendFrame(conn, FrameType::kBarrier, payload);
@@ -173,6 +217,12 @@ Status RunDistNode(const NodeConfig& config, Conn* conn) {
           for (const ObjectHandoff& object : handoff.objects) {
             pipeline.ImplantHandoff(object);
           }
+          if (obs::Tracer::Global().active()) {
+            // Close the hop's end-to-end span opened at capture on the
+            // departure node; merge-traces pairs the two by span id.
+            obs::Tracer::Global().RecordAsync("handoff", "hop", 'e',
+                                              handoff.span_id, work.epoch);
+          }
           if (obs != nullptr) {
             obs->handoffs->Add(handoff.objects.size());
             obs->handoff_latency_us->Record(
@@ -190,6 +240,13 @@ Status RunDistNode(const NodeConfig& config, Conn* conn) {
         captured.push_back(HopCapture{std::move(order), {}});
         pipeline.StageDeparture(captured.back().order.objects,
                                 &captured.back().objects);
+        if (obs::Tracer::Global().active()) {
+          // Open the hop's end-to-end span: capture here, splice on the
+          // arrival node. The global hop index is the span id.
+          obs::Tracer::Global().RecordAsync("handoff", "hop", 'b',
+                                            captured.back().order.hop,
+                                            work.epoch);
+        }
       }
 
       EpochReadings readings;
@@ -222,13 +279,18 @@ Status RunDistNode(const NodeConfig& config, Conn* conn) {
       handoff.to_site = capture.order.to_site;
       handoff.arrive_epoch = capture.order.arrive_epoch;
       handoff.capture_micros = NowMicros();
+      handoff.span_id = capture.order.hop;
       handoff.objects = std::move(capture.objects);
       std::vector<std::uint8_t> payload;
       EncodeHandoff(handoff, &payload);
       SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kHandoff, payload));
     }
+    if (stats_interval > 0 && (work.epoch + 1) % stats_interval == 0) {
+      SPIRE_RETURN_NOT_OK(send_stats(work.epoch, /*final_report=*/false));
+    }
     BarrierPayload barrier;
     barrier.epoch = work.epoch;
+    barrier.steady_micros = NowMicros();
     std::vector<std::uint8_t> payload;
     EncodeBarrier(barrier, &payload);
     SPIRE_RETURN_NOT_OK(SendFrame(conn, FrameType::kBarrier, payload));

@@ -16,25 +16,47 @@ namespace spire::dist {
 
 namespace {
 
+/// Per-type traffic counter suffixes, indexed by FrameType value.
+constexpr const char* kFrameTypeSuffix[kNumFrameTypes] = {
+    "hello", "epoch_work", "site_batch", "barrier", "handoff", "stats_report",
+};
+
 struct TransportInstruments {
   obs::Counter* frames;
   obs::Counter* bytes;
+  obs::Counter* frames_by_type[kNumFrameTypes];
+  obs::Counter* bytes_by_type[kNumFrameTypes];
 };
 
 const TransportInstruments* GetInstruments() {
   if (!obs::Enabled()) return nullptr;
   auto& registry = obs::Registry::Global();
-  static const TransportInstruments instruments{
-      registry.GetCounter("dist", "frames"),
-      registry.GetCounter("dist", "bytes"),
-  };
+  static const TransportInstruments instruments = [&registry] {
+    TransportInstruments out;
+    out.frames = registry.GetCounter("dist", "frames");
+    out.bytes = registry.GetCounter("dist", "bytes");
+    for (int i = 0; i < kNumFrameTypes; ++i) {
+      const std::string suffix = kFrameTypeSuffix[i];
+      out.frames_by_type[i] = registry.GetCounter("dist", "frames_" + suffix);
+      out.bytes_by_type[i] = registry.GetCounter("dist", "bytes_" + suffix);
+    }
+    return out;
+  }();
   return &instruments;
 }
 
-void CountFrame(std::size_t bytes) {
+/// Counts one frame into the totals and its type's breakdown, so
+/// dist/frames == sum(dist/frames_*) and likewise for bytes (asserted in
+/// tests/dist_test.cc).
+void CountFrame(FrameType type, std::size_t bytes) {
   if (const TransportInstruments* obs = GetInstruments()) {
     obs->frames->Add(1);
     obs->bytes->Add(bytes);
+    const auto index = static_cast<std::size_t>(type);
+    if (index < kNumFrameTypes) {
+      obs->frames_by_type[index]->Add(1);
+      obs->bytes_by_type[index]->Add(bytes);
+    }
   }
 }
 
@@ -193,7 +215,7 @@ std::unique_ptr<Conn> MakeFdConn(int fd) {
 Status SendFrame(Conn* conn, FrameType type,
                  const std::vector<std::uint8_t>& payload) {
   const std::vector<std::uint8_t> frame = EncodeFrame(type, payload);
-  CountFrame(frame.size());
+  CountFrame(type, frame.size());
   return conn->Send(frame);
 }
 
@@ -202,9 +224,11 @@ Status RecvFrame(Conn* conn, Frame* frame, bool* eof) {
   *eof = false;
   SPIRE_RETURN_NOT_OK(conn->Recv(&bytes, eof));
   if (*eof) return Status::OK();
-  CountFrame(bytes.size());
   Result<Frame> decoded = DecodeFrame(bytes);
   if (!decoded.ok()) return decoded.status();
+  // Counted after decode so the type breakdown is trustworthy (a frame
+  // that fails validation is not traffic of any type).
+  CountFrame(decoded.value().type, bytes.size());
   *frame = std::move(decoded.value());
   return Status::OK();
 }

@@ -10,7 +10,8 @@ namespace spire::dist {
 namespace {
 
 constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::kHandoff);
+    static_cast<std::uint8_t>(FrameType::kStatsReport);
+static_assert(kMaxFrameType + 1 == kNumFrameTypes);
 
 void PutU32LE(std::uint32_t value, std::vector<std::uint8_t>* out) {
   out->push_back(static_cast<std::uint8_t>(value));
@@ -107,6 +108,16 @@ class PayloadReader {
                                 " count exceeds payload size");
     }
     *count = static_cast<std::size_t>(raw);
+    return Status::OK();
+  }
+
+  /// A length-prefixed string; the length is bounded by the bytes left.
+  Status GetString(const char* what, std::string* value) {
+    std::size_t length = 0;
+    SPIRE_RETURN_NOT_OK(GetCount(what, &length));
+    value->assign(reinterpret_cast<const char*>(buf_.data()) + offset_,
+                  length);
+    offset_ += length;
     return Status::OK();
   }
 
@@ -209,6 +220,8 @@ const char* ToString(FrameType type) {
       return "Barrier";
     case FrameType::kHandoff:
       return "Handoff";
+    case FrameType::kStatsReport:
+      return "StatsReport";
   }
   return "?";
 }
@@ -284,6 +297,8 @@ void EncodeHello(const HelloPayload& payload, std::vector<std::uint8_t>* out) {
   PutVarint64(payload.node_id, out);
   PutVarint64(payload.sites.size(), out);
   for (std::uint32_t site : payload.sites) PutVarint64(site, out);
+  PutVarint64(payload.steady_now_micros, out);
+  PutVarint64(payload.stats_interval_epochs, out);
 }
 
 Result<HelloPayload> DecodeHello(const std::vector<std::uint8_t>& payload) {
@@ -299,6 +314,10 @@ Result<HelloPayload> DecodeHello(const std::vector<std::uint8_t>& payload) {
     SPIRE_RETURN_NOT_OK(reader.GetBounded(UINT32_MAX, "site index", &raw));
     site = static_cast<std::uint32_t>(raw);
   }
+  SPIRE_RETURN_NOT_OK(reader.GetU64(&hello.steady_now_micros));
+  SPIRE_RETURN_NOT_OK(
+      reader.GetBounded(UINT32_MAX, "stats interval", &raw));
+  hello.stats_interval_epochs = static_cast<std::uint32_t>(raw);
   SPIRE_RETURN_NOT_OK(reader.Finish());
   return hello;
 }
@@ -421,6 +440,7 @@ void EncodeBarrier(const BarrierPayload& payload,
                    std::vector<std::uint8_t>* out) {
   PutEpoch(payload.epoch, out);
   PutBool(payload.finish, out);
+  PutVarint64(payload.steady_micros, out);
 }
 
 Result<BarrierPayload> DecodeBarrier(const std::vector<std::uint8_t>& payload) {
@@ -428,6 +448,7 @@ Result<BarrierPayload> DecodeBarrier(const std::vector<std::uint8_t>& payload) {
   BarrierPayload barrier;
   SPIRE_RETURN_NOT_OK(reader.GetEpoch(&barrier.epoch));
   SPIRE_RETURN_NOT_OK(reader.GetBool(&barrier.finish));
+  SPIRE_RETURN_NOT_OK(reader.GetU64(&barrier.steady_micros));
   SPIRE_RETURN_NOT_OK(reader.Finish());
   return barrier;
 }
@@ -438,6 +459,7 @@ void EncodeHandoff(const HandoffPayload& payload,
   PutVarint64(payload.to_site, out);
   PutEpoch(payload.arrive_epoch, out);
   PutVarint64(payload.capture_micros, out);
+  PutVarint64(payload.span_id, out);
   PutVarint64(payload.objects.size(), out);
   for (const ObjectHandoff& object : payload.objects) {
     EncodeObjectHandoff(object, out);
@@ -453,6 +475,7 @@ Result<HandoffPayload> DecodeHandoff(const std::vector<std::uint8_t>& payload) {
   handoff.to_site = static_cast<std::uint32_t>(raw);
   SPIRE_RETURN_NOT_OK(reader.GetEpoch(&handoff.arrive_epoch));
   SPIRE_RETURN_NOT_OK(reader.GetU64(&handoff.capture_micros));
+  SPIRE_RETURN_NOT_OK(reader.GetU64(&handoff.span_id));
   std::size_t count = 0;
   SPIRE_RETURN_NOT_OK(reader.GetCount("handoff object", &count));
   handoff.objects.resize(count);
@@ -461,6 +484,86 @@ Result<HandoffPayload> DecodeHandoff(const std::vector<std::uint8_t>& payload) {
   }
   SPIRE_RETURN_NOT_OK(reader.Finish());
   return handoff;
+}
+
+void EncodeStatsReport(const StatsReportPayload& payload,
+                       std::vector<std::uint8_t>* out) {
+  PutVarint64(payload.node_id, out);
+  PutEpoch(payload.epoch, out);
+  PutBool(payload.final_report, out);
+  PutVarint64(payload.snapshot.modules.size(), out);
+  for (const auto& [module_name, module] : payload.snapshot.modules) {
+    PutVarint64(module_name.size(), out);
+    out->insert(out->end(), module_name.begin(), module_name.end());
+    PutVarint64(module.counters.size(), out);
+    for (const auto& [name, value] : module.counters) {
+      PutVarint64(name.size(), out);
+      out->insert(out->end(), name.begin(), name.end());
+      PutVarint64(value, out);
+    }
+    PutVarint64(module.gauges.size(), out);
+    for (const auto& [name, value] : module.gauges) {
+      PutVarint64(name.size(), out);
+      out->insert(out->end(), name.begin(), name.end());
+      PutVarint64(ZigzagEncode(value), out);
+    }
+    PutVarint64(module.histograms.size(), out);
+    for (const auto& [name, histogram] : module.histograms) {
+      PutVarint64(name.size(), out);
+      out->insert(out->end(), name.begin(), name.end());
+      for (std::uint64_t bucket : histogram.buckets) PutVarint64(bucket, out);
+      PutVarint64(histogram.count, out);
+      PutVarint64(histogram.total, out);
+      PutVarint64(histogram.max, out);
+    }
+  }
+}
+
+Result<StatsReportPayload> DecodeStatsReport(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadReader reader(payload);
+  StatsReportPayload report;
+  std::uint64_t raw = 0;
+  SPIRE_RETURN_NOT_OK(reader.GetBounded(UINT32_MAX, "node id", &raw));
+  report.node_id = static_cast<std::uint32_t>(raw);
+  SPIRE_RETURN_NOT_OK(reader.GetEpoch(&report.epoch));
+  SPIRE_RETURN_NOT_OK(reader.GetBool(&report.final_report));
+  std::size_t modules = 0;
+  SPIRE_RETURN_NOT_OK(reader.GetCount("module", &modules));
+  for (std::size_t m = 0; m < modules; ++m) {
+    std::string module_name;
+    SPIRE_RETURN_NOT_OK(reader.GetString("module name", &module_name));
+    obs::RegistrySnapshot::Module& module =
+        report.snapshot.modules[module_name];
+    std::size_t count = 0;
+    SPIRE_RETURN_NOT_OK(reader.GetCount("counter", &count));
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string name;
+      SPIRE_RETURN_NOT_OK(reader.GetString("counter name", &name));
+      SPIRE_RETURN_NOT_OK(reader.GetU64(&module.counters[name]));
+    }
+    SPIRE_RETURN_NOT_OK(reader.GetCount("gauge", &count));
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string name;
+      SPIRE_RETURN_NOT_OK(reader.GetString("gauge name", &name));
+      SPIRE_RETURN_NOT_OK(reader.GetU64(&raw));
+      module.gauges[name] = ZigzagDecode(raw);
+    }
+    SPIRE_RETURN_NOT_OK(reader.GetCount("histogram", &count));
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string name;
+      SPIRE_RETURN_NOT_OK(reader.GetString("histogram name", &name));
+      obs::HistogramSnapshot& histogram = module.histograms[name];
+      for (std::uint64_t& bucket : histogram.buckets) {
+        SPIRE_RETURN_NOT_OK(reader.GetU64(&bucket));
+      }
+      SPIRE_RETURN_NOT_OK(reader.GetU64(&histogram.count));
+      SPIRE_RETURN_NOT_OK(reader.GetU64(&histogram.total));
+      SPIRE_RETURN_NOT_OK(reader.GetU64(&histogram.max));
+    }
+  }
+  SPIRE_RETURN_NOT_OK(reader.Finish());
+  return report;
 }
 
 }  // namespace spire::dist

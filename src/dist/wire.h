@@ -10,24 +10,34 @@
 // store/varint.h (signed values zigzag-coded); doubles travel as their
 // 8-byte little-endian IEEE-754 bit pattern, which round-trips exactly.
 //
-// Five frame types carry the shard feed/merge protocol of src/serve plus
-// the cross-site object handoff:
+// Six frame types carry the shard feed/merge protocol of src/serve plus
+// the cross-site object handoff and fleet observability:
 //
-//   Hello       both directions; version/identity check at connection open.
+//   Hello       both directions; version/identity check at connection open,
+//               plus the ClockSync exchange (each side's steady-clock "now"
+//               at send) and the coordinator's stats cadence.
 //   EpochWork   coordinator -> node; one epoch's raw readings for every
 //               site the node owns, plus capture orders for hops departing
 //               this epoch. A finish EpochWork closes the stream.
 //   SiteBatch   node -> coordinator; one site's output events for one
 //               epoch (serve::SiteBatch over the wire).
-//   Barrier     node -> coordinator; "epoch done" for flow control.
+//   Barrier     node -> coordinator; "epoch done" for flow control, with a
+//               heartbeat stamp for slow-node detection.
 //   Handoff     both directions; the captured per-object inference state
 //               of one hop (spire/handoff.h), shipped from the departure
-//               node through the coordinator to the arrival node.
+//               node through the coordinator to the arrival node. Carries
+//               the hop's trace span id end to end.
+//   StatsReport node -> coordinator; the node's full obs registry snapshot
+//               (counters, gauges, histogram bucket arrays), sent on the
+//               coordinator's cadence and once more at shutdown.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+#include "obs/registry.h"
 
 #include "common/status.h"
 #include "common/types.h"
@@ -45,7 +55,11 @@ enum class FrameType : std::uint8_t {
   kSiteBatch = 2,
   kBarrier = 3,
   kHandoff = 4,
+  kStatsReport = 5,
 };
+
+/// Number of frame types (per-type transport counters size to this).
+inline constexpr int kNumFrameTypes = 6;
 
 /// Human-readable frame type name.
 const char* ToString(FrameType type);
@@ -90,11 +104,31 @@ Result<Frame> DecodeFrame(const std::vector<std::uint8_t>& bytes);
 
 // --- Payloads ---------------------------------------------------------
 
+/// The steady clock as microseconds since its (boot-global on Linux)
+/// origin: the timestamp every wire-carried clock field uses, so stamps
+/// from different processes on one machine are directly comparable.
+inline std::uint64_t SteadyNowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Connection-open identity: which node this is and which global site
 /// indexes it owns (ascending). The coordinator echoes the assignment.
+///
+/// ClockSync: each side stamps `steady_now_micros` at send. The node
+/// brackets the exchange (t0 before its Hello, t1 after the coordinator's)
+/// and estimates its offset onto the coordinator clock as
+/// coord_steady_now - (t0 + t1) / 2 — the NTP half-round-trip estimate.
+/// `stats_interval_epochs` is coordinator -> node only: send a StatsReport
+/// every N epochs (0 = never; a final report still ships at shutdown when
+/// N > 0).
 struct HelloPayload {
   std::uint32_t node_id = 0;
   std::vector<std::uint32_t> sites;
+  std::uint64_t steady_now_micros = 0;
+  std::uint32_t stats_interval_epochs = 0;
 };
 
 /// One hop's capture order: which objects to stage for departure at the
@@ -130,10 +164,14 @@ struct SiteBatchPayload {
   EventStream events;
 };
 
-/// Node-side epoch completion marker (flow control).
+/// Node-side epoch completion marker (flow control). `steady_micros` is
+/// the node's steady-clock stamp at send — the heartbeat the coordinator
+/// folds into the fleet/heartbeat_gap_us histogram and its per-node
+/// epoch-lag gauges (slow-node detection).
 struct BarrierPayload {
   Epoch epoch = kNeverEpoch;
   bool finish = false;
+  std::uint64_t steady_micros = 0;
 };
 
 /// One hop's captured objects, in capture (leaf-up) order.
@@ -141,12 +179,29 @@ struct BarrierPayload {
 /// time; the arrival side records now - capture_micros into the
 /// dist/handoff_latency_us histogram (comparable across processes on one
 /// machine — CLOCK_MONOTONIC is boot-global on Linux).
+/// `span_id` names the hop's end-to-end trace span: the departure node
+/// opens an async 'b' event under it at capture, the arrival node closes
+/// it with the matching 'e' at implant, and merge-traces stitches the two
+/// into one cross-process span. Nodes use the global hop index, which is
+/// unique per run.
 struct HandoffPayload {
   std::uint64_t hop = 0;
   std::uint32_t to_site = 0;
   Epoch arrive_epoch = kNeverEpoch;
   std::uint64_t capture_micros = 0;
+  std::uint64_t span_id = 0;
   std::vector<ObjectHandoff> objects;
+};
+
+/// One node's full obs registry snapshot. `final_report` marks the
+/// shutdown report (sent just before the finish Barrier); periodic
+/// reports carry the cumulative state, so the coordinator keeps only the
+/// latest per node.
+struct StatsReportPayload {
+  std::uint32_t node_id = 0;
+  Epoch epoch = kNeverEpoch;
+  bool final_report = false;
+  obs::RegistrySnapshot snapshot;
 };
 
 void EncodeHello(const HelloPayload& payload, std::vector<std::uint8_t>* out);
@@ -169,5 +224,10 @@ Result<BarrierPayload> DecodeBarrier(const std::vector<std::uint8_t>& payload);
 void EncodeHandoff(const HandoffPayload& payload,
                    std::vector<std::uint8_t>* out);
 Result<HandoffPayload> DecodeHandoff(const std::vector<std::uint8_t>& payload);
+
+void EncodeStatsReport(const StatsReportPayload& payload,
+                       std::vector<std::uint8_t>* out);
+Result<StatsReportPayload> DecodeStatsReport(
+    const std::vector<std::uint8_t>& payload);
 
 }  // namespace spire::dist

@@ -1,0 +1,164 @@
+#include "obs/merge_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace spire::obs {
+
+namespace {
+
+JsonValue* FindMut(JsonValue& value, std::string_view key) {
+  if (value.type != JsonValue::Type::kObject) return nullptr;
+  for (auto& [name, member] : value.object) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+JsonValue MakeNumber(std::int64_t v) {
+  JsonValue out;
+  out.type = JsonValue::Type::kNumber;
+  out.text = std::to_string(v);
+  return out;
+}
+
+/// One input trace, parsed: its events plus the "spire" clock metadata.
+struct InputTrace {
+  JsonValue doc;
+  JsonValue* events = nullptr;   // The traceEvents array inside `doc`.
+  std::int64_t base_us = 0;      // origin_us + offset_us; 0 when absent.
+  bool has_base = false;
+  std::string process;           // "spire".process label, may be empty.
+};
+
+Status ParseInput(const std::string& text, std::size_t index,
+                  InputTrace* out) {
+  auto parsed = ParseJson(text);
+  if (!parsed.ok()) {
+    return Status::Corruption("merge-traces: input " + std::to_string(index) +
+                              ": " + parsed.status().message());
+  }
+  out->doc = std::move(parsed).value();
+  out->events = FindMut(out->doc, "traceEvents");
+  if (out->events == nullptr ||
+      out->events->type != JsonValue::Type::kArray) {
+    return Status::Corruption("merge-traces: input " + std::to_string(index) +
+                              ": missing traceEvents array");
+  }
+  if (const JsonValue* spire = out->doc.Find("spire")) {
+    std::int64_t origin_us = 0;
+    std::int64_t offset_us = 0;
+    if (const JsonValue* v = spire->Find("origin_us");
+        v != nullptr && v->type == JsonValue::Type::kNumber) {
+      origin_us = std::strtoll(v->text.c_str(), nullptr, 10);
+      out->has_base = true;
+    }
+    if (const JsonValue* v = spire->Find("offset_us");
+        v != nullptr && v->type == JsonValue::Type::kNumber) {
+      offset_us = std::strtoll(v->text.c_str(), nullptr, 10);
+    }
+    out->base_us = origin_us + offset_us;
+    if (const JsonValue* v = spire->Find("process");
+        v != nullptr && v->type == JsonValue::Type::kString) {
+      out->process = v->text;
+    }
+  }
+  return Status::OK();
+}
+
+void AppendProcessNameEvent(std::ostream& out, int pid,
+                            const std::string& label) {
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"" << label << "\"}}";
+}
+
+}  // namespace
+
+Result<std::string> MergeTraceJson(const std::vector<std::string>& texts,
+                                   const std::vector<std::string>& labels) {
+  if (texts.empty()) {
+    return Status::InvalidArgument("merge-traces: no input traces");
+  }
+  std::vector<InputTrace> inputs(texts.size());
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    SPIRE_RETURN_NOT_OK(ParseInput(texts[i], i, &inputs[i]));
+  }
+
+  // The fleet timeline starts at the earliest aligned session origin, so
+  // the merged file keeps small human-readable timestamps. Inputs without
+  // clock metadata (hand-made or foreign traces) keep their timestamps
+  // unshifted.
+  std::int64_t min_base = std::numeric_limits<std::int64_t>::max();
+  for (const InputTrace& input : inputs) {
+    if (input.has_base) min_base = std::min(min_base, input.base_us);
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::string label =
+        i < labels.size() && !labels[i].empty() ? labels[i] : inputs[i].process;
+    if (label.empty()) label = "process" + std::to_string(i);
+    if (!first) out << ",\n";
+    first = false;
+    AppendProcessNameEvent(out, static_cast<int>(i) + 1, label);
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    InputTrace& input = inputs[i];
+    const std::int64_t shift =
+        input.has_base ? input.base_us - min_base : 0;
+    for (JsonValue& event : input.events->array) {
+      if (event.type != JsonValue::Type::kObject) {
+        return Status::Corruption("merge-traces: input " + std::to_string(i) +
+                                  ": non-object trace event");
+      }
+      if (JsonValue* ts = FindMut(event, "ts");
+          ts != nullptr && ts->type == JsonValue::Type::kNumber) {
+        const std::int64_t value = std::strtoll(ts->text.c_str(), nullptr, 10);
+        ts->text = std::to_string(value + shift);
+      }
+      if (JsonValue* pid = FindMut(event, "pid")) {
+        *pid = MakeNumber(static_cast<std::int64_t>(i) + 1);
+      } else {
+        event.object.emplace_back("pid",
+                                  MakeNumber(static_cast<std::int64_t>(i) + 1));
+      }
+      out << ",\n" << event.Serialize();
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status MergeTraceFiles(const std::vector<std::string>& paths,
+                       const std::string& out_path) {
+  std::vector<std::string> texts;
+  std::vector<std::string> labels(paths.size());  // Labels come from inputs.
+  texts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("merge-traces: cannot open: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    texts.push_back(buffer.str());
+  }
+  auto merged = MergeTraceJson(texts, labels);
+  if (!merged.ok()) return merged.status();
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    return Status::NotFound("merge-traces: cannot open for writing: " +
+                            out_path);
+  }
+  out << merged.value() << "\n";
+  if (!out.good()) return Status::Internal("merge-traces: write failed");
+  return Status::OK();
+}
+
+}  // namespace spire::obs

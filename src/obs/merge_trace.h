@@ -1,0 +1,35 @@
+// Fleet trace merging: stitches the per-process Perfetto trace files of a
+// distributed run (coordinator + one per node, each written by Tracer with
+// a "spire" clock metadata block) into one Chrome trace_event JSON
+// document on a single fleet-aligned timeline (DESIGN.md §9).
+//
+// Each input file's events carry timestamps relative to that process's
+// session origin; the "spire" block supplies the origin (steady-clock
+// microseconds) and the process's estimated offset onto the coordinator
+// clock (the ClockSync Hello exchange of dist/node.cc). The merge rebases
+// every event to origin + offset - min(origin + offset over all inputs),
+// assigns each input file its own pid with a process_name metadata event,
+// and keeps async 'b'/'e' handoff spans intact so a hop's
+// capture-at-departure and splice-at-arrival show up as one cross-process
+// span in Perfetto.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spire::obs {
+
+/// Merges parsed trace documents (JSON text, one per process). `labels[i]`
+/// names input i's process row; an empty label falls back to the input's
+/// own "spire" process label, then to "process<i>". Returns the merged
+/// document as JSON text.
+Result<std::string> MergeTraceJson(const std::vector<std::string>& texts,
+                                   const std::vector<std::string>& labels);
+
+/// File front end: reads every input trace, merges, writes `out_path`.
+Status MergeTraceFiles(const std::vector<std::string>& paths,
+                       const std::string& out_path);
+
+}  // namespace spire::obs

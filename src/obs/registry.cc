@@ -50,17 +50,17 @@ double Histogram::mean() const {
          static_cast<double>(n);
 }
 
-double Histogram::Quantile(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
+double Histogram::QuantileOverBuckets(const std::uint64_t buckets[kBuckets],
+                                      std::uint64_t count, double max_value,
+                                      double q) {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const auto target = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(
-             std::ceil(q * static_cast<double>(n))));
+             std::ceil(q * static_cast<double>(count))));
   std::uint64_t cumulative = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    const std::uint64_t in_bucket =
-        buckets_[i].load(std::memory_order_relaxed);
+    const std::uint64_t in_bucket = buckets[i];
     if (in_bucket == 0) continue;
     if (cumulative + in_bucket >= target) {
       // Linear interpolation by rank position inside the bucket: the k-th
@@ -74,15 +74,106 @@ double Histogram::Quantile(double q) const {
     }
     cumulative += in_bucket;
   }
-  return max();
+  return max_value;
 }
 
-std::string Histogram::ToJson(const std::string& unit) const {
+double Histogram::Quantile(double q) const {
+  std::uint64_t buckets[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return QuantileOverBuckets(buckets, count(), max(), q);
+}
+
+namespace {
+
+std::string HistogramJson(std::uint64_t count, double mean, double p50,
+                          double p95, double p99, double max,
+                          const std::string& unit) {
   std::ostringstream out;
-  out << "{\"count\":" << count() << ",\"mean" << unit << "\":" << mean()
-      << ",\"p50" << unit << "\":" << Quantile(0.50) << ",\"p95" << unit
-      << "\":" << Quantile(0.95) << ",\"p99" << unit
-      << "\":" << Quantile(0.99) << ",\"max" << unit << "\":" << max() << "}";
+  out << "{\"count\":" << count << ",\"mean" << unit << "\":" << mean
+      << ",\"p50" << unit << "\":" << p50 << ",\"p95" << unit << "\":" << p95
+      << ",\"p99" << unit << "\":" << p99 << ",\"max" << unit << "\":" << max
+      << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string Histogram::ToJson(const std::string& unit) const {
+  return HistogramJson(count(), mean(), Quantile(0.50), Quantile(0.95),
+                       Quantile(0.99), max(), unit);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (int i = 0; i < Histogram::kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  total += other.total;
+  max = std::max(max, other.max);
+}
+
+double HistogramSnapshot::mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(count);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  return Histogram::QuantileOverBuckets(buckets, count,
+                                        static_cast<double>(max), q);
+}
+
+std::string HistogramSnapshot::ToJson(const std::string& unit) const {
+  return HistogramJson(count, mean(), Quantile(0.50), Quantile(0.95),
+                       Quantile(0.99), static_cast<double>(max), unit);
+}
+
+void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
+  for (const auto& [module_name, module] : other.modules) {
+    Module& mine = modules[module_name];
+    for (const auto& [name, value] : module.counters) {
+      mine.counters[name] += value;
+    }
+    for (const auto& [name, value] : module.gauges) {
+      auto [it, inserted] = mine.gauges.emplace(name, value);
+      if (!inserted) it->second = std::max(it->second, value);
+    }
+    for (const auto& [name, histogram] : module.histograms) {
+      mine.histograms[name].Merge(histogram);
+    }
+  }
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"modules\":{";
+  bool first_module = true;
+  for (const auto& [module_name, module] : modules) {
+    if (!first_module) out << ",";
+    first_module = false;
+    out << "\"" << module_name << "\":{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : module.counters) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":" << value;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : module.gauges) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":" << value;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, histogram] : module.histograms) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":" << histogram.ToJson();
+    }
+    out << "}}";
+  }
+  out << "}}";
   return out.str();
 }
 
@@ -113,6 +204,30 @@ Histogram* Registry::GetHistogram(const std::string& module,
                                   const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   return &modules_[module].histograms[name];
+}
+
+RegistrySnapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  for (const auto& [module_name, module] : modules_) {
+    RegistrySnapshot::Module& out = snapshot.modules[module_name];
+    for (const auto& [name, counter] : module.counters) {
+      out.counters[name] = counter.value();
+    }
+    for (const auto& [name, gauge] : module.gauges) {
+      out.gauges[name] = gauge.value();
+    }
+    for (const auto& [name, histogram] : module.histograms) {
+      HistogramSnapshot& h = out.histograms[name];
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        h.buckets[i] = histogram.bucket(i);
+      }
+      h.count = histogram.count();
+      h.total = histogram.total();
+      h.max = histogram.max_sample();
+    }
+  }
+  return snapshot;
 }
 
 bool Registry::ModuleActive(const Module& module) const {

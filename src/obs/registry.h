@@ -25,6 +25,8 @@
 
 namespace spire::obs {
 
+struct RegistrySnapshot;
+
 /// True when observability instruments are active (default: false).
 bool Enabled();
 
@@ -95,11 +97,22 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   double mean() const;
-  double max() const {
-    return static_cast<double>(max_.load(std::memory_order_relaxed));
+  std::uint64_t total() const {
+    return total_.load(std::memory_order_relaxed);
   }
+  std::uint64_t max_sample() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  double max() const { return static_cast<double>(max_sample()); }
   /// Interpolated value at quantile `q` in [0, 1]; 0 when empty.
   double Quantile(double q) const;
+
+  /// Quantile interpolation over a plain bucket array (shared by the live
+  /// histogram and merged snapshots): rank-interpolates inside the bucket
+  /// holding the target, falling back to `max_value` past the last bucket.
+  static double QuantileOverBuckets(const std::uint64_t buckets[kBuckets],
+                                    std::uint64_t count, double max_value,
+                                    double q);
 
   /// {"count":..,"mean<unit>":..,"p50<unit>":..,"p95<unit>":..,
   ///  "p99<unit>":..,"max<unit>":..} — `unit` is a key suffix ("_us" for
@@ -115,6 +128,53 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// One histogram's sampled state: the plain-value mirror of Histogram,
+/// mergeable and wire-serializable (dist/wire.h StatsReport frames).
+struct HistogramSnapshot {
+  std::uint64_t buckets[Histogram::kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+
+  /// Bucket-wise merge: buckets, count, and total add; max takes the max.
+  /// Because both operands bucket with the same boundaries, the merged
+  /// quantiles are exactly what one histogram fed both sample streams
+  /// would report.
+  void Merge(const HistogramSnapshot& other);
+
+  double mean() const;
+  double Quantile(double q) const;
+  /// Same shape as Histogram::ToJson.
+  std::string ToJson(const std::string& unit = "_us") const;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// One registry's sampled state, keyed module -> instrument name. This is
+/// what a dist node ships to its coordinator in a StatsReport frame and
+/// what fleet aggregation merges.
+struct RegistrySnapshot {
+  struct Module {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+    bool operator==(const Module&) const = default;
+  };
+
+  std::map<std::string, Module> modules;
+
+  /// Fleet merge: counters add, gauges take the max (a gauge is a level —
+  /// the fleet view reports the worst node), histograms merge bucket-wise.
+  void Merge(const RegistrySnapshot& other);
+
+  /// Same shape as Registry::ToJson: {"modules":{..}}.
+  std::string ToJson() const;
+
+  bool empty() const { return modules.empty(); }
+
+  bool operator==(const RegistrySnapshot&) const = default;
+};
+
 /// The process-wide instrument registry. Get* registers on first use and
 /// returns the same stable pointer afterwards; registration takes a mutex,
 /// recording never does. Dump methods sample live values (individually
@@ -126,6 +186,15 @@ class Registry {
   Counter* GetCounter(const std::string& module, const std::string& name);
   Gauge* GetGauge(const std::string& module, const std::string& name);
   Histogram* GetHistogram(const std::string& module, const std::string& name);
+
+  /// Samples every instrument into a plain-value snapshot. Serialized
+  /// against Reset() on the registry mutex, so a snapshot racing a reset
+  /// sees each histogram either before or after zeroing — never a torn
+  /// bucket array (count wiped, buckets not). Writers recording through
+  /// the relaxed atomics are not blocked, so a snapshot's count can trail
+  /// its bucket sum by at most the number of concurrently recording
+  /// threads.
+  RegistrySnapshot TakeSnapshot() const;
 
   /// {"modules":{"<module>":{"counters":{..},"gauges":{..},
   ///  "histograms":{..}},..}} with modules and instruments in name order.
@@ -139,7 +208,9 @@ class Registry {
   std::size_t NumActiveModules() const;
 
   /// Zeroes every instrument (pointers stay valid). Tests and statusz runs
-  /// use this to isolate themselves from earlier activity.
+  /// use this to isolate themselves from earlier activity. Serialized
+  /// against TakeSnapshot() and the dump methods on the registry mutex
+  /// (see TakeSnapshot for the exact guarantee).
   void Reset();
 
  private:

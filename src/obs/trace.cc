@@ -16,8 +16,14 @@ int ThisThreadId() {
 
 void AppendEvent(std::ostream& out, const TraceEvent& event) {
   out << "{\"name\":\"" << event.name << "\",\"cat\":\"" << event.category
-      << "\",\"ph\":\"X\",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us
-      << ",\"pid\":1,\"tid\":" << event.tid;
+      << "\",\"ph\":\"" << event.phase << "\",\"ts\":" << event.ts_us;
+  if (event.phase == 'X') {
+    out << ",\"dur\":" << event.dur_us;
+  }
+  out << ",\"pid\":1,\"tid\":" << event.tid;
+  if (event.phase == 'b' || event.phase == 'e') {
+    out << ",\"id\":\"" << event.async_id << "\"";
+  }
   if (event.epoch >= 0) {
     out << ",\"args\":{\"epoch\":" << event.epoch << "}";
   }
@@ -39,8 +45,25 @@ Status Tracer::Start(const std::string& path) {
   events_.clear();
   path_ = path;
   origin_ = std::chrono::steady_clock::now();
+  process_label_.clear();
+  clock_offset_us_ = 0;
   active_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+void Tracer::AppendJson(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out << ",\n";
+    AppendEvent(out, events_[i]);
+  }
+  const auto origin_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          origin_.time_since_epoch())
+          .count();
+  out << "],\"spire\":{\"origin_us\":" << origin_us
+      << ",\"offset_us\":" << clock_offset_us_ << ",\"process\":\""
+      << process_label_ << "\"}}";
 }
 
 Status Tracer::Stop() {
@@ -52,12 +75,8 @@ Status Tracer::Stop() {
     events_.clear();
     return Status::NotFound("cannot open for writing: " + path_);
   }
-  out << "{\"traceEvents\":[";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    if (i > 0) out << ",\n";
-    AppendEvent(out, events_[i]);
-  }
-  out << "]}\n";
+  AppendJson(out);
+  out << "\n";
   events_.clear();
   if (!out.good()) return Status::Internal("write failed: " + path_);
   return Status::OK();
@@ -89,15 +108,39 @@ void Tracer::Record(const char* category, const char* name,
   events_.push_back(event);
 }
 
+void Tracer::RecordAsync(const char* category, const char* name, char phase,
+                         std::uint64_t id, std::int64_t epoch) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.tid = ThisThreadId();
+  event.epoch = epoch;
+  event.phase = phase;
+  event.async_id = id;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_acquire)) return;
+  const auto start = now < origin_ ? origin_ : now;
+  event.ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start - origin_)
+          .count());
+  events_.push_back(event);
+}
+
+void Tracer::SetProcessLabel(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_label_ = label;
+}
+
+void Tracer::SetClockOffsetMicros(std::int64_t offset_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_offset_us_ = offset_us;
+}
+
 std::string Tracer::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
-  out << "{\"traceEvents\":[";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    if (i > 0) out << ",\n";
-    AppendEvent(out, events_[i]);
-  }
-  out << "]}";
+  AppendJson(out);
   return out.str();
 }
 

@@ -24,8 +24,12 @@
 
 namespace spire::obs {
 
-/// One completed span. `ts_us`/`dur_us` are microseconds relative to the
-/// session start; `epoch` < 0 means "no epoch argument".
+/// One recorded event. `ts_us`/`dur_us` are microseconds relative to the
+/// session start; `epoch` < 0 means "no epoch argument". `phase` is the
+/// Chrome trace_event ph: 'X' complete spans (the ScopedSpan output), or
+/// 'b'/'e' async begin/end pairs correlated by `async_id` across threads
+/// and — after merge-traces — across processes (the cross-node handoff
+/// spans of dist/node.cc).
 struct TraceEvent {
   const char* name = "";
   const char* category = "";
@@ -33,6 +37,8 @@ struct TraceEvent {
   std::uint64_t dur_us = 0;
   int tid = 0;
   std::int64_t epoch = -1;
+  char phase = 'X';
+  std::uint64_t async_id = 0;
 };
 
 /// The process-wide span collector. Thread-safe.
@@ -55,18 +61,45 @@ class Tracer {
               std::chrono::steady_clock::time_point start,
               std::chrono::steady_clock::time_point end, std::int64_t epoch);
 
+  /// Records one async begin ('b') or end ('e') instant at now. The
+  /// (category, id) pair correlates begin with end; ids must be unique per
+  /// category within a fleet run (dist uses the global hop index). No-op
+  /// when inactive.
+  void RecordAsync(const char* category, const char* name, char phase,
+                   std::uint64_t id, std::int64_t epoch);
+
+  /// Labels this process's row in a merged fleet timeline (written into
+  /// the "spire" metadata block; merge-traces turns it into a Perfetto
+  /// process_name). Applies to the current session only — Start() resets
+  /// it.
+  void SetProcessLabel(const std::string& label);
+
+  /// Offset (microseconds) translating this process's steady clock onto
+  /// the fleet coordinator's: the node-side estimate from the ClockSync
+  /// Hello exchange (dist/node.cc). merge-traces adds origin + offset to
+  /// every timestamp, so per-node files line up on one timeline. Start()
+  /// resets it to 0.
+  void SetClockOffsetMicros(std::int64_t offset_us);
+
   /// The buffered events rendered as trace JSON (tests; Stop() writes the
-  /// same shape).
+  /// same shape): {"traceEvents":[..],"spire":{"origin_us":..,
+  /// "offset_us":..,"process":".."}}. The "spire" block carries the
+  /// steady-clock session origin, the fleet clock offset, and the process
+  /// label; Perfetto ignores the unknown key, merge-traces consumes it.
   std::string ToJson() const;
 
   std::size_t num_events() const;
 
  private:
+  void AppendJson(std::ostream& out) const;  // Requires mutex_ held.
+
   std::atomic<bool> active_{false};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::string path_;
   std::chrono::steady_clock::time_point origin_;
+  std::string process_label_;
+  std::int64_t clock_offset_us_ = 0;
 };
 
 /// RAII span: times its scope and records into the global tracer. All

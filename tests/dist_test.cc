@@ -3,6 +3,8 @@
 // transfer-schedule invariants, and end-to-end loopback runs that must
 // reproduce the serial reference byte for byte.
 #include <cstdint>
+#include <iterator>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -29,6 +31,7 @@ HandoffPayload SampleHandoff() {
   payload.to_site = 2;
   payload.arrive_epoch = 123;
   payload.capture_micros = 987654321;
+  payload.span_id = 7;
   ObjectHandoff pallet;
   pallet.object = 0x5f80000000000001ull;
   pallet.seen_at = 120;
@@ -67,11 +70,45 @@ std::vector<std::uint8_t> SampleFrame() {
   return EncodeFrame(FrameType::kHandoff, payload);
 }
 
+StatsReportPayload SampleStatsReport() {
+  StatsReportPayload report;
+  report.node_id = 1;
+  report.epoch = 77;
+  report.final_report = true;
+  obs::RegistrySnapshot::Module& dist = report.snapshot.modules["dist"];
+  dist.counters["frames"] = 123;
+  dist.counters["bytes"] = 45678;
+  dist.gauges["clock_offset_us"] = -321;  // Negative: zigzag path.
+  obs::HistogramSnapshot& latency = dist.histograms["handoff_latency_us"];
+  latency.buckets[0] = 2;
+  latency.buckets[9] = 3;
+  latency.count = 5;
+  latency.total = 3002;
+  latency.max = 1000;
+  obs::RegistrySnapshot::Module& graph = report.snapshot.modules["graph"];
+  graph.counters["edges"] = 9;
+  return report;
+}
+
+std::vector<std::uint8_t> SampleStatsFrame() {
+  std::vector<std::uint8_t> payload;
+  EncodeStatsReport(SampleStatsReport(), &payload);
+  return EncodeFrame(FrameType::kStatsReport, payload);
+}
+
+/// One representative frame per hardening sweep: the richest v1 frame
+/// (Handoff) and the v2 StatsReport frame.
+std::vector<std::vector<std::uint8_t>> HardeningFrames() {
+  return {SampleFrame(), SampleStatsFrame()};
+}
+
 TEST(DistWireTest, FrameRoundTripAllTypes) {
   {
     HelloPayload hello;
     hello.node_id = 3;
     hello.sites = {3, 7, 11};
+    hello.steady_now_micros = 987654321098ull;  // ClockSync stamp.
+    hello.stats_interval_epochs = 16;
     std::vector<std::uint8_t> payload;
     EncodeHello(hello, &payload);
     auto frame = DecodeFrame(EncodeFrame(FrameType::kHello, payload));
@@ -81,6 +118,9 @@ TEST(DistWireTest, FrameRoundTripAllTypes) {
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_EQ(decoded.value().node_id, hello.node_id);
     EXPECT_EQ(decoded.value().sites, hello.sites);
+    EXPECT_EQ(decoded.value().steady_now_micros, hello.steady_now_micros);
+    EXPECT_EQ(decoded.value().stats_interval_epochs,
+              hello.stats_interval_epochs);
   }
   {
     EpochWorkPayload work;
@@ -134,6 +174,7 @@ TEST(DistWireTest, FrameRoundTripAllTypes) {
     BarrierPayload barrier;
     barrier.epoch = 13;
     barrier.finish = true;
+    barrier.steady_micros = 55555555555ull;  // Heartbeat stamp.
     std::vector<std::uint8_t> payload;
     EncodeBarrier(barrier, &payload);
     auto frame = DecodeFrame(EncodeFrame(FrameType::kBarrier, payload));
@@ -142,6 +183,7 @@ TEST(DistWireTest, FrameRoundTripAllTypes) {
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_EQ(decoded.value().epoch, barrier.epoch);
     EXPECT_TRUE(decoded.value().finish);
+    EXPECT_EQ(decoded.value().steady_micros, barrier.steady_micros);
   }
   {
     const HandoffPayload handoff = SampleHandoff();
@@ -151,51 +193,69 @@ TEST(DistWireTest, FrameRoundTripAllTypes) {
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_EQ(decoded.value().hop, handoff.hop);
     EXPECT_EQ(decoded.value().capture_micros, handoff.capture_micros);
+    EXPECT_EQ(decoded.value().span_id, handoff.span_id);
     EXPECT_EQ(decoded.value().objects, handoff.objects);
+  }
+  {
+    const StatsReportPayload report = SampleStatsReport();
+    auto frame = DecodeFrame(SampleStatsFrame());
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame.value().type, FrameType::kStatsReport);
+    auto decoded = DecodeStatsReport(frame.value().payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().node_id, report.node_id);
+    EXPECT_EQ(decoded.value().epoch, report.epoch);
+    EXPECT_TRUE(decoded.value().final_report);
+    // The whole registry snapshot survives the wire: counters, negative
+    // gauges, and histogram bucket arrays.
+    EXPECT_EQ(decoded.value().snapshot, report.snapshot);
   }
 }
 
 TEST(DistWireTest, EveryByteFlipFailsDecode) {
-  const std::vector<std::uint8_t> frame = SampleFrame();
-  ASSERT_TRUE(DecodeFrame(frame).ok());
-  for (std::size_t i = 0; i < frame.size(); ++i) {
-    for (std::uint8_t bit : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
-      std::vector<std::uint8_t> corrupted = frame;
-      corrupted[i] ^= bit;
-      EXPECT_FALSE(DecodeFrame(corrupted).ok())
-          << "flip of bit " << int{bit} << " in byte " << i
-          << " decoded as a valid frame";
+  for (const std::vector<std::uint8_t>& frame : HardeningFrames()) {
+    ASSERT_TRUE(DecodeFrame(frame).ok());
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      for (std::uint8_t bit : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+        std::vector<std::uint8_t> corrupted = frame;
+        corrupted[i] ^= bit;
+        EXPECT_FALSE(DecodeFrame(corrupted).ok())
+            << "flip of bit " << int{bit} << " in byte " << i
+            << " decoded as a valid frame";
+      }
     }
   }
 }
 
 TEST(DistWireTest, EveryPrefixTruncationFails) {
-  const std::vector<std::uint8_t> frame = SampleFrame();
-  for (std::size_t len = 0; len < frame.size(); ++len) {
-    std::vector<std::uint8_t> truncated(frame.begin(), frame.begin() + len);
-    EXPECT_FALSE(DecodeFrame(truncated).ok())
-        << "prefix of " << len << " bytes decoded as a valid frame";
+  for (const std::vector<std::uint8_t>& frame : HardeningFrames()) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      std::vector<std::uint8_t> truncated(frame.begin(), frame.begin() + len);
+      EXPECT_FALSE(DecodeFrame(truncated).ok())
+          << "prefix of " << len << " bytes decoded as a valid frame";
+    }
   }
 }
 
 TEST(DistWireTest, VersionSkewIsNamedInTheError) {
-  std::vector<std::uint8_t> frame = SampleFrame();
-  // Patch a future protocol version in and fix the checksum up, so the
-  // version check itself (not the CRC) must reject the frame.
-  const std::uint16_t future = kDistProtocolVersion + 1;
-  frame[6] = static_cast<std::uint8_t>(future & 0xff);
-  frame[7] = static_cast<std::uint8_t>(future >> 8);
-  const std::uint32_t crc =
-      Crc32(frame.data() + kFrameHeaderBytes, frame.size() - kFrameHeaderBytes,
-            Crc32(frame.data(), 12));
-  frame[12] = static_cast<std::uint8_t>(crc & 0xff);
-  frame[13] = static_cast<std::uint8_t>((crc >> 8) & 0xff);
-  frame[14] = static_cast<std::uint8_t>((crc >> 16) & 0xff);
-  frame[15] = static_cast<std::uint8_t>(crc >> 24);
-  auto decoded = DecodeFrame(frame);
-  ASSERT_FALSE(decoded.ok());
-  EXPECT_NE(decoded.status().ToString().find("version"), std::string::npos)
-      << decoded.status().ToString();
+  for (std::vector<std::uint8_t> frame : HardeningFrames()) {
+    // Patch a future protocol version in and fix the checksum up, so the
+    // version check itself (not the CRC) must reject the frame.
+    const std::uint16_t future = kDistProtocolVersion + 1;
+    frame[6] = static_cast<std::uint8_t>(future & 0xff);
+    frame[7] = static_cast<std::uint8_t>(future >> 8);
+    const std::uint32_t crc =
+        Crc32(frame.data() + kFrameHeaderBytes,
+              frame.size() - kFrameHeaderBytes, Crc32(frame.data(), 12));
+    frame[12] = static_cast<std::uint8_t>(crc & 0xff);
+    frame[13] = static_cast<std::uint8_t>((crc >> 8) & 0xff);
+    frame[14] = static_cast<std::uint8_t>((crc >> 16) & 0xff);
+    frame[15] = static_cast<std::uint8_t>(crc >> 24);
+    auto decoded = DecodeFrame(frame);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_NE(decoded.status().ToString().find("version"), std::string::npos)
+        << decoded.status().ToString();
+  }
 }
 
 TEST(DistWireTest, HandoffRoundTripsSentinelsAndDoubles) {
@@ -345,6 +405,57 @@ TEST(DistRunnerTest, ObsInstrumentsCountTraffic) {
   // One latency sample per delivered hop (objects in a hop share the ship).
   EXPECT_EQ(registry.GetHistogram("dist", "handoff_latency_us")->count(),
             result.handoff_hops);
+
+  registry.Reset();
+  obs::SetEnabled(false);
+}
+
+TEST(DistRunnerTest, PerTypeTrafficCountersSumToTotals) {
+  obs::SetEnabled(true);
+  auto& registry = obs::Registry::Global();
+  registry.Reset();
+
+  auto trace = BuildTransferTrace(TransferConfig());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  auto workload = ToWorkload(trace.value());
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  DistOptions options;
+  options.num_nodes = 2;
+  options.stats_interval_epochs = 8;
+  DistResult result =
+      RunDistLoopback(workload.value(), trace.value().hops, options);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+
+  // Every frame lands in exactly one per-type counter, so the breakdowns
+  // must tile the totals.
+  static constexpr const char* kSuffixes[] = {
+      "hello", "epoch_work", "site_batch", "barrier", "handoff",
+      "stats_report",
+  };
+  static_assert(std::size(kSuffixes) == kNumFrameTypes);
+  std::uint64_t frames_sum = 0;
+  std::uint64_t bytes_sum = 0;
+  for (const char* suffix : kSuffixes) {
+    const std::uint64_t frames =
+        registry.GetCounter("dist", std::string("frames_") + suffix)->value();
+    const std::uint64_t bytes =
+        registry.GetCounter("dist", std::string("bytes_") + suffix)->value();
+    EXPECT_LE(frames, bytes) << suffix;  // Every frame has a header.
+    frames_sum += frames;
+    bytes_sum += bytes;
+  }
+  EXPECT_EQ(registry.GetCounter("dist", "frames")->value(), frames_sum);
+  EXPECT_EQ(registry.GetCounter("dist", "bytes")->value(), bytes_sum);
+  EXPECT_GT(registry.GetCounter("dist", "frames_epoch_work")->value(), 0u);
+  EXPECT_GT(registry.GetCounter("dist", "frames_handoff")->value(), 0u);
+  EXPECT_GT(registry.GetCounter("dist", "frames_stats_report")->value(), 0u);
+
+  // The stats cadence left the coordinator a snapshot from every node.
+  ASSERT_EQ(result.node_stats.size(), 2u);
+  for (const obs::RegistrySnapshot& snapshot : result.node_stats) {
+    EXPECT_FALSE(snapshot.empty());
+    EXPECT_NE(snapshot.modules.find("dist"), snapshot.modules.end());
+  }
 
   registry.Reset();
   obs::SetEnabled(false);

@@ -6,7 +6,8 @@ BenchReport (bench/bench_util.h). This script diffs a fresh run against
 the baseline committed at the repo root and flags regressions:
 
   * keys matching *epochs_per_sec* or *speedup* are higher-is-better;
-  * keys matching *_s_per_epoch or *_seconds are lower-is-better;
+  * keys matching *_s_per_epoch, *_seconds, or *_over_disabled (the
+    expt11 observability overhead ratios) are lower-is-better;
   * everything else (counts, peak_rss_bytes, hardware_threads) is
     reported but never gated.
 
@@ -25,7 +26,7 @@ import json
 import sys
 
 HIGHER_BETTER = ("epochs_per_sec", "speedup")
-LOWER_BETTER = ("_s_per_epoch", "_seconds", "_us")
+LOWER_BETTER = ("_s_per_epoch", "_seconds", "_us", "_over_disabled")
 IGNORED = ("peak_rss_bytes", "hardware_threads", "bench")
 
 

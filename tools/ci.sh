@@ -11,8 +11,9 @@
 # stdout). The plain configuration then runs the observability smoke step
 # (DESIGN.md §9): a fuzz-seed `spire_cli run` with tracing + explain on,
 # artifact validation via `spire_cli obscheck`, byte-identity of
-# instrumented vs uninstrumented output, and the expt11_obs
-# disabled-overhead bench (reported, not gated). A CEP smoke step
+# instrumented vs uninstrumented output, and the expt11_obs overhead
+# bench (single-process arms reported; the dist leg's traced-overhead
+# ratio gated at 1.15x against BENCH_obs.json). A CEP smoke step
 # (DESIGN.md §11) then cross-checks the pattern library's two evaluators
 # over a fuzz-seed trace and an archive replay via `spire_cli detect`.
 # An archive codec smoke (DESIGN.md §6) round-trips a trace through both
@@ -22,8 +23,11 @@
 # on 2 loopback nodes with the serial-reference byte-identity check on,
 # validates the dist wire counters via `spire_cli obscheck`, and re-runs
 # the workload on forked node processes (spawn mode must match loopback
-# bit for bit). The TSan leg repeats the loopback half only — fork with
-# running threads is out of bounds under the sanitizer.
+# bit for bit) with the full fleet observability stack attached: per-node
+# StatsReport frames aggregated into a fleet statusz and per-node traces
+# merged onto one timeline, both re-validated by obscheck (DESIGN.md §9).
+# The TSan leg repeats the loopback half only — fork with running threads
+# is out of bounds under the sanitizer.
 #
 #   tools/ci.sh            # all three configurations
 #   tools/ci.sh plain      # plain only
@@ -86,10 +90,16 @@ run_obs_smoke() {
     rm -rf "$tmp"
     exit 1
   fi
-  echo "=== [obs] disabled-overhead bench (soft check) ==="
-  # Reported, not gated: wall-clock on shared CI machines is too noisy for
-  # a hard threshold. The expt11_obs report is the tracked artifact.
-  SPIRE_BENCH_DIR="$tmp" "$dir/bench/expt11_obs" reps=3 | tail -n +4 || true
+  echo "=== [obs] overhead bench (dist leg gated) ==="
+  # The single-process arms stay soft — absolute wall-clock on shared CI
+  # machines is too noisy. The dist leg's traced-over-disabled ratio is a
+  # quotient of two interleaved same-machine runs, so it IS gated: the
+  # fleet observability stack (per-epoch StatsReport frames + handoff
+  # spans) must stay within 1.15x of the uninstrumented run. The binary
+  # itself hard-fails if stats+tracing change the merged stream.
+  SPIRE_BENCH_DIR="$tmp" "$dir/bench/expt11_obs" reps=3 | tail -n +4
+  tools/bench_compare.py BENCH_obs.json "$tmp/BENCH_obs.json" \
+    --hard --threshold 0.15
   rm -rf "$tmp"
 }
 
@@ -159,9 +169,15 @@ run_dist_smoke() {
     out="$tmp/loopback.spev" stats_out="$tmp/dist-metrics.json"
   "$dir/tools/spire_cli" obscheck metrics="$tmp/dist-metrics.json"
   if [ "$spawn" = "spawn" ]; then
-    echo "=== [dist] smoke (forked node processes) ==="
+    echo "=== [dist] smoke (forked nodes + fleet statusz + merged trace) ==="
+    # The fleet observability stack rides along: per-node registries
+    # aggregated into stats_out, per-node traces merged into trace_out —
+    # and the output must STILL match the uninstrumented loopback run.
     "$dir/tools/spire_cli" dist seed=7 nodes=2 mode=spawn check=1 \
-      out="$tmp/spawn.spev"
+      out="$tmp/spawn.spev" stats_every=8 \
+      stats_out="$tmp/fleet-metrics.json" trace_out="$tmp/fleet-trace.json"
+    "$dir/tools/spire_cli" obscheck metrics="$tmp/fleet-metrics.json" \
+      trace="$tmp/fleet-trace.json" require=epoch,hop
     if ! cmp -s "$tmp/loopback.spev" "$tmp/spawn.spev"; then
       echo "dist smoke: spawn run diverged from loopback run" >&2
       rm -rf "$tmp"

@@ -24,9 +24,10 @@
 //   spire_cli dist       seed=S [sites=N] [nodes=N] [mode=loopback|spawn]
 //                        [check=0|1] [out=events.spev] [level=1|2]
 //                        [statusz=text|json] [--stats]
-//                        [stats_out=metrics.json] [any SimConfig key=value]
+//                        [stats_out=metrics.json] [stats_every=E]
+//                        [trace_out=trace.json] [any SimConfig key=value]
 //   spire_cli node       node_id=I nodes=N fd=F seed=S [sites=N] [level=1|2]
-//                        [any SimConfig key=value]
+//                        [trace_out=trace.json] [any SimConfig key=value]
 //   spire_cli run        in=trace.sptr deployment=dep.txt | seed=S
 //                        [out=events.spev] [trace_out=trace.json]
 //                        [explain_out=run.spexp] [archive_out=run.sparc]
@@ -35,6 +36,7 @@
 //   spire_cli explain    <event-id> in=run.spexp
 //   spire_cli obscheck   [trace=trace.json] [metrics=metrics.json]
 //                        [explain=run.spexp] [require=span1,span2,..]
+//   spire_cli merge-traces in=a.json,b.json,.. out=merged.json
 //   spire_cli detect     pattern=<expr> | patterns=library|<file>
 //                        seed=S | in=trace.sptr deployment=dep.txt |
 //                        in=events.spev [deployment=dep.txt] |
@@ -50,6 +52,11 @@
 // per-site reference and fails unless the merged stream is byte-identical.
 // `node` is the spawned per-process entry point; it re-derives the shared
 // workload from the forwarded args and serves its sites over fd=F.
+// With metrics on, nodes ship their registries to the coordinator in
+// StatsReport frames every `stats_every` epochs and `statusz=json` emits
+// the distributed statusz (per-node + fleet-aggregate registries);
+// `trace_out=` writes one fleet-aligned Perfetto trace (spawn mode traces
+// every process and merges, see `merge-traces`).
 //
 // `serve` runs the concurrent sharded serving layer (src/serve): one SPIRE
 // pipeline per site on N worker shards with an ordered merge. Sites come
@@ -105,6 +112,7 @@
 #include "dist/transport.h"
 #include "obs/explain.h"
 #include "obs/json.h"
+#include "obs/merge_trace.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "query/event_log.h"
@@ -748,6 +756,17 @@ int RunNode(const Config& args) {
         "node needs node_id=I nodes=N fd=F (plus the dist run's workload "
         "args)");
   }
+  // A spawned node traces into its own file (the parent appends
+  // trace_out=<base>.node<N>.json) and labels its process row; the
+  // ClockSync offset from the Hello exchange aligns it onto the
+  // coordinator's timeline at merge.
+  const auto trace_out = args.GetString("trace_out", "").value_or("");
+  if (!trace_out.empty()) {
+    Status status = obs::Tracer::Global().Start(trace_out);
+    if (!status.ok()) return Fail(status);
+    obs::Tracer::Global().SetProcessLabel("node" +
+                                          std::to_string(node_id));
+  }
   auto built = BuildDistWorkload(args);
   if (!built.ok()) return Fail(built.status());
   dist::NodeConfig config;
@@ -760,6 +779,10 @@ int RunNode(const Config& args) {
   auto conn = dist::MakeFdConn(static_cast<int>(fd));
   Status status = dist::RunDistNode(config, conn.get());
   conn->Close();
+  if (!trace_out.empty()) {
+    Status stop = obs::Tracer::Global().Stop();
+    if (status.ok()) status = stop;
+  }
   if (!status.ok()) return Fail(status);
   return 0;
 }
@@ -770,7 +793,7 @@ int RunNode(const Config& args) {
 bool IsCoordinatorOnlyArg(const std::string& arg) {
   for (const char* prefix :
        {"out=", "check=", "mode=", "stats=", "stats_out=", "statusz=",
-        "trace_out=", "nodes=", "node_id=", "fd="}) {
+        "stats_every=", "trace_out=", "nodes=", "node_id=", "fd="}) {
     if (arg.rfind(prefix, 0) == 0) return true;
   }
   return false;
@@ -781,7 +804,8 @@ bool IsCoordinatorOnlyArg(const std::string& arg) {
 /// arguments forwarded verbatim, then the coordinator over the parent ends.
 dist::DistResult SpawnDistProcesses(const std::vector<std::string>& raw_args,
                                     const DistWorkload& built,
-                                    dist::DistOptions options) {
+                                    dist::DistOptions options,
+                                    const std::string& trace_base) {
   dist::DistResult result;
   const int num_sites = static_cast<int>(built.workload.sites.size());
   options.num_nodes = std::max(1, std::min(options.num_nodes, num_sites));
@@ -826,6 +850,10 @@ dist::DistResult SpawnDistProcesses(const std::vector<std::string>& raw_args,
       child_args.push_back("node_id=" + std::to_string(n));
       child_args.push_back(
           "fd=" + std::to_string(pairs[static_cast<std::size_t>(n)][1]));
+      if (!trace_base.empty()) {
+        child_args.push_back("trace_out=" + trace_base + ".node" +
+                             std::to_string(n) + ".json");
+      }
       std::vector<char*> argv;
       for (std::string& arg : child_args) argv.push_back(arg.data());
       argv.push_back(nullptr);
@@ -872,6 +900,34 @@ dist::DistResult SpawnDistProcesses(const std::vector<std::string>& raw_args,
   return result;
 }
 
+/// The distributed statusz document: the coordinator's own registry, each
+/// node's latest StatsReport snapshot, and the fleet aggregate (counters
+/// add, gauges take the worst node, histograms merge bucket-wise).
+/// `merge_nodes` is false for loopback runs, where every node thread
+/// records into this process's registry — the coordinator snapshot already
+/// covers the whole fleet and merging the near-duplicate node reports
+/// would double-count.
+std::string FleetStatsJson(const dist::DistResult& result, bool merge_nodes) {
+  const obs::RegistrySnapshot coordinator =
+      obs::Registry::Global().TakeSnapshot();
+  obs::RegistrySnapshot fleet = coordinator;
+  if (merge_nodes) {
+    for (const obs::RegistrySnapshot& node : result.node_stats) {
+      fleet.Merge(node);
+    }
+  }
+  std::ostringstream out;
+  out << "{\"coordinator\":" << coordinator.ToJson() << ",\"nodes\":[";
+  for (std::size_t n = 0; n < result.node_stats.size(); ++n) {
+    if (n > 0) out << ",";
+    // Splice a "node" id into the snapshot's {"modules":..} object.
+    out << "{\"node\":" << n << ","
+        << result.node_stats[n].ToJson().substr(1);
+  }
+  out << "],\"fleet\":" << fleet.ToJson() << "}";
+  return out.str();
+}
+
 int RunDist(const Config& args, const std::vector<std::string>& raw_args) {
   auto built = BuildDistWorkload(args);
   if (!built.ok()) return Fail(built.status());
@@ -881,29 +937,87 @@ int RunDist(const Config& args, const std::vector<std::string>& raw_args) {
   const auto statusz = args.GetString("statusz", "").value_or("");
   const bool stats = args.GetBool("stats", false).value_or(false);
   const auto stats_out = args.GetString("stats_out", "").value_or("");
-  if (!statusz.empty() || stats || !stats_out.empty()) {
+  const auto trace_out = args.GetString("trace_out", "").value_or("");
+  const bool wants_obs = !statusz.empty() || stats || !stats_out.empty();
+  if (wants_obs) {
     obs::SetEnabled(true);
     obs::Registry::Global().GetCounter("common", "cli_invocations")->Add(1);
   }
 
   dist::DistOptions options;
   options.num_nodes = static_cast<int>(args.GetInt("nodes", 2).value_or(2));
+  options.num_nodes = std::max(
+      1, std::min(options.num_nodes, static_cast<int>(workload.sites.size())));
   options.pipeline = DistPipelineOptions(args);
   const auto mode = args.GetString("mode", "loopback").value_or("loopback");
+  if (mode != "loopback" && mode != "spawn") {
+    return FailText("mode must be loopback or spawn");
+  }
+
+  // Stats cadence: any metrics output turns on StatsReport frames every
+  // stats_every epochs (plus the final report); stats_every=N alone also
+  // enables them.
+  const auto stats_every =
+      args.GetInt("stats_every", wants_obs ? 16 : 0).value_or(0);
+  if (stats_every > 0) {
+    obs::SetEnabled(true);
+    options.stats_interval_epochs = static_cast<std::uint32_t>(stats_every);
+  }
+
+  // Tracing: a loopback run is one process, so one session writes
+  // trace_out directly. A spawn run gives the coordinator and every node
+  // process its own file, merged onto the fleet timeline afterwards.
+  std::vector<std::string> trace_parts;
+  if (!trace_out.empty()) {
+    const std::string coordinator_trace =
+        mode == "spawn" ? trace_out + ".coord.json" : trace_out;
+    Status status = obs::Tracer::Global().Start(coordinator_trace);
+    if (!status.ok()) return Fail(status);
+    obs::Tracer::Global().SetProcessLabel(mode == "spawn" ? "coordinator"
+                                                          : "dist");
+    trace_parts.push_back(coordinator_trace);
+    if (mode == "spawn") {
+      for (int n = 0; n < options.num_nodes; ++n) {
+        trace_parts.push_back(trace_out + ".node" + std::to_string(n) +
+                              ".json");
+      }
+    }
+  }
 
   const auto start = std::chrono::steady_clock::now();
   dist::DistResult result;
   if (mode == "loopback") {
     result = dist::RunDistLoopback(workload, hops, options);
-  } else if (mode == "spawn") {
-    result = SpawnDistProcesses(raw_args, built.value(), options);
   } else {
-    return FailText("mode must be loopback or spawn");
+    result = SpawnDistProcesses(raw_args, built.value(), options,
+                                trace_out.empty() ? "" : trace_out);
   }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (!trace_out.empty()) {
+    Status status = obs::Tracer::Global().Stop();
+    if (!status.ok()) return Fail(status);
+  }
   if (!result.status.ok()) return Fail(result.status);
+  if (!trace_out.empty() && mode == "spawn") {
+    // Node files are complete: SpawnDistProcesses waited for every child.
+    Status status = obs::MergeTraceFiles(trace_parts, trace_out);
+    if (!status.ok()) return Fail(status);
+    std::error_code ec;
+    for (const std::string& part : trace_parts) {
+      std::filesystem::remove(part, ec);
+    }
+  }
+
+  // Snapshot the fleet metrics before the reference check below runs the
+  // whole workload again through this process's registry.
+  std::string metrics_json;
+  if (wants_obs) {
+    metrics_json = options.stats_interval_epochs > 0
+                       ? FleetStatsJson(result, mode == "spawn")
+                       : obs::Registry::Global().ToJson();
+  }
 
   std::printf(
       "dist (%s): %zu site(s) on %d node(s), %lld epochs -> %zu events, "
@@ -932,19 +1046,22 @@ int RunDist(const Config& args, const std::vector<std::string>& raw_args) {
     if (!status.ok()) return Fail(status);
   }
   if (stats || !stats_out.empty()) {
-    const std::string json = obs::Registry::Global().ToJson();
-    if (stats) std::printf("%s\n", json.c_str());
+    if (stats) std::printf("%s\n", metrics_json.c_str());
     if (!stats_out.empty()) {
       std::ofstream stats_file(stats_out);
       if (!stats_file) return FailText("cannot open: " + stats_out);
-      stats_file << json << "\n";
+      stats_file << metrics_json << "\n";
       if (!stats_file.good()) return FailText("write failed: " + stats_out);
     }
   }
   if (statusz == "json") {
-    std::printf("%s\n", obs::Registry::Global().ToJson().c_str());
+    std::printf("%s\n", metrics_json.c_str());
   } else if (!statusz.empty()) {
     std::printf("%s", obs::Registry::Global().ToText().c_str());
+    for (std::size_t n = 0; n < result.node_stats.size(); ++n) {
+      std::printf("node %zu: %zu module(s) reported\n", n,
+                  result.node_stats[n].modules.size());
+    }
   }
   return 0;
 }
@@ -1170,6 +1287,21 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   return buffer.str();
 }
 
+/// `merge-traces in=a.json,b.json[,..] out=merged.json` — stitches
+/// per-process fleet trace files onto one timeline (obs/merge_trace.h).
+int RunMergeTraces(const Config& args) {
+  const auto in = args.GetString("in", "").value_or("");
+  const auto out = args.GetString("out", "").value_or("");
+  if (in.empty() || out.empty()) {
+    return FailText("merge-traces needs in=a.json,b.json,.. out=merged.json");
+  }
+  const std::vector<std::string> paths = SplitCommaList(in);
+  Status status = obs::MergeTraceFiles(paths, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("merged %zu trace(s) -> %s\n", paths.size(), out.c_str());
+  return 0;
+}
+
 int RunObscheck(const Config& args) {
   const auto trace_path = args.GetString("trace", "").value_or("");
   const auto metrics_path = args.GetString("metrics", "").value_or("");
@@ -1195,10 +1327,31 @@ int RunObscheck(const Config& args) {
       const obs::JsonValue* name = event.Find("name");
       const obs::JsonValue* phase = event.Find("ph");
       if (name == nullptr || name->type != obs::JsonValue::Type::kString ||
-          phase == nullptr || phase->text != "X" ||
-          event.Find("ts") == nullptr || event.Find("dur") == nullptr ||
-          event.Find("pid") == nullptr || event.Find("tid") == nullptr) {
+          phase == nullptr ||
+          phase->type != obs::JsonValue::Type::kString) {
         return FailText(trace_path + ": malformed trace event");
+      }
+      // Three shapes are valid: complete spans ('X'), the async 'b'/'e'
+      // pairs of cross-node handoff spans, and the process_name metadata
+      // ('M') a merged fleet trace carries.
+      if (phase->text == "X") {
+        if (event.Find("ts") == nullptr || event.Find("dur") == nullptr ||
+            event.Find("pid") == nullptr || event.Find("tid") == nullptr) {
+          return FailText(trace_path + ": malformed complete span");
+        }
+      } else if (phase->text == "b" || phase->text == "e") {
+        if (event.Find("ts") == nullptr || event.Find("pid") == nullptr ||
+            event.Find("tid") == nullptr || event.Find("id") == nullptr) {
+          return FailText(trace_path + ": malformed async span event");
+        }
+      } else if (phase->text == "M") {
+        if (event.Find("pid") == nullptr || event.Find("args") == nullptr) {
+          return FailText(trace_path + ": malformed metadata event");
+        }
+        continue;  // Metadata names (process_name) are not span names.
+      } else {
+        return FailText(trace_path + ": unknown event phase '" +
+                        phase->text + "'");
       }
       names.insert(name->text);
     }
@@ -1229,15 +1382,40 @@ int RunObscheck(const Config& args) {
          modules->object.empty())) {
       return FailText(metrics_path + ": empty modules object");
     }
+    // The distributed statusz shape: a fleet aggregate plus per-node
+    // registries, each carrying its own modules object.
+    const obs::JsonValue* fleet = parsed.value().Find("fleet");
+    const obs::JsonValue* nodes = parsed.value().Find("nodes");
+    std::string shape;
+    if (fleet != nullptr || nodes != nullptr) {
+      const obs::JsonValue* fleet_modules =
+          fleet == nullptr ? nullptr : fleet->Find("modules");
+      if (fleet_modules == nullptr ||
+          fleet_modules->type != obs::JsonValue::Type::kObject ||
+          fleet_modules->object.empty()) {
+        return FailText(metrics_path + ": fleet without modules");
+      }
+      if (nodes == nullptr || nodes->type != obs::JsonValue::Type::kArray) {
+        return FailText(metrics_path + ": fleet metrics without nodes array");
+      }
+      for (const obs::JsonValue& node : nodes->array) {
+        const obs::JsonValue* node_modules = node.Find("modules");
+        if (node.Find("node") == nullptr || node_modules == nullptr ||
+            node_modules->type != obs::JsonValue::Type::kObject) {
+          return FailText(metrics_path + ": malformed node registry entry");
+        }
+      }
+      shape = "fleet + " + std::to_string(nodes->array.size()) + " nodes";
+    } else {
+      shape = modules != nullptr
+                  ? std::to_string(modules->object.size()) + " modules"
+                  : std::string("no modules key");
+    }
     auto round_trip = obs::ParseJson(parsed.value().Serialize());
     if (!round_trip.ok()) return Fail(round_trip.status());
     if (!(round_trip.value() == parsed.value())) {
       return FailText(metrics_path + ": parse -> serialize -> parse mismatch");
     }
-    const std::string shape =
-        modules != nullptr
-            ? std::to_string(modules->object.size()) + " modules"
-            : std::string("no modules key");
     std::printf("metrics ok: %s (%s, round-trips)\n", metrics_path.c_str(),
                 shape.c_str());
   }
@@ -1464,7 +1642,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s generate|process|decompress|validate|stats|query|"
                  "archive|scan|compact|serve|dist|node|run|statusz|explain|obscheck|"
-                 "detect [key=value ...]\n",
+                 "merge-traces|detect [key=value ...]\n",
                  argv[0]);
     return 1;
   }
@@ -1503,6 +1681,7 @@ int main(int argc, char** argv) {
   if (command == "statusz") return RunStatusz(args.value());
   if (command == "explain") return RunExplain(args.value());
   if (command == "obscheck") return RunObscheck(args.value());
+  if (command == "merge-traces") return RunMergeTraces(args.value());
   if (command == "detect") return RunDetect(args.value());
   return FailText("unknown command: " + command);
 }
