@@ -8,6 +8,7 @@
 #include "cep/compressed_log.h"
 #include "cep/library.h"
 #include "cep/nfa.h"
+#include "common/random.h"
 #include "compress/decompress.h"
 #include "dist/runner.h"
 #include "compress/fold.h"
@@ -17,6 +18,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "query/event_log.h"
+#include "query/segment_log.h"
 #include "store/archive_reader.h"
 #include "store/archive_writer.h"
 #include "store/segment.h"
@@ -315,6 +317,182 @@ std::optional<OracleFailure> DifferentialChecker::CheckArchiveRoundTrip(
   return std::nullopt;
 }
 
+namespace {
+
+std::string StaysToString(const std::vector<Stay>& stays) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < stays.size(); ++i) {
+    if (i > 0) out << ",";
+    out << stays[i].start << ":" << stays[i].end << "@" << stays[i].location;
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string IdsToString(const std::vector<ObjectId>& ids) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out << ",";
+    out << ids[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace
+
+std::optional<OracleFailure> DifferentialChecker::CheckQueryEquivalence(
+    const EventStream& stream, const std::string& label) const {
+  namespace fs = std::filesystem;
+  const std::string path = ScratchPath(label + "_query");
+  std::error_code ec;
+  auto cleanup = [&] {
+    fs::remove(path, ec);
+    fs::remove(IndexPathFor(path), ec);
+  };
+  auto fail = [&](const std::string& detail) {
+    cleanup();
+    return OracleFailure{"query_equivalence", label + ": " + detail};
+  };
+
+  // Small blocks keep the candidate-prefix logic multi-block even on
+  // shrunk traces; the tiny cache forces evictions mid-probe.
+  cleanup();
+  ArchiveOptions archive_options;
+  archive_options.block_events = 256;
+  archive_options.codec = BlockCodec::kBitpack;
+  auto writer = ArchiveWriter::Open(path, archive_options);
+  if (!writer.ok()) {
+    return fail("archive open failed: " + writer.status().ToString());
+  }
+  if (Status status = (*writer.value()).Append(stream); !status.ok()) {
+    return fail("archive append failed: " + status.ToString());
+  }
+  if (Status status = (*writer.value()).Close(); !status.ok()) {
+    return fail("archive close failed: " + status.ToString());
+  }
+
+  auto cache = std::make_shared<BlockCache>(32 * 1024);
+  auto segment_log = SegmentLog::Open(path, ReaderOptions{}, cache);
+  if (!segment_log.ok()) {
+    return fail("segment log open failed: " +
+                segment_log.status().ToString());
+  }
+  const SegmentLog& direct = *segment_log.value();
+  auto materialized =
+      EventLog::FromArchive(direct.reader(), 0, kInfiniteEpoch, false);
+  if (!materialized.ok()) {
+    return fail("materialized baseline failed: " +
+                materialized.status().ToString());
+  }
+  const EventLog& log = materialized.value();
+
+  const std::vector<ObjectId> objects = log.Objects();
+  std::vector<LocationId> locations;
+  for (const auto& [location, blocks] :
+       direct.reader().location_postings()) {
+    locations.push_back(location);
+  }
+  if (objects.empty()) {
+    cleanup();
+    return std::nullopt;  // Nothing archived; nothing to probe.
+  }
+
+  // Deterministic probes at random (object, epoch) points, plus the edge
+  // epochs where coverage flips: before the stream, at the first and last
+  // epochs, and just past the end.
+  Pcg32 rng(0x517e'91ull ^ stream.size());
+  std::vector<Epoch> probe_epochs = {-1, 0, log.first_epoch(),
+                                     log.last_epoch(),
+                                     log.last_epoch() + 1};
+  for (int i = 0; i < 24; ++i) {
+    probe_epochs.push_back(
+        rng.NextInRange(log.first_epoch(), log.last_epoch() + 1));
+  }
+
+  for (int probe = 0; probe < 64; ++probe) {
+    const ObjectId object = objects[rng.NextBounded(
+        static_cast<std::uint32_t>(objects.size()))];
+    const Epoch epoch =
+        probe_epochs[rng.NextBounded(
+            static_cast<std::uint32_t>(probe_epochs.size()))];
+    const std::string at = " object=" + std::to_string(object) +
+                           " epoch=" + std::to_string(epoch);
+
+    auto location_at = direct.LocationAt(object, epoch);
+    if (!location_at.ok()) {
+      return fail("LocationAt failed: " + location_at.status().ToString());
+    }
+    if (location_at.value() != log.LocationAt(object, epoch)) {
+      return fail("LocationAt diverges" + at);
+    }
+    auto container_at = direct.ContainerAt(object, epoch);
+    if (!container_at.ok()) {
+      return fail("ContainerAt failed: " + container_at.status().ToString());
+    }
+    if (container_at.value() != log.ContainerAt(object, epoch)) {
+      return fail("ContainerAt diverges" + at);
+    }
+    auto missing_at = direct.IsMissingAt(object, epoch);
+    if (!missing_at.ok()) {
+      return fail("IsMissingAt failed: " + missing_at.status().ToString());
+    }
+    if (missing_at.value() != log.IsMissingAt(object, epoch)) {
+      return fail("IsMissingAt diverges" + at);
+    }
+    auto trajectory = direct.TrajectoryOf(object);
+    if (!trajectory.ok()) {
+      return fail("TrajectoryOf failed: " + trajectory.status().ToString());
+    }
+    if (trajectory.value() != log.TrajectoryOf(object)) {
+      return fail("TrajectoryOf diverges" + at + ": direct " +
+                  StaysToString(trajectory.value()) + " vs materialized " +
+                  StaysToString(log.TrajectoryOf(object)));
+    }
+    for (bool transitive : {false, true}) {
+      auto contents = direct.ContentsAt(object, epoch, transitive);
+      if (!contents.ok()) {
+        return fail("ContentsAt failed: " + contents.status().ToString());
+      }
+      if (contents.value() != log.ContentsAt(object, epoch, transitive)) {
+        return fail(std::string("ContentsAt") +
+                    (transitive ? " (transitive)" : "") + " diverges" + at +
+                    ": direct " + IdsToString(contents.value()) +
+                    " vs materialized " +
+                    IdsToString(log.ContentsAt(object, epoch, transitive)));
+      }
+    }
+    if (!locations.empty()) {
+      const LocationId location = locations[rng.NextBounded(
+          static_cast<std::uint32_t>(locations.size()))];
+      auto objects_at = direct.ObjectsAt(location, epoch);
+      if (!objects_at.ok()) {
+        return fail("ObjectsAt failed: " + objects_at.status().ToString());
+      }
+      if (objects_at.value() != log.ObjectsAt(location, epoch)) {
+        return fail("ObjectsAt diverges at location=" +
+                    std::to_string(location) + " epoch=" +
+                    std::to_string(epoch) + ": direct " +
+                    IdsToString(objects_at.value()) + " vs materialized " +
+                    IdsToString(log.ObjectsAt(location, epoch)));
+      }
+    }
+  }
+
+  // The serving invariants must reconcile after the probe storm.
+  const BlockCache::Stats stats = cache->GetStats();
+  if (stats.hits + stats.misses != stats.lookups) {
+    return fail("cache counters do not reconcile: hits + misses != lookups");
+  }
+  if (direct.blocks_decoded() > stats.misses) {
+    return fail("cache counters do not reconcile: decodes > misses");
+  }
+  cleanup();
+  return std::nullopt;
+}
+
 std::optional<OracleFailure> DifferentialChecker::CheckExplainConsistency(
     const RecordedTrace& trace, const EventStream& level2) {
   auto fail = [](const std::string& detail) {
@@ -544,6 +722,8 @@ std::optional<OracleFailure> DifferentialChecker::Check(
   }
   if (auto failure = CheckArchiveRoundTrip(level2, "level2")) return failure;
   if (auto failure = CheckArchiveRoundTrip(level1, "level1")) return failure;
+  if (auto failure = CheckQueryEquivalence(level2, "level2")) return failure;
+  if (auto failure = CheckQueryEquivalence(level1, "level1")) return failure;
   if (auto failure = CheckSerdeRoundTrip(level1, "level1")) return failure;
   if (auto failure = CheckSerdeRoundTrip(level2, "level2")) return failure;
   if (auto failure = CheckExplainConsistency(trace.value(), level2)) {

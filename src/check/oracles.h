@@ -1,6 +1,6 @@
 // The oracle battery of the differential checking harness.
 //
-// Every FuzzCase is expanded into a trace and judged by nine oracles:
+// Every FuzzCase is expanded into a trace and judged by ten oracles:
 //
 //   (a) well_formed        both pipeline outputs pass ValidateWellFormed.
 //   (b) level2_recovery    Decompress(level-2 output) is event-for-event
@@ -39,6 +39,15 @@
 //                          bit-identical to the serial per-site reference,
 //                          and that stream is well-formed with lossless
 //                          level-2 recovery.
+//   (j) query_equivalence  archiving the output and probing it at random
+//                          and edge (object, epoch) points, the
+//                          segment-direct SegmentLog (src/query) answers
+//                          every query kind — LocationAt / ContainerAt /
+//                          ContentsAt / ObjectsAt / TrajectoryOf /
+//                          IsMissingAt — identically to the fully
+//                          materialized EventLog, and the block-cache
+//                          counters reconcile (hits + misses == lookups,
+//                          decodes <= misses).
 //
 // A failure names the oracle and carries a human-readable diff/detail, so a
 // minimized repro file is actionable on its own.
@@ -100,7 +109,7 @@ class DifferentialChecker {
  public:
   explicit DifferentialChecker(CheckOptions options = {});
 
-  /// Expands the case and applies all nine oracles; std::nullopt means all
+  /// Expands the case and applies all ten oracles; std::nullopt means all
   /// green. `stats`, when non-null, accumulates pipeline-run counts.
   std::optional<OracleFailure> Check(const FuzzCase& fuzz_case,
                                      CheckStats* stats = nullptr) const;
@@ -139,6 +148,13 @@ class DifferentialChecker {
   static std::optional<OracleFailure> CheckDistributedEquivalence(
       const FuzzCase& fuzz_case, CheckStats* stats = nullptr);
   std::optional<OracleFailure> CheckArchiveRoundTrip(
+      const EventStream& stream, const std::string& label) const;
+  /// Archives `stream` to scratch and probes it at random and edge
+  /// (object, epoch) points: segment-direct answers (query/segment_log,
+  /// through a deliberately tiny block cache) must equal the materialized
+  /// EventLog's for every query kind, and the cache counters must
+  /// reconcile with the decode count.
+  std::optional<OracleFailure> CheckQueryEquivalence(
       const EventStream& stream, const std::string& label) const;
 
  private:

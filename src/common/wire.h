@@ -48,9 +48,12 @@ inline constexpr std::uint16_t kArchiveVersionV1 = 1;
 /// Archive index sidecar (block directory + per-object postings).
 /// Version 2 adds the per-block codec id and a fingerprint of the last
 /// covered block header, so a sidecar cannot describe a segment that was
-/// truncated and rewritten to the same byte count.
+/// truncated and rewritten to the same byte count. Version 3 adds
+/// per-location and per-container posting lists (segment-direct serving of
+/// ObjectsAt / ContentsAt, src/query/segment_log). Sidecars are rebuildable
+/// caches: readers fall back to a segment scan on any other version.
 inline constexpr char kArchiveIndexMagic[kMagicBytes] = {'S', 'P', 'I', 'X'};
-inline constexpr std::uint16_t kArchiveIndexVersion = 2;
+inline constexpr std::uint16_t kArchiveIndexVersion = 3;
 
 /// Marker leading every archive block header; recovery scans for it.
 inline constexpr std::uint32_t kArchiveBlockMarker = 0x53504232;  // "SPB2"

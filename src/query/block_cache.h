@@ -1,0 +1,108 @@
+// Sharded LRU cache of decoded archive blocks, shared by concurrent
+// segment-direct query threads (segment_log.h).
+//
+// The cache sits between ArchiveReader and the block codecs: a hit returns
+// the decoded EventStream without touching the segment or paying a decode;
+// a miss is decoded by the caller and offered back with Put. Entries are
+// handed out as shared_ptr<const EventStream>, so an entry evicted while a
+// reader still folds it stays alive until that reader drops it — eviction
+// never invalidates an in-flight query.
+//
+// Keys are (segment tag, block index). Tags come from NextSegmentTag(), a
+// process-wide counter, so two opens of the same path — or a segment
+// replaced on disk by `compact` — never alias cache entries: a SegmentLog
+// is snapshot-isolated from whatever happens to the file after open.
+//
+// Capacity is in bytes of decoded events, split evenly across the shards;
+// each shard orders its entries LRU under its own mutex, so threads hitting
+// different shards never contend. Concurrent misses on one key may both
+// decode (misses can exceed unique blocks; `decodes <= misses` is the
+// reconciliation invariant, with `hits + misses == lookups`) — the second
+// Put is a no-op, which keeps the bytes accounting exact.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/event.h"
+
+namespace spire {
+
+class BlockCache {
+ public:
+  using BlockPtr = std::shared_ptr<const EventStream>;
+
+  /// Aggregate counters across all shards. lookups == hits + misses by
+  /// construction; bytes is the current decoded footprint.
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t capacity_bytes = 0;
+  };
+
+  /// A cache holding up to `capacity_bytes` of decoded events across
+  /// `num_shards` independently locked LRU shards.
+  explicit BlockCache(std::uint64_t capacity_bytes,
+                      std::size_t num_shards = kDefaultShards);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// The decoded block, or nullptr on a miss (counted). A hit refreshes
+  /// the entry's LRU position.
+  BlockPtr Get(std::uint64_t segment_tag, std::uint32_t block_index);
+
+  /// Offers a decoded block. No-op when the key is already present (the
+  /// loser of a concurrent same-key miss race). May evict LRU entries to
+  /// stay within the shard's capacity; the entry just inserted is never
+  /// the one evicted, so even a block larger than a whole shard serves
+  /// at least its own next lookup.
+  void Put(std::uint64_t segment_tag, std::uint32_t block_index,
+           BlockPtr block);
+
+  Stats GetStats() const;
+
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Process-wide unique tag for one opened segment view; see file comment.
+  static std::uint64_t NextSegmentTag();
+
+  /// Charged per entry on top of the event payload: list + map node and
+  /// control-block bookkeeping.
+  static constexpr std::uint64_t kEntryOverheadBytes = 96;
+
+ private:
+  static constexpr std::size_t kDefaultShards = 8;
+
+  struct Entry {
+    BlockPtr block;
+    std::uint64_t cost = 0;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::uint64_t> lru;  ///< Front = most recently used.
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::uint64_t bytes = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(std::uint64_t key);
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace spire

@@ -219,6 +219,32 @@ Result<EventStream> ArchiveReader::ScanObject(ObjectId object) const {
   return events;
 }
 
+Result<EventStream> ArchiveReader::ScanObjectRange(ObjectId object, Epoch lo,
+                                                   Epoch hi) const {
+  auto it = info_.postings.find(object);
+  if (it == info_.postings.end()) return EventStream{};
+  std::vector<std::uint32_t> selected;
+  for (std::uint32_t index : it->second) {
+    if (info_.blocks[index].Intersects(lo, hi)) selected.push_back(index);
+  }
+  auto decoded = DecodeBlocks(selected);
+  if (!decoded.ok()) return decoded.status();
+  EventStream events;
+  for (const Event& event : decoded.value()) {
+    if (event.object != object) continue;
+    const Epoch primary = PrimaryEpoch(event);
+    if (lo <= primary && primary <= hi) events.push_back(event);
+  }
+  return events;
+}
+
+Result<EventStream> ArchiveReader::DecodeOneBlock(std::uint32_t index) const {
+  if (index >= info_.blocks.size()) {
+    return Status::InvalidArgument("block index out of range");
+  }
+  return DecodeBlocks({index});
+}
+
 EventStream RepairRestrictedStream(const EventStream& selection) {
   EventStream repaired;
   repaired.reserve(selection.size());
@@ -263,6 +289,35 @@ std::size_t ArchiveReader::BlocksInRange(Epoch lo, Epoch hi) const {
 std::size_t ArchiveReader::BlocksForObject(ObjectId object) const {
   auto it = info_.postings.find(object);
   return it == info_.postings.end() ? 0 : it->second.size();
+}
+
+std::size_t ArchiveReader::BlocksForObjectInRange(ObjectId object, Epoch lo,
+                                                  Epoch hi) const {
+  auto it = info_.postings.find(object);
+  if (it == info_.postings.end()) return 0;
+  std::size_t count = 0;
+  for (std::uint32_t index : it->second) {
+    if (info_.blocks[index].Intersects(lo, hi)) ++count;
+  }
+  return count;
+}
+
+const std::vector<std::uint32_t>* ArchiveReader::PostingsForObject(
+    ObjectId object) const {
+  auto it = info_.postings.find(object);
+  return it == info_.postings.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::uint32_t>* ArchiveReader::PostingsForLocation(
+    LocationId location) const {
+  auto it = info_.location_postings.find(location);
+  return it == info_.location_postings.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::uint32_t>* ArchiveReader::PostingsForContainer(
+    ObjectId container) const {
+  auto it = info_.container_postings.find(container);
+  return it == info_.container_postings.end() ? nullptr : &it->second;
 }
 
 }  // namespace spire

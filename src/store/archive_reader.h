@@ -6,9 +6,12 @@
 //                   query (block directory skip test), then filters events
 //                   by primary timestamp.
 //   ScanObject      only blocks on the object's posting list.
+//   ScanObjectRange posting list ∩ epoch skip test — both prunes at once.
 //   ScanEpochColumn only the primary-timestamp column of every block — the
 //                   epoch-restricted-analytics fast path (for kBitpack
 //                   blocks the other columns are skipped structurally).
+//   DecodeOneBlock  exactly one block by directory index — the granule the
+//                   segment-direct query path (src/query/segment_log) caches.
 //
 // Open() loads the index sidecar when it is present and consistent with
 // the segment; otherwise (crash before Close, sidecar deleted or corrupt)
@@ -27,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,10 +68,20 @@ class ArchiveReader {
   /// Every event of one object, decoding only its posting-list blocks.
   Result<EventStream> ScanObject(ObjectId object) const;
 
+  /// Events of one object whose primary timestamp lies in [lo, hi],
+  /// decoding only posting-list blocks that also pass the epoch skip test.
+  /// Equals the epoch filter applied to ScanObject().
+  Result<EventStream> ScanObjectRange(ObjectId object, Epoch lo,
+                                      Epoch hi) const;
+
   /// The primary timestamp of every archived event, in stream order,
   /// without materializing events. Equals PrimaryEpoch mapped over
   /// ScanAll().
   Result<std::vector<Epoch>> ScanEpochColumn() const;
+
+  /// Decodes exactly one block (by directory index) in full. The unit of
+  /// the segment-direct query path's decoded-block cache.
+  Result<EventStream> DecodeOneBlock(std::uint32_t index) const;
 
   // --- Directory ----------------------------------------------------------
 
@@ -81,6 +95,31 @@ class ArchiveReader {
   std::size_t BlocksInRange(Epoch lo, Epoch hi) const;
   /// How many blocks a ScanObject(object) would decode.
   std::size_t BlocksForObject(ObjectId object) const;
+  /// How many blocks a ScanObjectRange(object, lo, hi) would decode.
+  std::size_t BlocksForObjectInRange(ObjectId object, Epoch lo,
+                                     Epoch hi) const;
+  /// Posting list of the object (blocks holding any of its events), or
+  /// nullptr when the object never appears. Valid for the reader's lifetime.
+  const std::vector<std::uint32_t>* PostingsForObject(ObjectId object) const;
+  /// Posting list of a location (blocks holding location-kind events there),
+  /// or nullptr. Sidecar-v3 index; always populated on open.
+  const std::vector<std::uint32_t>* PostingsForLocation(
+      LocationId location) const;
+  /// Posting list of a container (blocks holding containment events inside
+  /// it), or nullptr.
+  const std::vector<std::uint32_t>* PostingsForContainer(
+      ObjectId container) const;
+  /// The full per-object posting index — the workload generator's universe
+  /// of archived objects.
+  const std::map<ObjectId, std::vector<std::uint32_t>>& object_postings()
+      const {
+    return info_.postings;
+  }
+  /// The full per-location posting index.
+  const std::map<LocationId, std::vector<std::uint32_t>>& location_postings()
+      const {
+    return info_.location_postings;
+  }
   /// True when the sidecar was missing or stale and the directory was
   /// rebuilt by scanning the segment.
   bool index_rebuilt() const { return index_rebuilt_; }

@@ -153,10 +153,7 @@ Status ArchiveWriter::SealBlock() {
   meta.min_epoch = block.min_epoch;
   meta.max_epoch = block.max_epoch;
   const auto index = static_cast<std::uint32_t>(info_.blocks.size());
-  for (const Event& event : buffer_) {
-    std::vector<std::uint32_t>& list = info_.postings[event.object];
-    if (list.empty() || list.back() != index) list.push_back(index);
-  }
+  AddBlockPostings(buffer_, index, &info_);
   info_.blocks.push_back(meta);
   info_.events += block.count;
   info_.valid_bytes += header_bytes.size() + block.payload.size();

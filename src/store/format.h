@@ -39,10 +39,10 @@
 // cache: kArchiveIndexMagic + u16 version + u16 reserved, u64 covered
 // segment bytes, u64 block count, a CRC-32 fingerprint of the last covered
 // block header, the block directory (offset, count, codec, min/max epoch),
-// per-object posting lists of block indexes, and a trailing CRC-32 over
-// everything after the 8-byte header. A sidecar whose covered size, tail
-// fingerprint, or CRC disagrees with the segment is ignored and rebuilt by
-// scanning.
+// per-object posting lists of block indexes, per-location and per-container
+// posting lists (index version 3), and a trailing CRC-32 over everything
+// after the 8-byte header. A sidecar whose covered size, tail fingerprint,
+// or CRC disagrees with the segment is ignored and rebuilt by scanning.
 #pragma once
 
 #include <cstddef>

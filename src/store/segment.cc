@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <type_traits>
 
 #include "store/block.h"
 #include "store/crc32.h"
@@ -50,13 +52,25 @@ void AppendFileHeader(const char* magic, std::uint16_t version,
   PutLE16(0, out);  // Reserved.
 }
 
-void AddPostings(const EventStream& block_events, std::uint32_t block_index,
-                 std::map<ObjectId, std::vector<std::uint32_t>>* postings) {
-  for (const Event& event : block_events) {
-    std::vector<std::uint32_t>& list = (*postings)[event.object];
-    if (list.empty() || list.back() != block_index) {
-      list.push_back(block_index);
-    }
+template <typename Key>
+void AddPosting(Key key, std::uint32_t block_index,
+                std::map<Key, std::vector<std::uint32_t>>* postings) {
+  std::vector<std::uint32_t>& list = (*postings)[key];
+  if (list.empty() || list.back() != block_index) {
+    list.push_back(block_index);
+  }
+}
+
+/// Serializes one posting map as u64 count, then per key: u64 key, u32 list
+/// length, u32 block indexes (LocationId keys widen losslessly to u64).
+template <typename Key>
+void AppendPostings(const std::map<Key, std::vector<std::uint32_t>>& postings,
+                    std::vector<std::uint8_t>* body) {
+  PutLE64(postings.size(), body);
+  for (const auto& [key, blocks] : postings) {
+    PutLE64(static_cast<std::uint64_t>(key), body);
+    PutLE32(static_cast<std::uint32_t>(blocks.size()), body);
+    for (std::uint32_t index : blocks) PutLE32(index, body);
   }
 }
 
@@ -108,6 +122,20 @@ Result<std::uint32_t> TailFingerprint(const std::string& segment_path,
 }
 
 }  // namespace
+
+void AddBlockPostings(const EventStream& block_events,
+                      std::uint32_t block_index, SegmentInfo* info) {
+  for (const Event& event : block_events) {
+    AddPosting(event.object, block_index, &info->postings);
+    if (IsContainmentEvent(event.type)) {
+      AddPosting(event.container, block_index, &info->container_postings);
+    } else {
+      // Location-kind events (Start/EndLocation, Missing) post under the
+      // location they name, so ObjectsAt can prune to this list.
+      AddPosting(event.location, block_index, &info->location_postings);
+    }
+  }
+}
 
 Result<SegmentInfo> ScanSegment(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -174,8 +202,8 @@ Result<SegmentInfo> ScanSegment(const std::string& path) {
     meta.codec = header.value().codec;
     meta.min_epoch = min_epoch;
     meta.max_epoch = max_epoch;
-    AddPostings(decoded, static_cast<std::uint32_t>(info.blocks.size()),
-                &info.postings);
+    AddBlockPostings(decoded, static_cast<std::uint32_t>(info.blocks.size()),
+                     &info);
     info.blocks.push_back(meta);
     info.events += meta.count;
     pos += header_bytes + header.value().payload_size;
@@ -206,12 +234,9 @@ Status WriteIndexFile(const std::string& segment_path,
     PutLE64(static_cast<std::uint64_t>(block.min_epoch), &body);
     PutLE64(static_cast<std::uint64_t>(block.max_epoch), &body);
   }
-  PutLE64(info.postings.size(), &body);
-  for (const auto& [object, blocks] : info.postings) {
-    PutLE64(object, &body);
-    PutLE32(static_cast<std::uint32_t>(blocks.size()), &body);
-    for (std::uint32_t index : blocks) PutLE32(index, &body);
-  }
+  AppendPostings(info.postings, &body);
+  AppendPostings(info.location_postings, &body);
+  AppendPostings(info.container_postings, &body);
 
   std::vector<std::uint8_t> bytes;
   bytes.reserve(kArchiveHeaderBytes + body.size() + 4);
@@ -311,30 +336,44 @@ Result<SegmentInfo> ReadIndexFile(const std::string& segment_path,
     info.blocks.push_back(block);
     info.events += block.count;
   }
-  std::uint64_t num_objects = 0;
-  if (!cursor.U64(&num_objects)) {
-    return Status::Corruption("archive index postings truncated: " + path);
-  }
-  for (std::uint64_t i = 0; i < num_objects; ++i) {
-    std::uint64_t object = 0;
-    std::uint32_t posting_count = 0;
-    if (!cursor.U64(&object) || !cursor.U32(&posting_count)) {
+  // The three posting sections share one layout; LocationId keys must fit
+  // their 16-bit type when narrowed back from the u64 on disk.
+  auto parse_postings = [&](auto* postings) -> Status {
+    using Key = typename std::decay_t<decltype(*postings)>::key_type;
+    std::uint64_t num_keys = 0;
+    if (!cursor.U64(&num_keys)) {
       return Status::Corruption("archive index postings truncated: " + path);
     }
-    std::vector<std::uint32_t>& list = info.postings[object];
-    list.reserve(posting_count);
-    for (std::uint32_t j = 0; j < posting_count; ++j) {
-      std::uint32_t index = 0;
-      if (!cursor.U32(&index)) {
+    for (std::uint64_t i = 0; i < num_keys; ++i) {
+      std::uint64_t key = 0;
+      std::uint32_t posting_count = 0;
+      if (!cursor.U64(&key) || !cursor.U32(&posting_count)) {
         return Status::Corruption("archive index postings truncated: " + path);
       }
-      if (index >= info.blocks.size()) {
-        return Status::Corruption("archive index posting out of range: " +
+      if (key > std::numeric_limits<Key>::max()) {
+        return Status::Corruption("archive index posting key out of range: " +
                                   path);
       }
-      list.push_back(index);
+      std::vector<std::uint32_t>& list = (*postings)[static_cast<Key>(key)];
+      list.reserve(posting_count);
+      for (std::uint32_t j = 0; j < posting_count; ++j) {
+        std::uint32_t index = 0;
+        if (!cursor.U32(&index)) {
+          return Status::Corruption("archive index postings truncated: " +
+                                    path);
+        }
+        if (index >= info.blocks.size()) {
+          return Status::Corruption("archive index posting out of range: " +
+                                    path);
+        }
+        list.push_back(index);
+      }
     }
-  }
+    return Status::OK();
+  };
+  SPIRE_RETURN_NOT_OK(parse_postings(&info.postings));
+  SPIRE_RETURN_NOT_OK(parse_postings(&info.location_postings));
+  SPIRE_RETURN_NOT_OK(parse_postings(&info.container_postings));
   if (!cursor.AtEnd()) {
     return Status::Corruption("trailing bytes in archive index: " + path);
   }

@@ -21,6 +21,13 @@ struct SegmentInfo {
   std::uint16_t version = kArchiveVersion;
   std::vector<BlockMeta> blocks;
   std::map<ObjectId, std::vector<std::uint32_t>> postings;
+  /// Blocks holding location-kind events (Start/EndLocation, Missing) at a
+  /// location, keyed by `event.location` — the ObjectsAt pruning index.
+  std::map<LocationId, std::vector<std::uint32_t>> location_postings;
+  /// Blocks holding containment events inside a container, keyed by
+  /// `event.container` (the child posts under `postings`) — the ContentsAt
+  /// pruning index.
+  std::map<ObjectId, std::vector<std::uint32_t>> container_postings;
   std::uint64_t events = 0;
   /// Bytes of the valid prefix (file header + every block that validates).
   std::uint64_t valid_bytes = 0;
@@ -37,6 +44,12 @@ struct SegmentInfo {
 /// be opened or its 8-byte file header is not a SPIRE archive of a
 /// supported version.
 Result<SegmentInfo> ScanSegment(const std::string& path);
+
+/// Appends block `block_index`'s events to every posting list they belong
+/// on (object, location, container). Shared by ScanSegment and
+/// ArchiveWriter::SealBlock so both build identical indexes.
+void AddBlockPostings(const EventStream& block_events,
+                      std::uint32_t block_index, SegmentInfo* info);
 
 /// Path of the index sidecar: `<segment_path>.spix` (sparkey-style pair).
 std::string IndexPathFor(const std::string& segment_path);

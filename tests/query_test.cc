@@ -1,12 +1,16 @@
-// Tests for the query engine (src/query/event_log) — point, set, and
-// timeline queries over level-1 and level-2 streams, plus an end-to-end
-// check against the simulator's ground truth.
+// Tests for the query engine (src/query) — point, set, and timeline
+// queries over level-1 and level-2 streams via the materialized EventLog,
+// the segment-direct SegmentLog and its LRU block cache, plus an
+// end-to-end check against the simulator's ground truth.
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
 
 #include "common/epc.h"
+#include "query/block_cache.h"
 #include "query/event_log.h"
+#include "query/segment_log.h"
 #include "sim/simulator.h"
 #include "spire/pipeline.h"
 #include "store/archive_reader.h"
@@ -218,6 +222,296 @@ TEST(EventLogArchiveTest, FromArchiveRestrictedWindow) {
   // ...while history that closed before the window is absent.
   EXPECT_EQ(log.LocationAt(kItem, 15), kUnknownLocation);
   EXPECT_EQ(log.ContainerAt(kCase, 20), kNoObject);
+}
+
+TEST(EventLogArchiveTest, FromArchiveRangeBoundaries) {
+  const std::string path = ::testing::TempDir() + "/query_bounds.sparc";
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(IndexPathFor(path), ec);
+  ArchiveOptions options;
+  options.block_events = 3;  // Force the window to straddle several blocks.
+  auto writer = ArchiveWriter::Open(path, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(SampleStream()).ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+  auto reader = ArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_GT(reader.value().num_blocks(), 1u);
+
+  // Empty window past every event: a valid, vacant log.
+  auto past = EventLog::FromArchive(reader.value(), 1000, 2000);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past.value().Objects().empty());
+  EXPECT_EQ(past.value().LocationAt(kItem, 1500), kUnknownLocation);
+
+  // Inverted window: no events qualify either.
+  auto inverted = EventLog::FromArchive(reader.value(), 50, 20);
+  ASSERT_TRUE(inverted.ok());
+  EXPECT_TRUE(inverted.value().Objects().empty());
+
+  // Degenerate window on exactly one primary timestamp: the two Starts at
+  // epoch 10 are included (lo inclusive) and stay open — no End in range.
+  auto at10 = EventLog::FromArchive(reader.value(), 10, 10);
+  ASSERT_TRUE(at10.ok());
+  EXPECT_EQ(at10.value().LocationAt(kItem, 1000), 4);
+  EXPECT_EQ(at10.value().LocationAt(kCase, 1000), 4);
+  EXPECT_EQ(at10.value().ContainerAt(kItem, 15), kNoObject);  // Start at 12.
+
+  // One past that timestamp excludes them (lo is a strict boundary).
+  auto at11 = EventLog::FromArchive(reader.value(), 11, 11);
+  ASSERT_TRUE(at11.ok());
+  EXPECT_EQ(at11.value().LocationAt(kItem, 1000), kUnknownLocation);
+
+  // Window ending exactly on an End's primary timestamp (hi inclusive):
+  // the repair re-materializes the Start, so the full stay is queryable.
+  auto at60 = EventLog::FromArchive(reader.value(), 60, 60);
+  ASSERT_TRUE(at60.ok());
+  EXPECT_EQ(at60.value().LocationAt(kCase, 59), 4);   // Stay [10,60).
+  EXPECT_EQ(at60.value().LocationAt(kCase, 60), kUnknownLocation);
+
+  // Window whose lower bound bisects open stays: Ends inside the window
+  // resurrect their Starts; fully-closed earlier history stays out.
+  auto tail = EventLog::FromArchive(reader.value(), 45, kInfiniteEpoch);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value().LocationAt(kItem, 45), 7);   // Stay [25,50).
+  EXPECT_TRUE(tail.value().IsMissingAt(kItem, 55));   // Missing at 50.
+  EXPECT_EQ(tail.value().LocationAt(kItem, 15), kUnknownLocation);
+  EXPECT_EQ(tail.value().ContainerAt(kItem, 30), kNoObject);  // End at 40.
+}
+
+// --- Segment-direct serving (src/query/segment_log) -------------------------
+
+class SegmentLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/segment_log.sparc";
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    std::filesystem::remove(IndexPathFor(path_), ec);
+    ArchiveOptions options;
+    options.block_events = 3;  // Several blocks so the epoch cut matters.
+    auto writer = ArchiveWriter::Open(path_, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(SampleStream()).ok());
+    ASSERT_TRUE(writer.value()->Close().ok());
+
+    cache_ = std::make_shared<BlockCache>(1 << 20);
+    auto log = SegmentLog::Open(path_, ReaderOptions{}, cache_);
+    ASSERT_TRUE(log.ok());
+    log_ = std::move(log).value();
+
+    auto baseline = EventLog::FromArchive(log_->reader(), 0, kInfiniteEpoch);
+    ASSERT_TRUE(baseline.ok());
+    baseline_ = std::make_unique<EventLog>(std::move(baseline).value());
+  }
+
+  std::string path_;
+  std::shared_ptr<BlockCache> cache_;
+  std::unique_ptr<SegmentLog> log_;
+  std::unique_ptr<EventLog> baseline_;
+};
+
+TEST_F(SegmentLogTest, MatchesEventLogAtEveryEdgeEpoch) {
+  const std::vector<ObjectId> objects{kItem, kItem2, kCase, kPallet,
+                                      Obj(PackagingLevel::kItem, 99)};
+  // Every interval endpoint in SampleStream, its neighbors, and beyond.
+  const std::vector<Epoch> epochs{0,  9,  10, 11, 12, 15, 19, 20, 24, 25,
+                                  30, 39, 40, 49, 50, 55, 59, 60, 99};
+  for (ObjectId object : objects) {
+    for (Epoch epoch : epochs) {
+      auto location = log_->LocationAt(object, epoch);
+      ASSERT_TRUE(location.ok());
+      EXPECT_EQ(location.value(), baseline_->LocationAt(object, epoch))
+          << "LocationAt(" << object << ", " << epoch << ")";
+      auto container = log_->ContainerAt(object, epoch);
+      ASSERT_TRUE(container.ok());
+      EXPECT_EQ(container.value(), baseline_->ContainerAt(object, epoch));
+      auto missing = log_->IsMissingAt(object, epoch);
+      ASSERT_TRUE(missing.ok());
+      EXPECT_EQ(missing.value(), baseline_->IsMissingAt(object, epoch))
+          << "IsMissingAt(" << object << ", " << epoch << ")";
+      auto contents = log_->ContentsAt(object, epoch, /*transitive=*/true);
+      ASSERT_TRUE(contents.ok());
+      EXPECT_EQ(contents.value(), baseline_->ContentsAt(object, epoch, true));
+    }
+  }
+  for (LocationId location : {LocationId{4}, LocationId{7}, LocationId{9}}) {
+    for (Epoch epoch : epochs) {
+      auto objects_at = log_->ObjectsAt(location, epoch);
+      ASSERT_TRUE(objects_at.ok());
+      EXPECT_EQ(objects_at.value(), baseline_->ObjectsAt(location, epoch));
+    }
+  }
+}
+
+TEST_F(SegmentLogTest, PointAnswers) {
+  EXPECT_EQ(log_->LocationAt(kItem, 19).value(), 4);
+  EXPECT_EQ(log_->LocationAt(kItem, 20).value(), kUnknownLocation);
+  EXPECT_EQ(log_->ContainerAt(kItem, 12).value(), kCase);
+  EXPECT_TRUE(log_->IsMissingAt(kItem, 24).value());
+  EXPECT_FALSE(log_->IsMissingAt(kItem, 25).value());
+  EXPECT_TRUE(log_->IsMissingAt(kItem, 99).value());  // Open Missing report.
+  EXPECT_EQ(log_->ContentsAt(kPallet, 20).value(),
+            std::vector<ObjectId>{kCase});
+  EXPECT_EQ(log_->ContentsAt(kPallet, 20, true).value().size(), 2u);
+  auto trajectory = log_->TrajectoryOf(kItem);
+  ASSERT_TRUE(trajectory.ok());
+  EXPECT_EQ(trajectory.value(), baseline_->TrajectoryOf(kItem));
+  EXPECT_TRUE(log_->TrajectoryOf(kItem2).value().empty());
+}
+
+TEST_F(SegmentLogTest, CacheCountersReconcile) {
+  for (Epoch epoch : {0, 15, 30, 55, 15, 30}) {
+    ASSERT_TRUE(log_->LocationAt(kItem, epoch).ok());
+    ASSERT_TRUE(log_->ObjectsAt(4, epoch).ok());
+  }
+  const BlockCache::Stats stats = cache_->GetStats();
+  EXPECT_GT(stats.lookups, 0u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_LE(log_->blocks_decoded(), stats.misses);
+  EXPECT_GT(stats.hits, 0u);  // Repeat epochs must hit.
+}
+
+TEST_F(SegmentLogTest, ServesWithoutACache) {
+  auto uncached = SegmentLog::Open(path_);
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_EQ(uncached.value()->LocationAt(kItem, 30).value(), 7);
+  EXPECT_EQ(uncached.value()->ContainerAt(kCase, 20).value(), kPallet);
+  EXPECT_GT(uncached.value()->blocks_decoded(), 0u);
+}
+
+TEST_F(SegmentLogTest, DistinctOpensNeverAliasCacheEntries) {
+  auto other = SegmentLog::Open(path_, ReaderOptions{}, cache_);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other.value()->segment_tag(), log_->segment_tag());
+  // The second view decodes its own blocks even though the first already
+  // cached the same indexes (snapshot isolation across opens).
+  ASSERT_TRUE(log_->LocationAt(kItem, 15).ok());
+  const std::uint64_t before = other.value()->blocks_decoded();
+  ASSERT_TRUE(other.value()->LocationAt(kItem, 15).ok());
+  EXPECT_GT(other.value()->blocks_decoded(), before);
+}
+
+TEST_F(SegmentLogTest, ConcurrentQueriesAgree) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 50; ++round) {
+        const Epoch epoch = (t * 50 + round) % 70;
+        auto location = log_->LocationAt(kItem, epoch);
+        if (!location.ok() ||
+            location.value() != baseline_->LocationAt(kItem, epoch)) {
+          ++mismatches[t];
+        }
+        auto contents = log_->ContentsAt(kPallet, epoch, true);
+        if (!contents.ok() ||
+            contents.value() != baseline_->ContentsAt(kPallet, epoch, true)) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+  const BlockCache::Stats stats = cache_->GetStats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_LE(log_->blocks_decoded(), stats.misses);
+}
+
+// --- Block cache (src/query/block_cache) ------------------------------------
+
+BlockCache::BlockPtr BlockOf(std::size_t events) {
+  return std::make_shared<const EventStream>(
+      EventStream(events, Event::StartLocation(kItem, 4, 10)));
+}
+
+std::uint64_t CostOf(std::size_t events) {
+  return events * sizeof(Event) + BlockCache::kEntryOverheadBytes;
+}
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(1 << 20, /*num_shards=*/1);
+  const std::uint64_t tag = BlockCache::NextSegmentTag();
+  EXPECT_EQ(cache.Get(tag, 0), nullptr);
+  BlockCache::BlockPtr block = BlockOf(3);
+  cache.Put(tag, 0, block);
+  EXPECT_EQ(cache.Get(tag, 0), block);
+  EXPECT_EQ(cache.Get(tag, 1), nullptr);  // Other index: distinct key.
+  const BlockCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.bytes, CostOf(3));
+}
+
+TEST(BlockCacheTest, PutIsANoOpOnAnExistingKey) {
+  BlockCache cache(1 << 20, /*num_shards=*/1);
+  const std::uint64_t tag = BlockCache::NextSegmentTag();
+  BlockCache::BlockPtr first = BlockOf(2);
+  cache.Put(tag, 7, first);
+  cache.Put(tag, 7, BlockOf(5));  // Loser of a same-key miss race.
+  EXPECT_EQ(cache.Get(tag, 7), first);
+  EXPECT_EQ(cache.GetStats().bytes, CostOf(2));  // Accounting unchanged.
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  // Room for exactly two one-event entries in a single shard.
+  BlockCache cache(2 * CostOf(1), /*num_shards=*/1);
+  const std::uint64_t tag = BlockCache::NextSegmentTag();
+  cache.Put(tag, 1, BlockOf(1));
+  cache.Put(tag, 2, BlockOf(1));
+  EXPECT_NE(cache.Get(tag, 1), nullptr);  // Refresh: 2 is now the LRU.
+  cache.Put(tag, 3, BlockOf(1));
+  EXPECT_EQ(cache.Get(tag, 2), nullptr);  // Evicted.
+  EXPECT_NE(cache.Get(tag, 1), nullptr);
+  EXPECT_NE(cache.Get(tag, 3), nullptr);
+  const BlockCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, stats.capacity_bytes);
+}
+
+TEST(BlockCacheTest, NeverEvictsTheEntryJustInserted) {
+  BlockCache cache(CostOf(1), /*num_shards=*/1);  // Smaller than the block.
+  const std::uint64_t tag = BlockCache::NextSegmentTag();
+  BlockCache::BlockPtr huge = BlockOf(100);
+  cache.Put(tag, 0, huge);
+  // Over capacity, but the sole entry survives to serve its next lookup.
+  EXPECT_EQ(cache.Get(tag, 0), huge);
+}
+
+TEST(BlockCacheTest, EvictedBlockOutlivesEvictionWhileHeld) {
+  BlockCache cache(CostOf(1), /*num_shards=*/1);
+  const std::uint64_t tag = BlockCache::NextSegmentTag();
+  cache.Put(tag, 0, BlockOf(1));
+  BlockCache::BlockPtr held = cache.Get(tag, 0);
+  ASSERT_NE(held, nullptr);
+  cache.Put(tag, 1, BlockOf(1));  // Evicts key 0.
+  EXPECT_EQ(cache.Get(tag, 0), nullptr);
+  EXPECT_EQ(held->size(), 1u);  // The shared_ptr keeps it alive.
+}
+
+TEST(BlockCacheTest, ConcurrentGetPut) {
+  BlockCache cache(8 * CostOf(2), /*num_shards=*/4);
+  const std::uint64_t tag = BlockCache::NextSegmentTag();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint32_t round = 0; round < 200; ++round) {
+        const std::uint32_t index = round % 16;
+        if (cache.Get(tag, index) == nullptr) {
+          cache.Put(tag, index, BlockOf(2));
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const BlockCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.lookups, kThreads * 200u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
 }
 
 TEST(EventLogEndToEndTest, QueriesMatchGroundTruth) {

@@ -19,6 +19,12 @@
 # An archive codec smoke (DESIGN.md §6) round-trips a trace through both
 # block codecs (including the v1 -> v2 compaction path) over the mmap and
 # buffered transports — in the plain AND the sanitized configuration.
+# A segment-direct query smoke (DESIGN.md §13) archives a fuzz-seed trace
+# and serves a generated mixed-kind workload through `spire_cli
+# queryserve` on 2 threads with the materialized-baseline identity check
+# on and the query cache counters re-validated by obscheck — in the plain
+# AND the TSan configuration (the shared block cache and concurrent
+# decode paths are exactly what TSan is for).
 # A distributed-serving smoke (DESIGN.md §12) runs a truck-transfer seed
 # on 2 loopback nodes with the serial-reference byte-identity check on,
 # validates the dist wire counters via `spire_cli obscheck`, and re-runs
@@ -62,11 +68,12 @@ run_tsan() {
   cmake -B "$dir" -S . -DSPIRE_SANITIZE=thread
   echo "=== [tsan] build ==="
   cmake --build "$dir" -j "$jobs" \
-    --target serve_test common_test obs_test dist_test spire_cli
+    --target serve_test common_test obs_test dist_test query_test spire_cli
   echo "=== [tsan] test (concurrency suites) ==="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" \
-    -R 'Serve|Queue|Merger|Log|Obs|Tracer|Dist'
+    -R 'Serve|Queue|Merger|Log|Obs|Tracer|Dist|Cache'
   run_dist_smoke "$dir" loopback
+  run_queryserve_smoke "$dir"
 }
 
 # Observability smoke: a fuzz-seed run with tracing and the explain channel
@@ -153,6 +160,27 @@ run_archive_smoke() {
   rm -rf "$tmp"
 }
 
+# Segment-direct query smoke (DESIGN.md §13): a fuzz-seed trace archived
+# with the bitpack codec and served by `spire_cli queryserve` — a
+# generated mixed-kind workload on 2 threads through a shared block cache,
+# two passes so the second is warm. check=1 answers every request through
+# EventLog::FromArchive as well and exits nonzero on any divergence, and
+# the binary itself fails if the cache counters don't reconcile
+# (hits + misses == lookups, decodes <= misses); obscheck re-validates the
+# exported query metrics.
+run_queryserve_smoke() {
+  local dir="$1" tmp
+  tmp="$(mktemp -d)"
+  echo "=== [query] queryserve smoke (segment-direct vs materialized) ==="
+  "$dir/tools/spire_cli" run seed=21 out="$tmp/run.spev" > /dev/null
+  "$dir/tools/spire_cli" archive in="$tmp/run.spev" out="$tmp/run.sparc" \
+    codec=bitpack block=256
+  "$dir/tools/spire_cli" queryserve in="$tmp/run.sparc" count=2000 seed=3 \
+    threads=2 passes=2 cache_mb=4 check=1 stats_out="$tmp/query-metrics.json"
+  "$dir/tools/spire_cli" obscheck metrics="$tmp/query-metrics.json"
+  rm -rf "$tmp"
+}
+
 # Distributed serving smoke (DESIGN.md §12): a transfer-scenario seed on 2
 # nodes. `check=1` replays the serial per-site reference and demands the
 # distributed stream match it byte for byte (the CLI face of the
@@ -217,6 +245,14 @@ run_bench_compare() {
   if [ -f BENCH_archive.json ]; then
     tools/bench_compare.py BENCH_archive.json "$tmp/BENCH_archive.json" || true
   fi
+  echo "=== [bench] expt15 query (5x warm-serving floor + soft compare) ==="
+  # Answer identity against the materialized EventLog, cache-counter
+  # reconciliation, and the 5x warm-cache-vs-FromArchive-per-request floor
+  # are asserted inside the binary; the wall-clock comparison stays soft.
+  SPIRE_BENCH_DIR="$tmp" "$dir/bench/expt15_query" | tail -n +4
+  if [ -f BENCH_query.json ]; then
+    tools/bench_compare.py BENCH_query.json "$tmp/BENCH_query.json" || true
+  fi
   echo "=== [bench] expt14 dist (byte-identity + soft compare) ==="
   # Byte-identity of every node count (loopback and forked processes)
   # against the serial reference is asserted inside the binary; the
@@ -235,6 +271,7 @@ case "$mode" in
     run_obs_smoke build
     run_cep_smoke build
     run_archive_smoke build
+    run_queryserve_smoke build
     run_dist_smoke build
     run_bench_compare build
     ;;
@@ -248,6 +285,7 @@ case "$mode" in
     run_obs_smoke build
     run_cep_smoke build
     run_archive_smoke build
+    run_queryserve_smoke build
     run_dist_smoke build
     run_bench_compare build
     run_config sanitize build-sanitize -DSPIRE_SANITIZE=ON

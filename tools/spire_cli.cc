@@ -16,6 +16,10 @@
 //                        [out=subset.spev] [mmap=0|1]
 //   spire_cli compact    in=events.sparc out=packed.sparc [block=<events>]
 //                        [codec=varint|bitpack] [format=1|2]
+//   spire_cli queryserve in=events.sparc [requests=req.txt | count=N seed=S]
+//                        [threads=N] [passes=N] [cache_mb=M] [check=0|1]
+//                        [mmap=0|1] [stats_out=metrics.json]
+//                        [statusz=text|json]
 //   spire_cli serve      in=<t1,t2,..> deployment=<d1,d2,..> out=events.spev
 //                        [shards=N] [queue=C] [level=1|2] [--stats]
 //                        [stats_out=metrics.json] [trace_out=trace.json]
@@ -58,6 +62,16 @@
 // `trace_out=` writes one fleet-aligned Perfetto trace (spawn mode traces
 // every process and merges, see `merge-traces`).
 //
+// `queryserve` serves historical point queries segment-direct (src/query
+// segment_log + block_cache, DESIGN.md §13): requests come from a file
+// (`requests=`, one `<kind> <id> <epoch>` line each) or a generated mixed
+// workload (`count=`/`seed=` over the archive's own object/location
+// universes), run on `threads=` concurrent workers sharing one
+// `cache_mb=`-sized decoded-block LRU. `check=1` replays every request
+// against the materialized EventLog baseline and fails on any divergence;
+// `passes=` repeats the workload (warm-cache demos). Per-kind latency
+// histograms and the cache counters land in `stats_out=`/`statusz`.
+//
 // `serve` runs the concurrent sharded serving layer (src/serve): one SPIRE
 // pipeline per site on N worker shards with an ordered merge. Sites come
 // either from per-site trace/deployment file pairs (comma-separated, same
@@ -93,6 +107,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cep/compressed_log.h"
@@ -102,6 +117,7 @@
 #include "check/oracles.h"
 #include "check/trace_gen.h"
 #include "common/config.h"
+#include "common/random.h"
 #include "compress/decompress.h"
 #include "compress/fold.h"
 #include "compress/serde.h"
@@ -116,6 +132,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "query/event_log.h"
+#include "query/segment_log.h"
 #include "serve/server.h"
 #include "serve/workload.h"
 #include "sim/simulator.h"
@@ -456,16 +473,15 @@ int RunScan(const Config& args) {
   Result<EventStream> scanned = Status::Internal("unreachable");
   std::size_t blocks_decoded = 0;
   if (object_arg >= 0) {
-    scanned = r.ScanObject(static_cast<ObjectId>(object_arg));
-    blocks_decoded = r.BlocksForObject(static_cast<ObjectId>(object_arg));
-    if (scanned.ok() && ranged) {
-      std::erase_if(scanned.value(), [&](const Event& event) {
-        const Epoch primary = (event.type == EventType::kEndLocation ||
-                               event.type == EventType::kEndContainment)
-                                  ? event.end
-                                  : event.start;
-        return primary < from || primary > to;
-      });
+    const ObjectId object = static_cast<ObjectId>(object_arg);
+    if (ranged) {
+      // Posting-list and epoch pruning compose: only the object's blocks
+      // that also intersect [from, to] are decoded.
+      scanned = r.ScanObjectRange(object, from, to);
+      blocks_decoded = r.BlocksForObjectInRange(object, from, to);
+    } else {
+      scanned = r.ScanObject(object);
+      blocks_decoded = r.BlocksForObject(object);
     }
   } else if (ranged) {
     scanned = r.ScanRange(from, to);
@@ -530,6 +546,348 @@ int RunCompact(const Config& args) {
               ToString(writer.value()->codec()),
               static_cast<unsigned long long>(writer.value()->segment_bytes()),
               events.value().size());
+  return 0;
+}
+
+// ----------------------------------------------------------- queryserve
+
+/// One historical query against an archive segment.
+struct QueryRequest {
+  enum class Kind {
+    kLocationAt,
+    kContainerAt,
+    kContentsAt,
+    kObjectsAt,
+    kTrajectoryOf,
+    kIsMissingAt,
+  };
+  Kind kind = Kind::kLocationAt;
+  std::uint64_t id = 0;  ///< Object id, or location id for kObjectsAt.
+  Epoch epoch = 0;       ///< Ignored by kTrajectoryOf.
+};
+
+const char* QueryKindName(QueryRequest::Kind kind) {
+  switch (kind) {
+    case QueryRequest::Kind::kLocationAt:
+      return "location_at";
+    case QueryRequest::Kind::kContainerAt:
+      return "container_at";
+    case QueryRequest::Kind::kContentsAt:
+      return "contents_at";
+    case QueryRequest::Kind::kObjectsAt:
+      return "objects_at";
+    case QueryRequest::Kind::kTrajectoryOf:
+      return "trajectory_of";
+    case QueryRequest::Kind::kIsMissingAt:
+      return "is_missing_at";
+  }
+  return "unknown";
+}
+
+/// Parses a request file: one `<kind> <id> <epoch>` line each (kind as in
+/// QueryKindName; trajectory_of lines may omit the epoch). '#' comments and
+/// blank lines are skipped.
+Result<std::vector<QueryRequest>> ParseRequestLines(
+    const std::vector<std::string>& lines) {
+  std::vector<QueryRequest> requests;
+  for (const std::string& line : lines) {
+    std::istringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind) || kind.empty() || kind[0] == '#') continue;
+    QueryRequest request;
+    if (kind == "location_at") {
+      request.kind = QueryRequest::Kind::kLocationAt;
+    } else if (kind == "container_at") {
+      request.kind = QueryRequest::Kind::kContainerAt;
+    } else if (kind == "contents_at") {
+      request.kind = QueryRequest::Kind::kContentsAt;
+    } else if (kind == "objects_at") {
+      request.kind = QueryRequest::Kind::kObjectsAt;
+    } else if (kind == "trajectory_of") {
+      request.kind = QueryRequest::Kind::kTrajectoryOf;
+    } else if (kind == "is_missing_at") {
+      request.kind = QueryRequest::Kind::kIsMissingAt;
+    } else {
+      return Status::InvalidArgument("unknown query kind '" + kind + "'");
+    }
+    if (!(tokens >> request.id)) {
+      return Status::InvalidArgument("query line needs an id: " + line);
+    }
+    long long epoch = 0;
+    if (tokens >> epoch) {
+      request.epoch = static_cast<Epoch>(epoch);
+    } else if (request.kind != QueryRequest::Kind::kTrajectoryOf) {
+      return Status::InvalidArgument("query line needs an epoch: " + line);
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+/// Draws a mixed workload over the archive's own universes: objects and
+/// locations come from the sidecar posting indexes, epochs span the block
+/// directory's range. Deterministic in `seed`.
+std::vector<QueryRequest> GenerateRequests(const ArchiveReader& reader,
+                                           std::size_t count,
+                                           std::uint64_t seed) {
+  std::vector<ObjectId> objects;
+  for (const auto& [object, blocks] : reader.object_postings()) {
+    objects.push_back(object);
+  }
+  std::vector<LocationId> locations;
+  for (const auto& [location, blocks] : reader.location_postings()) {
+    locations.push_back(location);
+  }
+  Epoch lo = 0;
+  Epoch hi = 0;
+  for (const BlockMeta& block : reader.blocks()) {
+    lo = std::min(lo, block.min_epoch);
+    hi = std::max(hi, block.max_epoch);
+  }
+  std::vector<QueryRequest> requests;
+  if (objects.empty()) return requests;
+  Pcg32 rng(seed);
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QueryRequest request;
+    request.kind = static_cast<QueryRequest::Kind>(rng.NextBounded(6));
+    if (request.kind == QueryRequest::Kind::kObjectsAt) {
+      if (locations.empty()) request.kind = QueryRequest::Kind::kLocationAt;
+    }
+    request.id =
+        request.kind == QueryRequest::Kind::kObjectsAt
+            ? locations[rng.NextBounded(
+                  static_cast<std::uint32_t>(locations.size()))]
+            : objects[rng.NextBounded(
+                  static_cast<std::uint32_t>(objects.size()))];
+    request.epoch = rng.NextInRange(lo, hi);
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+std::string IdListString(const std::vector<ObjectId>& ids) {
+  std::string text = "[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) text += ",";
+    text += std::to_string(ids[i]);
+  }
+  return text + "]";
+}
+
+std::string StayListString(const std::vector<Stay>& stays) {
+  std::string text = "[";
+  for (std::size_t i = 0; i < stays.size(); ++i) {
+    if (i > 0) text += ",";
+    text += std::to_string(stays[i].start) + ":" +
+            std::to_string(stays[i].end) + "@" +
+            std::to_string(stays[i].location);
+  }
+  return text + "]";
+}
+
+/// Answers one request segment-direct; the canonical string makes answers
+/// byte-comparable against the materialized baseline.
+Result<std::string> AnswerSegmentDirect(const SegmentLog& log,
+                                        const QueryRequest& request) {
+  switch (request.kind) {
+    case QueryRequest::Kind::kLocationAt: {
+      auto answer = log.LocationAt(request.id, request.epoch);
+      if (!answer.ok()) return answer.status();
+      return std::to_string(answer.value());
+    }
+    case QueryRequest::Kind::kContainerAt: {
+      auto answer = log.ContainerAt(request.id, request.epoch);
+      if (!answer.ok()) return answer.status();
+      return std::to_string(answer.value());
+    }
+    case QueryRequest::Kind::kContentsAt: {
+      auto answer = log.ContentsAt(request.id, request.epoch);
+      if (!answer.ok()) return answer.status();
+      return IdListString(answer.value());
+    }
+    case QueryRequest::Kind::kObjectsAt: {
+      auto answer =
+          log.ObjectsAt(static_cast<LocationId>(request.id), request.epoch);
+      if (!answer.ok()) return answer.status();
+      return IdListString(answer.value());
+    }
+    case QueryRequest::Kind::kTrajectoryOf: {
+      auto answer = log.TrajectoryOf(request.id);
+      if (!answer.ok()) return answer.status();
+      return StayListString(answer.value());
+    }
+    case QueryRequest::Kind::kIsMissingAt: {
+      auto answer = log.IsMissingAt(request.id, request.epoch);
+      if (!answer.ok()) return answer.status();
+      return std::string(answer.value() ? "true" : "false");
+    }
+  }
+  return Status::Internal("unknown query kind");
+}
+
+/// The same request against the fully materialized EventLog.
+std::string AnswerMaterialized(const EventLog& log,
+                               const QueryRequest& request) {
+  switch (request.kind) {
+    case QueryRequest::Kind::kLocationAt:
+      return std::to_string(log.LocationAt(request.id, request.epoch));
+    case QueryRequest::Kind::kContainerAt:
+      return std::to_string(log.ContainerAt(request.id, request.epoch));
+    case QueryRequest::Kind::kContentsAt:
+      return IdListString(log.ContentsAt(request.id, request.epoch));
+    case QueryRequest::Kind::kObjectsAt:
+      return IdListString(
+          log.ObjectsAt(static_cast<LocationId>(request.id), request.epoch));
+    case QueryRequest::Kind::kTrajectoryOf:
+      return StayListString(log.TrajectoryOf(request.id));
+    case QueryRequest::Kind::kIsMissingAt:
+      return log.IsMissingAt(request.id, request.epoch) ? "true" : "false";
+  }
+  return "";
+}
+
+int RunQueryserve(const Config& args) {
+  auto in_path = args.GetString("in", "").value_or("");
+  if (in_path.empty()) return FailText("queryserve needs in=<archive>");
+
+  // queryserve is a metrics-centric command: instruments (cache counters,
+  // per-kind latency histograms) are always on, like `statusz`.
+  obs::SetEnabled(true);
+  obs::Registry::Global().Reset();
+  obs::Registry::Global().GetCounter("common", "cli_invocations")->Add(1);
+
+  ReaderOptions reader_options;
+  reader_options.use_mmap = args.GetInt("mmap", 1).value_or(1) != 0;
+  const auto cache_mb = args.GetInt("cache_mb", 64).value_or(64);
+  std::shared_ptr<BlockCache> cache;
+  if (cache_mb > 0) {
+    cache = std::make_shared<BlockCache>(
+        static_cast<std::uint64_t>(cache_mb) * 1024 * 1024);
+  }
+  auto log = SegmentLog::Open(in_path, reader_options, cache);
+  if (!log.ok()) return Fail(log.status());
+  const SegmentLog& segment_log = *log.value();
+
+  std::vector<QueryRequest> requests;
+  const auto requests_path = args.GetString("requests", "").value_or("");
+  if (!requests_path.empty()) {
+    auto lines = LoadLines(requests_path);
+    if (!lines.ok()) return Fail(lines.status());
+    auto parsed = ParseRequestLines(lines.value());
+    if (!parsed.ok()) return Fail(parsed.status());
+    requests = std::move(parsed).value();
+  } else {
+    const auto count = args.GetInt("count", 10000).value_or(10000);
+    const auto seed = args.GetInt("seed", 1).value_or(1);
+    requests = GenerateRequests(segment_log.reader(),
+                                static_cast<std::size_t>(count),
+                                static_cast<std::uint64_t>(seed));
+  }
+  if (requests.empty()) return FailText("no requests to serve");
+
+  const int threads =
+      std::max(1, static_cast<int>(args.GetInt("threads", 1).value_or(1)));
+  const int passes =
+      std::max(1, static_cast<int>(args.GetInt("passes", 1).value_or(1)));
+
+  std::vector<std::string> answers(requests.size());
+  std::vector<Status> worker_status(static_cast<std::size_t>(threads));
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < passes; ++pass) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {
+        auto& registry = obs::Registry::Global();
+        for (std::size_t i = static_cast<std::size_t>(t);
+             i < requests.size(); i += static_cast<std::size_t>(threads)) {
+          const auto start = std::chrono::steady_clock::now();
+          auto answer = AnswerSegmentDirect(segment_log, requests[i]);
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - start;
+          if (!answer.ok()) {
+            worker_status[static_cast<std::size_t>(t)] = answer.status();
+            return;
+          }
+          registry.GetHistogram("query", QueryKindName(requests[i].kind))
+              ->RecordSeconds(elapsed.count());
+          answers[i] = std::move(answer).value();
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const Status& status : worker_status) {
+      if (!status.ok()) return Fail(status);
+    }
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  const double total_queries =
+      static_cast<double>(requests.size()) * passes;
+
+  std::printf("served %zu requests x %d pass(es) on %d thread(s) in %.3fs "
+              "(%.0f queries/s)\n",
+              requests.size(), passes, threads, wall.count(),
+              wall.count() > 0.0 ? total_queries / wall.count() : 0.0);
+  if (cache != nullptr) {
+    const BlockCache::Stats stats = cache->GetStats();
+    std::printf("cache: %llu lookups, %llu hits, %llu misses, %llu "
+                "evictions, %llu/%llu bytes; %llu blocks decoded\n",
+                static_cast<unsigned long long>(stats.lookups),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions),
+                static_cast<unsigned long long>(stats.bytes),
+                static_cast<unsigned long long>(stats.capacity_bytes),
+                static_cast<unsigned long long>(
+                    segment_log.blocks_decoded()));
+    // The serving invariants: every lookup is a hit or a miss, and only
+    // misses decode (concurrent same-key misses may both decode, so
+    // decodes <= misses rather than ==).
+    if (stats.hits + stats.misses != stats.lookups) {
+      return FailText("cache counters do not reconcile: hits + misses != "
+                      "lookups");
+    }
+    if (segment_log.blocks_decoded() > stats.misses) {
+      return FailText("cache counters do not reconcile: decodes > misses");
+    }
+  }
+
+  if (args.GetBool("check", false).value_or(false)) {
+    auto baseline = EventLog::FromArchive(segment_log.reader(), 0,
+                                          kInfiniteEpoch, false);
+    if (!baseline.ok()) return Fail(baseline.status());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const std::string expected =
+          AnswerMaterialized(baseline.value(), requests[i]);
+      if (answers[i] != expected) {
+        return FailText(std::string("answer diverges from materialized "
+                                    "baseline for ") +
+                        QueryKindName(requests[i].kind) + " id=" +
+                        std::to_string(requests[i].id) + " epoch=" +
+                        std::to_string(requests[i].epoch) + ": got " +
+                        answers[i] + ", want " + expected);
+      }
+    }
+    std::printf("checked %zu answers against the materialized baseline: "
+                "all identical\n",
+                requests.size());
+  }
+
+  auto stats_out = args.GetString("stats_out", "").value_or("");
+  if (!stats_out.empty()) {
+    std::ofstream stats_file(stats_out);
+    if (!stats_file) return FailText("cannot open: " + stats_out);
+    stats_file << obs::Registry::Global().ToJson() << "\n";
+    if (!stats_file.good()) return FailText("write failed: " + stats_out);
+  }
+  const auto statusz = args.GetString("statusz", "").value_or("");
+  if (statusz == "json") {
+    std::printf("%s\n", obs::Registry::Global().ToJson().c_str());
+  } else if (!statusz.empty()) {
+    std::printf("%s", obs::Registry::Global().ToText().c_str());
+  }
   return 0;
 }
 
@@ -1641,8 +1999,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s generate|process|decompress|validate|stats|query|"
-                 "archive|scan|compact|serve|dist|node|run|statusz|explain|obscheck|"
-                 "merge-traces|detect [key=value ...]\n",
+                 "archive|scan|compact|queryserve|serve|dist|node|run|statusz|"
+                 "explain|obscheck|merge-traces|detect [key=value ...]\n",
                  argv[0]);
     return 1;
   }
@@ -1674,6 +2032,7 @@ int main(int argc, char** argv) {
   if (command == "archive") return RunArchive(args.value());
   if (command == "scan") return RunScan(args.value());
   if (command == "compact") return RunCompact(args.value());
+  if (command == "queryserve") return RunQueryserve(args.value());
   if (command == "serve") return RunServe(args.value());
   if (command == "dist") return RunDist(args.value(), arg_strings);
   if (command == "node") return RunNode(args.value());
